@@ -1,0 +1,290 @@
+//! The Greedy baseline: ε-greedy replay of the best observed pricing.
+
+use chiron::Mechanism;
+use chiron_fedsim::{EdgeLearningEnv, RoundOutcome, StepStatus};
+use chiron_tensor::TensorRng;
+
+/// Greedy hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GreedyConfig {
+    /// Random actions generated to seed the replay memory.
+    pub warmup_actions: usize,
+    /// Probability of exploring a fresh random action instead of replaying
+    /// the best one.
+    pub epsilon: f64,
+    /// λ used when scoring actions (same objective as Chiron's exterior
+    /// reward, so the comparison is apples-to-apples).
+    pub lambda: f64,
+}
+
+impl Default for GreedyConfig {
+    fn default() -> Self {
+        Self {
+            warmup_actions: 32,
+            epsilon: 0.1,
+            lambda: 2000.0,
+        }
+    }
+}
+
+/// The paper's Greedy baseline: "the agent randomly generates a series of
+/// actions to form the replay buffer, then greedily chooses the action with
+/// maximum reward from the replay buffer with a high probability, or
+/// explores new actions with a small probability."
+///
+/// Actions are full per-node price vectors (fractions of each node's price
+/// cap); each buffered action keeps a running mean of the single-round
+/// rewards observed under it.
+pub struct Greedy {
+    config: GreedyConfig,
+    price_caps: Vec<f64>,
+    /// `(price fractions, mean reward, observations)` per buffered action.
+    memory: Vec<(Vec<f64>, f64, usize)>,
+    rng: TensorRng,
+    last_action: Option<usize>,
+    last_was_training: bool,
+    episodes_trained: usize,
+}
+
+impl Greedy {
+    /// Builds the baseline with default hyperparameters.
+    pub fn new(env: &EdgeLearningEnv, seed: u64) -> Self {
+        Self::with_config(env, GreedyConfig::default(), seed)
+    }
+
+    /// Builds with explicit hyperparameters, seeding the replay memory with
+    /// random actions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `warmup_actions == 0` or `epsilon ∉ [0, 1]`.
+    pub fn with_config(env: &EdgeLearningEnv, config: GreedyConfig, seed: u64) -> Self {
+        assert!(config.warmup_actions > 0, "need at least one warmup action");
+        assert!(
+            (0.0..=1.0).contains(&config.epsilon),
+            "epsilon must be in [0,1]"
+        );
+        let mut rng = TensorRng::seed_from(seed);
+        let n = env.num_nodes();
+        let memory = (0..config.warmup_actions)
+            .map(|_| {
+                let fractions: Vec<f64> = (0..n).map(|_| rng.uniform(0.05, 1.0)).collect();
+                (fractions, 0.0, 0)
+            })
+            .collect();
+        let price_caps = env
+            .nodes()
+            .iter()
+            .map(|node| node.price_cap(env.sigma()))
+            .collect();
+        Self {
+            config,
+            price_caps,
+            memory,
+            rng,
+            last_action: None,
+            last_was_training: false,
+            episodes_trained: 0,
+        }
+    }
+
+    /// Number of actions in the replay memory.
+    pub fn memory_len(&self) -> usize {
+        self.memory.len()
+    }
+
+    /// Episodes trained so far.
+    pub fn episodes_trained(&self) -> usize {
+        self.episodes_trained
+    }
+
+    fn best_action(&self) -> usize {
+        self.memory
+            .iter()
+            .enumerate()
+            .max_by(|(_, a), (_, b)| a.1.partial_cmp(&b.1).expect("rewards are finite"))
+            .map(|(i, _)| i)
+            .expect("memory is non-empty")
+    }
+
+    fn prices_of(&self, idx: usize) -> Vec<f64> {
+        self.memory[idx]
+            .0
+            .iter()
+            .zip(&self.price_caps)
+            .map(|(&f, &cap)| f * cap)
+            .collect()
+    }
+
+    fn score(&self, outcome: &RoundOutcome) -> f64 {
+        chiron::exterior_reward(
+            outcome.accuracy_delta(),
+            outcome.round_time,
+            self.config.lambda,
+            1.0,
+        )
+    }
+
+    fn record(&mut self, idx: usize, reward: f64) {
+        let entry = &mut self.memory[idx];
+        entry.2 += 1;
+        // Running mean keeps early lucky draws from dominating forever.
+        entry.1 += (reward - entry.1) / entry.2 as f64;
+    }
+}
+
+impl Mechanism for Greedy {
+    fn name(&self) -> &'static str {
+        "greedy"
+    }
+
+    fn lambda(&self) -> f64 {
+        self.config.lambda
+    }
+
+    fn begin_episode(&mut self, _env: &EdgeLearningEnv) {
+        self.last_action = None;
+    }
+
+    fn decide_prices(&mut self, env: &EdgeLearningEnv, explore: bool) -> Vec<f64> {
+        self.last_was_training = explore;
+        let idx = if explore && self.rng.uniform(0.0, 1.0) < self.config.epsilon {
+            // Explore: add a fresh random action to the memory and try it.
+            let n = env.num_nodes();
+            let fractions: Vec<f64> = (0..n).map(|_| self.rng.uniform(0.05, 1.0)).collect();
+            self.memory.push((fractions, 0.0, 0));
+            self.memory.len() - 1
+        } else {
+            self.best_action()
+        };
+        self.last_action = Some(idx);
+        self.prices_of(idx)
+    }
+
+    fn observe(&mut self, outcome: &RoundOutcome, _prices: &[f64]) {
+        // Learning happens only on exploratory rollouts; deterministic
+        // evaluation must not mutate the replay memory (otherwise repeated
+        // evaluations would drift).
+        if !self.last_was_training {
+            return;
+        }
+        if let Some(idx) = self.last_action {
+            let reward = self.score(outcome);
+            self.record(idx, reward);
+        }
+    }
+
+    fn train(&mut self, env: &mut EdgeLearningEnv, episodes: usize) -> Vec<f64> {
+        let mut episode_rewards = Vec::with_capacity(episodes);
+        for _ in 0..episodes {
+            env.reset();
+            self.begin_episode(env);
+            let mut total = 0.0;
+            loop {
+                let prices = self.decide_prices(env, true);
+                let outcome = env.step(&prices);
+                if outcome.status == StepStatus::BudgetExhausted {
+                    break;
+                }
+                total += self.score(&outcome);
+                self.observe(&outcome, &prices);
+                if outcome.done() {
+                    break;
+                }
+            }
+            self.episodes_trained += 1;
+            episode_rewards.push(total);
+        }
+        episode_rewards
+    }
+}
+
+impl std::fmt::Debug for Greedy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Greedy({} actions in memory, {} episodes trained)",
+            self.memory.len(),
+            self.episodes_trained
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chiron_data::DatasetKind;
+    use chiron_fedsim::EnvConfig;
+
+    fn env(seed: u64) -> EdgeLearningEnv {
+        EdgeLearningEnv::new(
+            EnvConfig {
+                oracle_noise: 0.0,
+                ..EnvConfig::paper_small(DatasetKind::MnistLike, 40.0)
+            },
+            seed,
+        )
+    }
+
+    #[test]
+    fn warmup_seeds_memory() {
+        let e = env(0);
+        let g = Greedy::with_config(
+            &e,
+            GreedyConfig {
+                warmup_actions: 7,
+                ..GreedyConfig::default()
+            },
+            0,
+        );
+        assert_eq!(g.memory_len(), 7);
+    }
+
+    #[test]
+    fn exploration_grows_memory() {
+        let mut e = env(1);
+        let mut g = Greedy::with_config(
+            &e,
+            GreedyConfig {
+                warmup_actions: 4,
+                epsilon: 1.0, // always explore
+                ..GreedyConfig::default()
+            },
+            1,
+        );
+        g.train(&mut e, 2);
+        assert!(g.memory_len() > 4);
+    }
+
+    #[test]
+    fn running_mean_updates() {
+        let e = env(2);
+        let mut g = Greedy::new(&e, 2);
+        g.record(0, 10.0);
+        g.record(0, 20.0);
+        assert!((g.memory[0].1 - 15.0).abs() < 1e-12);
+        assert_eq!(g.memory[0].2, 2);
+    }
+
+    #[test]
+    fn best_action_wins_deterministic_evaluation() {
+        let e = env(3);
+        let mut g = Greedy::new(&e, 3);
+        g.record(5, 100.0);
+        let best = g.best_action();
+        assert_eq!(best, 5);
+        let prices = g.decide_prices(&e, false);
+        assert_eq!(prices, g.prices_of(5));
+    }
+
+    #[test]
+    fn training_and_evaluation_respect_budget() {
+        let mut e = env(4);
+        let mut g = Greedy::new(&e, 4);
+        let rewards = g.train(&mut e, 3);
+        assert_eq!(rewards.len(), 3);
+        let (summary, _) = g.run_episode(&mut e);
+        assert!(summary.spent <= 40.0 + 1e-6);
+        assert_eq!(g.name(), "greedy");
+    }
+}

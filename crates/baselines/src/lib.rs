@@ -1,0 +1,51 @@
+//! # chiron-baselines
+//!
+//! The comparison mechanisms of the paper's evaluation (Section VI-A),
+//! implementing the shared [`chiron::Mechanism`] trait:
+//!
+//! * [`DrlSingleRound`] — the "DRL-based" state of the art
+//!   (Zhan & Zhang, INFOCOM 2020): a single flat PPO agent that prices
+//!   every node directly and optimizes a **myopic single-round** objective
+//!   built from resource consumption (round time + energy), with no
+//!   accuracy term and no budget pacing.
+//! * [`Greedy`] — seeds a replay memory with random pricing actions, then
+//!   replays the best-scoring action with high probability and explores
+//!   with small probability.
+//! * [`StaticPrice`] — non-learning reference: a fixed fraction of every
+//!   node's price cap each round.
+//! * [`LemmaOracle`] — non-learning reference that allocates a fixed total
+//!   price with the Lemma 1 equalizing split (perfect time consistency);
+//!   an upper bound for the inner agent's objective.
+//! * [`DpPlanner`] — a **full-information** dynamic-programming planner:
+//!   given the node private parameters and the accuracy curve it solves
+//!   the budget-pacing problem by backward induction, upper-bounding what
+//!   any incomplete-information mechanism can achieve.
+//!
+//! ## Example
+//!
+//! ```
+//! use chiron::Mechanism;
+//! use chiron_baselines::Greedy;
+//! use chiron_fedsim::{EdgeLearningEnv, EnvConfig};
+//! use chiron_data::DatasetKind;
+//!
+//! let mut env = EdgeLearningEnv::new(
+//!     EnvConfig::paper_small(DatasetKind::MnistLike, 40.0), 0);
+//! let mut greedy = Greedy::new(&env, 0);
+//! greedy.train(&mut env, 3);
+//! let (summary, _) = greedy.run_episode(&mut env);
+//! assert!(summary.spent <= 40.0 + 1e-6);
+//! ```
+
+mod drl_single;
+mod greedy;
+mod planner;
+mod statics;
+
+pub use drl_single::{DrlSingleRound, DrlSingleRoundConfig};
+pub use greedy::{Greedy, GreedyConfig};
+pub use planner::DpPlanner;
+pub use statics::{LemmaOracle, StaticPrice};
+
+#[cfg(test)]
+mod proptests;

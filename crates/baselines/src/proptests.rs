@@ -1,0 +1,99 @@
+//! Property-based tests for the baseline mechanisms.
+
+use crate::{DpPlanner, DrlSingleRound, Greedy, GreedyConfig, LemmaOracle, StaticPrice};
+use chiron::Mechanism;
+use chiron_data::DatasetKind;
+use chiron_fedsim::{EdgeLearningEnv, EnvConfig};
+use proptest::prelude::*;
+
+fn env(budget: f64, seed: u64) -> EdgeLearningEnv {
+    EdgeLearningEnv::new(
+        EnvConfig {
+            oracle_noise: 0.0,
+            ..EnvConfig::paper_small(DatasetKind::MnistLike, budget)
+        },
+        seed,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Every baseline's evaluation episode respects the budget and produces
+    /// consistent records, for arbitrary seeds and budgets.
+    #[test]
+    fn all_baselines_respect_budget(seed in 0u64..40, budget in 20.0f64..150.0) {
+        let e0 = env(budget, seed);
+        let mut mechanisms: Vec<Box<dyn Mechanism>> = vec![
+            Box::new(DrlSingleRound::new(&e0, seed)),
+            Box::new(Greedy::new(&e0, seed)),
+            Box::new(StaticPrice::new(0.6)),
+            Box::new(LemmaOracle::new(0.4)),
+            Box::new(DpPlanner::plan(&e0, 2000.0, 0.1, 8, 20)),
+        ];
+        for mech in &mut mechanisms {
+            let mut e = env(budget, seed);
+            let (s, records) = mech.run_episode(&mut e);
+            prop_assert!(s.spent <= budget + 1e-6, "{} overspent", mech.name());
+            prop_assert_eq!(s.rounds, records.len());
+            prop_assert!(records.iter().all(|r| r.payment >= 0.0));
+        }
+    }
+
+    /// Greedy's memory never shrinks and deterministic evaluation always
+    /// replays a buffered action.
+    #[test]
+    fn greedy_memory_monotone(seed in 0u64..40, warmup in 1usize..20) {
+        let e0 = env(50.0, seed);
+        let mut g = Greedy::with_config(
+            &e0,
+            GreedyConfig { warmup_actions: warmup, ..GreedyConfig::default() },
+            seed,
+        );
+        let before = g.memory_len();
+        let mut e = env(50.0, seed);
+        g.train(&mut e, 2);
+        prop_assert!(g.memory_len() >= before);
+        let mut e = env(50.0, seed);
+        let (s1, _) = g.run_episode(&mut e);
+        let mut e = env(50.0, seed);
+        let (s2, _) = g.run_episode(&mut e);
+        // Deterministic evaluation does not mutate the chosen action.
+        prop_assert_eq!(s1.rounds, s2.rounds);
+    }
+
+    /// The Lemma oracle's time efficiency dominates the static split at the
+    /// same pacing, for any seed.
+    #[test]
+    fn lemma_oracle_dominates_static(seed in 0u64..40) {
+        let mut e = env(80.0, seed);
+        let (lemma, _) = LemmaOracle::new(0.4).run_episode(&mut e);
+        let mut e = env(80.0, seed);
+        let (fixed, _) = StaticPrice::new(0.4).run_episode(&mut e);
+        prop_assert!(
+            lemma.mean_time_efficiency >= fixed.mean_time_efficiency - 1e-9,
+            "lemma {} < static {}",
+            lemma.mean_time_efficiency,
+            fixed.mean_time_efficiency
+        );
+    }
+
+    /// The DP planner's predicted value is monotone in the budget.
+    #[test]
+    fn planner_value_monotone_in_budget(seed in 0u64..20, lo in 30.0f64..60.0) {
+        let hi = lo * 2.5;
+        let v_lo = DpPlanner::plan(&env(lo, seed), 2000.0, 0.1, 12, 30).predicted_value();
+        let v_hi = DpPlanner::plan(&env(hi, seed), 2000.0, 0.1, 12, 30).predicted_value();
+        prop_assert!(v_hi >= v_lo - 1e-6, "budget {} → {} but value {} → {}", lo, hi, v_lo, v_hi);
+    }
+
+    /// Static pricing: higher fractions never buy more rounds.
+    #[test]
+    fn static_rounds_monotone_in_price(seed in 0u64..40) {
+        let rounds = |frac: f64| {
+            let mut e = env(90.0, seed);
+            StaticPrice::new(frac).run_episode(&mut e).0.rounds
+        };
+        prop_assert!(rounds(0.3) >= rounds(0.9));
+    }
+}

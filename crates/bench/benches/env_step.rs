@@ -1,0 +1,32 @@
+//! Criterion micro-bench: one federated round of the simulator — pricing,
+//! optimal node responses, payment accounting, oracle update — at both the
+//! 5-node and 100-node scales.
+
+use chiron_bench::make_env;
+use chiron_data::DatasetKind;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_env_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("env_step");
+
+    for nodes in [5usize, 100] {
+        let mut env = make_env(DatasetKind::MnistLike, nodes, 1e12, 0);
+        let prices: Vec<f64> = (0..nodes)
+            .map(|i| env.node(i).price_cap(env.sigma()) * 0.5)
+            .collect();
+        group.bench_function(format!("round_{nodes}_nodes"), |b| {
+            b.iter(|| {
+                if env.is_done() {
+                    env.reset();
+                }
+                black_box(env.step(black_box(&prices)));
+            })
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_env_step);
+criterion_main!(benches);

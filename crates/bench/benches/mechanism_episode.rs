@@ -1,0 +1,43 @@
+//! Criterion micro-bench: one full budget-bounded training episode of each
+//! mechanism (rollout + end-of-episode PPO update where applicable).
+
+use chiron::{Chiron, ChironConfig, Mechanism};
+use chiron_baselines::{DrlSingleRound, Greedy};
+use chiron_bench::make_env;
+use chiron_data::DatasetKind;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_mechanism_episode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mechanism_episode");
+    group.sample_size(10);
+
+    let mut env = make_env(DatasetKind::MnistLike, 5, 100.0, 0);
+    let mut chiron = Chiron::new(&env, ChironConfig::paper(), 0);
+    group.bench_function("chiron_train_episode_5_nodes", |b| {
+        b.iter(|| black_box(chiron.train(&mut env, 1)))
+    });
+
+    let mut env_d = make_env(DatasetKind::MnistLike, 5, 100.0, 0);
+    let mut drl = DrlSingleRound::new(&env_d, 0);
+    group.bench_function("drlbased_train_episode_5_nodes", |b| {
+        b.iter(|| black_box(drl.train(&mut env_d, 1)))
+    });
+
+    let mut env_g = make_env(DatasetKind::MnistLike, 5, 100.0, 0);
+    let mut greedy = Greedy::new(&env_g, 0);
+    group.bench_function("greedy_train_episode_5_nodes", |b| {
+        b.iter(|| black_box(greedy.train(&mut env_g, 1)))
+    });
+
+    let mut env_100 = make_env(DatasetKind::MnistLike, 100, 300.0, 0);
+    let mut chiron_100 = Chiron::new(&env_100, ChironConfig::paper(), 0);
+    group.bench_function("chiron_train_episode_100_nodes", |b| {
+        b.iter(|| black_box(chiron_100.train(&mut env_100, 1)))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_mechanism_episode);
+criterion_main!(benches);

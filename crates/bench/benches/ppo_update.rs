@@ -1,0 +1,54 @@
+//! Criterion micro-bench: a full M-epoch PPO update on a filled rollout
+//! buffer, at the state/action sizes of Chiron's two agents (5 nodes).
+
+use chiron_drl::{PpoAgent, PpoConfig, RolloutBuffer};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn filled_buffer(agent: &mut PpoAgent, state_dim: usize, steps: usize) -> RolloutBuffer {
+    let mut buffer = RolloutBuffer::new();
+    for t in 0..steps {
+        let state: Vec<f64> = (0..state_dim).map(|i| (i + t) as f64 * 0.01).collect();
+        let (action, lp) = agent.act(&state);
+        let value = agent.value(&state);
+        buffer.push(&state, &action, lp, (t as f64).sin(), value, t + 1 == steps);
+    }
+    buffer
+}
+
+fn bench_ppo_update(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ppo_update");
+    group.sample_size(20);
+
+    // Exterior agent shape at 5 nodes: state 3·5·4+2 = 62, action 1.
+    let mut exterior = PpoAgent::new(62, 1, &[64, 64], PpoConfig::default(), 0);
+    group.bench_function("exterior_agent_30_steps", |b| {
+        b.iter(|| {
+            let mut buffer = filled_buffer(&mut exterior, 62, 30);
+            black_box(exterior.update(&mut buffer));
+        })
+    });
+
+    // Inner agent shape: state 1, action 5.
+    let mut inner = PpoAgent::new(1, 5, &[64, 64], PpoConfig::default(), 1);
+    group.bench_function("inner_agent_30_steps", |b| {
+        b.iter(|| {
+            let mut buffer = filled_buffer(&mut inner, 1, 30);
+            black_box(inner.update(&mut buffer));
+        })
+    });
+
+    // Inner agent at 100 nodes: action 100.
+    let mut inner100 = PpoAgent::new(1, 100, &[64, 64], PpoConfig::default(), 2);
+    group.bench_function("inner_agent_100dim_30_steps", |b| {
+        b.iter(|| {
+            let mut buffer = filled_buffer(&mut inner100, 1, 30);
+            black_box(inner100.update(&mut buffer));
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_ppo_update);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Ablation (DESIGN.md §5.1): the two-layer hierarchy vs a single flat PPO
+//! agent with the joint (total, proportions) action, same state, same
+//! combined objective. Quantifies what the hierarchical decomposition buys.
+
+use chiron::{ablation::FlatPpo, Chiron, ChironConfig, Mechanism};
+use chiron_bench::{episodes_from_env, make_env, write_csv};
+use chiron_data::DatasetKind;
+
+fn main() {
+    let episodes = episodes_from_env(300);
+    let seed = 42;
+    let budgets = [60.0, 100.0, 140.0];
+    println!("Hierarchy ablation: MNIST, 5 nodes, {episodes} episodes, budgets {budgets:?}\n");
+
+    let mut env = make_env(DatasetKind::MnistLike, 5, 100.0, seed);
+    let mut hier = Chiron::new(&env, ChironConfig::paper(), seed);
+    hier.train(&mut env, episodes);
+
+    let mut env = make_env(DatasetKind::MnistLike, 5, 100.0, seed);
+    let mut flat = FlatPpo::new(&env, ChironConfig::paper(), seed);
+    flat.train(&mut env, episodes);
+
+    let mut csv = String::from("mechanism,budget,accuracy,rounds,time_efficiency,total_time\n");
+    println!(
+        "{:<12} {:>7} {:>9} {:>7} {:>10}",
+        "mechanism", "budget", "acc", "rounds", "time-eff %"
+    );
+    let mechanisms: Vec<(&str, &mut dyn Mechanism)> =
+        vec![("hierarchical", &mut hier), ("flat", &mut flat)];
+    for (name, m) in mechanisms {
+        for &budget in &budgets {
+            let mut env = make_env(DatasetKind::MnistLike, 5, budget, seed);
+            let (s, _) = m.run_episode(&mut env);
+            println!(
+                "{name:<12} {budget:>7} {:>9.4} {:>7} {:>10.1}",
+                s.final_accuracy,
+                s.rounds,
+                s.mean_time_efficiency * 100.0
+            );
+            csv.push_str(&format!(
+                "{name},{budget},{:.4},{},{:.4},{:.2}\n",
+                s.final_accuracy, s.rounds, s.mean_time_efficiency, s.total_time
+            ));
+        }
+    }
+    write_csv("ablation_hierarchy.csv", &csv);
+    println!(
+        "\nexpected: the flat agent can approach Chiron's accuracy but loses \
+         clearly on time efficiency — the inner agent's dedicated
+         time-consistency objective is what the joint action dilutes."
+    );
+}

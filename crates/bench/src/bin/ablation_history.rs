@@ -1,0 +1,43 @@
+//! Ablation (DESIGN.md §5.3): the exterior state's history window L.
+//! The paper motivates including L rounds of history so the agent can see
+//! how its strategy changes affect the system; this sweep quantifies it.
+
+use chiron::{Chiron, ChironConfig, Mechanism};
+use chiron_bench::{episodes_from_env, make_env, write_csv};
+use chiron_data::DatasetKind;
+
+fn main() {
+    let episodes = episodes_from_env(300);
+    let seed = 42;
+    let budget = 100.0;
+    println!("History-window ablation: MNIST, 5 nodes, η = {budget}, {episodes} episodes\n");
+
+    let mut csv = String::from("window,accuracy,rounds,time_efficiency,final_reward\n");
+    println!(
+        "{:>6} {:>9} {:>7} {:>10} {:>13}",
+        "L", "acc", "rounds", "time-eff %", "final reward"
+    );
+    for window in [1usize, 2, 4, 8] {
+        let mut cfg = ChironConfig::paper();
+        cfg.history_window = window;
+        let mut env = make_env(DatasetKind::MnistLike, 5, budget, seed);
+        let mut mech = Chiron::new(&env, cfg, seed);
+        let rewards = mech.train(&mut env, episodes);
+        let tail = &rewards[rewards.len().saturating_sub(20)..];
+        let final_reward = tail.iter().sum::<f64>() / tail.len() as f64;
+        let mut env = make_env(DatasetKind::MnistLike, 5, budget, seed);
+        let (s, _) = mech.run_episode(&mut env);
+        println!(
+            "{window:>6} {:>9.4} {:>7} {:>10.1} {:>13.2}",
+            s.final_accuracy,
+            s.rounds,
+            s.mean_time_efficiency * 100.0,
+            final_reward
+        );
+        csv.push_str(&format!(
+            "{window},{:.4},{},{:.4},{:.2}\n",
+            s.final_accuracy, s.rounds, s.mean_time_efficiency, final_reward
+        ));
+    }
+    write_csv("ablation_history.csv", &csv);
+}

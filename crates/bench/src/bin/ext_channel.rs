@@ -1,0 +1,78 @@
+//! Extension experiment (beyond the paper): **channel fading**.
+//!
+//! The paper's Eqn. 7 indexes bandwidth by round (`B_{i,k}`) but its
+//! evaluation freezes each node's uplink. This experiment re-runs the
+//! MNIST comparison with mean-one log-normal fading on upload times:
+//! per-round stragglers now appear at random, so perfect time consistency
+//! is unattainable and the mechanisms are tested on how gracefully their
+//! pricing degrades.
+
+use chiron::{Chiron, ChironConfig, Mechanism};
+use chiron_baselines::DrlSingleRound;
+use chiron_bench::{episodes_from_env, write_csv};
+use chiron_data::DatasetKind;
+use chiron_fedsim::{ChannelVariation, EdgeLearningEnv, EnvConfig};
+
+fn make_env(channel: ChannelVariation, budget: f64, seed: u64) -> EdgeLearningEnv {
+    EdgeLearningEnv::new(
+        EnvConfig {
+            channel,
+            ..EnvConfig::paper_small(DatasetKind::MnistLike, budget)
+        },
+        seed,
+    )
+}
+
+fn main() {
+    let episodes = episodes_from_env(300);
+    let seed = 42;
+    let budget = 100.0;
+    println!("Channel-fading extension: MNIST, 5 nodes, η = {budget}, {episodes} episodes\n");
+
+    let channels: [(&str, ChannelVariation); 3] = [
+        ("static (paper)", ChannelVariation::Static),
+        ("fading σ=0.2", ChannelVariation::LogNormal { sigma: 0.2 }),
+        ("fading σ=0.5", ChannelVariation::LogNormal { sigma: 0.5 }),
+    ];
+
+    let mut csv = String::from("channel,mechanism,accuracy,rounds,time_efficiency\n");
+    println!(
+        "{:<16} {:<10} {:>9} {:>7} {:>10}",
+        "channel", "mechanism", "acc", "rounds", "time-eff %"
+    );
+    for (cname, channel) in channels {
+        let mut env = make_env(channel, budget, seed);
+        let mut chiron = Chiron::new(&env, ChironConfig::paper(), seed);
+        chiron.train(&mut env, episodes);
+        let mut env = make_env(channel, budget, seed);
+        let mut drl = DrlSingleRound::new(&env, seed);
+        drl.train(&mut env, episodes);
+
+        let mechanisms: Vec<(&str, &mut dyn Mechanism)> =
+            vec![("chiron", &mut chiron), ("drl-based", &mut drl)];
+        for (name, m) in mechanisms {
+            let mut env = make_env(channel, budget, seed);
+            let (s, _) = m.run_episode(&mut env);
+            println!(
+                "{cname:<16} {name:<10} {:>9.4} {:>7} {:>10.1}",
+                s.final_accuracy,
+                s.rounds,
+                s.mean_time_efficiency * 100.0
+            );
+            csv.push_str(&format!(
+                "{cname},{name},{:.4},{},{:.4}\n",
+                s.final_accuracy, s.rounds, s.mean_time_efficiency
+            ));
+        }
+    }
+    write_csv("ext_channel_fading.csv", &csv);
+    println!(
+        "\nexpected: moderate fading (σ = 0.2) lowers everyone's time \
+         efficiency — random per-round stragglers are unpredictable by \
+         construction — while Chiron keeps its accuracy and rounds \
+         advantage. At extreme fading (σ = 0.5, occasional 3× slowdowns) \
+         the reward signal becomes noisy enough that Chiron's learned \
+         pacing degrades toward the myopic baseline: a real limitation of \
+         feedback-driven pricing under heavy channel variance."
+    );
+}

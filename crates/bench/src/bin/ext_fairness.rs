@@ -1,0 +1,88 @@
+//! Extension experiment (beyond the paper): **incentive fairness**.
+//!
+//! An incentive mechanism that wins on server metrics by starving some
+//! nodes would not survive contact with real participants. This experiment
+//! runs each mechanism's evaluation episode through a per-node economic
+//! ledger and reports how evenly payments and realized utilities are
+//! distributed (Jain's index: 1 = perfectly even, 1/N = one node takes
+//! all), alongside per-node participation counts.
+
+use chiron::{Chiron, ChironConfig, Mechanism};
+use chiron_baselines::{DrlSingleRound, StaticPrice};
+use chiron_bench::{episodes_from_env, make_env, write_csv};
+use chiron_data::DatasetKind;
+use chiron_fedsim::metrics::NodeLedger;
+use chiron_fedsim::StepStatus;
+
+/// Replays a mechanism's deterministic episode through a [`NodeLedger`].
+fn audited_episode(
+    mech: &mut dyn Mechanism,
+    kind: DatasetKind,
+    budget: f64,
+    seed: u64,
+) -> (NodeLedger, usize) {
+    let mut env = make_env(kind, 5, budget, seed);
+    mech.begin_episode(&env);
+    let mut ledger = NodeLedger::new(env.num_nodes());
+    let mut rounds = 0;
+    loop {
+        let prices = mech.decide_prices(&env, false);
+        let outcome = env.step(&prices);
+        if outcome.status == StepStatus::BudgetExhausted {
+            break;
+        }
+        ledger.record(&outcome);
+        mech.observe(&outcome, &prices);
+        rounds = outcome.round;
+        if outcome.done() {
+            break;
+        }
+    }
+    (ledger, rounds)
+}
+
+fn main() {
+    let episodes = episodes_from_env(300);
+    let seed = 42;
+    let budget = 100.0;
+    println!("Incentive fairness: MNIST, 5 nodes, η = {budget}, {episodes} episodes\n");
+
+    let mut env = make_env(DatasetKind::MnistLike, 5, budget, seed);
+    let mut chiron = Chiron::new(&env, ChironConfig::paper(), seed);
+    chiron.train(&mut env, episodes);
+
+    let mut env = make_env(DatasetKind::MnistLike, 5, budget, seed);
+    let mut drl = DrlSingleRound::new(&env, seed);
+    drl.train(&mut env, episodes);
+
+    let mut fixed = StaticPrice::new(0.5);
+
+    let mut csv = String::from(
+        "mechanism,payment_fairness,utility_fairness,min_participation,max_participation\n",
+    );
+    println!(
+        "{:<12} {:>16} {:>16} {:>22}",
+        "mechanism", "payment Jain", "utility Jain", "participation min/max"
+    );
+    let mechanisms: Vec<(&str, &mut dyn Mechanism)> = vec![
+        ("chiron", &mut chiron),
+        ("drl-based", &mut drl),
+        ("static", &mut fixed),
+    ];
+    for (name, mech) in mechanisms {
+        let (ledger, _) = audited_episode(mech, DatasetKind::MnistLike, budget, seed);
+        let pj = ledger.payment_fairness();
+        let uj = ledger.utility_fairness();
+        let pmin = *ledger.rounds_participated().iter().min().expect("nodes");
+        let pmax = *ledger.rounds_participated().iter().max().expect("nodes");
+        println!("{name:<12} {pj:>16.3} {uj:>16.3} {pmin:>11}/{pmax}");
+        csv.push_str(&format!("{name},{pj:.4},{uj:.4},{pmin},{pmax}\n"));
+    }
+    write_csv("ext_fairness.csv", &csv);
+    println!(
+        "\nexpected: Chiron's Lemma-1-driven allocation pays slower nodes \
+         more to equalize finish times, so payments are less even than a \
+         uniform split but every node participates in every round — no node \
+         is starved."
+    );
+}

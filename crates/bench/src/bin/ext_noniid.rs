@@ -1,0 +1,90 @@
+//! Extension experiment (beyond the paper): heterogeneous data **volumes**.
+//!
+//! The paper distributes training data evenly; real fleets don't. This
+//! sweep re-runs the MNIST comparison with linearly skewed and
+//! Dirichlet-skewed per-node data volumes, which simultaneously (a) skews
+//! the FedAvg weights, (b) skews each node's per-epoch compute cost `d_i`,
+//! and (c) stresses the inner agent, because equal finish times now demand
+//! very unequal prices.
+
+use chiron::{Chiron, ChironConfig, Mechanism};
+use chiron_baselines::DrlSingleRound;
+use chiron_bench::{episodes_from_env, write_csv};
+use chiron_data::{DatasetKind, DatasetSpec};
+use chiron_fedsim::fleet::{DataVolumes, FleetConfig};
+use chiron_fedsim::{ChannelVariation, EdgeLearningEnv, EnvConfig};
+
+fn make_env(volumes: DataVolumes, budget: f64, seed: u64) -> EdgeLearningEnv {
+    let config = EnvConfig {
+        fleet: FleetConfig::paper_with_volumes(5, volumes),
+        dataset: DatasetSpec::for_kind(DatasetKind::MnistLike),
+        sigma: 5,
+        budget,
+        oracle_noise: 0.004,
+        max_rounds: 500,
+        channel: ChannelVariation::Static,
+    };
+    EdgeLearningEnv::new(config, seed)
+}
+
+fn main() {
+    let episodes = episodes_from_env(300);
+    let seed = 42;
+    let budget = 100.0;
+    println!("Non-IID volume extension: MNIST, 5 nodes, η = {budget}, {episodes} episodes\n");
+
+    let volumes: [(&str, DataVolumes); 3] = [
+        ("even (paper)", DataVolumes::Even),
+        ("size-skewed 1:2:3:4:5", DataVolumes::SizeSkewed),
+        ("dirichlet α=0.5", DataVolumes::Dirichlet { alpha: 0.5 }),
+    ];
+
+    let mut csv = String::from("volumes,mechanism,accuracy,rounds,time_efficiency,total_time\n");
+    println!(
+        "{:<22} {:<10} {:>9} {:>7} {:>10}",
+        "volumes", "mechanism", "acc", "rounds", "time-eff %"
+    );
+    for (vname, v) in volumes {
+        // Chiron.
+        let mut env = make_env(v, budget, seed);
+        let mut chiron = Chiron::new(&env, ChironConfig::paper(), seed);
+        chiron.train(&mut env, episodes);
+        let mut env = make_env(v, budget, seed);
+        let (s, _) = chiron.run_episode(&mut env);
+        println!(
+            "{vname:<22} {:<10} {:>9.4} {:>7} {:>10.1}",
+            "chiron",
+            s.final_accuracy,
+            s.rounds,
+            s.mean_time_efficiency * 100.0
+        );
+        csv.push_str(&format!(
+            "{vname},chiron,{:.4},{},{:.4},{:.2}\n",
+            s.final_accuracy, s.rounds, s.mean_time_efficiency, s.total_time
+        ));
+
+        // DRL-based for contrast.
+        let mut env = make_env(v, budget, seed);
+        let mut drl = DrlSingleRound::new(&env, seed);
+        drl.train(&mut env, episodes);
+        let mut env = make_env(v, budget, seed);
+        let (s, _) = drl.run_episode(&mut env);
+        println!(
+            "{vname:<22} {:<10} {:>9.4} {:>7} {:>10.1}",
+            "drl-based",
+            s.final_accuracy,
+            s.rounds,
+            s.mean_time_efficiency * 100.0
+        );
+        csv.push_str(&format!(
+            "{vname},drl-based,{:.4},{},{:.4},{:.2}\n",
+            s.final_accuracy, s.rounds, s.mean_time_efficiency, s.total_time
+        ));
+    }
+    write_csv("ext_noniid_volumes.csv", &csv);
+    println!(
+        "\nexpected: Chiron degrades gracefully under volume skew (the inner \
+         agent re-balances prices toward data-heavy nodes) and keeps its \
+         advantage over the myopic baseline in every regime."
+    );
+}

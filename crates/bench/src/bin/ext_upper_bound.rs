@@ -1,0 +1,74 @@
+//! Extension experiment (beyond the paper): how close does Chiron get to
+//! the **full-information optimum**?
+//!
+//! The `DpPlanner` is handed everything Chiron must learn from feedback —
+//! node private parameters and the accuracy curve — and solves the
+//! budget-pacing problem by backward induction. The gap between the two
+//! quantifies the price of incomplete information, and the gap between the
+//! planner and the myopic baseline quantifies the total value of long-term
+//! planning.
+
+use chiron::{Chiron, ChironConfig, Mechanism};
+use chiron_baselines::{DpPlanner, DrlSingleRound};
+use chiron_bench::{episodes_from_env, make_env, write_csv};
+use chiron_data::DatasetKind;
+
+fn main() {
+    let episodes = episodes_from_env(300);
+    let seed = 42;
+    let budgets = [60.0, 100.0, 140.0];
+    println!(
+        "Full-information upper bound: MNIST, 5 nodes, budgets {budgets:?}, {episodes} episodes\n"
+    );
+
+    let mut env = make_env(DatasetKind::MnistLike, 5, 100.0, seed);
+    let mut chiron = Chiron::new(&env, ChironConfig::paper(), seed);
+    chiron.train(&mut env, episodes);
+
+    let mut env = make_env(DatasetKind::MnistLike, 5, 100.0, seed);
+    let mut drl = DrlSingleRound::new(&env, seed);
+    drl.train(&mut env, episodes);
+
+    // The server objective the planner optimizes: λ·A − w_T·Σ T_k.
+    let objective = |acc: f64, total_time: f64| 2000.0 * acc - 0.1 * total_time;
+    let mut csv = String::from("mechanism,budget,accuracy,rounds,time_efficiency,objective\n");
+    println!(
+        "{:<12} {:>7} {:>9} {:>7} {:>10} {:>10}",
+        "mechanism", "budget", "acc", "rounds", "time-eff %", "objective"
+    );
+    for &budget in &budgets {
+        // The planner re-plans per budget (it is budget-specific by design).
+        let env = make_env(DatasetKind::MnistLike, 5, budget, seed);
+        let mut planner = DpPlanner::plan(&env, 2000.0, 0.1, 32, 100);
+        let mechanisms: Vec<(&str, &mut dyn Mechanism)> = vec![
+            ("dp-planner", &mut planner),
+            ("chiron", &mut chiron),
+            ("drl-based", &mut drl),
+        ];
+        for (name, m) in mechanisms {
+            let mut env = make_env(DatasetKind::MnistLike, 5, budget, seed);
+            let (s, _) = m.run_episode(&mut env);
+            let obj = objective(s.final_accuracy, s.total_time);
+            println!(
+                "{name:<12} {budget:>7} {:>9.4} {:>7} {:>10.1} {:>10.1}",
+                s.final_accuracy,
+                s.rounds,
+                s.mean_time_efficiency * 100.0,
+                obj
+            );
+            csv.push_str(&format!(
+                "{name},{budget},{:.4},{},{:.4},{:.2}\n",
+                s.final_accuracy, s.rounds, s.mean_time_efficiency, obj
+            ));
+        }
+    }
+    write_csv("ext_upper_bound.csv", &csv);
+    println!(
+        "\nexpected: on the server objective (λ·A − w_T·ΣT), \
+         dp-planner ≥ chiron ≥ drl-based at every budget — the planner may \
+         concede a little raw accuracy because it stops buying rounds once \
+         the marginal accuracy no longer pays for the round time, which is \
+         exactly the optimal trade-off. Chiron should recover most of the \
+         full-information objective from feedback alone."
+    );
+}

@@ -1,0 +1,25 @@
+//! Fig. 4(a–c) — MNIST, 5 nodes: final accuracy, rounds completed, and
+//! time efficiency for Chiron vs DRL-based vs Greedy across budgets.
+
+use chiron_bench::{
+    episodes_from_env, print_panel, run_budget_panel_replicated, seeds_from_env, write_csv,
+    write_panel_charts,
+};
+use chiron_data::DatasetKind;
+
+fn main() {
+    let episodes = episodes_from_env(300);
+    let seeds = seeds_from_env(1);
+    let budgets = [60.0, 80.0, 100.0, 120.0, 140.0];
+    println!("Fig. 4: MNIST, 5 nodes, budgets {budgets:?}, {episodes} training episodes, {seeds} replication(s)");
+    let points =
+        run_budget_panel_replicated(DatasetKind::MnistLike, 5, &budgets, episodes, 42, seeds);
+    let csv = print_panel("Fig. 4 — performance under MNIST vs total budget", &points);
+    write_csv("fig4_mnist_budget_sweep.csv", &csv);
+    write_panel_charts("fig4_mnist", "Fig. 4 (MNIST)", &points);
+    println!(
+        "\nshape check (paper): Chiron highest accuracy at every budget; \
+         ~2–3× the rounds of DRL-based/Greedy at η = 100 (paper: 21 vs 9 vs 6); \
+         Chiron time efficiency near 100 %; accuracy gap narrows as η grows."
+    );
+}

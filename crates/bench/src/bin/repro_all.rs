@@ -1,0 +1,38 @@
+//! Runs the full reproduction: every figure, the table, and the ablations,
+//! in the order the paper presents them. CSVs land in `target/experiments/`.
+//!
+//! Set `CHIRON_EPISODES` to control training length (paper: 500).
+
+use std::process::Command;
+
+fn main() {
+    let bins = [
+        "fig3",
+        "fig4",
+        "fig5",
+        "fig6",
+        "fig7",
+        "table1",
+        "ablation_hierarchy",
+        "ablation_reward",
+        "ablation_history",
+        "ablation_inner_state",
+        "ext_noniid",
+        "ext_upper_bound",
+        "ext_fairness",
+        "ext_channel",
+    ];
+    let exe_dir = std::env::current_exe()
+        .expect("current exe path")
+        .parent()
+        .expect("exe dir")
+        .to_path_buf();
+    for bin in bins {
+        println!("\n================ {bin} ================");
+        let status = Command::new(exe_dir.join(bin))
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        assert!(status.success(), "{bin} exited with {status}");
+    }
+    println!("\nall reproduction artifacts regenerated — see target/experiments/");
+}

@@ -1,0 +1,53 @@
+//! Table I — performance of Chiron under MNIST with 100 edge nodes across
+//! budgets η ∈ {140, 220, 300, 380}: accuracy, rounds, time efficiency.
+
+use chiron::{Chiron, ChironConfig, Mechanism};
+use chiron_bench::{episodes_from_env, make_env, write_csv};
+use chiron_data::DatasetKind;
+
+const PAPER: [(f64, f64, usize, f64); 4] = [
+    (140.0, 0.916, 16, 71.3),
+    (220.0, 0.929, 23, 72.2),
+    (300.0, 0.938, 31, 72.7),
+    (380.0, 0.943, 34, 73.4),
+];
+
+fn main() {
+    let episodes = episodes_from_env(500);
+    let seed = 42;
+    println!("Table I: training Chiron at 100 nodes (MNIST, η = 300), {episodes} episodes");
+    let mut env = make_env(DatasetKind::MnistLike, 100, 300.0, seed);
+    let mut chiron = Chiron::new(&env, ChironConfig::paper(), seed);
+    let t0 = std::time::Instant::now();
+    chiron.train(&mut env, episodes);
+    println!("trained in {:.1?}\n", t0.elapsed());
+
+    println!(
+        "{:>7} | {:>9} {:>7} {:>10} | {:>9} {:>7} {:>10}",
+        "η", "acc", "rounds", "time-eff %", "acc", "rounds", "time-eff %"
+    );
+    println!("{:>7} | {:^29} | {:^29}", "", "measured", "paper");
+    let mut csv = String::from(
+        "budget,accuracy,rounds,time_efficiency,paper_accuracy,paper_rounds,paper_time_efficiency\n",
+    );
+    for (budget, p_acc, p_rounds, p_te) in PAPER {
+        let mut eval_env = make_env(DatasetKind::MnistLike, 100, budget, seed);
+        let (s, _) = chiron.run_episode(&mut eval_env);
+        println!(
+            "{budget:>7} | {:>9.3} {:>7} {:>10.1} | {p_acc:>9.3} {p_rounds:>7} {p_te:>10.1}",
+            s.final_accuracy,
+            s.rounds,
+            s.mean_time_efficiency * 100.0,
+        );
+        csv.push_str(&format!(
+            "{budget},{:.4},{},{:.4},{p_acc},{p_rounds},{p_te}\n",
+            s.final_accuracy, s.rounds, s.mean_time_efficiency
+        ));
+    }
+    write_csv("table1_chiron_100nodes_mnist.csv", &csv);
+    println!(
+        "\nshape check (paper): accuracy and rounds rise monotonically with η \
+         with a visible marginal effect, and time efficiency sits in the low \
+         70s — the ceiling imposed by fixed 10–20 s upload times at 100 nodes."
+    );
+}

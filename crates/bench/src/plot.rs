@@ -1,0 +1,269 @@
+//! A small hand-rolled SVG line-chart renderer, so the figure binaries can
+//! emit viewable plots next to their CSVs without a plotting dependency.
+
+/// One named series of `(x, y)` points.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// Points in x order.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Builds a series from parallel slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length or are empty.
+    pub fn new(label: &str, xs: &[f64], ys: &[f64]) -> Self {
+        assert_eq!(xs.len(), ys.len(), "series '{label}': x/y length mismatch");
+        assert!(!xs.is_empty(), "series '{label}' is empty");
+        Self {
+            label: label.to_owned(),
+            points: xs.iter().copied().zip(ys.iter().copied()).collect(),
+        }
+    }
+}
+
+/// Chart labels and dimensions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChartSpec {
+    /// Chart title.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// Canvas width in pixels.
+    pub width: u32,
+    /// Canvas height in pixels.
+    pub height: u32,
+}
+
+impl ChartSpec {
+    /// A 720×440 chart with the given labels.
+    pub fn new(title: &str, x_label: &str, y_label: &str) -> Self {
+        Self {
+            title: title.to_owned(),
+            x_label: x_label.to_owned(),
+            y_label: y_label.to_owned(),
+            width: 720,
+            height: 440,
+        }
+    }
+}
+
+const MARGIN_L: f64 = 64.0;
+const MARGIN_R: f64 = 24.0;
+const MARGIN_T: f64 = 44.0;
+const MARGIN_B: f64 = 56.0;
+const PALETTE: [&str; 6] = [
+    "#1f77b4", "#d62728", "#2ca02c", "#ff7f0e", "#9467bd", "#8c564b",
+];
+
+fn esc(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+}
+
+/// Renders the series to a standalone SVG document.
+///
+/// # Panics
+///
+/// Panics if `series` is empty or any point is non-finite.
+pub fn render_line_chart(spec: &ChartSpec, series: &[Series]) -> String {
+    assert!(!series.is_empty(), "chart needs at least one series");
+    let all: Vec<(f64, f64)> = series.iter().flat_map(|s| s.points.clone()).collect();
+    assert!(
+        all.iter().all(|(x, y)| x.is_finite() && y.is_finite()),
+        "chart points must be finite"
+    );
+    let (mut x_min, mut x_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y_min, mut y_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(x, y) in &all {
+        x_min = x_min.min(x);
+        x_max = x_max.max(x);
+        y_min = y_min.min(y);
+        y_max = y_max.max(y);
+    }
+    if (x_max - x_min).abs() < 1e-12 {
+        x_max = x_min + 1.0;
+    }
+    if (y_max - y_min).abs() < 1e-12 {
+        y_max = y_min + 1.0;
+    }
+    // Pad the y range 5 % so lines don't hug the frame.
+    let pad = 0.05 * (y_max - y_min);
+    let (y_min, y_max) = (y_min - pad, y_max + pad);
+
+    let (w, h) = (spec.width as f64, spec.height as f64);
+    let plot_w = w - MARGIN_L - MARGIN_R;
+    let plot_h = h - MARGIN_T - MARGIN_B;
+    let sx = |x: f64| MARGIN_L + (x - x_min) / (x_max - x_min) * plot_w;
+    let sy = |y: f64| MARGIN_T + (1.0 - (y - y_min) / (y_max - y_min)) * plot_h;
+
+    let mut svg = String::new();
+    svg.push_str(&format!(
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{w}" height="{h}" viewBox="0 0 {w} {h}" font-family="sans-serif">"#
+    ));
+    svg.push_str(r#"<rect width="100%" height="100%" fill="white"/>"#);
+    svg.push_str(&format!(
+        r#"<text x="{}" y="24" text-anchor="middle" font-size="16">{}</text>"#,
+        w / 2.0,
+        esc(&spec.title)
+    ));
+
+    // Gridlines + tick labels (5 ticks per axis).
+    for i in 0..=4 {
+        let t = i as f64 / 4.0;
+        let gx = MARGIN_L + t * plot_w;
+        let gy = MARGIN_T + t * plot_h;
+        let xv = x_min + t * (x_max - x_min);
+        let yv = y_max - t * (y_max - y_min);
+        svg.push_str(&format!(
+            r##"<line x1="{gx:.1}" y1="{MARGIN_T}" x2="{gx:.1}" y2="{:.1}" stroke="#ddd"/>"##,
+            MARGIN_T + plot_h
+        ));
+        svg.push_str(&format!(
+            r##"<line x1="{MARGIN_L}" y1="{gy:.1}" x2="{:.1}" y2="{gy:.1}" stroke="#ddd"/>"##,
+            MARGIN_L + plot_w
+        ));
+        svg.push_str(&format!(
+            r#"<text x="{gx:.1}" y="{:.1}" text-anchor="middle" font-size="11">{xv:.3}</text>"#,
+            MARGIN_T + plot_h + 18.0
+        ));
+        svg.push_str(&format!(
+            r#"<text x="{:.1}" y="{:.1}" text-anchor="end" font-size="11">{yv:.3}</text>"#,
+            MARGIN_L - 8.0,
+            gy + 4.0
+        ));
+    }
+    // Frame.
+    svg.push_str(&format!(
+        r##"<rect x="{MARGIN_L}" y="{MARGIN_T}" width="{plot_w:.1}" height="{plot_h:.1}" fill="none" stroke="#444"/>"##
+    ));
+    // Axis labels.
+    svg.push_str(&format!(
+        r#"<text x="{}" y="{}" text-anchor="middle" font-size="13">{}</text>"#,
+        MARGIN_L + plot_w / 2.0,
+        h - 12.0,
+        esc(&spec.x_label)
+    ));
+    svg.push_str(&format!(
+        r#"<text x="16" y="{}" text-anchor="middle" font-size="13" transform="rotate(-90 16 {})">{}</text>"#,
+        MARGIN_T + plot_h / 2.0,
+        MARGIN_T + plot_h / 2.0,
+        esc(&spec.y_label)
+    ));
+
+    // Series.
+    for (si, s) in series.iter().enumerate() {
+        let color = PALETTE[si % PALETTE.len()];
+        let path: String = s
+            .points
+            .iter()
+            .enumerate()
+            .map(|(i, &(x, y))| {
+                format!(
+                    "{}{:.1},{:.1}",
+                    if i == 0 { "M" } else { "L" },
+                    sx(x),
+                    sy(y)
+                )
+            })
+            .collect();
+        svg.push_str(&format!(
+            r#"<path d="{path}" fill="none" stroke="{color}" stroke-width="2"/>"#
+        ));
+        // Legend entry.
+        let ly = MARGIN_T + 14.0 + 18.0 * si as f64;
+        svg.push_str(&format!(
+            r#"<line x1="{:.1}" y1="{ly:.1}" x2="{:.1}" y2="{ly:.1}" stroke="{color}" stroke-width="3"/>"#,
+            MARGIN_L + 10.0,
+            MARGIN_L + 34.0
+        ));
+        svg.push_str(&format!(
+            r#"<text x="{:.1}" y="{:.1}" font-size="12">{}</text>"#,
+            MARGIN_L + 40.0,
+            ly + 4.0,
+            esc(&s.label)
+        ));
+    }
+    svg.push_str("</svg>");
+    svg
+}
+
+/// Renders and writes a chart into `target/experiments/<name>`.
+pub fn write_chart(name: &str, spec: &ChartSpec, series: &[Series]) {
+    crate::write_csv(name, &render_line_chart(spec, series));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo() -> (ChartSpec, Vec<Series>) {
+        let spec = ChartSpec::new("Demo", "budget", "accuracy");
+        let s = vec![
+            Series::new("chiron", &[60.0, 100.0, 140.0], &[0.95, 0.97, 0.97]),
+            Series::new("greedy", &[60.0, 100.0, 140.0], &[0.34, 0.51, 0.64]),
+        ];
+        (spec, s)
+    }
+
+    #[test]
+    fn produces_wellformed_svg() {
+        let (spec, series) = demo();
+        let svg = render_line_chart(&spec, &series);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        // One path per series, plus legend and labels.
+        assert_eq!(svg.matches("<path").count(), 2);
+        assert!(svg.contains("chiron"));
+        assert!(svg.contains("Demo"));
+        assert!(svg.contains("accuracy"));
+    }
+
+    #[test]
+    fn coordinates_stay_inside_canvas() {
+        let (spec, series) = demo();
+        let svg = render_line_chart(&spec, &series);
+        // Extract all path coordinates and bound-check them.
+        for cap in svg.split("<path d=\"").skip(1) {
+            let d = cap.split('"').next().expect("quoted path");
+            for seg in d.split(['M', 'L']).filter(|s| !s.is_empty()) {
+                let mut it = seg.split(',');
+                let x: f64 = it.next().unwrap().parse().unwrap();
+                let y: f64 = it.next().unwrap().parse().unwrap();
+                assert!(x >= 0.0 && x <= spec.width as f64);
+                assert!(y >= 0.0 && y <= spec.height as f64);
+            }
+        }
+    }
+
+    #[test]
+    fn escapes_markup_in_labels() {
+        let spec = ChartSpec::new("a < b & c", "x", "y");
+        let s = [Series::new("<evil>", &[0.0, 1.0], &[0.0, 1.0])];
+        let svg = render_line_chart(&spec, &s);
+        assert!(!svg.contains("<evil>"));
+        assert!(svg.contains("&lt;evil&gt;"));
+        assert!(svg.contains("a &lt; b &amp; c"));
+    }
+
+    #[test]
+    fn constant_series_does_not_collapse() {
+        let spec = ChartSpec::new("flat", "x", "y");
+        let s = [Series::new("flat", &[0.0, 1.0, 2.0], &[5.0, 5.0, 5.0])];
+        let svg = render_line_chart(&spec, &s);
+        assert!(svg.contains("<path"));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn series_validates_lengths() {
+        let _ = Series::new("bad", &[1.0], &[1.0, 2.0]);
+    }
+}

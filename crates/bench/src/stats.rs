@@ -1,0 +1,150 @@
+//! Small descriptive-statistics helpers for replicated experiments.
+
+/// Descriptive statistics of a sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Sample size.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (n − 1 denominator; 0 for n = 1).
+    pub std: f64,
+    /// Standard error of the mean.
+    pub sem: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+    /// Median (mean of middle two for even n).
+    pub median: f64,
+}
+
+/// Computes descriptive statistics.
+///
+/// # Panics
+///
+/// Panics if `xs` is empty or contains non-finite values.
+///
+/// # Examples
+///
+/// ```
+/// use chiron_bench::stats::describe;
+///
+/// let s = describe(&[1.0, 2.0, 3.0, 4.0]);
+/// assert_eq!(s.mean, 2.5);
+/// assert_eq!(s.median, 2.5);
+/// assert_eq!(s.min, 1.0);
+/// assert_eq!(s.max, 4.0);
+/// ```
+pub fn describe(xs: &[f64]) -> Summary {
+    assert!(!xs.is_empty(), "cannot describe an empty sample");
+    assert!(
+        xs.iter().all(|x| x.is_finite()),
+        "sample contains non-finite values"
+    );
+    let n = xs.len();
+    let mean = xs.iter().sum::<f64>() / n as f64;
+    let var = if n > 1 {
+        xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1) as f64
+    } else {
+        0.0
+    };
+    let std = var.sqrt();
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let median = if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        0.5 * (sorted[n / 2 - 1] + sorted[n / 2])
+    };
+    Summary {
+        n,
+        mean,
+        std,
+        sem: std / (n as f64).sqrt(),
+        min: sorted[0],
+        max: sorted[n - 1],
+        median,
+    }
+}
+
+/// A normal-approximation 95 % confidence half-width around the mean
+/// (`1.96 × SEM`); fine for the ≥ 3-replication reporting this harness
+/// does, not a substitute for a proper t-interval at n = 2.
+pub fn ci95_halfwidth(xs: &[f64]) -> f64 {
+    1.96 * describe(xs).sem
+}
+
+/// Formats `mean ± std` compactly for tables.
+pub fn fmt_mean_std(xs: &[f64], precision: usize) -> String {
+    let s = describe(xs);
+    if s.n == 1 {
+        format!("{:.*}", precision, s.mean)
+    } else {
+        format!("{:.*}±{:.*}", precision, s.mean, precision, s.std)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_sample_has_zero_spread() {
+        let s = describe(&[5.0, 5.0, 5.0]);
+        assert_eq!(s.mean, 5.0);
+        assert_eq!(s.std, 0.0);
+        assert_eq!(s.sem, 0.0);
+        assert_eq!(s.median, 5.0);
+    }
+
+    #[test]
+    fn known_sample_statistics() {
+        // Var of {2, 4, 4, 4, 5, 5, 7, 9} is 4 (population) / 4.571 (sample).
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let s = describe(&xs);
+        assert_eq!(s.mean, 5.0);
+        assert!((s.std - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+        assert_eq!(s.median, 4.5);
+        assert_eq!((s.min, s.max), (2.0, 9.0));
+    }
+
+    #[test]
+    fn single_observation() {
+        let s = describe(&[3.25]);
+        assert_eq!(s.n, 1);
+        assert_eq!(s.mean, 3.25);
+        assert_eq!(s.std, 0.0);
+        assert_eq!(s.median, 3.25);
+    }
+
+    #[test]
+    fn odd_median() {
+        assert_eq!(describe(&[3.0, 1.0, 2.0]).median, 2.0);
+    }
+
+    #[test]
+    fn fmt_hides_spread_for_single_sample() {
+        assert_eq!(fmt_mean_std(&[1.2345], 2), "1.23");
+        assert_eq!(fmt_mean_std(&[1.0, 3.0], 1), "2.0±1.4");
+    }
+
+    #[test]
+    fn ci_shrinks_with_sample_size() {
+        let small = ci95_halfwidth(&[1.0, 2.0, 3.0]);
+        let large = ci95_halfwidth(&[1.0, 2.0, 3.0, 1.0, 2.0, 3.0, 1.0, 2.0, 3.0]);
+        assert!(large < small);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn empty_sample_rejected() {
+        let _ = describe(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn non_finite_rejected() {
+        let _ = describe(&[1.0, f64::NAN]);
+    }
+}

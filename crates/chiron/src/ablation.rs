@@ -1,0 +1,198 @@
+//! Ablations of Chiron's design choices (`DESIGN.md` §5).
+//!
+//! * [`FlatPpo`] — replaces the two-layer hierarchy with a single PPO agent
+//!   whose action jointly encodes the total price and the allocation
+//!   proportions. Comparing it against [`crate::Chiron`] isolates the value
+//!   of the hierarchical split (the paper's core architectural claim).
+//! * The reward ablation (accuracy-aware vs. time-only) needs no extra
+//!   type: set `lambda = 0` or `time_weight = 0` in [`crate::ChironConfig`].
+
+use crate::rewards::rewards_from_outcome;
+use crate::{ChironConfig, ExteriorState, Mechanism};
+use chiron_drl::{PpoAgent, RolloutBuffer};
+use chiron_fedsim::{EdgeLearningEnv, RoundOutcome, StepStatus};
+
+/// A single flat PPO agent over the joint action
+/// `(total-price logit, allocation logits…)` — the "no hierarchy"
+/// ablation. It observes the same exterior state and optimizes the *sum*
+/// of the exterior and inner rewards, so any performance gap against
+/// Chiron is attributable to the hierarchical decomposition rather than to
+/// information or objective differences.
+pub struct FlatPpo {
+    config: ChironConfig,
+    agent: PpoAgent,
+    state: ExteriorState,
+    total_price_cap: f64,
+    episodes_trained: usize,
+}
+
+impl FlatPpo {
+    /// Builds the flat agent sized for `env` (action dim `N + 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    pub fn new(env: &EdgeLearningEnv, config: ChironConfig, seed: u64) -> Self {
+        config.validate();
+        let state = ExteriorState::new(env, config.history_window);
+        let n = env.num_nodes();
+        let agent = PpoAgent::new(
+            state.dim(),
+            n + 1,
+            &config.hidden,
+            config.exterior_ppo,
+            seed,
+        );
+        Self {
+            config,
+            agent,
+            state,
+            total_price_cap: env.total_price_cap(),
+            episodes_trained: 0,
+        }
+    }
+
+    /// Episodes trained so far.
+    pub fn episodes_trained(&self) -> usize {
+        self.episodes_trained
+    }
+
+    fn prices_from_raw(&self, raw: &[f64]) -> Vec<f64> {
+        let squashed = 1.0 / (1.0 + (-raw[0]).exp());
+        let f = self.config.min_total_fraction + (1.0 - self.config.min_total_fraction) * squashed;
+        let total = f * self.total_price_cap;
+        let logits = &raw[1..];
+        let max = logits.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let exps: Vec<f64> = logits.iter().map(|&x| (x - max).exp()).collect();
+        let z: f64 = exps.iter().sum();
+        exps.into_iter().map(|e| total * e / z).collect()
+    }
+}
+
+impl Mechanism for FlatPpo {
+    fn name(&self) -> &'static str {
+        "flat-ppo"
+    }
+
+    fn lambda(&self) -> f64 {
+        self.config.lambda
+    }
+
+    fn begin_episode(&mut self, env: &EdgeLearningEnv) {
+        self.state.reset(env);
+    }
+
+    fn decide_prices(&mut self, _env: &EdgeLearningEnv, explore: bool) -> Vec<f64> {
+        let s = self.state.vector();
+        let raw = if explore {
+            self.agent.act(&s).0
+        } else {
+            self.agent.act_deterministic(&s)
+        };
+        self.prices_from_raw(&raw)
+    }
+
+    fn observe(&mut self, outcome: &RoundOutcome, prices: &[f64]) {
+        self.state.record_round(outcome, prices);
+    }
+
+    fn train(&mut self, env: &mut EdgeLearningEnv, episodes: usize) -> Vec<f64> {
+        let mut episode_rewards = Vec::with_capacity(episodes);
+        let mut buffer = RolloutBuffer::new();
+        let n = env.num_nodes() as f64;
+
+        for _ in 0..episodes {
+            env.reset();
+            self.state.reset(env);
+            let mut episode_reward = 0.0;
+            loop {
+                let s = self.state.vector();
+                let (raw, lp) = self.agent.act(&s);
+                let prices = self.prices_from_raw(&raw);
+                let outcome = env.step(&prices);
+
+                if outcome.status == StepStatus::BudgetExhausted {
+                    if !buffer.is_empty() {
+                        buffer.mark_last_done();
+                    }
+                    break;
+                }
+
+                let (mut r_e, r_i) =
+                    rewards_from_outcome(&outcome, self.config.lambda, self.config.time_weight);
+                if outcome.num_participants() == 0 {
+                    r_e -= self.config.no_participation_penalty;
+                }
+                let reward = r_e * self.config.exterior_reward_scale
+                    + r_i * self.config.inner_reward_scale / n;
+
+                let v = self.agent.value(&s);
+                let done = outcome.done();
+                buffer.push(&s, &raw, lp, reward, v, done);
+                episode_reward += reward;
+
+                self.state.record_round(&outcome, &prices);
+                if done {
+                    break;
+                }
+            }
+            if !buffer.is_empty() {
+                self.agent.update(&mut buffer);
+            }
+            self.episodes_trained += 1;
+            if self
+                .episodes_trained
+                .is_multiple_of(self.config.lr_decay_every)
+            {
+                self.agent.decay_learning_rate(self.config.lr_decay);
+            }
+            episode_rewards.push(episode_reward);
+        }
+        episode_rewards
+    }
+}
+
+impl std::fmt::Debug for FlatPpo {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "FlatPpo({} episodes trained)", self.episodes_trained)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chiron_data::DatasetKind;
+    use chiron_fedsim::EnvConfig;
+
+    fn env(seed: u64) -> EdgeLearningEnv {
+        EdgeLearningEnv::new(
+            EnvConfig {
+                oracle_noise: 0.0,
+                ..EnvConfig::paper_small(DatasetKind::MnistLike, 40.0)
+            },
+            seed,
+        )
+    }
+
+    #[test]
+    fn joint_action_produces_valid_prices() {
+        let e = env(0);
+        let flat = FlatPpo::new(&e, ChironConfig::fast(), 0);
+        let prices = flat.prices_from_raw(&[0.0, 1.0, 0.0, -1.0, 0.5, 0.2]);
+        assert_eq!(prices.len(), 5);
+        assert!(prices.iter().all(|&p| p > 0.0));
+        let total: f64 = prices.iter().sum();
+        assert!(total <= e.total_price_cap() * 1.0001);
+    }
+
+    #[test]
+    fn training_and_evaluation_run() {
+        let mut e = env(1);
+        let mut flat = FlatPpo::new(&e, ChironConfig::fast(), 1);
+        let rewards = flat.train(&mut e, 2);
+        assert_eq!(rewards.len(), 2);
+        let (summary, _) = flat.run_episode(&mut e);
+        assert!(summary.spent <= 40.0 + 1e-6);
+        assert_eq!(flat.name(), "flat-ppo");
+    }
+}

@@ -1,0 +1,57 @@
+//! # chiron
+//!
+//! The paper's primary contribution: **Chiron**, an incentive-driven
+//! long-term mechanism for edge learning based on hierarchical deep
+//! reinforcement learning (ICDCS 2021).
+//!
+//! Chiron prices each federated round with two cooperating PPO agents
+//! inside the parameter server:
+//!
+//! * the **exterior agent** observes a sliding window of system history
+//!   (frequency, price and time profiles) plus the remaining budget and
+//!   round index, and outputs the round's **total price** — the long-term
+//!   budget-pacing decision (reward: Eqn. 14,
+//!   `λ·(A(ω_k) − A(ω_{k−1})) − T_k`);
+//! * the **inner agent** observes the exterior action and outputs the
+//!   **allocation proportions** across nodes — the short-term
+//!   time-consistency decision (reward: Eqn. 15, minus the summed idle
+//!   time, justified by Lemma 1).
+//!
+//! The joint pricing `p_{i,k} = a^E_k · a^I_{i,k}` (Eqn. 13) is posted to
+//! the [`chiron_fedsim::EdgeLearningEnv`]; both agents are updated with
+//! clipped PPO at episode end (budget exhaustion), exactly following
+//! Algorithm 1.
+//!
+//! The crate also defines the [`Mechanism`] trait shared with the
+//! `chiron-baselines` crate, and a flat single-agent ablation
+//! ([`ablation::FlatPpo`]) used to quantify the value of the hierarchy.
+//!
+//! ## Example
+//!
+//! ```
+//! use chiron::{Chiron, ChironConfig, Mechanism};
+//! use chiron_fedsim::{EdgeLearningEnv, EnvConfig};
+//! use chiron_data::DatasetKind;
+//!
+//! let mut env = EdgeLearningEnv::new(
+//!     EnvConfig::paper_small(DatasetKind::MnistLike, 60.0), 7);
+//! let mut chiron = Chiron::new(&env, ChironConfig::fast(), 7);
+//! let rewards = chiron.train(&mut env, 3); // tiny demo run
+//! assert_eq!(rewards.len(), 3);
+//! let (summary, _rounds) = chiron.run_episode(&mut env);
+//! assert!(summary.final_accuracy >= 0.0);
+//! ```
+
+pub mod ablation;
+mod config;
+mod mechanism;
+mod rewards;
+mod state;
+
+pub use config::{ChironConfig, InnerStateMode};
+pub use mechanism::{Chiron, ChironSnapshot, Mechanism};
+pub use rewards::{exterior_reward, inner_reward};
+pub use state::ExteriorState;
+
+#[cfg(test)]
+mod proptests;

@@ -1,0 +1,107 @@
+//! Property-based tests for the mechanism layer.
+
+use crate::{exterior_reward, inner_reward, Chiron, ChironConfig, Mechanism};
+use chiron_data::DatasetKind;
+use chiron_fedsim::{EdgeLearningEnv, EnvConfig};
+use proptest::prelude::*;
+
+fn env(budget: f64, seed: u64) -> EdgeLearningEnv {
+    EdgeLearningEnv::new(
+        EnvConfig {
+            oracle_noise: 0.0,
+            ..EnvConfig::paper_small(DatasetKind::MnistLike, budget)
+        },
+        seed,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The exterior reward is linear in both arguments with the configured
+    /// weights — no hidden clamping or scaling.
+    #[test]
+    fn exterior_reward_is_affine(
+        da in -0.5f64..0.5,
+        t in 0.0f64..100.0,
+        lambda in 1.0f64..5000.0,
+        w in 0.0f64..2.0,
+    ) {
+        let r = exterior_reward(da, t, lambda, w);
+        prop_assert!((r - (lambda * da - w * t)).abs() < 1e-9);
+        // Doubling the accuracy delta doubles its contribution.
+        let r2 = exterior_reward(2.0 * da, t, lambda, w);
+        prop_assert!(((r2 - r) - lambda * da).abs() < 1e-6);
+    }
+
+    /// The inner reward is non-positive, zero exactly at time consistency,
+    /// and monotone: widening the spread can only reduce it.
+    #[test]
+    fn inner_reward_properties(times in proptest::collection::vec(0.1f64..50.0, 1..10)) {
+        let r = inner_reward(&times);
+        prop_assert!(r <= 1e-12);
+        let equal = vec![times[0]; times.len()];
+        prop_assert!(inner_reward(&equal).abs() < 1e-12);
+        // Stretch the maximum: reward must not improve.
+        let mut stretched = times.clone();
+        let max_idx = stretched
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)
+            .unwrap();
+        stretched[max_idx] *= 2.0;
+        prop_assert!(inner_reward(&stretched) <= r + 1e-9);
+    }
+
+    /// Whatever seed and budget, a training episode's prices decompose as
+    /// `total × proportions` with proportions on the simplex — checked
+    /// indirectly: the mechanism's evaluation prices are non-negative and
+    /// their sum never exceeds the fleet's price-cap total.
+    #[test]
+    fn decided_prices_stay_in_the_action_space(seed in 0u64..50, budget in 30.0f64..120.0) {
+        let e = env(budget, seed);
+        let mut mech = Chiron::new(&e, ChironConfig::fast(), seed);
+        let mut e = env(budget, seed);
+        mech.train(&mut e, 3);
+        let e = env(budget, seed);
+        let cap = e.total_price_cap();
+        for explore in [false, true] {
+            let mut m = Chiron::new(&e, ChironConfig::fast(), seed ^ 1);
+            let prices = m.decide_prices(&e, explore);
+            prop_assert_eq!(prices.len(), e.num_nodes());
+            prop_assert!(prices.iter().all(|&p| p >= 0.0));
+            let total: f64 = prices.iter().sum();
+            prop_assert!(total <= cap * 1.0001, "total {} exceeds cap {}", total, cap);
+        }
+    }
+
+    /// Training never panics and never produces non-finite episode rewards,
+    /// across seeds and budgets (including budgets too small for any round).
+    #[test]
+    fn training_is_robust_to_tiny_budgets(seed in 0u64..30, budget in 1.0f64..40.0) {
+        let mut e = env(budget, seed);
+        let mut mech = Chiron::new(&e, ChironConfig::fast(), seed);
+        let rewards = mech.train(&mut e, 3);
+        prop_assert_eq!(rewards.len(), 3);
+        prop_assert!(rewards.iter().all(|r| r.is_finite()));
+    }
+
+    /// Evaluation summaries are internally consistent for arbitrary seeds.
+    #[test]
+    fn evaluation_summary_invariants(seed in 0u64..30) {
+        let budget = 70.0;
+        let e0 = env(budget, seed);
+        let mut mech = Chiron::new(&e0, ChironConfig::fast(), seed);
+        let mut e = env(budget, seed);
+        mech.train(&mut e, 5);
+        let mut e = env(budget, seed);
+        let (s, records) = mech.run_episode(&mut e);
+        prop_assert!(s.spent <= budget + 1e-6);
+        prop_assert_eq!(s.rounds, records.len());
+        prop_assert!((0.0..=1.0).contains(&s.final_accuracy));
+        prop_assert!(s.mean_time_efficiency <= 1.0 + 1e-9);
+        let total: f64 = records.iter().map(|r| r.round_time).sum();
+        prop_assert!((total - s.total_time).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,90 @@
+//! The paper's reward functions (Eqns. 14 and 15).
+
+use chiron_fedsim::RoundOutcome;
+
+/// Exterior reward (Eqn. 14): `λ·(A(ω_k) − A(ω_{k−1})) − w_T·T_k`.
+///
+/// The printed equation scales *both* terms by λ; with λ = 2000 and
+/// `T_k ≈ 25 s` that would make the time term (−50,000) drown the accuracy
+/// term (≈ +20) by three orders of magnitude, contradicting the overall
+/// objective `u = λ·A(ω_K) − Σ_k T_k` of Eqn. 9. We therefore follow
+/// Eqn. 9's scaling and expose the time weight `w_T` (1.0 by default) for
+/// the reward ablation (`DESIGN.md` §5).
+///
+/// # Examples
+///
+/// ```
+/// use chiron::exterior_reward;
+///
+/// // +2 % accuracy at λ = 2000, 25 s round → 2000·0.02 − 25 = 15.
+/// let r = exterior_reward(0.02, 25.0, 2000.0, 1.0);
+/// assert!((r - 15.0).abs() < 1e-9);
+/// ```
+pub fn exterior_reward(accuracy_delta: f64, round_time: f64, lambda: f64, time_weight: f64) -> f64 {
+    lambda * accuracy_delta - time_weight * round_time
+}
+
+/// Inner reward (Eqn. 15): `−Σ_{i=1}^{N} (T_k − T_{i,k})`, the negated
+/// total idle time summed over **all** nodes. A node that declined to
+/// participate has `T_{i,k} = 0` and idles for the entire round, so
+/// starving nodes with unattractive prices is maximally penalized —
+/// exactly the reading of Eqn. 15 that couples time consistency with full
+/// participation (Lemma 1's premise).
+///
+/// # Examples
+///
+/// ```
+/// use chiron::inner_reward;
+///
+/// assert_eq!(inner_reward(&[10.0, 10.0]), 0.0); // perfectly consistent
+/// assert_eq!(inner_reward(&[5.0, 10.0]), -5.0);
+/// // A starved node (time 0) idles for the whole 10 s round.
+/// assert_eq!(inner_reward(&[0.0, 10.0, 10.0]), -10.0);
+/// ```
+pub fn inner_reward(node_times: &[f64]) -> f64 {
+    -chiron_fedsim::metrics::total_idle_time(node_times)
+}
+
+/// Convenience: both rewards straight from a [`RoundOutcome`].
+pub fn rewards_from_outcome(outcome: &RoundOutcome, lambda: f64, time_weight: f64) -> (f64, f64) {
+    let r_e = exterior_reward(
+        outcome.accuracy_delta(),
+        outcome.round_time,
+        lambda,
+        time_weight,
+    );
+    let r_i = inner_reward(&outcome.all_node_times());
+    (r_e, r_i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exterior_reward_trades_accuracy_against_time() {
+        // A bigger accuracy jump beats a slightly longer round.
+        let fast_small = exterior_reward(0.005, 15.0, 2000.0, 1.0); // −5
+        let slow_large = exterior_reward(0.02, 25.0, 2000.0, 1.0); // +15
+        assert!(slow_large > fast_small);
+    }
+
+    #[test]
+    fn zero_time_weight_isolates_accuracy() {
+        let r = exterior_reward(0.01, 1000.0, 2000.0, 0.0);
+        assert_eq!(r, 20.0);
+    }
+
+    #[test]
+    fn inner_reward_is_maximal_at_consistency() {
+        assert_eq!(inner_reward(&[7.0, 7.0, 7.0]), 0.0);
+        assert!(inner_reward(&[6.0, 7.0, 7.0]) < 0.0);
+        // More imbalance ⇒ lower reward.
+        assert!(inner_reward(&[1.0, 7.0]) < inner_reward(&[6.0, 7.0]));
+    }
+
+    #[test]
+    fn inner_reward_handles_empty_round() {
+        assert_eq!(inner_reward(&[]), 0.0);
+    }
+}

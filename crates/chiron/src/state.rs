@@ -1,0 +1,250 @@
+//! Exterior-state construction: the sliding history window of Section V-A.
+
+use chiron_fedsim::{EdgeLearningEnv, RoundOutcome};
+
+/// Builds and maintains the exterior agent's observation
+/// `s^E_k = {ζ_{k−L..k−1}, p_{k−L..k−1}, T_{k−L..k−1}, η_remaining, k}`.
+///
+/// Each history slot holds three per-node profiles (chosen CPU frequency,
+/// posted price, total round time); rounds that have not happened yet are
+/// zero-filled, exactly as the paper specifies for `k < L`. All features
+/// are normalized to O(1): frequencies by the fleet's largest `ζ_max`,
+/// prices by each node's price cap, times by a 50 s scale, the budget by
+/// `η`, and the round index by 100.
+///
+/// # Examples
+///
+/// ```
+/// use chiron::ExteriorState;
+/// use chiron_fedsim::{EdgeLearningEnv, EnvConfig};
+/// use chiron_data::DatasetKind;
+///
+/// let env = EdgeLearningEnv::new(EnvConfig::paper_small(DatasetKind::MnistLike, 50.0), 0);
+/// let state = ExteriorState::new(&env, 4);
+/// assert_eq!(state.dim(), 3 * 5 * 4 + 2);
+/// assert!(state.vector().iter().all(|&x| x == 0.0 || x == 1.0)); // budget=1, rest zero
+/// ```
+#[derive(Debug, Clone)]
+pub struct ExteriorState {
+    window: usize,
+    nodes: usize,
+    freq_scale: f64,
+    price_scales: Vec<f64>,
+    time_scale: f64,
+    budget_total: f64,
+    // Ring of history frames, oldest first; each frame is 3·N floats.
+    frames: Vec<Vec<f64>>,
+    remaining_budget: f64,
+    round: usize,
+}
+
+/// Normalization constant for round times (seconds). Round times in the
+/// paper's setting land in 10–45 s, so 50 keeps the feature within [0, 1].
+const TIME_SCALE: f64 = 50.0;
+
+/// Normalization constant for the round index.
+const ROUND_SCALE: f64 = 100.0;
+
+impl ExteriorState {
+    /// Creates the zero-history initial state for `env`.
+    pub fn new(env: &EdgeLearningEnv, window: usize) -> Self {
+        assert!(window > 0, "history window must be positive");
+        let nodes = env.num_nodes();
+        let freq_scale = env
+            .nodes()
+            .iter()
+            .map(|n| n.params().freq_max)
+            .fold(0.0f64, f64::max);
+        let price_scales = env
+            .nodes()
+            .iter()
+            .map(|n| n.price_cap(env.sigma()))
+            .collect();
+        Self {
+            window,
+            nodes,
+            freq_scale,
+            price_scales,
+            time_scale: TIME_SCALE,
+            budget_total: env.total_budget(),
+            frames: vec![vec![0.0; 3 * nodes]; window],
+            remaining_budget: env.remaining_budget(),
+            round: 0,
+        }
+    }
+
+    /// The observation dimensionality: `3·N·L + 2`.
+    pub fn dim(&self) -> usize {
+        3 * self.nodes * self.window + 2
+    }
+
+    /// Clears the history (start of a new episode).
+    pub fn reset(&mut self, env: &EdgeLearningEnv) {
+        for f in &mut self.frames {
+            f.iter_mut().for_each(|x| *x = 0.0);
+        }
+        self.remaining_budget = env.remaining_budget();
+        self.round = 0;
+    }
+
+    /// Ingests a recorded round: pushes one history frame and refreshes the
+    /// budget/round scalars.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prices.len()` differs from the fleet size.
+    pub fn record_round(&mut self, outcome: &RoundOutcome, prices: &[f64]) {
+        assert_eq!(prices.len(), self.nodes, "price vector length mismatch");
+        let mut frame = vec![0.0f64; 3 * self.nodes];
+        for i in 0..self.nodes {
+            let (freq, time) = match &outcome.responses[i] {
+                Some(r) => (r.frequency, r.total_time),
+                None => (0.0, 0.0),
+            };
+            frame[i] = freq / self.freq_scale;
+            frame[self.nodes + i] = prices[i] / self.price_scales[i];
+            frame[2 * self.nodes + i] = time / self.time_scale;
+        }
+        self.frames.remove(0);
+        self.frames.push(frame);
+        self.remaining_budget = outcome.remaining_budget;
+        self.round = outcome.round;
+    }
+
+    /// The most recent round's normalized per-node total times (zeros
+    /// before the first recorded round) — used by the enriched inner-state
+    /// ablation so the inner agent can see who straggled.
+    pub fn latest_times_normalized(&self) -> Vec<f64> {
+        let frame = self.frames.last().expect("window > 0");
+        frame[2 * self.nodes..3 * self.nodes].to_vec()
+    }
+
+    /// The flat observation vector.
+    pub fn vector(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.dim());
+        for frame in &self.frames {
+            out.extend_from_slice(frame);
+        }
+        out.push(self.remaining_budget / self.budget_total);
+        out.push(self.round as f64 / ROUND_SCALE);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chiron_data::DatasetKind;
+    use chiron_fedsim::EnvConfig;
+
+    fn env() -> EdgeLearningEnv {
+        EdgeLearningEnv::new(
+            EnvConfig {
+                oracle_noise: 0.0,
+                ..EnvConfig::paper_small(DatasetKind::MnistLike, 100.0)
+            },
+            11,
+        )
+    }
+
+    fn mid_prices(env: &EdgeLearningEnv) -> Vec<f64> {
+        (0..env.num_nodes())
+            .map(|i| env.node(i).price_cap(env.sigma()) * 0.5)
+            .collect()
+    }
+
+    #[test]
+    fn initial_state_is_zero_history() {
+        let e = env();
+        let s = ExteriorState::new(&e, 3);
+        let v = s.vector();
+        assert_eq!(v.len(), 3 * 5 * 3 + 2);
+        // All history zero, budget fraction 1, round 0.
+        assert!(v[..v.len() - 2].iter().all(|&x| x == 0.0));
+        assert_eq!(v[v.len() - 2], 1.0);
+        assert_eq!(v[v.len() - 1], 0.0);
+    }
+
+    #[test]
+    fn record_round_fills_newest_frame() {
+        let mut e = env();
+        let mut s = ExteriorState::new(&e, 2);
+        let prices = mid_prices(&e);
+        let out = e.step(&prices);
+        s.record_round(&out, &prices);
+        let v = s.vector();
+        let frame_len = 3 * 5;
+        // Oldest frame still zero, newest non-zero.
+        assert!(v[..frame_len].iter().all(|&x| x == 0.0));
+        assert!(v[frame_len..2 * frame_len].iter().any(|&x| x != 0.0));
+        // Prices were half the cap → normalized price features = 0.5.
+        for i in 0..5 {
+            assert!((v[frame_len + 5 + i] - 0.5).abs() < 1e-9);
+        }
+        // Budget fraction dropped below 1.
+        assert!(v[v.len() - 2] < 1.0);
+        assert!((v[v.len() - 1] - 0.01).abs() < 1e-12); // round 1/100
+    }
+
+    #[test]
+    fn window_slides_oldest_out() {
+        let mut e = env();
+        let mut s = ExteriorState::new(&e, 2);
+        let prices = mid_prices(&e);
+        for _ in 0..3 {
+            let out = e.step(&prices);
+            s.record_round(&out, &prices);
+        }
+        let v = s.vector();
+        let frame_len = 3 * 5;
+        // After 3 rounds with window 2, both frames are non-zero.
+        assert!(v[..frame_len].iter().any(|&x| x != 0.0));
+        assert!(v[frame_len..2 * frame_len].iter().any(|&x| x != 0.0));
+    }
+
+    #[test]
+    fn reset_restores_initial_observation() {
+        let mut e = env();
+        let mut s = ExteriorState::new(&e, 2);
+        let initial = s.vector();
+        let prices = mid_prices(&e);
+        let out = e.step(&prices);
+        s.record_round(&out, &prices);
+        e.reset();
+        s.reset(&e);
+        assert_eq!(s.vector(), initial);
+    }
+
+    #[test]
+    fn latest_times_track_newest_frame() {
+        let mut e = env();
+        let mut s = ExteriorState::new(&e, 2);
+        assert!(s.latest_times_normalized().iter().all(|&t| t == 0.0));
+        let prices = mid_prices(&e);
+        let out = e.step(&prices);
+        s.record_round(&out, &prices);
+        let times = s.latest_times_normalized();
+        assert_eq!(times.len(), 5);
+        assert!(times.iter().any(|&t| t > 0.0));
+    }
+
+    #[test]
+    fn features_stay_bounded() {
+        let mut e = env();
+        let mut s = ExteriorState::new(&e, 4);
+        let prices: Vec<f64> = (0..e.num_nodes())
+            .map(|i| e.node(i).price_cap(e.sigma()))
+            .collect();
+        for _ in 0..5 {
+            if e.is_done() {
+                break;
+            }
+            let out = e.step(&prices);
+            if out.done() {
+                break;
+            }
+            s.record_round(&out, &prices);
+        }
+        assert!(s.vector().iter().all(|&x| (-0.01..=1.5).contains(&x)));
+    }
+}

@@ -1,0 +1,218 @@
+//! A minimal, dependency-free `--flag value` argument parser.
+//!
+//! Deliberately tiny: the CLI has four subcommands with a handful of typed
+//! flags each, which does not justify pulling a full argument-parsing
+//! dependency into the workspace.
+
+use std::collections::BTreeMap;
+
+/// Parsed command line: a subcommand plus `--key value` options.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ParsedArgs {
+    /// The first positional token (subcommand), if any.
+    pub command: Option<String>,
+    /// All `--key value` pairs, in insertion-stable (sorted) order.
+    pub options: BTreeMap<String, String>,
+}
+
+/// Errors produced while parsing or extracting options.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgError {
+    /// A `--flag` appeared without a following value.
+    MissingValue(String),
+    /// An unexpected positional argument appeared after the subcommand.
+    UnexpectedPositional(String),
+    /// The same flag was given twice.
+    Duplicate(String),
+    /// A flag's value failed to parse into the requested type.
+    BadValue {
+        /// Flag name.
+        flag: String,
+        /// The raw value.
+        value: String,
+        /// Target type name.
+        expected: &'static str,
+    },
+    /// A required flag is missing.
+    Required(String),
+}
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArgError::MissingValue(flag) => write!(f, "--{flag} expects a value"),
+            ArgError::UnexpectedPositional(tok) => {
+                write!(f, "unexpected positional argument '{tok}'")
+            }
+            ArgError::Duplicate(flag) => write!(f, "--{flag} given more than once"),
+            ArgError::BadValue {
+                flag,
+                value,
+                expected,
+            } => write!(f, "--{flag} '{value}' is not a valid {expected}"),
+            ArgError::Required(flag) => write!(f, "--{flag} is required"),
+        }
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+/// Parses `args` (without the program name) into a subcommand and options.
+///
+/// # Errors
+///
+/// Returns [`ArgError`] on malformed input.
+///
+/// # Examples
+///
+/// ```
+/// use chiron_cli::args::parse;
+///
+/// let parsed = parse(&["train", "--budget", "100"]).expect("valid");
+/// assert_eq!(parsed.command.as_deref(), Some("train"));
+/// assert_eq!(parsed.options.get("budget").map(String::as_str), Some("100"));
+/// ```
+pub fn parse<S: AsRef<str>>(args: &[S]) -> Result<ParsedArgs, ArgError> {
+    let mut parsed = ParsedArgs::default();
+    let mut it = args.iter().map(|s| s.as_ref());
+    while let Some(tok) = it.next() {
+        if let Some(flag) = tok.strip_prefix("--") {
+            let value = it
+                .next()
+                .ok_or_else(|| ArgError::MissingValue(flag.to_owned()))?;
+            if parsed
+                .options
+                .insert(flag.to_owned(), value.to_owned())
+                .is_some()
+            {
+                return Err(ArgError::Duplicate(flag.to_owned()));
+            }
+        } else if parsed.command.is_none() {
+            parsed.command = Some(tok.to_owned());
+        } else {
+            return Err(ArgError::UnexpectedPositional(tok.to_owned()));
+        }
+    }
+    Ok(parsed)
+}
+
+impl ParsedArgs {
+    /// A string option, or `default` if absent.
+    pub fn str_or<'a>(&'a self, flag: &str, default: &'a str) -> &'a str {
+        self.options
+            .get(flag)
+            .map(String::as_str)
+            .unwrap_or(default)
+    }
+
+    /// A required string option.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgError::Required`] if absent.
+    pub fn str_required(&self, flag: &str) -> Result<&str, ArgError> {
+        self.options
+            .get(flag)
+            .map(String::as_str)
+            .ok_or_else(|| ArgError::Required(flag.to_owned()))
+    }
+
+    /// A typed option, or `default` if absent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgError::BadValue`] if present but unparsable.
+    pub fn parse_or<T: std::str::FromStr>(&self, flag: &str, default: T) -> Result<T, ArgError> {
+        match self.options.get(flag) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| ArgError::BadValue {
+                flag: flag.to_owned(),
+                value: v.clone(),
+                expected: std::any::type_name::<T>(),
+            }),
+        }
+    }
+
+    /// Rejects unknown flags (everything not in `known`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgError::UnexpectedPositional`] naming the first unknown
+    /// flag.
+    pub fn reject_unknown(&self, known: &[&str]) -> Result<(), ArgError> {
+        for key in self.options.keys() {
+            if !known.contains(&key.as_str()) {
+                return Err(ArgError::UnexpectedPositional(format!("--{key}")));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_subcommand_and_flags() {
+        let p = parse(&["eval", "--budget", "140", "--seed", "7"]).expect("valid");
+        assert_eq!(p.command.as_deref(), Some("eval"));
+        assert_eq!(p.str_or("budget", "0"), "140");
+        assert_eq!(p.parse_or::<u64>("seed", 0).expect("number"), 7);
+    }
+
+    #[test]
+    fn defaults_apply_when_absent() {
+        let p = parse(&["train"]).expect("valid");
+        assert_eq!(p.parse_or::<f64>("budget", 100.0).expect("default"), 100.0);
+        assert_eq!(p.str_or("dataset", "mnist"), "mnist");
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        assert_eq!(
+            parse(&["train", "--budget"]),
+            Err(ArgError::MissingValue("budget".into()))
+        );
+    }
+
+    #[test]
+    fn duplicates_rejected() {
+        assert_eq!(
+            parse(&["x", "--a", "1", "--a", "2"]),
+            Err(ArgError::Duplicate("a".into()))
+        );
+    }
+
+    #[test]
+    fn extra_positionals_rejected() {
+        assert_eq!(
+            parse(&["train", "oops"]),
+            Err(ArgError::UnexpectedPositional("oops".into()))
+        );
+    }
+
+    #[test]
+    fn bad_typed_value_reports_flag() {
+        let p = parse(&["x", "--n", "abc"]).expect("syntactically fine");
+        let err = p.parse_or::<usize>("n", 1).expect_err("must fail");
+        assert!(matches!(err, ArgError::BadValue { .. }));
+        assert!(err.to_string().contains("--n"));
+    }
+
+    #[test]
+    fn required_flag_enforced() {
+        let p = parse(&["x"]).expect("valid");
+        assert_eq!(
+            p.str_required("model"),
+            Err(ArgError::Required("model".into()))
+        );
+    }
+
+    #[test]
+    fn unknown_flags_detected() {
+        let p = parse(&["x", "--known", "1", "--mystery", "2"]).expect("valid");
+        assert!(p.reject_unknown(&["known"]).is_err());
+        assert!(p.reject_unknown(&["known", "mystery"]).is_ok());
+    }
+}

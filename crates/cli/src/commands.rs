@@ -1,0 +1,514 @@
+//! The CLI subcommands: `train`, `eval`, `compare`, `info`.
+
+use crate::args::{ArgError, ParsedArgs};
+use chiron::{Chiron, ChironConfig, ChironSnapshot, Mechanism};
+use chiron_baselines::{DpPlanner, DrlSingleRound, Greedy, StaticPrice};
+use chiron_data::DatasetKind;
+use chiron_fedsim::metrics::{rounds_to_csv, EpisodeSummary};
+use chiron_fedsim::{EdgeLearningEnv, EnvConfig};
+use serde::{Deserialize, Serialize};
+
+/// A fully specified experiment, loadable from JSON (`run --config`).
+///
+/// Every simulator and mechanism knob is on the record, so an experiment
+/// file plus a seed reproduces a result exactly.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExperimentConfig {
+    /// Free-form description (recorded, not interpreted).
+    pub description: String,
+    /// Environment: fleet, dataset, budget, channel, oracle noise.
+    pub env: EnvConfig,
+    /// Chiron hyperparameters.
+    pub chiron: ChironConfig,
+    /// Training episodes.
+    pub episodes: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl ExperimentConfig {
+    /// The paper's small-scale MNIST experiment as a starting template.
+    pub fn template() -> Self {
+        Self {
+            description: "Chiron on MNIST-like, 5 nodes, eta = 100 (paper small-scale)".into(),
+            env: EnvConfig::paper_small(DatasetKind::MnistLike, 100.0),
+            chiron: ChironConfig::paper(),
+            episodes: 300,
+            seed: 42,
+        }
+    }
+}
+
+/// A CLI failure with a user-facing message.
+#[derive(Debug)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<ArgError> for CliError {
+    fn from(e: ArgError) -> Self {
+        CliError(e.to_string())
+    }
+}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError(format!("I/O error: {e}"))
+    }
+}
+
+fn dataset_from(name: &str) -> Result<DatasetKind, CliError> {
+    match name {
+        "mnist" => Ok(DatasetKind::MnistLike),
+        "fashion" | "fashion-mnist" => Ok(DatasetKind::FashionLike),
+        "cifar" | "cifar-10" | "cifar10" => Ok(DatasetKind::Cifar10Like),
+        "tiny" => Ok(DatasetKind::Tiny),
+        other => Err(CliError(format!(
+            "unknown dataset '{other}' (expected mnist | fashion | cifar | tiny)"
+        ))),
+    }
+}
+
+fn build_env(
+    kind: DatasetKind,
+    nodes: usize,
+    budget: f64,
+    seed: u64,
+) -> Result<EdgeLearningEnv, CliError> {
+    if nodes == 0 {
+        return Err(CliError("--nodes must be at least 1".into()));
+    }
+    if budget <= 0.0 {
+        return Err(CliError("--budget must be positive".into()));
+    }
+    let mut config = EnvConfig::paper_small(kind, budget);
+    config.fleet.nodes = nodes;
+    Ok(EdgeLearningEnv::new(config, seed))
+}
+
+fn print_summary(name: &str, s: &EpisodeSummary) {
+    println!("{name}:");
+    println!("  rounds completed    : {}", s.rounds);
+    println!("  final accuracy      : {:.4}", s.final_accuracy);
+    println!("  total learning time : {:.1} s", s.total_time);
+    println!(
+        "  mean time efficiency: {:.1} %",
+        s.mean_time_efficiency * 100.0
+    );
+    println!("  budget spent        : {:.2}", s.spent);
+}
+
+/// `chiron-cli train` — trains Chiron and optionally writes a snapshot.
+pub fn train(args: &ParsedArgs) -> Result<(), CliError> {
+    args.reject_unknown(&["dataset", "nodes", "budget", "episodes", "seed", "out"])?;
+    let kind = dataset_from(args.str_or("dataset", "mnist"))?;
+    let nodes: usize = args.parse_or("nodes", 5)?;
+    let budget: f64 = args.parse_or("budget", 100.0)?;
+    let episodes: usize = args.parse_or("episodes", 300)?;
+    let seed: u64 = args.parse_or("seed", 42)?;
+
+    let mut env = build_env(kind, nodes, budget, seed)?;
+    println!(
+        "training chiron: dataset {kind}, {nodes} nodes, η = {budget}, {episodes} episodes, seed {seed}"
+    );
+    let mut mech = Chiron::new(&env, ChironConfig::paper(), seed);
+    let t0 = std::time::Instant::now();
+    let rewards = mech.train(&mut env, episodes);
+    println!("trained in {:.1?}", t0.elapsed());
+    if let (Some(first), Some(last)) = (rewards.first(), rewards.last()) {
+        println!("episode reward: {first:.2} (first) → {last:.2} (last)");
+    }
+
+    let (summary, _) = mech.run_episode(&mut env);
+    print_summary("evaluation", &summary);
+
+    if let Some(path) = args.options.get("out") {
+        std::fs::write(path, mech.snapshot().to_json())?;
+        println!("snapshot written to {path}");
+    }
+    Ok(())
+}
+
+/// `chiron-cli eval` — evaluates a snapshot (or a fresh policy) on a task.
+pub fn eval(args: &ParsedArgs) -> Result<(), CliError> {
+    args.reject_unknown(&["dataset", "nodes", "budget", "seed", "model", "trace"])?;
+    let kind = dataset_from(args.str_or("dataset", "mnist"))?;
+    let nodes: usize = args.parse_or("nodes", 5)?;
+    let budget: f64 = args.parse_or("budget", 100.0)?;
+    let seed: u64 = args.parse_or("seed", 42)?;
+
+    let mut env = build_env(kind, nodes, budget, seed)?;
+    let mut mech = Chiron::new(&env, ChironConfig::paper(), seed);
+    if let Some(path) = args.options.get("model") {
+        let json = std::fs::read_to_string(path)?;
+        let snapshot = ChironSnapshot::from_json(&json)
+            .map_err(|e| CliError(format!("invalid snapshot {path}: {e}")))?;
+        snapshot.restore(&mut mech).map_err(|e| {
+            CliError(format!(
+                "snapshot {path} does not fit this task shape: {e} \
+                 (train and eval must use the same --nodes)"
+            ))
+        })?;
+        println!(
+            "loaded snapshot {path} ({} episodes trained)",
+            mech.episodes_trained()
+        );
+    } else {
+        println!("no --model given: evaluating an untrained policy");
+    }
+
+    let (summary, records) = mech.run_episode(&mut env);
+    print_summary("evaluation", &summary);
+
+    if let Some(path) = args.options.get("trace") {
+        std::fs::write(path, rounds_to_csv(&records))?;
+        println!("round trace written to {path}");
+    }
+    Ok(())
+}
+
+/// Parses a comma-separated budget list like `60,80,100`.
+fn budgets_from(raw: &str) -> Result<Vec<f64>, CliError> {
+    let budgets: Result<Vec<f64>, _> = raw.split(',').map(|t| t.trim().parse::<f64>()).collect();
+    let budgets = budgets.map_err(|_| CliError(format!("invalid budget list '{raw}'")))?;
+    if budgets.is_empty() || budgets.iter().any(|&b| b <= 0.0) {
+        return Err(CliError("budgets must be positive".into()));
+    }
+    Ok(budgets)
+}
+
+/// `chiron-cli sweep` — trains once, evaluates across a budget list, and
+/// writes a CSV (the CLI twin of the Fig. 4 protocol).
+pub fn sweep(args: &ParsedArgs) -> Result<(), CliError> {
+    args.reject_unknown(&["dataset", "nodes", "budgets", "episodes", "seed", "out"])?;
+    let kind = dataset_from(args.str_or("dataset", "mnist"))?;
+    let nodes: usize = args.parse_or("nodes", 5)?;
+    let budgets = budgets_from(args.str_or("budgets", "60,80,100,120,140"))?;
+    let episodes: usize = args.parse_or("episodes", 300)?;
+    let seed: u64 = args.parse_or("seed", 42)?;
+
+    let train_budget = budgets[budgets.len() / 2];
+    println!(
+        "sweep: dataset {kind}, {nodes} nodes, budgets {budgets:?}, training at η = {train_budget}"
+    );
+    let mut env = build_env(kind, nodes, train_budget, seed)?;
+    let mut mech = Chiron::new(&env, ChironConfig::paper(), seed);
+    mech.train(&mut env, episodes);
+
+    let mut csv = String::from("budget,accuracy,rounds,total_time,time_efficiency,spent\n");
+    println!(
+        "{:>9} {:>9} {:>7} {:>10} {:>10}",
+        "budget", "accuracy", "rounds", "time (s)", "time-eff %"
+    );
+    for &budget in &budgets {
+        let mut env = build_env(kind, nodes, budget, seed)?;
+        let (s, _) = mech.run_episode(&mut env);
+        println!(
+            "{budget:>9} {:>9.4} {:>7} {:>10.1} {:>10.1}",
+            s.final_accuracy,
+            s.rounds,
+            s.total_time,
+            s.mean_time_efficiency * 100.0
+        );
+        csv.push_str(&format!(
+            "{budget},{:.4},{},{:.2},{:.4},{:.2}\n",
+            s.final_accuracy, s.rounds, s.total_time, s.mean_time_efficiency, s.spent
+        ));
+    }
+    if let Some(path) = args.options.get("out") {
+        std::fs::write(path, csv)?;
+        println!("sweep CSV written to {path}");
+    }
+    Ok(())
+}
+
+/// `chiron-cli run` — executes an experiment file (`--config exp.json`),
+/// or writes a starting template (`--init exp.json`).
+pub fn run(args: &ParsedArgs) -> Result<(), CliError> {
+    args.reject_unknown(&["config", "init", "out"])?;
+    if let Some(path) = args.options.get("init") {
+        let json = serde_json::to_string_pretty(&ExperimentConfig::template())
+            .expect("template serializes");
+        std::fs::write(path, json)?;
+        println!("experiment template written to {path} — edit and run with --config");
+        return Ok(());
+    }
+    let path = args.str_required("config")?;
+    let json = std::fs::read_to_string(path)?;
+    let exp: ExperimentConfig = serde_json::from_str(&json)
+        .map_err(|e| CliError(format!("invalid experiment file {path}: {e}")))?;
+
+    println!("experiment: {}", exp.description);
+    println!(
+        "  dataset {}, {} nodes, η = {}, {} episodes, seed {}",
+        exp.env.dataset.kind, exp.env.fleet.nodes, exp.env.budget, exp.episodes, exp.seed
+    );
+    let mut env = EdgeLearningEnv::new(exp.env.clone(), exp.seed);
+    let mut mech = Chiron::new(&env, exp.chiron.clone(), exp.seed);
+    let t0 = std::time::Instant::now();
+    mech.train(&mut env, exp.episodes);
+    println!("trained in {:.1?}", t0.elapsed());
+    let mut env = EdgeLearningEnv::new(exp.env.clone(), exp.seed);
+    let (summary, _) = mech.run_episode(&mut env);
+    print_summary("evaluation", &summary);
+
+    if let Some(out) = args.options.get("out") {
+        std::fs::write(out, mech.snapshot().to_json())?;
+        println!("snapshot written to {out}");
+    }
+    Ok(())
+}
+
+/// `chiron-cli compare` — trains every mechanism and prints the comparison.
+pub fn compare(args: &ParsedArgs) -> Result<(), CliError> {
+    args.reject_unknown(&["dataset", "nodes", "budget", "episodes", "seed"])?;
+    let kind = dataset_from(args.str_or("dataset", "mnist"))?;
+    let nodes: usize = args.parse_or("nodes", 5)?;
+    let budget: f64 = args.parse_or("budget", 100.0)?;
+    let episodes: usize = args.parse_or("episodes", 300)?;
+    let seed: u64 = args.parse_or("seed", 42)?;
+
+    println!(
+        "comparing mechanisms: dataset {kind}, {nodes} nodes, η = {budget}, {episodes} episodes\n"
+    );
+    let env0 = build_env(kind, nodes, budget, seed)?;
+    let mut rows: Vec<(&str, EpisodeSummary)> = Vec::new();
+
+    let mut chiron = Chiron::new(&env0, ChironConfig::paper(), seed);
+    let mut drl = DrlSingleRound::new(&env0, seed);
+    let mut greedy = Greedy::new(&env0, seed);
+    let mut planner = DpPlanner::plan(&env0, 2000.0, 0.1, 24, 60);
+    let mut fixed = StaticPrice::new(0.5);
+
+    let mechanisms: Vec<&mut dyn Mechanism> =
+        vec![&mut chiron, &mut drl, &mut greedy, &mut planner, &mut fixed];
+    for mech in mechanisms {
+        let mut env = build_env(kind, nodes, budget, seed)?;
+        mech.train(&mut env, episodes);
+        let mut env = build_env(kind, nodes, budget, seed)?;
+        let (summary, _) = mech.run_episode(&mut env);
+        rows.push((mech.name(), summary));
+    }
+
+    println!(
+        "{:<12} {:>9} {:>7} {:>10} {:>10} {:>9}",
+        "mechanism", "accuracy", "rounds", "time (s)", "time-eff %", "spent"
+    );
+    for (name, s) in &rows {
+        println!(
+            "{:<12} {:>9.4} {:>7} {:>10.1} {:>10.1} {:>9.1}",
+            name,
+            s.final_accuracy,
+            s.rounds,
+            s.total_time,
+            s.mean_time_efficiency * 100.0,
+            s.spent
+        );
+    }
+    Ok(())
+}
+
+/// `chiron-cli info` — build and paper information.
+pub fn info() {
+    println!("chiron-cli {}", env!("CARGO_PKG_VERSION"));
+    println!(
+        "reproduction of: Liu, Wu, Zhan, Guo, Hong — \"Incentive-Driven \
+         Long-term Optimization for Edge Learning by Hierarchical \
+         Reinforcement Mechanism\", IEEE ICDCS 2021"
+    );
+    println!("datasets: mnist | fashion | cifar | tiny (synthetic profiles)");
+    println!("see README.md and EXPERIMENTS.md for the full reproduction record");
+}
+
+/// Usage text.
+pub fn usage() -> String {
+    "\
+usage: chiron-cli <command> [--flag value]...
+
+commands:
+  train     train the hierarchical mechanism
+            --dataset mnist|fashion|cifar|tiny (mnist)
+            --nodes N (5)  --budget η (100)  --episodes E (300)
+            --seed S (42)  --out snapshot.json
+  eval      evaluate a trained snapshot (or an untrained policy)
+            --model snapshot.json  --trace rounds.csv
+            --dataset …  --nodes N  --budget η  --seed S
+  compare   train and compare chiron, drl-based, greedy, dp-planner, static
+            --dataset …  --nodes N  --budget η  --episodes E  --seed S
+  sweep     train once, evaluate across budgets, optionally write CSV
+            --budgets 60,80,100,120,140  --out sweep.csv
+            --dataset …  --nodes N  --episodes E  --seed S
+  run       execute a fully specified experiment file
+            --config exp.json  [--out snapshot.json]
+            --init exp.json    (write a starting template)
+  info      version and paper reference
+"
+    .to_owned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::parse;
+
+    #[test]
+    fn dataset_names_resolve() {
+        assert_eq!(dataset_from("mnist").unwrap(), DatasetKind::MnistLike);
+        assert_eq!(dataset_from("fashion").unwrap(), DatasetKind::FashionLike);
+        assert_eq!(dataset_from("cifar10").unwrap(), DatasetKind::Cifar10Like);
+        assert!(dataset_from("imagenet").is_err());
+    }
+
+    #[test]
+    fn build_env_validates() {
+        assert!(build_env(DatasetKind::MnistLike, 0, 100.0, 0).is_err());
+        assert!(build_env(DatasetKind::MnistLike, 5, 0.0, 0).is_err());
+        let env = build_env(DatasetKind::MnistLike, 3, 50.0, 0).expect("valid");
+        assert_eq!(env.num_nodes(), 3);
+    }
+
+    #[test]
+    fn train_and_eval_round_trip() {
+        let dir = std::env::temp_dir().join("chiron_cli_test");
+        std::fs::create_dir_all(&dir).expect("tmp");
+        let model = dir.join("m.json");
+        let trace = dir.join("t.csv");
+        let model_s = model.to_str().expect("utf8 path");
+        let trace_s = trace.to_str().expect("utf8 path");
+
+        let args = parse(&[
+            "train",
+            "--episodes",
+            "2",
+            "--budget",
+            "40",
+            "--out",
+            model_s,
+        ])
+        .expect("parse");
+        train(&args).expect("train runs");
+        assert!(model.exists());
+
+        let args = parse(&[
+            "eval", "--model", model_s, "--budget", "40", "--trace", trace_s,
+        ])
+        .expect("parse");
+        eval(&args).expect("eval runs");
+        let csv = std::fs::read_to_string(&trace).expect("trace written");
+        assert!(csv.starts_with("round,accuracy"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn budget_lists_parse_and_validate() {
+        assert_eq!(budgets_from("60, 80,100").unwrap(), vec![60.0, 80.0, 100.0]);
+        assert!(budgets_from("60,abc").is_err());
+        assert!(budgets_from("60,-5").is_err());
+        assert!(budgets_from("").is_err());
+    }
+
+    #[test]
+    fn sweep_writes_csv() {
+        let dir = std::env::temp_dir().join("chiron_cli_sweep");
+        std::fs::create_dir_all(&dir).expect("tmp");
+        let out = dir.join("sweep.csv");
+        let out_s = out.to_str().expect("utf8");
+        let args = parse(&[
+            "sweep",
+            "--episodes",
+            "2",
+            "--budgets",
+            "30,40",
+            "--out",
+            out_s,
+        ])
+        .expect("parse");
+        sweep(&args).expect("sweep runs");
+        let csv = std::fs::read_to_string(&out).expect("csv written");
+        assert_eq!(csv.lines().count(), 3); // header + 2 budgets
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn experiment_template_round_trips() {
+        let t = ExperimentConfig::template();
+        let json = serde_json::to_string(&t).expect("serializes");
+        let back: ExperimentConfig = serde_json::from_str(&json).expect("parses");
+        assert_eq!(back.seed, t.seed);
+        assert_eq!(back.env.budget, t.env.budget);
+        assert_eq!(back.chiron, t.chiron);
+    }
+
+    #[test]
+    fn run_init_then_config_executes() {
+        let dir = std::env::temp_dir().join("chiron_cli_run");
+        std::fs::create_dir_all(&dir).expect("tmp");
+        let cfg = dir.join("exp.json");
+        let cfg_s = cfg.to_str().expect("utf8");
+
+        let args = parse(&["run", "--init", cfg_s]).expect("parse");
+        run(&args).expect("init writes template");
+
+        // Shrink the template so the test is fast.
+        let mut exp: ExperimentConfig =
+            serde_json::from_str(&std::fs::read_to_string(&cfg).expect("read")).expect("parse");
+        exp.episodes = 2;
+        exp.env.budget = 40.0;
+        std::fs::write(&cfg, serde_json::to_string(&exp).expect("ser")).expect("write");
+
+        let args = parse(&["run", "--config", cfg_s]).expect("parse");
+        run(&args).expect("run executes");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn run_rejects_malformed_config() {
+        let dir = std::env::temp_dir().join("chiron_cli_badcfg");
+        std::fs::create_dir_all(&dir).expect("tmp");
+        let cfg = dir.join("bad.json");
+        std::fs::write(&cfg, "{not json").expect("write");
+        let args = parse(&["run", "--config", cfg.to_str().expect("utf8")]).expect("parse");
+        assert!(run(&args).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn eval_rejects_mismatched_snapshot() {
+        let dir = std::env::temp_dir().join("chiron_cli_mismatch");
+        std::fs::create_dir_all(&dir).expect("tmp");
+        let model = dir.join("m5.json");
+        let model_s = model.to_str().expect("utf8 path");
+
+        let args = parse(&[
+            "train",
+            "--episodes",
+            "1",
+            "--budget",
+            "40",
+            "--nodes",
+            "5",
+            "--out",
+            model_s,
+        ])
+        .expect("parse");
+        train(&args).expect("train runs");
+
+        // Evaluating with a different node count must fail cleanly.
+        let args = parse(&["eval", "--model", model_s, "--nodes", "4"]).expect("parse");
+        let err = eval(&args).expect_err("shape mismatch");
+        assert!(err.to_string().contains("--nodes"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unknown_flags_are_rejected() {
+        let args = parse(&["train", "--bogus", "1"]).expect("parse");
+        assert!(train(&args).is_err());
+    }
+}

@@ -1,0 +1,16 @@
+//! # chiron-cli
+//!
+//! The command-line interface of the Chiron reproduction: train the
+//! hierarchical incentive mechanism, persist and evaluate snapshots, and
+//! compare against every baseline — without writing any Rust.
+//!
+//! ```text
+//! chiron-cli train   --dataset mnist --budget 100 --episodes 300 --out model.json
+//! chiron-cli eval    --model model.json --budget 140 --trace rounds.csv
+//! chiron-cli compare --dataset fashion --budget 100
+//! chiron-cli sweep   --budgets 60,80,100,120,140 --out sweep.csv
+//! chiron-cli info
+//! ```
+
+pub mod args;
+pub mod commands;

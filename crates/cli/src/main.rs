@@ -1,0 +1,38 @@
+//! Entry point: dispatches to [`chiron_cli::commands`].
+
+use chiron_cli::args::parse;
+use chiron_cli::commands::{self, usage};
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = match parse(&raw) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", usage());
+            std::process::exit(2);
+        }
+    };
+    let result = match parsed.command.as_deref() {
+        Some("train") => commands::train(&parsed),
+        Some("eval") => commands::eval(&parsed),
+        Some("compare") => commands::compare(&parsed),
+        Some("sweep") => commands::sweep(&parsed),
+        Some("run") => commands::run(&parsed),
+        Some("info") => {
+            commands::info();
+            Ok(())
+        }
+        Some(other) => {
+            eprintln!("error: unknown command '{other}'\n\n{}", usage());
+            std::process::exit(2);
+        }
+        None => {
+            print!("{}", usage());
+            Ok(())
+        }
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,387 @@
+//! Synthetic dataset generation and minibatch access.
+
+use crate::{DatasetSpec, Difficulty};
+use chiron_tensor::{Tensor, TensorRng};
+
+/// An in-memory labeled image dataset produced by the synthetic generator.
+///
+/// Samples are stored flat in `(N, C, H, W)` order. Generation is
+/// deterministic in `(spec, seed)`: class prototypes are smooth random
+/// fields drawn once, and each sample is a randomly chosen intra-class mode
+/// plus per-pixel noise, with separability controlled by
+/// [`Difficulty`].
+///
+/// # Examples
+///
+/// ```
+/// use chiron_data::{DatasetSpec, SyntheticDataset};
+///
+/// let data = SyntheticDataset::generate(&DatasetSpec::tiny(), 64, 7);
+/// let (train, test) = data.split(0.75);
+/// assert_eq!(train.len(), 48);
+/// assert_eq!(test.len(), 16);
+/// ```
+#[derive(Clone)]
+pub struct SyntheticDataset {
+    spec: DatasetSpec,
+    images: Vec<f32>,
+    labels: Vec<usize>,
+}
+
+impl SyntheticDataset {
+    /// Generates `n` samples with balanced class labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn generate(spec: &DatasetSpec, n: usize, seed: u64) -> Self {
+        assert!(n > 0, "cannot generate an empty dataset");
+        let mut rng = TensorRng::seed_from(seed);
+        let prototypes = Self::make_prototypes(spec, &mut rng);
+        let pixels = spec.pixels();
+        let mut images = Vec::with_capacity(n * pixels);
+        let mut labels = Vec::with_capacity(n);
+        let Difficulty {
+            noise_std,
+            modes_per_class,
+            label_noise,
+            ..
+        } = spec.difficulty;
+
+        for i in 0..n {
+            let class = i % spec.classes;
+            let mode = rng.index(modes_per_class);
+            let proto = &prototypes[class * modes_per_class + mode];
+            for &p in proto {
+                images.push(p + (rng.normal() as f32) * noise_std);
+            }
+            // Label noise caps the Bayes-optimal accuracy at the profile's
+            // asymptote; see `Difficulty::label_noise`. The two draws are
+            // unconditional so the RNG stream (and hence the images and the
+            // shuffle below) is identical across noise settings.
+            let flip = rng.uniform(0.0, 1.0) < label_noise as f64;
+            let random_label = rng.index(spec.classes);
+            labels.push(if flip { random_label } else { class });
+        }
+
+        // Shuffle sample order so minibatches are class-mixed.
+        let mut order: Vec<usize> = (0..n).collect();
+        rng.shuffle(&mut order);
+        let mut shuffled_images = vec![0.0f32; images.len()];
+        let mut shuffled_labels = vec![0usize; n];
+        for (dst, &src) in order.iter().enumerate() {
+            shuffled_images[dst * pixels..(dst + 1) * pixels]
+                .copy_from_slice(&images[src * pixels..(src + 1) * pixels]);
+            shuffled_labels[dst] = labels[src];
+        }
+
+        Self {
+            spec: spec.clone(),
+            images: shuffled_images,
+            labels: shuffled_labels,
+        }
+    }
+
+    /// Smooth per-class (and per-mode) prototypes: sums of random Gaussian
+    /// bumps, scaled by the profile's `prototype_scale`.
+    fn make_prototypes(spec: &DatasetSpec, rng: &mut TensorRng) -> Vec<Vec<f32>> {
+        let (c, h, w) = (spec.channels, spec.height, spec.width);
+        let scale = spec.difficulty.prototype_scale;
+        let n_protos = spec.classes * spec.difficulty.modes_per_class;
+        let mut out = Vec::with_capacity(n_protos);
+        for _ in 0..n_protos {
+            let mut proto = vec![0.0f32; c * h * w];
+            // 4 bumps per channel gives visibly distinct smooth patterns.
+            for ch in 0..c {
+                for _ in 0..4 {
+                    let cy = rng.uniform(0.0, h as f64);
+                    let cx = rng.uniform(0.0, w as f64);
+                    let amp = rng.normal() as f32 * scale;
+                    let sigma = rng.uniform(1.5, (h as f64 / 3.0).max(2.0));
+                    let inv = 1.0 / (2.0 * sigma * sigma);
+                    for y in 0..h {
+                        for x in 0..w {
+                            let d2 = (y as f64 - cy).powi(2) + (x as f64 - cx).powi(2);
+                            proto[ch * h * w + y * w + x] += amp * (-d2 * inv).exp() as f32;
+                        }
+                    }
+                }
+            }
+            out.push(proto);
+        }
+        out
+    }
+
+    /// Builds a dataset from raw parts — the entry point used by the real
+    /// dataset file loaders ([`crate::loaders`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `images.len() != labels.len() × spec.pixels()` or any
+    /// label is out of range.
+    pub fn from_parts(spec: DatasetSpec, images: Vec<f32>, labels: Vec<usize>) -> Self {
+        assert!(!labels.is_empty(), "dataset must have at least one sample");
+        assert_eq!(
+            images.len(),
+            labels.len() * spec.pixels(),
+            "images carry {} floats but {} samples × {} pixels were expected",
+            images.len(),
+            labels.len(),
+            spec.pixels()
+        );
+        assert!(
+            labels.iter().all(|&l| l < spec.classes),
+            "a label exceeds the profile's {} classes",
+            spec.classes
+        );
+        Self {
+            spec,
+            images,
+            labels,
+        }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// `true` if the dataset has no samples (never produced by `generate`).
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// The dataset's profile.
+    pub fn spec(&self) -> &DatasetSpec {
+        &self.spec
+    }
+
+    /// All labels.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Builds the `(X, y)` minibatch for the given sample indices, with `X`
+    /// shaped `(B, C, H, W)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range or `indices` is empty.
+    pub fn batch(&self, indices: &[usize]) -> (Tensor, Vec<usize>) {
+        assert!(!indices.is_empty(), "batch needs at least one index");
+        let pixels = self.spec.pixels();
+        let mut data = Vec::with_capacity(indices.len() * pixels);
+        let mut labels = Vec::with_capacity(indices.len());
+        for &i in indices {
+            assert!(i < self.len(), "index {i} out of range ({})", self.len());
+            data.extend_from_slice(&self.images[i * pixels..(i + 1) * pixels]);
+            labels.push(self.labels[i]);
+        }
+        let x = Tensor::from_vec(
+            data,
+            &[
+                indices.len(),
+                self.spec.channels,
+                self.spec.height,
+                self.spec.width,
+            ],
+        );
+        (x, labels)
+    }
+
+    /// Sequential minibatch index chunks of `batch_size` covering the whole
+    /// dataset (the final chunk may be smaller).
+    pub fn batch_indices(&self, batch_size: usize) -> Vec<Vec<usize>> {
+        assert!(batch_size > 0, "batch size must be positive");
+        (0..self.len())
+            .collect::<Vec<_>>()
+            .chunks(batch_size)
+            .map(|c| c.to_vec())
+            .collect()
+    }
+
+    /// Splits into `(first, second)` at `fraction` (e.g. 0.8 → 80 % train).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < fraction < 1` and both sides are non-empty.
+    pub fn split(&self, fraction: f64) -> (SyntheticDataset, SyntheticDataset) {
+        assert!((0.0..1.0).contains(&fraction) && fraction > 0.0);
+        let cut = ((self.len() as f64) * fraction).round() as usize;
+        assert!(cut > 0 && cut < self.len(), "split produces an empty side");
+        let pixels = self.spec.pixels();
+        let first = SyntheticDataset {
+            spec: self.spec.clone(),
+            images: self.images[..cut * pixels].to_vec(),
+            labels: self.labels[..cut].to_vec(),
+        };
+        let second = SyntheticDataset {
+            spec: self.spec.clone(),
+            images: self.images[cut * pixels..].to_vec(),
+            labels: self.labels[cut..].to_vec(),
+        };
+        (first, second)
+    }
+
+    /// Extracts the samples at `indices` into a new dataset (used by the
+    /// federated partitioners).
+    pub fn subset(&self, indices: &[usize]) -> SyntheticDataset {
+        assert!(!indices.is_empty(), "subset needs at least one index");
+        let pixels = self.spec.pixels();
+        let mut images = Vec::with_capacity(indices.len() * pixels);
+        let mut labels = Vec::with_capacity(indices.len());
+        for &i in indices {
+            assert!(i < self.len(), "index {i} out of range ({})", self.len());
+            images.extend_from_slice(&self.images[i * pixels..(i + 1) * pixels]);
+            labels.push(self.labels[i]);
+        }
+        SyntheticDataset {
+            spec: self.spec.clone(),
+            images,
+            labels,
+        }
+    }
+}
+
+impl std::fmt::Debug for SyntheticDataset {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "SyntheticDataset({}, {} samples, {}x{}x{})",
+            self.spec.kind,
+            self.len(),
+            self.spec.channels,
+            self.spec.height,
+            self.spec.width
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = DatasetSpec::tiny();
+        let a = SyntheticDataset::generate(&spec, 40, 5);
+        let b = SyntheticDataset::generate(&spec, 40, 5);
+        assert_eq!(a.labels(), b.labels());
+        assert_eq!(a.images, b.images);
+        let c = SyntheticDataset::generate(&spec, 40, 6);
+        assert_ne!(a.images, c.images);
+    }
+
+    #[test]
+    fn labels_are_balanced_without_label_noise() {
+        let mut spec = DatasetSpec::tiny();
+        spec.difficulty.label_noise = 0.0;
+        let data = SyntheticDataset::generate(&spec, 80, 1);
+        let mut counts = vec![0usize; spec.classes];
+        for &l in data.labels() {
+            counts[l] += 1;
+        }
+        assert_eq!(counts, vec![20; 4]);
+    }
+
+    #[test]
+    fn label_noise_corrupts_expected_fraction() {
+        let mut spec = DatasetSpec::tiny();
+        spec.difficulty.label_noise = 0.5;
+        let n = 4000;
+        let data = SyntheticDataset::generate(&spec, n, 2);
+        // Recover intended classes by position parity is impossible after
+        // the shuffle, so compare against a noise-free twin instead.
+        spec.difficulty.label_noise = 0.0;
+        let clean = SyntheticDataset::generate(&spec, n, 2);
+        let differing = data
+            .labels()
+            .iter()
+            .zip(clean.labels())
+            .filter(|(a, b)| a != b)
+            .count();
+        // 50 % flips, of which 1/4 land on the true class → ~37.5 % differ.
+        let frac = differing as f64 / n as f64;
+        assert!((0.30..0.45).contains(&frac), "corrupted fraction {frac}");
+    }
+
+    #[test]
+    fn batch_shapes_match_spec() {
+        let data = SyntheticDataset::generate(&DatasetSpec::mnist_like(), 16, 2);
+        let (x, y) = data.batch(&[0, 5, 9]);
+        assert_eq!(x.dims(), &[3, 1, 28, 28]);
+        assert_eq!(y.len(), 3);
+        assert!(x.is_finite());
+    }
+
+    #[test]
+    fn batch_indices_cover_everything_once() {
+        let data = SyntheticDataset::generate(&DatasetSpec::tiny(), 25, 3);
+        let chunks = data.batch_indices(10);
+        assert_eq!(chunks.len(), 3);
+        assert_eq!(chunks[2].len(), 5);
+        let total: usize = chunks.iter().map(|c| c.len()).sum();
+        assert_eq!(total, 25);
+    }
+
+    #[test]
+    fn split_partitions_samples() {
+        let data = SyntheticDataset::generate(&DatasetSpec::tiny(), 40, 4);
+        let (tr, te) = data.split(0.8);
+        assert_eq!(tr.len(), 32);
+        assert_eq!(te.len(), 8);
+        assert_eq!(tr.spec(), data.spec());
+    }
+
+    #[test]
+    fn subset_extracts_requested_samples() {
+        let data = SyntheticDataset::generate(&DatasetSpec::tiny(), 10, 8);
+        let sub = data.subset(&[3, 7]);
+        assert_eq!(sub.len(), 2);
+        assert_eq!(sub.labels()[0], data.labels()[3]);
+        assert_eq!(sub.labels()[1], data.labels()[7]);
+    }
+
+    #[test]
+    fn classes_are_separable_by_nearest_prototype() {
+        // Same-class samples should be closer to each other on average than
+        // cross-class samples — the property real datasets have and that
+        // training exploits.
+        let spec = DatasetSpec::tiny();
+        let data = SyntheticDataset::generate(&spec, 120, 11);
+        let pixels = spec.pixels();
+        let img = |i: usize| &data.images[i * pixels..(i + 1) * pixels];
+        let dist = |a: &[f32], b: &[f32]| -> f64 {
+            a.iter()
+                .zip(b)
+                .map(|(x, y)| ((x - y) as f64).powi(2))
+                .sum::<f64>()
+        };
+        let mut same = Vec::new();
+        let mut diff = Vec::new();
+        for i in 0..40 {
+            for j in (i + 1)..40 {
+                let d = dist(img(i), img(j));
+                if data.labels()[i] == data.labels()[j] {
+                    same.push(d);
+                } else {
+                    diff.push(d);
+                }
+            }
+        }
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        assert!(
+            mean(&same) < mean(&diff),
+            "same-class mean {} should be below cross-class mean {}",
+            mean(&same),
+            mean(&diff)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn batch_validates_indices() {
+        let data = SyntheticDataset::generate(&DatasetSpec::tiny(), 4, 0);
+        let _ = data.batch(&[4]);
+    }
+}

@@ -1,0 +1,46 @@
+//! # chiron-data
+//!
+//! Synthetic image-classification datasets and federated partitioners for
+//! the Chiron (ICDCS 2021) reproduction.
+//!
+//! The paper evaluates on MNIST, Fashion-MNIST and CIFAR-10. Those datasets
+//! are a download gate in this environment, so this crate substitutes
+//! deterministic synthetic generators with matched **difficulty profiles**
+//! (see `DESIGN.md` §2): each profile reproduces the paper dataset's input
+//! geometry (1×28×28 or 3×32×32, 10 classes), its per-sample cost in bits
+//! (which drives the edge-node economics), and its qualitative learning
+//! curve (fast-saturating for MNIST-like data, slow and low-asymptote for
+//! CIFAR-like data).
+//!
+//! * [`DatasetSpec`] — a profile: geometry, class count, difficulty knobs,
+//!   and the reference accuracy curve used to calibrate the fast oracle.
+//! * [`SyntheticDataset`] — generated samples with minibatch access.
+//! * [`partition`] — IID, Dirichlet non-IID, and size-skewed splits across
+//!   edge nodes.
+//! * [`loaders`] — IDX (MNIST/Fashion-MNIST) and CIFAR-10 binary file
+//!   parsers, so users who have the real datasets on disk can run every
+//!   experiment on them.
+//!
+//! ## Example
+//!
+//! ```
+//! use chiron_data::{DatasetSpec, SyntheticDataset};
+//!
+//! let spec = DatasetSpec::mnist_like();
+//! let data = SyntheticDataset::generate(&spec, 100, 42);
+//! assert_eq!(data.len(), 100);
+//! let (x, y) = data.batch(&[0, 1, 2]);
+//! assert_eq!(x.dims(), &[3, 1, 28, 28]);
+//! assert_eq!(y.len(), 3);
+//! ```
+
+mod dataset;
+pub mod loaders;
+pub mod partition;
+mod profile;
+
+pub use dataset::SyntheticDataset;
+pub use profile::{DatasetKind, DatasetSpec, Difficulty, LearningCurve};
+
+#[cfg(test)]
+mod proptests;

@@ -1,0 +1,237 @@
+//! Federated partitioners: how a global dataset is distributed across edge
+//! nodes.
+//!
+//! The paper's small-scale experiment distributes training data "randomly
+//! among the edge nodes" (IID); the crate additionally provides the two
+//! standard non-IID splits used in the federated-learning literature so the
+//! simulator can inject heterogeneity.
+
+use crate::SyntheticDataset;
+use chiron_tensor::TensorRng;
+use rand_distr::{Dirichlet, Distribution};
+
+/// A partitioning strategy across `n` edge nodes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Partition {
+    /// Uniform random split into equal shares (the paper's setting).
+    Iid,
+    /// Label-skewed split: per-class proportions drawn from a symmetric
+    /// Dirichlet with concentration `alpha` (smaller ⇒ more skew).
+    Dirichlet {
+        /// Concentration parameter; must be positive.
+        alpha: f64,
+    },
+    /// Size-skewed IID split: node `i` receives a share proportional to
+    /// `i + 1` (heterogeneous data volumes, same label distribution).
+    SizeSkewed,
+}
+
+/// Splits `data` into one shard per node according to `strategy`.
+///
+/// Every sample is assigned to exactly one node and every node receives at
+/// least one sample.
+///
+/// # Panics
+///
+/// Panics if `nodes == 0`, `nodes > data.len()`, or a Dirichlet `alpha` is
+/// not positive.
+///
+/// # Examples
+///
+/// ```
+/// use chiron_data::{partition::{split, Partition}, DatasetSpec, SyntheticDataset};
+///
+/// let data = SyntheticDataset::generate(&DatasetSpec::tiny(), 100, 0);
+/// let shards = split(&data, 5, Partition::Iid, 1);
+/// assert_eq!(shards.len(), 5);
+/// assert_eq!(shards.iter().map(|s| s.len()).sum::<usize>(), 100);
+/// ```
+pub fn split(
+    data: &SyntheticDataset,
+    nodes: usize,
+    strategy: Partition,
+    seed: u64,
+) -> Vec<SyntheticDataset> {
+    assert!(nodes > 0, "need at least one node");
+    assert!(
+        nodes <= data.len(),
+        "cannot split {} samples across {nodes} nodes",
+        data.len()
+    );
+    let mut rng = TensorRng::seed_from(seed);
+    let assignment: Vec<Vec<usize>> = match strategy {
+        Partition::Iid => iid_assignment(data.len(), nodes, &mut rng),
+        Partition::Dirichlet { alpha } => dirichlet_assignment(data, nodes, alpha, &mut rng),
+        Partition::SizeSkewed => size_skewed_assignment(data.len(), nodes, &mut rng),
+    };
+    assignment.iter().map(|idx| data.subset(idx)).collect()
+}
+
+fn iid_assignment(n: usize, nodes: usize, rng: &mut TensorRng) -> Vec<Vec<usize>> {
+    let mut order: Vec<usize> = (0..n).collect();
+    rng.shuffle(&mut order);
+    let base = n / nodes;
+    let extra = n % nodes;
+    let mut out = Vec::with_capacity(nodes);
+    let mut cursor = 0;
+    for i in 0..nodes {
+        let take = base + usize::from(i < extra);
+        out.push(order[cursor..cursor + take].to_vec());
+        cursor += take;
+    }
+    out
+}
+
+fn size_skewed_assignment(n: usize, nodes: usize, rng: &mut TensorRng) -> Vec<Vec<usize>> {
+    let mut order: Vec<usize> = (0..n).collect();
+    rng.shuffle(&mut order);
+    let total_weight: usize = (1..=nodes).sum();
+    let mut out = Vec::with_capacity(nodes);
+    let mut cursor = 0;
+    for i in 0..nodes {
+        let mut take = n * (i + 1) / total_weight;
+        take = take.max(1);
+        if i == nodes - 1 || cursor + take > n {
+            take = n - cursor - (nodes - 1 - i); // leave ≥1 for the rest
+        }
+        out.push(order[cursor..cursor + take].to_vec());
+        cursor += take;
+    }
+    // Distribute any remainder to the last node.
+    if cursor < n {
+        out.last_mut().expect("nodes > 0").extend(&order[cursor..]);
+    }
+    out
+}
+
+fn dirichlet_assignment(
+    data: &SyntheticDataset,
+    nodes: usize,
+    alpha: f64,
+    rng: &mut TensorRng,
+) -> Vec<Vec<usize>> {
+    assert!(alpha > 0.0, "Dirichlet alpha must be positive, got {alpha}");
+    if nodes == 1 {
+        return vec![(0..data.len()).collect()];
+    }
+    let classes = data.spec().classes;
+    // Group sample indices by label.
+    let mut by_class: Vec<Vec<usize>> = vec![Vec::new(); classes];
+    for (i, &l) in data.labels().iter().enumerate() {
+        by_class[l].push(i);
+    }
+    let mut out: Vec<Vec<usize>> = vec![Vec::new(); nodes];
+    let dirichlet =
+        Dirichlet::new(&vec![alpha; nodes]).expect("valid symmetric Dirichlet parameters");
+    for mut class_indices in by_class {
+        rng.shuffle(&mut class_indices);
+        let proportions = dirichlet.sample(rng.inner());
+        let mut cursor = 0usize;
+        let total = class_indices.len();
+        for (node, &p) in proportions.iter().enumerate() {
+            let take = if node == nodes - 1 {
+                total - cursor
+            } else {
+                ((total as f64) * p).floor() as usize
+            };
+            let take = take.min(total - cursor);
+            out[node].extend(&class_indices[cursor..cursor + take]);
+            cursor += take;
+        }
+    }
+    // Guarantee non-empty shards: steal one sample from the largest shard.
+    for i in 0..nodes {
+        if out[i].is_empty() {
+            let donor = (0..nodes).max_by_key(|&j| out[j].len()).expect("nodes > 0");
+            assert!(out[donor].len() > 1, "not enough samples to fill all nodes");
+            let moved = out[donor].pop().expect("donor non-empty");
+            out[i].push(moved);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DatasetSpec;
+
+    fn data(n: usize) -> SyntheticDataset {
+        SyntheticDataset::generate(&DatasetSpec::tiny(), n, 42)
+    }
+
+    fn assert_exact_cover(shards: &[SyntheticDataset], total: usize) {
+        let sum: usize = shards.iter().map(|s| s.len()).sum();
+        assert_eq!(sum, total);
+        assert!(shards.iter().all(|s| !s.is_empty()));
+    }
+
+    #[test]
+    fn iid_split_is_balanced() {
+        let d = data(103);
+        let shards = split(&d, 5, Partition::Iid, 7);
+        assert_exact_cover(&shards, 103);
+        let sizes: Vec<usize> = shards.iter().map(|s| s.len()).collect();
+        assert_eq!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap(), 1);
+    }
+
+    #[test]
+    fn iid_split_is_deterministic() {
+        let d = data(50);
+        let a = split(&d, 4, Partition::Iid, 1);
+        let b = split(&d, 4, Partition::Iid, 1);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.labels(), y.labels());
+        }
+    }
+
+    #[test]
+    fn size_skewed_is_increasing() {
+        let d = data(200);
+        let shards = split(&d, 4, Partition::SizeSkewed, 3);
+        assert_exact_cover(&shards, 200);
+        let sizes: Vec<usize> = shards.iter().map(|s| s.len()).collect();
+        for w in sizes.windows(2) {
+            assert!(w[0] <= w[1], "sizes must be non-decreasing: {sizes:?}");
+        }
+    }
+
+    #[test]
+    fn dirichlet_low_alpha_skews_labels() {
+        let d = data(400);
+        let shards = split(&d, 4, Partition::Dirichlet { alpha: 0.1 }, 5);
+        assert_exact_cover(&shards, 400);
+        // With alpha = 0.1 at least one shard should be heavily dominated by
+        // a single class (majority share > 50 %).
+        let dominated = shards.iter().any(|s| {
+            let mut counts = vec![0usize; s.spec().classes];
+            for &l in s.labels() {
+                counts[l] += 1;
+            }
+            let max = *counts.iter().max().unwrap();
+            max * 2 > s.len()
+        });
+        assert!(dominated, "expected label skew at alpha = 0.1");
+    }
+
+    #[test]
+    fn dirichlet_high_alpha_is_roughly_uniform() {
+        let d = data(400);
+        let shards = split(&d, 4, Partition::Dirichlet { alpha: 100.0 }, 6);
+        assert_exact_cover(&shards, 400);
+        for s in &shards {
+            assert!(
+                s.len() > 400 / 4 / 2,
+                "alpha=100 shard too small: {}",
+                s.len()
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot split")]
+    fn more_nodes_than_samples_rejected() {
+        let d = data(4);
+        let _ = split(&d, 10, Partition::Iid, 0);
+    }
+}

@@ -1,0 +1,122 @@
+//! Property-based tests for dataset generation and partitioning invariants.
+
+use crate::loaders::load_idx;
+use crate::partition::{split, Partition};
+use crate::{DatasetSpec, SyntheticDataset};
+use proptest::prelude::*;
+
+/// Builds a syntactically valid IDX pair with arbitrary geometry.
+fn idx_pair_bytes(n: usize, h: usize, w: usize, classes: usize) -> (Vec<u8>, Vec<u8>) {
+    let mut images = Vec::new();
+    images.extend(0x0803u32.to_be_bytes());
+    images.extend((n as u32).to_be_bytes());
+    images.extend((h as u32).to_be_bytes());
+    images.extend((w as u32).to_be_bytes());
+    for i in 0..n {
+        images.extend(std::iter::repeat_n((i * 7 % 256) as u8, h * w));
+    }
+    let mut labels = Vec::new();
+    labels.extend(0x0801u32.to_be_bytes());
+    labels.extend((n as u32).to_be_bytes());
+    labels.extend((0..n).map(|i| (i % classes) as u8));
+    (images, labels)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn every_partition_covers_exactly(
+        n in 20usize..200,
+        nodes in 1usize..8,
+        seed in 0u64..1000,
+        strategy_idx in 0usize..3,
+    ) {
+        prop_assume!(nodes <= n / 4); // leave room for non-empty shards
+        let strategy = match strategy_idx {
+            0 => Partition::Iid,
+            1 => Partition::Dirichlet { alpha: 0.5 },
+            _ => Partition::SizeSkewed,
+        };
+        let data = SyntheticDataset::generate(&DatasetSpec::tiny(), n, seed);
+        let shards = split(&data, nodes, strategy, seed);
+        prop_assert_eq!(shards.len(), nodes);
+        let total: usize = shards.iter().map(|s| s.len()).sum();
+        prop_assert_eq!(total, n);
+        prop_assert!(shards.iter().all(|s| !s.is_empty()));
+    }
+
+    #[test]
+    fn generated_labels_in_range(n in 1usize..100, seed in 0u64..1000) {
+        let spec = DatasetSpec::tiny();
+        let data = SyntheticDataset::generate(&spec, n, seed);
+        prop_assert!(data.labels().iter().all(|&l| l < spec.classes));
+        prop_assert_eq!(data.len(), n);
+    }
+
+    #[test]
+    fn learning_curves_monotone_everywhere(k in 0.0f64..200.0) {
+        for spec in [
+            DatasetSpec::mnist_like(),
+            DatasetSpec::fashion_like(),
+            DatasetSpec::cifar10_like(),
+            DatasetSpec::tiny(),
+        ] {
+            let c = spec.curve;
+            let a = c.accuracy(k);
+            let b = c.accuracy(k + 0.5);
+            prop_assert!(b >= a, "{:?} not monotone at {k}", spec.kind);
+            prop_assert!((c.a_0..=c.a_max).contains(&a));
+        }
+    }
+
+    #[test]
+    fn idx_loader_round_trips_arbitrary_geometry(
+        n in 1usize..30,
+        h in 1usize..12,
+        w in 1usize..12,
+    ) {
+        let mut spec = DatasetSpec::mnist_like();
+        spec.height = h;
+        spec.width = w;
+        let (images, labels) = idx_pair_bytes(n, h, w, spec.classes);
+        let data = load_idx(&images, &labels, &spec).expect("valid IDX");
+        prop_assert_eq!(data.len(), n);
+        prop_assert!(data.labels().iter().all(|&l| l < spec.classes));
+        let (x, _) = data.batch(&[0]);
+        prop_assert_eq!(x.dims(), &[1, 1, h, w]);
+        // Pixel scaling stays in [0, 1].
+        prop_assert!(x.as_slice().iter().all(|&p| (0.0..=1.0).contains(&p)));
+    }
+
+    /// Truncating a valid IDX image payload anywhere must yield an error,
+    /// never a panic or a silently short dataset.
+    #[test]
+    fn idx_loader_rejects_any_truncation(
+        n in 1usize..10,
+        cut in 1usize..8,
+    ) {
+        let (mut images, labels) = idx_pair_bytes(n, 3, 3, 10);
+        let cut = cut.min(images.len() - 1);
+        images.truncate(images.len() - cut);
+        let mut spec = DatasetSpec::mnist_like();
+        spec.height = 3;
+        spec.width = 3;
+        prop_assert!(load_idx(&images, &labels, &spec).is_err());
+    }
+
+    #[test]
+    fn batches_are_consistent_with_subset(
+        n in 10usize..60,
+        seed in 0u64..1000,
+        idx in 0usize..10,
+    ) {
+        let data = SyntheticDataset::generate(&DatasetSpec::tiny(), n, seed);
+        let i = idx % n;
+        let (x, y) = data.batch(&[i]);
+        let sub = data.subset(&[i]);
+        let (sx, sy) = sub.batch(&[0]);
+        prop_assert_eq!(x.as_slice(), sx.as_slice());
+        prop_assert_eq!(y, sy);
+    }
+}

@@ -1,0 +1,236 @@
+//! Experience storage and advantage estimation.
+
+/// One stored interaction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Transition {
+    /// Observed state.
+    pub state: Vec<f64>,
+    /// Raw (pre-squash) action taken.
+    pub action: Vec<f64>,
+    /// `log π_old(a|s)` at collection time.
+    pub log_prob: f64,
+    /// Reward received after the action.
+    pub reward: f64,
+    /// Critic value `V_old(s)` at collection time.
+    pub value: f64,
+    /// Whether the episode ended after this step.
+    pub done: bool,
+}
+
+/// An on-policy rollout buffer, as Algorithm 1 uses: transitions accumulate
+/// over an episode and are consumed by one multi-epoch PPO update, then
+/// cleared.
+///
+/// # Examples
+///
+/// ```
+/// use chiron_drl::RolloutBuffer;
+///
+/// let mut buf = RolloutBuffer::new();
+/// buf.push(&[0.0], &[1.0], -0.5, 1.0, 0.3, false);
+/// buf.push(&[1.0], &[0.5], -0.4, 0.0, 0.1, true);
+/// let (returns, advantages) = buf.compute_returns_and_advantages(0.95, 0.95);
+/// assert_eq!(returns.len(), 2);
+/// assert_eq!(advantages.len(), 2);
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct RolloutBuffer {
+    transitions: Vec<Transition>,
+}
+
+impl RolloutBuffer {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a transition.
+    pub fn push(
+        &mut self,
+        state: &[f64],
+        action: &[f64],
+        log_prob: f64,
+        reward: f64,
+        value: f64,
+        done: bool,
+    ) {
+        self.transitions.push(Transition {
+            state: state.to_vec(),
+            action: action.to_vec(),
+            log_prob,
+            reward,
+            value,
+            done,
+        });
+    }
+
+    /// Number of stored transitions.
+    pub fn len(&self) -> usize {
+        self.transitions.len()
+    }
+
+    /// `true` if nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.transitions.is_empty()
+    }
+
+    /// The stored transitions.
+    pub fn transitions(&self) -> &[Transition] {
+        &self.transitions
+    }
+
+    /// Empties the buffer (after a PPO update consumes it).
+    pub fn clear(&mut self) {
+        self.transitions.clear();
+    }
+
+    /// Marks the most recent transition as terminal.
+    ///
+    /// Algorithm 1 discovers the episode end one step late: the round that
+    /// overdraws the budget is discarded, so the *previous* stored
+    /// transition retroactively becomes the episode's last.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer is empty.
+    pub fn mark_last_done(&mut self) {
+        self.transitions
+            .last_mut()
+            .expect("mark_last_done on empty buffer")
+            .done = true;
+    }
+
+    /// Computes bootstrapped returns and GAE(λ) advantages.
+    ///
+    /// With `lambda = 0` this reduces exactly to the one-step TD targets of
+    /// Algorithm 1: advantage `δ_t = r_t + γ·V(s_{t+1}) − V(s_t)` and
+    /// critic target `r_t + γ·V(s_{t+1})`. Episode boundaries (`done`)
+    /// zero the bootstrap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer is empty or `gamma`/`lambda` are outside
+    /// `[0, 1]`.
+    pub fn compute_returns_and_advantages(&self, gamma: f64, lambda: f64) -> (Vec<f64>, Vec<f64>) {
+        assert!(!self.transitions.is_empty(), "empty rollout buffer");
+        assert!((0.0..=1.0).contains(&gamma), "gamma must be in [0,1]");
+        assert!((0.0..=1.0).contains(&lambda), "lambda must be in [0,1]");
+        let n = self.transitions.len();
+        let mut advantages = vec![0.0f64; n];
+        let mut gae = 0.0f64;
+        for t in (0..n).rev() {
+            let tr = &self.transitions[t];
+            let next_value = if tr.done || t + 1 == n {
+                // The final stored step of a rollout bootstraps to zero —
+                // episodes in this codebase always end inside the buffer.
+                0.0
+            } else {
+                self.transitions[t + 1].value
+            };
+            let delta = tr.reward + gamma * next_value - tr.value;
+            gae = delta + if tr.done { 0.0 } else { gamma * lambda * gae };
+            advantages[t] = gae;
+        }
+        let returns: Vec<f64> = advantages
+            .iter()
+            .zip(&self.transitions)
+            .map(|(a, tr)| a + tr.value)
+            .collect();
+        (returns, advantages)
+    }
+
+    /// Mean episode reward over the episodes contained in the buffer
+    /// (splitting on `done`); useful for convergence plots.
+    pub fn mean_episode_reward(&self) -> f64 {
+        if self.transitions.is_empty() {
+            return 0.0;
+        }
+        let mut episode_totals = Vec::new();
+        let mut acc = 0.0;
+        for tr in &self.transitions {
+            acc += tr.reward;
+            if tr.done {
+                episode_totals.push(acc);
+                acc = 0.0;
+            }
+        }
+        if episode_totals.is_empty() {
+            episode_totals.push(acc);
+        }
+        episode_totals.iter().sum::<f64>() / episode_totals.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn buf_from(rewards: &[f64], values: &[f64], dones: &[bool]) -> RolloutBuffer {
+        let mut b = RolloutBuffer::new();
+        for ((&r, &v), &d) in rewards.iter().zip(values).zip(dones) {
+            b.push(&[0.0], &[0.0], 0.0, r, v, d);
+        }
+        b
+    }
+
+    #[test]
+    fn td_zero_matches_algorithm_one() {
+        // λ=0 ⇒ advantage is exactly the one-step TD error.
+        let b = buf_from(&[1.0, 2.0, 3.0], &[0.5, 0.4, 0.3], &[false, false, true]);
+        let gamma = 0.9;
+        let (_, adv) = b.compute_returns_and_advantages(gamma, 0.0);
+        assert!((adv[0] - (1.0 + 0.9 * 0.4 - 0.5)).abs() < 1e-12);
+        assert!((adv[1] - (2.0 + 0.9 * 0.3 - 0.4)).abs() < 1e-12);
+        assert!((adv[2] - (3.0 + 0.0 - 0.3)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn returns_equal_advantage_plus_value() {
+        let b = buf_from(&[1.0, -1.0], &[0.2, 0.1], &[false, true]);
+        let (ret, adv) = b.compute_returns_and_advantages(0.95, 0.9);
+        for i in 0..2 {
+            assert!((ret[i] - (adv[i] + b.transitions()[i].value)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn done_blocks_bootstrap_and_gae_flow() {
+        // Two one-step episodes: each advantage is just r − V(s).
+        let b = buf_from(&[5.0, 7.0], &[1.0, 2.0], &[true, true]);
+        let (_, adv) = b.compute_returns_and_advantages(0.99, 0.95);
+        assert!((adv[0] - 4.0).abs() < 1e-12);
+        assert!((adv[1] - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gae_lambda_one_is_discounted_monte_carlo() {
+        let b = buf_from(&[1.0, 1.0, 1.0], &[0.0, 0.0, 0.0], &[false, false, true]);
+        let (ret, _) = b.compute_returns_and_advantages(0.5, 1.0);
+        // Monte-Carlo returns: 1 + 0.5 + 0.25, 1 + 0.5, 1.
+        assert!((ret[0] - 1.75).abs() < 1e-12);
+        assert!((ret[1] - 1.5).abs() < 1e-12);
+        assert!((ret[2] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_episode_reward_splits_on_done() {
+        let b = buf_from(&[1.0, 2.0, 4.0], &[0.0; 3], &[false, true, true]);
+        // Episodes: (1+2)=3 and 4 → mean 3.5.
+        assert!((b.mean_episode_reward() - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clear_empties_buffer() {
+        let mut b = buf_from(&[1.0], &[0.0], &[true]);
+        assert_eq!(b.len(), 1);
+        b.clear();
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty rollout")]
+    fn empty_buffer_rejected() {
+        let b = RolloutBuffer::new();
+        let _ = b.compute_returns_and_advantages(0.9, 0.0);
+    }
+}

@@ -1,0 +1,45 @@
+//! # chiron-drl
+//!
+//! The deep-reinforcement-learning substrate of the Chiron (ICDCS 2021)
+//! reproduction: Gaussian MLP policies, rollout buffers with TD/GAE
+//! advantage estimation, and Proximal Policy Optimization with the clipped
+//! surrogate objective — everything Algorithm 1 of the paper needs, built
+//! from scratch on `chiron-nn`.
+//!
+//! The same [`PpoAgent`] type powers all four learners in the
+//! reproduction: Chiron's exterior agent, Chiron's inner agent, the flat
+//! ablation agent, and the myopic "DRL-based" baseline.
+//!
+//! ## Example: learning a continuous bandit
+//!
+//! ```
+//! use chiron_drl::{PpoAgent, PpoConfig, RolloutBuffer};
+//!
+//! let mut agent = PpoAgent::new(1, 1, &[16], PpoConfig::default(), 0);
+//! for _ in 0..40 {
+//!     let mut buffer = RolloutBuffer::new();
+//!     for _ in 0..16 {
+//!         let state = [0.0];
+//!         let (action, log_prob) = agent.act(&state);
+//!         let reward = -(action[0] - 0.5).powi(2);
+//!         let value = agent.value(&state);
+//!         buffer.push(&state, &action, log_prob, reward, value, true);
+//!     }
+//!     agent.update(&mut buffer);
+//! }
+//! let a = agent.act_deterministic(&[0.0]);
+//! assert!((a[0] - 0.5).abs() < 0.4);
+//! ```
+
+mod buffer;
+mod norm;
+mod policy;
+mod ppo;
+
+pub use buffer::{RolloutBuffer, Transition};
+pub use norm::RunningNorm;
+pub use policy::GaussianPolicy;
+pub use ppo::{AgentSnapshot, PpoAgent, PpoConfig};
+
+#[cfg(test)]
+mod proptests;

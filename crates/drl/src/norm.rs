@@ -1,0 +1,186 @@
+//! Online observation normalization (Welford's algorithm).
+
+/// A running per-dimension mean/variance estimator for observation
+/// normalization.
+///
+/// PPO on hand-crafted state vectors is sensitive to feature scales; the
+/// mechanism layer normalizes its features analytically (dividing by known
+/// caps), but user-defined environments plugged into [`crate::PpoAgent`]
+/// often cannot. `RunningNorm` tracks mean and variance online with
+/// Welford's numerically stable update and maps observations to
+/// approximately zero mean and unit variance.
+///
+/// # Examples
+///
+/// ```
+/// use chiron_drl::RunningNorm;
+///
+/// let mut norm = RunningNorm::new(2);
+/// for i in 0..100 {
+///     norm.update(&[i as f64, 1000.0 + i as f64]);
+/// }
+/// let z = norm.normalize(&[49.5, 1049.5]); // the running means
+/// assert!(z.iter().all(|v| v.abs() < 1e-9));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunningNorm {
+    count: u64,
+    mean: Vec<f64>,
+    m2: Vec<f64>,
+    clip: f64,
+}
+
+impl RunningNorm {
+    /// Creates an estimator for `dim`-dimensional observations with the
+    /// standard ±10 output clip.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0`.
+    pub fn new(dim: usize) -> Self {
+        Self::with_clip(dim, 10.0)
+    }
+
+    /// Creates an estimator with an explicit output clip.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0` or `clip <= 0`.
+    pub fn with_clip(dim: usize, clip: f64) -> Self {
+        assert!(dim > 0, "dimension must be positive");
+        assert!(clip > 0.0, "clip must be positive");
+        Self {
+            count: 0,
+            mean: vec![0.0; dim],
+            m2: vec![0.0; dim],
+            clip,
+        }
+    }
+
+    /// Observation dimensionality.
+    pub fn dim(&self) -> usize {
+        self.mean.len()
+    }
+
+    /// Observations ingested so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Ingests one observation (Welford update).
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn update(&mut self, x: &[f64]) {
+        assert_eq!(x.len(), self.mean.len(), "dimension mismatch");
+        self.count += 1;
+        let n = self.count as f64;
+        for ((m, m2), &xi) in self.mean.iter_mut().zip(&mut self.m2).zip(x) {
+            let delta = xi - *m;
+            *m += delta / n;
+            *m2 += delta * (xi - *m);
+        }
+    }
+
+    /// Current per-dimension variance estimates (population; 0 before two
+    /// observations).
+    pub fn variance(&self) -> Vec<f64> {
+        if self.count < 2 {
+            return vec![0.0; self.mean.len()];
+        }
+        self.m2.iter().map(|&m2| m2 / self.count as f64).collect()
+    }
+
+    /// Normalizes `x` to `(x − mean)/std`, clipped; identity until two
+    /// observations have been seen.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn normalize(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.mean.len(), "dimension mismatch");
+        if self.count < 2 {
+            return x.to_vec();
+        }
+        let var = self.variance();
+        x.iter()
+            .zip(&self.mean)
+            .zip(&var)
+            .map(|((&xi, &m), &v)| ((xi - m) / v.sqrt().max(1e-8)).clamp(-self.clip, self.clip))
+            .collect()
+    }
+
+    /// Convenience: update then normalize the same observation.
+    pub fn update_and_normalize(&mut self, x: &[f64]) -> Vec<f64> {
+        self.update(x);
+        self.normalize(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_two_pass_statistics() {
+        let xs: Vec<f64> = vec![2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut norm = RunningNorm::new(1);
+        for &x in &xs {
+            norm.update(&[x]);
+        }
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64;
+        assert!((norm.variance()[0] - var).abs() < 1e-12);
+        let z = norm.normalize(&[mean]);
+        assert!(z[0].abs() < 1e-12);
+        let z = norm.normalize(&[mean + var.sqrt()]);
+        assert!((z[0] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn identity_before_enough_data() {
+        let mut norm = RunningNorm::new(2);
+        assert_eq!(norm.normalize(&[3.0, -1.0]), vec![3.0, -1.0]);
+        norm.update(&[1.0, 1.0]);
+        assert_eq!(norm.normalize(&[3.0, -1.0]), vec![3.0, -1.0]);
+    }
+
+    #[test]
+    fn dimensions_normalize_independently() {
+        let mut norm = RunningNorm::new(2);
+        for i in 0..1000 {
+            norm.update(&[i as f64 * 0.001, i as f64 * 1000.0]);
+        }
+        let z = norm.normalize(&[1.0, 1_000_000.0]);
+        // Both dimensions land on the same normalized coordinate.
+        assert!((z[0] - z[1]).abs() < 1e-6, "{z:?}");
+    }
+
+    #[test]
+    fn output_is_clipped() {
+        let mut norm = RunningNorm::with_clip(1, 3.0);
+        for x in [0.0, 1.0, 0.5, 0.7] {
+            norm.update(&[x]);
+        }
+        let z = norm.normalize(&[1e9]);
+        assert_eq!(z[0], 3.0);
+    }
+
+    #[test]
+    fn constant_input_does_not_divide_by_zero() {
+        let mut norm = RunningNorm::new(1);
+        for _ in 0..10 {
+            norm.update(&[5.0]);
+        }
+        let z = norm.normalize(&[6.0]);
+        assert!(z[0].is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn dimension_checked() {
+        let mut norm = RunningNorm::new(2);
+        norm.update(&[1.0]);
+    }
+}

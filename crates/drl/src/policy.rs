@@ -1,0 +1,198 @@
+//! Diagonal-Gaussian MLP policy for continuous actions.
+
+use chiron_nn::models::mlp;
+use chiron_nn::Sequential;
+use chiron_tensor::{Tensor, TensorRng};
+
+/// A stochastic policy `π(a|s) = N(μ_θ(s), σ²I)` with a tanh MLP producing
+/// the mean and a scheduled (decaying) exploration std.
+///
+/// The paper's agents act in continuous price spaces, so a policy-gradient
+/// method with a Gaussian head is the natural choice (Section V). The
+/// exploration std follows a deterministic decay schedule rather than being
+/// a learned parameter — this keeps PPO updates well-conditioned on the
+/// small networks used here while reproducing the usual
+/// explore-then-exploit pattern.
+///
+/// # Examples
+///
+/// ```
+/// use chiron_drl::GaussianPolicy;
+///
+/// let mut policy = GaussianPolicy::new(3, 2, &[32], 0.5, 7);
+/// let (action, log_prob) = policy.sample(&[0.1, -0.2, 0.5]);
+/// assert_eq!(action.len(), 2);
+/// assert!(log_prob.is_finite());
+/// ```
+pub struct GaussianPolicy {
+    net: Sequential,
+    action_dim: usize,
+    state_dim: usize,
+    std: f64,
+    rng: TensorRng,
+}
+
+impl GaussianPolicy {
+    /// Builds the policy: `state_dim → hidden… → action_dim` tanh MLP with
+    /// Xavier init, exploration std `std`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dims are zero or `std` is not positive.
+    pub fn new(state_dim: usize, action_dim: usize, hidden: &[usize], std: f64, seed: u64) -> Self {
+        assert!(state_dim > 0 && action_dim > 0, "dims must be positive");
+        assert!(std > 0.0, "exploration std must be positive");
+        let mut rng = TensorRng::seed_from(seed);
+        let mut dims = vec![state_dim];
+        dims.extend_from_slice(hidden);
+        dims.push(action_dim);
+        let net = mlp(&dims, &mut rng);
+        Self {
+            net,
+            action_dim,
+            state_dim,
+            std,
+            rng: TensorRng::seed_from(seed ^ 0xACDC),
+        }
+    }
+
+    /// Action dimensionality.
+    pub fn action_dim(&self) -> usize {
+        self.action_dim
+    }
+
+    /// State dimensionality.
+    pub fn state_dim(&self) -> usize {
+        self.state_dim
+    }
+
+    /// Current exploration std.
+    pub fn std(&self) -> f64 {
+        self.std
+    }
+
+    /// Sets the exploration std (the decay schedule lives in the agent).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `std` is not positive.
+    pub fn set_std(&mut self, std: f64) {
+        assert!(std > 0.0, "exploration std must be positive");
+        self.std = std;
+    }
+
+    /// The mean action `μ_θ(s)`.
+    pub fn mean(&mut self, state: &[f64]) -> Vec<f64> {
+        let x = state_tensor(state, self.state_dim);
+        let mu = self.net.forward(&x, false);
+        mu.as_slice().iter().map(|&v| v as f64).collect()
+    }
+
+    /// Batch of means for PPO updates, `(B, action_dim)`, in training mode.
+    pub(crate) fn mean_batch(&mut self, states: &Tensor) -> Tensor {
+        self.net.forward(states, true)
+    }
+
+    /// Samples `a ~ N(μ(s), σ²)` and returns `(a, log π(a|s))`.
+    pub fn sample(&mut self, state: &[f64]) -> (Vec<f64>, f64) {
+        let mu = self.mean(state);
+        let mut action = Vec::with_capacity(self.action_dim);
+        for &m in &mu {
+            action.push(m + self.rng.normal() * self.std);
+        }
+        let log_prob = self.log_prob(&mu, &action);
+        (action, log_prob)
+    }
+
+    /// `log N(a; μ, σ²I)`.
+    pub fn log_prob(&self, mean: &[f64], action: &[f64]) -> f64 {
+        assert_eq!(mean.len(), action.len(), "mean/action dim mismatch");
+        let var = self.std * self.std;
+        let mut lp = -0.5 * (mean.len() as f64) * (2.0 * std::f64::consts::PI * var).ln();
+        for (&m, &a) in mean.iter().zip(action) {
+            lp -= (a - m) * (a - m) / (2.0 * var);
+        }
+        lp
+    }
+
+    /// Mutable access to the underlying network for optimizer steps.
+    pub(crate) fn net_mut(&mut self) -> &mut Sequential {
+        &mut self.net
+    }
+}
+
+/// Converts a state slice into a `(1, dim)` tensor.
+pub(crate) fn state_tensor(state: &[f64], dim: usize) -> Tensor {
+    assert_eq!(
+        state.len(),
+        dim,
+        "state has {} entries, expected {dim}",
+        state.len()
+    );
+    Tensor::from_vec(state.iter().map(|&v| v as f32).collect(), &[1, dim])
+}
+
+/// Stacks state slices into a `(B, dim)` tensor.
+pub(crate) fn states_tensor(states: &[Vec<f64>], dim: usize) -> Tensor {
+    assert!(!states.is_empty(), "need at least one state");
+    let mut data = Vec::with_capacity(states.len() * dim);
+    for s in states {
+        assert_eq!(s.len(), dim, "state dim mismatch");
+        data.extend(s.iter().map(|&v| v as f32));
+    }
+    Tensor::from_vec(data, &[states.len(), dim])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampling_is_seeded() {
+        let mut a = GaussianPolicy::new(2, 1, &[8], 0.3, 5);
+        let mut b = GaussianPolicy::new(2, 1, &[8], 0.3, 5);
+        let s = [0.2, -0.1];
+        assert_eq!(a.sample(&s), b.sample(&s));
+    }
+
+    #[test]
+    fn log_prob_peaks_at_mean() {
+        let policy = GaussianPolicy::new(1, 1, &[4], 0.5, 0);
+        let mu = [0.3];
+        let at_mean = policy.log_prob(&mu, &[0.3]);
+        let off_mean = policy.log_prob(&mu, &[0.8]);
+        assert!(at_mean > off_mean);
+    }
+
+    #[test]
+    fn log_prob_matches_gaussian_density() {
+        let policy = GaussianPolicy::new(1, 1, &[4], 1.0, 0);
+        // Standard normal at 0: log(1/sqrt(2π)) ≈ −0.9189.
+        let lp = policy.log_prob(&[0.0], &[0.0]);
+        assert!((lp + 0.9189385).abs() < 1e-5);
+    }
+
+    #[test]
+    fn samples_concentrate_with_small_std() {
+        let mut policy = GaussianPolicy::new(1, 1, &[8], 1.0, 1);
+        let s = [0.5];
+        let mu = policy.mean(&s)[0];
+        policy.set_std(1e-6);
+        let (a, _) = policy.sample(&s);
+        assert!((a[0] - mu).abs() < 1e-4);
+    }
+
+    #[test]
+    fn mean_is_deterministic() {
+        let mut policy = GaussianPolicy::new(3, 2, &[8], 0.2, 2);
+        let s = [0.1, 0.2, 0.3];
+        assert_eq!(policy.mean(&s), policy.mean(&s));
+    }
+
+    #[test]
+    #[should_panic(expected = "expected 3")]
+    fn state_dim_is_validated() {
+        let mut policy = GaussianPolicy::new(3, 1, &[4], 0.2, 0);
+        let _ = policy.mean(&[0.0]);
+    }
+}

@@ -1,0 +1,81 @@
+//! Property-based tests for PPO building blocks.
+
+use crate::{GaussianPolicy, PpoAgent, PpoConfig, RolloutBuffer};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// GAE with λ = 0 is exactly the one-step TD error for every transition.
+    #[test]
+    fn gae_zero_is_td_error(
+        rewards in proptest::collection::vec(-5.0f64..5.0, 1..20),
+        gamma in 0.0f64..1.0,
+    ) {
+        let mut buf = RolloutBuffer::new();
+        let n = rewards.len();
+        for (i, &r) in rewards.iter().enumerate() {
+            let v = (i as f64) * 0.1;
+            buf.push(&[0.0], &[0.0], 0.0, r, v, i + 1 == n);
+        }
+        let (_, adv) = buf.compute_returns_and_advantages(gamma, 0.0);
+        for (i, tr) in buf.transitions().iter().enumerate() {
+            let next_v = if tr.done || i + 1 == n { 0.0 } else { buf.transitions()[i + 1].value };
+            let td = tr.reward + gamma * next_v - tr.value;
+            prop_assert!((adv[i] - td).abs() < 1e-9);
+        }
+    }
+
+    /// Log-probabilities integrate sensibly: density is maximal at the mean
+    /// and decreases monotonically with distance.
+    #[test]
+    fn log_prob_monotone_in_distance(
+        mean in -3.0f64..3.0,
+        d1 in 0.0f64..2.0,
+        d2 in 0.0f64..2.0,
+        std in 0.05f64..2.0,
+    ) {
+        let policy = GaussianPolicy::new(1, 1, &[4], std, 0);
+        let (near, far) = if d1 < d2 { (d1, d2) } else { (d2, d1) };
+        let lp_near = policy.log_prob(&[mean], &[mean + near]);
+        let lp_far = policy.log_prob(&[mean], &[mean + far]);
+        prop_assert!(lp_near >= lp_far - 1e-12);
+    }
+
+    /// Sampled actions have empirical spread consistent with the configured
+    /// exploration std (coarse two-sided bound).
+    #[test]
+    fn sample_spread_matches_std(seed in 0u64..100, std in 0.1f64..1.0) {
+        let mut policy = GaussianPolicy::new(1, 1, &[4], std, seed);
+        let s = [0.0];
+        let mu = policy.mean(&s)[0];
+        let samples: Vec<f64> = (0..400).map(|_| policy.sample(&s).0[0]).collect();
+        let emp_var = samples.iter().map(|a| (a - mu) * (a - mu)).sum::<f64>() / 400.0;
+        let emp_std = emp_var.sqrt();
+        prop_assert!(emp_std > std * 0.7 && emp_std < std * 1.3,
+            "empirical std {} vs configured {}", emp_std, std);
+    }
+
+    /// A PPO update never produces non-finite losses, whatever the rewards.
+    #[test]
+    fn update_is_numerically_stable(
+        rewards in proptest::collection::vec(-100.0f64..100.0, 2..16),
+        seed in 0u64..50,
+    ) {
+        let mut agent = PpoAgent::new(2, 1, &[8], PpoConfig::default(), seed);
+        let mut buf = RolloutBuffer::new();
+        let n = rewards.len();
+        for (i, &r) in rewards.iter().enumerate() {
+            let s = [i as f64 / n as f64, 1.0];
+            let (a, lp) = agent.act(&s);
+            let v = agent.value(&s);
+            buf.push(&s, &a, lp, r, v, i + 1 == n);
+        }
+        let (al, cl) = agent.update(&mut buf);
+        prop_assert!(al.is_finite(), "actor loss {al}");
+        prop_assert!(cl.is_finite(), "critic loss {cl}");
+        // The agent still acts sensibly afterwards.
+        let a = agent.act_deterministic(&[0.0, 1.0]);
+        prop_assert!(a[0].is_finite());
+    }
+}

@@ -1,0 +1,167 @@
+//! Budget accounting for the parameter server.
+
+use serde::{Deserialize, Serialize};
+
+/// The parameter server's budget `η` with overdraft protection.
+///
+/// Implements the constraint of `OP_PS`
+/// (`Σ_k Σ_i p_{i,k}·ζ_{i,k} ≤ η`) and Algorithm 1's termination rule: a
+/// round whose payments would push the ledger negative is **rejected** (not
+/// recorded) and the episode ends.
+///
+/// # Examples
+///
+/// ```
+/// use chiron_fedsim::BudgetLedger;
+///
+/// let mut ledger = BudgetLedger::new(10.0);
+/// assert!(ledger.charge(4.0).is_ok());
+/// assert_eq!(ledger.remaining(), 6.0);
+/// assert!(ledger.charge(7.0).is_err()); // rejected, not recorded
+/// assert_eq!(ledger.remaining(), 6.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BudgetLedger {
+    total: f64,
+    spent: f64,
+}
+
+/// Error returned when a charge would overdraw the budget.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BudgetExhausted {
+    /// The amount that was requested.
+    pub requested: f64,
+    /// What was still available.
+    pub available: f64,
+}
+
+impl std::fmt::Display for BudgetExhausted {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "budget exhausted: requested {:.4}, available {:.4}",
+            self.requested, self.available
+        )
+    }
+}
+
+impl std::error::Error for BudgetExhausted {}
+
+impl BudgetLedger {
+    /// Creates a ledger with total budget `η`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total` is not positive and finite.
+    pub fn new(total: f64) -> Self {
+        assert!(
+            total > 0.0 && total.is_finite(),
+            "budget must be positive and finite, got {total}"
+        );
+        Self { total, spent: 0.0 }
+    }
+
+    /// The initial budget `η`.
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+
+    /// Amount spent so far.
+    pub fn spent(&self) -> f64 {
+        self.spent
+    }
+
+    /// Amount still available.
+    pub fn remaining(&self) -> f64 {
+        self.total - self.spent
+    }
+
+    /// Attempts to charge `amount`; on success records it, on failure
+    /// leaves the ledger untouched (the round is discarded per
+    /// Algorithm 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `amount` is negative or non-finite.
+    pub fn charge(&mut self, amount: f64) -> Result<(), BudgetExhausted> {
+        assert!(
+            amount >= 0.0 && amount.is_finite(),
+            "charge must be non-negative and finite, got {amount}"
+        );
+        if amount > self.remaining() {
+            return Err(BudgetExhausted {
+                requested: amount,
+                available: self.remaining(),
+            });
+        }
+        self.spent += amount;
+        Ok(())
+    }
+
+    /// Resets spending to zero (new episode).
+    pub fn reset(&mut self) {
+        self.spent = 0.0;
+    }
+
+    /// Fraction of the budget consumed, in `[0, 1]`.
+    pub fn utilization(&self) -> f64 {
+        self.spent / self.total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charges_accumulate() {
+        let mut l = BudgetLedger::new(100.0);
+        assert!(l.charge(30.0).is_ok());
+        assert!(l.charge(50.0).is_ok());
+        assert_eq!(l.spent(), 80.0);
+        assert_eq!(l.remaining(), 20.0);
+        assert!((l.utilization() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overdraft_is_rejected_and_not_recorded() {
+        let mut l = BudgetLedger::new(10.0);
+        l.charge(9.0).unwrap();
+        let err = l.charge(2.0).unwrap_err();
+        assert_eq!(err.requested, 2.0);
+        assert!((err.available - 1.0).abs() < 1e-12);
+        assert_eq!(l.spent(), 9.0); // unchanged
+                                    // A smaller charge still fits.
+        assert!(l.charge(1.0).is_ok());
+        assert_eq!(l.remaining(), 0.0);
+    }
+
+    #[test]
+    fn reset_restores_full_budget() {
+        let mut l = BudgetLedger::new(5.0);
+        l.charge(5.0).unwrap();
+        l.reset();
+        assert_eq!(l.remaining(), 5.0);
+    }
+
+    #[test]
+    fn zero_charge_is_fine() {
+        let mut l = BudgetLedger::new(1.0);
+        assert!(l.charge(0.0).is_ok());
+        assert_eq!(l.spent(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn non_positive_budget_rejected() {
+        let _ = BudgetLedger::new(0.0);
+    }
+
+    #[test]
+    fn error_displays_amounts() {
+        let mut l = BudgetLedger::new(1.0);
+        let err = l.charge(2.0).unwrap_err();
+        let s = err.to_string();
+        assert!(s.contains("2.0000") && s.contains("1.0000"), "{s}");
+    }
+}

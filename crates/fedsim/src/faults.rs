@@ -1,0 +1,378 @@
+//! Failure injection: perturb the fleet mid-episode to probe mechanism
+//! robustness.
+//!
+//! Real edge fleets misbehave: radios degrade, devices leave, users crank
+//! up their price expectations. The paper evaluates on a well-behaved
+//! fleet; this module adds the perturbations the reproduction's
+//! failure-injection tests exercise (`DESIGN.md` §6). Faults activate at a
+//! given round and either persist for the rest of the episode or heal at a
+//! scheduled round (transient faults); the schedule itself is stateless, so
+//! every episode replays the same perturbations.
+
+use crate::{EdgeNode, NodeParams};
+use serde::{Deserialize, Serialize};
+
+/// One fleet perturbation, active from `from_round` (1-based, compared
+/// against the round being executed) onwards. Register with
+/// [`FaultSchedule::push`] for a permanent fault or
+/// [`FaultSchedule::push_transient`] for one that heals.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Fault {
+    /// The node's upload time is multiplied by `factor` (> 1 ⇒ straggler).
+    BandwidthCollapse {
+        /// Index of the affected node.
+        node: usize,
+        /// Multiplier on the upload time.
+        factor: f64,
+        /// First affected round.
+        from_round: usize,
+    },
+    /// The node leaves the fleet: it declines every price.
+    Dropout {
+        /// Index of the affected node.
+        node: usize,
+        /// First affected round.
+        from_round: usize,
+    },
+    /// The node's reserve utility is multiplied by `factor` (> 1 ⇒ it
+    /// demands more compensation before participating).
+    ReserveSpike {
+        /// Index of the affected node.
+        node: usize,
+        /// Multiplier on the reserve utility.
+        factor: f64,
+        /// First affected round.
+        from_round: usize,
+    },
+}
+
+impl Fault {
+    /// The node this fault targets.
+    pub fn node(&self) -> usize {
+        match *self {
+            Fault::BandwidthCollapse { node, .. }
+            | Fault::Dropout { node, .. }
+            | Fault::ReserveSpike { node, .. } => node,
+        }
+    }
+
+    /// The first round this fault affects.
+    pub fn from_round(&self) -> usize {
+        match *self {
+            Fault::BandwidthCollapse { from_round, .. }
+            | Fault::Dropout { from_round, .. }
+            | Fault::ReserveSpike { from_round, .. } => from_round,
+        }
+    }
+
+    /// Whether the fault is active when executing `round`.
+    pub fn active_at(&self, round: usize) -> bool {
+        round >= self.from_round()
+    }
+}
+
+/// A fault paired with an optional healing round: the perturbation is
+/// active for rounds in `[fault.from_round(), until_round)`, or forever if
+/// `until_round` is `None`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScheduledFault {
+    /// The perturbation.
+    pub fault: Fault,
+    /// First round at which the fault is healed (exclusive end), if any.
+    pub until_round: Option<usize>,
+}
+
+impl ScheduledFault {
+    /// Whether this entry is active when executing `round`.
+    pub fn active_at(&self, round: usize) -> bool {
+        self.fault.active_at(round) && self.until_round.is_none_or(|end| round < end)
+    }
+}
+
+/// A set of faults applied to a fleet.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultSchedule {
+    faults: Vec<ScheduledFault>,
+}
+
+impl FaultSchedule {
+    /// An empty schedule (no perturbations).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Builds a schedule of permanent faults.
+    pub fn new(faults: Vec<Fault>) -> Self {
+        Self {
+            faults: faults
+                .into_iter()
+                .map(|fault| ScheduledFault {
+                    fault,
+                    until_round: None,
+                })
+                .collect(),
+        }
+    }
+
+    /// Adds a permanent fault.
+    pub fn push(&mut self, fault: Fault) {
+        self.faults.push(ScheduledFault {
+            fault,
+            until_round: None,
+        });
+    }
+
+    /// Adds a **transient** fault, healed from `until_round` onwards.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `until_round > fault.from_round()`.
+    pub fn push_transient(&mut self, fault: Fault, until_round: usize) {
+        assert!(
+            until_round > fault.from_round(),
+            "transient fault heals at {until_round} before it starts at {}",
+            fault.from_round()
+        );
+        self.faults.push(ScheduledFault {
+            fault,
+            until_round: Some(until_round),
+        });
+    }
+
+    /// The scheduled faults.
+    pub fn faults(&self) -> &[ScheduledFault] {
+        &self.faults
+    }
+
+    /// `true` if no fault is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Whether `node` has an active [`Fault::Dropout`] at `round`.
+    pub fn is_dropped(&self, node: usize, round: usize) -> bool {
+        self.faults.iter().any(|sf| {
+            matches!(sf.fault, Fault::Dropout { .. })
+                && sf.fault.node() == node
+                && sf.active_at(round)
+        })
+    }
+
+    /// The node's effective parameters at `round` with all active
+    /// non-dropout faults applied (dropout is handled separately because it
+    /// suppresses the response entirely).
+    pub fn effective_params(&self, node: usize, round: usize, base: &NodeParams) -> NodeParams {
+        let mut params = *base;
+        for sf in &self.faults {
+            if sf.fault.node() != node || !sf.active_at(round) {
+                continue;
+            }
+            match sf.fault {
+                Fault::BandwidthCollapse { factor, .. } => {
+                    params.upload_time *= factor;
+                }
+                Fault::ReserveSpike { factor, .. } => {
+                    params.reserve_utility *= factor;
+                }
+                Fault::Dropout { .. } => {}
+            }
+        }
+        params
+    }
+
+    /// Builds the effective node for `round`, or `None` if it has dropped
+    /// out.
+    pub fn effective_node(&self, node: usize, round: usize, base: &EdgeNode) -> Option<EdgeNode> {
+        if self.is_dropped(node, round) {
+            return None;
+        }
+        if self.is_empty() {
+            return Some(base.clone());
+        }
+        Some(EdgeNode::new(self.effective_params(
+            node,
+            round,
+            base.params(),
+        )))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> EdgeNode {
+        EdgeNode::new(NodeParams {
+            cycles_per_bit: 20.0,
+            data_bits: 1e7,
+            capacitance: 2e-28,
+            freq_min: 1e8,
+            freq_max: 2e9,
+            upload_time: 10.0,
+            upload_power: 0.001,
+            reserve_utility: 0.01,
+        })
+    }
+
+    #[test]
+    fn faults_activate_at_their_round() {
+        let f = Fault::BandwidthCollapse {
+            node: 0,
+            factor: 3.0,
+            from_round: 5,
+        };
+        assert!(!f.active_at(4));
+        assert!(f.active_at(5));
+        assert!(f.active_at(100));
+    }
+
+    #[test]
+    fn bandwidth_collapse_scales_upload_time() {
+        let schedule = FaultSchedule::new(vec![Fault::BandwidthCollapse {
+            node: 1,
+            factor: 4.0,
+            from_round: 3,
+        }]);
+        let node = base();
+        // Before activation: unchanged.
+        let before = schedule.effective_node(1, 2, &node).expect("present");
+        assert_eq!(before.params().upload_time, 10.0);
+        // After: 4×.
+        let after = schedule.effective_node(1, 3, &node).expect("present");
+        assert_eq!(after.params().upload_time, 40.0);
+        // Other nodes unaffected.
+        let other = schedule.effective_node(0, 3, &node).expect("present");
+        assert_eq!(other.params().upload_time, 10.0);
+    }
+
+    #[test]
+    fn dropout_removes_the_node() {
+        let schedule = FaultSchedule::new(vec![Fault::Dropout {
+            node: 2,
+            from_round: 2,
+        }]);
+        assert!(schedule.effective_node(2, 1, &base()).is_some());
+        assert!(schedule.effective_node(2, 2, &base()).is_none());
+        assert!(schedule.is_dropped(2, 2));
+        assert!(!schedule.is_dropped(1, 2));
+    }
+
+    #[test]
+    fn reserve_spike_raises_participation_bar() {
+        let schedule = FaultSchedule::new(vec![Fault::ReserveSpike {
+            node: 0,
+            factor: 100.0,
+            from_round: 1,
+        }]);
+        let node = schedule.effective_node(0, 1, &base()).expect("present");
+        assert_eq!(node.params().reserve_utility, 1.0);
+        // A price that the healthy node accepts is now refused.
+        let healthy = base();
+        let p = healthy.price_cap(5) * 0.5;
+        assert!(healthy.respond(p, 5).is_some());
+        assert!(node.respond(p, 5).is_none());
+    }
+
+    #[test]
+    fn faults_stack_on_one_node() {
+        let schedule = FaultSchedule::new(vec![
+            Fault::BandwidthCollapse {
+                node: 0,
+                factor: 2.0,
+                from_round: 1,
+            },
+            Fault::ReserveSpike {
+                node: 0,
+                factor: 3.0,
+                from_round: 1,
+            },
+        ]);
+        let node = schedule.effective_node(0, 1, &base()).expect("present");
+        assert_eq!(node.params().upload_time, 20.0);
+        assert!((node.params().reserve_utility - 0.03).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transient_fault_heals() {
+        let mut schedule = FaultSchedule::none();
+        schedule.push_transient(
+            Fault::BandwidthCollapse {
+                node: 0,
+                factor: 5.0,
+                from_round: 2,
+            },
+            4,
+        );
+        let node = base();
+        assert_eq!(
+            schedule
+                .effective_node(0, 1, &node)
+                .unwrap()
+                .params()
+                .upload_time,
+            10.0
+        );
+        assert_eq!(
+            schedule
+                .effective_node(0, 2, &node)
+                .unwrap()
+                .params()
+                .upload_time,
+            50.0
+        );
+        assert_eq!(
+            schedule
+                .effective_node(0, 3, &node)
+                .unwrap()
+                .params()
+                .upload_time,
+            50.0
+        );
+        // Healed from round 4 on.
+        assert_eq!(
+            schedule
+                .effective_node(0, 4, &node)
+                .unwrap()
+                .params()
+                .upload_time,
+            10.0
+        );
+    }
+
+    #[test]
+    fn transient_dropout_returns() {
+        let mut schedule = FaultSchedule::none();
+        schedule.push_transient(
+            Fault::Dropout {
+                node: 1,
+                from_round: 3,
+            },
+            5,
+        );
+        assert!(!schedule.is_dropped(1, 2));
+        assert!(schedule.is_dropped(1, 3));
+        assert!(schedule.is_dropped(1, 4));
+        assert!(!schedule.is_dropped(1, 5));
+    }
+
+    #[test]
+    #[should_panic(expected = "heals at")]
+    fn transient_must_heal_after_start() {
+        let mut schedule = FaultSchedule::none();
+        schedule.push_transient(
+            Fault::Dropout {
+                node: 0,
+                from_round: 5,
+            },
+            5,
+        );
+    }
+
+    #[test]
+    fn empty_schedule_is_identity() {
+        let schedule = FaultSchedule::none();
+        assert!(schedule.is_empty());
+        let node = schedule.effective_node(0, 1, &base()).expect("present");
+        assert_eq!(node.params(), base().params());
+    }
+}

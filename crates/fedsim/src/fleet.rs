@@ -1,0 +1,347 @@
+//! Heterogeneous node populations drawn from the paper's experimental
+//! settings.
+//!
+//! Section VI-A of the paper: `c_i = 20 cycles/bit`, maximal CPU frequency
+//! uniformly in `1.0–2.0 GHz`, per-node communication time uniformly in
+//! `10–20 s`, effective capacitance `2×10⁻²⁸`, `σ = 5` local epochs,
+//! training data split evenly across nodes.
+
+use crate::{EdgeNode, NodeParams};
+use chiron_data::DatasetSpec;
+use chiron_tensor::TensorRng;
+use rand_distr::{Dirichlet, Distribution};
+use serde::{Deserialize, Serialize};
+
+/// How the global training data is distributed across node volumes.
+///
+/// The paper's experiments split data evenly; the two skewed modes support
+/// the non-IID-volume extension experiments (`ext_noniid` bench), where
+/// heterogeneous `d_i` makes both the economics (slower nodes per unit
+/// price) and the aggregation weights uneven.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum DataVolumes {
+    /// Every node holds `train_size / N` samples (the paper's setting).
+    Even,
+    /// Node `i` holds a share proportional to `i + 1` (linear skew).
+    SizeSkewed,
+    /// Shares drawn from a symmetric Dirichlet with concentration `alpha`
+    /// (smaller ⇒ more extreme volume imbalance).
+    Dirichlet {
+        /// Concentration parameter; must be positive.
+        alpha: f64,
+    },
+}
+
+/// How per-node model upload times arise.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum UploadModel {
+    /// Upload time drawn directly from a uniform range in seconds — the
+    /// paper's experimental setting ("communication time of each edge node
+    /// is randomly distributed within 10~20 seconds").
+    FixedTime {
+        /// Uniform range of per-node upload time, seconds.
+        range: (f64, f64),
+    },
+    /// Eqn. 7 literally: `T^com = ξ / B` with the model size `ξ` in bits
+    /// and per-node bandwidth `B` drawn uniformly (bits/second). Larger
+    /// models (e.g. LeNet's 62,006 parameters vs the MNIST CNN's 21,840)
+    /// then cost proportionally more upload time.
+    Bandwidth {
+        /// Model size ξ in bits (parameters × 32 for f32 models).
+        model_bits: f64,
+        /// Uniform range of per-node uplink bandwidth, bits/second.
+        range: (f64, f64),
+    },
+}
+
+impl UploadModel {
+    /// Draws one node's upload time in seconds.
+    pub fn sample(&self, rng: &mut TensorRng) -> f64 {
+        match *self {
+            UploadModel::FixedTime { range } => rng.uniform(range.0, range.1),
+            UploadModel::Bandwidth { model_bits, range } => {
+                assert!(model_bits > 0.0, "model size must be positive");
+                model_bits / rng.uniform(range.0, range.1)
+            }
+        }
+    }
+}
+
+/// Ranges from which per-node hardware parameters are drawn.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FleetConfig {
+    /// Number of edge nodes `N`.
+    pub nodes: usize,
+    /// CPU cycles per bit (the paper fixes 20 for all nodes).
+    pub cycles_per_bit: f64,
+    /// Uniform range of maximal CPU frequency, Hz.
+    pub freq_max_range: (f64, f64),
+    /// Minimum CPU frequency, Hz (same for all nodes).
+    pub freq_min: f64,
+    /// How upload times are generated (fixed range or Eqn. 7 bandwidth).
+    pub upload: UploadModel,
+    /// Effective capacitance coefficient.
+    pub capacitance: f64,
+    /// Upload power, joules/second.
+    pub upload_power: f64,
+    /// Uniform range of per-node reserve utility.
+    pub reserve_range: (f64, f64),
+    /// How training-data volume is distributed across nodes.
+    pub data_volumes: DataVolumes,
+}
+
+impl FleetConfig {
+    /// The paper's setting for `n` nodes.
+    pub fn paper(nodes: usize) -> Self {
+        Self {
+            nodes,
+            cycles_per_bit: 20.0,
+            freq_max_range: (1.0e9, 2.0e9),
+            freq_min: 1.0e8,
+            upload: UploadModel::FixedTime {
+                range: (10.0, 20.0),
+            },
+            capacitance: 2e-28,
+            upload_power: 0.001,
+            reserve_range: (0.005, 0.02),
+            data_volumes: DataVolumes::Even,
+        }
+    }
+
+    /// The paper setting with a non-even data-volume distribution.
+    pub fn paper_with_volumes(nodes: usize, data_volumes: DataVolumes) -> Self {
+        Self {
+            data_volumes,
+            ..Self::paper(nodes)
+        }
+    }
+}
+
+/// Per-node sample shares under a [`DataVolumes`] policy; always positive
+/// and summing to 1.
+fn volume_shares(volumes: DataVolumes, nodes: usize, rng: &mut TensorRng) -> Vec<f64> {
+    match volumes {
+        DataVolumes::Even => vec![1.0 / nodes as f64; nodes],
+        DataVolumes::SizeSkewed => {
+            let total: f64 = (1..=nodes).sum::<usize>() as f64;
+            (1..=nodes).map(|i| i as f64 / total).collect()
+        }
+        DataVolumes::Dirichlet { alpha } => {
+            assert!(alpha > 0.0, "Dirichlet alpha must be positive, got {alpha}");
+            if nodes == 1 {
+                return vec![1.0];
+            }
+            let d = Dirichlet::new(&vec![alpha; nodes]).expect("valid Dirichlet parameters");
+            let mut shares = d.sample(rng.inner());
+            // Floor each share so every node keeps at least a sliver of
+            // data (a zero-data node would be economically degenerate).
+            let floor = 1e-3 / nodes as f64;
+            let mut sum = 0.0;
+            for s in &mut shares {
+                *s = s.max(floor);
+                sum += *s;
+            }
+            shares.iter_mut().for_each(|s| *s /= sum);
+            shares
+        }
+    }
+}
+
+/// Draws a heterogeneous fleet for `dataset` split evenly across nodes.
+///
+/// Each node's `d_i` is `samples_per_node × bits_per_sample` of the dataset
+/// profile, matching how the paper derives per-epoch training bits.
+///
+/// # Panics
+///
+/// Panics if `config.nodes == 0` or the dataset is smaller than the fleet.
+///
+/// # Examples
+///
+/// ```
+/// use chiron_fedsim::fleet::{build_fleet, FleetConfig};
+/// use chiron_data::DatasetSpec;
+///
+/// let nodes = build_fleet(&FleetConfig::paper(5), &DatasetSpec::mnist_like(), 7);
+/// assert_eq!(nodes.len(), 5);
+/// // d_i = 60,000/5 samples × 6,272 bits
+/// assert_eq!(nodes[0].params().data_bits, 12_000.0 * 6_272.0);
+/// ```
+pub fn build_fleet(config: &FleetConfig, dataset: &DatasetSpec, seed: u64) -> Vec<EdgeNode> {
+    assert!(config.nodes > 0, "fleet needs at least one node");
+    assert!(
+        dataset.train_size >= config.nodes,
+        "dataset smaller than fleet"
+    );
+    let mut rng = TensorRng::seed_from(seed);
+    let total_bits = dataset.train_size as f64 * dataset.bits_per_sample() as f64;
+    let shares = volume_shares(config.data_volumes, config.nodes, &mut rng);
+    shares
+        .iter()
+        .map(|&share| {
+            let freq_max = rng.uniform(config.freq_max_range.0, config.freq_max_range.1);
+            let upload_time = config.upload.sample(&mut rng);
+            let reserve = rng.uniform(config.reserve_range.0, config.reserve_range.1);
+            EdgeNode::new(NodeParams {
+                cycles_per_bit: config.cycles_per_bit,
+                data_bits: share * total_bits,
+                capacitance: config.capacitance,
+                freq_min: config.freq_min,
+                freq_max,
+                upload_time,
+                upload_power: config.upload_power,
+                reserve_utility: reserve,
+            })
+        })
+        .collect()
+}
+
+/// Per-node data weights `D_i / D` for federated averaging; even split ⇒
+/// uniform weights.
+pub fn data_weights(nodes: &[EdgeNode]) -> Vec<f64> {
+    let total: f64 = nodes.iter().map(|n| n.params().data_bits).sum();
+    nodes.iter().map(|n| n.params().data_bits / total).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fleet_is_deterministic_in_seed() {
+        let spec = DatasetSpec::mnist_like();
+        let a = build_fleet(&FleetConfig::paper(5), &spec, 3);
+        let b = build_fleet(&FleetConfig::paper(5), &spec, 3);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.params(), y.params());
+        }
+        let c = build_fleet(&FleetConfig::paper(5), &spec, 4);
+        assert!(a.iter().zip(&c).any(|(x, y)| x.params() != y.params()));
+    }
+
+    #[test]
+    fn parameters_respect_paper_ranges() {
+        let spec = DatasetSpec::mnist_like();
+        let fleet = build_fleet(&FleetConfig::paper(50), &spec, 1);
+        for node in &fleet {
+            let p = node.params();
+            assert!((1.0e9..=2.0e9).contains(&p.freq_max));
+            assert!((10.0..=20.0).contains(&p.upload_time));
+            assert_eq!(p.cycles_per_bit, 20.0);
+            assert_eq!(p.capacitance, 2e-28);
+        }
+    }
+
+    #[test]
+    fn nodes_are_heterogeneous() {
+        let spec = DatasetSpec::mnist_like();
+        let fleet = build_fleet(&FleetConfig::paper(10), &spec, 2);
+        let first = fleet[0].params().freq_max;
+        assert!(fleet.iter().any(|n| n.params().freq_max != first));
+    }
+
+    #[test]
+    fn data_bits_scale_with_fleet_size() {
+        let spec = DatasetSpec::mnist_like();
+        let small = build_fleet(&FleetConfig::paper(5), &spec, 0);
+        let large = build_fleet(&FleetConfig::paper(100), &spec, 0);
+        let ratio = small[0].params().data_bits / large[0].params().data_bits;
+        assert!((ratio - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bandwidth_upload_model_follows_eqn_seven() {
+        // MNIST CNN: 21,840 params × 32 bits ≈ 0.7 Mbit. Bandwidths of
+        // 35–70 kbit/s give the paper's 10–20 s uploads.
+        let model_bits = 21_840.0 * 32.0;
+        let spec = DatasetSpec::mnist_like();
+        let config = FleetConfig {
+            upload: UploadModel::Bandwidth {
+                model_bits,
+                range: (35_000.0, 70_000.0),
+            },
+            ..FleetConfig::paper(10)
+        };
+        let fleet = build_fleet(&config, &spec, 4);
+        for node in &fleet {
+            let t = node.params().upload_time;
+            assert!(
+                (model_bits / 70_000.0..=model_bits / 35_000.0).contains(&t),
+                "upload time {t} outside ξ/B bounds"
+            );
+        }
+    }
+
+    #[test]
+    fn larger_models_upload_slower_at_equal_bandwidth() {
+        let spec = DatasetSpec::mnist_like();
+        let upload_for = |params: f64| {
+            let config = FleetConfig {
+                upload: UploadModel::Bandwidth {
+                    model_bits: params * 32.0,
+                    range: (50_000.0, 50_001.0),
+                },
+                ..FleetConfig::paper(3)
+            };
+            build_fleet(&config, &spec, 0)[0].params().upload_time
+        };
+        // LeNet (62,006 params) vs the MNIST CNN (21,840 params).
+        let lenet = upload_for(62_006.0);
+        let mnist = upload_for(21_840.0);
+        assert!((lenet / mnist - 62_006.0 / 21_840.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn size_skewed_volumes_are_linear() {
+        let spec = DatasetSpec::mnist_like();
+        let config = FleetConfig::paper_with_volumes(4, DataVolumes::SizeSkewed);
+        let fleet = build_fleet(&config, &spec, 0);
+        let bits: Vec<f64> = fleet.iter().map(|n| n.params().data_bits).collect();
+        // Shares 1:2:3:4.
+        assert!((bits[1] / bits[0] - 2.0).abs() < 1e-9);
+        assert!((bits[3] / bits[0] - 4.0).abs() < 1e-9);
+        let w = data_weights(&fleet);
+        assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dirichlet_volumes_are_positive_and_normalized() {
+        let spec = DatasetSpec::mnist_like();
+        let config = FleetConfig::paper_with_volumes(8, DataVolumes::Dirichlet { alpha: 0.3 });
+        let fleet = build_fleet(&config, &spec, 5);
+        let w = data_weights(&fleet);
+        assert_eq!(w.len(), 8);
+        assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(w.iter().all(|&x| x > 0.0));
+        // alpha = 0.3 should produce a visibly dominant node.
+        let max = w.iter().cloned().fold(0.0f64, f64::max);
+        assert!(max > 0.25, "expected volume skew, max share {max}");
+    }
+
+    #[test]
+    fn volume_policies_preserve_total_data() {
+        let spec = DatasetSpec::mnist_like();
+        let total = spec.train_size as f64 * spec.bits_per_sample() as f64;
+        for volumes in [
+            DataVolumes::Even,
+            DataVolumes::SizeSkewed,
+            DataVolumes::Dirichlet { alpha: 1.0 },
+        ] {
+            let fleet = build_fleet(&FleetConfig::paper_with_volumes(6, volumes), &spec, 2);
+            let sum: f64 = fleet.iter().map(|n| n.params().data_bits).sum();
+            assert!(
+                (sum - total).abs() / total < 1e-9,
+                "{volumes:?} lost data: {sum} vs {total}"
+            );
+        }
+    }
+
+    #[test]
+    fn weights_sum_to_one() {
+        let spec = DatasetSpec::cifar10_like();
+        let fleet = build_fleet(&FleetConfig::paper(7), &spec, 5);
+        let w = data_weights(&fleet);
+        assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(w.iter().all(|&x| x > 0.0));
+    }
+}

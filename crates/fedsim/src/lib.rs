@@ -1,0 +1,70 @@
+//! # chiron-fedsim
+//!
+//! The edge-learning simulator underneath the Chiron (ICDCS 2021)
+//! reproduction: edge-node economics, federated averaging, accuracy
+//! oracles, budget accounting, and the round-based environment that the
+//! incentive mechanisms (Chiron and the baselines) drive.
+//!
+//! ## The paper's system model, implemented here
+//!
+//! * **Node economics** ([`EdgeNode`]) — computation time
+//!   `T^cmp = σ·c·d/ζ` (Eqn. 6), upload time `T^com = ξ/B` (Eqn. 7),
+//!   energy `E = σ·α·c·d·ζ² + ε·T^com`, utility `u = p·ζ − E` (Eqn. 8),
+//!   and the closed-form optimal response `ζ* = p/(2σαcd)` (Eqn. 11)
+//!   clamped to `[ζ_min, ζ_max]` with the reserve-utility participation
+//!   constraint `u ≥ μ`.
+//! * **Fleets** ([`fleet`]) — heterogeneous node populations drawn from the
+//!   paper's experimental settings (`c = 20 cycles/bit`,
+//!   `ζ_max ~ U[1, 2] GHz`, upload time `~ U[10, 20] s`, `α = 2×10⁻²⁸`,
+//!   `σ = 5` local epochs).
+//! * **Aggregation** ([`fedavg`]) — data-weighted parameter averaging
+//!   (Eqn. 4).
+//! * **Accuracy oracles** ([`oracle`]) — the trait the environment queries
+//!   after each round, with a fast calibrated [`oracle::CurveOracle`] and a
+//!   real [`oracle::TrainingOracle`] that runs federated SGD with
+//!   `chiron-nn` on `chiron-data` shards.
+//! * **Budget** ([`BudgetLedger`]) — enforces
+//!   `Σ_k Σ_i p_{i,k}·ζ_{i,k} ≤ η`; per Algorithm 1 a round that would
+//!   overdraw is discarded and the episode ends.
+//! * **Environment** ([`EdgeLearningEnv`]) — `reset`/`step(prices)` with
+//!   full per-round observability (times, energies, payments, accuracy),
+//!   from which mechanisms compute their own rewards.
+//! * **Metrics** ([`metrics`]) — time efficiency (Eqn. 16), idle time, and
+//!   run records for the benchmark harness.
+//! * **Lemma 1 tools** ([`lemma`]) — the price-rebalancing argument behind
+//!   the paper's time-consistency objective, used in tests and as a
+//!   reference pricing policy.
+//! * **Failure injection** ([`faults`]) — bandwidth collapse, node
+//!   dropout, and reserve-utility spikes, schedulable mid-episode for
+//!   robustness tests.
+//!
+//! ## Example
+//!
+//! ```
+//! use chiron_fedsim::{EdgeLearningEnv, EnvConfig};
+//! use chiron_data::DatasetKind;
+//!
+//! let config = EnvConfig::paper_small(DatasetKind::MnistLike, 100.0);
+//! let mut env = EdgeLearningEnv::new(config, 42);
+//! let n = env.num_nodes();
+//! let prices = vec![env.node(0).price_cap(env.sigma()); n];
+//! let outcome = env.step(&prices);
+//! assert!(outcome.round_time > 0.0);
+//! ```
+
+mod budget;
+mod env;
+pub mod faults;
+pub mod fedavg;
+pub mod fleet;
+pub mod lemma;
+pub mod metrics;
+mod node;
+pub mod oracle;
+
+pub use budget::BudgetLedger;
+pub use env::{ChannelVariation, EdgeLearningEnv, EnvConfig, RoundOutcome, StepStatus};
+pub use node::{EdgeNode, NodeParams, NodeResponse};
+
+#[cfg(test)]
+mod proptests;

@@ -1,0 +1,384 @@
+//! Evaluation metrics and run records.
+
+use serde::{Deserialize, Serialize};
+
+/// Time efficiency (Eqn. 16): `Σ_i T_{i,k} / (N·T_k)` — the fraction of
+/// the round's wall-clock that nodes spent actually working rather than
+/// idling behind the straggler. 1.0 means perfect time consistency.
+///
+/// Nodes that did not participate are excluded (both from the sum and from
+/// `N`), matching how the paper evaluates rounds where everyone
+/// participates.
+///
+/// # Panics
+///
+/// Panics if any time is negative.
+///
+/// # Examples
+///
+/// ```
+/// use chiron_fedsim::metrics::time_efficiency;
+///
+/// assert_eq!(time_efficiency(&[10.0, 10.0]), 1.0);
+/// assert_eq!(time_efficiency(&[5.0, 10.0]), 0.75);
+/// assert_eq!(time_efficiency(&[]), 0.0);
+/// ```
+pub fn time_efficiency(times: &[f64]) -> f64 {
+    if times.is_empty() {
+        return 0.0;
+    }
+    assert!(
+        times.iter().all(|&t| t >= 0.0),
+        "times must be non-negative"
+    );
+    let max = times.iter().copied().fold(0.0f64, f64::max);
+    if max == 0.0 {
+        return 0.0;
+    }
+    let sum: f64 = times.iter().sum();
+    sum / (times.len() as f64 * max)
+}
+
+/// Total idle time `Σ_i (T_k − T_{i,k})` — the quantity the inner agent's
+/// reward (Eqn. 15) minimizes.
+///
+/// # Panics
+///
+/// Panics if any time is negative.
+pub fn total_idle_time(times: &[f64]) -> f64 {
+    if times.is_empty() {
+        return 0.0;
+    }
+    assert!(
+        times.iter().all(|&t| t >= 0.0),
+        "times must be non-negative"
+    );
+    let max = times.iter().copied().fold(0.0f64, f64::max);
+    times.iter().map(|t| max - t).sum()
+}
+
+/// Jain's fairness index `(Σx)² / (n·Σx²)` over non-negative allocations:
+/// 1 when perfectly equal, `1/n` when one participant takes everything.
+///
+/// # Panics
+///
+/// Panics if `xs` is empty or any value is negative.
+///
+/// # Examples
+///
+/// ```
+/// use chiron_fedsim::metrics::jain_index;
+///
+/// assert!((jain_index(&[1.0, 1.0, 1.0]) - 1.0).abs() < 1e-12);
+/// assert!((jain_index(&[1.0, 0.0, 0.0]) - 1.0 / 3.0).abs() < 1e-12);
+/// ```
+pub fn jain_index(xs: &[f64]) -> f64 {
+    assert!(
+        !xs.is_empty(),
+        "fairness of an empty allocation is undefined"
+    );
+    assert!(
+        xs.iter().all(|&x| x >= 0.0),
+        "allocations must be non-negative"
+    );
+    let sum: f64 = xs.iter().sum();
+    let sum_sq: f64 = xs.iter().map(|x| x * x).sum();
+    if sum_sq == 0.0 {
+        return 1.0; // all-zero: trivially equal
+    }
+    sum * sum / (xs.len() as f64 * sum_sq)
+}
+
+/// Per-node economic accounting across an episode: who earned what, spent
+/// what energy, realized what utility, and how often they participated.
+/// Feed it every [`crate::RoundOutcome`] and read the totals at the end —
+/// the basis of the incentive-fairness extension experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeLedger {
+    payments: Vec<f64>,
+    energies: Vec<f64>,
+    utilities: Vec<f64>,
+    rounds_participated: Vec<usize>,
+}
+
+impl NodeLedger {
+    /// Creates a ledger for `nodes` edge nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes == 0`.
+    pub fn new(nodes: usize) -> Self {
+        assert!(nodes > 0, "need at least one node");
+        Self {
+            payments: vec![0.0; nodes],
+            energies: vec![0.0; nodes],
+            utilities: vec![0.0; nodes],
+            rounds_participated: vec![0; nodes],
+        }
+    }
+
+    /// Accumulates one recorded round.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the outcome's node count differs from the ledger's.
+    pub fn record(&mut self, outcome: &crate::RoundOutcome) {
+        assert_eq!(
+            outcome.responses.len(),
+            self.payments.len(),
+            "node count mismatch"
+        );
+        for (i, response) in outcome.responses.iter().enumerate() {
+            if let Some(r) = response {
+                self.payments[i] += r.payment;
+                self.energies[i] += r.energy;
+                self.utilities[i] += r.utility;
+                self.rounds_participated[i] += 1;
+            }
+        }
+    }
+
+    /// Cumulative payments per node.
+    pub fn payments(&self) -> &[f64] {
+        &self.payments
+    }
+
+    /// Cumulative energy per node (joules).
+    pub fn energies(&self) -> &[f64] {
+        &self.energies
+    }
+
+    /// Cumulative realized utilities per node.
+    pub fn utilities(&self) -> &[f64] {
+        &self.utilities
+    }
+
+    /// Rounds each node participated in.
+    pub fn rounds_participated(&self) -> &[usize] {
+        &self.rounds_participated
+    }
+
+    /// Jain fairness of cumulative payments.
+    pub fn payment_fairness(&self) -> f64 {
+        jain_index(&self.payments)
+    }
+
+    /// Jain fairness of cumulative utilities (clamped at zero — a node that
+    /// never participates has utility 0, not negative).
+    pub fn utility_fairness(&self) -> f64 {
+        let clamped: Vec<f64> = self.utilities.iter().map(|&u| u.max(0.0)).collect();
+        jain_index(&clamped)
+    }
+}
+
+/// One recorded federated round, as logged by the bench harness.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoundRecord {
+    /// 1-based round index.
+    pub round: usize,
+    /// Global model accuracy after the round.
+    pub accuracy: f64,
+    /// Round wall-clock time `T_k` (seconds).
+    pub round_time: f64,
+    /// Time efficiency (Eqn. 16) of the round.
+    pub time_efficiency: f64,
+    /// Total payments made this round.
+    pub payment: f64,
+    /// Budget spent so far (inclusive).
+    pub spent: f64,
+    /// Number of participating nodes.
+    pub participants: usize,
+}
+
+/// Summary of a full budget-bounded episode.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EpisodeSummary {
+    /// Rounds completed before the budget ran out.
+    pub rounds: usize,
+    /// Final global accuracy `A(ω_K)`.
+    pub final_accuracy: f64,
+    /// Total learning time `Σ_k T_k` (seconds).
+    pub total_time: f64,
+    /// Mean per-round time efficiency.
+    pub mean_time_efficiency: f64,
+    /// Budget spent.
+    pub spent: f64,
+    /// The paper's utility `u = λ·A(ω_K) − Σ_k T_k` at the given λ.
+    pub server_utility: f64,
+}
+
+impl EpisodeSummary {
+    /// Builds a summary from per-round records.
+    ///
+    /// An empty episode (budget too small for even one round) produces a
+    /// summary with `rounds = 0` and `final_accuracy = initial_accuracy`.
+    pub fn from_rounds(records: &[RoundRecord], initial_accuracy: f64, lambda: f64) -> Self {
+        let rounds = records.len();
+        let final_accuracy = records.last().map_or(initial_accuracy, |r| r.accuracy);
+        let total_time: f64 = records.iter().map(|r| r.round_time).sum();
+        let mean_te = if rounds == 0 {
+            0.0
+        } else {
+            records.iter().map(|r| r.time_efficiency).sum::<f64>() / rounds as f64
+        };
+        let spent = records.last().map_or(0.0, |r| r.spent);
+        Self {
+            rounds,
+            final_accuracy,
+            total_time,
+            mean_time_efficiency: mean_te,
+            spent,
+            server_utility: lambda * final_accuracy - total_time,
+        }
+    }
+}
+
+/// Serializes round records as CSV (header + one line per round); used by
+/// the figure-reproduction binaries.
+pub fn rounds_to_csv(records: &[RoundRecord]) -> String {
+    let mut out =
+        String::from("round,accuracy,round_time,time_efficiency,payment,spent,participants\n");
+    for r in records {
+        out.push_str(&format!(
+            "{},{:.6},{:.4},{:.4},{:.4},{:.4},{}\n",
+            r.round,
+            r.accuracy,
+            r.round_time,
+            r.time_efficiency,
+            r.payment,
+            r.spent,
+            r.participants
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_consistency_is_one() {
+        assert_eq!(time_efficiency(&[7.0, 7.0, 7.0]), 1.0);
+    }
+
+    #[test]
+    fn efficiency_matches_hand_computation() {
+        // Σ = 30, N·T_max = 3·15 = 45 → 2/3.
+        let e = time_efficiency(&[5.0, 10.0, 15.0]);
+        assert!((e - 30.0 / 45.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn idle_time_is_zero_iff_consistent() {
+        assert_eq!(total_idle_time(&[4.0, 4.0]), 0.0);
+        assert_eq!(total_idle_time(&[2.0, 4.0]), 2.0);
+        assert_eq!(total_idle_time(&[1.0, 2.0, 3.0]), 3.0);
+    }
+
+    #[test]
+    fn efficiency_and_idle_are_consistent() {
+        // efficiency = 1 − idle/(N·T_max)
+        let times = [3.0, 6.0, 9.0, 12.0];
+        let e = time_efficiency(&times);
+        let idle = total_idle_time(&times);
+        let n_tmax = times.len() as f64 * 12.0;
+        assert!((e - (1.0 - idle / n_tmax)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_aggregates_rounds() {
+        let records = vec![
+            RoundRecord {
+                round: 1,
+                accuracy: 0.5,
+                round_time: 20.0,
+                time_efficiency: 0.9,
+                payment: 3.0,
+                spent: 3.0,
+                participants: 5,
+            },
+            RoundRecord {
+                round: 2,
+                accuracy: 0.7,
+                round_time: 25.0,
+                time_efficiency: 1.0,
+                payment: 3.0,
+                spent: 6.0,
+                participants: 5,
+            },
+        ];
+        let s = EpisodeSummary::from_rounds(&records, 0.1, 100.0);
+        assert_eq!(s.rounds, 2);
+        assert_eq!(s.final_accuracy, 0.7);
+        assert_eq!(s.total_time, 45.0);
+        assert!((s.mean_time_efficiency - 0.95).abs() < 1e-12);
+        assert_eq!(s.spent, 6.0);
+        assert!((s.server_utility - (100.0 * 0.7 - 45.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_episode_summary() {
+        let s = EpisodeSummary::from_rounds(&[], 0.1, 100.0);
+        assert_eq!(s.rounds, 0);
+        assert_eq!(s.final_accuracy, 0.1);
+        assert_eq!(s.total_time, 0.0);
+    }
+
+    #[test]
+    fn jain_index_boundaries() {
+        assert!((jain_index(&[5.0]) - 1.0).abs() < 1e-12);
+        assert!((jain_index(&[2.0, 2.0, 2.0, 2.0]) - 1.0).abs() < 1e-12);
+        let n = 10;
+        let mut solo = vec![0.0; n];
+        solo[3] = 7.0;
+        assert!((jain_index(&solo) - 1.0 / n as f64).abs() < 1e-12);
+        // Mild inequality sits strictly between the extremes.
+        let j = jain_index(&[1.0, 2.0, 3.0]);
+        assert!(j > 1.0 / 3.0 && j < 1.0);
+    }
+
+    #[test]
+    fn node_ledger_accumulates_rounds() {
+        use crate::{EdgeLearningEnv, EnvConfig};
+        use chiron_data::DatasetKind;
+        let mut env = EdgeLearningEnv::new(
+            EnvConfig {
+                oracle_noise: 0.0,
+                ..EnvConfig::paper_small(DatasetKind::MnistLike, 100.0)
+            },
+            3,
+        );
+        let prices: Vec<f64> = (0..env.num_nodes())
+            .map(|i| env.node(i).price_cap(env.sigma()) * 0.5)
+            .collect();
+        let mut ledger = NodeLedger::new(env.num_nodes());
+        let out1 = env.step(&prices);
+        ledger.record(&out1);
+        let out2 = env.step(&prices);
+        ledger.record(&out2);
+        let total_paid: f64 = ledger.payments().iter().sum();
+        assert!((total_paid - (out1.payment_total + out2.payment_total)).abs() < 1e-9);
+        assert!(ledger.rounds_participated().iter().all(|&r| r == 2));
+        assert!(ledger.payment_fairness() > 0.5);
+        assert!(ledger.utility_fairness() > 0.0);
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let records = vec![RoundRecord {
+            round: 1,
+            accuracy: 0.5,
+            round_time: 20.0,
+            time_efficiency: 0.9,
+            payment: 3.0,
+            spent: 3.0,
+            participants: 5,
+        }];
+        let csv = rounds_to_csv(&records);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("round,accuracy"));
+        assert!(lines[1].starts_with("1,0.5"));
+    }
+}

@@ -1,0 +1,350 @@
+//! Edge-node economics: Eqns. 6–12 of the paper.
+
+use serde::{Deserialize, Serialize};
+
+/// Static (private) hardware and preference parameters of one edge node.
+///
+/// These are exactly the quantities the paper lists: CPU cycles per bit
+/// `c_i`, training-data bits per local epoch `d_i`, the effective
+/// capacitance coefficient `α_i`, the feasible CPU frequency range
+/// `[ζ_min, ζ_max]`, the fixed model upload time `T^com` (the paper draws
+/// it from `U[10, 20] s`), the upload energy rate `ε_i`, and the reserve
+/// utility `μ_i` below which the node refuses to participate.
+///
+/// All quantities are in SI units: cycles/bit, bits, joules, seconds, hertz.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NodeParams {
+    /// CPU cycles needed per bit of training data (`c_i`).
+    pub cycles_per_bit: f64,
+    /// Bits of training data processed in one local epoch (`d_i`).
+    pub data_bits: f64,
+    /// Effective capacitance coefficient of the chipset (`α_i`).
+    pub capacitance: f64,
+    /// Minimum CPU frequency in Hz (`ζ_i^min`).
+    pub freq_min: f64,
+    /// Maximum CPU frequency in Hz (`ζ_i^max`).
+    pub freq_max: f64,
+    /// Model upload time in seconds (`T^com_{i,k}`; Eqn. 7 already
+    /// evaluated — the paper treats it as an exogenous per-node constant).
+    pub upload_time: f64,
+    /// Upload energy per second (`ε_i`), joules/second.
+    pub upload_power: f64,
+    /// Reserve utility (`μ_i`): the node participates only if its round
+    /// utility is at least this.
+    pub reserve_utility: f64,
+}
+
+impl NodeParams {
+    /// Validates physical sanity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is non-positive where positivity is required
+    /// or `freq_min > freq_max`.
+    pub fn validate(&self) {
+        assert!(self.cycles_per_bit > 0.0, "cycles_per_bit must be positive");
+        assert!(self.data_bits > 0.0, "data_bits must be positive");
+        assert!(self.capacitance > 0.0, "capacitance must be positive");
+        assert!(self.freq_min > 0.0, "freq_min must be positive");
+        assert!(
+            self.freq_min <= self.freq_max,
+            "freq_min {} exceeds freq_max {}",
+            self.freq_min,
+            self.freq_max
+        );
+        assert!(self.upload_time >= 0.0, "upload_time must be non-negative");
+        assert!(
+            self.upload_power >= 0.0,
+            "upload_power must be non-negative"
+        );
+        assert!(
+            self.reserve_utility >= 0.0,
+            "reserve_utility must be non-negative"
+        );
+    }
+}
+
+/// One edge node's response to a posted price: the frequency it chooses
+/// and everything that follows from it.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NodeResponse {
+    /// Chosen CPU frequency `ζ` (Hz).
+    pub frequency: f64,
+    /// Computation time `T^cmp = σ·c·d/ζ` (Eqn. 6), seconds.
+    pub compute_time: f64,
+    /// Upload time `T^com`, seconds.
+    pub upload_time: f64,
+    /// Total round time `T = T^cmp + T^com`, seconds.
+    pub total_time: f64,
+    /// Energy consumed `E = E^cmp + E^com`, joules.
+    pub energy: f64,
+    /// Payment received `p·ζ`.
+    pub payment: f64,
+    /// Realized utility `u = p·ζ − E` (Eqn. 8).
+    pub utility: f64,
+}
+
+/// An edge node that, given a posted price, plays its optimal strategy
+/// (Section IV-B of the paper).
+///
+/// # Examples
+///
+/// ```
+/// use chiron_fedsim::{EdgeNode, NodeParams};
+///
+/// let node = EdgeNode::new(NodeParams {
+///     cycles_per_bit: 20.0,
+///     data_bits: 7.5e7,
+///     capacitance: 2e-28,
+///     freq_min: 1e8,
+///     freq_max: 2e9,
+///     upload_time: 15.0,
+///     upload_power: 0.01,
+///     reserve_utility: 0.0,
+/// });
+/// let sigma = 5;
+/// let p = node.price_cap(sigma); // price at which ζ* hits ζ_max
+/// let resp = node.respond(p, sigma).expect("participates");
+/// assert!((resp.frequency - 2e9).abs() / 2e9 < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct EdgeNode {
+    params: NodeParams,
+}
+
+impl EdgeNode {
+    /// Creates a node, validating its parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`NodeParams::validate`] fails.
+    pub fn new(params: NodeParams) -> Self {
+        params.validate();
+        Self { params }
+    }
+
+    /// The node's (private) parameters.
+    pub fn params(&self) -> &NodeParams {
+        &self.params
+    }
+
+    /// `2σ·α·c·d` — the denominator of the optimal response (Eqn. 11).
+    fn response_denominator(&self, sigma: u32) -> f64 {
+        2.0 * sigma as f64
+            * self.params.capacitance
+            * self.params.cycles_per_bit
+            * self.params.data_bits
+    }
+
+    /// The unconstrained optimizer `ζ* = p/(2σαcd)` (Eqn. 11), clamped to
+    /// the feasible frequency range.
+    pub fn optimal_frequency(&self, price: f64, sigma: u32) -> f64 {
+        assert!(price >= 0.0, "price must be non-negative, got {price}");
+        (price / self.response_denominator(sigma)).clamp(self.params.freq_min, self.params.freq_max)
+    }
+
+    /// The price at which the unconstrained optimum reaches `ζ_max`; paying
+    /// more buys no extra speed (the node pockets the surplus), so this is
+    /// the natural per-node upper bound for pricing actions.
+    pub fn price_cap(&self, sigma: u32) -> f64 {
+        self.params.freq_max * self.response_denominator(sigma)
+    }
+
+    /// The price at which the unconstrained optimum falls to `ζ_min`.
+    pub fn price_floor(&self, sigma: u32) -> f64 {
+        self.params.freq_min * self.response_denominator(sigma)
+    }
+
+    /// Computation time at frequency `zeta` (Eqn. 6).
+    pub fn compute_time(&self, zeta: f64, sigma: u32) -> f64 {
+        assert!(zeta > 0.0, "frequency must be positive, got {zeta}");
+        sigma as f64 * self.params.cycles_per_bit * self.params.data_bits / zeta
+    }
+
+    /// Computing energy `E^cmp = σ·α·c·d·ζ²`.
+    pub fn compute_energy(&self, zeta: f64, sigma: u32) -> f64 {
+        sigma as f64
+            * self.params.capacitance
+            * self.params.cycles_per_bit
+            * self.params.data_bits
+            * zeta
+            * zeta
+    }
+
+    /// Upload energy `E^com = ε·T^com`.
+    pub fn upload_energy(&self) -> f64 {
+        self.params.upload_power * self.params.upload_time
+    }
+
+    /// Round utility at a given price and frequency (Eqn. 8).
+    pub fn utility(&self, price: f64, zeta: f64, sigma: u32) -> f64 {
+        price * zeta - self.compute_energy(zeta, sigma) - self.upload_energy()
+    }
+
+    /// Plays the node's optimal strategy for a posted `price`.
+    ///
+    /// Returns `None` if even the optimal frequency cannot achieve the
+    /// reserve utility `μ` — the node declines to participate this round
+    /// (constraint `u_{i,k} ≥ μ_i` in `OP_{i,k}`).
+    pub fn respond(&self, price: f64, sigma: u32) -> Option<NodeResponse> {
+        let zeta = self.optimal_frequency(price, sigma);
+        let utility = self.utility(price, zeta, sigma);
+        if utility < self.params.reserve_utility {
+            return None;
+        }
+        let compute_time = self.compute_time(zeta, sigma);
+        Some(NodeResponse {
+            frequency: zeta,
+            compute_time,
+            upload_time: self.params.upload_time,
+            total_time: compute_time + self.params.upload_time,
+            energy: self.compute_energy(zeta, sigma) + self.upload_energy(),
+            payment: price * zeta,
+            utility,
+        })
+    }
+
+    /// The smallest price at which the node participates (utility exactly
+    /// `μ` at the induced optimal frequency), found by bisection over the
+    /// node's monotone participation region. Returns `None` if even the
+    /// price cap cannot satisfy the reserve utility.
+    pub fn participation_price(&self, sigma: u32) -> Option<f64> {
+        let cap = self.price_cap(sigma) * 4.0; // beyond the cap utility keeps rising linearly
+        self.respond(cap, sigma)?;
+        let (mut lo, mut hi) = (0.0f64, cap);
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            if self.respond(mid, sigma).is_some() {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        Some(hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_node() -> EdgeNode {
+        // MNIST, 5 nodes: 12,000 samples × 6,272 bits = 7.5264e7 bits.
+        EdgeNode::new(NodeParams {
+            cycles_per_bit: 20.0,
+            data_bits: 7.5264e7,
+            capacitance: 2e-28,
+            freq_min: 1e8,
+            freq_max: 1.5e9,
+            upload_time: 15.0,
+            upload_power: 0.01,
+            reserve_utility: 0.05,
+        })
+    }
+
+    #[test]
+    fn optimal_frequency_matches_closed_form() {
+        let node = paper_node();
+        let sigma = 5;
+        let denom = 2.0 * 5.0 * 2e-28 * 20.0 * 7.5264e7;
+        let p = denom * 1e9; // ζ* = 1 GHz, inside the range
+        let z = node.optimal_frequency(p, sigma);
+        assert!((z - 1e9).abs() < 1.0, "ζ* = {z}");
+    }
+
+    #[test]
+    fn optimal_frequency_clamps_to_range() {
+        let node = paper_node();
+        assert_eq!(node.optimal_frequency(0.0, 5), 1e8);
+        let huge = node.price_cap(5) * 10.0;
+        assert_eq!(node.optimal_frequency(huge, 5), 1.5e9);
+    }
+
+    #[test]
+    fn compute_time_matches_eqn_six() {
+        let node = paper_node();
+        // T = σ·c·d/ζ = 5·20·7.5264e7 / 1e9 ≈ 7.53 s
+        let t = node.compute_time(1e9, 5);
+        assert!((t - 7.5264).abs() < 1e-3, "T^cmp = {t}");
+    }
+
+    #[test]
+    fn energy_matches_paper_model() {
+        let node = paper_node();
+        // E^cmp = σ·α·c·d·ζ² = 5·2e-28·20·7.5264e7·(1e9)² ≈ 1.505 J
+        let e = node.compute_energy(1e9, 5);
+        assert!((e - 1.50528).abs() < 1e-4, "E^cmp = {e}");
+        assert!((node.upload_energy() - 0.15).abs() < 1e-12);
+    }
+
+    #[test]
+    fn closed_form_is_the_argmax() {
+        // Eqn. 11 must beat any other feasible frequency.
+        let node = paper_node();
+        let sigma = 5;
+        let p = node.price_cap(sigma) * 0.5;
+        let z_star = node.optimal_frequency(p, sigma);
+        let u_star = node.utility(p, z_star, sigma);
+        for i in 1..100 {
+            let z = 1e8 + (1.5e9 - 1e8) * (i as f64) / 100.0;
+            assert!(
+                node.utility(p, z, sigma) <= u_star + 1e-12,
+                "utility at ζ = {z} beats the closed form"
+            );
+        }
+    }
+
+    #[test]
+    fn low_price_declines_participation() {
+        let node = paper_node();
+        assert!(node.respond(0.0, 5).is_none());
+        let p_min = node.participation_price(5).expect("achievable");
+        assert!(node.respond(p_min * 0.5, 5).is_none());
+        let r = node.respond(p_min * 1.01, 5).expect("participates");
+        assert!(r.utility >= node.params().reserve_utility);
+    }
+
+    #[test]
+    fn participation_price_is_tight() {
+        let node = paper_node();
+        let p = node.participation_price(5).expect("achievable");
+        let r = node.respond(p, 5).expect("participates at the boundary");
+        assert!(
+            (r.utility - node.params().reserve_utility).abs() < 1e-6,
+            "utility at participation price: {}",
+            r.utility
+        );
+    }
+
+    #[test]
+    fn higher_price_means_weakly_faster_training() {
+        let node = paper_node();
+        let sigma = 5;
+        let mut last_time = f64::INFINITY;
+        let cap = node.price_cap(sigma);
+        for i in 1..=20 {
+            let p = cap * (i as f64) / 20.0;
+            if let Some(r) = node.respond(p, sigma) {
+                assert!(r.compute_time <= last_time + 1e-12);
+                last_time = r.compute_time;
+            }
+        }
+    }
+
+    #[test]
+    fn response_totals_are_consistent() {
+        let node = paper_node();
+        let r = node.respond(node.price_cap(5), 5).expect("participates");
+        assert!((r.total_time - (r.compute_time + r.upload_time)).abs() < 1e-12);
+        assert!((r.utility - (r.payment - r.energy)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "freq_min")]
+    fn invalid_params_rejected() {
+        let mut p = paper_node().params;
+        p.freq_min = 2e9;
+        p.freq_max = 1e9;
+        let _ = EdgeNode::new(p);
+    }
+}

@@ -1,0 +1,154 @@
+//! Property-based tests for the simulator's economic invariants.
+
+use crate::fleet::{build_fleet, data_weights, FleetConfig};
+use crate::lemma::equalizing_prices;
+use crate::metrics::{time_efficiency, total_idle_time};
+use crate::{EdgeLearningEnv, EdgeNode, EnvConfig, NodeParams};
+use chiron_data::{DatasetKind, DatasetSpec};
+use proptest::prelude::*;
+
+fn arb_node() -> impl Strategy<Value = EdgeNode> {
+    (
+        1.0f64..50.0,    // cycles per bit
+        1e6f64..1e8,     // data bits
+        1e-29f64..1e-27, // capacitance
+        5e7f64..5e8,     // freq_min
+        1e9f64..3e9,     // freq_max
+        1.0f64..30.0,    // upload time
+        0.0f64..0.1,     // upload power
+        0.0f64..0.2,     // reserve utility
+    )
+        .prop_map(|(c, d, alpha, fmin, fmax, up_t, up_p, mu)| {
+            EdgeNode::new(NodeParams {
+                cycles_per_bit: c,
+                data_bits: d,
+                capacitance: alpha,
+                freq_min: fmin,
+                freq_max: fmax,
+                upload_time: up_t,
+                upload_power: up_p,
+                reserve_utility: mu,
+            })
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Eqn. 11 is the argmax of Eqn. 8 over the feasible frequency range,
+    /// for arbitrary node parameters and prices.
+    #[test]
+    fn closed_form_response_maximizes_utility(node in arb_node(), price_frac in 0.01f64..3.0) {
+        let sigma = 5;
+        let price = node.price_cap(sigma) * price_frac;
+        let z_star = node.optimal_frequency(price, sigma);
+        let u_star = node.utility(price, z_star, sigma);
+        let (fmin, fmax) = (node.params().freq_min, node.params().freq_max);
+        for i in 0..=50 {
+            let z = fmin + (fmax - fmin) * (i as f64) / 50.0;
+            prop_assert!(
+                node.utility(price, z, sigma) <= u_star + u_star.abs() * 1e-9 + 1e-9,
+                "ζ = {} beats the closed form", z
+            );
+        }
+    }
+
+    /// Participation is monotone in price: once a node participates at p,
+    /// it participates at any higher price.
+    #[test]
+    fn participation_is_monotone_in_price(node in arb_node(), frac in 0.01f64..1.0) {
+        let sigma = 5;
+        let cap = node.price_cap(sigma);
+        let p_low = cap * frac;
+        let p_high = cap * (frac + 0.5);
+        if node.respond(p_low, sigma).is_some() {
+            prop_assert!(node.respond(p_high, sigma).is_some());
+        }
+    }
+
+    /// Utility at the optimal response is non-decreasing in price.
+    #[test]
+    fn utility_monotone_in_price(node in arb_node(), frac in 0.01f64..1.0) {
+        let sigma = 5;
+        let cap = node.price_cap(sigma);
+        let u = |p: f64| {
+            let z = node.optimal_frequency(p, sigma);
+            node.utility(p, z, sigma)
+        };
+        prop_assert!(u(cap * (frac + 0.1)) >= u(cap * frac) - 1e-9);
+    }
+
+    /// Time-efficiency is always in (0, 1] for non-empty positive times and
+    /// equals 1 exactly for equal times.
+    #[test]
+    fn time_efficiency_bounds(times in proptest::collection::vec(0.1f64..100.0, 1..20)) {
+        let e = time_efficiency(&times);
+        prop_assert!(e > 0.0 && e <= 1.0 + 1e-12);
+        let equal = vec![times[0]; times.len()];
+        prop_assert!((time_efficiency(&equal) - 1.0).abs() < 1e-12);
+    }
+
+    /// idle = N·T_max·(1 − efficiency) — the two metrics are one identity.
+    #[test]
+    fn idle_efficiency_identity(times in proptest::collection::vec(0.1f64..100.0, 1..20)) {
+        let idle = total_idle_time(&times);
+        let eff = time_efficiency(&times);
+        let max = times.iter().copied().fold(0.0f64, f64::max);
+        let reconstructed = times.len() as f64 * max * (1.0 - eff);
+        prop_assert!((idle - reconstructed).abs() < 1e-6 * idle.max(1.0));
+    }
+
+    /// The Lemma-1 allocation never loses to the uniform allocation of the
+    /// same total price on total idle time.
+    #[test]
+    fn lemma_one_dominates_uniform(seed in 0u64..500, frac in 0.2f64..0.9) {
+        let nodes = build_fleet(&FleetConfig::paper(5), &DatasetSpec::mnist_like(), seed);
+        let sigma = 5;
+        let total: f64 = nodes.iter().map(|n| n.price_cap(sigma)).sum::<f64>() * frac;
+        let times = |prices: &[f64]| -> Vec<f64> {
+            nodes.iter().zip(prices)
+                .filter_map(|(n, &p)| n.respond(p, sigma).map(|r| r.total_time))
+                .collect()
+        };
+        let eq = equalizing_prices(&nodes, sigma, total);
+        let eq_times = times(&eq);
+        let uni_times = times(&[total / 5.0; 5]);
+        // Compare only when both allocations retain full participation.
+        if eq_times.len() == 5 && uni_times.len() == 5 {
+            prop_assert!(total_idle_time(&eq_times) <= total_idle_time(&uni_times) + 1e-6);
+        }
+    }
+
+    /// The environment never overspends its budget, whatever prices are
+    /// thrown at it.
+    #[test]
+    fn env_never_overspends(seed in 0u64..200, scale in 0.05f64..2.0, budget in 10.0f64..200.0) {
+        let mut env = EdgeLearningEnv::new(
+            EnvConfig { oracle_noise: 0.0, ..EnvConfig::paper_small(DatasetKind::MnistLike, budget) },
+            seed,
+        );
+        let prices: Vec<f64> = (0..env.num_nodes())
+            .map(|i| env.node(i).price_cap(env.sigma()) * scale)
+            .collect();
+        let mut spent = 0.0;
+        for _ in 0..200 {
+            if env.is_done() {
+                break;
+            }
+            let out = env.step(&prices);
+            spent += out.payment_total;
+            prop_assert!(spent <= budget + 1e-6, "overspent: {spent} > {budget}");
+            prop_assert!((env.remaining_budget() - (budget - spent)).abs() < 1e-6);
+        }
+    }
+
+    /// Data weights always form a probability distribution.
+    #[test]
+    fn data_weights_are_distribution(n in 1usize..50, seed in 0u64..100) {
+        let nodes = build_fleet(&FleetConfig::paper(n), &DatasetSpec::fashion_like(), seed);
+        let w = data_weights(&nodes);
+        prop_assert_eq!(w.len(), n);
+        prop_assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        prop_assert!(w.iter().all(|&x| x > 0.0));
+    }
+}

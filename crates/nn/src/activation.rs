@@ -1,0 +1,112 @@
+//! Elementwise activation layers.
+
+use crate::Layer;
+use chiron_tensor::Tensor;
+
+macro_rules! activation {
+    ($(#[$doc:meta])* $name:ident, $fwd:expr, $grad_from_in_out:expr) => {
+        $(#[$doc])*
+        #[derive(Default)]
+        pub struct $name {
+            input: Option<Tensor>,
+            output: Option<Tensor>,
+        }
+
+        impl $name {
+            /// Creates the activation layer.
+            pub fn new() -> Self {
+                Self::default()
+            }
+        }
+
+        impl Layer for $name {
+            fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+                let out = input.map($fwd);
+                self.input = Some(input.clone());
+                self.output = Some(out.clone());
+                out
+            }
+
+            fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+                let input = self
+                    .input
+                    .as_ref()
+                    .expect(concat!(stringify!($name), "::backward called before forward"));
+                let output = self.output.as_ref().expect("output cached with input");
+                let d = input.zip(output, $grad_from_in_out);
+                grad_output.hadamard(&d)
+            }
+
+            fn name(&self) -> &'static str {
+                stringify!($name)
+            }
+        }
+    };
+}
+
+activation!(
+    /// Rectified linear unit: `max(0, x)`. Used by the paper's CNNs.
+    Relu,
+    |x| x.max(0.0),
+    |x, _y| if x > 0.0 { 1.0 } else { 0.0 }
+);
+
+activation!(
+    /// Hyperbolic tangent. Used by the PPO actor/critic MLPs.
+    Tanh,
+    |x| x.tanh(),
+    |_x, y| 1.0 - y * y
+);
+
+activation!(
+    /// Logistic sigmoid: `1 / (1 + e^{-x})`.
+    Sigmoid,
+    |x| 1.0 / (1.0 + (-x).exp()),
+    |_x, y| y * (1.0 - y)
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_forward_backward() {
+        let mut relu = Relu::new();
+        let x = Tensor::from_vec(vec![-1.0, 0.0, 2.0], &[3]);
+        let y = relu.forward(&x, true);
+        assert_eq!(y.as_slice(), &[0.0, 0.0, 2.0]);
+        let dx = relu.backward(&Tensor::ones(&[3]));
+        assert_eq!(dx.as_slice(), &[0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn tanh_gradient_matches_identity() {
+        let mut tanh = Tanh::new();
+        let x = Tensor::from_vec(vec![0.0], &[1]);
+        let y = tanh.forward(&x, true);
+        assert_eq!(y.as_slice(), &[0.0]);
+        // d tanh(0) = 1
+        let dx = tanh.backward(&Tensor::ones(&[1]));
+        assert!((dx.as_slice()[0] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sigmoid_is_bounded_and_centered() {
+        let mut s = Sigmoid::new();
+        let x = Tensor::from_vec(vec![-100.0, 0.0, 100.0], &[3]);
+        let y = s.forward(&x, true);
+        assert!(y.as_slice()[0] < 1e-6);
+        assert!((y.as_slice()[1] - 0.5).abs() < 1e-6);
+        assert!(y.as_slice()[2] > 1.0 - 1e-6);
+        // Peak gradient at 0 is 0.25.
+        let dx = s.backward(&Tensor::ones(&[3]));
+        assert!((dx.as_slice()[1] - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn activations_have_no_params() {
+        assert_eq!(Relu::new().num_params(), 0);
+        assert_eq!(Tanh::new().num_params(), 0);
+        assert_eq!(Sigmoid::new().num_params(), 0);
+    }
+}

@@ -1,0 +1,191 @@
+//! Average pooling.
+
+use crate::Layer;
+use chiron_tensor::{Conv2dGeometry, Tensor};
+
+/// Non-overlapping 2-D average pooling over `(N, C, H, W)` batches.
+///
+/// The classical LeNet-5 uses average pooling (the paper's LeNet variant
+/// uses max pooling, which [`crate::MaxPool2d`] provides); this layer
+/// completes the library so either variant can be built. The backward pass
+/// spreads each incoming gradient uniformly across its window.
+///
+/// # Examples
+///
+/// ```
+/// use chiron_nn::{AvgPool2d, Layer};
+/// use chiron_tensor::Tensor;
+///
+/// let mut pool = AvgPool2d::new(2, 4, 4);
+/// let y = pool.forward(&Tensor::ones(&[1, 2, 4, 4]), true);
+/// assert_eq!(y.dims(), &[1, 2, 2, 2]);
+/// assert!(y.as_slice().iter().all(|&v| (v - 1.0).abs() < 1e-6));
+/// ```
+pub struct AvgPool2d {
+    window: usize,
+    geo: Conv2dGeometry,
+    input_dims: Vec<usize>,
+}
+
+impl AvgPool2d {
+    /// Creates a pooling layer with a square window and equal stride over a
+    /// fixed `(in_h, in_w)` geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window does not evenly tile the input.
+    pub fn new(window: usize, in_h: usize, in_w: usize) -> Self {
+        assert!(
+            in_h.is_multiple_of(window) && in_w.is_multiple_of(window),
+            "AvgPool2d: window {window} must tile input {in_h}x{in_w}"
+        );
+        Self {
+            window,
+            geo: Conv2dGeometry::new(in_h, in_w, window, window, window, 0),
+            input_dims: Vec::new(),
+        }
+    }
+
+    /// The output spatial dimensions `(out_h, out_w)`.
+    pub fn output_hw(&self) -> (usize, usize) {
+        (self.geo.out_h, self.geo.out_w)
+    }
+}
+
+impl Layer for AvgPool2d {
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        let dims = input.dims();
+        assert_eq!(dims.len(), 4, "AvgPool2d expects (N, C, H, W)");
+        assert_eq!(
+            (dims[2], dims[3]),
+            (self.geo.in_h, self.geo.in_w),
+            "AvgPool2d: spatial dims mismatch"
+        );
+        let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+        let (oh, ow) = (self.geo.out_h, self.geo.out_w);
+        let x = input.as_slice();
+        let inv = 1.0 / (self.window * self.window) as f32;
+        let mut out = vec![0.0f32; n * c * oh * ow];
+        for img in 0..n {
+            for ch in 0..c {
+                let plane = (img * c + ch) * h * w;
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut acc = 0.0f32;
+                        for ky in 0..self.window {
+                            for kx in 0..self.window {
+                                let iy = oy * self.window + ky;
+                                let ix = ox * self.window + kx;
+                                acc += x[plane + iy * w + ix];
+                            }
+                        }
+                        out[((img * c + ch) * oh + oy) * ow + ox] = acc * inv;
+                    }
+                }
+            }
+        }
+        self.input_dims = dims.to_vec();
+        Tensor::from_vec(out, &[n, c, oh, ow])
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        assert!(
+            !self.input_dims.is_empty(),
+            "AvgPool2d::backward called before forward"
+        );
+        let (n, c, h, w) = (
+            self.input_dims[0],
+            self.input_dims[1],
+            self.input_dims[2],
+            self.input_dims[3],
+        );
+        let (oh, ow) = (self.geo.out_h, self.geo.out_w);
+        assert_eq!(grad_output.dims(), &[n, c, oh, ow], "grad shape mismatch");
+        let g = grad_output.as_slice();
+        let inv = 1.0 / (self.window * self.window) as f32;
+        let mut dx = Tensor::zeros(&self.input_dims);
+        let dxs = dx.as_mut_slice();
+        for img in 0..n {
+            for ch in 0..c {
+                let plane = (img * c + ch) * h * w;
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let go = g[((img * c + ch) * oh + oy) * ow + ox] * inv;
+                        for ky in 0..self.window {
+                            for kx in 0..self.window {
+                                let iy = oy * self.window + ky;
+                                let ix = ox * self.window + kx;
+                                dxs[plane + iy * w + ix] += go;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        dx
+    }
+
+    fn name(&self) -> &'static str {
+        "AvgPool2d"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck;
+    use crate::{Linear, MseLoss, Sequential, Tanh};
+    use chiron_tensor::{Init, TensorRng};
+
+    #[test]
+    fn averages_each_window() {
+        let mut pool = AvgPool2d::new(2, 2, 2);
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 6.0], &[1, 1, 2, 2]);
+        let y = pool.forward(&x, true);
+        assert_eq!(y.as_slice(), &[3.0]);
+    }
+
+    #[test]
+    fn backward_spreads_gradient_uniformly() {
+        let mut pool = AvgPool2d::new(2, 2, 2);
+        let x = Tensor::ones(&[1, 1, 2, 2]);
+        let _ = pool.forward(&x, true);
+        let dx = pool.backward(&Tensor::from_vec(vec![8.0], &[1, 1, 1, 1]));
+        assert_eq!(dx.as_slice(), &[2.0, 2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let mut rng = TensorRng::seed_from(0);
+        let mut net = Sequential::new();
+        net.push(AvgPool2d::new(2, 4, 4));
+        net.push(crate::models::Flatten::new());
+        net.push(Linear::new(4, 3, &mut rng));
+        net.push(Tanh::new());
+        let x = rng.init(&[1, 1, 4, 4], Init::Normal(1.0));
+        let target = rng.init(&[1, 3], Init::Normal(1.0));
+        let report = gradcheck::check(
+            &mut net,
+            |n| {
+                let y = n.forward(&x, true);
+                let (loss, grad) = MseLoss.forward(&y, &target);
+                n.backward(&grad);
+                loss
+            },
+            1e-2,
+            1,
+        );
+        assert!(report.passes(2e-2), "{report:?}");
+    }
+
+    #[test]
+    fn has_no_params() {
+        assert_eq!(AvgPool2d::new(2, 4, 4).num_params(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must tile")]
+    fn rejects_non_tiling() {
+        let _ = AvgPool2d::new(3, 4, 4);
+    }
+}

@@ -1,0 +1,280 @@
+//! Parameter checkpointing: save and restore trained weights as JSON.
+//!
+//! A checkpoint stores the flat parameter vector plus enough metadata to
+//! refuse loading into a mismatched architecture. It deliberately does
+//! *not* store the architecture itself — reconstructing layer graphs from
+//! data is a large attack/fragility surface, and every model in this
+//! codebase is built from a deterministic constructor anyway. The contract
+//! is: build the same architecture, then restore the weights into it.
+
+use crate::Sequential;
+use serde::{Deserialize, Serialize};
+
+/// Checkpoint format version; bump on layout changes.
+pub const CHECKPOINT_VERSION: u32 = 1;
+
+/// A serialized snapshot of a network's parameters.
+///
+/// # Examples
+///
+/// ```
+/// use chiron_nn::{Checkpoint, Linear, Sequential};
+/// use chiron_tensor::{Tensor, TensorRng};
+///
+/// let mut rng = TensorRng::seed_from(0);
+/// let mut net = Sequential::new();
+/// net.push(Linear::new(3, 2, &mut rng));
+///
+/// let json = Checkpoint::capture(&net, "demo").to_json();
+/// let restored = Checkpoint::from_json(&json).expect("valid checkpoint");
+/// let mut twin = Sequential::new();
+/// twin.push(Linear::new(3, 2, &mut TensorRng::seed_from(99)));
+/// restored.restore(&mut twin).expect("matching architecture");
+/// assert_eq!(net.parameters_flat(), twin.parameters_flat());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Checkpoint {
+    /// Format version ([`CHECKPOINT_VERSION`]).
+    pub version: u32,
+    /// Free-form label (e.g. `"chiron-exterior-actor"`).
+    pub label: String,
+    /// Architecture summary at capture time (layer names joined by `→`),
+    /// used as a fingerprint when restoring.
+    pub architecture: String,
+    /// Scalar parameter count.
+    pub num_params: usize,
+    /// The flat parameters, in visitation order.
+    pub params: Vec<f32>,
+}
+
+/// Why a checkpoint failed to load or restore.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CheckpointError {
+    /// The JSON could not be parsed.
+    Malformed(String),
+    /// The checkpoint was written by an incompatible version.
+    VersionMismatch {
+        /// Version found in the file.
+        found: u32,
+    },
+    /// Stored parameter count disagrees with the payload length.
+    CorruptLength {
+        /// `num_params` as recorded.
+        declared: usize,
+        /// Actual payload length.
+        actual: usize,
+    },
+    /// The target network's architecture does not match.
+    ArchitectureMismatch {
+        /// Fingerprint in the checkpoint.
+        expected: String,
+        /// Fingerprint of the target network.
+        found: String,
+    },
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Malformed(e) => write!(f, "malformed checkpoint: {e}"),
+            CheckpointError::VersionMismatch { found } => {
+                write!(
+                    f,
+                    "checkpoint version {found} != supported {CHECKPOINT_VERSION}"
+                )
+            }
+            CheckpointError::CorruptLength { declared, actual } => {
+                write!(
+                    f,
+                    "checkpoint declares {declared} params but carries {actual}"
+                )
+            }
+            CheckpointError::ArchitectureMismatch { expected, found } => {
+                write!(
+                    f,
+                    "architecture mismatch: checkpoint '{expected}' vs target '{found}'"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl Checkpoint {
+    /// Snapshots a network's parameters.
+    pub fn capture(net: &Sequential, label: &str) -> Self {
+        let params = net.parameters_flat();
+        Self {
+            version: CHECKPOINT_VERSION,
+            label: label.to_owned(),
+            architecture: net.summary(),
+            num_params: params.len(),
+            params,
+        }
+    }
+
+    /// Serializes to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("checkpoint serialization is infallible")
+    }
+
+    /// Parses and validates a JSON checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError::Malformed`], `VersionMismatch`, or
+    /// `CorruptLength` for invalid inputs.
+    pub fn from_json(json: &str) -> Result<Self, CheckpointError> {
+        let ckpt: Checkpoint =
+            serde_json::from_str(json).map_err(|e| CheckpointError::Malformed(e.to_string()))?;
+        if ckpt.version != CHECKPOINT_VERSION {
+            return Err(CheckpointError::VersionMismatch {
+                found: ckpt.version,
+            });
+        }
+        if ckpt.params.len() != ckpt.num_params {
+            return Err(CheckpointError::CorruptLength {
+                declared: ckpt.num_params,
+                actual: ckpt.params.len(),
+            });
+        }
+        Ok(ckpt)
+    }
+
+    /// Writes the parameters into `net`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError::ArchitectureMismatch`] if the layer
+    /// fingerprint or parameter count differs.
+    pub fn restore(&self, net: &mut Sequential) -> Result<(), CheckpointError> {
+        if net.summary() != self.architecture || net.num_params() != self.num_params {
+            return Err(CheckpointError::ArchitectureMismatch {
+                expected: format!("{} ({} params)", self.architecture, self.num_params),
+                found: format!("{} ({} params)", net.summary(), net.num_params()),
+            });
+        }
+        net.set_parameters_flat(&self.params);
+        Ok(())
+    }
+
+    /// Convenience: capture straight to a file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn save_file(
+        net: &Sequential,
+        label: &str,
+        path: impl AsRef<std::path::Path>,
+    ) -> std::io::Result<()> {
+        std::fs::write(path, Self::capture(net, label).to_json())
+    }
+
+    /// Convenience: load and restore from a file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors; checkpoint validation errors are converted to
+    /// `io::ErrorKind::InvalidData`.
+    pub fn load_file(
+        net: &mut Sequential,
+        path: impl AsRef<std::path::Path>,
+    ) -> std::io::Result<()> {
+        let json = std::fs::read_to_string(path)?;
+        let ckpt = Self::from_json(&json)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        ckpt.restore(net)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::{mlp, mnist_cnn};
+    use chiron_tensor::{Tensor, TensorRng};
+
+    #[test]
+    fn round_trip_restores_exact_weights() {
+        let mut rng = TensorRng::seed_from(0);
+        let net = mlp(&[4, 8, 2], &mut rng);
+        let json = Checkpoint::capture(&net, "test").to_json();
+        let ckpt = Checkpoint::from_json(&json).expect("valid");
+        let mut twin = mlp(&[4, 8, 2], &mut TensorRng::seed_from(1));
+        ckpt.restore(&mut twin).expect("matching");
+        assert_eq!(net.parameters_flat(), twin.parameters_flat());
+    }
+
+    #[test]
+    fn restored_network_computes_identically() {
+        let mut rng = TensorRng::seed_from(2);
+        let mut net = mnist_cnn(&mut rng);
+        let ckpt = Checkpoint::capture(&net, "cnn");
+        let mut twin = mnist_cnn(&mut TensorRng::seed_from(3));
+        ckpt.restore(&mut twin).expect("matching");
+        let x = Tensor::ones(&[1, 1, 28, 28]);
+        assert_eq!(
+            net.forward(&x, false).as_slice(),
+            twin.forward(&x, false).as_slice()
+        );
+    }
+
+    #[test]
+    fn mismatched_architecture_rejected() {
+        let mut rng = TensorRng::seed_from(4);
+        let net = mlp(&[4, 8, 2], &mut rng);
+        let ckpt = Checkpoint::capture(&net, "x");
+        let mut other = mlp(&[4, 9, 2], &mut rng);
+        let err = ckpt.restore(&mut other).expect_err("must reject");
+        assert!(matches!(err, CheckpointError::ArchitectureMismatch { .. }));
+    }
+
+    #[test]
+    fn corrupt_payload_rejected() {
+        let mut rng = TensorRng::seed_from(5);
+        let net = mlp(&[2, 2], &mut rng);
+        let mut ckpt = Checkpoint::capture(&net, "x");
+        ckpt.params.pop();
+        let json = serde_json::to_string(&ckpt).expect("serializable");
+        let err = Checkpoint::from_json(&json).expect_err("must reject");
+        assert!(matches!(err, CheckpointError::CorruptLength { .. }));
+    }
+
+    #[test]
+    fn wrong_version_rejected() {
+        let mut rng = TensorRng::seed_from(6);
+        let net = mlp(&[2, 2], &mut rng);
+        let mut ckpt = Checkpoint::capture(&net, "x");
+        ckpt.version = 999;
+        let json = serde_json::to_string(&ckpt).expect("serializable");
+        let err = Checkpoint::from_json(&json).expect_err("must reject");
+        assert!(matches!(
+            err,
+            CheckpointError::VersionMismatch { found: 999 }
+        ));
+    }
+
+    #[test]
+    fn garbage_json_rejected() {
+        assert!(matches!(
+            Checkpoint::from_json("not json"),
+            Err(CheckpointError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("chiron_nn_ckpt_test");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join("net.json");
+        let mut rng = TensorRng::seed_from(7);
+        let net = mlp(&[3, 3], &mut rng);
+        Checkpoint::save_file(&net, "file-test", &path).expect("save");
+        let mut twin = mlp(&[3, 3], &mut TensorRng::seed_from(8));
+        Checkpoint::load_file(&mut twin, &path).expect("load");
+        assert_eq!(net.parameters_flat(), twin.parameters_flat());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,219 @@
+//! 2-D convolution via `im2col`.
+
+use crate::Layer;
+use chiron_tensor::{col2im, im2col, Conv2dGeometry, Init, Tensor, TensorRng};
+
+/// A 2-D convolution layer over `(N, C_in, H, W)` batches.
+///
+/// Internally the input is unrolled with [`im2col`] so the convolution and
+/// both backward passes are plain matrix products against the
+/// `(C_in·k_h·k_w, C_out)` filter matrix.
+///
+/// # Examples
+///
+/// ```
+/// use chiron_nn::{Conv2d, Layer};
+/// use chiron_tensor::{Tensor, TensorRng};
+///
+/// let mut rng = TensorRng::seed_from(0);
+/// // The paper's MNIST CNN first layer: 1 → 10 channels, 5×5 kernel.
+/// let mut conv = Conv2d::new(1, 10, 5, 1, 0, 28, 28, &mut rng);
+/// let y = conv.forward(&Tensor::ones(&[2, 1, 28, 28]), true);
+/// assert_eq!(y.dims(), &[2, 10, 24, 24]);
+/// ```
+pub struct Conv2d {
+    weight: Tensor, // (C_in·k·k, C_out)
+    bias: Tensor,   // (C_out)
+    grad_weight: Tensor,
+    grad_bias: Tensor,
+    geo: Conv2dGeometry,
+    in_channels: usize,
+    out_channels: usize,
+    cols: Option<Tensor>,
+    batch: usize,
+}
+
+impl Conv2d {
+    /// Creates a convolution for a fixed input geometry.
+    ///
+    /// Fixing `(in_h, in_w)` at construction matches how the paper's CNNs
+    /// are used (each conv sees one spatial size) and lets the layer verify
+    /// shapes eagerly.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        pad: usize,
+        in_h: usize,
+        in_w: usize,
+        rng: &mut TensorRng,
+    ) -> Self {
+        let geo = Conv2dGeometry::new(in_h, in_w, kernel, kernel, stride, pad);
+        let fan = in_channels * kernel * kernel;
+        Self {
+            weight: rng.init(&[fan, out_channels], Init::HeNormal),
+            bias: Tensor::zeros(&[out_channels]),
+            grad_weight: Tensor::zeros(&[fan, out_channels]),
+            grad_bias: Tensor::zeros(&[out_channels]),
+            geo,
+            in_channels,
+            out_channels,
+            cols: None,
+            batch: 0,
+        }
+    }
+
+    /// The output spatial dimensions `(out_h, out_w)`.
+    pub fn output_hw(&self) -> (usize, usize) {
+        (self.geo.out_h, self.geo.out_w)
+    }
+
+    /// Number of output channels.
+    pub fn out_channels(&self) -> usize {
+        self.out_channels
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        let dims = input.dims();
+        assert_eq!(dims.len(), 4, "Conv2d expects (N, C, H, W), got {dims:?}");
+        assert_eq!(dims[1], self.in_channels, "Conv2d: channel mismatch");
+        self.batch = dims[0];
+
+        let cols = im2col(input, self.in_channels, &self.geo);
+        // (N·P, fan) · (fan, C_out) → (N·P, C_out), P = out_h·out_w
+        let out_cols = cols.matmul(&self.weight).add_row_broadcast(&self.bias);
+        self.cols = Some(cols);
+
+        // Transpose the (N·P, C_out) layout into (N, C_out, out_h, out_w).
+        let p = self.geo.out_positions();
+        let c_out = self.out_channels;
+        let src = out_cols.as_slice();
+        let mut out = vec![0.0f32; self.batch * c_out * p];
+        for img in 0..self.batch {
+            for pos in 0..p {
+                let row = (img * p + pos) * c_out;
+                for ch in 0..c_out {
+                    out[img * c_out * p + ch * p + pos] = src[row + ch];
+                }
+            }
+        }
+        Tensor::from_vec(out, &[self.batch, c_out, self.geo.out_h, self.geo.out_w])
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let cols = self
+            .cols
+            .as_ref()
+            .expect("Conv2d::backward called before forward");
+        let p = self.geo.out_positions();
+        let c_out = self.out_channels;
+        assert_eq!(
+            grad_output.dims(),
+            &[self.batch, c_out, self.geo.out_h, self.geo.out_w],
+            "Conv2d: grad shape mismatch"
+        );
+
+        // Back to (N·P, C_out) layout.
+        let src = grad_output.as_slice();
+        let mut dy = vec![0.0f32; self.batch * p * c_out];
+        for img in 0..self.batch {
+            for ch in 0..c_out {
+                for pos in 0..p {
+                    dy[(img * p + pos) * c_out + ch] = src[img * c_out * p + ch * p + pos];
+                }
+            }
+        }
+        let dy = Tensor::from_vec(dy, &[self.batch * p, c_out]);
+
+        self.grad_weight.axpy(1.0, &cols.matmul_tn(&dy));
+        self.grad_bias.axpy(1.0, &dy.sum_rows());
+
+        let dcols = dy.matmul_nt(&self.weight);
+        col2im(&dcols, self.batch, self.in_channels, &self.geo)
+    }
+
+    fn visit_params_mut(&mut self, f: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {
+        f(&mut self.weight, &mut self.grad_weight);
+        f(&mut self.bias, &mut self.grad_bias);
+    }
+
+    fn visit_params(&self, f: &mut dyn FnMut(&Tensor, &Tensor)) {
+        f(&self.weight, &self.grad_weight);
+        f(&self.bias, &self.grad_bias);
+    }
+
+    fn name(&self) -> &'static str {
+        "Conv2d"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_kernel_computes_cross_correlation() {
+        let mut rng = TensorRng::seed_from(0);
+        let mut conv = Conv2d::new(1, 1, 2, 1, 0, 3, 3, &mut rng);
+        conv.visit_params_mut(&mut |p, _| {
+            if p.numel() == 4 {
+                *p = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], &[4, 1]);
+            } else {
+                *p = Tensor::from_vec(vec![0.5], &[1]);
+            }
+        });
+        let x = Tensor::from_vec(
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0],
+            &[1, 1, 3, 3],
+        );
+        let y = conv.forward(&x, true);
+        // Kernel = [[1,0],[0,1]] so output = x[i,j] + x[i+1,j+1] + 0.5
+        assert_eq!(y.dims(), &[1, 1, 2, 2]);
+        assert_eq!(y.as_slice(), &[6.5, 8.5, 12.5, 14.5]);
+    }
+
+    #[test]
+    fn parameter_counts_match_paper_layers() {
+        let mut rng = TensorRng::seed_from(1);
+        // MNIST CNN conv1: 1→10, 5×5 → 260 params.
+        let c1 = Conv2d::new(1, 10, 5, 1, 0, 28, 28, &mut rng);
+        assert_eq!(c1.num_params(), 260);
+        // MNIST CNN conv2: 10→20, 5×5 → 5020 params.
+        let c2 = Conv2d::new(10, 20, 5, 1, 0, 12, 12, &mut rng);
+        assert_eq!(c2.num_params(), 5020);
+        // LeNet conv1: 3→6 → 456 params.
+        let l1 = Conv2d::new(3, 6, 5, 1, 0, 32, 32, &mut rng);
+        assert_eq!(l1.num_params(), 456);
+    }
+
+    #[test]
+    fn backward_returns_input_shaped_grad() {
+        let mut rng = TensorRng::seed_from(2);
+        let mut conv = Conv2d::new(2, 3, 3, 1, 1, 6, 6, &mut rng);
+        let x = rng.init(&[2, 2, 6, 6], Init::Normal(1.0));
+        let y = conv.forward(&x, true);
+        assert_eq!(y.dims(), &[2, 3, 6, 6]);
+        let dx = conv.backward(&Tensor::ones(y.dims()));
+        assert_eq!(dx.dims(), x.dims());
+        assert!(dx.is_finite());
+    }
+
+    #[test]
+    fn bias_gradient_counts_positions() {
+        let mut rng = TensorRng::seed_from(3);
+        let mut conv = Conv2d::new(1, 2, 2, 1, 0, 3, 3, &mut rng);
+        let x = Tensor::ones(&[1, 1, 3, 3]);
+        let y = conv.forward(&x, true);
+        let _ = conv.backward(&Tensor::ones(y.dims()));
+        conv.visit_params(&mut |p, g| {
+            if p.dims().len() == 1 {
+                // 2×2 output positions → bias grad 4 per channel.
+                assert_eq!(g.as_slice(), &[4.0, 4.0]);
+            }
+        });
+    }
+}

@@ -1,0 +1,123 @@
+//! Inverted dropout.
+
+use crate::Layer;
+use chiron_tensor::{Tensor, TensorRng};
+
+/// Inverted dropout: during training each element is zeroed with
+/// probability `p` and survivors are scaled by `1/(1-p)`, so evaluation is
+/// a no-op. Matches the dropout in the reference MNIST CNN implementation
+/// the paper builds on.
+///
+/// # Examples
+///
+/// ```
+/// use chiron_nn::{Dropout, Layer};
+/// use chiron_tensor::{Tensor, TensorRng};
+///
+/// let mut d = Dropout::new(0.5, TensorRng::seed_from(1));
+/// let x = Tensor::ones(&[8]);
+/// let eval = d.forward(&x, false);
+/// assert_eq!(eval.as_slice(), x.as_slice()); // identity at eval time
+/// ```
+pub struct Dropout {
+    p: f32,
+    rng: TensorRng,
+    mask: Option<Tensor>,
+}
+
+impl Dropout {
+    /// Creates a dropout layer with drop probability `p ∈ [0, 1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1)`.
+    pub fn new(p: f32, rng: TensorRng) -> Self {
+        assert!(
+            (0.0..1.0).contains(&p),
+            "dropout p must be in [0,1), got {p}"
+        );
+        Self { p, rng, mask: None }
+    }
+
+    /// The drop probability.
+    pub fn probability(&self) -> f32 {
+        self.p
+    }
+}
+
+impl Layer for Dropout {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        if !train || self.p == 0.0 {
+            self.mask = None;
+            return input.clone();
+        }
+        let keep = 1.0 - self.p;
+        let scale = 1.0 / keep;
+        let mask_data: Vec<f32> = (0..input.numel())
+            .map(|_| {
+                if self.rng.uniform(0.0, 1.0) < keep as f64 {
+                    scale
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        let mask = Tensor::from_vec(mask_data, input.dims());
+        let out = input.hadamard(&mask);
+        self.mask = Some(mask);
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        match &self.mask {
+            Some(mask) => grad_output.hadamard(mask),
+            None => grad_output.clone(),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "Dropout"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_mode_is_identity() {
+        let mut d = Dropout::new(0.9, TensorRng::seed_from(0));
+        let x = Tensor::linspace(0.0, 1.0, 10);
+        let y = d.forward(&x, false);
+        assert_eq!(y.as_slice(), x.as_slice());
+        let dx = d.backward(&Tensor::ones(&[10]));
+        assert_eq!(dx.as_slice(), &[1.0; 10]);
+    }
+
+    #[test]
+    fn training_preserves_expectation() {
+        let mut d = Dropout::new(0.5, TensorRng::seed_from(42));
+        let x = Tensor::ones(&[10_000]);
+        let y = d.forward(&x, true);
+        let mean = y.mean();
+        assert!((mean - 1.0).abs() < 0.05, "inverted dropout mean {mean}");
+    }
+
+    #[test]
+    fn backward_uses_same_mask() {
+        let mut d = Dropout::new(0.5, TensorRng::seed_from(7));
+        let x = Tensor::ones(&[100]);
+        let y = d.forward(&x, true);
+        let dx = d.backward(&Tensor::ones(&[100]));
+        // Gradient flows exactly where the forward survived.
+        for (a, b) in y.as_slice().iter().zip(dx.as_slice()) {
+            assert_eq!(a == &0.0, b == &0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in [0,1)")]
+    fn rejects_p_one() {
+        let _ = Dropout::new(1.0, TensorRng::seed_from(0));
+    }
+}

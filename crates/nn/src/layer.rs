@@ -1,0 +1,79 @@
+//! The [`Layer`] trait shared by every network component.
+
+use chiron_tensor::Tensor;
+
+/// A differentiable network component with manual backpropagation.
+///
+/// A layer owns its parameters and their gradient accumulators. `forward`
+/// caches whatever intermediate state `backward` needs, so calls must be
+/// paired: one `backward` per preceding `forward`.
+///
+/// Parameter access goes through the two visitor methods rather than
+/// returning slices of references; this sidesteps aliasing issues when an
+/// optimizer needs each parameter together with its gradient, and keeps the
+/// trait object-safe so [`crate::Sequential`] can store `Box<dyn Layer>`.
+pub trait Layer: Send {
+    /// Computes the layer output. `train` enables training-only behaviour
+    /// (e.g. dropout masking).
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor;
+
+    /// Given `∂loss/∂output`, accumulates parameter gradients and returns
+    /// `∂loss/∂input`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if called before `forward`.
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor;
+
+    /// Visits every `(parameter, gradient)` pair mutably, in a stable order.
+    ///
+    /// Parameterless layers use the default empty implementation.
+    fn visit_params_mut(&mut self, _f: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {}
+
+    /// Visits every `(parameter, gradient)` pair immutably, in the same
+    /// order as [`Layer::visit_params_mut`].
+    fn visit_params(&self, _f: &mut dyn FnMut(&Tensor, &Tensor)) {}
+
+    /// Resets all gradient accumulators to zero.
+    fn zero_grad(&mut self) {
+        self.visit_params_mut(&mut |_, g| g.fill(0.0));
+    }
+
+    /// Total number of scalar parameters.
+    fn num_params(&self) -> usize {
+        let mut n = 0;
+        self.visit_params(&mut |p, _| n += p.numel());
+        n
+    }
+
+    /// A short human-readable layer name for summaries.
+    fn name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Linear;
+    use chiron_tensor::TensorRng;
+
+    #[test]
+    fn num_params_counts_weights_and_biases() {
+        let mut rng = TensorRng::seed_from(0);
+        let l = Linear::new(3, 5, &mut rng);
+        assert_eq!(l.num_params(), 3 * 5 + 5);
+    }
+
+    #[test]
+    fn zero_grad_clears_accumulators() {
+        let mut rng = TensorRng::seed_from(0);
+        let mut l = Linear::new(2, 2, &mut rng);
+        let x = Tensor::ones(&[1, 2]);
+        let y = l.forward(&x, true);
+        l.backward(&y.zeros_like().map(|_| 1.0));
+        let mut nonzero = false;
+        l.visit_params(&mut |_, g| nonzero |= g.as_slice().iter().any(|&v| v != 0.0));
+        assert!(nonzero, "backward should produce gradients");
+        l.zero_grad();
+        l.visit_params(&mut |_, g| assert!(g.as_slice().iter().all(|&v| v == 0.0)));
+    }
+}

@@ -1,0 +1,74 @@
+//! # chiron-nn
+//!
+//! A from-scratch neural-network stack with manual backpropagation, built on
+//! [`chiron_tensor`]. It implements everything the Chiron (ICDCS 2021)
+//! reproduction trains:
+//!
+//! * the paper's two CNN architectures — the 21,840-parameter CNN used for
+//!   MNIST/Fashion-MNIST and the 62,006-parameter LeNet used for CIFAR-10
+//!   (see [`models`]);
+//! * the small MLP actor/critic networks used by the PPO agents in
+//!   `chiron-drl`;
+//! * layers: [`Linear`], [`Conv2d`], [`MaxPool2d`], [`AvgPool2d`],
+//!   [`Dropout`], and the
+//!   activations [`Relu`], [`Tanh`], [`Sigmoid`];
+//! * losses: [`SoftmaxCrossEntropy`], [`MseLoss`];
+//! * optimizers: [`Sgd`] (with momentum) and [`Adam`], plus global-norm
+//!   gradient clipping;
+//! * JSON parameter checkpointing with architecture fingerprints
+//!   ([`Checkpoint`]);
+//! * gradient checking against central finite differences ([`gradcheck`]).
+//!
+//! Every layer caches what it needs during `forward` and produces parameter
+//! gradients during `backward`, so a training step is
+//! `forward → loss → backward → optimizer.step`.
+//!
+//! ## Example
+//!
+//! ```
+//! use chiron_nn::{Linear, Relu, Sequential, Sgd, SoftmaxCrossEntropy, Optimizer};
+//! use chiron_tensor::{Tensor, TensorRng};
+//!
+//! let mut rng = TensorRng::seed_from(0);
+//! let mut net = Sequential::new();
+//! net.push(Linear::new(4, 16, &mut rng));
+//! net.push(Relu::new());
+//! net.push(Linear::new(16, 3, &mut rng));
+//!
+//! let x = Tensor::ones(&[2, 4]);
+//! let labels = [0usize, 2];
+//! let logits = net.forward(&x, true);
+//! let (loss, grad) = SoftmaxCrossEntropy.forward(&logits, &labels);
+//! net.backward(&grad);
+//! Sgd::new(0.1).step(&mut net);
+//! assert!(loss > 0.0);
+//! ```
+
+mod activation;
+mod avgpool;
+mod checkpoint;
+mod conv2d;
+mod dropout;
+pub mod gradcheck;
+mod layer;
+mod linear;
+mod loss;
+pub mod models;
+mod optim;
+mod pool;
+mod sequential;
+
+pub use activation::{Relu, Sigmoid, Tanh};
+pub use avgpool::AvgPool2d;
+pub use checkpoint::{Checkpoint, CheckpointError, CHECKPOINT_VERSION};
+pub use conv2d::Conv2d;
+pub use dropout::Dropout;
+pub use layer::Layer;
+pub use linear::Linear;
+pub use loss::{MseLoss, SoftmaxCrossEntropy};
+pub use optim::{clip_grad_norm, Adam, Optimizer, Sgd};
+pub use pool::MaxPool2d;
+pub use sequential::Sequential;
+
+#[cfg(test)]
+mod proptests;

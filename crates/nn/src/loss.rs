@@ -1,0 +1,174 @@
+//! Loss functions. Each returns the scalar loss and the gradient with
+//! respect to the network output, ready to feed into `backward`.
+
+use chiron_tensor::Tensor;
+
+/// Softmax cross-entropy over integer class labels.
+///
+/// Combines the softmax and the negative log-likelihood so the gradient is
+/// the numerically stable `softmax(logits) − one_hot(labels)`, averaged
+/// over the batch.
+///
+/// # Examples
+///
+/// ```
+/// use chiron_nn::SoftmaxCrossEntropy;
+/// use chiron_tensor::Tensor;
+///
+/// let logits = Tensor::from_vec(vec![10.0, 0.0, 0.0, 10.0], &[2, 2]);
+/// let (loss, _grad) = SoftmaxCrossEntropy.forward(&logits, &[0, 1]);
+/// assert!(loss < 0.01); // confident and correct
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SoftmaxCrossEntropy;
+
+impl SoftmaxCrossEntropy {
+    /// Computes `(mean_loss, ∂loss/∂logits)` for a `(batch, classes)`
+    /// logits matrix and one label per row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `labels.len()` differs from the batch size or a label is
+    /// out of range.
+    pub fn forward(&self, logits: &Tensor, labels: &[usize]) -> (f32, Tensor) {
+        let (batch, classes) = logits.shape().as_matrix();
+        assert_eq!(
+            labels.len(),
+            batch,
+            "labels ({}) must match batch ({batch})",
+            labels.len()
+        );
+        let probs = logits.softmax_rows();
+        let p = probs.as_slice();
+        let mut loss = 0.0f64;
+        let mut grad = probs.clone().reshape(&[batch, classes]);
+        let g = grad.as_mut_slice();
+        let inv_batch = 1.0 / batch as f32;
+        for (r, &label) in labels.iter().enumerate() {
+            assert!(label < classes, "label {label} out of range ({classes})");
+            let pr = p[r * classes + label].max(1e-12);
+            loss -= (pr as f64).ln();
+            g[r * classes + label] -= 1.0;
+        }
+        for v in g.iter_mut() {
+            *v *= inv_batch;
+        }
+        ((loss / batch as f64) as f32, grad)
+    }
+
+    /// Fraction of rows whose argmax equals the label.
+    pub fn accuracy(&self, logits: &Tensor, labels: &[usize]) -> f32 {
+        let preds = logits.argmax_rows();
+        let correct = preds.iter().zip(labels).filter(|(p, l)| p == l).count();
+        correct as f32 / labels.len() as f32
+    }
+}
+
+/// Mean squared error, `mean((pred − target)²)` — used by the PPO critics.
+///
+/// # Examples
+///
+/// ```
+/// use chiron_nn::MseLoss;
+/// use chiron_tensor::Tensor;
+///
+/// let pred = Tensor::from_vec(vec![1.0, 2.0], &[2]);
+/// let target = Tensor::from_vec(vec![0.0, 2.0], &[2]);
+/// let (loss, grad) = MseLoss.forward(&pred, &target);
+/// assert_eq!(loss, 0.5);
+/// assert_eq!(grad.as_slice(), &[1.0, 0.0]);
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MseLoss;
+
+impl MseLoss {
+    /// Computes `(loss, ∂loss/∂pred)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn forward(&self, pred: &Tensor, target: &Tensor) -> (f32, Tensor) {
+        assert!(
+            pred.shape().same_as(target.shape()),
+            "MseLoss: shape mismatch {} vs {}",
+            pred.shape(),
+            target.shape()
+        );
+        let n = pred.numel() as f32;
+        let diff = pred - target;
+        let loss = diff.as_slice().iter().map(|d| d * d).sum::<f32>() / n;
+        let grad = diff.scale(2.0 / n);
+        (loss, grad)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_logits_give_log_classes() {
+        let logits = Tensor::zeros(&[1, 4]);
+        let (loss, grad) = SoftmaxCrossEntropy.forward(&logits, &[2]);
+        assert!((loss - (4.0f32).ln()).abs() < 1e-5);
+        // grad = softmax − onehot = 0.25 everywhere except label (−0.75).
+        assert!((grad.as_slice()[2] + 0.75).abs() < 1e-6);
+        assert!((grad.as_slice()[0] - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gradient_rows_sum_to_zero() {
+        let logits = Tensor::from_vec(vec![1.0, -2.0, 0.5, 3.0, 0.0, -1.0], &[2, 3]);
+        let (_, grad) = SoftmaxCrossEntropy.forward(&logits, &[1, 0]);
+        for r in 0..2 {
+            let s: f32 = grad.as_slice()[r * 3..(r + 1) * 3].iter().sum();
+            assert!(s.abs() < 1e-6, "row {r} grad sum {s}");
+        }
+    }
+
+    #[test]
+    fn accuracy_counts_argmax_matches() {
+        let logits = Tensor::from_vec(vec![2.0, 1.0, 0.0, 9.0], &[2, 2]);
+        let acc = SoftmaxCrossEntropy.accuracy(&logits, &[0, 1]);
+        assert_eq!(acc, 1.0);
+        let acc2 = SoftmaxCrossEntropy.accuracy(&logits, &[1, 1]);
+        assert_eq!(acc2, 0.5);
+    }
+
+    #[test]
+    fn mse_zero_at_match() {
+        let p = Tensor::ones(&[3]);
+        let (loss, grad) = MseLoss.forward(&p, &p);
+        assert_eq!(loss, 0.0);
+        assert_eq!(grad.as_slice(), &[0.0; 3]);
+    }
+
+    #[test]
+    fn cross_entropy_grad_matches_finite_difference() {
+        let logits = Tensor::from_vec(vec![0.3, -0.7, 1.2], &[1, 3]);
+        let labels = [1usize];
+        let (_, grad) = SoftmaxCrossEntropy.forward(&logits, &labels);
+        let eps = 1e-3f32;
+        for i in 0..3 {
+            let mut plus = logits.clone();
+            plus.as_mut_slice()[i] += eps;
+            let mut minus = logits.clone();
+            minus.as_mut_slice()[i] -= eps;
+            let (lp, _) = SoftmaxCrossEntropy.forward(&plus, &labels);
+            let (lm, _) = SoftmaxCrossEntropy.forward(&minus, &labels);
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!(
+                (fd - grad.as_slice()[i]).abs() < 1e-3,
+                "dim {i}: fd {fd} vs analytic {}",
+                grad.as_slice()[i]
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn label_bounds_checked() {
+        let logits = Tensor::zeros(&[1, 3]);
+        let _ = SoftmaxCrossEntropy.forward(&logits, &[3]);
+    }
+}

@@ -1,0 +1,306 @@
+//! Optimizers and gradient utilities.
+
+use crate::Sequential;
+use chiron_tensor::Tensor;
+
+/// A first-order optimizer over a [`Sequential`] network.
+///
+/// Implementations keep any per-parameter state internally, keyed by the
+/// network's stable parameter visitation order, so an optimizer instance
+/// must be used with a single network whose architecture does not change.
+pub trait Optimizer {
+    /// Applies one update from the currently accumulated gradients and
+    /// zeroes them.
+    fn step(&mut self, net: &mut Sequential);
+
+    /// The current learning rate.
+    fn learning_rate(&self) -> f32;
+
+    /// Overrides the learning rate (used by the paper's 95 %-per-20-episode
+    /// decay schedule).
+    fn set_learning_rate(&mut self, lr: f32);
+}
+
+/// Stochastic gradient descent with optional classical momentum.
+///
+/// # Examples
+///
+/// ```
+/// use chiron_nn::{Linear, Optimizer, Sequential, Sgd};
+/// use chiron_tensor::TensorRng;
+///
+/// let mut rng = TensorRng::seed_from(0);
+/// let mut net = Sequential::new();
+/// net.push(Linear::new(2, 1, &mut rng));
+/// let mut opt = Sgd::with_momentum(0.01, 0.9);
+/// opt.step(&mut net); // no-op with zero gradients
+/// assert_eq!(opt.learning_rate(), 0.01);
+/// ```
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    velocity: Vec<Tensor>,
+}
+
+impl Sgd {
+    /// Plain SGD: `w ← w − lr·g`.
+    pub fn new(lr: f32) -> Self {
+        Self::with_momentum(lr, 0.0)
+    }
+
+    /// SGD with momentum: `v ← m·v + g; w ← w − lr·v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr <= 0` or `momentum ∉ [0, 1)`.
+    pub fn with_momentum(lr: f32, momentum: f32) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive, got {lr}");
+        assert!(
+            (0.0..1.0).contains(&momentum),
+            "momentum must be in [0,1), got {momentum}"
+        );
+        Self {
+            lr,
+            momentum,
+            velocity: Vec::new(),
+        }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, net: &mut Sequential) {
+        let lr = self.lr;
+        let momentum = self.momentum;
+        let velocity = &mut self.velocity;
+        let mut idx = 0usize;
+        net.visit_params_mut(&mut |p, g| {
+            if momentum == 0.0 {
+                p.axpy(-lr, g);
+            } else {
+                if velocity.len() <= idx {
+                    velocity.push(g.zeros_like());
+                }
+                let v = &mut velocity[idx];
+                v.scale_inplace(momentum);
+                v.axpy(1.0, g);
+                p.axpy(-lr, v);
+            }
+            g.fill(0.0);
+            idx += 1;
+        });
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        assert!(lr > 0.0, "learning rate must be positive, got {lr}");
+        self.lr = lr;
+    }
+}
+
+/// Adam (Kingma & Ba, 2015) with bias correction.
+///
+/// Used for the PPO actor/critic updates in the reproduction (the paper
+/// trains its agents with learning rate 3e-5).
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    t: u64,
+    m: Vec<Tensor>,
+    v: Vec<Tensor>,
+}
+
+impl Adam {
+    /// Creates Adam with the standard `β₁ = 0.9, β₂ = 0.999, ε = 1e-8`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr <= 0`.
+    pub fn new(lr: f32) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive, got {lr}");
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, net: &mut Sequential) {
+        self.t += 1;
+        let (b1, b2, eps, lr) = (self.beta1, self.beta2, self.eps, self.lr);
+        let bc1 = 1.0 - b1.powi(self.t as i32);
+        let bc2 = 1.0 - b2.powi(self.t as i32);
+        let (ms, vs) = (&mut self.m, &mut self.v);
+        let mut idx = 0usize;
+        net.visit_params_mut(&mut |p, g| {
+            if ms.len() <= idx {
+                ms.push(g.zeros_like());
+                vs.push(g.zeros_like());
+            }
+            let m = &mut ms[idx];
+            let v = &mut vs[idx];
+            for ((pi, gi), (mi, vi)) in p
+                .as_mut_slice()
+                .iter_mut()
+                .zip(g.as_slice())
+                .zip(m.as_mut_slice().iter_mut().zip(v.as_mut_slice().iter_mut()))
+            {
+                *mi = b1 * *mi + (1.0 - b1) * gi;
+                *vi = b2 * *vi + (1.0 - b2) * gi * gi;
+                let m_hat = *mi / bc1;
+                let v_hat = *vi / bc2;
+                *pi -= lr * m_hat / (v_hat.sqrt() + eps);
+            }
+            g.fill(0.0);
+            idx += 1;
+        });
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        assert!(lr > 0.0, "learning rate must be positive, got {lr}");
+        self.lr = lr;
+    }
+}
+
+/// Rescales all gradients so their global L2 norm does not exceed
+/// `max_norm`; returns the pre-clip norm. Standard PPO stabilization.
+pub fn clip_grad_norm(net: &mut Sequential, max_norm: f32) -> f32 {
+    let mut sq = 0.0f64;
+    net.visit_params(&mut |_, g| {
+        sq += g
+            .as_slice()
+            .iter()
+            .map(|&x| (x as f64) * (x as f64))
+            .sum::<f64>();
+    });
+    let norm = sq.sqrt() as f32;
+    if norm > max_norm && norm > 0.0 {
+        let scale = max_norm / norm;
+        net.visit_params_mut(&mut |_, g| g.scale_inplace(scale));
+    }
+    norm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Linear, MseLoss, Sequential};
+    use chiron_tensor::{Tensor, TensorRng};
+
+    fn one_param_net() -> Sequential {
+        let mut rng = TensorRng::seed_from(0);
+        let mut net = Sequential::new();
+        net.push(Linear::new(1, 1, &mut rng));
+        net
+    }
+
+    fn quadratic_loss_step(net: &mut Sequential) -> f32 {
+        // Minimize (f(1) − 3)² — a scalar regression problem.
+        let x = Tensor::ones(&[1, 1]);
+        let target = Tensor::from_vec(vec![3.0], &[1, 1]);
+        let y = net.forward(&x, true);
+        let (loss, grad) = MseLoss.forward(&y, &target);
+        net.backward(&grad);
+        loss
+    }
+
+    #[test]
+    fn sgd_descends_quadratic() {
+        let mut net = one_param_net();
+        let mut opt = Sgd::new(0.1);
+        let first = quadratic_loss_step(&mut net);
+        opt.step(&mut net);
+        for _ in 0..100 {
+            let _ = quadratic_loss_step(&mut net);
+            opt.step(&mut net);
+        }
+        let last = quadratic_loss_step(&mut net);
+        assert!(
+            last < first * 0.01,
+            "SGD failed to descend: {first} → {last}"
+        );
+    }
+
+    #[test]
+    fn momentum_accelerates_convergence() {
+        let run = |momentum: f32| {
+            let mut net = one_param_net();
+            let mut opt = Sgd::with_momentum(0.01, momentum);
+            for _ in 0..50 {
+                let _ = quadratic_loss_step(&mut net);
+                opt.step(&mut net);
+            }
+            quadratic_loss_step(&mut net)
+        };
+        assert!(run(0.9) < run(0.0));
+    }
+
+    #[test]
+    fn adam_descends_quadratic() {
+        let mut net = one_param_net();
+        let mut opt = Adam::new(0.1);
+        let first = quadratic_loss_step(&mut net);
+        opt.step(&mut net);
+        for _ in 0..200 {
+            let _ = quadratic_loss_step(&mut net);
+            opt.step(&mut net);
+        }
+        let last = quadratic_loss_step(&mut net);
+        assert!(
+            last < first * 0.01,
+            "Adam failed to descend: {first} → {last}"
+        );
+    }
+
+    #[test]
+    fn step_zeroes_gradients() {
+        let mut net = one_param_net();
+        let _ = quadratic_loss_step(&mut net);
+        Sgd::new(0.1).step(&mut net);
+        net.visit_params(&mut |_, g| {
+            assert!(g.as_slice().iter().all(|&v| v == 0.0));
+        });
+    }
+
+    #[test]
+    fn clip_grad_norm_bounds_global_norm() {
+        let mut net = one_param_net();
+        // Build a large gradient.
+        let x = Tensor::from_vec(vec![100.0], &[1, 1]);
+        let y = net.forward(&x, true);
+        let (_, grad) = MseLoss.forward(&y, &(&y + 1000.0));
+        net.backward(&grad);
+        let pre = clip_grad_norm(&mut net, 1.0);
+        assert!(pre > 1.0);
+        let mut sq = 0.0f32;
+        net.visit_params(&mut |_, g| sq += g.as_slice().iter().map(|x| x * x).sum::<f32>());
+        assert!((sq.sqrt() - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn lr_decay_is_settable() {
+        let mut opt = Adam::new(3e-5);
+        opt.set_learning_rate(opt.learning_rate() * 0.95);
+        assert!((opt.learning_rate() - 2.85e-5).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn rejects_nonpositive_lr() {
+        let _ = Sgd::new(0.0);
+    }
+}

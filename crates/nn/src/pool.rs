@@ -1,0 +1,166 @@
+//! Max pooling.
+
+use crate::Layer;
+use chiron_tensor::{Conv2dGeometry, Tensor};
+
+/// Non-overlapping 2-D max pooling over `(N, C, H, W)` batches.
+///
+/// The paper's CNNs use 2×2 pooling after each convolution. The layer
+/// records each window's argmax during `forward` and routes the incoming
+/// gradient to exactly that element during `backward`.
+///
+/// # Examples
+///
+/// ```
+/// use chiron_nn::{Layer, MaxPool2d};
+/// use chiron_tensor::Tensor;
+///
+/// let mut pool = MaxPool2d::new(2, 24, 24);
+/// let y = pool.forward(&Tensor::ones(&[1, 10, 24, 24]), true);
+/// assert_eq!(y.dims(), &[1, 10, 12, 12]);
+/// ```
+pub struct MaxPool2d {
+    window: usize,
+    geo: Conv2dGeometry,
+    argmax: Vec<usize>,
+    input_dims: Vec<usize>,
+}
+
+impl MaxPool2d {
+    /// Creates a pooling layer with a square window and equal stride over a
+    /// fixed `(in_h, in_w)` geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window does not evenly tile the input (the only mode
+    /// the paper's networks need).
+    pub fn new(window: usize, in_h: usize, in_w: usize) -> Self {
+        assert!(
+            in_h.is_multiple_of(window) && in_w.is_multiple_of(window),
+            "MaxPool2d: window {window} must tile input {in_h}x{in_w}"
+        );
+        Self {
+            window,
+            geo: Conv2dGeometry::new(in_h, in_w, window, window, window, 0),
+            argmax: Vec::new(),
+            input_dims: Vec::new(),
+        }
+    }
+
+    /// The output spatial dimensions `(out_h, out_w)`.
+    pub fn output_hw(&self) -> (usize, usize) {
+        (self.geo.out_h, self.geo.out_w)
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        let dims = input.dims();
+        assert_eq!(dims.len(), 4, "MaxPool2d expects (N, C, H, W)");
+        assert_eq!(
+            (dims[2], dims[3]),
+            (self.geo.in_h, self.geo.in_w),
+            "MaxPool2d: spatial dims mismatch"
+        );
+        let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+        let (oh, ow) = (self.geo.out_h, self.geo.out_w);
+        let x = input.as_slice();
+        let mut out = vec![f32::NEG_INFINITY; n * c * oh * ow];
+        let mut argmax = vec![0usize; n * c * oh * ow];
+
+        for img in 0..n {
+            for ch in 0..c {
+                let plane = (img * c + ch) * h * w;
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let oidx = ((img * c + ch) * oh + oy) * ow + ox;
+                        for ky in 0..self.window {
+                            for kx in 0..self.window {
+                                let iy = oy * self.window + ky;
+                                let ix = ox * self.window + kx;
+                                let iidx = plane + iy * w + ix;
+                                if x[iidx] > out[oidx] {
+                                    out[oidx] = x[iidx];
+                                    argmax[oidx] = iidx;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        self.argmax = argmax;
+        self.input_dims = dims.to_vec();
+        Tensor::from_vec(out, &[n, c, oh, ow])
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        assert!(
+            !self.input_dims.is_empty(),
+            "MaxPool2d::backward called before forward"
+        );
+        assert_eq!(
+            grad_output.numel(),
+            self.argmax.len(),
+            "MaxPool2d: grad element count mismatch"
+        );
+        let mut dx = Tensor::zeros(&self.input_dims);
+        let dxs = dx.as_mut_slice();
+        for (&src_idx, &g) in self.argmax.iter().zip(grad_output.as_slice()) {
+            dxs[src_idx] += g;
+        }
+        dx
+    }
+
+    fn name(&self) -> &'static str {
+        "MaxPool2d"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn picks_window_maxima() {
+        let mut pool = MaxPool2d::new(2, 4, 4);
+        #[rustfmt::skip]
+        let x = Tensor::from_vec(vec![
+            1.0, 2.0, 3.0, 4.0,
+            5.0, 6.0, 7.0, 8.0,
+            9.0, 1.0, 2.0, 3.0,
+            4.0, 5.0, 6.0, 7.0,
+        ], &[1, 1, 4, 4]);
+        let y = pool.forward(&x, true);
+        assert_eq!(y.dims(), &[1, 1, 2, 2]);
+        assert_eq!(y.as_slice(), &[6.0, 8.0, 9.0, 7.0]);
+    }
+
+    #[test]
+    fn backward_routes_to_argmax_only() {
+        let mut pool = MaxPool2d::new(2, 2, 2);
+        let x = Tensor::from_vec(vec![1.0, 4.0, 2.0, 3.0], &[1, 1, 2, 2]);
+        let _ = pool.forward(&x, true);
+        let dx = pool.backward(&Tensor::from_vec(vec![10.0], &[1, 1, 1, 1]));
+        assert_eq!(dx.as_slice(), &[0.0, 10.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn multichannel_pooling_is_independent() {
+        let mut pool = MaxPool2d::new(2, 2, 2);
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 8.0, 7.0, 6.0, 5.0], &[1, 2, 2, 2]);
+        let y = pool.forward(&x, true);
+        assert_eq!(y.as_slice(), &[4.0, 8.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must tile input")]
+    fn rejects_non_tiling_window() {
+        let _ = MaxPool2d::new(2, 5, 5);
+    }
+
+    #[test]
+    fn pool_has_no_params() {
+        assert_eq!(MaxPool2d::new(2, 4, 4).num_params(), 0);
+    }
+}

@@ -1,0 +1,122 @@
+//! Property-based tests: gradients of randomly shaped networks match finite
+//! differences, and training actually reduces loss.
+
+use crate::models::mlp;
+use crate::{gradcheck, Checkpoint, MseLoss, Optimizer, Sequential, Sgd, SoftmaxCrossEntropy};
+use chiron_tensor::{Init, Tensor, TensorRng};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn random_mlp_gradients_match_fd(
+        seed in 0u64..10_000,
+        input_dim in 2usize..6,
+        hidden in 2usize..10,
+        out_dim in 1usize..4,
+        batch in 1usize..4,
+    ) {
+        let mut rng = TensorRng::seed_from(seed);
+        let mut net = mlp(&[input_dim, hidden, out_dim], &mut rng);
+        let x = rng.init(&[batch, input_dim], Init::Normal(1.0));
+        let target = rng.init(&[batch, out_dim], Init::Normal(1.0));
+        let report = gradcheck::check(
+            &mut net,
+            |n| {
+                let y = n.forward(&x, true);
+                let (loss, grad) = MseLoss.forward(&y, &target);
+                n.backward(&grad);
+                loss
+            },
+            1e-2,
+            3,
+        );
+        prop_assert!(report.passes(3e-2), "gradcheck report {:?}", report);
+    }
+
+    #[test]
+    fn sgd_training_reduces_classification_loss(seed in 0u64..10_000) {
+        let mut rng = TensorRng::seed_from(seed);
+        let mut net = mlp(&[2, 16, 2], &mut rng);
+        // Two linearly separable blobs.
+        let mut xs = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..32 {
+            let cls = i % 2;
+            let cx = if cls == 0 { -1.0 } else { 1.0 };
+            xs.push(cx + rng.normal() as f32 * 0.2);
+            xs.push(cx + rng.normal() as f32 * 0.2);
+            labels.push(cls);
+        }
+        let x = Tensor::from_vec(xs, &[32, 2]);
+        let mut opt = Sgd::new(0.5);
+        let loss0 = {
+            let y = net.forward(&x, true);
+            let (l, g) = SoftmaxCrossEntropy.forward(&y, &labels);
+            net.backward(&g);
+            opt.step(&mut net);
+            l
+        };
+        for _ in 0..60 {
+            let y = net.forward(&x, true);
+            let (_, g) = SoftmaxCrossEntropy.forward(&y, &labels);
+            net.backward(&g);
+            opt.step(&mut net);
+        }
+        let y = net.forward(&x, false);
+        let (loss1, _) = SoftmaxCrossEntropy.forward(&y, &labels);
+        prop_assert!(loss1 < loss0, "loss did not decrease: {} → {}", loss0, loss1);
+        let acc = SoftmaxCrossEntropy.accuracy(&y, &labels);
+        prop_assert!(acc > 0.8, "separable blobs should be classifiable, acc {}", acc);
+    }
+
+    #[test]
+    fn checkpoint_round_trips_arbitrary_mlps(
+        seed in 0u64..10_000,
+        input_dim in 1usize..6,
+        hidden in 1usize..10,
+        out_dim in 1usize..4,
+    ) {
+        let dims = [input_dim, hidden, out_dim];
+        let mut rng = TensorRng::seed_from(seed);
+        let net = mlp(&dims, &mut rng);
+        let json = Checkpoint::capture(&net, "prop").to_json();
+        let ckpt = Checkpoint::from_json(&json).expect("self-produced checkpoints parse");
+        let mut twin = mlp(&dims, &mut TensorRng::seed_from(seed ^ 0xF00D));
+        ckpt.restore(&mut twin).expect("same architecture restores");
+        prop_assert_eq!(net.parameters_flat(), twin.parameters_flat());
+    }
+
+    #[test]
+    fn parameters_flat_round_trip(seed in 0u64..10_000, dims_seed in 0usize..4) {
+        let dims_options: [&[usize]; 4] = [&[3, 5, 2], &[2, 2], &[4, 8, 8, 1], &[1, 10, 3]];
+        let dims = dims_options[dims_seed];
+        let mut rng = TensorRng::seed_from(seed);
+        let mut a = mlp(dims, &mut rng);
+        let flat = a.parameters_flat();
+        let mut b = mlp(dims, &mut TensorRng::seed_from(seed.wrapping_add(1)));
+        b.set_parameters_flat(&flat);
+        prop_assert_eq!(a.parameters_flat(), b.parameters_flat());
+        // And the networks now agree pointwise.
+        let x = rng.init(&[2, dims[0]], Init::Normal(1.0));
+        let ya = a.forward(&x, false);
+        let yb = b.forward(&x, false);
+        prop_assert_eq!(ya.as_slice(), yb.as_slice());
+    }
+}
+
+/// Averaging two flat parameter vectors is exactly FedAvg for two equal
+/// nodes — the result must be the coordinate-wise midpoint.
+#[test]
+fn flat_parameter_average_is_midpoint() {
+    let mut rng = TensorRng::seed_from(0);
+    let a = mlp(&[2, 4, 2], &mut rng).parameters_flat();
+    let b = mlp(&[2, 4, 2], &mut rng).parameters_flat();
+    let avg: Vec<f32> = a.iter().zip(&b).map(|(x, y)| 0.5 * (x + y)).collect();
+    let mut net: Sequential = mlp(&[2, 4, 2], &mut rng);
+    net.set_parameters_flat(&avg);
+    for ((x, y), z) in a.iter().zip(&b).zip(net.parameters_flat()) {
+        assert!((0.5 * (x + y) - z).abs() < 1e-7);
+    }
+}

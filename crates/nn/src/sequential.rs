@@ -1,0 +1,219 @@
+//! Layer composition and parameter (de)serialization.
+
+use crate::Layer;
+use chiron_tensor::Tensor;
+
+/// An ordered stack of layers trained end-to-end.
+///
+/// `Sequential` is the model type used everywhere in the reproduction: the
+/// paper's CNNs, the PPO actors and critics. Besides forward/backward it
+/// provides *flat parameter access* ([`Sequential::parameters_flat`] /
+/// [`Sequential::set_parameters_flat`]), which is what federated averaging
+/// operates on.
+///
+/// # Examples
+///
+/// ```
+/// use chiron_nn::{Linear, Relu, Sequential};
+/// use chiron_tensor::{Tensor, TensorRng};
+///
+/// let mut rng = TensorRng::seed_from(0);
+/// let mut net = Sequential::new();
+/// net.push(Linear::new(8, 4, &mut rng));
+/// net.push(Relu::new());
+/// net.push(Linear::new(4, 2, &mut rng));
+/// assert_eq!(net.num_params(), 8 * 4 + 4 + 4 * 2 + 2);
+/// let y = net.forward(&Tensor::ones(&[1, 8]), false);
+/// assert_eq!(y.dims(), &[1, 2]);
+/// ```
+#[derive(Default)]
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl Sequential {
+    /// Creates an empty network.
+    pub fn new() -> Self {
+        Self { layers: Vec::new() }
+    }
+
+    /// Appends a layer.
+    pub fn push(&mut self, layer: impl Layer + 'static) {
+        self.layers.push(Box::new(layer));
+    }
+
+    /// Appends a boxed layer (useful when building from a config).
+    pub fn push_boxed(&mut self, layer: Box<dyn Layer>) {
+        self.layers.push(layer);
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// `true` if the network has no layers.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Runs the full forward pass.
+    pub fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let mut x = input.clone();
+        for layer in &mut self.layers {
+            x = layer.forward(&x, train);
+        }
+        x
+    }
+
+    /// Backpropagates `∂loss/∂output` through all layers, accumulating
+    /// parameter gradients, and returns `∂loss/∂input`.
+    pub fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let mut g = grad_output.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(&g);
+        }
+        g
+    }
+
+    /// Visits every `(parameter, gradient)` pair mutably in layer order.
+    pub fn visit_params_mut(&mut self, f: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {
+        for layer in &mut self.layers {
+            layer.visit_params_mut(f);
+        }
+    }
+
+    /// Visits every `(parameter, gradient)` pair immutably in layer order.
+    pub fn visit_params(&self, f: &mut dyn FnMut(&Tensor, &Tensor)) {
+        for layer in &self.layers {
+            layer.visit_params(f);
+        }
+    }
+
+    /// Zeroes all gradient accumulators.
+    pub fn zero_grad(&mut self) {
+        for layer in &mut self.layers {
+            layer.zero_grad();
+        }
+    }
+
+    /// Total scalar parameter count.
+    pub fn num_params(&self) -> usize {
+        self.layers.iter().map(|l| l.num_params()).sum()
+    }
+
+    /// Copies all parameters into one flat vector, in visitation order.
+    ///
+    /// This is the model representation exchanged between edge nodes and
+    /// the parameter server (Eqn. 4 of the paper averages these vectors).
+    pub fn parameters_flat(&self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.num_params());
+        self.visit_params(&mut |p, _| out.extend_from_slice(p.as_slice()));
+        out
+    }
+
+    /// Overwrites all parameters from a flat vector produced by
+    /// [`Sequential::parameters_flat`] on an identically shaped network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length does not match the parameter count.
+    pub fn set_parameters_flat(&mut self, flat: &[f32]) {
+        assert_eq!(
+            flat.len(),
+            self.num_params(),
+            "flat parameter length {} != model size {}",
+            flat.len(),
+            self.num_params()
+        );
+        let mut off = 0usize;
+        self.visit_params_mut(&mut |p, _| {
+            let n = p.numel();
+            p.as_mut_slice().copy_from_slice(&flat[off..off + n]);
+            off += n;
+        });
+    }
+
+    /// One-line architecture summary, e.g. `Conv2d→Relu→MaxPool2d→Linear`.
+    pub fn summary(&self) -> String {
+        self.layers
+            .iter()
+            .map(|l| l.name())
+            .collect::<Vec<_>>()
+            .join("→")
+    }
+}
+
+impl std::fmt::Debug for Sequential {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Sequential({}, {} params)",
+            self.summary(),
+            self.num_params()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Linear, Relu};
+    use chiron_tensor::TensorRng;
+
+    fn net() -> Sequential {
+        let mut rng = TensorRng::seed_from(5);
+        let mut n = Sequential::new();
+        n.push(Linear::new(3, 4, &mut rng));
+        n.push(Relu::new());
+        n.push(Linear::new(4, 2, &mut rng));
+        n
+    }
+
+    #[test]
+    fn flat_round_trip_preserves_output() {
+        let mut a = net();
+        let x = Tensor::ones(&[1, 3]);
+        let before = a.forward(&x, false);
+        let flat = a.parameters_flat();
+        assert_eq!(flat.len(), a.num_params());
+
+        let mut b = net(); // same seed → same shape, same init
+        b.set_parameters_flat(&flat);
+        let after = b.forward(&x, false);
+        assert_eq!(before.as_slice(), after.as_slice());
+    }
+
+    #[test]
+    fn set_parameters_changes_output() {
+        let mut a = net();
+        let x = Tensor::ones(&[1, 3]);
+        let before = a.forward(&x, false);
+        let zeros = vec![0.0; a.num_params()];
+        a.set_parameters_flat(&zeros);
+        let after = a.forward(&x, false);
+        assert_ne!(before.as_slice(), after.as_slice());
+        assert_eq!(after.as_slice(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn summary_lists_layers() {
+        assert_eq!(net().summary(), "Linear→Relu→Linear");
+    }
+
+    #[test]
+    #[should_panic(expected = "flat parameter length")]
+    fn set_parameters_validates_length() {
+        let mut a = net();
+        a.set_parameters_flat(&[0.0]);
+    }
+
+    #[test]
+    fn backward_propagates_through_stack() {
+        let mut a = net();
+        let x = Tensor::ones(&[2, 3]);
+        let y = a.forward(&x, true);
+        let dx = a.backward(&y.map(|_| 1.0));
+        assert_eq!(dx.dims(), &[2, 3]);
+    }
+}

@@ -1,0 +1,273 @@
+//! `im2col`/`col2im` layout transforms for convolution layers.
+//!
+//! A 2-D convolution over an `(N, C, H, W)` batch with `K` output channels
+//! and `R×S` kernels is computed by unrolling every receptive field into a
+//! row ("im2col"), so the convolution becomes a single matrix product with
+//! the `(C·R·S, K)` filter matrix. `col2im` is the exact adjoint, scattering
+//! gradients back into image layout; together they make conv backprop a pair
+//! of matmuls.
+
+use crate::Tensor;
+
+/// Static geometry of a conv/pool window: input size, kernel, stride,
+/// padding, and the derived output size.
+///
+/// # Examples
+///
+/// ```
+/// use chiron_tensor::Conv2dGeometry;
+///
+/// // The paper's MNIST CNN first layer: 28×28 input, 5×5 kernel, stride 1.
+/// let g = Conv2dGeometry::new(28, 28, 5, 5, 1, 0);
+/// assert_eq!((g.out_h, g.out_w), (24, 24));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Conv2dGeometry {
+    /// Input height.
+    pub in_h: usize,
+    /// Input width.
+    pub in_w: usize,
+    /// Kernel height.
+    pub k_h: usize,
+    /// Kernel width.
+    pub k_w: usize,
+    /// Stride (same for both axes).
+    pub stride: usize,
+    /// Zero padding (same on all sides).
+    pub pad: usize,
+    /// Output height.
+    pub out_h: usize,
+    /// Output width.
+    pub out_w: usize,
+}
+
+impl Conv2dGeometry {
+    /// Computes output dimensions from the window parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel (plus padding) does not fit in the input or the
+    /// stride is zero.
+    pub fn new(
+        in_h: usize,
+        in_w: usize,
+        k_h: usize,
+        k_w: usize,
+        stride: usize,
+        pad: usize,
+    ) -> Self {
+        assert!(stride > 0, "stride must be positive");
+        assert!(
+            in_h + 2 * pad >= k_h && in_w + 2 * pad >= k_w,
+            "kernel {k_h}x{k_w} larger than padded input {}x{}",
+            in_h + 2 * pad,
+            in_w + 2 * pad
+        );
+        let out_h = (in_h + 2 * pad - k_h) / stride + 1;
+        let out_w = (in_w + 2 * pad - k_w) / stride + 1;
+        Self {
+            in_h,
+            in_w,
+            k_h,
+            k_w,
+            stride,
+            pad,
+            out_h,
+            out_w,
+        }
+    }
+
+    /// Number of output spatial positions.
+    pub fn out_positions(&self) -> usize {
+        self.out_h * self.out_w
+    }
+}
+
+/// Unrolls a `(N, C, H, W)` batch into a `(N·out_h·out_w, C·k_h·k_w)` matrix
+/// where each row is one receptive field.
+///
+/// # Panics
+///
+/// Panics if `input` is not rank-4 or its spatial dims disagree with `geo`.
+pub fn im2col(input: &Tensor, channels: usize, geo: &Conv2dGeometry) -> Tensor {
+    let dims = input.dims();
+    assert_eq!(dims.len(), 4, "im2col expects (N, C, H, W), got {:?}", dims);
+    let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+    assert_eq!(c, channels, "channel mismatch");
+    assert_eq!((h, w), (geo.in_h, geo.in_w), "spatial dims mismatch");
+
+    let row_len = c * geo.k_h * geo.k_w;
+    let rows = n * geo.out_positions();
+    let x = input.as_slice();
+    let mut out = vec![0.0f32; rows * row_len];
+
+    let mut row = 0usize;
+    for img in 0..n {
+        let img_off = img * c * h * w;
+        for oy in 0..geo.out_h {
+            for ox in 0..geo.out_w {
+                let base = row * row_len;
+                let iy0 = (oy * geo.stride) as isize - geo.pad as isize;
+                let ix0 = (ox * geo.stride) as isize - geo.pad as isize;
+                let mut idx = base;
+                for ch in 0..c {
+                    let ch_off = img_off + ch * h * w;
+                    for ky in 0..geo.k_h {
+                        let iy = iy0 + ky as isize;
+                        for kx in 0..geo.k_w {
+                            let ix = ix0 + kx as isize;
+                            if iy >= 0 && (iy as usize) < h && ix >= 0 && (ix as usize) < w {
+                                out[idx] = x[ch_off + iy as usize * w + ix as usize];
+                            }
+                            idx += 1;
+                        }
+                    }
+                }
+                row += 1;
+            }
+        }
+    }
+    Tensor::from_vec(out, &[rows, row_len])
+}
+
+/// Scatter-adds a `(N·out_h·out_w, C·k_h·k_w)` column matrix back into image
+/// layout `(N, C, H, W)` — the adjoint of [`im2col`], used for input
+/// gradients.
+///
+/// # Panics
+///
+/// Panics if `cols` does not have the shape [`im2col`] would produce for
+/// `(n, channels, geo)`.
+pub fn col2im(cols: &Tensor, n: usize, channels: usize, geo: &Conv2dGeometry) -> Tensor {
+    let row_len = channels * geo.k_h * geo.k_w;
+    let rows = n * geo.out_positions();
+    assert_eq!(
+        cols.dims(),
+        &[rows, row_len],
+        "col2im: expected ({rows}, {row_len}), got {:?}",
+        cols.dims()
+    );
+    let (h, w) = (geo.in_h, geo.in_w);
+    let src = cols.as_slice();
+    let mut out = vec![0.0f32; n * channels * h * w];
+
+    let mut row = 0usize;
+    for img in 0..n {
+        let img_off = img * channels * h * w;
+        for oy in 0..geo.out_h {
+            for ox in 0..geo.out_w {
+                let base = row * row_len;
+                let iy0 = (oy * geo.stride) as isize - geo.pad as isize;
+                let ix0 = (ox * geo.stride) as isize - geo.pad as isize;
+                let mut idx = base;
+                for ch in 0..channels {
+                    let ch_off = img_off + ch * h * w;
+                    for ky in 0..geo.k_h {
+                        let iy = iy0 + ky as isize;
+                        for kx in 0..geo.k_w {
+                            let ix = ix0 + kx as isize;
+                            if iy >= 0 && (iy as usize) < h && ix >= 0 && (ix as usize) < w {
+                                out[ch_off + iy as usize * w + ix as usize] += src[idx];
+                            }
+                            idx += 1;
+                        }
+                    }
+                }
+                row += 1;
+            }
+        }
+    }
+    Tensor::from_vec(out, &[n, channels, h, w])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_matches_paper_layers() {
+        // MNIST CNN: conv1 28→24, pool →12, conv2 12→8, pool →4.
+        let c1 = Conv2dGeometry::new(28, 28, 5, 5, 1, 0);
+        assert_eq!((c1.out_h, c1.out_w), (24, 24));
+        let c2 = Conv2dGeometry::new(12, 12, 5, 5, 1, 0);
+        assert_eq!((c2.out_h, c2.out_w), (8, 8));
+        // LeNet on CIFAR: conv1 32→28, pool →14, conv2 14→10, pool →5.
+        let l1 = Conv2dGeometry::new(32, 32, 5, 5, 1, 0);
+        assert_eq!((l1.out_h, l1.out_w), (28, 28));
+    }
+
+    #[test]
+    fn im2col_identity_kernel() {
+        // 1x1 kernel, stride 1: im2col is a pure reshape.
+        let x = Tensor::linspace(0.0, 3.0, 4).reshape(&[1, 1, 2, 2]);
+        let geo = Conv2dGeometry::new(2, 2, 1, 1, 1, 0);
+        let cols = im2col(&x, 1, &geo);
+        assert_eq!(cols.dims(), &[4, 1]);
+        assert_eq!(cols.as_slice(), x.as_slice());
+    }
+
+    #[test]
+    fn im2col_extracts_receptive_fields() {
+        // 3x3 single-channel image, 2x2 kernel → 4 rows of 4.
+        let x = Tensor::from_vec(
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0],
+            &[1, 1, 3, 3],
+        );
+        let geo = Conv2dGeometry::new(3, 3, 2, 2, 1, 0);
+        let cols = im2col(&x, 1, &geo);
+        assert_eq!(cols.dims(), &[4, 4]);
+        assert_eq!(cols.row(0).as_slice(), &[1.0, 2.0, 4.0, 5.0]);
+        assert_eq!(cols.row(3).as_slice(), &[5.0, 6.0, 8.0, 9.0]);
+    }
+
+    #[test]
+    fn padding_inserts_zeros() {
+        let x = Tensor::ones(&[1, 1, 2, 2]);
+        let geo = Conv2dGeometry::new(2, 2, 2, 2, 1, 1);
+        assert_eq!((geo.out_h, geo.out_w), (3, 3));
+        let cols = im2col(&x, 1, &geo);
+        // Top-left window overlaps three padded zeros and one real pixel.
+        assert_eq!(cols.row(0).as_slice(), &[0.0, 0.0, 0.0, 1.0]);
+        // Center window covers the full image.
+        assert_eq!(cols.row(4).as_slice(), &[1.0, 1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col() {
+        // <im2col(x), y> == <x, col2im(y)> — the defining adjoint property
+        // that makes conv backprop correct.
+        use crate::{Init, TensorRng};
+        let mut rng = TensorRng::seed_from(13);
+        let x = rng.init(&[2, 3, 5, 5], Init::Normal(1.0));
+        let geo = Conv2dGeometry::new(5, 5, 3, 3, 2, 1);
+        let cols = im2col(&x, 3, &geo);
+        let y = rng.init(cols.dims(), Init::Normal(1.0));
+        let lhs = cols.dot(&y);
+        let back = col2im(&y, 2, 3, &geo);
+        let rhs = x.dot(&back);
+        assert!(
+            (lhs - rhs).abs() < 1e-2 * lhs.abs().max(1.0),
+            "{lhs} vs {rhs}"
+        );
+    }
+
+    #[test]
+    fn multichannel_rows_are_channel_major() {
+        let mut data = vec![0.0; 2 * 4];
+        for (i, v) in data.iter_mut().enumerate() {
+            *v = i as f32;
+        }
+        let x = Tensor::from_vec(data, &[1, 2, 2, 2]);
+        let geo = Conv2dGeometry::new(2, 2, 2, 2, 1, 0);
+        let cols = im2col(&x, 2, &geo);
+        assert_eq!(cols.dims(), &[1, 8]);
+        // Channel 0 patch then channel 1 patch.
+        assert_eq!(cols.as_slice(), &[0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "larger than padded input")]
+    fn oversized_kernel_rejected() {
+        let _ = Conv2dGeometry::new(2, 2, 5, 5, 1, 0);
+    }
+}

@@ -1,0 +1,100 @@
+//! Property-based tests for tensor algebra invariants.
+
+use crate::{col2im, im2col, Conv2dGeometry, Init, Tensor, TensorRng};
+use proptest::prelude::*;
+
+fn small_matrix() -> impl Strategy<Value = (usize, usize, Vec<f32>)> {
+    (1usize..6, 1usize..6).prop_flat_map(|(m, n)| {
+        proptest::collection::vec(-10.0f32..10.0, m * n).prop_map(move |v| (m, n, v))
+    })
+}
+
+proptest! {
+    #[test]
+    fn matmul_identity_is_noop((m, n, data) in small_matrix()) {
+        let a = Tensor::from_vec(data, &[m, n]);
+        let i = Tensor::eye(n);
+        let out = a.matmul(&i);
+        for (x, y) in a.as_slice().iter().zip(out.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn transpose_is_involution((m, n, data) in small_matrix()) {
+        let a = Tensor::from_vec(data, &[m, n]);
+        let tt = a.transpose().transpose();
+        prop_assert_eq!(a.as_slice(), tt.as_slice());
+        prop_assert_eq!(a.dims(), tt.dims());
+    }
+
+    #[test]
+    fn matmul_tn_matches_naive((m, n, data) in small_matrix(), seed in 0u64..1000) {
+        let a = Tensor::from_vec(data, &[m, n]);
+        let mut rng = TensorRng::seed_from(seed);
+        let b = rng.init(&[m, 3], Init::Normal(1.0));
+        let fast = a.matmul_tn(&b);
+        let naive = a.transpose().matmul(&b);
+        for (x, y) in fast.as_slice().iter().zip(naive.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn matmul_nt_matches_naive((m, n, data) in small_matrix(), seed in 0u64..1000) {
+        let a = Tensor::from_vec(data, &[m, n]);
+        let mut rng = TensorRng::seed_from(seed);
+        let b = rng.init(&[4, n], Init::Normal(1.0));
+        let fast = a.matmul_nt(&b);
+        let naive = a.matmul(&b.transpose());
+        for (x, y) in fast.as_slice().iter().zip(naive.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one((m, n, data) in small_matrix()) {
+        let a = Tensor::from_vec(data, &[m, n]);
+        let s = a.softmax_rows();
+        for r in 0..m {
+            let row_sum: f32 = s.as_slice()[r * n..(r + 1) * n].iter().sum();
+            prop_assert!((row_sum - 1.0).abs() < 1e-5);
+            prop_assert!(s.as_slice()[r * n..(r + 1) * n].iter().all(|&x| x >= 0.0));
+        }
+    }
+
+    #[test]
+    fn sum_rows_matches_total((m, n, data) in small_matrix()) {
+        let a = Tensor::from_vec(data, &[m, n]);
+        let col_sums = a.sum_rows();
+        prop_assert!((col_sums.sum() - a.sum()).abs() < 1e-3);
+    }
+
+    #[test]
+    fn im2col_col2im_adjoint(
+        seed in 0u64..500,
+        h in 3usize..8,
+        w in 3usize..8,
+        k in 1usize..4,
+        stride in 1usize..3,
+        pad in 0usize..2,
+    ) {
+        prop_assume!(h + 2 * pad >= k && w + 2 * pad >= k);
+        let mut rng = TensorRng::seed_from(seed);
+        let x = rng.init(&[1, 2, h, w], Init::Normal(1.0));
+        let geo = Conv2dGeometry::new(h, w, k, k, stride, pad);
+        let cols = im2col(&x, 2, &geo);
+        let y = rng.init(cols.dims(), Init::Normal(1.0));
+        let lhs = cols.dot(&y) as f64;
+        let rhs = x.dot(&col2im(&y, 1, 2, &geo)) as f64;
+        prop_assert!((lhs - rhs).abs() < 1e-2 * lhs.abs().max(1.0));
+    }
+
+    #[test]
+    fn clamp_respects_bounds(data in proptest::collection::vec(-100.0f32..100.0, 1..32)) {
+        let n = data.len();
+        let t = Tensor::from_vec(data, &[n]);
+        let c = t.clamp(-1.0, 1.0);
+        prop_assert!(c.as_slice().iter().all(|&x| (-1.0..=1.0).contains(&x)));
+    }
+}

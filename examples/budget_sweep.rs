@@ -1,0 +1,80 @@
+//! Budget sweep: a miniature of the paper's Fig. 4 — Chiron against the
+//! DRL-based and Greedy baselines across incentive budgets on the
+//! MNIST-like task.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example budget_sweep
+//! ```
+
+use chiron_repro::prelude::*;
+
+const BUDGETS: [f64; 5] = [60.0, 80.0, 100.0, 120.0, 140.0];
+const TRAIN_EPISODES: usize = 150;
+const SEED: u64 = 7;
+
+fn evaluate(name: &str, results: &[(f64, EpisodeSummary)]) {
+    println!("\n{name}:");
+    println!(
+        "  {:>7} {:>9} {:>7} {:>10} {:>9}",
+        "budget", "accuracy", "rounds", "time-eff %", "spent"
+    );
+    for (budget, s) in results {
+        println!(
+            "  {:>7} {:>9.4} {:>7} {:>10.1} {:>9.1}",
+            budget,
+            s.final_accuracy,
+            s.rounds,
+            s.mean_time_efficiency * 100.0,
+            s.spent
+        );
+    }
+}
+
+fn main() {
+    // Train each learner once at the middle budget, then evaluate the
+    // frozen policy across the sweep — the protocol used by the
+    // reproduction's fig4 bench as well.
+    let train_env =
+        || EdgeLearningEnv::new(EnvConfig::paper_small(DatasetKind::MnistLike, 100.0), SEED);
+
+    let mut env = train_env();
+    let mut chiron = Chiron::new(&env, ChironConfig::paper(), SEED);
+    println!("training chiron ({TRAIN_EPISODES} episodes)…");
+    chiron.train(&mut env, TRAIN_EPISODES);
+
+    let mut env = train_env();
+    let mut drl = DrlSingleRound::new(&env, SEED);
+    println!("training drl-based ({TRAIN_EPISODES} episodes)…");
+    drl.train(&mut env, TRAIN_EPISODES);
+
+    let mut env = train_env();
+    let mut greedy = Greedy::new(&env, SEED);
+    println!("training greedy ({TRAIN_EPISODES} episodes)…");
+    greedy.train(&mut env, TRAIN_EPISODES);
+
+    let mechanisms: Vec<(&str, &mut dyn Mechanism)> = vec![
+        ("chiron", &mut chiron),
+        ("drl-based", &mut drl),
+        ("greedy", &mut greedy),
+    ];
+
+    for (name, mechanism) in mechanisms {
+        let mut rows = Vec::new();
+        for &budget in &BUDGETS {
+            let mut env =
+                EdgeLearningEnv::new(EnvConfig::paper_small(DatasetKind::MnistLike, budget), SEED);
+            let (summary, _) = mechanism.run_episode(&mut env);
+            rows.push((budget, summary));
+        }
+        evaluate(name, &rows);
+    }
+
+    println!(
+        "\nExpected shape (paper Fig. 4): Chiron dominates on accuracy at \
+         every budget, completes ~2-3× the rounds, and keeps time \
+         efficiency near 100 %, with the accuracy gap narrowing as the \
+         budget grows."
+    );
+}

@@ -1,0 +1,137 @@
+//! Robustness: drive a trained mechanism through a misbehaving fleet —
+//! a transient outage, a permanent straggler, and a greedy node — and
+//! audit the per-node economics with the [`chiron_fedsim::metrics::NodeLedger`].
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example fault_tolerance
+//! ```
+
+use chiron_fedsim::metrics::NodeLedger;
+use chiron_repro::prelude::*;
+
+fn run_audited(
+    mech: &mut dyn Mechanism,
+    env: &mut EdgeLearningEnv,
+) -> (EpisodeSummary, NodeLedger) {
+    env.reset();
+    mech.begin_episode(env);
+    let initial_accuracy = env.accuracy();
+    let mut ledger = NodeLedger::new(env.num_nodes());
+    let mut records = Vec::new();
+    let mut spent = 0.0;
+    loop {
+        let prices = mech.decide_prices(env, false);
+        let outcome = env.step(&prices);
+        if outcome.status == StepStatus::BudgetExhausted {
+            break;
+        }
+        ledger.record(&outcome);
+        spent += outcome.payment_total;
+        records.push(RoundRecord {
+            round: outcome.round,
+            accuracy: outcome.accuracy,
+            round_time: outcome.round_time,
+            time_efficiency: outcome.time_efficiency,
+            payment: outcome.payment_total,
+            spent,
+            participants: outcome.num_participants(),
+        });
+        mech.observe(&outcome, &prices);
+        if outcome.done() {
+            break;
+        }
+    }
+    (
+        EpisodeSummary::from_rounds(&records, initial_accuracy, mech.lambda()),
+        ledger,
+    )
+}
+
+fn main() {
+    let seed = 21;
+    let budget = 100.0;
+    let make_env =
+        || EdgeLearningEnv::new(EnvConfig::paper_small(DatasetKind::MnistLike, budget), seed);
+
+    // Train on a healthy fleet.
+    let mut env = make_env();
+    let mut mech = Chiron::new(&env, ChironConfig::paper(), seed);
+    println!("training on a healthy fleet (150 episodes)…");
+    mech.train(&mut env, 150);
+
+    // Healthy evaluation for reference.
+    let mut env = make_env();
+    let (healthy, _) = run_audited(&mut mech, &mut env);
+    println!(
+        "healthy fleet : accuracy {:.4}, {} rounds, time efficiency {:.1} %",
+        healthy.final_accuracy,
+        healthy.rounds,
+        healthy.mean_time_efficiency * 100.0
+    );
+
+    // Now the bad day: node 0's radio degrades permanently at round 3,
+    // node 2 goes offline for rounds 5–8, node 4 triples its reserve
+    // utility from round 10.
+    let mut schedule = FaultSchedule::none();
+    schedule.push(Fault::BandwidthCollapse {
+        node: 0,
+        factor: 3.0,
+        from_round: 3,
+    });
+    schedule.push_transient(
+        Fault::Dropout {
+            node: 2,
+            from_round: 5,
+        },
+        9,
+    );
+    schedule.push(Fault::ReserveSpike {
+        node: 4,
+        factor: 3.0,
+        from_round: 10,
+    });
+
+    let mut env = make_env();
+    env.set_faults(schedule);
+    let (faulty, ledger) = run_audited(&mut mech, &mut env);
+    println!(
+        "faulty fleet  : accuracy {:.4}, {} rounds, time efficiency {:.1} %",
+        faulty.final_accuracy,
+        faulty.rounds,
+        faulty.mean_time_efficiency * 100.0
+    );
+
+    println!("\nper-node audit under faults:");
+    println!(
+        "  {:>4} {:>10} {:>10} {:>10} {:>8}",
+        "node", "paid", "energy J", "utility", "rounds"
+    );
+    for i in 0..5 {
+        println!(
+            "  {:>4} {:>10.2} {:>10.2} {:>10.2} {:>8}",
+            i,
+            ledger.payments()[i],
+            ledger.energies()[i],
+            ledger.utilities()[i],
+            ledger.rounds_participated()[i]
+        );
+    }
+    println!(
+        "\npayment fairness (Jain) {:.3}, utility fairness {:.3}",
+        ledger.payment_fairness(),
+        ledger.utility_fairness()
+    );
+
+    assert!(faulty.spent <= budget + 1e-6, "budget must survive faults");
+    // Note: a faulty fleet can end up with *more* rounds (and sometimes
+    // more accuracy) than a healthy one — nodes that decline are not paid,
+    // so the budget stretches further. What must hold is the accounting
+    // and that the straggler dragged down time efficiency.
+    assert!(
+        faulty.mean_time_efficiency <= healthy.mean_time_efficiency + 1e-9,
+        "a 3× straggler cannot improve time efficiency"
+    );
+    println!("\nbudget accounting verified under all faults ✓");
+}

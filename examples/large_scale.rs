@@ -1,0 +1,67 @@
+//! Scalability: Chiron at 100 edge nodes (the paper's Fig. 7 / Table I
+//! setting), including the budget sweep over η ∈ {140, 220, 300, 380}.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example large_scale
+//! ```
+
+use chiron_repro::prelude::*;
+
+fn main() {
+    let seed = 42;
+    let episodes = 300;
+
+    let mut env = EdgeLearningEnv::new(EnvConfig::paper_large(DatasetKind::MnistLike, 300.0), seed);
+    println!(
+        "fleet: {} nodes (exterior state dim: 3·N·L + 2 = {})",
+        env.num_nodes(),
+        3 * env.num_nodes() * ChironConfig::paper().history_window + 2
+    );
+
+    let mut chiron = Chiron::new(&env, ChironConfig::paper(), seed);
+    println!("training for {episodes} episodes…");
+    let rewards = chiron.train(&mut env, episodes);
+
+    // Convergence digest (Fig. 7a): decile means of the episode reward.
+    println!("\nepisode-reward deciles (Fig. 7a shape — should rise, then flatten):");
+    for (i, chunk) in rewards.chunks(episodes / 10).enumerate() {
+        let mean = chunk.iter().sum::<f64>() / chunk.len() as f64;
+        println!(
+            "  episodes {:>3}–{:>3}: {:.2}",
+            i * episodes / 10,
+            (i + 1) * episodes / 10,
+            mean
+        );
+    }
+
+    // Table I: evaluate the trained policy across budgets.
+    println!("\nTable I reproduction (MNIST, 100 nodes):");
+    println!(
+        "  {:>7} {:>9} {:>7} {:>16}",
+        "η", "accuracy", "rounds", "time efficiency"
+    );
+    for budget in [140.0, 220.0, 300.0, 380.0] {
+        let mut eval_env =
+            EdgeLearningEnv::new(EnvConfig::paper_large(DatasetKind::MnistLike, budget), seed);
+        let (s, _) = chiron.run_episode(&mut eval_env);
+        println!(
+            "  {:>7} {:>9.4} {:>7} {:>15.1}%",
+            budget,
+            s.final_accuracy,
+            s.rounds,
+            s.mean_time_efficiency * 100.0
+        );
+    }
+    println!(
+        "\npaper's Table I for reference: η=140→(0.916, 16, 71.3 %), \
+         η=220→(0.929, 23, 72.2 %), η=300→(0.938, 31, 72.7 %), \
+         η=380→(0.943, 34, 73.4 %)."
+    );
+    println!(
+        "The ≈72-76 % efficiency ceiling is structural at 100 nodes: \
+         shards are small, so rounds are dominated by the fixed 10–20 s \
+         upload times that no pricing policy can equalize."
+    );
+}

@@ -1,0 +1,73 @@
+//! Quickstart: train Chiron on a 5-node MNIST-like edge-learning task and
+//! evaluate the learned pricing policy.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use chiron_repro::prelude::*;
+
+fn main() {
+    // The paper's small-scale setting: 5 heterogeneous edge nodes,
+    // MNIST-like task, total incentive budget η = 100.
+    let budget = 100.0;
+    let seed = 42;
+    let mut env =
+        EdgeLearningEnv::new(EnvConfig::paper_small(DatasetKind::MnistLike, budget), seed);
+
+    println!("environment: {env:?}");
+    println!(
+        "fleet: {} nodes, σ = {} local epochs, budget η = {budget}",
+        env.num_nodes(),
+        env.sigma()
+    );
+    for (i, node) in env.nodes().iter().enumerate() {
+        let p = node.params();
+        println!(
+            "  node {i}: ζ_max {:.2} GHz, upload {:.1} s, reserve utility {:.3}",
+            p.freq_max / 1e9,
+            p.upload_time,
+            p.reserve_utility
+        );
+    }
+
+    // Train the hierarchical mechanism (the paper runs 500 episodes; 150
+    // is enough to see the policy settle in this quickstart).
+    let episodes = 150;
+    let mut mechanism = Chiron::new(&env, ChironConfig::paper(), seed);
+    println!("\ntraining Chiron for {episodes} episodes…");
+    let rewards = mechanism.train(&mut env, episodes);
+    let head = &rewards[..10];
+    let tail = &rewards[rewards.len() - 10..];
+    println!(
+        "episode reward: first-10 mean {:.2} → last-10 mean {:.2}",
+        head.iter().sum::<f64>() / head.len() as f64,
+        tail.iter().sum::<f64>() / tail.len() as f64,
+    );
+
+    // Deterministic evaluation episode under the trained policy.
+    let (summary, records) = mechanism.run_episode(&mut env);
+    println!("\nevaluation under the trained policy:");
+    println!("  rounds completed   : {}", summary.rounds);
+    println!("  final accuracy     : {:.4}", summary.final_accuracy);
+    println!("  total learning time: {:.1} s", summary.total_time);
+    println!(
+        "  mean time efficiency: {:.1} %",
+        summary.mean_time_efficiency * 100.0
+    );
+    println!("  budget spent       : {:.1} / {budget}", summary.spent);
+
+    println!("\nper-round trace (first 5 rounds):");
+    println!(
+        "  {:>5} {:>9} {:>9} {:>9} {:>9}",
+        "round", "accuracy", "T_k (s)", "eff", "payment"
+    );
+    for r in records.iter().take(5) {
+        println!(
+            "  {:>5} {:>9.4} {:>9.1} {:>9.3} {:>9.2}",
+            r.round, r.accuracy, r.round_time, r.time_efficiency, r.payment
+        );
+    }
+}

@@ -1,0 +1,202 @@
+//! Failure injection through the full stack: perturbed fleets must degrade
+//! gracefully and the accounting must stay sound.
+
+use chiron_fedsim::faults::{Fault, FaultSchedule};
+use chiron_repro::prelude::*;
+
+fn env(budget: f64, seed: u64) -> EdgeLearningEnv {
+    let mut config = EnvConfig::paper_small(DatasetKind::MnistLike, budget);
+    config.oracle_noise = 0.0;
+    EdgeLearningEnv::new(config, seed)
+}
+
+fn run_static(env: &mut EdgeLearningEnv, fraction: f64) -> (EpisodeSummary, Vec<RoundRecord>) {
+    StaticPrice::new(fraction).run_episode(env)
+}
+
+#[test]
+fn straggler_drags_down_time_efficiency() {
+    let seed = 8;
+    let mut healthy = env(80.0, seed);
+    let (h, _) = run_static(&mut healthy, 0.5);
+
+    let mut faulty = env(80.0, seed);
+    faulty.set_faults(FaultSchedule::new(vec![Fault::BandwidthCollapse {
+        node: 0,
+        factor: 5.0,
+        from_round: 1,
+    }]));
+    let (f, _) = run_static(&mut faulty, 0.5);
+
+    assert!(
+        f.mean_time_efficiency < h.mean_time_efficiency - 0.1,
+        "a 5× straggler must hurt time efficiency: {} vs {}",
+        f.mean_time_efficiency,
+        h.mean_time_efficiency
+    );
+    assert!(
+        f.total_time > h.total_time,
+        "rounds gated by the straggler take longer overall"
+    );
+}
+
+#[test]
+fn dropout_slows_learning_progress() {
+    let seed = 2;
+    let mut healthy = env(80.0, seed);
+    let (h, _) = run_static(&mut healthy, 0.5);
+
+    let mut faulty = env(80.0, seed);
+    faulty.set_faults(FaultSchedule::new(vec![
+        Fault::Dropout {
+            node: 0,
+            from_round: 1,
+        },
+        Fault::Dropout {
+            node: 1,
+            from_round: 1,
+        },
+    ]));
+    let (f, f_records) = run_static(&mut faulty, 0.5);
+
+    // Two of five nodes gone ⇒ only 60 % of the data trains each round.
+    assert!(
+        f.final_accuracy < h.final_accuracy,
+        "losing 40 % of the data must slow accuracy: {} vs {}",
+        f.final_accuracy,
+        h.final_accuracy
+    );
+    for r in &f_records {
+        assert!(r.participants <= 3, "dropped nodes must not participate");
+    }
+    // Paying only the survivors means the budget stretches further.
+    assert!(f.rounds >= h.rounds);
+}
+
+#[test]
+fn mid_episode_fault_changes_behaviour_at_the_right_round() {
+    let seed = 14;
+    let mut e = env(200.0, seed);
+    e.set_faults(FaultSchedule::new(vec![Fault::Dropout {
+        node: 2,
+        from_round: 4,
+    }]));
+    let (_, records) = run_static(&mut e, 0.5);
+    assert!(
+        records.len() >= 5,
+        "need enough rounds to observe the fault"
+    );
+    for r in &records {
+        if r.round < 4 {
+            assert_eq!(r.participants, 5, "pre-fault rounds are healthy");
+        } else {
+            assert_eq!(r.participants, 4, "node 2 gone from round 4 on");
+        }
+    }
+}
+
+#[test]
+fn reserve_spike_prices_a_node_out() {
+    let seed = 4;
+    let mut e = env(100.0, seed);
+    e.set_faults(FaultSchedule::new(vec![Fault::ReserveSpike {
+        node: 1,
+        factor: 1000.0,
+        from_round: 1,
+    }]));
+    let (_, records) = run_static(&mut e, 0.5);
+    for r in &records {
+        assert!(
+            r.participants <= 4,
+            "a node demanding 1000× compensation must sit out"
+        );
+    }
+}
+
+#[test]
+fn budget_accounting_survives_faults() {
+    let seed = 6;
+    let budget = 70.0;
+    let mut e = env(budget, seed);
+    e.set_faults(FaultSchedule::new(vec![
+        Fault::BandwidthCollapse {
+            node: 0,
+            factor: 3.0,
+            from_round: 2,
+        },
+        Fault::Dropout {
+            node: 3,
+            from_round: 3,
+        },
+        Fault::ReserveSpike {
+            node: 4,
+            factor: 50.0,
+            from_round: 5,
+        },
+    ]));
+    let (summary, records) = run_static(&mut e, 0.6);
+    assert!(summary.spent <= budget + 1e-6);
+    let paid: f64 = records.iter().map(|r| r.payment).sum();
+    assert!((paid - summary.spent).abs() < 1e-6);
+}
+
+#[test]
+fn faults_persist_across_reset() {
+    let seed = 10;
+    let mut e = env(60.0, seed);
+    e.set_faults(FaultSchedule::new(vec![Fault::Dropout {
+        node: 0,
+        from_round: 1,
+    }]));
+    let (_, r1) = run_static(&mut e, 0.5);
+    let (_, r2) = run_static(&mut e, 0.5); // run_episode resets internally
+    assert_eq!(r1.len(), r2.len());
+    for (a, b) in r1.iter().zip(&r2) {
+        assert_eq!(a.participants, b.participants);
+        assert!(a.participants <= 4);
+    }
+}
+
+#[test]
+fn transient_outage_heals_mid_episode() {
+    let seed = 23;
+    let mut e = env(200.0, seed);
+    let mut schedule = FaultSchedule::none();
+    // Node 1 offline for rounds 3–4 only.
+    schedule.push_transient(
+        Fault::Dropout {
+            node: 1,
+            from_round: 3,
+        },
+        5,
+    );
+    e.set_faults(schedule);
+    let (_, records) = run_static(&mut e, 0.5);
+    assert!(records.len() >= 6, "need rounds past the healing point");
+    for r in &records {
+        let expected = if (3..5).contains(&r.round) { 4 } else { 5 };
+        assert_eq!(
+            r.participants, expected,
+            "round {}: expected {expected} participants",
+            r.round
+        );
+    }
+}
+
+#[test]
+fn chiron_still_trains_on_a_faulty_fleet() {
+    let seed = 19;
+    let mut e = env(60.0, seed);
+    e.set_faults(FaultSchedule::new(vec![Fault::BandwidthCollapse {
+        node: 1,
+        factor: 2.0,
+        from_round: 3,
+    }]));
+    let mut mech = Chiron::new(&e, ChironConfig::fast(), seed);
+    let rewards = mech.train(&mut e, 30);
+    assert_eq!(rewards.len(), 30);
+    assert!(rewards.iter().all(|r| r.is_finite()));
+    let (summary, _) = mech.run_episode(&mut e);
+    assert!(summary.rounds > 0);
+    assert!(summary.spent <= 60.0 + 1e-6);
+}

@@ -1,0 +1,179 @@
+//! End-to-end integration: the hierarchical mechanism training against the
+//! full simulator stack, evaluated under budget constraints.
+
+use chiron_repro::prelude::*;
+
+fn env(kind: DatasetKind, budget: f64, seed: u64) -> EdgeLearningEnv {
+    let mut config = EnvConfig::paper_small(kind, budget);
+    config.oracle_noise = 0.0;
+    EdgeLearningEnv::new(config, seed)
+}
+
+#[test]
+fn chiron_training_improves_final_utility() {
+    let seed = 11;
+    let budget = 80.0;
+
+    // Untrained policy (random init) evaluated deterministically…
+    let mut e = env(DatasetKind::MnistLike, budget, seed);
+    let mut mech = Chiron::new(&e, ChironConfig::paper(), seed);
+    let (before, _) = mech.run_episode(&mut e);
+
+    // …versus the same mechanism after training.
+    let mut e = env(DatasetKind::MnistLike, budget, seed);
+    mech.train(&mut e, 200);
+    let (after, _) = mech.run_episode(&mut e);
+
+    assert!(
+        after.final_accuracy >= before.final_accuracy - 0.02,
+        "training should not degrade accuracy: {} → {}",
+        before.final_accuracy,
+        after.final_accuracy
+    );
+    assert!(
+        after.rounds >= before.rounds,
+        "budget pacing should buy at least as many rounds: {} → {}",
+        before.rounds,
+        after.rounds
+    );
+}
+
+#[test]
+fn trained_chiron_beats_greedy_under_equal_budget() {
+    let seed = 5;
+    let budget = 100.0;
+
+    let mut e = env(DatasetKind::MnistLike, budget, seed);
+    let mut chiron = Chiron::new(&e, ChironConfig::paper(), seed);
+    chiron.train(&mut e, 200);
+    let mut e = env(DatasetKind::MnistLike, budget, seed);
+    let (chiron_summary, _) = chiron.run_episode(&mut e);
+
+    let mut e = env(DatasetKind::MnistLike, budget, seed);
+    let mut greedy = Greedy::new(&e, seed);
+    greedy.train(&mut e, 200);
+    let mut e = env(DatasetKind::MnistLike, budget, seed);
+    let (greedy_summary, _) = greedy.run_episode(&mut e);
+
+    assert!(
+        chiron_summary.final_accuracy > greedy_summary.final_accuracy,
+        "chiron {:.3} must beat greedy {:.3} on accuracy",
+        chiron_summary.final_accuracy,
+        greedy_summary.final_accuracy
+    );
+    assert!(
+        chiron_summary.rounds > greedy_summary.rounds,
+        "chiron {} must out-pace greedy {} on rounds",
+        chiron_summary.rounds,
+        greedy_summary.rounds
+    );
+}
+
+#[test]
+fn every_mechanism_respects_the_budget() {
+    let seed = 3;
+    let budget = 60.0;
+    let e0 = env(DatasetKind::FashionLike, budget, seed);
+
+    let mut mechanisms: Vec<Box<dyn Mechanism>> = vec![
+        Box::new(Chiron::new(&e0, ChironConfig::fast(), seed)),
+        Box::new(FlatPpo::new(&e0, ChironConfig::fast(), seed)),
+        Box::new(DrlSingleRound::new(&e0, seed)),
+        Box::new(Greedy::new(&e0, seed)),
+        Box::new(StaticPrice::new(0.7)),
+        Box::new(LemmaOracle::new(0.5)),
+    ];
+
+    for mech in &mut mechanisms {
+        let mut e = env(DatasetKind::FashionLike, budget, seed);
+        mech.train(&mut e, 5);
+        let mut e = env(DatasetKind::FashionLike, budget, seed);
+        let (summary, records) = mech.run_episode(&mut e);
+        assert!(
+            summary.spent <= budget + 1e-6,
+            "{} overspent: {}",
+            mech.name(),
+            summary.spent
+        );
+        // Records are internally consistent.
+        assert_eq!(summary.rounds, records.len());
+        let mut running = 0.0;
+        for (i, r) in records.iter().enumerate() {
+            assert_eq!(r.round, i + 1, "{}: round numbering", mech.name());
+            running += r.payment;
+            assert!(
+                (r.spent - running).abs() < 1e-6,
+                "{}: cumulative spend mismatch",
+                mech.name()
+            );
+            assert!(r.accuracy >= 0.0 && r.accuracy <= 1.0);
+            assert!(r.time_efficiency >= 0.0 && r.time_efficiency <= 1.0 + 1e-9);
+        }
+    }
+}
+
+#[test]
+fn bigger_budgets_buy_weakly_more_rounds() {
+    let seed = 9;
+    let mut mech = StaticPrice::new(0.5);
+    let mut last = 0usize;
+    for budget in [40.0, 80.0, 120.0, 160.0] {
+        let mut e = env(DatasetKind::MnistLike, budget, seed);
+        let (summary, _) = mech.run_episode(&mut e);
+        assert!(
+            summary.rounds >= last,
+            "rounds must grow with budget: {last} → {} at η={budget}",
+            summary.rounds
+        );
+        last = summary.rounds;
+    }
+    assert!(last >= 4, "the largest budget should buy several rounds");
+}
+
+#[test]
+fn evaluation_is_deterministic_across_repeats() {
+    let seed = 21;
+    let e0 = env(DatasetKind::MnistLike, 70.0, seed);
+    let mut mech = Chiron::new(&e0, ChironConfig::fast(), seed);
+    let mut e = env(DatasetKind::MnistLike, 70.0, seed);
+    mech.train(&mut e, 30);
+
+    let mut run = || {
+        let mut e = env(DatasetKind::MnistLike, 70.0, seed);
+        let (s, r) = mech.run_episode(&mut e);
+        (s.rounds, s.final_accuracy.to_bits(), r.len())
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn identical_seeds_reproduce_identical_training() {
+    let build = || {
+        let mut e = env(DatasetKind::MnistLike, 50.0, 33);
+        let mut m = Chiron::new(&e, ChironConfig::fast(), 33);
+        m.train(&mut e, 25)
+    };
+    let a = build();
+    let b = build();
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "training must be bit-reproducible"
+        );
+    }
+}
+
+#[test]
+fn hundred_node_pipeline_runs() {
+    let mut config = EnvConfig::paper_large(DatasetKind::MnistLike, 200.0);
+    config.oracle_noise = 0.0;
+    let mut e = EdgeLearningEnv::new(config, 17);
+    assert_eq!(e.num_nodes(), 100);
+    let mut mech = Chiron::new(&e, ChironConfig::fast(), 17);
+    mech.train(&mut e, 10);
+    let (summary, _) = mech.run_episode(&mut e);
+    assert!(summary.spent <= 200.0 + 1e-6);
+    assert!(summary.rounds > 0, "at least one round should complete");
+}

@@ -1,0 +1,152 @@
+//! Fast shape checks distilled from the paper's evaluation: the properties
+//! the figures exhibit, asserted at reduced training scale so they run in
+//! debug mode. The full-scale reproductions live in `chiron-bench`.
+
+use chiron_repro::prelude::*;
+
+fn env(kind: DatasetKind, budget: f64, seed: u64) -> EdgeLearningEnv {
+    let mut config = EnvConfig::paper_small(kind, budget);
+    config.oracle_noise = 0.0;
+    EdgeLearningEnv::new(config, seed)
+}
+
+/// Fig. 4(a) shape: Chiron's accuracy is weakly increasing in budget and
+/// the marginal effect shows (later increments smaller).
+#[test]
+fn accuracy_grows_with_budget_with_marginal_effect() {
+    let seed = 42;
+    let mut e = env(DatasetKind::MnistLike, 100.0, seed);
+    let mut mech = Chiron::new(&e, ChironConfig::paper(), seed);
+    mech.train(&mut e, 120);
+
+    let budgets = [60.0, 100.0, 140.0];
+    let accs: Vec<f64> = budgets
+        .iter()
+        .map(|&b| {
+            let mut e = env(DatasetKind::MnistLike, b, seed);
+            mech.run_episode(&mut e).0.final_accuracy
+        })
+        .collect();
+    assert!(accs[1] >= accs[0] - 0.01, "accuracy vs budget: {accs:?}");
+    assert!(accs[2] >= accs[1] - 0.01, "accuracy vs budget: {accs:?}");
+    // Marginal effect across equal budget steps.
+    assert!(
+        (accs[1] - accs[0]) >= (accs[2] - accs[1]) - 0.02,
+        "diminishing accuracy returns expected: {accs:?}"
+    );
+}
+
+/// Fig. 4(b) shape: Chiron completes more rounds than the myopic DRL
+/// baseline under the same budget.
+#[test]
+fn chiron_outpaces_myopic_drl_on_rounds() {
+    let seed = 42;
+    let budget = 100.0;
+
+    let mut e = env(DatasetKind::MnistLike, budget, seed);
+    let mut chiron = Chiron::new(&e, ChironConfig::paper(), seed);
+    chiron.train(&mut e, 150);
+    let mut e = env(DatasetKind::MnistLike, budget, seed);
+    let (c, _) = chiron.run_episode(&mut e);
+
+    let mut e = env(DatasetKind::MnistLike, budget, seed);
+    let mut drl = DrlSingleRound::new(&e, seed);
+    drl.train(&mut e, 150);
+    let mut e = env(DatasetKind::MnistLike, budget, seed);
+    let (d, _) = drl.run_episode(&mut e);
+
+    assert!(
+        c.rounds > d.rounds,
+        "long-term pacing: chiron {} rounds vs drl-based {}",
+        c.rounds,
+        d.rounds
+    );
+    assert!(
+        c.final_accuracy > d.final_accuracy,
+        "chiron {:.3} vs drl-based {:.3}",
+        c.final_accuracy,
+        d.final_accuracy
+    );
+}
+
+/// Fig. 4(c) shape: trained Chiron approaches the Lemma-1 oracle's time
+/// consistency and beats a uniform static policy.
+#[test]
+fn chiron_approaches_lemma_oracle_time_efficiency() {
+    let seed = 42;
+    let budget = 100.0;
+
+    let mut e = env(DatasetKind::MnistLike, budget, seed);
+    let mut chiron = Chiron::new(&e, ChironConfig::paper(), seed);
+    chiron.train(&mut e, 150);
+    let mut e = env(DatasetKind::MnistLike, budget, seed);
+    let (c, _) = chiron.run_episode(&mut e);
+
+    let mut e = env(DatasetKind::MnistLike, budget, seed);
+    let (lemma, _) = LemmaOracle::new(0.3).run_episode(&mut e);
+    let mut e = env(DatasetKind::MnistLike, budget, seed);
+    let (fixed, _) = StaticPrice::new(0.5).run_episode(&mut e);
+
+    assert!(
+        lemma.mean_time_efficiency > 0.97,
+        "the analytic oracle is near-perfect: {}",
+        lemma.mean_time_efficiency
+    );
+    assert!(
+        c.mean_time_efficiency > fixed.mean_time_efficiency,
+        "learned consistency {:.3} must beat uniform static {:.3}",
+        c.mean_time_efficiency,
+        fixed.mean_time_efficiency
+    );
+}
+
+/// Figs. 4–6 cross-dataset shape: at matched budget pressure, the harder
+/// the dataset, the lower the attainable accuracy.
+#[test]
+fn dataset_difficulty_orders_final_accuracy() {
+    let seed = 7;
+    let acc = |kind: DatasetKind, budget: f64| {
+        let mut e = env(kind, budget, seed);
+        StaticPrice::new(0.4).run_episode(&mut e).0.final_accuracy
+    };
+    let mnist = acc(DatasetKind::MnistLike, 100.0);
+    let fashion = acc(DatasetKind::FashionLike, 100.0);
+    // CIFAR at its scaled budget (samples cost ~3.3× more).
+    let cifar = acc(DatasetKind::Cifar10Like, 330.0);
+    assert!(
+        mnist > fashion && fashion > cifar,
+        "difficulty ordering violated: mnist {mnist:.3}, fashion {fashion:.3}, cifar {cifar:.3}"
+    );
+}
+
+/// Fig. 3 shape: Chiron's episode reward trends upward over training.
+#[test]
+fn episode_reward_trends_upward() {
+    let seed = 42;
+    let mut e = env(DatasetKind::MnistLike, 100.0, seed);
+    let mut mech = Chiron::new(&e, ChironConfig::paper(), seed);
+    let rewards = mech.train(&mut e, 200);
+    let d = rewards.len() / 4;
+    let first: f64 = rewards[..d].iter().sum::<f64>() / d as f64;
+    let last: f64 = rewards[rewards.len() - d..].iter().sum::<f64>() / d as f64;
+    assert!(
+        last > first - 0.5,
+        "episode reward should not collapse: {first:.2} → {last:.2}"
+    );
+}
+
+/// Table I shape: at 100 nodes, time efficiency is pinned by the fixed
+/// upload times well below the 5-node regime.
+#[test]
+fn large_scale_efficiency_is_upload_bound() {
+    let mut config = EnvConfig::paper_large(DatasetKind::MnistLike, 1e9);
+    config.oracle_noise = 0.0;
+    config.max_rounds = 3;
+    let mut e = EdgeLearningEnv::new(config, 42);
+    let (s, _) = StaticPrice::new(1.0).run_episode(&mut e);
+    assert!(
+        s.mean_time_efficiency > 0.55 && s.mean_time_efficiency < 0.9,
+        "100-node efficiency should sit in the upload-bound band, got {}",
+        s.mean_time_efficiency
+    );
+}
