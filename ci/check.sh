@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Offline tier-1 gate: build, full test suite, lints, formatting.
+#
+# Everything runs with --offline — the workspace vendors all external
+# dependencies under vendor/, so no registry access is needed (or
+# possible) in CI containers.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --workspace --release --offline
+
+echo "==> cargo test"
+cargo test -q --workspace --release --offline
+
+echo "==> cargo clippy -D warnings"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "All checks passed."

@@ -97,3 +97,29 @@ proptest! {
         prop_assert!(rounds(0.3) >= rounds(0.9));
     }
 }
+
+/// Deterministic pin of the checked-in proptest regression
+/// (`proptest-regressions/proptests.txt`, shrinks to `seed = 14,
+/// warmup = 7`): training with a warm-up that outlasts the exploration
+/// budget must still leave Greedy's evaluation fully deterministic.
+#[test]
+fn greedy_warmup_regression_is_deterministic() {
+    let e0 = env(50.0, 14);
+    let mut g = Greedy::with_config(
+        &e0,
+        GreedyConfig {
+            warmup_actions: 7,
+            ..GreedyConfig::default()
+        },
+        14,
+    );
+    let before = g.memory_len();
+    let mut e = env(50.0, 14);
+    g.train(&mut e, 2);
+    assert!(g.memory_len() >= before);
+    let mut e = env(50.0, 14);
+    let (s1, _) = g.run_episode(&mut e);
+    let mut e = env(50.0, 14);
+    let (s2, _) = g.run_episode(&mut e);
+    assert_eq!(s1.rounds, s2.rounds);
+}

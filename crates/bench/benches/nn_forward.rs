@@ -1,9 +1,15 @@
 //! Criterion micro-bench: forward/backward cost of the paper's two CNN
 //! architectures (the inner loop of the real `TrainingOracle`).
+//!
+//! Every shape runs twice — `t1` (serial, `pool::set_threads(1)`) and `t4`
+//! (4 pool threads) — so the serial-vs-parallel speedup of the tensor
+//! backend can be read off one report. On a single-core container the two
+//! points coincide; the gap materializes on multi-core hardware. Outputs
+//! are bitwise identical either way.
 
 use chiron_nn::models::{cifar_lenet, mnist_cnn};
 use chiron_nn::SoftmaxCrossEntropy;
-use chiron_tensor::{Init, TensorRng};
+use chiron_tensor::{pool, Init, TensorRng};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
@@ -16,32 +22,38 @@ fn bench_nn_forward(c: &mut Criterion) {
 
     let mut mnist = mnist_cnn(&mut rng);
     let x_mnist = rng.init(&[batch, 1, 28, 28], Init::Normal(1.0));
-    group.bench_function("mnist_cnn_forward_b10", |b| {
-        b.iter(|| black_box(mnist.forward(black_box(&x_mnist), false)))
-    });
-    let labels: Vec<usize> = (0..batch).map(|i| i % 10).collect();
-    group.bench_function("mnist_cnn_train_step_b10", |b| {
-        b.iter(|| {
-            let logits = mnist.forward(black_box(&x_mnist), true);
-            let (_, grad) = SoftmaxCrossEntropy.forward(&logits, &labels);
-            black_box(mnist.backward(&grad));
-            mnist.zero_grad();
-        })
-    });
-
     let mut lenet = cifar_lenet(&mut rng);
     let x_cifar = rng.init(&[batch, 3, 32, 32], Init::Normal(1.0));
-    group.bench_function("cifar_lenet_forward_b10", |b| {
-        b.iter(|| black_box(lenet.forward(black_box(&x_cifar), false)))
-    });
-    group.bench_function("cifar_lenet_train_step_b10", |b| {
-        b.iter(|| {
-            let logits = lenet.forward(black_box(&x_cifar), true);
-            let (_, grad) = SoftmaxCrossEntropy.forward(&logits, &labels);
-            black_box(lenet.backward(&grad));
-            lenet.zero_grad();
-        })
-    });
+    let labels: Vec<usize> = (0..batch).map(|i| i % 10).collect();
+
+    for threads in [1usize, 4] {
+        pool::set_threads(threads);
+
+        group.bench_function(format!("mnist_cnn_forward_b10_t{threads}"), |b| {
+            b.iter(|| black_box(mnist.forward(black_box(&x_mnist), false)))
+        });
+        group.bench_function(format!("mnist_cnn_train_step_b10_t{threads}"), |b| {
+            b.iter(|| {
+                let logits = mnist.forward(black_box(&x_mnist), true);
+                let (_, grad) = SoftmaxCrossEntropy.forward(&logits, &labels);
+                black_box(mnist.backward(&grad));
+                mnist.zero_grad();
+            })
+        });
+
+        group.bench_function(format!("cifar_lenet_forward_b10_t{threads}"), |b| {
+            b.iter(|| black_box(lenet.forward(black_box(&x_cifar), false)))
+        });
+        group.bench_function(format!("cifar_lenet_train_step_b10_t{threads}"), |b| {
+            b.iter(|| {
+                let logits = lenet.forward(black_box(&x_cifar), true);
+                let (_, grad) = SoftmaxCrossEntropy.forward(&logits, &labels);
+                black_box(lenet.backward(&grad));
+                lenet.zero_grad();
+            })
+        });
+    }
+    pool::set_threads(1);
 
     group.finish();
 }

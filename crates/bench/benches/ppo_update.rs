@@ -1,7 +1,14 @@
 //! Criterion micro-bench: a full M-epoch PPO update on a filled rollout
 //! buffer, at the state/action sizes of Chiron's two agents (5 nodes).
+//!
+//! Every shape runs twice — `t1` (serial, `pool::set_threads(1)`) and `t4`
+//! (4 pool threads) — to expose the serial-vs-parallel speedup of the
+//! update's batched passes and surrogate loop. On a single-core container
+//! the two points coincide; the gap materializes on multi-core hardware.
+//! Training results are identical for every thread count.
 
 use chiron_drl::{PpoAgent, PpoConfig, RolloutBuffer};
+use chiron_tensor::pool;
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
@@ -22,30 +29,36 @@ fn bench_ppo_update(c: &mut Criterion) {
 
     // Exterior agent shape at 5 nodes: state 3·5·4+2 = 62, action 1.
     let mut exterior = PpoAgent::new(62, 1, &[64, 64], PpoConfig::default(), 0);
-    group.bench_function("exterior_agent_30_steps", |b| {
-        b.iter(|| {
-            let mut buffer = filled_buffer(&mut exterior, 62, 30);
-            black_box(exterior.update(&mut buffer));
-        })
-    });
-
     // Inner agent shape: state 1, action 5.
     let mut inner = PpoAgent::new(1, 5, &[64, 64], PpoConfig::default(), 1);
-    group.bench_function("inner_agent_30_steps", |b| {
-        b.iter(|| {
-            let mut buffer = filled_buffer(&mut inner, 1, 30);
-            black_box(inner.update(&mut buffer));
-        })
-    });
-
     // Inner agent at 100 nodes: action 100.
     let mut inner100 = PpoAgent::new(1, 100, &[64, 64], PpoConfig::default(), 2);
-    group.bench_function("inner_agent_100dim_30_steps", |b| {
-        b.iter(|| {
-            let mut buffer = filled_buffer(&mut inner100, 1, 30);
-            black_box(inner100.update(&mut buffer));
-        })
-    });
+
+    for threads in [1usize, 4] {
+        pool::set_threads(threads);
+
+        group.bench_function(format!("exterior_agent_30_steps_t{threads}"), |b| {
+            b.iter(|| {
+                let mut buffer = filled_buffer(&mut exterior, 62, 30);
+                black_box(exterior.update(&mut buffer));
+            })
+        });
+
+        group.bench_function(format!("inner_agent_30_steps_t{threads}"), |b| {
+            b.iter(|| {
+                let mut buffer = filled_buffer(&mut inner, 1, 30);
+                black_box(inner.update(&mut buffer));
+            })
+        });
+
+        group.bench_function(format!("inner_agent_100dim_30_steps_t{threads}"), |b| {
+            b.iter(|| {
+                let mut buffer = filled_buffer(&mut inner100, 1, 30);
+                black_box(inner100.update(&mut buffer));
+            })
+        });
+    }
+    pool::set_threads(1);
 
     group.finish();
 }

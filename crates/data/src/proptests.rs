@@ -120,3 +120,16 @@ proptest! {
         prop_assert_eq!(y, sy);
     }
 }
+
+/// Deterministic pin of the checked-in proptest regression
+/// (`proptest-regressions/proptests.txt`, shrinks to `n = 20, nodes = 1,
+/// seed = 0`, Dirichlet): a single node must receive every sample even
+/// when the Dirichlet draw concentrates all mass in one class.
+#[test]
+fn dirichlet_single_node_regression_covers_everything() {
+    let data = SyntheticDataset::generate(&DatasetSpec::tiny(), 20, 0);
+    let shards = split(&data, 1, Partition::Dirichlet { alpha: 0.5 }, 0);
+    assert_eq!(shards.len(), 1);
+    assert_eq!(shards[0].len(), 20);
+    assert!(!shards[0].is_empty());
+}

@@ -88,9 +88,16 @@ impl GaussianPolicy {
         mu.as_slice().iter().map(|&v| v as f64).collect()
     }
 
-    /// Batch of means for PPO updates, `(B, action_dim)`, in training mode.
-    pub(crate) fn mean_batch(&mut self, states: &Tensor) -> Tensor {
-        self.net.forward(states, true)
+    /// Batched forward over a `(B, state_dim)` batch for PPO updates, in
+    /// training mode. Row blocks of `block_rows` fan out across the worker
+    /// pool; buffers that fit one block run directly on the network, byte
+    /// identical to a plain forward.
+    pub(crate) fn mean_batch_pass(
+        &mut self,
+        states: &Tensor,
+        block_rows: usize,
+    ) -> chiron_nn::BatchedPass {
+        chiron_nn::forward_batched(&mut self.net, states, true, block_rows)
     }
 
     /// Samples `a ~ N(μ(s), σ²)` and returns `(a, log π(a|s))`.

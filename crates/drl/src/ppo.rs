@@ -4,10 +4,23 @@ use crate::buffer::RolloutBuffer;
 use crate::policy::{state_tensor, states_tensor, GaussianPolicy};
 use chiron_nn::models::mlp;
 use chiron_nn::{
-    clip_grad_norm, Adam, Checkpoint, CheckpointError, MseLoss, Optimizer, Sequential,
+    clip_grad_norm, forward_batched, Adam, Checkpoint, CheckpointError, MseLoss, Optimizer,
+    Sequential,
 };
-use chiron_tensor::{Tensor, TensorRng};
+use chiron_tensor::{pool, Tensor, TensorRng};
 use serde::{Deserialize, Serialize};
+
+/// Rows per block for the full-batch actor/critic passes in
+/// [`PpoAgent::update`]. Typical rollout buffers (tens of transitions) fit
+/// a single block — byte-identical to the unbatched pass — while oversized
+/// buffers split deterministically across the worker pool.
+const PPO_BLOCK_ROWS: usize = 256;
+
+/// Transitions per block for the parallel clipped-surrogate loop. Each
+/// transition's gradient row is written independently (gradients never sum
+/// across transitions), so any partition yields bitwise-identical grads;
+/// the per-block loss partials reduce in block-index order.
+const SURROGATE_BLOCK: usize = 8;
 
 /// PPO hyperparameters.
 ///
@@ -211,51 +224,69 @@ impl PpoAgent {
         let mut actor_loss_acc = 0.0f64;
         let mut critic_loss_acc = 0.0f64;
 
+        let clip = self.config.clip;
         for _ in 0..self.config.epochs {
             // --- Actor: clipped surrogate ---
-            let means = self.actor.mean_batch(&state_batch);
+            let actor_pass = self.actor.mean_batch_pass(&state_batch, PPO_BLOCK_ROWS);
             let var = self.actor.std() * self.actor.std();
-            let mu = means.as_slice();
+            let mu = actor_pass.output().as_slice();
             let mut grad = vec![0.0f32; n * action_dim];
-            let mut loss = 0.0f64;
-            for (i, tr) in buffer.transitions().iter().enumerate() {
-                // log π_new(a|s) under the current mean.
-                let mut logp = -0.5 * (action_dim as f64) * (2.0 * std::f64::consts::PI * var).ln();
-                for j in 0..action_dim {
-                    let m = mu[i * action_dim + j] as f64;
-                    let a = tr.action[j];
-                    logp -= (a - m) * (a - m) / (2.0 * var);
-                }
-                let ratio = (logp - tr.log_prob).exp();
-                let adv = advantages[i];
-                let clipped = ratio.clamp(1.0 - self.config.clip, 1.0 + self.config.clip);
-                let surr = (ratio * adv).min(clipped * adv);
-                loss -= surr;
-                // Gradient flows only through the unclipped branch when it
-                // is the active minimum.
-                let ratio_active = (ratio * adv) <= (clipped * adv) + 1e-12;
-                if ratio_active {
-                    // d(−ratio·adv)/dμ_j = −adv·ratio·d logp/dμ_j
-                    //                    = −adv·ratio·(a_j − μ_j)/σ².
-                    for j in 0..action_dim {
-                        let m = mu[i * action_dim + j] as f64;
-                        let a = tr.action[j];
-                        let d = -adv * ratio * (a - m) / var;
-                        grad[i * action_dim + j] = (d / n as f64) as f32;
+            // Each transition's gradient row is independent, so the loop
+            // fans out over fixed transition blocks; per-block loss
+            // partials reduce in block order below, keeping the reported
+            // loss identical for every thread count.
+            let transitions = buffer.transitions();
+            let partials = pool::parallel_chunks_map(
+                &mut grad,
+                SURROGATE_BLOCK * action_dim,
+                |block, rows| {
+                    let t0 = block * SURROGATE_BLOCK;
+                    let mut loss = 0.0f64;
+                    for (r, g_row) in rows.chunks_mut(action_dim).enumerate() {
+                        let i = t0 + r;
+                        let tr = &transitions[i];
+                        // log π_new(a|s) under the current mean.
+                        let mut logp =
+                            -0.5 * (action_dim as f64) * (2.0 * std::f64::consts::PI * var).ln();
+                        for j in 0..action_dim {
+                            let m = mu[i * action_dim + j] as f64;
+                            let a = tr.action[j];
+                            logp -= (a - m) * (a - m) / (2.0 * var);
+                        }
+                        let ratio = (logp - tr.log_prob).exp();
+                        let adv = advantages[i];
+                        let clipped = ratio.clamp(1.0 - clip, 1.0 + clip);
+                        let surr = (ratio * adv).min(clipped * adv);
+                        loss -= surr;
+                        // Gradient flows only through the unclipped branch
+                        // when it is the active minimum.
+                        let ratio_active = (ratio * adv) <= (clipped * adv) + 1e-12;
+                        if ratio_active {
+                            // d(−ratio·adv)/dμ_j = −adv·ratio·d logp/dμ_j
+                            //                    = −adv·ratio·(a_j − μ_j)/σ².
+                            for (j, g) in g_row.iter_mut().enumerate() {
+                                let m = mu[i * action_dim + j] as f64;
+                                let a = tr.action[j];
+                                let d = -adv * ratio * (a - m) / var;
+                                *g = (d / n as f64) as f32;
+                            }
+                        }
                     }
-                }
-            }
+                    loss
+                },
+            );
+            let loss: f64 = partials.iter().sum();
             actor_loss_acc += loss / n as f64;
             let grad_t = Tensor::from_vec(grad, &[n, action_dim]);
-            self.actor.net_mut().backward(&grad_t);
+            actor_pass.backward(self.actor.net_mut(), &grad_t);
             clip_grad_norm(self.actor.net_mut(), self.config.max_grad_norm);
             self.actor_opt.step(self.actor.net_mut());
 
             // --- Critic: regression onto bootstrapped returns ---
-            let values = self.critic.forward(&state_batch, true);
-            let (closs, cgrad) = MseLoss.forward(&values, &returns_t);
+            let critic_pass = forward_batched(&mut self.critic, &state_batch, true, PPO_BLOCK_ROWS);
+            let (closs, cgrad) = MseLoss.forward(critic_pass.output(), &returns_t);
             critic_loss_acc += closs as f64;
-            self.critic.backward(&cgrad);
+            critic_pass.backward(&mut self.critic, &cgrad);
             clip_grad_norm(&mut self.critic, self.config.max_grad_norm);
             self.critic_opt.step(&mut self.critic);
         }

@@ -46,10 +46,16 @@ pub trait AccuracyOracle: Send {
     fn accuracy(&self) -> f64;
 }
 
-/// Calibrated stochastic accuracy-progress model
-/// `A = a_max − (a_max − a_0)·exp(−rate·e)` where `e` accumulates the
-/// participating data fraction each round, plus small Gaussian evaluation
-/// noise. Reproduces the paper's "marginal effect": early rounds improve
+/// Calibrated stochastic accuracy-progress model, plus small Gaussian
+/// evaluation noise. Each round moves the clean accuracy geometrically
+/// toward a *coverage-capped* asymptote: a round that trains on a fraction
+/// `p` of the global data decays the gap toward
+/// `a_0 + (a_max − a_0)·p` by `exp(−rate·p)`. With full participation this
+/// reduces exactly to the paper's closed form
+/// `A(k) = a_max − (a_max − a_0)·exp(−rate·k)`; with persistent dropouts
+/// the achievable ceiling itself drops, so losing data costs final
+/// accuracy and not only speed (a stretched budget cannot cancel it).
+/// Reproduces the paper's "marginal effect": early rounds improve
 /// accuracy much more than late ones.
 ///
 /// # Examples
@@ -69,6 +75,7 @@ pub struct CurveOracle {
     curve: LearningCurve,
     noise_std: f64,
     effective_rounds: f64,
+    clean: f64,
     accuracy: f64,
     rng: TensorRng,
     seed: u64,
@@ -83,6 +90,7 @@ impl CurveOracle {
             curve,
             noise_std,
             effective_rounds: 0.0,
+            clean: curve.a_0,
             accuracy: curve.a_0,
             rng: TensorRng::seed_from(seed),
             seed,
@@ -104,6 +112,7 @@ impl CurveOracle {
 impl AccuracyOracle for CurveOracle {
     fn reset(&mut self) {
         self.effective_rounds = 0.0;
+        self.clean = self.curve.a_0;
         self.accuracy = self.curve.a_0;
         self.rng = TensorRng::seed_from(self.seed);
     }
@@ -115,8 +124,21 @@ impl AccuracyOracle for CurveOracle {
             "participation {participation} outside [0, 1]"
         );
         self.effective_rounds += participation;
-        let clean = self.curve.accuracy(self.effective_rounds);
-        let noisy = clean + self.rng.normal() * self.noise_std;
+        // Training on a fraction p of the data approaches a coverage-capped
+        // ceiling `a_max − κ·(a_max − a_0)·(1 − p)`: the round closes the
+        // gap toward that ceiling by the usual exponential factor. κ < 1
+        // reflects that the shards are IID, so a data subset still
+        // represents the global distribution and the ceiling degrades more
+        // gently than linearly. Progress is never undone: a low-coverage
+        // round whose ceiling sits below the current accuracy is a no-op.
+        const COVERAGE_PENALTY: f64 = 0.5;
+        let ceiling = self.curve.a_max
+            - COVERAGE_PENALTY
+                * (self.curve.a_max - self.curve.a_0)
+                * (1.0 - participation.min(1.0));
+        let decay = (-self.curve.rate * participation).exp();
+        self.clean = (ceiling - (ceiling - self.clean) * decay).max(self.clean);
+        let noisy = self.clean + self.rng.normal() * self.noise_std;
         self.accuracy = noisy.clamp(0.0, 1.0);
         self.accuracy
     }

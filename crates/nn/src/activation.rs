@@ -6,7 +6,7 @@ use chiron_tensor::Tensor;
 macro_rules! activation {
     ($(#[$doc:meta])* $name:ident, $fwd:expr, $grad_from_in_out:expr) => {
         $(#[$doc])*
-        #[derive(Default)]
+        #[derive(Clone, Default)]
         pub struct $name {
             input: Option<Tensor>,
             output: Option<Tensor>,
@@ -39,6 +39,10 @@ macro_rules! activation {
 
             fn name(&self) -> &'static str {
                 stringify!($name)
+            }
+
+            fn clone_box(&self) -> Box<dyn Layer> {
+                Box::new(self.clone())
             }
         }
     };

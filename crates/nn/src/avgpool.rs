@@ -21,6 +21,7 @@ use chiron_tensor::{Conv2dGeometry, Tensor};
 /// assert_eq!(y.dims(), &[1, 2, 2, 2]);
 /// assert!(y.as_slice().iter().all(|&v| (v - 1.0).abs() < 1e-6));
 /// ```
+#[derive(Clone)]
 pub struct AvgPool2d {
     window: usize,
     geo: Conv2dGeometry,
@@ -127,6 +128,10 @@ impl Layer for AvgPool2d {
 
     fn name(&self) -> &'static str {
         "AvgPool2d"
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
     }
 }
 

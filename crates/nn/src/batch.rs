@@ -1,0 +1,257 @@
+//! Batched forward/backward passes that split a batch across the worker
+//! pool.
+//!
+//! [`forward_batched`] cuts the batch along its first axis into fixed-size
+//! row blocks, runs one deep copy of the network per block (in parallel via
+//! [`chiron_tensor::pool`]), and stitches the outputs back together in
+//! block order. The returned [`BatchedPass`] then drives the matching
+//! backward pass and merges the per-replica parameter gradients back into
+//! the original network — accumulating in replica-index order, so results
+//! are identical for every thread count.
+//!
+//! Block boundaries depend only on `block_rows` and the batch size, never
+//! on the thread count. When the batch fits in a single block the pass
+//! degenerates to a plain `net.forward` / `net.backward` on the original
+//! network, byte-for-byte equal to the unbatched path — this is the common
+//! case for the PPO update (buffers of ~30 transitions against a block
+//! size of 256), which gets its parallelism from the tensor ops instead.
+//!
+//! Caveat: a multi-block pass gives each replica its own clone of any
+//! stateful layer, so `Dropout` draws a fresh mask stream per block rather
+//! than one stream across the batch. Training networks that use dropout
+//! should either stay single-block or accept the (equally valid) masks.
+
+use crate::Sequential;
+use chiron_tensor::{pool, Tensor};
+
+/// Copies rows `start..end` of `t` (along the first axis) into a new
+/// tensor with the same trailing dimensions.
+fn slice_rows(t: &Tensor, start: usize, end: usize) -> Tensor {
+    let dims = t.dims();
+    let n = dims[0];
+    debug_assert!(start < end && end <= n);
+    let row = t.numel() / n;
+    let mut out_dims = dims.to_vec();
+    out_dims[0] = end - start;
+    Tensor::from_vec(t.as_slice()[start * row..end * row].to_vec(), &out_dims)
+}
+
+/// Concatenates tensors along the first axis; all trailing dimensions must
+/// agree.
+fn concat_rows(parts: &[Tensor]) -> Tensor {
+    assert!(!parts.is_empty(), "concat_rows: empty input");
+    let tail = &parts[0].dims()[1..];
+    let mut rows = 0usize;
+    let mut data = Vec::new();
+    for p in parts {
+        assert_eq!(&p.dims()[1..], tail, "concat_rows: trailing dims differ");
+        rows += p.dims()[0];
+        data.extend_from_slice(p.as_slice());
+    }
+    let mut dims = vec![rows];
+    dims.extend_from_slice(tail);
+    Tensor::from_vec(data, &dims)
+}
+
+/// Copies a layer stack's gradient accumulators into one flat vector, in
+/// the same visitation order as [`Sequential::parameters_flat`].
+fn grads_flat(net: &Sequential) -> Vec<f32> {
+    let mut out = Vec::with_capacity(net.num_params());
+    net.visit_params(&mut |_, g| out.extend_from_slice(g.as_slice()));
+    out
+}
+
+/// In-flight batched forward pass; call [`BatchedPass::backward`] to
+/// complete it.
+pub struct BatchedPass {
+    /// Per-block network copies holding cached forward state. Empty when
+    /// the pass ran single-block directly on the caller's network.
+    replicas: Vec<Sequential>,
+    /// Row ranges of the blocks, in order.
+    blocks: Vec<(usize, usize)>,
+    output: Tensor,
+}
+
+impl BatchedPass {
+    /// The stacked forward output (blocks concatenated in order).
+    pub fn output(&self) -> &Tensor {
+        &self.output
+    }
+
+    /// Consumes the stacked output.
+    pub fn into_output(self) -> Tensor {
+        self.output
+    }
+
+    /// Backpropagates `grad` (matching the stacked output's first axis),
+    /// accumulates parameter gradients into `net`, and returns
+    /// `∂loss/∂input` stacked in block order.
+    ///
+    /// Replica gradients merge into `net` in replica-index order, so the
+    /// result is independent of the thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grad`'s first axis disagrees with the forward batch.
+    pub fn backward(mut self, net: &mut Sequential, grad: &Tensor) -> Tensor {
+        if self.replicas.is_empty() {
+            return net.backward(grad);
+        }
+        let total: usize = self.blocks.last().map(|&(_, e)| e).unwrap_or(0);
+        assert_eq!(
+            grad.dims()[0],
+            total,
+            "backward grad rows {} != forward batch rows {total}",
+            grad.dims()[0]
+        );
+        let blocks = std::mem::take(&mut self.blocks);
+        let dxs = pool::parallel_chunks_map(&mut self.replicas, 1, |b, replica| {
+            let (start, end) = blocks[b];
+            replica[0].backward(&slice_rows(grad, start, end))
+        });
+        // Merge replica parameter gradients in replica-index order: first
+        // sum the flat gradient vectors sequentially, then add the total
+        // into the caller's accumulators once.
+        let mut acc = grads_flat(&self.replicas[0]);
+        for replica in &self.replicas[1..] {
+            for (a, g) in acc.iter_mut().zip(grads_flat(replica)) {
+                *a += g;
+            }
+        }
+        let mut off = 0usize;
+        net.visit_params_mut(&mut |_, g| {
+            let gs = g.as_mut_slice();
+            let n = gs.len();
+            for (dst, &src) in gs.iter_mut().zip(&acc[off..off + n]) {
+                *dst += src;
+            }
+            off += n;
+        });
+        concat_rows(&dxs)
+    }
+}
+
+/// Runs `net.forward` over the batch in row blocks of `block_rows`,
+/// fanning blocks out across the worker pool.
+///
+/// Single-block batches run directly on `net` (the fast path, bitwise
+/// equal to plain `net.forward`); larger batches run on per-block deep
+/// copies whose outputs are stacked in block order.
+///
+/// # Panics
+///
+/// Panics if `block_rows` is zero or the batch is empty.
+pub fn forward_batched(
+    net: &mut Sequential,
+    input: &Tensor,
+    train: bool,
+    block_rows: usize,
+) -> BatchedPass {
+    assert!(block_rows > 0, "block_rows must be positive");
+    let n = input.dims()[0];
+    assert!(n > 0, "forward_batched: empty batch");
+    if n <= block_rows {
+        let output = net.forward(input, train);
+        return BatchedPass {
+            replicas: Vec::new(),
+            blocks: Vec::new(),
+            output,
+        };
+    }
+    let blocks: Vec<(usize, usize)> = (0..n.div_ceil(block_rows))
+        .map(|b| (b * block_rows, ((b + 1) * block_rows).min(n)))
+        .collect();
+    let mut replicas: Vec<Sequential> = blocks.iter().map(|_| net.clone()).collect();
+    let outputs = pool::parallel_chunks_map(&mut replicas, 1, |b, replica| {
+        let (start, end) = blocks[b];
+        replica[0].forward(&slice_rows(input, start, end), train)
+    });
+    BatchedPass {
+        replicas,
+        blocks,
+        output: concat_rows(&outputs),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Linear, Relu, Tanh};
+    use chiron_tensor::TensorRng;
+
+    fn net(seed: u64) -> Sequential {
+        let mut rng = TensorRng::seed_from(seed);
+        let mut n = Sequential::new();
+        n.push(Linear::new(6, 16, &mut rng));
+        n.push(Tanh::new());
+        n.push(Linear::new(16, 3, &mut rng));
+        n.push(Relu::new());
+        n
+    }
+
+    fn batch(rows: usize) -> Tensor {
+        let mut rng = TensorRng::seed_from(99);
+        rng.init(&[rows, 6], chiron_tensor::Init::Normal(1.0))
+    }
+
+    #[test]
+    fn single_block_matches_plain_forward_backward() {
+        let x = batch(5);
+        let mut a = net(3);
+        let mut b = net(3);
+        let ya = a.forward(&x, true);
+        let pass = forward_batched(&mut b, &x, true, 256);
+        assert_eq!(ya.as_slice(), pass.output().as_slice());
+        let g = ya.map(|_| 1.0);
+        let dxa = a.backward(&g);
+        let dxb = pass.backward(&mut b, &g);
+        assert_eq!(dxa.as_slice(), dxb.as_slice());
+        assert_eq!(grads_flat(&a), grads_flat(&b));
+    }
+
+    #[test]
+    fn multi_block_forward_matches_plain_forward() {
+        let x = batch(23);
+        let mut a = net(4);
+        let mut b = net(4);
+        let ya = a.forward(&x, false);
+        let pass = forward_batched(&mut b, &x, false, 8);
+        assert_eq!(ya.as_slice(), pass.output().as_slice());
+    }
+
+    #[test]
+    fn multi_block_grads_sum_over_blocks_deterministically() {
+        let x = batch(23);
+        let g = Tensor::ones(&[23, 3]);
+        let run = |threads: usize| {
+            chiron_tensor::pool::set_threads(threads);
+            let mut m = net(5);
+            let pass = forward_batched(&mut m, &x, true, 8);
+            let dx = pass.backward(&mut m, &g);
+            (dx, grads_flat(&m))
+        };
+        let (dx1, g1) = run(1);
+        let (dx4, g4) = run(4);
+        chiron_tensor::pool::set_threads(1);
+        assert_eq!(dx1.as_slice(), dx4.as_slice());
+        assert_eq!(g1, g4);
+        // dx is block-local, so it matches the plain path bitwise too.
+        let mut plain = net(5);
+        let _ = plain.forward(&x, true);
+        let dx_plain = plain.backward(&g);
+        assert_eq!(dx_plain.as_slice(), dx1.as_slice());
+    }
+
+    #[test]
+    fn cloned_network_trains_independently() {
+        let a = net(6);
+        let mut b = a.clone();
+        let x = batch(4);
+        let y = b.forward(&x, true);
+        b.backward(&y.map(|_| 1.0));
+        // Cloning copied parameters but the original's grads stay zero.
+        assert_eq!(a.parameters_flat(), b.parameters_flat());
+        assert!(grads_flat(&a).iter().all(|&g| g == 0.0));
+        assert!(grads_flat(&b).iter().any(|&g| g != 0.0));
+    }
+}

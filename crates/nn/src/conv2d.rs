@@ -21,6 +21,7 @@ use chiron_tensor::{col2im, im2col, Conv2dGeometry, Init, Tensor, TensorRng};
 /// let y = conv.forward(&Tensor::ones(&[2, 1, 28, 28]), true);
 /// assert_eq!(y.dims(), &[2, 10, 24, 24]);
 /// ```
+#[derive(Clone)]
 pub struct Conv2d {
     weight: Tensor, // (C_in·k·k, C_out)
     bias: Tensor,   // (C_out)
@@ -148,6 +149,10 @@ impl Layer for Conv2d {
 
     fn name(&self) -> &'static str {
         "Conv2d"
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
     }
 }
 

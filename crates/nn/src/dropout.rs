@@ -19,6 +19,7 @@ use chiron_tensor::{Tensor, TensorRng};
 /// let eval = d.forward(&x, false);
 /// assert_eq!(eval.as_slice(), x.as_slice()); // identity at eval time
 /// ```
+#[derive(Clone)]
 pub struct Dropout {
     p: f32,
     rng: TensorRng,
@@ -77,6 +78,10 @@ impl Layer for Dropout {
 
     fn name(&self) -> &'static str {
         "Dropout"
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
     }
 }
 

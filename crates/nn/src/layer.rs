@@ -48,6 +48,11 @@ pub trait Layer: Send {
 
     /// A short human-readable layer name for summaries.
     fn name(&self) -> &'static str;
+
+    /// Clones the layer behind the trait object, including parameters,
+    /// gradient accumulators, and any cached forward state. Used by the
+    /// batched training passes to replicate a network per input block.
+    fn clone_box(&self) -> Box<dyn Layer>;
 }
 
 #[cfg(test)]

@@ -46,6 +46,7 @@
 
 mod activation;
 mod avgpool;
+pub mod batch;
 mod checkpoint;
 mod conv2d;
 mod dropout;
@@ -60,6 +61,7 @@ mod sequential;
 
 pub use activation::{Relu, Sigmoid, Tanh};
 pub use avgpool::AvgPool2d;
+pub use batch::{forward_batched, BatchedPass};
 pub use checkpoint::{Checkpoint, CheckpointError, CHECKPOINT_VERSION};
 pub use conv2d::Conv2d;
 pub use dropout::Dropout;

@@ -20,6 +20,7 @@ use chiron_tensor::{Init, Tensor, TensorRng};
 /// let y = layer.forward(&Tensor::ones(&[4, 3]), true);
 /// assert_eq!(y.dims(), &[4, 2]);
 /// ```
+#[derive(Clone)]
 pub struct Linear {
     weight: Tensor,
     bias: Tensor,
@@ -110,6 +111,10 @@ impl Layer for Linear {
 
     fn name(&self) -> &'static str {
         "Linear"
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
     }
 }
 

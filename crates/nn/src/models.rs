@@ -115,7 +115,7 @@ pub fn mlp(dims: &[usize], rng: &mut TensorRng) -> Sequential {
 
 /// Flattens `(N, C, H, W)` activations into `(N, C·H·W)` rows between the
 /// convolutional stack and the classifier head.
-#[derive(Default)]
+#[derive(Clone, Default)]
 pub struct Flatten {
     input_dims: Vec<usize>,
 }
@@ -144,6 +144,10 @@ impl crate::Layer for Flatten {
 
     fn name(&self) -> &'static str {
         "Flatten"
+    }
+
+    fn clone_box(&self) -> Box<dyn crate::Layer> {
+        Box::new(self.clone())
     }
 }
 

@@ -19,6 +19,7 @@ use chiron_tensor::{Conv2dGeometry, Tensor};
 /// let y = pool.forward(&Tensor::ones(&[1, 10, 24, 24]), true);
 /// assert_eq!(y.dims(), &[1, 10, 12, 12]);
 /// ```
+#[derive(Clone)]
 pub struct MaxPool2d {
     window: usize,
     geo: Conv2dGeometry,
@@ -114,6 +115,10 @@ impl Layer for MaxPool2d {
 
     fn name(&self) -> &'static str {
         "MaxPool2d"
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
     }
 }
 

@@ -144,6 +144,17 @@ impl Sequential {
     }
 }
 
+impl Clone for Sequential {
+    /// Deep-copies the network — parameters, gradient accumulators, and
+    /// cached forward state — via [`Layer::clone_box`]. The batched
+    /// training passes rely on this to replicate a model per input block.
+    fn clone(&self) -> Self {
+        Self {
+            layers: self.layers.iter().map(|l| l.clone_box()).collect(),
+        }
+    }
+}
+
 impl std::fmt::Debug for Sequential {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(

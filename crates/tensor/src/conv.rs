@@ -7,7 +7,84 @@
 //! gradients back into image layout; together they make conv backprop a pair
 //! of matmuls.
 
-use crate::Tensor;
+use crate::{pool, Tensor};
+
+/// Unrolled rows per parallel `im2col` block. Fixed by the problem size so
+/// the partitioning is identical for every thread count.
+const IM2COL_ROWS_PER_BLOCK: usize = 64;
+
+/// Minimum output elements before the layout transforms dispatch to the
+/// pool; below this the fan-out overhead dominates. A performance gate
+/// only — each element is produced by the same copy either way.
+const PARALLEL_ELEMS_THRESHOLD: usize = 1 << 16;
+
+/// Fills one unrolled receptive-field row (global row index `row`) of the
+/// im2col matrix. Shared by the serial and parallel paths, so both produce
+/// identical bytes.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn im2col_row(
+    x: &[f32],
+    row: usize,
+    c: usize,
+    h: usize,
+    w: usize,
+    geo: &Conv2dGeometry,
+    dst: &mut [f32],
+) {
+    let positions = geo.out_positions();
+    let img = row / positions;
+    let rem = row % positions;
+    let oy = rem / geo.out_w;
+    let ox = rem % geo.out_w;
+    let img_off = img * c * h * w;
+    let iy0 = (oy * geo.stride) as isize - geo.pad as isize;
+    let ix0 = (ox * geo.stride) as isize - geo.pad as isize;
+    let mut idx = 0usize;
+    for ch in 0..c {
+        let ch_off = img_off + ch * h * w;
+        for ky in 0..geo.k_h {
+            let iy = iy0 + ky as isize;
+            for kx in 0..geo.k_w {
+                let ix = ix0 + kx as isize;
+                if iy >= 0 && (iy as usize) < h && ix >= 0 && (ix as usize) < w {
+                    dst[idx] = x[ch_off + iy as usize * w + ix as usize];
+                }
+                idx += 1;
+            }
+        }
+    }
+}
+
+/// Scatter-adds every unrolled row belonging to image `img` back into that
+/// image's `(C, H, W)` slab. Rows are visited in ascending order — the same
+/// accumulation order the image sees on the serial path.
+fn col2im_image(src: &[f32], img: usize, channels: usize, geo: &Conv2dGeometry, slab: &mut [f32]) {
+    let (h, w) = (geo.in_h, geo.in_w);
+    let row_len = channels * geo.k_h * geo.k_w;
+    let positions = geo.out_positions();
+    for p in 0..positions {
+        let row = img * positions + p;
+        let oy = p / geo.out_w;
+        let ox = p % geo.out_w;
+        let iy0 = (oy * geo.stride) as isize - geo.pad as isize;
+        let ix0 = (ox * geo.stride) as isize - geo.pad as isize;
+        let mut idx = row * row_len;
+        for ch in 0..channels {
+            let ch_off = ch * h * w;
+            for ky in 0..geo.k_h {
+                let iy = iy0 + ky as isize;
+                for kx in 0..geo.k_w {
+                    let ix = ix0 + kx as isize;
+                    if iy >= 0 && (iy as usize) < h && ix >= 0 && (ix as usize) < w {
+                        slab[ch_off + iy as usize * w + ix as usize] += src[idx];
+                    }
+                    idx += 1;
+                }
+            }
+        }
+    }
+}
 
 /// Static geometry of a conv/pool window: input size, kernel, stride,
 /// padding, and the derived output size.
@@ -101,30 +178,22 @@ pub fn im2col(input: &Tensor, channels: usize, geo: &Conv2dGeometry) -> Tensor {
     let x = input.as_slice();
     let mut out = vec![0.0f32; rows * row_len];
 
-    let mut row = 0usize;
-    for img in 0..n {
-        let img_off = img * c * h * w;
-        for oy in 0..geo.out_h {
-            for ox in 0..geo.out_w {
-                let base = row * row_len;
-                let iy0 = (oy * geo.stride) as isize - geo.pad as isize;
-                let ix0 = (ox * geo.stride) as isize - geo.pad as isize;
-                let mut idx = base;
-                for ch in 0..c {
-                    let ch_off = img_off + ch * h * w;
-                    for ky in 0..geo.k_h {
-                        let iy = iy0 + ky as isize;
-                        for kx in 0..geo.k_w {
-                            let ix = ix0 + kx as isize;
-                            if iy >= 0 && (iy as usize) < h && ix >= 0 && (ix as usize) < w {
-                                out[idx] = x[ch_off + iy as usize * w + ix as usize];
-                            }
-                            idx += 1;
-                        }
-                    }
-                }
-                row += 1;
+    // Every unrolled row is an independent gather, so rows partition freely
+    // over fixed-size blocks; the per-row copy is shared with the serial
+    // path, making the two bitwise identical.
+    if rows * row_len >= PARALLEL_ELEMS_THRESHOLD
+        && rows > IM2COL_ROWS_PER_BLOCK
+        && pool::threads() > 1
+    {
+        pool::parallel_chunks_mut(&mut out, IM2COL_ROWS_PER_BLOCK * row_len, |block, chunk| {
+            let row0 = block * IM2COL_ROWS_PER_BLOCK;
+            for (r, dst) in chunk.chunks_mut(row_len).enumerate() {
+                im2col_row(x, row0 + r, c, h, w, geo, dst);
             }
+        });
+    } else {
+        for (row, dst) in out.chunks_mut(row_len).enumerate() {
+            im2col_row(x, row, c, h, w, geo, dst);
         }
     }
     Tensor::from_vec(out, &[rows, row_len])
@@ -151,30 +220,18 @@ pub fn col2im(cols: &Tensor, n: usize, channels: usize, geo: &Conv2dGeometry) ->
     let src = cols.as_slice();
     let mut out = vec![0.0f32; n * channels * h * w];
 
-    let mut row = 0usize;
-    for img in 0..n {
-        let img_off = img * channels * h * w;
-        for oy in 0..geo.out_h {
-            for ox in 0..geo.out_w {
-                let base = row * row_len;
-                let iy0 = (oy * geo.stride) as isize - geo.pad as isize;
-                let ix0 = (ox * geo.stride) as isize - geo.pad as isize;
-                let mut idx = base;
-                for ch in 0..channels {
-                    let ch_off = img_off + ch * h * w;
-                    for ky in 0..geo.k_h {
-                        let iy = iy0 + ky as isize;
-                        for kx in 0..geo.k_w {
-                            let ix = ix0 + kx as isize;
-                            if iy >= 0 && (iy as usize) < h && ix >= 0 && (ix as usize) < w {
-                                out[ch_off + iy as usize * w + ix as usize] += src[idx];
-                            }
-                            idx += 1;
-                        }
-                    }
-                }
-                row += 1;
-            }
+    // Overlapping windows scatter-add into the image, so the partition is
+    // per image: rows of different images write disjoint slabs, and within
+    // an image the rows accumulate in the same ascending order the serial
+    // path uses — bitwise identical for every thread count.
+    let slab = channels * h * w;
+    if n > 1 && n * slab >= PARALLEL_ELEMS_THRESHOLD && pool::threads() > 1 {
+        pool::parallel_chunks_mut(&mut out, slab, |img, chunk| {
+            col2im_image(src, img, channels, geo, chunk);
+        });
+    } else {
+        for (img, chunk) in out.chunks_mut(slab).enumerate() {
+            col2im_image(src, img, channels, geo, chunk);
         }
     }
     Tensor::from_vec(out, &[n, channels, h, w])
@@ -269,5 +326,26 @@ mod tests {
     #[should_panic(expected = "larger than padded input")]
     fn oversized_kernel_rejected() {
         let _ = Conv2dGeometry::new(2, 2, 5, 5, 1, 0);
+    }
+
+    #[test]
+    fn layout_transforms_bitwise_identical_across_thread_counts() {
+        use crate::{pool, Init, TensorRng};
+        // A batch big enough to clear the parallel thresholds
+        // (10×3×28×28 → 10·24·24 = 5760 im2col rows of 75).
+        let mut rng = TensorRng::seed_from(21);
+        let x = rng.init(&[10, 3, 28, 28], Init::Normal(1.0));
+        let geo = Conv2dGeometry::new(28, 28, 5, 5, 1, 1);
+        let run = |threads: usize| {
+            pool::set_threads(threads);
+            let cols = im2col(&x, 3, &geo);
+            let back = col2im(&cols, 10, 3, &geo);
+            (cols, back)
+        };
+        let (sc, sb) = run(1);
+        let (pc, pb) = run(4);
+        pool::set_threads(1);
+        assert_eq!(sc.as_slice(), pc.as_slice(), "im2col");
+        assert_eq!(sb.as_slice(), pb.as_slice(), "col2im");
     }
 }

@@ -21,6 +21,7 @@ use rand_distr::{Distribution, Normal, Uniform};
 /// assert_eq!(w.numel(), 16);
 /// assert!(w.as_slice().iter().all(|x| x.abs() <= 1.0));
 /// ```
+#[derive(Clone)]
 pub struct TensorRng {
     rng: ChaCha12Rng,
 }

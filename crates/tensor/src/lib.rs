@@ -31,6 +31,7 @@
 mod conv;
 mod init;
 mod ops;
+pub mod pool;
 mod shape;
 mod tensor;
 

@@ -1,6 +1,62 @@
 //! Linear algebra and reduction operations on [`Tensor`].
 
-use crate::Tensor;
+use crate::{pool, Tensor};
+
+/// Output rows per parallel block. Fixed by the problem size (never by the
+/// thread count) so the partitioning — and therefore every per-element
+/// accumulation order — is identical for every thread count.
+const ROWS_PER_BLOCK: usize = 16;
+
+/// Below this many fused multiply-adds the dispatch overhead beats the
+/// parallel win; run serially. Purely a performance gate: each output
+/// element is computed with the same operation sequence on either path.
+const PARALLEL_FLOP_THRESHOLD: usize = 1 << 16;
+
+/// One output row of `matmul`: `o_row += a_row · b` in ikj order with the
+/// zero-skip. Shared by the serial and parallel paths so they are bitwise
+/// identical by construction.
+#[inline]
+fn matmul_row(a_row: &[f32], b: &[f32], n: usize, o_row: &mut [f32]) {
+    for (kk, &aik) in a_row.iter().enumerate() {
+        if aik == 0.0 {
+            continue;
+        }
+        let b_row = &b[kk * n..(kk + 1) * n];
+        for (o, &bkj) in o_row.iter_mut().zip(b_row) {
+            *o += aik * bkj;
+        }
+    }
+}
+
+/// One output row of `matmul_tn`: accumulates `out[i] += a[kk*m+i] · b[kk]`
+/// over `kk` ascending with the zero-skip — the same per-element order and
+/// skip condition as the cache-friendlier kk-outer serial loop.
+#[inline]
+fn matmul_tn_row(a: &[f32], b: &[f32], k: usize, m: usize, n: usize, i: usize, o_row: &mut [f32]) {
+    for kk in 0..k {
+        let aki = a[kk * m + i];
+        if aki == 0.0 {
+            continue;
+        }
+        let b_row = &b[kk * n..(kk + 1) * n];
+        for (o, &bkj) in o_row.iter_mut().zip(b_row) {
+            *o += aki * bkj;
+        }
+    }
+}
+
+/// One output row of `matmul_nt`: independent dot products.
+#[inline]
+fn matmul_nt_row(a_row: &[f32], b: &[f32], k: usize, o_row: &mut [f32]) {
+    for (j, o) in o_row.iter_mut().enumerate() {
+        let b_row = &b[j * k..(j + 1) * k];
+        let mut acc = 0.0;
+        for (&x, &y) in a_row.iter().zip(b_row) {
+            acc += x * y;
+        }
+        *o = acc;
+    }
+}
 
 impl Tensor {
     /// Matrix product `self (m×k) · rhs (k×n) → (m×n)`.
@@ -20,18 +76,20 @@ impl Tensor {
         let mut out = vec![0.0f32; m * n];
         // ikj loop order keeps the innermost accesses contiguous for both
         // the output row and the rhs row, which matters for the conv im2col
-        // products that dominate CNN training time.
-        for i in 0..m {
-            let a_row = &a[i * k..(i + 1) * k];
-            let o_row = &mut out[i * n..(i + 1) * n];
-            for (kk, &aik) in a_row.iter().enumerate() {
-                if aik == 0.0 {
-                    continue;
+        // products that dominate CNN training time. Large products fan out
+        // over output-row blocks; each row is still computed by the same
+        // kernel, so results are bitwise identical on either path.
+        if m * k * n >= PARALLEL_FLOP_THRESHOLD && m > ROWS_PER_BLOCK && pool::threads() > 1 {
+            pool::parallel_chunks_mut(&mut out, ROWS_PER_BLOCK * n, |block, o_chunk| {
+                let row0 = block * ROWS_PER_BLOCK;
+                for (r, o_row) in o_chunk.chunks_mut(n).enumerate() {
+                    let i = row0 + r;
+                    matmul_row(&a[i * k..(i + 1) * k], b, n, o_row);
                 }
-                let b_row = &b[kk * n..(kk + 1) * n];
-                for (o, &bkj) in o_row.iter_mut().zip(b_row) {
-                    *o += aik * bkj;
-                }
+            });
+        } else {
+            for i in 0..m {
+                matmul_row(&a[i * k..(i + 1) * k], b, n, &mut out[i * n..(i + 1) * n]);
             }
         }
         Tensor::from_vec(out, &[m, n])
@@ -55,16 +113,29 @@ impl Tensor {
         let a = self.as_slice();
         let b = rhs.as_slice();
         let mut out = vec![0.0f32; m * n];
-        for kk in 0..k {
-            let a_row = &a[kk * m..(kk + 1) * m];
-            let b_row = &b[kk * n..(kk + 1) * n];
-            for (i, &aki) in a_row.iter().enumerate() {
-                if aki == 0.0 {
-                    continue;
+        // The serial path walks kk in the outer loop (one pass over `a` and
+        // `b` each); the parallel path computes whole output rows, which
+        // accumulates each element over the same ascending kk sequence with
+        // the same zero-skip — bitwise identical, just a different schedule.
+        if k * m * n >= PARALLEL_FLOP_THRESHOLD && m > ROWS_PER_BLOCK && pool::threads() > 1 {
+            pool::parallel_chunks_mut(&mut out, ROWS_PER_BLOCK * n, |block, o_chunk| {
+                let row0 = block * ROWS_PER_BLOCK;
+                for (r, o_row) in o_chunk.chunks_mut(n).enumerate() {
+                    matmul_tn_row(a, b, k, m, n, row0 + r, o_row);
                 }
-                let o_row = &mut out[i * n..(i + 1) * n];
-                for (o, &bkj) in o_row.iter_mut().zip(b_row) {
-                    *o += aki * bkj;
+            });
+        } else {
+            for kk in 0..k {
+                let a_row = &a[kk * m..(kk + 1) * m];
+                let b_row = &b[kk * n..(kk + 1) * n];
+                for (i, &aki) in a_row.iter().enumerate() {
+                    if aki == 0.0 {
+                        continue;
+                    }
+                    let o_row = &mut out[i * n..(i + 1) * n];
+                    for (o, &bkj) in o_row.iter_mut().zip(b_row) {
+                        *o += aki * bkj;
+                    }
                 }
             }
         }
@@ -88,15 +159,17 @@ impl Tensor {
         let a = self.as_slice();
         let b = rhs.as_slice();
         let mut out = vec![0.0f32; m * n];
-        for i in 0..m {
-            let a_row = &a[i * k..(i + 1) * k];
-            for j in 0..n {
-                let b_row = &b[j * k..(j + 1) * k];
-                let mut acc = 0.0;
-                for (&x, &y) in a_row.iter().zip(b_row) {
-                    acc += x * y;
+        if m * k * n >= PARALLEL_FLOP_THRESHOLD && m > ROWS_PER_BLOCK && pool::threads() > 1 {
+            pool::parallel_chunks_mut(&mut out, ROWS_PER_BLOCK * n, |block, o_chunk| {
+                let row0 = block * ROWS_PER_BLOCK;
+                for (r, o_row) in o_chunk.chunks_mut(n).enumerate() {
+                    let i = row0 + r;
+                    matmul_nt_row(&a[i * k..(i + 1) * k], b, k, o_row);
                 }
-                out[i * n + j] = acc;
+            });
+        } else {
+            for i in 0..m {
+                matmul_nt_row(&a[i * k..(i + 1) * k], b, k, &mut out[i * n..(i + 1) * n]);
             }
         }
         Tensor::from_vec(out, &[m, n])
@@ -369,5 +442,27 @@ mod tests {
         let a = Tensor::zeros(&[2, 3]);
         let b = Tensor::zeros(&[2, 3]);
         let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn matmuls_are_bitwise_identical_across_thread_counts() {
+        use crate::{pool, Init, TensorRng};
+        // Big enough to clear the parallel threshold on every variant.
+        let mut rng = TensorRng::seed_from(7);
+        let a = rng.init(&[96, 80], Init::Normal(1.0));
+        let b = rng.init(&[80, 64], Init::Normal(1.0));
+        let bt = b.transpose();
+        let run = |threads: usize| {
+            pool::set_threads(threads);
+            (a.matmul(&b), a.transpose().matmul_tn(&b), a.matmul_nt(&bt))
+        };
+        let (s1, s2, s3) = run(1);
+        let (p1, p2, p3) = run(4);
+        pool::set_threads(1);
+        assert_eq!(s1.as_slice(), p1.as_slice(), "matmul");
+        assert_eq!(s2.as_slice(), p2.as_slice(), "matmul_tn");
+        assert_eq!(s3.as_slice(), p3.as_slice(), "matmul_nt");
+        // And the parallel path agrees with the reference computation.
+        assert_eq!(s2.as_slice(), s1.as_slice(), "tn reference");
     }
 }

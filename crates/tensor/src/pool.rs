@@ -1,0 +1,443 @@
+//! Shared deterministic worker pool — the parallel compute backend behind
+//! the tensor hot paths (matmul, im2col/col2im) and the batched training
+//! passes in `chiron-nn` / `chiron-drl`.
+//!
+//! # Design
+//!
+//! One process-wide pool of persistent `std::thread` workers fed through a
+//! `crossbeam` MPMC channel. Work is expressed as a fixed number of
+//! *blocks*; workers (plus the calling thread) pull block indices from an
+//! atomic dispenser until none remain. Two properties make every result
+//! **bitwise identical regardless of thread count**:
+//!
+//! 1. **Fixed partitioning.** Blocks are defined by the problem size alone
+//!    (e.g. "16 output rows per block"), never by the number of threads.
+//! 2. **No shared accumulation.** Each block writes a disjoint output
+//!    region, and per-block partial results are reduced by the caller in
+//!    block-index order. Nothing is ever accumulated atomically.
+//!
+//! Because each output element is computed by exactly one block with a
+//! fixed sequence of floating-point operations, scheduling cannot perturb
+//! results — the serial path and any parallel schedule agree bit-for-bit.
+//!
+//! # Thread count
+//!
+//! The initial thread count comes from the `CHIRON_THREADS` environment
+//! variable (default: available parallelism; `1` selects the serial path).
+//! [`set_threads`] adjusts it at runtime, which the benchmarks and the
+//! determinism tests use to compare serial and parallel execution within
+//! one process.
+//!
+//! Nested parallelism is suppressed: a task already running on a pool
+//! worker executes inner `parallel_for` calls inline. This cannot change
+//! results (see above) and prevents pool-wide deadlock.
+//!
+//! # Examples
+//!
+//! ```
+//! use chiron_tensor::pool;
+//!
+//! let mut out = vec![0.0f32; 1000];
+//! pool::parallel_chunks_mut(&mut out, 100, |block, chunk| {
+//!     for (i, v) in chunk.iter_mut().enumerate() {
+//!         *v = (block * 100 + i) as f32;
+//!     }
+//! });
+//! assert_eq!(out[999], 999.0);
+//! ```
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+/// Upper bound on the configurable thread count.
+pub const MAX_THREADS: usize = 64;
+
+/// Countdown latch: `wait` returns once `count_down` has been called the
+/// configured number of times.
+struct Latch {
+    remaining: Mutex<usize>,
+    zero: Condvar,
+}
+
+impl Latch {
+    fn new(count: usize) -> Self {
+        Self {
+            remaining: Mutex::new(count),
+            zero: Condvar::new(),
+        }
+    }
+
+    fn count_down(&self) {
+        let mut r = self.remaining.lock().expect("latch lock");
+        *r -= 1;
+        if *r == 0 {
+            self.zero.notify_all();
+        }
+    }
+
+    fn wait(&self) {
+        let mut r = self.remaining.lock().expect("latch lock");
+        while *r > 0 {
+            r = self.zero.wait(r).expect("latch wait");
+        }
+    }
+}
+
+/// One parallel region. Every copy sent to the channel is consumed by some
+/// worker, which drains the block dispenser and then counts the latch down,
+/// so the caller's `task` reference provably outlives all uses.
+#[derive(Clone)]
+struct Job {
+    task: &'static (dyn Fn(usize) + Sync),
+    next: Arc<AtomicUsize>,
+    blocks: usize,
+    latch: Arc<Latch>,
+    panicked: Arc<AtomicBool>,
+}
+
+fn drain_dispenser(job: &Job) {
+    loop {
+        let b = job.next.fetch_add(1, Ordering::Relaxed);
+        if b >= job.blocks {
+            break;
+        }
+        (job.task)(b);
+    }
+}
+
+struct Pool {
+    tx: Sender<Job>,
+    rx: Receiver<Job>,
+    active: AtomicUsize,
+    spawned: Mutex<usize>,
+}
+
+thread_local! {
+    /// Set on pool workers for their whole lifetime: inner parallel
+    /// regions run inline instead of re-entering the pool.
+    static ON_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Initial thread count: `CHIRON_THREADS` if set to a positive integer,
+/// otherwise the machine's available parallelism.
+fn env_threads() -> usize {
+    std::env::var("CHIRON_THREADS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(default_threads)
+        .clamp(1, MAX_THREADS)
+}
+
+impl Pool {
+    fn global() -> &'static Pool {
+        static POOL: OnceLock<Pool> = OnceLock::new();
+        POOL.get_or_init(|| {
+            let (tx, rx) = unbounded();
+            Pool {
+                tx,
+                rx,
+                active: AtomicUsize::new(env_threads()),
+                spawned: Mutex::new(0),
+            }
+        })
+    }
+
+    /// Lazily brings the number of live workers up to `needed` (the
+    /// calling thread always acts as one extra worker, so `threads() - 1`
+    /// spawned workers suffice).
+    fn ensure_workers(&self, needed: usize) {
+        let needed = needed.min(MAX_THREADS - 1);
+        let mut spawned = self.spawned.lock().expect("pool spawn lock");
+        while *spawned < needed {
+            let rx = self.rx.clone();
+            std::thread::Builder::new()
+                .name(format!("chiron-pool-{spawned}"))
+                .spawn(move || {
+                    ON_WORKER.with(|f| f.set(true));
+                    while let Ok(job) = rx.recv() {
+                        let outcome = catch_unwind(AssertUnwindSafe(|| drain_dispenser(&job)));
+                        if outcome.is_err() {
+                            job.panicked.store(true, Ordering::SeqCst);
+                        }
+                        job.latch.count_down();
+                    }
+                })
+                .expect("spawn chiron-pool worker");
+            *spawned += 1;
+        }
+    }
+}
+
+/// The current target thread count (1 = serial).
+pub fn threads() -> usize {
+    Pool::global().active.load(Ordering::Relaxed)
+}
+
+/// Sets the target thread count at runtime, clamped to
+/// `[1, MAX_THREADS]`. `1` routes everything through the serial path.
+///
+/// This is process-global; the benchmarks and determinism tests use it to
+/// compare serial and parallel execution without re-launching.
+pub fn set_threads(n: usize) {
+    let pool = Pool::global();
+    let n = n.clamp(1, MAX_THREADS);
+    pool.active.store(n, Ordering::Relaxed);
+    pool.ensure_workers(n.saturating_sub(1));
+}
+
+/// Runs `task(block)` for every `block` in `0..blocks`, fanning out across
+/// the pool. Returns after every block has completed. Runs inline when the
+/// pool is serial, the region is trivial, or the caller is itself a pool
+/// worker (nested region).
+///
+/// Determinism contract: `task` must write only block-`b`-owned data when
+/// invoked with `b`. Under that contract the results are bitwise identical
+/// for every thread count, including 1.
+///
+/// # Panics
+///
+/// Propagates a panic from `task` (after all blocks finished or were
+/// abandoned).
+pub fn parallel_for<F: Fn(usize) + Sync>(blocks: usize, task: F) {
+    if blocks == 0 {
+        return;
+    }
+    let pool = Pool::global();
+    let helpers = pool
+        .active
+        .load(Ordering::Relaxed)
+        .min(blocks)
+        .saturating_sub(1);
+    if helpers == 0 || ON_WORKER.with(|f| f.get()) {
+        for b in 0..blocks {
+            task(b);
+        }
+        return;
+    }
+    pool.ensure_workers(helpers);
+
+    let task_ref: &(dyn Fn(usize) + Sync) = &task;
+    // SAFETY: the latch counts one count_down per job copy sent, and
+    // `wait` below does not return until every copy has been consumed and
+    // its dispenser drain finished. `task` therefore outlives every use of
+    // the transmuted reference.
+    let task_static: &'static (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(task_ref) };
+    let job = Job {
+        task: task_static,
+        next: Arc::new(AtomicUsize::new(0)),
+        blocks,
+        latch: Arc::new(Latch::new(helpers)),
+        panicked: Arc::new(AtomicBool::new(false)),
+    };
+    for _ in 0..helpers {
+        assert!(
+            pool.tx.send(job.clone()).is_ok(),
+            "pool channel closed unexpectedly"
+        );
+    }
+    // The calling thread participates instead of blocking idle.
+    let own = catch_unwind(AssertUnwindSafe(|| drain_dispenser(&job)));
+    job.latch.wait();
+    if let Err(payload) = own {
+        resume_unwind(payload);
+    }
+    assert!(
+        !job.panicked.load(Ordering::SeqCst),
+        "chiron-tensor pool: a worker panicked inside a parallel task"
+    );
+}
+
+/// A raw pointer that may cross threads. Soundness is established per use
+/// site: every block touches a disjoint region and the region outlives the
+/// parallel call.
+struct SendPtr<T>(*mut T);
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+
+impl<T> SendPtr<T> {
+    // Accessed through a method so closures capture the `SendPtr` itself
+    // (which is Sync) rather than the raw-pointer field (which is not).
+    fn get(&self) -> *mut T {
+        self.0
+    }
+}
+
+/// Splits `out` into consecutive chunks of `chunk_len` elements (the last
+/// may be shorter), runs `f(block_index, chunk)` for each in parallel, and
+/// returns the per-block results **in block order** — the caller reduces
+/// them sequentially, which keeps reductions deterministic.
+///
+/// # Panics
+///
+/// Panics if `chunk_len == 0`, or propagates a panic from `f`.
+pub fn parallel_chunks_map<T, R, F>(out: &mut [T], chunk_len: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, &mut [T]) -> R + Sync,
+{
+    assert!(chunk_len > 0, "chunk_len must be positive");
+    let len = out.len();
+    let blocks = len.div_ceil(chunk_len);
+    let mut results: Vec<Option<R>> = (0..blocks).map(|_| None).collect();
+    let out_ptr = SendPtr(out.as_mut_ptr());
+    let res_ptr = SendPtr(results.as_mut_ptr());
+    parallel_for(blocks, |b| {
+        let start = b * chunk_len;
+        let end = (start + chunk_len).min(len);
+        // SAFETY: block `b` exclusively owns chunk `b` of `out` and slot
+        // `b` of `results`; both outlive the parallel_for call, which does
+        // not return before every block completes.
+        unsafe {
+            let chunk = std::slice::from_raw_parts_mut(out_ptr.get().add(start), end - start);
+            *res_ptr.get().add(b) = Some(f(b, chunk));
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("every block ran"))
+        .collect()
+}
+
+/// [`parallel_chunks_map`] without per-block results.
+pub fn parallel_chunks_mut<T, F>(out: &mut [T], chunk_len: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let _ = parallel_chunks_map(out, chunk_len, |b, chunk| f(b, chunk));
+}
+
+/// Partitions `0..items` into fixed blocks of `block_len` indices, computes
+/// `f(range)` per block in parallel, and sums the partial results **in
+/// block-index order**. The sum is deterministic for every thread count
+/// (but differs from a single left-to-right sum once `items > block_len`;
+/// callers that need the exact serial rounding should sum serially).
+///
+/// # Panics
+///
+/// Panics if `block_len == 0`, or propagates a panic from `f`.
+pub fn parallel_block_sum<F>(items: usize, block_len: usize, f: F) -> f64
+where
+    F: Fn(std::ops::Range<usize>) -> f64 + Sync,
+{
+    assert!(block_len > 0, "block_len must be positive");
+    let blocks = items.div_ceil(block_len);
+    let mut partials = vec![0.0f64; blocks];
+    let items_end = items;
+    parallel_chunks_mut(&mut partials, 1, |b, slot| {
+        let start = b * block_len;
+        let end = (start + block_len).min(items_end);
+        slot[0] = f(start..end);
+    });
+    partials.iter().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_for_covers_every_block_once() {
+        set_threads(4);
+        let hits: Vec<AtomicUsize> = (0..97).map(|_| AtomicUsize::new(0)).collect();
+        parallel_for(97, |b| {
+            hits[b].fetch_add(1, Ordering::SeqCst);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::SeqCst) == 1));
+    }
+
+    #[test]
+    fn chunks_are_disjoint_and_ordered() {
+        set_threads(4);
+        let mut out = vec![0u32; 1003];
+        parallel_chunks_mut(&mut out, 100, |b, chunk| {
+            for (i, v) in chunk.iter_mut().enumerate() {
+                *v = (b * 100 + i) as u32;
+            }
+        });
+        for (i, &v) in out.iter().enumerate() {
+            assert_eq!(v as usize, i);
+        }
+    }
+
+    #[test]
+    fn results_identical_across_thread_counts() {
+        let run = |t: usize| -> Vec<f32> {
+            set_threads(t);
+            let mut out = vec![0.0f32; 513];
+            parallel_chunks_mut(&mut out, 64, |b, chunk| {
+                for (i, v) in chunk.iter_mut().enumerate() {
+                    // A rounding-sensitive computation.
+                    *v = ((b * 64 + i) as f32 * 0.1).sin() / 3.0;
+                }
+            });
+            out
+        };
+        let serial = run(1);
+        let parallel = run(4);
+        set_threads(1);
+        assert_eq!(serial, parallel, "bitwise identity across thread counts");
+    }
+
+    #[test]
+    fn block_sum_reduces_in_index_order() {
+        set_threads(4);
+        let s = parallel_block_sum(1000, 37, |r| r.map(|i| i as f64).sum());
+        set_threads(1);
+        assert_eq!(s, (0..1000).map(|i| i as f64).sum::<f64>());
+    }
+
+    #[test]
+    fn nested_regions_run_inline() {
+        set_threads(4);
+        let mut out = vec![0.0f32; 64];
+        parallel_chunks_mut(&mut out, 8, |b, chunk| {
+            // Inner region from (possibly) a worker thread must not
+            // deadlock and must behave identically.
+            let mut inner = vec![0.0f32; 8];
+            parallel_chunks_mut(&mut inner, 2, |ib, ic| {
+                for (i, v) in ic.iter_mut().enumerate() {
+                    *v = (ib * 2 + i) as f32;
+                }
+            });
+            for (v, iv) in chunk.iter_mut().zip(&inner) {
+                *v = b as f32 * 100.0 + iv;
+            }
+        });
+        assert_eq!(out[9], 101.0);
+        set_threads(1);
+    }
+
+    #[test]
+    fn panics_propagate_to_caller() {
+        set_threads(2);
+        let outcome = std::panic::catch_unwind(|| {
+            parallel_for(8, |b| {
+                assert!(b < 4, "boom at block {b}");
+            });
+        });
+        assert!(outcome.is_err());
+        // The pool must still be usable afterwards.
+        let mut out = vec![0.0f32; 16];
+        parallel_chunks_mut(&mut out, 4, |b, c| c.iter_mut().for_each(|v| *v = b as f32));
+        assert_eq!(out[15], 3.0);
+        set_threads(1);
+    }
+
+    #[test]
+    fn env_parsing_clamps_and_defaults() {
+        assert!(env_threads() >= 1);
+        assert!(env_threads() <= MAX_THREADS);
+    }
+}

@@ -58,8 +58,11 @@ fn curve_and_training_oracles_agree_qualitatively() {
     let mut curve = CurveOracle::new(spec.curve, 0.0, 0);
     let curve_trace = run_oracle(&mut curve, 4, 8);
 
+    // Gentler local updates than the learning test above: at σ = 2 and
+    // lr = 0.05 the tiny task saturates inside the very first round, and a
+    // flat trace cannot exhibit the qualitative shape this test compares.
     let model = small_classifier(&spec, 48, 2);
-    let mut real = TrainingOracle::new(&spec, model, 4, 320, 2, 16, 0.05, 9);
+    let mut real = TrainingOracle::new(&spec, model, 4, 320, 1, 32, 0.02, 9);
     let real_trace = run_oracle(&mut real, 4, 8);
 
     // Both traces rise overall…

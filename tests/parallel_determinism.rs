@@ -1,0 +1,83 @@
+//! Cross-thread-count determinism: every parallel hot path must produce
+//! bitwise-identical results whether the pool runs 1 thread or 4.
+//!
+//! The parallel backend guarantees this by construction — fixed row-block
+//! partitions and index-ordered reductions, never thread-count-dependent
+//! splits or atomic accumulation — and these tests are the workspace-level
+//! proof. All tests drive the thread count through
+//! [`chiron_tensor::pool::set_threads`] (not the `CHIRON_THREADS` env var,
+//! which is read once per process and would race across tests).
+
+use chiron_drl::{PpoAgent, PpoConfig, RolloutBuffer};
+use chiron_tensor::{im2col, pool, Conv2dGeometry, Init, TensorRng};
+
+/// Runs `f` at 1 and at 4 threads, restoring the serial default after.
+fn at_thread_counts<T>(f: impl Fn() -> T) -> (T, T) {
+    pool::set_threads(1);
+    let serial = f();
+    pool::set_threads(4);
+    let parallel = f();
+    pool::set_threads(1);
+    (serial, parallel)
+}
+
+#[test]
+fn matmul_outputs_are_bitwise_identical() {
+    let mut rng = TensorRng::seed_from(11);
+    let a = rng.init(&[128, 96], Init::Normal(1.0));
+    let b = rng.init(&[96, 72], Init::Normal(1.0));
+    let (s, p) = at_thread_counts(|| {
+        (
+            a.matmul(&b),
+            a.transpose().matmul_tn(&b),
+            a.matmul_nt(&b.transpose()),
+        )
+    });
+    assert_eq!(s.0.as_slice(), p.0.as_slice(), "matmul");
+    assert_eq!(s.1.as_slice(), p.1.as_slice(), "matmul_tn");
+    assert_eq!(s.2.as_slice(), p.2.as_slice(), "matmul_nt");
+}
+
+#[test]
+fn conv_layout_transforms_are_bitwise_identical() {
+    let mut rng = TensorRng::seed_from(12);
+    let x = rng.init(&[10, 3, 28, 28], Init::Normal(1.0));
+    let geo = Conv2dGeometry::new(28, 28, 5, 5, 1, 0);
+    let (s, p) = at_thread_counts(|| {
+        let cols = im2col(&x, 3, &geo);
+        let back = chiron_tensor::col2im(&cols, 10, 3, &geo);
+        (cols, back)
+    });
+    assert_eq!(s.0.as_slice(), p.0.as_slice(), "im2col");
+    assert_eq!(s.1.as_slice(), p.1.as_slice(), "col2im");
+}
+
+/// One scripted PPO rollout + update, returning the reported losses and a
+/// deterministic evaluation action.
+fn ppo_round_trip() -> (f64, f64, Vec<f64>) {
+    let mut agent = PpoAgent::new(6, 2, &[64, 64], PpoConfig::default(), 77);
+    let mut buffer = RolloutBuffer::new();
+    let mut probe = TensorRng::seed_from(123);
+    for t in 0..30 {
+        let state: Vec<f64> = (0..6).map(|_| probe.uniform(-1.0, 1.0)).collect();
+        let (action, log_prob) = agent.act(&state);
+        let value = agent.value(&state);
+        let reward = state.iter().sum::<f64>() - action.iter().sum::<f64>().abs();
+        buffer.push(&state, &action, log_prob, reward, value, t == 29);
+    }
+    let (actor_loss, critic_loss) = agent.update(&mut buffer);
+    let eval_state = vec![0.25, -0.5, 0.75, 0.0, -0.25, 0.5];
+    (
+        actor_loss,
+        critic_loss,
+        agent.act_deterministic(&eval_state),
+    )
+}
+
+#[test]
+fn ppo_update_losses_and_actions_are_identical() {
+    let (s, p) = at_thread_counts(ppo_round_trip);
+    assert_eq!(s.0, p.0, "actor loss");
+    assert_eq!(s.1, p.1, "critic loss");
+    assert_eq!(s.2, p.2, "deterministic action after update");
+}

@@ -1,0 +1,226 @@
+//! Offline stand-in for `criterion`: the macro/API surface the workspace's
+//! benches use (`criterion_group!` / `criterion_main!`, `benchmark_group`,
+//! `sample_size`, `bench_function`, `Bencher::iter`) over a simple
+//! wall-clock harness.
+//!
+//! Each benchmark is calibrated so a sample takes a few milliseconds, then
+//! timed for `sample_size` samples; mean ± standard deviation and the best
+//! sample are printed per benchmark. No plots, no statistics beyond that —
+//! enough to compare configurations (e.g. serial vs parallel backends)
+//! without registry access.
+
+use std::time::{Duration, Instant};
+
+/// Minimum time one measured sample should take after calibration.
+const TARGET_SAMPLE_TIME: Duration = Duration::from_millis(5);
+
+/// Entry point handed to benchmark functions by [`criterion_group!`].
+#[derive(Default)]
+pub struct Criterion {
+    /// Substring filter from the command line (cargo bench passes trailing
+    /// free arguments through).
+    filter: Option<String>,
+}
+
+impl Criterion {
+    /// Builds a `Criterion` honoring a substring filter from `argv` (flags
+    /// such as `--bench` that cargo adds are ignored).
+    pub fn from_args() -> Self {
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion { filter }
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("benchmark group: {name}");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            sample_size: 10,
+        }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_benchmark(self, &id, 10, f);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing a sample count.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of measured samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Measures one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into());
+        run_benchmark(self.criterion, &id, self.sample_size, f);
+        self
+    }
+
+    /// Ends the group (kept for API parity; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`] with the code
+/// under test.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` back-to-back executions of `routine`.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_benchmark<F>(criterion: &Criterion, id: &str, sample_size: usize, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    if let Some(filter) = &criterion.filter {
+        if !id.contains(filter.as_str()) {
+            return;
+        }
+    }
+
+    // Calibrate: grow the per-sample iteration count until one sample
+    // reaches the target time (or a single iteration already exceeds it).
+    let mut iters: u64 = 1;
+    loop {
+        let mut bencher = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher);
+        if bencher.elapsed >= TARGET_SAMPLE_TIME || iters >= 1 << 20 {
+            break;
+        }
+        iters = iters.saturating_mul(2);
+    }
+
+    let mut per_iter: Vec<f64> = Vec::with_capacity(sample_size);
+    for _ in 0..sample_size {
+        let mut bencher = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher);
+        per_iter.push(bencher.elapsed.as_secs_f64() / iters as f64);
+    }
+
+    let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+    let var = per_iter
+        .iter()
+        .map(|x| (x - mean) * (x - mean))
+        .sum::<f64>()
+        / per_iter.len() as f64;
+    let best = per_iter.iter().copied().fold(f64::INFINITY, f64::min);
+    println!(
+        "  {id:<44} time: {} ± {} (best {}, {} samples × {} iters)",
+        format_time(mean),
+        format_time(var.sqrt()),
+        format_time(best),
+        sample_size,
+        iters,
+    );
+}
+
+fn format_time(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.3} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.3} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.3} µs", seconds * 1e6)
+    } else {
+        format!("{:.1} ns", seconds * 1e9)
+    }
+}
+
+/// Bundles benchmark functions into a runnable group, as upstream does.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Expands to `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(3);
+        let mut runs = 0u64;
+        group.bench_function("counting", |b| {
+            b.iter(|| {
+                runs += 1;
+                std::hint::black_box(runs)
+            })
+        });
+        group.finish();
+        assert!(runs > 0, "the routine must actually have run");
+    }
+
+    #[test]
+    fn filtering_skips_non_matching() {
+        let mut c = Criterion {
+            filter: Some("matches_nothing_at_all".to_string()),
+        };
+        let mut ran = false;
+        c.bench_function("skipped", |b| {
+            b.iter(|| ran = true);
+        });
+        assert!(!ran, "filtered benchmark must not run");
+    }
+
+    #[test]
+    fn time_formatting_picks_sane_units() {
+        assert_eq!(format_time(2.5), "2.500 s");
+        assert_eq!(format_time(0.0025), "2.500 ms");
+        assert_eq!(format_time(2.5e-6), "2.500 µs");
+        assert_eq!(format_time(2.5e-9), "2.5 ns");
+    }
+}

@@ -1,0 +1,201 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Supports the exact surface this workspace uses: the [`proptest!`] macro
+//! (with an optional `#![proptest_config(...)]` header), range and tuple
+//! strategies, `prop_map` / `prop_flat_map`, `collection::vec`, and the
+//! `prop_assert!` / `prop_assert_eq!` / `prop_assume!` macros.
+//!
+//! Differences from upstream, by design:
+//! - **No shrinking.** A failure reports the case seed; re-running is
+//!   deterministic, and the seed is appended to the crate's
+//!   `proptest-regressions/<file>.txt` so the case re-runs first forever.
+//! - **Deterministic scheduling.** Case seeds derive from the test's full
+//!   path, so runs are reproducible without any environment setup.
+//! - Checked-in regression files (including ones written by upstream
+//!   proptest) are re-run first: each `cc <hex>` entry is folded to a seed.
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod collection {
+    //! Strategies for collections.
+
+    use crate::strategy::{SizeRange, Strategy, VecStrategy};
+
+    /// Strategy for a `Vec` whose elements come from `element` and whose
+    /// length is drawn from `size` (an exact `usize` or a `Range<usize>`).
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy::new(element, size.into())
+    }
+}
+
+pub mod prelude {
+    //! Glob-import surface mirroring `proptest::prelude::*`.
+
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+}
+
+/// Defines property tests. Each `#[test] fn name(pat in strategy, ...)`
+/// item becomes a regular `#[test]` that runs the body over generated
+/// inputs; an optional leading `#![proptest_config(expr)]` overrides the
+/// per-test case count.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::Config::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    // The user's `#[test]` attribute is captured inside the `$meta`
+    // repetition (matching it literally would be ambiguous) and re-emitted
+    // with any doc comments onto the generated zero-argument fn.
+    (($config:expr); $($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::Config = $config;
+                $crate::test_runner::run(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    env!("CARGO_MANIFEST_DIR"),
+                    &__config,
+                    |__rng| {
+                        let ($($pat,)+) = $crate::strategy::Strategy::generate(
+                            &($($strat,)+),
+                            __rng,
+                        );
+                        $body
+                        #[allow(unreachable_code)]
+                        ::core::result::Result::Ok(())
+                    },
+                );
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property test; on failure the case seed is
+/// recorded and the test aborts with the message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::Fail(::std::format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{:?}` != `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(left == right, $($fmt)*);
+    }};
+}
+
+/// Discards the current case (it counts as neither pass nor failure) when
+/// the precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                ::std::string::String::from(stringify!($cond)),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_and_tuples(x in 3usize..10, y in -2.0f64..2.0, flag in 0u64..2) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&y));
+            prop_assert!(flag < 2);
+        }
+
+        /// Doc comments on property tests are accepted.
+        #[test]
+        fn vec_strategy_sizes(v in crate::collection::vec(0.0f32..1.0, 1..17)) {
+            prop_assert!(!v.is_empty() && v.len() < 17);
+            prop_assert!(v.iter().all(|&x| (0.0..1.0).contains(&x)));
+        }
+
+        #[test]
+        fn exact_vec_size(v in crate::collection::vec(0u64..5, 6)) {
+            prop_assert_eq!(v.len(), 6);
+        }
+
+        #[test]
+        fn flat_map_threads_values(
+            (m, n, v) in (1usize..5, 1usize..5).prop_flat_map(|(m, n)| {
+                crate::collection::vec(0.0f32..1.0, m * n).prop_map(move |v| (m, n, v))
+            })
+        ) {
+            prop_assert_eq!(v.len(), m * n);
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(a in 0usize..100) {
+            prop_assume!(a % 2 == 0);
+            prop_assert!(a % 2 == 0);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        use crate::strategy::Strategy;
+        let strat = (0u64..1000, 0.0f64..1.0);
+        let a: Vec<(u64, f64)> = (0..10)
+            .map(|i| strat.generate(&mut crate::test_runner::TestRng::new(i)))
+            .collect();
+        let b: Vec<(u64, f64)> = (0..10)
+            .map(|i| strat.generate(&mut crate::test_runner::TestRng::new(i)))
+            .collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn regression_hex_folds_to_stable_seed() {
+        let direct = crate::test_runner::seed_from_hex("00000000deadbeef");
+        assert_eq!(direct, Some(0xdead_beef));
+        let folded = crate::test_runner::seed_from_hex(
+            "8a5944d2e9f0000000000000000000000000000000000000000000000000abcd",
+        );
+        assert!(folded.is_some());
+        assert_eq!(
+            folded,
+            crate::test_runner::seed_from_hex(
+                "8a5944d2e9f0000000000000000000000000000000000000000000000000abcd",
+            )
+        );
+    }
+}

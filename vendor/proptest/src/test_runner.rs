@@ -1,0 +1,193 @@
+//! The case-running loop: deterministic seeding, regression-file replay
+//! and append-on-failure.
+
+use std::io::Write as _;
+use std::path::PathBuf;
+
+/// Per-test configuration; only the case count is tunable, mirroring the
+/// single knob this workspace uses (`ProptestConfig::with_cases`).
+#[derive(Clone, Copy, Debug)]
+pub struct Config {
+    /// Number of passing cases required.
+    pub cases: u32,
+}
+
+impl Config {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Config { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        // Upstream defaults to 256; 64 keeps the offline suite fast while
+        // still exercising each property broadly.
+        Config { cases: 64 }
+    }
+}
+
+/// Why a case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// A `prop_assert!` failed: the test fails and the seed is recorded.
+    Fail(String),
+    /// A `prop_assume!` rejected the inputs: the case is discarded.
+    Reject(String),
+}
+
+/// SplitMix64 generator — statistically fine for test-input generation and
+/// trivially reproducible from a printed seed.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds the stream.
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from `[0, 1)` with 53 bits of precision.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// Converts a regression-file hex token to a case seed. Tokens of 16 hex
+/// digits or fewer (this stand-in's own format) parse directly; longer
+/// tokens (upstream proptest's 256-bit seeds) are folded with FNV-1a so
+/// they stay valid, stable entries.
+pub fn seed_from_hex(token: &str) -> Option<u64> {
+    if token.is_empty() || !token.bytes().all(|b| b.is_ascii_hexdigit()) {
+        return None;
+    }
+    if token.len() <= 16 {
+        u64::from_str_radix(token, 16).ok()
+    } else {
+        Some(fnv1a(token.as_bytes()))
+    }
+}
+
+/// `<crate>/proptest-regressions/<source file stem>.txt`, mirroring where
+/// upstream proptest stores seeds. The stem is the test's parent module
+/// (`crate::proptests::case` → `proptests.txt`).
+fn regression_path(manifest_dir: &str, test_path: &str) -> Option<PathBuf> {
+    let mut segments: Vec<&str> = test_path.split("::").collect();
+    segments.pop()?; // test fn name
+    let stem = segments.pop()?;
+    Some(
+        PathBuf::from(manifest_dir)
+            .join("proptest-regressions")
+            .join(format!("{stem}.txt")),
+    )
+}
+
+fn stored_seeds(manifest_dir: &str, test_path: &str) -> Vec<u64> {
+    let Some(path) = regression_path(manifest_dir, test_path) else {
+        return Vec::new();
+    };
+    let Ok(contents) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    contents
+        .lines()
+        .filter_map(|line| {
+            let rest = line.trim().strip_prefix("cc ")?;
+            let token = rest.split_whitespace().next()?;
+            seed_from_hex(token)
+        })
+        .collect()
+}
+
+fn record_failure(manifest_dir: &str, test_path: &str, seed: u64) {
+    let Some(path) = regression_path(manifest_dir, test_path) else {
+        return;
+    };
+    // Best effort: a read-only checkout must not turn one failure into two.
+    if let Some(parent) = path.parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    let fresh = !path.exists();
+    if let Ok(mut file) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+    {
+        if fresh {
+            let _ = writeln!(
+                file,
+                "# Seeds for failure cases. It is recommended to check this file in to\n\
+                 # source control so that everyone who runs the test benefits from them."
+            );
+        }
+        let _ = writeln!(
+            file,
+            "cc {seed:016x} # seed recorded by the offline proptest stand-in"
+        );
+    }
+}
+
+/// Runs the property `f` for `config.cases` passing cases, replaying any
+/// checked-in regression seeds first. Panics (failing the enclosing
+/// `#[test]`) on the first `Fail`, after appending the seed to the
+/// regression file.
+pub fn run<F>(test_path: &str, manifest_dir: &str, config: &Config, f: F)
+where
+    F: Fn(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    for seed in stored_seeds(manifest_dir, test_path) {
+        match f(&mut TestRng::new(seed)) {
+            Ok(()) | Err(TestCaseError::Reject(_)) => {}
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("{test_path}: stored regression seed {seed:#018x} still fails: {msg}")
+            }
+        }
+    }
+
+    let base = fnv1a(test_path.as_bytes());
+    let mut passed: u32 = 0;
+    let mut attempt: u64 = 0;
+    let max_attempts = (config.cases as u64).saturating_mul(20).max(1000);
+    while passed < config.cases {
+        if attempt >= max_attempts {
+            panic!(
+                "{test_path}: gave up after {attempt} attempts with only {passed}/{} \
+                 passing cases — prop_assume! rejects too much",
+                config.cases
+            );
+        }
+        let seed = TestRng::new(base ^ attempt).next_u64();
+        attempt += 1;
+        match f(&mut TestRng::new(seed)) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject(_)) => {}
+            Err(TestCaseError::Fail(msg)) => {
+                record_failure(manifest_dir, test_path, seed);
+                panic!(
+                    "{test_path}: case {passed} (seed {seed:#018x}) failed: {msg}\n\
+                     seed appended to proptest-regressions/ for replay"
+                );
+            }
+        }
+    }
+}

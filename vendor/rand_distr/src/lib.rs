@@ -1,0 +1,247 @@
+//! Offline stand-in for `rand_distr`: exactly the distributions this
+//! workspace samples — [`Uniform`], [`Normal`] and [`Dirichlet`] — behind
+//! the same `Distribution` trait shape as upstream.
+//!
+//! Sampling algorithms are textbook (Box–Muller for the normal,
+//! Marsaglia–Tsang for the gamma variates underlying the Dirichlet) and
+//! fully deterministic given the generator stream. They are **not**
+//! bit-compatible with upstream `rand_distr`; all expectations in this
+//! workspace are derived from this implementation.
+
+use rand::{Rng, RngCore};
+
+/// Types that can be sampled from a distribution.
+pub trait Distribution<T> {
+    /// Draws one value using `rng` as the entropy source.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Error returned by constructors given invalid parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(&'static str);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Floating types [`Uniform`] can range over.
+pub trait SampleUniform: Copy {
+    /// Whether the value is finite (used for parameter validation).
+    fn finite(self) -> bool;
+    /// `low + (high − low) · u` for a fresh unit draw `u ∈ [0, 1)`.
+    fn lerp_unit<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+    /// Strict order for validation.
+    fn lt(self, other: Self) -> bool;
+}
+
+macro_rules! sample_uniform_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn finite(self) -> bool {
+                self.is_finite()
+            }
+
+            fn lerp_unit<R: RngCore + ?Sized>(low: $t, high: $t, rng: &mut R) -> $t {
+                let unit: $t = rng.gen();
+                low + (high - low) * unit
+            }
+
+            fn lt(self, other: $t) -> bool {
+                self < other
+            }
+        }
+    )*};
+}
+
+sample_uniform_float!(f32, f64);
+
+/// Continuous uniform distribution over `[low, high)`.
+#[derive(Clone, Copy, Debug)]
+pub struct Uniform<T> {
+    low: T,
+    high: T,
+}
+
+impl<T: SampleUniform> Uniform<T> {
+    /// Builds the distribution; panics if `low >= high` or either bound is
+    /// non-finite, matching upstream's contract.
+    pub fn new(low: T, high: T) -> Self {
+        assert!(
+            low.lt(high) && low.finite() && high.finite(),
+            "Uniform::new requires finite low < high"
+        );
+        Self { low, high }
+    }
+}
+
+impl<T: SampleUniform> Distribution<T> for Uniform<T> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T {
+        T::lerp_unit(self.low, self.high, rng)
+    }
+}
+
+/// Normal (Gaussian) distribution parameterized by mean and standard
+/// deviation.
+#[derive(Clone, Copy, Debug)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// Builds the distribution; errors if `std_dev` is negative or either
+    /// parameter is non-finite.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self, Error> {
+        if !mean.is_finite() || !std_dev.is_finite() || std_dev < 0.0 {
+            return Err(Error("Normal::new requires finite mean and std_dev >= 0"));
+        }
+        Ok(Self { mean, std_dev })
+    }
+}
+
+/// One standard-normal variate via Box–Muller (cosine branch only, so the
+/// cost per draw is constant and no state is carried between calls).
+fn standard_normal<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    // u1 in (0, 1]: flip the [0, 1) sample so ln(u1) is always finite.
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+impl Distribution<f64> for Normal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.mean + self.std_dev * standard_normal(rng)
+    }
+}
+
+/// One Gamma(shape, 1) variate via Marsaglia–Tsang, with the standard
+/// boost for `shape < 1`.
+fn gamma_variate<R: RngCore + ?Sized>(rng: &mut R, shape: f64) -> f64 {
+    if shape < 1.0 {
+        // Gamma(a) = Gamma(a + 1) * U^(1/a).
+        let u: f64 = 1.0 - rng.gen::<f64>();
+        return gamma_variate(rng, shape + 1.0) * u.powf(1.0 / shape);
+    }
+    let d = shape - 1.0 / 3.0;
+    let c = 1.0 / (3.0 * d.sqrt());
+    loop {
+        let x = standard_normal(rng);
+        let v = (1.0 + c * x).powi(3);
+        if v <= 0.0 {
+            continue;
+        }
+        let u: f64 = 1.0 - rng.gen::<f64>();
+        if u.ln() < 0.5 * x * x + d - d * v + d * v.ln() {
+            return d * v;
+        }
+    }
+}
+
+/// Dirichlet distribution over the probability simplex.
+#[derive(Clone, Debug)]
+pub struct Dirichlet {
+    alpha: Vec<f64>,
+}
+
+impl Dirichlet {
+    /// Builds the distribution from concentration parameters; errors on an
+    /// empty vector or any non-positive/non-finite entry. A single-entry
+    /// vector is accepted and degenerately samples `[1.0]`.
+    pub fn new(alpha: &[f64]) -> Result<Self, Error> {
+        if alpha.is_empty() {
+            return Err(Error("Dirichlet::new requires at least one parameter"));
+        }
+        if alpha.iter().any(|&a| !a.is_finite() || a <= 0.0) {
+            return Err(Error("Dirichlet::new requires finite positive parameters"));
+        }
+        Ok(Self {
+            alpha: alpha.to_vec(),
+        })
+    }
+}
+
+impl Distribution<Vec<f64>> for Dirichlet {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> Vec<f64> {
+        if self.alpha.len() == 1 {
+            return vec![1.0];
+        }
+        let mut draws: Vec<f64> = self.alpha.iter().map(|&a| gamma_variate(rng, a)).collect();
+        let total: f64 = draws.iter().sum();
+        if total > 0.0 && total.is_finite() {
+            for d in &mut draws {
+                *d /= total;
+            }
+        } else {
+            // All gamma draws underflowed to zero (tiny alpha): fall back
+            // to the uniform simplex point rather than emitting NaNs.
+            let share = 1.0 / draws.len() as f64;
+            draws.fill(share);
+        }
+        draws
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha12Rng;
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut rng = ChaCha12Rng::seed_from_u64(1);
+        let d = Uniform::new(-0.5f32, 0.5f32);
+        for _ in 0..1000 {
+            let x = d.sample(&mut rng);
+            assert!((-0.5..0.5).contains(&x));
+        }
+    }
+
+    #[test]
+    fn normal_moments_are_close() {
+        let mut rng = ChaCha12Rng::seed_from_u64(2);
+        let d = Normal::new(3.0, 2.0).expect("valid");
+        let n = 20_000;
+        let xs: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.3, "var {var}");
+    }
+
+    #[test]
+    fn normal_rejects_bad_parameters() {
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(Normal::new(f64::NAN, 1.0).is_err());
+    }
+
+    #[test]
+    fn dirichlet_sums_to_one() {
+        let mut rng = ChaCha12Rng::seed_from_u64(3);
+        let d = Dirichlet::new(&[0.5, 0.5, 0.5, 0.5]).expect("valid");
+        for _ in 0..100 {
+            let p = d.sample(&mut rng);
+            assert_eq!(p.len(), 4);
+            assert!(p.iter().all(|&x| (0.0..=1.0).contains(&x)));
+            let total: f64 = p.iter().sum();
+            assert!((total - 1.0).abs() < 1e-9, "sum {total}");
+        }
+    }
+
+    #[test]
+    fn dirichlet_single_parameter_degenerates() {
+        let mut rng = ChaCha12Rng::seed_from_u64(4);
+        let d = Dirichlet::new(&[0.5]).expect("single entry is valid");
+        assert_eq!(d.sample(&mut rng), vec![1.0]);
+    }
+
+    #[test]
+    fn dirichlet_rejects_bad_parameters() {
+        assert!(Dirichlet::new(&[]).is_err());
+        assert!(Dirichlet::new(&[1.0, 0.0]).is_err());
+    }
+}

@@ -1,0 +1,389 @@
+//! Offline stand-in for `serde`.
+//!
+//! Instead of upstream's visitor architecture, this crate models data as a
+//! concrete JSON-like [`Value`] tree: [`Serialize`] converts a type *to* a
+//! `Value`, [`Deserialize`] reconstructs it *from* one. The sibling
+//! `serde_json` stand-in handles text; the sibling `serde_derive` stand-in
+//! generates these impls for plain named-field structs and unit /
+//! struct-variant enums — exactly the shapes this workspace derives.
+//!
+//! JSON conventions match upstream `serde_json` defaults:
+//! - struct → object with one entry per field, in declaration order
+//! - unit enum variant → the variant name as a string
+//! - struct enum variant → `{"VariantName": {fields...}}`
+//! - tuple → array, `Option` → value or `null`, missing field → `null`
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON-like data model. Object entries keep insertion order so structs
+/// print their fields in declaration order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// JSON number.
+    Number(Number),
+    /// JSON string.
+    String(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object, in insertion order.
+    Object(Vec<(String, Value)>),
+}
+
+/// A JSON number, keeping integers exact (no silent round-trip through
+/// `f64`, so `u64` seeds survive).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    /// Non-negative integer.
+    U(u64),
+    /// Negative integer.
+    I(i64),
+    /// Floating point.
+    F(f64),
+}
+
+static NULL: Value = Value::Null;
+
+impl Value {
+    /// Looks up `name` in an object; absent keys (and non-objects) yield
+    /// `Null`, which lets `Option` fields treat "missing" as `None`.
+    pub fn field(&self, name: &str) -> &Value {
+        match self {
+            Value::Object(entries) => entries
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+
+    /// The object entries, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// A short description of the value's kind, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Number(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// Deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(String);
+
+impl DeError {
+    /// Builds an error from any displayable message.
+    pub fn custom(msg: impl std::fmt::Display) -> Self {
+        DeError(msg.to_string())
+    }
+
+    /// Standard "expected X, got Y" error.
+    pub fn expected(what: &str, got: &Value) -> Self {
+        DeError(format!("expected {what}, got {}", got.kind()))
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Conversion into the [`Value`] data model.
+pub trait Serialize {
+    /// Represents `self` as a `Value` tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Reconstruction from the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from a `Value` tree.
+    fn from_value(value: &Value) -> Result<Self, DeError>;
+}
+
+// ---- primitive impls -------------------------------------------------------
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::expected("bool", other)),
+        }
+    }
+}
+
+macro_rules! unsigned_impl {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::U(*self as u64))
+            }
+        }
+
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                let n = match value {
+                    Value::Number(Number::U(n)) => *n,
+                    Value::Number(Number::I(i)) if *i >= 0 => *i as u64,
+                    Value::Number(Number::F(f))
+                        if f.fract() == 0.0 && *f >= 0.0 && *f <= u64::MAX as f64 =>
+                    {
+                        *f as u64
+                    }
+                    other => return Err(DeError::expected("unsigned integer", other)),
+                };
+                <$t>::try_from(n).map_err(|_| {
+                    DeError::custom(format!(
+                        "integer {n} out of range for {}",
+                        stringify!($t)
+                    ))
+                })
+            }
+        }
+    )*};
+}
+
+unsigned_impl!(u8, u16, u32, u64, usize);
+
+macro_rules! signed_impl {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let v = *self as i64;
+                if v >= 0 {
+                    Value::Number(Number::U(v as u64))
+                } else {
+                    Value::Number(Number::I(v))
+                }
+            }
+        }
+
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                let n: i64 = match value {
+                    Value::Number(Number::I(i)) => *i,
+                    Value::Number(Number::U(u)) if *u <= i64::MAX as u64 => *u as i64,
+                    Value::Number(Number::F(f))
+                        if f.fract() == 0.0
+                            && *f >= i64::MIN as f64
+                            && *f <= i64::MAX as f64 =>
+                    {
+                        *f as i64
+                    }
+                    other => return Err(DeError::expected("integer", other)),
+                };
+                <$t>::try_from(n).map_err(|_| {
+                    DeError::custom(format!(
+                        "integer {n} out of range for {}",
+                        stringify!($t)
+                    ))
+                })
+            }
+        }
+    )*};
+}
+
+signed_impl!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::F(*self))
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Number(Number::F(f)) => Ok(*f),
+            Value::Number(Number::U(u)) => Ok(*u as f64),
+            Value::Number(Number::I(i)) => Ok(*i as f64),
+            other => Err(DeError::expected("number", other)),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        // f32 → f64 is exact, so the round-trip recovers the f32 bitwise.
+        Value::Number(Number::F(*self as f64))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        f64::from_value(value).map(|f| f as f32)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::String(s) => Ok(s.clone()),
+            other => Err(DeError::expected("string", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        value
+            .as_array()
+            .ok_or_else(|| DeError::expected("array", value))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(inner) => inner.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Null => Ok(None),
+            present => T::from_value(present).map(Some),
+        }
+    }
+}
+
+macro_rules! tuple_impl {
+    ($(($($name:ident : $idx:tt),+) with $len:literal;)*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                let items = value
+                    .as_array()
+                    .ok_or_else(|| DeError::expected("array", value))?;
+                if items.len() != $len {
+                    return Err(DeError::custom(format!(
+                        "expected array of length {}, got {}",
+                        $len,
+                        items.len()
+                    )));
+                }
+                Ok(($($name::from_value(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+tuple_impl! {
+    (A: 0) with 1;
+    (A: 0, B: 1) with 2;
+    (A: 0, B: 1, C: 2) with 3;
+    (A: 0, B: 1, C: 2, D: 3) with 4;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numbers_round_trip_exactly() {
+        let big: u64 = u64::MAX - 1;
+        assert_eq!(u64::from_value(&big.to_value()), Ok(big));
+        let neg: i64 = -42;
+        assert_eq!(i64::from_value(&neg.to_value()), Ok(neg));
+        let x: f32 = 0.1;
+        assert_eq!(f32::from_value(&x.to_value()), Ok(x));
+    }
+
+    #[test]
+    fn field_lookup_defaults_to_null() {
+        let obj = Value::Object(vec![("a".into(), Value::Bool(true))]);
+        assert_eq!(obj.field("a"), &Value::Bool(true));
+        assert_eq!(obj.field("missing"), &Value::Null);
+        assert_eq!(Option::<u32>::from_value(obj.field("missing")), Ok(None));
+    }
+
+    #[test]
+    fn collections_round_trip() {
+        let xs = vec![1.5f64, -2.0, 3.25];
+        assert_eq!(Vec::<f64>::from_value(&xs.to_value()), Ok(xs));
+        let pair = (10.0f64, 20.0f64);
+        assert_eq!(<(f64, f64)>::from_value(&pair.to_value()), Ok(pair));
+    }
+
+    #[test]
+    fn type_errors_are_reported() {
+        assert!(bool::from_value(&Value::Null).is_err());
+        assert!(u32::from_value(&Value::Number(Number::I(-1))).is_err());
+        assert!(u8::from_value(&Value::Number(Number::U(300))).is_err());
+    }
+}

@@ -1,0 +1,305 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates impls of the in-tree `serde` stand-in's `Serialize` /
+//! `Deserialize` traits (the `Value`-based pair, not upstream's visitors).
+//! Because neither `syn` nor `quote` is available offline, the item is
+//! parsed directly from the raw [`proc_macro::TokenStream`] and the impl is
+//! emitted as source text. Supported shapes — the only ones this workspace
+//! derives — are non-generic named-field structs and enums whose variants
+//! are unit or struct-like; anything else panics with a clear message at
+//! compile time.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (the in-tree `Value`-based trait).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item {
+        Item::Struct { name, fields } => serialize_struct(name, fields),
+        Item::Enum { name, variants } => serialize_enum(name, variants),
+    };
+    body.parse().expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize` (the in-tree `Value`-based trait).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item {
+        Item::Struct { name, fields } => deserialize_struct(name, fields),
+        Item::Enum { name, variants } => deserialize_enum(name, variants),
+    };
+    body.parse().expect("generated Deserialize impl parses")
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Vec<String>,
+    },
+    /// Variants carry `Some(field names)` for struct-like variants and
+    /// `None` for unit variants.
+    Enum {
+        name: String,
+        variants: Vec<(String, Option<Vec<String>>)>,
+    },
+}
+
+/// Skips `#[...]` attribute pairs and a `pub` / `pub(...)` visibility
+/// prefix starting at `*i`.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => *i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *i += 1;
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let keyword = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde stand-in derive: expected `struct` or `enum`, got {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde stand-in derive: expected a type name, got {other:?}"),
+    };
+    i += 1;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde stand-in derive: generic types are not supported ({name})");
+    }
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        _ => panic!(
+            "serde stand-in derive: {name} must have a braced body \
+             (tuple/unit structs are not supported)"
+        ),
+    };
+    match keyword.as_str() {
+        "struct" => Item::Struct {
+            name,
+            fields: parse_named_fields(body),
+        },
+        "enum" => Item::Enum {
+            name,
+            variants: parse_variants(body),
+        },
+        other => panic!("serde stand-in derive: unsupported item kind `{other}`"),
+    }
+}
+
+/// Parses `name: Type, ...` bodies, returning the field names. Commas
+/// inside angle brackets (generic arguments) and inside grouped tokens
+/// (tuples, arrays) do not terminate a field.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde stand-in derive: expected a field name, got {other:?}"),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => {
+                panic!("serde stand-in derive: expected `:` after field `{name}`, got {other:?}")
+            }
+        }
+        let mut angle_depth = 0i64;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(name);
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<(String, Option<Vec<String>>)> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde stand-in derive: expected a variant name, got {other:?}"),
+        };
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Some(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => panic!(
+                "serde stand-in derive: tuple variant `{name}` is not supported \
+                 (use a struct variant)"
+            ),
+            _ => None,
+        };
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push((name, fields));
+    }
+    variants
+}
+
+// ---- code generation -------------------------------------------------------
+
+fn object_literal(fields: &[String], access_prefix: &str) -> String {
+    let entries: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(::std::string::String::from(\"{f}\"), \
+                 serde::Serialize::to_value({access_prefix}{f}))"
+            )
+        })
+        .collect();
+    format!("serde::Value::Object(::std::vec![{}])", entries.join(", "))
+}
+
+fn serialize_struct(name: &str, fields: &[String]) -> String {
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+         \x20   fn to_value(&self) -> serde::Value {{\n\
+         \x20       {}\n\
+         \x20   }}\n\
+         }}\n",
+        object_literal(fields, "&self.")
+    )
+}
+
+fn serialize_enum(name: &str, variants: &[(String, Option<Vec<String>>)]) -> String {
+    let mut arms = String::new();
+    for (variant, fields) in variants {
+        match fields {
+            None => arms.push_str(&format!(
+                "{name}::{variant} => \
+                 serde::Value::String(::std::string::String::from(\"{variant}\")),\n"
+            )),
+            Some(fields) => {
+                let bindings = fields.join(", ");
+                let body = object_literal(fields, "");
+                arms.push_str(&format!(
+                    "{name}::{variant} {{ {bindings} }} => serde::Value::Object(\
+                     ::std::vec![(::std::string::String::from(\"{variant}\"), {body})]),\n"
+                ));
+            }
+        }
+    }
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+         \x20   fn to_value(&self) -> serde::Value {{\n\
+         \x20       match self {{\n{arms}\x20       }}\n\
+         \x20   }}\n\
+         }}\n"
+    )
+}
+
+fn field_extractions(type_name: &str, fields: &[String], source: &str) -> String {
+    fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: serde::Deserialize::from_value({source}.field(\"{f}\"))\
+                 .map_err(|e| serde::DeError::custom(\
+                 ::std::format!(\"{type_name}.{f}: {{e}}\")))?,\n"
+            )
+        })
+        .collect()
+}
+
+fn deserialize_struct(name: &str, fields: &[String]) -> String {
+    let extractions = field_extractions(name, fields, "value");
+    format!(
+        "impl serde::Deserialize for {name} {{\n\
+         \x20   fn from_value(value: &serde::Value) -> \
+         ::std::result::Result<Self, serde::DeError> {{\n\
+         \x20       if value.as_object().is_none() {{\n\
+         \x20           return ::std::result::Result::Err(\
+         serde::DeError::expected(\"object for {name}\", value));\n\
+         \x20       }}\n\
+         \x20       ::std::result::Result::Ok({name} {{\n{extractions}\x20       }})\n\
+         \x20   }}\n\
+         }}\n"
+    )
+}
+
+fn deserialize_enum(name: &str, variants: &[(String, Option<Vec<String>>)]) -> String {
+    let mut unit_arms = String::new();
+    let mut struct_arms = String::new();
+    let mut has_struct = false;
+    for (variant, fields) in variants {
+        match fields {
+            None => unit_arms.push_str(&format!(
+                "\"{variant}\" => ::std::result::Result::Ok({name}::{variant}),\n"
+            )),
+            Some(fields) => {
+                has_struct = true;
+                let extractions = field_extractions(&format!("{name}::{variant}"), fields, "body");
+                struct_arms.push_str(&format!(
+                    "\"{variant}\" => ::std::result::Result::Ok({name}::{variant} {{\n\
+                     {extractions}}}),\n"
+                ));
+            }
+        }
+    }
+    let body_binding = if has_struct { "body" } else { "_body" };
+    format!(
+        "impl serde::Deserialize for {name} {{\n\
+         \x20   fn from_value(value: &serde::Value) -> \
+         ::std::result::Result<Self, serde::DeError> {{\n\
+         \x20       match value {{\n\
+         \x20           serde::Value::String(s) => match s.as_str() {{\n\
+         {unit_arms}\
+         \x20               other => ::std::result::Result::Err(serde::DeError::custom(\
+         ::std::format!(\"unknown unit variant `{{other}}` for {name}\"))),\n\
+         \x20           }},\n\
+         \x20           serde::Value::Object(entries) if entries.len() == 1 => {{\n\
+         \x20               let (tag, {body_binding}) = &entries[0];\n\
+         \x20               match tag.as_str() {{\n\
+         {struct_arms}\
+         \x20                   other => ::std::result::Result::Err(serde::DeError::custom(\
+         ::std::format!(\"unknown variant `{{other}}` for {name}\"))),\n\
+         \x20               }}\n\
+         \x20           }}\n\
+         \x20           other => ::std::result::Result::Err(\
+         serde::DeError::expected(\"enum {name}\", other)),\n\
+         \x20       }}\n\
+         \x20   }}\n\
+         }}\n"
+    )
+}

@@ -1,0 +1,486 @@
+//! Offline stand-in for `serde_json`: JSON text conversion for the
+//! in-tree `serde` stand-in's [`Value`] data model.
+//!
+//! Provides exactly the workspace's call surface: [`to_string`],
+//! [`to_string_pretty`] and [`from_str`]. Output conventions match
+//! upstream defaults (compact `{"k":v}` form, two-space pretty indent,
+//! non-finite floats printed as `null`).
+
+use serde::{DeError, Deserialize, Number, Serialize, Value};
+
+/// Error for both directions; serialization through the `Value` model is
+/// actually infallible, so in practice only parsing produces these.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<DeError> for Error {
+    fn from(e: DeError) -> Self {
+        Error(e.to_string())
+    }
+}
+
+/// Serializes `value` to compact JSON.
+pub fn to_string<T: Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0);
+    Ok(out)
+}
+
+/// Serializes `value` to pretty-printed JSON (two-space indent).
+pub fn to_string_pretty<T: Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some(2), 0);
+    Ok(out)
+}
+
+/// Parses JSON text and reconstructs `T`.
+pub fn from_str<T: Deserialize>(text: &str) -> Result<T, Error> {
+    let mut parser = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    parser.skip_ws();
+    let value = parser.parse_value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(parser.error("trailing characters after JSON value"));
+    }
+    Ok(T::from_value(&value)?)
+}
+
+// ---- printing --------------------------------------------------------------
+
+fn write_value(out: &mut String, value: &Value, indent: Option<usize>, depth: usize) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Number(n) => write_number(out, *n),
+        Value::String(s) => write_string(out, s),
+        Value::Array(items) => {
+            write_seq(out, items.len(), indent, depth, '[', ']', |out, i, d| {
+                write_value(out, &items[i], indent, d);
+            });
+        }
+        Value::Object(entries) => {
+            write_seq(out, entries.len(), indent, depth, '{', '}', |out, i, d| {
+                let (key, val) = &entries[i];
+                write_string(out, key);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, val, indent, d);
+            });
+        }
+    }
+}
+
+fn write_seq(
+    out: &mut String,
+    len: usize,
+    indent: Option<usize>,
+    depth: usize,
+    open: char,
+    close: char,
+    mut write_item: impl FnMut(&mut String, usize, usize),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(step) = indent {
+            out.push('\n');
+            out.extend(std::iter::repeat_n(' ', step * (depth + 1)));
+        }
+        write_item(out, i, depth + 1);
+    }
+    if let Some(step) = indent {
+        out.push('\n');
+        out.extend(std::iter::repeat_n(' ', step * depth));
+    }
+    out.push(close);
+}
+
+fn write_number(out: &mut String, n: Number) {
+    use std::fmt::Write as _;
+    match n {
+        Number::U(u) => write!(out, "{u}").expect("string write"),
+        Number::I(i) => write!(out, "{i}").expect("string write"),
+        Number::F(f) if f.is_finite() => {
+            // Rust's shortest-roundtrip Display; ensure a decimal point or
+            // exponent so the token re-parses as a float, keeping the
+            // integer/float distinction stable across round-trips.
+            let s = format!("{f}");
+            out.push_str(&s);
+            if !s.contains(['.', 'e', 'E']) {
+                out.push_str(".0");
+            }
+        }
+        // Upstream prints non-finite floats as null.
+        Number::F(_) => out.push_str("null"),
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---- parsing ---------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn error(&self, msg: &str) -> Error {
+        Error(format!("{msg} at byte {}", self.pos))
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), Error> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected `{}`", byte as char)))
+        }
+    }
+
+    fn consume_literal(&mut self, literal: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(literal.as_bytes()) {
+            self.pos += literal.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'n') if self.consume_literal("null") => Ok(Value::Null),
+            Some(b't') if self.consume_literal("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.consume_literal("false") => Ok(Value::Bool(false)),
+            Some(b'"') => self.parse_string().map(Value::String),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
+            _ => Err(self.error("expected a JSON value")),
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.error("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.parse_value()?;
+            entries.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(entries));
+                }
+                _ => return Err(self.error("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.error("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let escape = self.peek().ok_or_else(|| self.error("bad escape"))?;
+                    self.pos += 1;
+                    match escape {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{08}'),
+                        b'f' => out.push('\u{0c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let unit = self.parse_hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&unit) {
+                                // High surrogate: a \uXXXX low half must follow.
+                                if !self.consume_literal("\\u") {
+                                    return Err(self.error("lone high surrogate"));
+                                }
+                                let low = self.parse_hex4()?;
+                                if !(0xDC00..0xE000).contains(&low) {
+                                    return Err(self.error("invalid low surrogate"));
+                                }
+                                let combined = 0x10000 + ((unit - 0xD800) << 10) + (low - 0xDC00);
+                                char::from_u32(combined)
+                            } else {
+                                char::from_u32(unit)
+                            };
+                            out.push(c.ok_or_else(|| self.error("invalid \\u escape"))?);
+                        }
+                        _ => return Err(self.error("unknown escape")),
+                    }
+                }
+                Some(_) => {
+                    // Advance over one UTF-8 character (input is a &str, so
+                    // the bytes are valid UTF-8).
+                    let rest = &self.bytes[self.pos..];
+                    let len = std::str::from_utf8(rest)
+                        .ok()
+                        .and_then(|s| s.chars().next())
+                        .map(|c| c.len_utf8())
+                        .ok_or_else(|| self.error("invalid UTF-8"))?;
+                    out.push_str(std::str::from_utf8(&rest[..len]).expect("valid UTF-8"));
+                    self.pos += len;
+                }
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, Error> {
+        if self.pos + 4 > self.bytes.len() {
+            return Err(self.error("truncated \\u escape"));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+            .map_err(|_| self.error("invalid \\u escape"))?;
+        let unit = u32::from_str_radix(hex, 16).map_err(|_| self.error("invalid \\u escape"))?;
+        self.pos += 4;
+        Ok(unit)
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.error("invalid number"))?;
+        let number = if !is_float {
+            if text.starts_with('-') {
+                text.parse::<i64>().map(Number::I).ok()
+            } else {
+                text.parse::<u64>().map(Number::U).ok()
+            }
+        } else {
+            None
+        };
+        // Large integers that overflow i64/u64 fall back to f64, as upstream
+        // does with arbitrary_precision disabled.
+        let number = match number {
+            Some(n) => n,
+            None => Number::F(
+                text.parse::<f64>()
+                    .map_err(|_| self.error("invalid number"))?,
+            ),
+        };
+        Ok(Value::Number(number))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::{Deserialize, Serialize};
+
+    #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+    struct Inner {
+        label: String,
+        weights: Vec<f32>,
+        bound: Option<usize>,
+    }
+
+    #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+    enum Mode {
+        Plain,
+        Scaled { factor: f64, range: (f64, f64) },
+    }
+
+    #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+    struct Outer {
+        version: u32,
+        seed: u64,
+        active: bool,
+        mode: Mode,
+        fallback: Mode,
+        inner: Inner,
+    }
+
+    fn sample() -> Outer {
+        Outer {
+            version: 3,
+            seed: u64::MAX - 7,
+            active: true,
+            mode: Mode::Scaled {
+                factor: -0.125,
+                range: (10.0, 20.5),
+            },
+            fallback: Mode::Plain,
+            inner: Inner {
+                label: "quote \" backslash \\ newline \n unicode é".to_string(),
+                weights: vec![0.1, -2.5e-8, 3.0],
+                bound: None,
+            },
+        }
+    }
+
+    #[test]
+    fn derived_round_trip_is_exact() {
+        let original = sample();
+        let json = to_string(&original).expect("serializes");
+        let back: Outer = from_str(&json).expect("parses");
+        assert_eq!(back, original);
+    }
+
+    #[test]
+    fn pretty_output_round_trips_too() {
+        let original = sample();
+        let json = to_string_pretty(&original).expect("serializes");
+        assert!(json.contains('\n'));
+        let back: Outer = from_str(&json).expect("parses");
+        assert_eq!(back, original);
+    }
+
+    #[test]
+    fn unit_variant_is_a_bare_string() {
+        let json = to_string(&Mode::Plain).expect("serializes");
+        assert_eq!(json, "\"Plain\"");
+    }
+
+    #[test]
+    fn struct_variant_is_externally_tagged() {
+        let json = to_string(&Mode::Scaled {
+            factor: 1.0,
+            range: (2.0, 3.0),
+        })
+        .expect("serializes");
+        assert_eq!(json, "{\"Scaled\":{\"factor\":1.0,\"range\":[2.0,3.0]}}");
+    }
+
+    #[test]
+    fn missing_optional_field_reads_as_none() {
+        let json = "{\"label\":\"x\",\"weights\":[]}";
+        let inner: Inner = from_str(json).expect("parses");
+        assert_eq!(inner.bound, None);
+    }
+
+    #[test]
+    fn malformed_input_errors_cleanly() {
+        assert!(from_str::<Inner>("{\"label\":").is_err());
+        assert!(from_str::<Inner>("{\"label\": 5, \"weights\": []}").is_err());
+        assert!(from_str::<Mode>("\"NoSuchVariant\"").is_err());
+        assert!(from_str::<Outer>("[1,2,3] junk").is_err());
+    }
+
+    #[test]
+    fn floats_keep_a_decimal_marker() {
+        let json = to_string(&vec![1.0f64, 0.5, 1e30]).expect("serializes");
+        let parts: Vec<&str> = json.trim_matches(['[', ']']).split(',').collect();
+        for part in parts {
+            assert!(
+                part.contains(['.', 'e', 'E']),
+                "float token `{part}` lost its marker"
+            );
+        }
+    }
+
+    #[test]
+    fn whitespace_tolerant_parsing() {
+        let json = " { \"label\" : \"a\" ,\n\t\"weights\" : [ 1.5 , 2.5 ] , \"bound\" : 3 } ";
+        let inner: Inner = from_str(json).expect("parses");
+        assert_eq!(inner.bound, Some(3));
+        assert_eq!(inner.weights, vec![1.5, 2.5]);
+    }
+}
