@@ -14,6 +14,14 @@ cargo build --workspace --release --offline
 echo "==> cargo test"
 cargo test -q --workspace --release --offline
 
+echo "==> bench smoke (1 sample per case, scratch output dir)"
+smoke_out="$(mktemp -d)"
+CHIRON_BENCH_SAMPLES=1 CHIRON_BENCH_OUT="$smoke_out" \
+    cargo run -q --release --offline -p chiron-bench --bin bench_kernels
+CHIRON_BENCH_SAMPLES=1 CHIRON_BENCH_OUT="$smoke_out" \
+    cargo run -q --release --offline -p chiron-bench --bin bench_nn
+rm -rf "$smoke_out"
+
 echo "==> cargo clippy -D warnings"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 

@@ -1,0 +1,81 @@
+//! Machine-readable kernel micro-bench: matmul variants at the exact shapes
+//! the paper's CNN training produces (im2col products and their backward
+//! companions), plus the layout transforms. Writes per-case mean/p50/p95 to
+//! `BENCH_kernels.json` at the repo root, keyed by `CHIRON_BENCH_LABEL`.
+//!
+//! ```text
+//! CHIRON_BENCH_LABEL=pr2 cargo run --release -p chiron-bench --bin bench_kernels
+//! ```
+
+use chiron_bench::timing::{time_case, write_results, Run};
+use chiron_tensor::{col2im, im2col, pool, Conv2dGeometry, Init, Tensor, TensorRng};
+use std::hint::black_box;
+
+/// `(name, m, k, n)` of the matmul shapes that dominate CNN training: the
+/// im2col forward products of both paper CNNs (batch 10) and the weight /
+/// input gradient products of the MNIST conv2 layer.
+const MATMUL_SHAPES: &[(&str, usize, usize, usize)] = &[
+    ("matmul_mnist_conv1_5760x25x10", 5760, 25, 10),
+    ("matmul_mnist_conv2_640x250x20", 640, 250, 20),
+    ("matmul_cifar_conv1_7840x75x6", 7840, 75, 6),
+    ("matmul_cifar_conv2_1000x150x16", 1000, 150, 16),
+    ("matmul_ppo_mlp_30x64x64", 30, 64, 64),
+    ("matmul_square_256", 256, 256, 256),
+];
+
+fn main() {
+    let mut results: Vec<(String, Run)> = Vec::new();
+    let mut rng = TensorRng::seed_from(42);
+
+    for &(name, m, k, n) in MATMUL_SHAPES {
+        let a = rng.init(&[m, k], Init::Normal(1.0));
+        let b = rng.init(&[k, n], Init::Normal(1.0));
+        let at = a.transpose();
+        let bt = b.transpose();
+        for threads in [1usize, 4] {
+            pool::set_threads(threads);
+            results.push(time_case(&format!("{name}_t{threads}"), || {
+                black_box(black_box(&a).matmul(black_box(&b)));
+            }));
+            if threads == 1 {
+                results.push(time_case(&format!("{name}_tn_t1"), || {
+                    black_box(black_box(&at).matmul_tn(black_box(&b)));
+                }));
+                results.push(time_case(&format!("{name}_nt_t1"), || {
+                    black_box(black_box(&a).matmul_nt(black_box(&bt)));
+                }));
+            }
+        }
+        pool::set_threads(1);
+    }
+
+    // The layout transforms around those products.
+    let x = rng.init(&[10, 3, 28, 28], Init::Normal(1.0));
+    let geo = Conv2dGeometry::new(28, 28, 5, 5, 1, 0);
+    let cols = im2col(&x, 3, &geo);
+    for threads in [1usize, 4] {
+        pool::set_threads(threads);
+        results.push(time_case(&format!("im2col_mnist_b10_t{threads}"), || {
+            black_box(im2col(black_box(&x), 3, &geo));
+        }));
+        results.push(time_case(&format!("col2im_mnist_b10_t{threads}"), || {
+            black_box(col2im(black_box(&cols), 10, 3, &geo));
+        }));
+    }
+    pool::set_threads(1);
+
+    // Allocation pressure probe: repeated same-shape products, the pattern
+    // the scratch arena is built to serve.
+    {
+        let a = rng.init(&[640, 250], Init::Normal(1.0));
+        let b = rng.init(&[250, 20], Init::Normal(1.0));
+        results.push(time_case("alloc_churn_matmul_640x250x20_x8_t1", || {
+            for _ in 0..8 {
+                black_box(black_box(&a).matmul(black_box(&b)));
+            }
+        }));
+    }
+
+    let _ = black_box(Tensor::zeros(&[1]));
+    write_results("BENCH_kernels.json", &results);
+}

@@ -1,0 +1,103 @@
+//! Machine-readable NN/PPO bench: the same cases as the Criterion
+//! `nn_forward` / `ppo_update` benches (CNN forward and train step at the
+//! paper's batch size; full M-epoch PPO updates at Chiron's agent shapes),
+//! written as per-case mean/p50/p95 to `BENCH_nn.json` at the repo root and
+//! keyed by `CHIRON_BENCH_LABEL` so before/after numbers accumulate per PR.
+//!
+//! ```text
+//! CHIRON_BENCH_LABEL=pr2 cargo run --release -p chiron-bench --bin bench_nn
+//! ```
+
+use chiron_bench::timing::{time_case, write_results, Run};
+use chiron_drl::{PpoAgent, PpoConfig, RolloutBuffer};
+use chiron_nn::models::{cifar_lenet, mnist_cnn};
+use chiron_nn::SoftmaxCrossEntropy;
+use chiron_tensor::{pool, Init, TensorRng};
+use std::hint::black_box;
+
+fn filled_buffer(agent: &mut PpoAgent, state_dim: usize, steps: usize) -> RolloutBuffer {
+    let mut buffer = RolloutBuffer::new();
+    for t in 0..steps {
+        let state: Vec<f64> = (0..state_dim).map(|i| (i + t) as f64 * 0.01).collect();
+        let (action, lp) = agent.act(&state);
+        let value = agent.value(&state);
+        buffer.push(&state, &action, lp, (t as f64).sin(), value, t + 1 == steps);
+    }
+    buffer
+}
+
+fn main() {
+    let mut results: Vec<(String, Run)> = Vec::new();
+    let mut rng = TensorRng::seed_from(0);
+    let batch = 10; // the paper's batch size
+
+    let mut mnist = mnist_cnn(&mut rng);
+    let x_mnist = rng.init(&[batch, 1, 28, 28], Init::Normal(1.0));
+    let mut lenet = cifar_lenet(&mut rng);
+    let x_cifar = rng.init(&[batch, 3, 32, 32], Init::Normal(1.0));
+    let labels: Vec<usize> = (0..batch).map(|i| i % 10).collect();
+
+    let mut exterior = PpoAgent::new(62, 1, &[64, 64], PpoConfig::default(), 0);
+    let mut inner = PpoAgent::new(1, 5, &[64, 64], PpoConfig::default(), 1);
+    let mut inner100 = PpoAgent::new(1, 100, &[64, 64], PpoConfig::default(), 2);
+
+    for threads in [1usize, 4] {
+        pool::set_threads(threads);
+
+        results.push(time_case(
+            &format!("mnist_cnn_forward_b10_t{threads}"),
+            || {
+                black_box(mnist.forward(black_box(&x_mnist), false));
+            },
+        ));
+        results.push(time_case(
+            &format!("mnist_cnn_train_step_b10_t{threads}"),
+            || {
+                let logits = mnist.forward(black_box(&x_mnist), true);
+                let (_, grad) = SoftmaxCrossEntropy.forward(&logits, &labels);
+                black_box(mnist.backward(&grad));
+                mnist.zero_grad();
+            },
+        ));
+        results.push(time_case(
+            &format!("cifar_lenet_forward_b10_t{threads}"),
+            || {
+                black_box(lenet.forward(black_box(&x_cifar), false));
+            },
+        ));
+        results.push(time_case(
+            &format!("cifar_lenet_train_step_b10_t{threads}"),
+            || {
+                let logits = lenet.forward(black_box(&x_cifar), true);
+                let (_, grad) = SoftmaxCrossEntropy.forward(&logits, &labels);
+                black_box(lenet.backward(&grad));
+                lenet.zero_grad();
+            },
+        ));
+
+        results.push(time_case(
+            &format!("ppo_exterior_agent_30_steps_t{threads}"),
+            || {
+                let mut buffer = filled_buffer(&mut exterior, 62, 30);
+                black_box(exterior.update(&mut buffer));
+            },
+        ));
+        results.push(time_case(
+            &format!("ppo_inner_agent_30_steps_t{threads}"),
+            || {
+                let mut buffer = filled_buffer(&mut inner, 1, 30);
+                black_box(inner.update(&mut buffer));
+            },
+        ));
+        results.push(time_case(
+            &format!("ppo_inner_agent_100dim_30_steps_t{threads}"),
+            || {
+                let mut buffer = filled_buffer(&mut inner100, 1, 30);
+                black_box(inner100.update(&mut buffer));
+            },
+        ));
+    }
+    pool::set_threads(1);
+
+    write_results("BENCH_nn.json", &results);
+}

@@ -29,6 +29,7 @@
 
 pub mod plot;
 pub mod stats;
+pub mod timing;
 
 use chiron::{Chiron, ChironConfig, Mechanism};
 use chiron_baselines::{DrlSingleRound, Greedy};

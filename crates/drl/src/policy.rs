@@ -2,7 +2,7 @@
 
 use chiron_nn::models::mlp;
 use chiron_nn::Sequential;
-use chiron_tensor::{Tensor, TensorRng};
+use chiron_tensor::{scratch, Tensor, TensorRng};
 
 /// A stochastic policy `π(a|s) = N(μ_θ(s), σ²I)` with a tanh MLP producing
 /// the mean and a scheduled (decaying) exploration std.
@@ -136,18 +136,27 @@ pub(crate) fn state_tensor(state: &[f64], dim: usize) -> Tensor {
         "state has {} entries, expected {dim}",
         state.len()
     );
-    Tensor::from_vec(state.iter().map(|&v| v as f32).collect(), &[1, dim])
+    let mut data = scratch::take_vec_with_capacity(dim);
+    data.extend(state.iter().map(|&v| v as f32));
+    Tensor::from_vec(data, &[1, dim])
 }
 
-/// Stacks state slices into a `(B, dim)` tensor.
-pub(crate) fn states_tensor(states: &[Vec<f64>], dim: usize) -> Tensor {
-    assert!(!states.is_empty(), "need at least one state");
-    let mut data = Vec::with_capacity(states.len() * dim);
-    for s in states {
+/// Stacks state slices (yielded by any sized iterator) into a `(B, dim)`
+/// tensor without an intermediate `Vec<Vec<f64>>`.
+pub(crate) fn states_tensor<'a, I>(states: I, dim: usize) -> Tensor
+where
+    I: IntoIterator<Item = &'a [f64]>,
+    I::IntoIter: ExactSizeIterator,
+{
+    let it = states.into_iter();
+    let count = it.len();
+    assert!(count > 0, "need at least one state");
+    let mut data = scratch::take_vec_with_capacity(count * dim);
+    for s in it {
         assert_eq!(s.len(), dim, "state dim mismatch");
         data.extend(s.iter().map(|&v| v as f32));
     }
-    Tensor::from_vec(data, &[states.len(), dim])
+    Tensor::from_vec(data, &[count, dim])
 }
 
 #[cfg(test)]

@@ -7,7 +7,7 @@ use chiron_nn::{
     clip_grad_norm, forward_batched, Adam, Checkpoint, CheckpointError, MseLoss, Optimizer,
     Sequential,
 };
-use chiron_tensor::{pool, Tensor, TensorRng};
+use chiron_tensor::{pool, scratch, Tensor, TensorRng};
 use serde::{Deserialize, Serialize};
 
 /// Rows per block for the full-batch actor/critic passes in
@@ -212,14 +212,14 @@ impl PpoAgent {
         }
 
         let n = buffer.len();
-        let states: Vec<Vec<f64>> = buffer
-            .transitions()
-            .iter()
-            .map(|t| t.state.clone())
-            .collect();
-        let state_batch = states_tensor(&states, self.state_dim);
+        let state_batch = states_tensor(
+            buffer.transitions().iter().map(|t| t.state.as_slice()),
+            self.state_dim,
+        );
         let action_dim = self.actor.action_dim();
-        let returns_t = Tensor::from_vec(returns.iter().map(|&r| r as f32).collect(), &[n, 1]);
+        let mut returns_data = scratch::take_vec_with_capacity(n);
+        returns_data.extend(returns.iter().map(|&r| r as f32));
+        let returns_t = Tensor::from_vec(returns_data, &[n, 1]);
 
         let mut actor_loss_acc = 0.0f64;
         let mut critic_loss_acc = 0.0f64;
@@ -230,52 +230,61 @@ impl PpoAgent {
             let actor_pass = self.actor.mean_batch_pass(&state_batch, PPO_BLOCK_ROWS);
             let var = self.actor.std() * self.actor.std();
             let mu = actor_pass.output().as_slice();
-            let mut grad = vec![0.0f32; n * action_dim];
+            let mut grad = scratch::take_vec(n * action_dim);
             // Each transition's gradient row is independent, so the loop
             // fans out over fixed transition blocks; per-block loss
-            // partials reduce in block order below, keeping the reported
-            // loss identical for every thread count.
+            // partials reduce in block order, keeping the reported loss
+            // identical for every thread count. The serial path iterates
+            // the same blocks inline without the partials vector, so a
+            // single-thread update stays allocation-free.
             let transitions = buffer.transitions();
-            let partials = pool::parallel_chunks_map(
-                &mut grad,
-                SURROGATE_BLOCK * action_dim,
-                |block, rows| {
-                    let t0 = block * SURROGATE_BLOCK;
-                    let mut loss = 0.0f64;
-                    for (r, g_row) in rows.chunks_mut(action_dim).enumerate() {
-                        let i = t0 + r;
-                        let tr = &transitions[i];
-                        // log π_new(a|s) under the current mean.
-                        let mut logp =
-                            -0.5 * (action_dim as f64) * (2.0 * std::f64::consts::PI * var).ln();
-                        for j in 0..action_dim {
+            let surrogate_block = |block: usize, rows: &mut [f32]| {
+                let t0 = block * SURROGATE_BLOCK;
+                let mut loss = 0.0f64;
+                for (r, g_row) in rows.chunks_mut(action_dim).enumerate() {
+                    let i = t0 + r;
+                    let tr = &transitions[i];
+                    // log π_new(a|s) under the current mean.
+                    let mut logp =
+                        -0.5 * (action_dim as f64) * (2.0 * std::f64::consts::PI * var).ln();
+                    for j in 0..action_dim {
+                        let m = mu[i * action_dim + j] as f64;
+                        let a = tr.action[j];
+                        logp -= (a - m) * (a - m) / (2.0 * var);
+                    }
+                    let ratio = (logp - tr.log_prob).exp();
+                    let adv = advantages[i];
+                    let clipped = ratio.clamp(1.0 - clip, 1.0 + clip);
+                    let surr = (ratio * adv).min(clipped * adv);
+                    loss -= surr;
+                    // Gradient flows only through the unclipped branch
+                    // when it is the active minimum.
+                    let ratio_active = (ratio * adv) <= (clipped * adv) + 1e-12;
+                    if ratio_active {
+                        // d(−ratio·adv)/dμ_j = −adv·ratio·d logp/dμ_j
+                        //                    = −adv·ratio·(a_j − μ_j)/σ².
+                        for (j, g) in g_row.iter_mut().enumerate() {
                             let m = mu[i * action_dim + j] as f64;
                             let a = tr.action[j];
-                            logp -= (a - m) * (a - m) / (2.0 * var);
-                        }
-                        let ratio = (logp - tr.log_prob).exp();
-                        let adv = advantages[i];
-                        let clipped = ratio.clamp(1.0 - clip, 1.0 + clip);
-                        let surr = (ratio * adv).min(clipped * adv);
-                        loss -= surr;
-                        // Gradient flows only through the unclipped branch
-                        // when it is the active minimum.
-                        let ratio_active = (ratio * adv) <= (clipped * adv) + 1e-12;
-                        if ratio_active {
-                            // d(−ratio·adv)/dμ_j = −adv·ratio·d logp/dμ_j
-                            //                    = −adv·ratio·(a_j − μ_j)/σ².
-                            for (j, g) in g_row.iter_mut().enumerate() {
-                                let m = mu[i * action_dim + j] as f64;
-                                let a = tr.action[j];
-                                let d = -adv * ratio * (a - m) / var;
-                                *g = (d / n as f64) as f32;
-                            }
+                            let d = -adv * ratio * (a - m) / var;
+                            *g = (d / n as f64) as f32;
                         }
                     }
-                    loss
-                },
-            );
-            let loss: f64 = partials.iter().sum();
+                }
+                loss
+            };
+            let loss: f64 = if pool::threads() > 1 {
+                pool::parallel_chunks_map(&mut grad, SURROGATE_BLOCK * action_dim, |b, rows| {
+                    surrogate_block(b, rows)
+                })
+                .iter()
+                .sum()
+            } else {
+                grad.chunks_mut(SURROGATE_BLOCK * action_dim)
+                    .enumerate()
+                    .map(|(block, rows)| surrogate_block(block, rows))
+                    .sum()
+            };
             actor_loss_acc += loss / n as f64;
             let grad_t = Tensor::from_vec(grad, &[n, action_dim]);
             actor_pass.backward(self.actor.net_mut(), &grad_t);

@@ -1,7 +1,7 @@
 //! Average pooling.
 
 use crate::Layer;
-use chiron_tensor::{Conv2dGeometry, Tensor};
+use chiron_tensor::{scratch, Conv2dGeometry, Tensor};
 
 /// Non-overlapping 2-D average pooling over `(N, C, H, W)` batches.
 ///
@@ -66,7 +66,7 @@ impl Layer for AvgPool2d {
         let (oh, ow) = (self.geo.out_h, self.geo.out_w);
         let x = input.as_slice();
         let inv = 1.0 / (self.window * self.window) as f32;
-        let mut out = vec![0.0f32; n * c * oh * ow];
+        let mut out = scratch::take_vec(n * c * oh * ow);
         for img in 0..n {
             for ch in 0..c {
                 let plane = (img * c + ch) * h * w;
@@ -85,7 +85,9 @@ impl Layer for AvgPool2d {
                 }
             }
         }
-        self.input_dims = dims.to_vec();
+        if self.input_dims != dims {
+            self.input_dims = dims.to_vec();
+        }
         Tensor::from_vec(out, &[n, c, oh, ow])
     }
 

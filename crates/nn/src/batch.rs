@@ -22,7 +22,7 @@
 //! should either stay single-block or accept the (equally valid) masks.
 
 use crate::Sequential;
-use chiron_tensor::{pool, Tensor};
+use chiron_tensor::{pool, scratch, Tensor};
 
 /// Copies rows `start..end` of `t` (along the first axis) into a new
 /// tensor with the same trailing dimensions.
@@ -33,7 +33,9 @@ fn slice_rows(t: &Tensor, start: usize, end: usize) -> Tensor {
     let row = t.numel() / n;
     let mut out_dims = dims.to_vec();
     out_dims[0] = end - start;
-    Tensor::from_vec(t.as_slice()[start * row..end * row].to_vec(), &out_dims)
+    let mut data = scratch::take_vec_with_capacity((end - start) * row);
+    data.extend_from_slice(&t.as_slice()[start * row..end * row]);
+    Tensor::from_vec(data, &out_dims)
 }
 
 /// Concatenates tensors along the first axis; all trailing dimensions must
@@ -41,8 +43,9 @@ fn slice_rows(t: &Tensor, start: usize, end: usize) -> Tensor {
 fn concat_rows(parts: &[Tensor]) -> Tensor {
     assert!(!parts.is_empty(), "concat_rows: empty input");
     let tail = &parts[0].dims()[1..];
+    let total: usize = parts.iter().map(Tensor::numel).sum();
     let mut rows = 0usize;
-    let mut data = Vec::new();
+    let mut data = scratch::take_vec_with_capacity(total);
     for p in parts {
         assert_eq!(&p.dims()[1..], tail, "concat_rows: trailing dims differ");
         rows += p.dims()[0];
@@ -56,7 +59,7 @@ fn concat_rows(parts: &[Tensor]) -> Tensor {
 /// Copies a layer stack's gradient accumulators into one flat vector, in
 /// the same visitation order as [`Sequential::parameters_flat`].
 fn grads_flat(net: &Sequential) -> Vec<f32> {
-    let mut out = Vec::with_capacity(net.num_params());
+    let mut out = scratch::take_vec_with_capacity(net.num_params());
     net.visit_params(&mut |_, g| out.extend_from_slice(g.as_slice()));
     out
 }
@@ -114,9 +117,11 @@ impl BatchedPass {
         // into the caller's accumulators once.
         let mut acc = grads_flat(&self.replicas[0]);
         for replica in &self.replicas[1..] {
-            for (a, g) in acc.iter_mut().zip(grads_flat(replica)) {
-                *a += g;
+            let g = grads_flat(replica);
+            for (a, &gv) in acc.iter_mut().zip(&g) {
+                *a += gv;
             }
+            scratch::recycle(g);
         }
         let mut off = 0usize;
         net.visit_params_mut(&mut |_, g| {
@@ -127,6 +132,7 @@ impl BatchedPass {
             }
             off += n;
         });
+        scratch::recycle(acc);
         concat_rows(&dxs)
     }
 }

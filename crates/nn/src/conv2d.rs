@@ -1,7 +1,9 @@
 //! 2-D convolution via `im2col`.
 
 use crate::Layer;
-use chiron_tensor::{col2im, im2col, Conv2dGeometry, Init, Tensor, TensorRng};
+use chiron_tensor::{
+    col2im, im2col, matmul_views, scratch, Conv2dGeometry, Init, MatView, Tensor, TensorRng,
+};
 
 /// A 2-D convolution layer over `(N, C_in, H, W)` batches.
 ///
@@ -93,7 +95,7 @@ impl Layer for Conv2d {
         let p = self.geo.out_positions();
         let c_out = self.out_channels;
         let src = out_cols.as_slice();
-        let mut out = vec![0.0f32; self.batch * c_out * p];
+        let mut out = scratch::take_vec(self.batch * c_out * p);
         for img in 0..self.batch {
             for pos in 0..p {
                 let row = (img * p + pos) * c_out;
@@ -118,22 +120,40 @@ impl Layer for Conv2d {
             "Conv2d: grad shape mismatch"
         );
 
-        // Back to (N·P, C_out) layout.
-        let src = grad_output.as_slice();
-        let mut dy = vec![0.0f32; self.batch * p * c_out];
-        for img in 0..self.batch {
-            for ch in 0..c_out {
-                for pos in 0..p {
-                    dy[(img * p + pos) * c_out + ch] = src[img * c_out * p + ch * p + pos];
+        // Both backward products consume the NCHW gradient through a
+        // `BatchCol` view presenting it as the (N·P, C_out) matrix the math
+        // wants — no transposed copy of `grad_output` is ever materialized.
+        let g = grad_output.as_slice();
+        let dy = MatView::batch_transposed(g, self.batch, c_out, p);
+        let fan = self.in_channels * self.geo.k_h * self.geo.k_w;
+
+        // dW = colsᵀ (fan, N·P) · dy (N·P, C_out).
+        let dw = matmul_views(
+            &MatView::transposed(cols.as_slice(), fan, self.batch * p),
+            &dy,
+        );
+        self.grad_weight.axpy(1.0, &dw);
+
+        // dBias: per-channel sum of the gradient, read directly from NCHW
+        // in (img, pos)-ascending order — the order `sum_rows` uses on the
+        // (N·P, C_out) layout.
+        let gb = self.grad_bias.as_mut_slice();
+        for (ch, gbc) in gb.iter_mut().enumerate() {
+            let mut acc = 0.0f32;
+            for img in 0..self.batch {
+                let plane = &g[(img * c_out + ch) * p..][..p];
+                for &v in plane {
+                    acc += v;
                 }
             }
+            *gbc += acc;
         }
-        let dy = Tensor::from_vec(dy, &[self.batch * p, c_out]);
 
-        self.grad_weight.axpy(1.0, &cols.matmul_tn(&dy));
-        self.grad_bias.axpy(1.0, &dy.sum_rows());
-
-        let dcols = dy.matmul_nt(&self.weight);
+        // dcols = dy (N·P, C_out) · Wᵀ (C_out, fan).
+        let dcols = matmul_views(
+            &dy,
+            &MatView::transposed(self.weight.as_slice(), c_out, fan),
+        );
         col2im(&dcols, self.batch, self.in_channels, &self.geo)
     }
 

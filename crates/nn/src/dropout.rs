@@ -1,7 +1,7 @@
 //! Inverted dropout.
 
 use crate::Layer;
-use chiron_tensor::{Tensor, TensorRng};
+use chiron_tensor::{scratch, Tensor, TensorRng};
 
 /// Inverted dropout: during training each element is zeroed with
 /// probability `p` and survivors are scaled by `1/(1-p)`, so evaluation is
@@ -54,15 +54,14 @@ impl Layer for Dropout {
         }
         let keep = 1.0 - self.p;
         let scale = 1.0 / keep;
-        let mask_data: Vec<f32> = (0..input.numel())
-            .map(|_| {
-                if self.rng.uniform(0.0, 1.0) < keep as f64 {
-                    scale
-                } else {
-                    0.0
-                }
-            })
-            .collect();
+        let mut mask_data = scratch::take_vec_with_capacity(input.numel());
+        mask_data.extend((0..input.numel()).map(|_| {
+            if self.rng.uniform(0.0, 1.0) < keep as f64 {
+                scale
+            } else {
+                0.0
+            }
+        }));
         let mask = Tensor::from_vec(mask_data, input.dims());
         let out = input.hadamard(&mask);
         self.mask = Some(mask);

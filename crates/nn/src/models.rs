@@ -129,7 +129,9 @@ impl Flatten {
 
 impl crate::Layer for Flatten {
     fn forward(&mut self, input: &chiron_tensor::Tensor, _train: bool) -> chiron_tensor::Tensor {
-        self.input_dims = input.dims().to_vec();
+        if self.input_dims != input.dims() {
+            self.input_dims = input.dims().to_vec();
+        }
         let n = self.input_dims[0];
         input.reshape(&[n, input.numel() / n])
     }

@@ -1,7 +1,7 @@
 //! Max pooling.
 
 use crate::Layer;
-use chiron_tensor::{Conv2dGeometry, Tensor};
+use chiron_tensor::{scratch, Conv2dGeometry, Tensor};
 
 /// Non-overlapping 2-D max pooling over `(N, C, H, W)` batches.
 ///
@@ -66,8 +66,14 @@ impl Layer for MaxPool2d {
         let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
         let (oh, ow) = (self.geo.out_h, self.geo.out_w);
         let x = input.as_slice();
-        let mut out = vec![f32::NEG_INFINITY; n * c * oh * ow];
-        let mut argmax = vec![0usize; n * c * oh * ow];
+        let len = n * c * oh * ow;
+        let mut out = scratch::take_vec_with_capacity(len);
+        out.resize(len, f32::NEG_INFINITY);
+        // Reuse the argmax buffer across steps; same-shape forwards are
+        // allocation-free once it has grown to size.
+        self.argmax.clear();
+        self.argmax.resize(len, 0);
+        let argmax = &mut self.argmax;
 
         for img in 0..n {
             for ch in 0..c {
@@ -90,8 +96,9 @@ impl Layer for MaxPool2d {
                 }
             }
         }
-        self.argmax = argmax;
-        self.input_dims = dims.to_vec();
+        if self.input_dims != dims {
+            self.input_dims = dims.to_vec();
+        }
         Tensor::from_vec(out, &[n, c, oh, ow])
     }
 

@@ -7,7 +7,7 @@
 //! gradients back into image layout; together they make conv backprop a pair
 //! of matmuls.
 
-use crate::{pool, Tensor};
+use crate::{pool, scratch, Tensor};
 
 /// Unrolled rows per parallel `im2col` block. Fixed by the problem size so
 /// the partitioning is identical for every thread count.
@@ -176,7 +176,7 @@ pub fn im2col(input: &Tensor, channels: usize, geo: &Conv2dGeometry) -> Tensor {
     let row_len = c * geo.k_h * geo.k_w;
     let rows = n * geo.out_positions();
     let x = input.as_slice();
-    let mut out = vec![0.0f32; rows * row_len];
+    let mut out = scratch::take_vec(rows * row_len);
 
     // Every unrolled row is an independent gather, so rows partition freely
     // over fixed-size blocks; the per-row copy is shared with the serial
@@ -218,7 +218,7 @@ pub fn col2im(cols: &Tensor, n: usize, channels: usize, geo: &Conv2dGeometry) ->
     );
     let (h, w) = (geo.in_h, geo.in_w);
     let src = cols.as_slice();
-    let mut out = vec![0.0f32; n * channels * h * w];
+    let mut out = scratch::take_vec(n * channels * h * w);
 
     // Overlapping windows scatter-add into the image, so the partition is
     // per image: rows of different images write disjoint slabs, and within

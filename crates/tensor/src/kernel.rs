@@ -1,0 +1,557 @@
+//! Cache-blocked, packed, register-tiled matmul kernel.
+//!
+//! All three matmul variants ([`Tensor::matmul`](crate::Tensor::matmul),
+//! `matmul_tn`, `matmul_nt`) and the conv-backward products route through
+//! [`matmul_views`], which dispatches on problem size:
+//!
+//! * **Direct path** (small products, e.g. the PPO MLP's `30×64·64×64`):
+//!   the original unblocked row loops — no packing overhead.
+//! * **Blocked path** (the conv-dominated im2col products): BLIS-style
+//!   `jc → pc → ic` panel blocking with [`NC`]×[`KC`]×[`MC`] tiles, both
+//!   operands packed into contiguous panels from the scratch arena, and an
+//!   [`MR`]×[`NR`] register-tiled micro-kernel.
+//!
+//! # Canonical accumulation order
+//!
+//! Every path — direct, blocked, serial, pool-parallel, any operand layout
+//! — computes each output element as **one** `f32` accumulator over `k`
+//! **ascending**:
+//!
+//! ```text
+//! c[i][j] = fold(k = 0..K) { acc = acc + a[i][k] * b[k][j] }
+//! ```
+//!
+//! The micro-kernel keeps this exact order across cache blocking by
+//! *loading the C tile into its accumulator registers* at the start of each
+//! `KC` panel and storing it back after: partial sums materialize through C
+//! memory between panels, and an `f32` store/load round-trip is
+//! value-preserving, so splitting `k` into panels never reassociates the
+//! fold. The direct path's zero-skip (`a[i][k] == 0.0` contributes
+//! `acc + ±0.0·b`, which never changes a finite accumulator that started at
+//! `+0.0`) and the packed path's zero padding are both identities on finite
+//! data, so:
+//!
+//! * the blocked kernel equals the naive reference **bitwise** (the
+//!   property tests assert exact equality on random shapes), and
+//! * size-based dispatch between the two paths is numerically invisible.
+//!
+//! # Thread-count invariance
+//!
+//! The blocked path parallelizes over `MC`-row blocks of C inside each
+//! `(jc, pc)` panel. The partition is derived from `m` alone (never the
+//! thread count), each block writes a disjoint row range, and each element's
+//! operation sequence is fixed by the loop structure — so output is bitwise
+//! identical to serial at any `CHIRON_THREADS` (`tests/parallel_determinism`
+//! proves it end to end). The B panel is packed once per `(jc, pc)` by the
+//! calling thread; each row block packs its A panel into its own
+//! thread-local scratch buffer.
+
+use crate::scratch::ScratchBuf;
+use crate::{pool, Tensor};
+
+/// Rows of C per cache block (the `ic` loop step and the parallel grain).
+pub const MC: usize = 64;
+/// Depth of one packed panel (the `pc` loop step): A and B panels of this
+/// depth stay L1/L2-resident under the micro-kernel.
+pub const KC: usize = 256;
+/// Columns of C per outer panel (the `jc` loop step).
+pub const NC: usize = 512;
+/// Micro-tile rows: 8 independent accumulator rows give the FPU enough
+/// parallelism despite each element's strictly serial `k` chain.
+pub const MR: usize = 8;
+/// Micro-tile columns: one 4-wide f32 SIMD lane per accumulator row on the
+/// baseline x86-64 target.
+pub const NR: usize = 4;
+
+/// Multiply-add count below which the packed path's setup (panel packing,
+/// C-tile staging) costs more than it saves. The PPO-sized products
+/// (`30·64·64 ≈ 1.2×10⁵`) stay direct; every conv im2col product of the
+/// paper's CNNs (≥ 1.4×10⁶) goes blocked. Dispatch is by shape only, so a
+/// given product always takes the same path at every thread count — and the
+/// two paths agree bitwise anyway (see module docs).
+const BLOCKED_FLOP_THRESHOLD: usize = 1 << 18;
+
+/// Output rows per parallel block on the *direct* path. Fixed by the
+/// problem size (never the thread count) so the partitioning — and
+/// therefore every per-element accumulation order — is identical for every
+/// thread count.
+const ROWS_PER_BLOCK: usize = 16;
+
+/// Below this many multiply-adds the direct path runs serially; the pool
+/// fan-out overhead beats the win. A performance gate only: each output
+/// element is computed with the same operation sequence on either path.
+const PARALLEL_FLOP_THRESHOLD: usize = 1 << 16;
+
+/// A borrowed matrix operand: flat data plus a logical `rows × cols` layout
+/// that the kernel's packing routines absorb, so transposes (and the conv
+/// backward's NCHW gradient) never materialize.
+#[derive(Clone, Copy)]
+pub struct MatView<'a> {
+    data: &'a [f32],
+    layout: Layout,
+}
+
+#[derive(Clone, Copy)]
+enum Layout {
+    /// `rows × cols`, row-major: `(r, c) → data[r·cols + c]`.
+    RowMajor { rows: usize, cols: usize },
+    /// Logical `rows × cols` over data stored row-major as `cols × rows`
+    /// (a transpose view): `(r, c) → data[c·rows + r]`.
+    ColMajor { rows: usize, cols: usize },
+    /// Logical `(batch·positions) × channels` over NCHW-flattened data —
+    /// the conv layer's `(N, C, P)` gradient read as the `(N·P, C)` matrix
+    /// its backward products need, without the transpose copy:
+    /// `(b·positions + pos, ch) → data[b·channels·positions + ch·positions + pos]`.
+    BatchCol {
+        batch: usize,
+        channels: usize,
+        positions: usize,
+    },
+}
+
+impl<'a> MatView<'a> {
+    /// Row-major `rows × cols` view.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn row_major(data: &'a [f32], rows: usize, cols: usize) -> Self {
+        assert_eq!(data.len(), rows * cols, "MatView: data/shape mismatch");
+        Self {
+            data,
+            layout: Layout::RowMajor { rows, cols },
+        }
+    }
+
+    /// Transpose view: `data` is stored row-major as `cols × rows`; the
+    /// view presents the logical `rows × cols` transpose.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn transposed(data: &'a [f32], rows: usize, cols: usize) -> Self {
+        assert_eq!(data.len(), rows * cols, "MatView: data/shape mismatch");
+        Self {
+            data,
+            layout: Layout::ColMajor { rows, cols },
+        }
+    }
+
+    /// `(batch·positions) × channels` view over `(batch, channels,
+    /// positions)` NCHW-flattened data (see [`Layout::BatchCol`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != batch * channels * positions`.
+    pub fn batch_transposed(
+        data: &'a [f32],
+        batch: usize,
+        channels: usize,
+        positions: usize,
+    ) -> Self {
+        assert_eq!(
+            data.len(),
+            batch * channels * positions,
+            "MatView: data/shape mismatch"
+        );
+        Self {
+            data,
+            layout: Layout::BatchCol {
+                batch,
+                channels,
+                positions,
+            },
+        }
+    }
+
+    /// Logical row count.
+    pub fn rows(&self) -> usize {
+        match self.layout {
+            Layout::RowMajor { rows, .. } | Layout::ColMajor { rows, .. } => rows,
+            Layout::BatchCol {
+                batch, positions, ..
+            } => batch * positions,
+        }
+    }
+
+    /// Logical column count.
+    pub fn cols(&self) -> usize {
+        match self.layout {
+            Layout::RowMajor { cols, .. } | Layout::ColMajor { cols, .. } => cols,
+            Layout::BatchCol { channels, .. } => channels,
+        }
+    }
+
+    /// Element at logical `(r, c)`.
+    #[inline]
+    fn get(&self, r: usize, c: usize) -> f32 {
+        match self.layout {
+            Layout::RowMajor { cols, .. } => self.data[r * cols + c],
+            Layout::ColMajor { rows, .. } => self.data[c * rows + r],
+            Layout::BatchCol {
+                channels,
+                positions,
+                ..
+            } => {
+                let b = r / positions;
+                let pos = r % positions;
+                self.data[(b * channels + c) * positions + pos]
+            }
+        }
+    }
+}
+
+/// `a (m×k) · b (k×n)` into a fresh arena-backed tensor.
+///
+/// # Panics
+///
+/// Panics if the inner dimensions disagree.
+pub fn matmul_views(a: &MatView<'_>, b: &MatView<'_>) -> Tensor {
+    let (m, n) = (a.rows(), b.cols());
+    let mut out = crate::scratch::take_vec(m * n);
+    matmul_into(a, b, &mut out);
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// `a (m×k) · b (k×n)` accumulated into `out` (which must be zeroed, length
+/// `m·n`, row-major).
+///
+/// # Panics
+///
+/// Panics if the inner dimensions disagree or `out` has the wrong length.
+pub fn matmul_into(a: &MatView<'_>, b: &MatView<'_>, out: &mut [f32]) {
+    let (m, k) = (a.rows(), a.cols());
+    let (k2, n) = (b.rows(), b.cols());
+    assert_eq!(k, k2, "matmul: inner dims mismatch ({m}x{k}) · ({k2}x{n})");
+    assert_eq!(out.len(), m * n, "matmul: output length mismatch");
+    if m * k * n >= BLOCKED_FLOP_THRESHOLD {
+        blocked(a, b, m, k, n, out);
+    } else {
+        direct(a, b, m, k, n, out);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Direct path: the original unblocked loops, for small products.
+// ---------------------------------------------------------------------------
+
+/// One output row with a row-major `b`: `o_row += a[i][·] · b` in ikj order
+/// with the zero-skip. Shared by the serial and parallel paths so they are
+/// bitwise identical by construction.
+#[inline]
+fn direct_row_b_rowmajor(
+    a: &MatView<'_>,
+    i: usize,
+    b: &[f32],
+    k: usize,
+    n: usize,
+    o_row: &mut [f32],
+) {
+    for kk in 0..k {
+        let aik = a.get(i, kk);
+        if aik == 0.0 {
+            continue;
+        }
+        let b_row = &b[kk * n..(kk + 1) * n];
+        for (o, &bkj) in o_row.iter_mut().zip(b_row) {
+            *o += aik * bkj;
+        }
+    }
+}
+
+/// One output row with a column-major `b` (the `nt` case): independent dot
+/// products over `b`'s contiguous columns. A row-major `a` row is sliced
+/// once so the dot is a plain two-slice zip the compiler can vectorize;
+/// both branches fold in ascending `k`, so they are bitwise identical.
+#[inline]
+fn direct_row_b_colmajor(a: &MatView<'_>, i: usize, b: &[f32], k: usize, o_row: &mut [f32]) {
+    if let Layout::RowMajor { cols, .. } = a.layout {
+        let a_row = &a.data[i * cols..i * cols + k];
+        for (j, o) in o_row.iter_mut().enumerate() {
+            let b_col = &b[j * k..(j + 1) * k];
+            let mut acc = 0.0;
+            for (&aik, &bkj) in a_row.iter().zip(b_col) {
+                acc += aik * bkj;
+            }
+            *o = acc;
+        }
+    } else {
+        for (j, o) in o_row.iter_mut().enumerate() {
+            let b_col = &b[j * k..(j + 1) * k];
+            let mut acc = 0.0;
+            for (kk, &bkj) in b_col.iter().enumerate() {
+                acc += a.get(i, kk) * bkj;
+            }
+            *o = acc;
+        }
+    }
+}
+
+/// One output row for any layout pair, via `get` (only reached by the
+/// BatchCol-B combinations, which the conv backward keeps above the blocked
+/// threshold except in small tests).
+#[inline]
+fn direct_row_generic(a: &MatView<'_>, b: &MatView<'_>, i: usize, k: usize, o_row: &mut [f32]) {
+    for kk in 0..k {
+        let aik = a.get(i, kk);
+        if aik == 0.0 {
+            continue;
+        }
+        for (j, o) in o_row.iter_mut().enumerate() {
+            *o += aik * b.get(kk, j);
+        }
+    }
+}
+
+fn direct(a: &MatView<'_>, b: &MatView<'_>, m: usize, k: usize, n: usize, out: &mut [f32]) {
+    let per_row = |i: usize, o_row: &mut [f32]| match b.layout {
+        Layout::RowMajor { .. } => direct_row_b_rowmajor(a, i, b.data, k, n, o_row),
+        Layout::ColMajor { .. } => direct_row_b_colmajor(a, i, b.data, k, o_row),
+        Layout::BatchCol { .. } => direct_row_generic(a, b, i, k, o_row),
+    };
+    if m * k * n >= PARALLEL_FLOP_THRESHOLD && m > ROWS_PER_BLOCK && pool::threads() > 1 {
+        pool::parallel_chunks_mut(out, ROWS_PER_BLOCK * n, |block, o_chunk| {
+            let row0 = block * ROWS_PER_BLOCK;
+            for (r, o_row) in o_chunk.chunks_mut(n).enumerate() {
+                per_row(row0 + r, o_row);
+            }
+        });
+    } else {
+        for (i, o_row) in out.chunks_mut(n).enumerate() {
+            per_row(i, o_row);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Blocked path: pack + register-tiled micro-kernel.
+// ---------------------------------------------------------------------------
+
+/// The register tile: MR×NR accumulators, each following its element's
+/// canonical ascending-`k` chain. `ap` is an MR-interleaved A strip
+/// (`ap[kk·MR + r]`), `bp` an NR-interleaved B strip (`bp[kk·NR + j]`).
+/// The accumulators enter holding the current C tile and leave holding the
+/// tile advanced by `kc` terms — the C round-trip that keeps panel blocking
+/// bitwise-transparent.
+#[inline]
+fn micro_kernel(kc: usize, ap: &[f32], bp: &[f32], acc: &mut [[f32; NR]; MR]) {
+    for kk in 0..kc {
+        let b_strip = &bp[kk * NR..kk * NR + NR];
+        let bj: [f32; NR] = [b_strip[0], b_strip[1], b_strip[2], b_strip[3]];
+        let a_strip = &ap[kk * MR..kk * MR + MR];
+        for r in 0..MR {
+            let ar = a_strip[r];
+            for (aj, &bv) in acc[r].iter_mut().zip(&bj) {
+                *aj += ar * bv;
+            }
+        }
+    }
+}
+
+/// Packs rows `i0..i0+mc`, depth `pc..pc+kc` of `a` into MR-row strips,
+/// `kk`-major within each strip: `dst[strip·kc·MR + kk·MR + r]`. `dst` is
+/// pre-zeroed, so rows past `mc` stay zero-padded.
+fn pack_a(a: &MatView<'_>, i0: usize, mc: usize, pc: usize, kc: usize, dst: &mut [f32]) {
+    match a.layout {
+        Layout::RowMajor { cols, .. } => {
+            for t in 0..mc.div_ceil(MR) {
+                let strip = &mut dst[t * kc * MR..(t + 1) * kc * MR];
+                for r in 0..MR.min(mc - t * MR) {
+                    let row = &a.data[(i0 + t * MR + r) * cols + pc..][..kc];
+                    for (kk, &v) in row.iter().enumerate() {
+                        strip[kk * MR + r] = v;
+                    }
+                }
+            }
+        }
+        Layout::ColMajor { rows, .. } => {
+            // Columns of the stored matrix are contiguous runs of logical
+            // rows: copy each depth's `mc`-long segment, scattering by MR.
+            for kk in 0..kc {
+                let col = &a.data[(pc + kk) * rows + i0..][..mc];
+                for (ri, &v) in col.iter().enumerate() {
+                    dst[(ri / MR) * kc * MR + kk * MR + (ri % MR)] = v;
+                }
+            }
+        }
+        Layout::BatchCol { .. } => {
+            for t in 0..mc.div_ceil(MR) {
+                let strip = &mut dst[t * kc * MR..(t + 1) * kc * MR];
+                for r in 0..MR.min(mc - t * MR) {
+                    let row = i0 + t * MR + r;
+                    for kk in 0..kc {
+                        strip[kk * MR + r] = a.get(row, pc + kk);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Packs depth `pc..pc+kc`, columns `jc..jc+nc` of `b` into NR-column
+/// strips, `kk`-major within each strip: `dst[strip·kc·NR + kk·NR + j]`.
+/// `dst` is pre-zeroed, so columns past `nc` stay zero-padded.
+fn pack_b(b: &MatView<'_>, pc: usize, kc: usize, jc: usize, nc: usize, dst: &mut [f32]) {
+    match b.layout {
+        Layout::RowMajor { cols, .. } => {
+            for kk in 0..kc {
+                let row = &b.data[(pc + kk) * cols + jc..][..nc];
+                for (ji, &v) in row.iter().enumerate() {
+                    dst[(ji / NR) * kc * NR + kk * NR + (ji % NR)] = v;
+                }
+            }
+        }
+        Layout::ColMajor { rows, .. } => {
+            for s in 0..nc.div_ceil(NR) {
+                let strip = &mut dst[s * kc * NR..(s + 1) * kc * NR];
+                for j in 0..NR.min(nc - s * NR) {
+                    let col = &b.data[(jc + s * NR + j) * rows + pc..][..kc];
+                    for (kk, &v) in col.iter().enumerate() {
+                        strip[kk * NR + j] = v;
+                    }
+                }
+            }
+        }
+        Layout::BatchCol { .. } => {
+            for s in 0..nc.div_ceil(NR) {
+                let strip = &mut dst[s * kc * NR..(s + 1) * kc * NR];
+                for j in 0..NR.min(nc - s * NR) {
+                    let col = jc + s * NR + j;
+                    for kk in 0..kc {
+                        strip[kk * NR + j] = b.get(pc + kk, col);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Runs the packed panel loops for one MC-row block of C. `out_rows` is the
+/// block's row range of the full output (row-major, all `n` columns); `bp`
+/// is the packed B panel for `(jc, pc)`.
+#[allow(clippy::too_many_arguments)]
+fn row_block(
+    a: &MatView<'_>,
+    bp: &[f32],
+    i0: usize,
+    mc: usize,
+    pc: usize,
+    kc: usize,
+    jc: usize,
+    nc: usize,
+    n: usize,
+    out_rows: &mut [f32],
+) {
+    let mut ap = ScratchBuf::zeroed(mc.div_ceil(MR) * kc * MR);
+    pack_a(a, i0, mc, pc, kc, &mut ap);
+    for s in 0..nc.div_ceil(NR) {
+        let j0 = jc + s * NR;
+        let jn = NR.min(nc - s * NR);
+        let b_strip = &bp[s * kc * NR..(s + 1) * kc * NR];
+        for t in 0..mc.div_ceil(MR) {
+            let r0 = t * MR;
+            let rm = MR.min(mc - r0);
+            let a_strip = &ap[t * kc * MR..(t + 1) * kc * MR];
+            let mut acc = [[0.0f32; NR]; MR];
+            for (r, row) in acc.iter_mut().enumerate().take(rm) {
+                for (j, v) in row.iter_mut().enumerate().take(jn) {
+                    *v = out_rows[(r0 + r) * n + j0 + j];
+                }
+            }
+            micro_kernel(kc, a_strip, b_strip, &mut acc);
+            for (r, row) in acc.iter().enumerate().take(rm) {
+                for (j, &v) in row.iter().enumerate().take(jn) {
+                    out_rows[(r0 + r) * n + j0 + j] = v;
+                }
+            }
+        }
+    }
+}
+
+fn blocked(a: &MatView<'_>, b: &MatView<'_>, m: usize, k: usize, n: usize, out: &mut [f32]) {
+    for jc in (0..n).step_by(NC) {
+        let nc = NC.min(n - jc);
+        for pc in (0..k).step_by(KC) {
+            let kc = KC.min(k - pc);
+            // One packed B panel per (jc, pc), shared read-only by every
+            // row block; padding stays zero from the arena's zero-fill.
+            let mut bp = ScratchBuf::zeroed(nc.div_ceil(NR) * kc * NR);
+            pack_b(b, pc, kc, jc, nc, &mut bp);
+            let blocks = m.div_ceil(MC);
+            if blocks > 1 && pool::threads() > 1 {
+                pool::parallel_chunks_mut(out, MC * n, |blk, rows| {
+                    let i0 = blk * MC;
+                    row_block(a, &bp, i0, rows.len() / n, pc, kc, jc, nc, n, rows);
+                });
+            } else {
+                for (blk, rows) in out.chunks_mut(MC * n).enumerate() {
+                    let i0 = blk * MC;
+                    row_block(a, &bp, i0, rows.len() / n, pc, kc, jc, nc, n, rows);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Init, TensorRng};
+
+    /// The naive reference: one accumulator per element, `k` ascending, no
+    /// skips — the canonical order every kernel path must match bitwise.
+    fn reference(a: &MatView<'_>, b: &MatView<'_>) -> Vec<f32> {
+        let (m, k, n) = (a.rows(), a.cols(), b.cols());
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0f32;
+                for kk in 0..k {
+                    acc += a.get(i, kk) * b.get(kk, j);
+                }
+                out[i * n + j] = acc;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn blocked_path_matches_reference_exactly() {
+        let mut rng = TensorRng::seed_from(99);
+        // Non-divisible by MR/NR/MC/KC on purpose.
+        let (m, k, n) = (131, 67, 29);
+        let a = rng.init(&[m, k], Init::Normal(1.0));
+        let b = rng.init(&[k, n], Init::Normal(1.0));
+        let av = MatView::row_major(a.as_slice(), m, k);
+        let bv = MatView::row_major(b.as_slice(), k, n);
+        let mut out = vec![0.0f32; m * n];
+        blocked(&av, &bv, m, k, n, &mut out);
+        assert_eq!(out, reference(&av, &bv));
+    }
+
+    #[test]
+    fn batch_col_view_reads_nchw_as_np_by_c() {
+        // (batch=2, channels=3, positions=2) NCHW data.
+        let data: Vec<f32> = (0..12).map(|x| x as f32).collect();
+        let v = MatView::batch_transposed(&data, 2, 3, 2);
+        assert_eq!((v.rows(), v.cols()), (4, 3));
+        // Row (b=0, pos=1), channel 2 → data[0·6 + 2·2 + 1] = 5.
+        assert_eq!(v.get(1, 2), 5.0);
+        // Row (b=1, pos=0), channel 1 → data[6 + 2 + 0] = 8.
+        assert_eq!(v.get(2, 1), 8.0);
+    }
+
+    #[test]
+    fn micro_kernel_resumes_from_c_tile() {
+        // Two KC half-panels must equal one full pass bitwise.
+        let kc = 10;
+        let ap: Vec<f32> = (0..kc * MR).map(|x| (x as f32 * 0.37).sin()).collect();
+        let bp: Vec<f32> = (0..kc * NR).map(|x| (x as f32 * 0.61).cos()).collect();
+        let mut full = [[0.0f32; NR]; MR];
+        micro_kernel(kc, &ap, &bp, &mut full);
+        let mut halves = [[0.0f32; NR]; MR];
+        micro_kernel(5, &ap[..5 * MR], &bp[..5 * NR], &mut halves);
+        micro_kernel(5, &ap[5 * MR..], &bp[5 * NR..], &mut halves);
+        assert_eq!(full, halves);
+    }
+}

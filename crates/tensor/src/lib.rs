@@ -30,13 +30,16 @@
 
 mod conv;
 mod init;
+pub mod kernel;
 mod ops;
 pub mod pool;
+pub mod scratch;
 mod shape;
 mod tensor;
 
 pub use conv::{col2im, im2col, Conv2dGeometry};
 pub use init::{Init, TensorRng};
+pub use kernel::{matmul_views, MatView};
 pub use shape::Shape;
 pub use tensor::Tensor;
 

@@ -1,62 +1,13 @@
 //! Linear algebra and reduction operations on [`Tensor`].
+//!
+//! The three matmul variants are thin layout adapters over
+//! [`crate::kernel`]: each wraps its operands in the [`MatView`] describing
+//! how the data is stored and lets the kernel pick the direct or blocked
+//! path. Dispatch is numerically invisible — see the kernel module docs for
+//! the canonical-accumulation-order argument.
 
-use crate::{pool, Tensor};
-
-/// Output rows per parallel block. Fixed by the problem size (never by the
-/// thread count) so the partitioning — and therefore every per-element
-/// accumulation order — is identical for every thread count.
-const ROWS_PER_BLOCK: usize = 16;
-
-/// Below this many fused multiply-adds the dispatch overhead beats the
-/// parallel win; run serially. Purely a performance gate: each output
-/// element is computed with the same operation sequence on either path.
-const PARALLEL_FLOP_THRESHOLD: usize = 1 << 16;
-
-/// One output row of `matmul`: `o_row += a_row · b` in ikj order with the
-/// zero-skip. Shared by the serial and parallel paths so they are bitwise
-/// identical by construction.
-#[inline]
-fn matmul_row(a_row: &[f32], b: &[f32], n: usize, o_row: &mut [f32]) {
-    for (kk, &aik) in a_row.iter().enumerate() {
-        if aik == 0.0 {
-            continue;
-        }
-        let b_row = &b[kk * n..(kk + 1) * n];
-        for (o, &bkj) in o_row.iter_mut().zip(b_row) {
-            *o += aik * bkj;
-        }
-    }
-}
-
-/// One output row of `matmul_tn`: accumulates `out[i] += a[kk*m+i] · b[kk]`
-/// over `kk` ascending with the zero-skip — the same per-element order and
-/// skip condition as the cache-friendlier kk-outer serial loop.
-#[inline]
-fn matmul_tn_row(a: &[f32], b: &[f32], k: usize, m: usize, n: usize, i: usize, o_row: &mut [f32]) {
-    for kk in 0..k {
-        let aki = a[kk * m + i];
-        if aki == 0.0 {
-            continue;
-        }
-        let b_row = &b[kk * n..(kk + 1) * n];
-        for (o, &bkj) in o_row.iter_mut().zip(b_row) {
-            *o += aki * bkj;
-        }
-    }
-}
-
-/// One output row of `matmul_nt`: independent dot products.
-#[inline]
-fn matmul_nt_row(a_row: &[f32], b: &[f32], k: usize, o_row: &mut [f32]) {
-    for (j, o) in o_row.iter_mut().enumerate() {
-        let b_row = &b[j * k..(j + 1) * k];
-        let mut acc = 0.0;
-        for (&x, &y) in a_row.iter().zip(b_row) {
-            acc += x * y;
-        }
-        *o = acc;
-    }
-}
+use crate::kernel::{matmul_views, MatView};
+use crate::{scratch, Tensor};
 
 impl Tensor {
     /// Matrix product `self (m×k) · rhs (k×n) → (m×n)`.
@@ -70,29 +21,10 @@ impl Tensor {
     pub fn matmul(&self, rhs: &Tensor) -> Tensor {
         let (m, k) = self.shape().as_matrix();
         let (k2, n) = rhs.shape().as_matrix();
-        assert_eq!(k, k2, "matmul: inner dims mismatch ({m}x{k}) · ({k2}x{n})");
-        let a = self.as_slice();
-        let b = rhs.as_slice();
-        let mut out = vec![0.0f32; m * n];
-        // ikj loop order keeps the innermost accesses contiguous for both
-        // the output row and the rhs row, which matters for the conv im2col
-        // products that dominate CNN training time. Large products fan out
-        // over output-row blocks; each row is still computed by the same
-        // kernel, so results are bitwise identical on either path.
-        if m * k * n >= PARALLEL_FLOP_THRESHOLD && m > ROWS_PER_BLOCK && pool::threads() > 1 {
-            pool::parallel_chunks_mut(&mut out, ROWS_PER_BLOCK * n, |block, o_chunk| {
-                let row0 = block * ROWS_PER_BLOCK;
-                for (r, o_row) in o_chunk.chunks_mut(n).enumerate() {
-                    let i = row0 + r;
-                    matmul_row(&a[i * k..(i + 1) * k], b, n, o_row);
-                }
-            });
-        } else {
-            for i in 0..m {
-                matmul_row(&a[i * k..(i + 1) * k], b, n, &mut out[i * n..(i + 1) * n]);
-            }
-        }
-        Tensor::from_vec(out, &[m, n])
+        matmul_views(
+            &MatView::row_major(self.as_slice(), m, k),
+            &MatView::row_major(rhs.as_slice(), k2, n),
+        )
     }
 
     /// `selfᵀ (k×m)ᵀ · rhs (k×n) → (m×n)`, i.e. `self` is transposed.
@@ -106,40 +38,10 @@ impl Tensor {
     pub fn matmul_tn(&self, rhs: &Tensor) -> Tensor {
         let (k, m) = self.shape().as_matrix();
         let (k2, n) = rhs.shape().as_matrix();
-        assert_eq!(
-            k, k2,
-            "matmul_tn: row dims mismatch ({k}x{m})ᵀ · ({k2}x{n})"
-        );
-        let a = self.as_slice();
-        let b = rhs.as_slice();
-        let mut out = vec![0.0f32; m * n];
-        // The serial path walks kk in the outer loop (one pass over `a` and
-        // `b` each); the parallel path computes whole output rows, which
-        // accumulates each element over the same ascending kk sequence with
-        // the same zero-skip — bitwise identical, just a different schedule.
-        if k * m * n >= PARALLEL_FLOP_THRESHOLD && m > ROWS_PER_BLOCK && pool::threads() > 1 {
-            pool::parallel_chunks_mut(&mut out, ROWS_PER_BLOCK * n, |block, o_chunk| {
-                let row0 = block * ROWS_PER_BLOCK;
-                for (r, o_row) in o_chunk.chunks_mut(n).enumerate() {
-                    matmul_tn_row(a, b, k, m, n, row0 + r, o_row);
-                }
-            });
-        } else {
-            for kk in 0..k {
-                let a_row = &a[kk * m..(kk + 1) * m];
-                let b_row = &b[kk * n..(kk + 1) * n];
-                for (i, &aki) in a_row.iter().enumerate() {
-                    if aki == 0.0 {
-                        continue;
-                    }
-                    let o_row = &mut out[i * n..(i + 1) * n];
-                    for (o, &bkj) in o_row.iter_mut().zip(b_row) {
-                        *o += aki * bkj;
-                    }
-                }
-            }
-        }
-        Tensor::from_vec(out, &[m, n])
+        matmul_views(
+            &MatView::transposed(self.as_slice(), m, k),
+            &MatView::row_major(rhs.as_slice(), k2, n),
+        )
     }
 
     /// `self (m×k) · rhsᵀ (n×k)ᵀ → (m×n)`, i.e. `rhs` is transposed.
@@ -152,27 +54,10 @@ impl Tensor {
     pub fn matmul_nt(&self, rhs: &Tensor) -> Tensor {
         let (m, k) = self.shape().as_matrix();
         let (n, k2) = rhs.shape().as_matrix();
-        assert_eq!(
-            k, k2,
-            "matmul_nt: col dims mismatch ({m}x{k}) · ({n}x{k2})ᵀ"
-        );
-        let a = self.as_slice();
-        let b = rhs.as_slice();
-        let mut out = vec![0.0f32; m * n];
-        if m * k * n >= PARALLEL_FLOP_THRESHOLD && m > ROWS_PER_BLOCK && pool::threads() > 1 {
-            pool::parallel_chunks_mut(&mut out, ROWS_PER_BLOCK * n, |block, o_chunk| {
-                let row0 = block * ROWS_PER_BLOCK;
-                for (r, o_row) in o_chunk.chunks_mut(n).enumerate() {
-                    let i = row0 + r;
-                    matmul_nt_row(&a[i * k..(i + 1) * k], b, k, o_row);
-                }
-            });
-        } else {
-            for i in 0..m {
-                matmul_nt_row(&a[i * k..(i + 1) * k], b, k, &mut out[i * n..(i + 1) * n]);
-            }
-        }
-        Tensor::from_vec(out, &[m, n])
+        matmul_views(
+            &MatView::row_major(self.as_slice(), m, k),
+            &MatView::transposed(rhs.as_slice(), k2, n),
+        )
     }
 
     /// Dot product of two equally sized tensors, flattened.
@@ -199,7 +84,7 @@ impl Tensor {
     pub fn transpose(&self) -> Tensor {
         let (m, n) = self.shape().as_matrix();
         let a = self.as_slice();
-        let mut out = vec![0.0f32; m * n];
+        let mut out = scratch::take_vec(m * n);
         for i in 0..m {
             for j in 0..n {
                 out[j * m + i] = a[i * n + j];
@@ -239,7 +124,7 @@ impl Tensor {
     pub fn sum_rows(&self) -> Tensor {
         let (rows, cols) = self.shape().as_matrix();
         let a = self.as_slice();
-        let mut out = vec![0.0f32; cols];
+        let mut out = scratch::take_vec(cols);
         for r in 0..rows {
             for c in 0..cols {
                 out[c] += a[r * cols + c];
@@ -275,7 +160,7 @@ impl Tensor {
     pub fn softmax_rows(&self) -> Tensor {
         let (rows, cols) = self.shape().as_matrix();
         let a = self.as_slice();
-        let mut out = vec![0.0f32; rows * cols];
+        let mut out = scratch::take_vec(rows * cols);
         for r in 0..rows {
             let row = &a[r * cols..(r + 1) * cols];
             let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
@@ -303,7 +188,9 @@ impl Tensor {
     pub fn row(&self, r: usize) -> Tensor {
         let (rows, cols) = self.shape().as_matrix();
         assert!(r < rows, "row {r} out of range for {rows} rows");
-        Tensor::from_vec(self.as_slice()[r * cols..(r + 1) * cols].to_vec(), &[cols])
+        let mut data = scratch::take_vec_with_capacity(cols);
+        data.extend_from_slice(&self.as_slice()[r * cols..(r + 1) * cols]);
+        Tensor::from_vec(data, &[cols])
     }
 
     /// Stacks rank-1 tensors of equal length into a matrix, one per row.
@@ -314,7 +201,7 @@ impl Tensor {
     pub fn stack_rows(rows: &[Tensor]) -> Tensor {
         assert!(!rows.is_empty(), "stack_rows: empty input");
         let cols = rows[0].numel();
-        let mut data = Vec::with_capacity(rows.len() * cols);
+        let mut data = scratch::take_vec_with_capacity(rows.len() * cols);
         for (i, r) in rows.iter().enumerate() {
             assert_eq!(
                 r.numel(),

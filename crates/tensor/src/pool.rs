@@ -309,12 +309,28 @@ where
         .collect()
 }
 
-/// [`parallel_chunks_map`] without per-block results.
+/// True when a region of `blocks` blocks would run inline (serial pool,
+/// trivial region, or nested call from a worker) — the cases where the
+/// fan-out bookkeeping, and its allocations, can be skipped entirely.
+fn runs_inline(blocks: usize) -> bool {
+    threads().min(blocks) <= 1 || ON_WORKER.with(|f| f.get())
+}
+
+/// [`parallel_chunks_map`] without per-block results. The serial path is
+/// allocation-free (no per-block result vector), which keeps single-thread
+/// training steps off the heap entirely.
 pub fn parallel_chunks_mut<T, F>(out: &mut [T], chunk_len: usize, f: F)
 where
     T: Send,
     F: Fn(usize, &mut [T]) + Sync,
 {
+    assert!(chunk_len > 0, "chunk_len must be positive");
+    if runs_inline(out.len().div_ceil(chunk_len)) {
+        for (b, chunk) in out.chunks_mut(chunk_len).enumerate() {
+            f(b, chunk);
+        }
+        return;
+    }
     let _ = parallel_chunks_map(out, chunk_len, |b, chunk| f(b, chunk));
 }
 
@@ -333,6 +349,16 @@ where
 {
     assert!(block_len > 0, "block_len must be positive");
     let blocks = items.div_ceil(block_len);
+    if runs_inline(blocks) {
+        // Allocation-free serial path: accumulate partials directly in
+        // block-index order — the same reduction order as the parallel path.
+        let mut total = 0.0f64;
+        for b in 0..blocks {
+            let start = b * block_len;
+            total += f(start..(start + block_len).min(items));
+        }
+        return total;
+    }
     let mut partials = vec![0.0f64; blocks];
     let items_end = items;
     parallel_chunks_mut(&mut partials, 1, |b, slot| {

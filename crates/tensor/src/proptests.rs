@@ -9,6 +9,23 @@ fn small_matrix() -> impl Strategy<Value = (usize, usize, Vec<f32>)> {
     })
 }
 
+/// Reference matmul in the canonical accumulation order: one `f32`
+/// accumulator per output element, ascending `k`. The kernel must match
+/// this bitwise on every dispatch path (see `kernel` module docs).
+fn naive_matmul(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for kk in 0..k {
+                acc += a[i * k + kk] * b[kk * n + j];
+            }
+            out[i * n + j] = acc;
+        }
+    }
+    out
+}
+
 proptest! {
     #[test]
     fn matmul_identity_is_noop((m, n, data) in small_matrix()) {
@@ -96,5 +113,67 @@ proptest! {
         let t = Tensor::from_vec(data, &[n]);
         let c = t.clamp(-1.0, 1.0);
         prop_assert!(c.as_slice().iter().all(|&x| (-1.0..=1.0).contains(&x)));
+    }
+
+    #[test]
+    fn direct_matmul_matches_naive_exactly(
+        m in 1usize..24, k in 1usize..24, n in 1usize..24, seed in 0u64..1000,
+    ) {
+        // m·k·n < 2^18, so this stays on the direct path; shapes cover
+        // everything non-divisible by MR=8 / NR=4.
+        let mut rng = TensorRng::seed_from(seed);
+        let a = rng.init(&[m, k], Init::Normal(1.0));
+        let b = rng.init(&[k, n], Init::Normal(1.0));
+        let fast = a.matmul(&b);
+        let naive = naive_matmul(a.as_slice(), b.as_slice(), m, k, n);
+        prop_assert_eq!(fast.as_slice(), &naive[..]);
+    }
+}
+
+// Larger shapes that cross BLOCKED_FLOP_THRESHOLD (2^18 flops) and so take
+// the packed, cache-blocked kernel. Fewer cases — each one is a real GEMM.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn blocked_matmul_matches_naive_exactly(
+        m in 64usize..100, k in 240usize..280, n in 33usize..70, seed in 0u64..1000,
+    ) {
+        // m·k·n ≥ 64·240·33 > 2^18 → blocked path; k straddles KC=256 so
+        // some shapes accumulate a C tile across two packed panels, and the
+        // ranges are chosen to never divide MR/NR/MC evenly for all cases.
+        let mut rng = TensorRng::seed_from(seed);
+        let a = rng.init(&[m, k], Init::Normal(1.0));
+        let b = rng.init(&[k, n], Init::Normal(1.0));
+        let fast = a.matmul(&b);
+        let naive = naive_matmul(a.as_slice(), b.as_slice(), m, k, n);
+        prop_assert_eq!(fast.as_slice(), &naive[..]);
+    }
+
+    #[test]
+    fn blocked_tn_matches_naive_exactly(
+        m in 100usize..130, k in 64usize..90, n in 45usize..60, seed in 0u64..1000,
+    ) {
+        // Exercises the ColMajor packing specialization on the blocked path.
+        let mut rng = TensorRng::seed_from(seed);
+        let a_t = rng.init(&[k, m], Init::Normal(1.0));
+        let b = rng.init(&[k, n], Init::Normal(1.0));
+        let fast = a_t.matmul_tn(&b);
+        let a = a_t.transpose();
+        let naive = naive_matmul(a.as_slice(), b.as_slice(), m, k, n);
+        prop_assert_eq!(fast.as_slice(), &naive[..]);
+    }
+
+    #[test]
+    fn blocked_nt_matches_naive_exactly(
+        m in 100usize..130, k in 64usize..90, n in 45usize..60, seed in 0u64..1000,
+    ) {
+        let mut rng = TensorRng::seed_from(seed);
+        let a = rng.init(&[m, k], Init::Normal(1.0));
+        let b_t = rng.init(&[n, k], Init::Normal(1.0));
+        let fast = a.matmul_nt(&b_t);
+        let b = b_t.transpose();
+        let naive = naive_matmul(a.as_slice(), b.as_slice(), m, k, n);
+        prop_assert_eq!(fast.as_slice(), &naive[..]);
     }
 }

@@ -1,6 +1,11 @@
 //! The owned dense tensor type and its elementwise arithmetic.
+//!
+//! Tensor storage is backed by the thread-local [`scratch`] arena: every
+//! constructor and allocating operation takes its `Vec<f32>` from the pool,
+//! and `Drop` returns it — so repeated same-shaped steps (a training loop)
+//! recycle the same buffers instead of hitting the heap.
 
-use crate::Shape;
+use crate::{scratch, Shape};
 use std::fmt;
 use std::ops::{Add, AddAssign, Div, Index, IndexMut, Mul, Neg, Sub};
 
@@ -22,10 +27,27 @@ use std::ops::{Add, AddAssign, Div, Index, IndexMut, Mul, Neg, Sub};
 /// assert_eq!(y.as_slice(), &[1.0, 2.0, 3.0]);
 /// assert_eq!((&y + &y).sum(), 12.0);
 /// ```
-#[derive(Clone, PartialEq)]
+#[derive(PartialEq)]
 pub struct Tensor {
     data: Vec<f32>,
     shape: Shape,
+}
+
+impl Clone for Tensor {
+    fn clone(&self) -> Self {
+        let mut data = scratch::take_vec_with_capacity(self.data.len());
+        data.extend_from_slice(&self.data);
+        Self {
+            data,
+            shape: self.shape.clone(),
+        }
+    }
+}
+
+impl Drop for Tensor {
+    fn drop(&mut self) {
+        scratch::recycle(std::mem::take(&mut self.data));
+    }
 }
 
 impl Tensor {
@@ -49,8 +71,10 @@ impl Tensor {
 
     /// Creates a rank-0 tensor holding a single value.
     pub fn scalar(value: f32) -> Self {
+        let mut data = scratch::take_vec_with_capacity(1);
+        data.push(value);
         Self {
-            data: vec![value],
+            data,
             shape: Shape::scalar(),
         }
     }
@@ -58,10 +82,9 @@ impl Tensor {
     /// Creates a tensor filled with `value`.
     pub fn full(dims: &[usize], value: f32) -> Self {
         let shape = Shape::new(dims);
-        Self {
-            data: vec![value; shape.numel()],
-            shape,
-        }
+        let mut data = scratch::take_vec_with_capacity(shape.numel());
+        data.resize(shape.numel(), value);
+        Self { data, shape }
     }
 
     /// Creates a zero-filled tensor.
@@ -77,7 +100,7 @@ impl Tensor {
     /// Creates a zero tensor with the same shape as `self`.
     pub fn zeros_like(&self) -> Self {
         Self {
-            data: vec![0.0; self.data.len()],
+            data: scratch::take_vec(self.data.len()),
             shape: self.shape.clone(),
         }
     }
@@ -100,7 +123,8 @@ impl Tensor {
     pub fn linspace(start: f32, end: f32, n: usize) -> Self {
         assert!(n >= 2, "linspace needs at least two points, got {n}");
         let step = (end - start) / (n as f32 - 1.0);
-        let data = (0..n).map(|i| start + step * i as f32).collect();
+        let mut data = scratch::take_vec_with_capacity(n);
+        data.extend((0..n).map(|i| start + step * i as f32));
         Self::from_vec(data, &[n])
     }
 
@@ -129,9 +153,11 @@ impl Tensor {
         &mut self.data
     }
 
-    /// Consumes the tensor, returning its data vector.
-    pub fn into_vec(self) -> Vec<f32> {
-        self.data
+    /// Consumes the tensor, returning its data vector. (Dropping the
+    /// returned vector frees it; re-wrapping it in a tensor keeps it on the
+    /// arena's recycling path.)
+    pub fn into_vec(mut self) -> Vec<f32> {
+        std::mem::take(&mut self.data)
     }
 
     /// The single value of a one-element tensor.
@@ -163,16 +189,17 @@ impl Tensor {
             self.data.len(),
             shape
         );
-        Tensor {
-            data: self.data.clone(),
-            shape,
-        }
+        let mut data = scratch::take_vec_with_capacity(self.data.len());
+        data.extend_from_slice(&self.data);
+        Tensor { data, shape }
     }
 
     /// Applies `f` to every element, producing a new tensor.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        let mut data = scratch::take_vec_with_capacity(self.data.len());
+        data.extend(self.data.iter().map(|&x| f(x)));
         Tensor {
-            data: self.data.iter().map(|&x| f(x)).collect(),
+            data,
             shape: self.shape.clone(),
         }
     }
@@ -191,13 +218,10 @@ impl Tensor {
     /// Panics on shape mismatch.
     pub fn zip(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
         self.assert_same_shape(other, "zip");
+        let mut data = scratch::take_vec_with_capacity(self.data.len());
+        data.extend(self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)));
         Tensor {
-            data: self
-                .data
-                .iter()
-                .zip(&other.data)
-                .map(|(&a, &b)| f(a, b))
-                .collect(),
+            data,
             shape: self.shape.clone(),
         }
     }

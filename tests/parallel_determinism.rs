@@ -9,6 +9,7 @@
 //! which is read once per process and would race across tests).
 
 use chiron_drl::{PpoAgent, PpoConfig, RolloutBuffer};
+use chiron_nn::{models, SoftmaxCrossEntropy};
 use chiron_tensor::{im2col, pool, Conv2dGeometry, Init, TensorRng};
 
 /// Runs `f` at 1 and at 4 threads, restoring the serial default after.
@@ -80,4 +81,33 @@ fn ppo_update_losses_and_actions_are_identical() {
     assert_eq!(s.0, p.0, "actor loss");
     assert_eq!(s.1, p.1, "critic loss");
     assert_eq!(s.2, p.2, "deterministic action after update");
+}
+
+/// Two SGD steps on the paper's MNIST CNN, returning the losses and the
+/// full parameter vector. The conv layers drive the blocked matmul kernel
+/// (im2col products are well past the flop threshold), so this pins down
+/// the whole forward/backward/update chain, not just isolated ops.
+fn cnn_train_steps() -> (Vec<f32>, Vec<f32>) {
+    let mut rng = TensorRng::seed_from(21);
+    let mut net = models::mnist_cnn(&mut rng);
+    let x = rng.init(&[4, 1, 28, 28], Init::Normal(1.0));
+    let labels = [3usize, 1, 4, 1];
+    let loss_fn = SoftmaxCrossEntropy;
+    let mut losses = Vec::new();
+    for _ in 0..2 {
+        let logits = net.forward(&x, true);
+        let (loss, grad) = loss_fn.forward(&logits, &labels);
+        losses.push(loss);
+        net.zero_grad();
+        net.backward(&grad);
+        net.visit_params_mut(&mut |p, g| p.axpy(-0.01, g));
+    }
+    (losses, net.parameters_flat())
+}
+
+#[test]
+fn cnn_train_steps_are_bitwise_identical() {
+    let (s, p) = at_thread_counts(cnn_train_steps);
+    assert_eq!(s.0, p.0, "losses");
+    assert_eq!(s.1, p.1, "parameters after two steps");
 }
