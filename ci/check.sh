@@ -14,6 +14,13 @@ cargo build --workspace --release --offline
 echo "==> cargo test"
 cargo test -q --workspace --release --offline
 
+echo "==> resilience suites under the thread matrix"
+for t in 1 4; do
+    echo "    CHIRON_THREADS=$t"
+    CHIRON_THREADS=$t cargo test -q --release --offline \
+        --test failure_injection --test resilience
+done
+
 echo "==> bench smoke (1 sample per case, scratch output dir)"
 smoke_out="$(mktemp -d)"
 CHIRON_BENCH_SAMPLES=1 CHIRON_BENCH_OUT="$smoke_out" \

@@ -45,11 +45,13 @@
 pub mod ablation;
 mod config;
 mod mechanism;
+mod recovery;
 mod rewards;
 mod state;
 
 pub use config::{ChironConfig, InnerStateMode};
 pub use mechanism::{Chiron, ChironSnapshot, Mechanism};
+pub use recovery::{RecoveryOptions, ResumeError, RunCheckpoint, RUN_CHECKPOINT_VERSION};
 pub use rewards::{exterior_reward, inner_reward};
 pub use state::ExteriorState;
 

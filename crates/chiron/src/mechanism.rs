@@ -5,7 +5,9 @@ use crate::config::InnerStateMode;
 use crate::rewards::rewards_from_outcome;
 use crate::{ChironConfig, ExteriorState};
 use chiron_drl::{AgentSnapshot, PpoAgent, RolloutBuffer};
-use chiron_fedsim::metrics::{EpisodeSummary, RoundRecord};
+use chiron_fedsim::metrics::{
+    EpisodeSummary, EventLog, ResilienceEvent, RolledBackAgent, RoundRecord,
+};
 use chiron_fedsim::{EdgeLearningEnv, RoundOutcome, StepStatus};
 use chiron_nn::CheckpointError;
 use serde::{Deserialize, Serialize};
@@ -43,6 +45,20 @@ pub trait Mechanism {
 
     /// Runs one deterministic, budget-bounded episode and summarizes it.
     fn run_episode(&mut self, env: &mut EdgeLearningEnv) -> (EpisodeSummary, Vec<RoundRecord>) {
+        let mut log = EventLog::new();
+        self.run_episode_logged(env, 0, &mut log)
+    }
+
+    /// [`run_episode`](Mechanism::run_episode), additionally appending
+    /// every [`ResilienceEvent`] the environment emits to `log` under the
+    /// given episode index. Pricing decisions are identical to
+    /// `run_episode` — logging never touches any RNG.
+    fn run_episode_logged(
+        &mut self,
+        env: &mut EdgeLearningEnv,
+        episode: usize,
+        log: &mut EventLog,
+    ) -> (EpisodeSummary, Vec<RoundRecord>) {
         env.reset();
         self.begin_episode(env);
         let initial_accuracy = env.accuracy();
@@ -51,6 +67,7 @@ pub trait Mechanism {
         loop {
             let prices = self.decide_prices(env, false);
             let outcome = env.step(&prices);
+            log.extend_from_outcome(episode, &outcome);
             if outcome.status == StepStatus::BudgetExhausted {
                 break;
             }
@@ -94,12 +111,12 @@ pub trait Mechanism {
 /// assert_eq!(rewards.len(), 2);
 /// ```
 pub struct Chiron {
-    config: ChironConfig,
-    exterior: PpoAgent,
-    inner: PpoAgent,
-    state: ExteriorState,
+    pub(crate) config: ChironConfig,
+    pub(crate) exterior: PpoAgent,
+    pub(crate) inner: PpoAgent,
+    pub(crate) state: ExteriorState,
     total_price_cap: f64,
-    episodes_trained: usize,
+    pub(crate) episodes_trained: usize,
 }
 
 impl Chiron {
@@ -290,64 +307,107 @@ impl Mechanism for Chiron {
         let mut episode_rewards = Vec::with_capacity(episodes);
         let mut buf_e = RolloutBuffer::new();
         let mut buf_i = RolloutBuffer::new();
-        let n = env.num_nodes() as f64;
-
         for _ in 0..episodes {
-            env.reset();
-            self.state.reset(env);
-            let mut episode_reward = 0.0;
-
-            loop {
-                let s_e = self.state.vector();
-                let (a_e, lp_e, s_i, a_i, lp_i, prices) = self.decide(true);
-                let outcome = env.step(&prices);
-
-                if outcome.status == StepStatus::BudgetExhausted {
-                    // The overdrawing round is discarded (Algorithm 1); the
-                    // previously stored transition becomes terminal.
-                    if !buf_e.is_empty() {
-                        buf_e.mark_last_done();
-                        buf_i.mark_last_done();
-                    }
-                    break;
-                }
-
-                let (mut r_e, r_i) =
-                    rewards_from_outcome(&outcome, self.config.lambda, self.config.time_weight);
-                if outcome.num_participants() == 0 {
-                    r_e -= self.config.no_participation_penalty;
-                }
-                let r_e_scaled = r_e * self.config.exterior_reward_scale;
-                let r_i_scaled = r_i * self.config.inner_reward_scale / n;
-
-                let v_e = self.exterior.value(&s_e);
-                let v_i = self.inner.value(&s_i);
-                let done = outcome.done();
-                buf_e.push(&s_e, &a_e, lp_e, r_e_scaled, v_e, done);
-                buf_i.push(&s_i, &a_i, lp_i, r_i_scaled, v_i, done);
-                episode_reward += r_e_scaled;
-
-                self.state.record_round(&outcome, &prices);
-                if done {
-                    break;
-                }
-            }
-
-            if !buf_e.is_empty() {
-                self.exterior.update(&mut buf_e);
-                self.inner.update(&mut buf_i);
-            }
-            self.episodes_trained += 1;
-            if self
-                .episodes_trained
-                .is_multiple_of(self.config.lr_decay_every)
-            {
-                self.exterior.decay_learning_rate(self.config.lr_decay);
-                self.inner.decay_learning_rate(self.config.lr_decay);
-            }
-            episode_rewards.push(episode_reward);
+            episode_rewards.push(self.train_one_episode(env, &mut buf_e, &mut buf_i, None));
         }
         episode_rewards
+    }
+}
+
+impl Chiron {
+    /// One training episode of Algorithm 1: roll until budget exhaustion,
+    /// store both agents' transitions, update both agents, bump counters.
+    /// Resilience events (from the environment and from rolled-back PPO
+    /// updates) are appended to `log` when one is supplied; logging never
+    /// touches any RNG, so a logged run is bitwise-identical to an
+    /// unlogged one.
+    pub(crate) fn train_one_episode(
+        &mut self,
+        env: &mut EdgeLearningEnv,
+        buf_e: &mut RolloutBuffer,
+        buf_i: &mut RolloutBuffer,
+        mut log: Option<&mut EventLog>,
+    ) -> f64 {
+        let n = env.num_nodes() as f64;
+        let episode = self.episodes_trained;
+        env.reset();
+        self.state.reset(env);
+        let mut episode_reward = 0.0;
+
+        loop {
+            let s_e = self.state.vector();
+            let (a_e, lp_e, s_i, a_i, lp_i, prices) = self.decide(true);
+            let outcome = env.step(&prices);
+            if let Some(log) = log.as_deref_mut() {
+                log.extend_from_outcome(episode, &outcome);
+            }
+
+            if outcome.status == StepStatus::BudgetExhausted {
+                // The overdrawing round is discarded (Algorithm 1); the
+                // previously stored transition becomes terminal.
+                if !buf_e.is_empty() {
+                    buf_e.mark_last_done();
+                    buf_i.mark_last_done();
+                }
+                break;
+            }
+
+            let (mut r_e, r_i) =
+                rewards_from_outcome(&outcome, self.config.lambda, self.config.time_weight);
+            if outcome.num_participants() == 0 {
+                r_e -= self.config.no_participation_penalty;
+            }
+            let r_e_scaled = r_e * self.config.exterior_reward_scale;
+            let r_i_scaled = r_i * self.config.inner_reward_scale / n;
+
+            let v_e = self.exterior.value(&s_e);
+            let v_i = self.inner.value(&s_i);
+            let done = outcome.done();
+            buf_e.push(&s_e, &a_e, lp_e, r_e_scaled, v_e, done);
+            buf_i.push(&s_i, &a_i, lp_i, r_i_scaled, v_i, done);
+            episode_reward += r_e_scaled;
+
+            self.state.record_round(&outcome, &prices);
+            if done {
+                break;
+            }
+        }
+
+        if !buf_e.is_empty() {
+            let skipped_e = self.exterior.skipped_updates();
+            let skipped_i = self.inner.skipped_updates();
+            self.exterior.update(buf_e);
+            self.inner.update(buf_i);
+            if let Some(log) = log {
+                if self.exterior.skipped_updates() > skipped_e {
+                    log.push(
+                        episode,
+                        0,
+                        ResilienceEvent::UpdateRolledBack {
+                            agent: RolledBackAgent::Exterior,
+                        },
+                    );
+                }
+                if self.inner.skipped_updates() > skipped_i {
+                    log.push(
+                        episode,
+                        0,
+                        ResilienceEvent::UpdateRolledBack {
+                            agent: RolledBackAgent::Inner,
+                        },
+                    );
+                }
+            }
+        }
+        self.episodes_trained += 1;
+        if self
+            .episodes_trained
+            .is_multiple_of(self.config.lr_decay_every)
+        {
+            self.exterior.decay_learning_rate(self.config.lr_decay);
+            self.inner.decay_learning_rate(self.config.lr_decay);
+        }
+        episode_reward
     }
 }
 

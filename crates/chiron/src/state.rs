@@ -1,6 +1,7 @@
 //! Exterior-state construction: the sliding history window of Section V-A.
 
 use chiron_fedsim::{EdgeLearningEnv, RoundOutcome};
+use serde::{Deserialize, Serialize};
 
 /// Builds and maintains the exterior agent's observation
 /// `s^E_k = {ζ_{k−L..k−1}, p_{k−L..k−1}, T_{k−L..k−1}, η_remaining, k}`.
@@ -24,7 +25,7 @@ use chiron_fedsim::{EdgeLearningEnv, RoundOutcome};
 /// assert_eq!(state.dim(), 3 * 5 * 4 + 2);
 /// assert!(state.vector().iter().all(|&x| x == 0.0 || x == 1.0)); // budget=1, rest zero
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ExteriorState {
     window: usize,
     nodes: usize,

@@ -4,8 +4,9 @@ use crate::args::{ArgError, ParsedArgs};
 use chiron::{Chiron, ChironConfig, ChironSnapshot, Mechanism};
 use chiron_baselines::{DpPlanner, DrlSingleRound, Greedy, StaticPrice};
 use chiron_data::DatasetKind;
-use chiron_fedsim::metrics::{rounds_to_csv, EpisodeSummary};
-use chiron_fedsim::{EdgeLearningEnv, EnvConfig};
+use chiron_fedsim::faults::FaultProcessConfig;
+use chiron_fedsim::metrics::{rounds_to_csv, EpisodeSummary, EventLog};
+use chiron_fedsim::{EdgeLearningEnv, EnvConfig, ResilienceConfig};
 use serde::{Deserialize, Serialize};
 
 /// A fully specified experiment, loadable from JSON (`run --config`).
@@ -89,7 +90,24 @@ fn build_env(
     }
     let mut config = EnvConfig::paper_small(kind, budget);
     config.fleet.nodes = nodes;
-    Ok(EdgeLearningEnv::new(config, seed))
+    let mut env = EdgeLearningEnv::new(config, seed);
+    apply_env_overrides(&mut env);
+    Ok(env)
+}
+
+/// Applies the resilience environment variables (documented in README.md):
+/// `CHIRON_QUORUM` / `CHIRON_DEADLINE_SLACK` switch on the PS-side
+/// countermeasures, and `CHIRON_FAULT_SEED` installs the standard
+/// stochastic fault process seeded with its value. Unset or malformed
+/// variables leave the environment untouched.
+fn apply_env_overrides(env: &mut EdgeLearningEnv) {
+    env.set_resilience(ResilienceConfig::from_env());
+    if let Some(seed) = std::env::var("CHIRON_FAULT_SEED")
+        .ok()
+        .and_then(|v| v.trim().parse::<u64>().ok())
+    {
+        env.set_fault_process(Some(FaultProcessConfig::standard(seed)));
+    }
 }
 
 fn print_summary(name: &str, s: &EpisodeSummary) {
@@ -137,7 +155,9 @@ pub fn train(args: &ParsedArgs) -> Result<(), CliError> {
 
 /// `chiron-cli eval` — evaluates a snapshot (or a fresh policy) on a task.
 pub fn eval(args: &ParsedArgs) -> Result<(), CliError> {
-    args.reject_unknown(&["dataset", "nodes", "budget", "seed", "model", "trace"])?;
+    args.reject_unknown(&[
+        "dataset", "nodes", "budget", "seed", "model", "trace", "events",
+    ])?;
     let kind = dataset_from(args.str_or("dataset", "mnist"))?;
     let nodes: usize = args.parse_or("nodes", 5)?;
     let budget: f64 = args.parse_or("budget", 100.0)?;
@@ -163,12 +183,20 @@ pub fn eval(args: &ParsedArgs) -> Result<(), CliError> {
         println!("no --model given: evaluating an untrained policy");
     }
 
-    let (summary, records) = mech.run_episode(&mut env);
+    let mut events = EventLog::new();
+    let (summary, records) = mech.run_episode_logged(&mut env, 0, &mut events);
     print_summary("evaluation", &summary);
 
     if let Some(path) = args.options.get("trace") {
         std::fs::write(path, rounds_to_csv(&records))?;
         println!("round trace written to {path}");
+    }
+    if let Some(path) = args.options.get("events") {
+        std::fs::write(path, events.to_jsonl())?;
+        println!(
+            "{} resilience events written to {path}",
+            events.entries().len()
+        );
     }
     Ok(())
 }
@@ -338,6 +366,7 @@ commands:
             --seed S (42)  --out snapshot.json
   eval      evaluate a trained snapshot (or an untrained policy)
             --model snapshot.json  --trace rounds.csv
+            --events events.jsonl  (resilience event log, one JSON per line)
             --dataset …  --nodes N  --budget η  --seed S
   compare   train and compare chiron, drl-based, greedy, dp-planner, static
             --dataset …  --nodes N  --budget η  --episodes E  --seed S
@@ -348,6 +377,11 @@ commands:
             --config exp.json  [--out snapshot.json]
             --init exp.json    (write a starting template)
   info      version and paper reference
+
+environment variables (resilience; see README.md):
+  CHIRON_FAULT_SEED=U64   install the standard stochastic fault process
+  CHIRON_QUORUM=N         require ≥ N responders per round (refund otherwise)
+  CHIRON_DEADLINE_SLACK=F evict responders slower than F x the Lemma-1 deadline
 "
     .to_owned()
 }
@@ -504,6 +538,38 @@ mod tests {
         let err = eval(&args).expect_err("shape mismatch");
         assert!(err.to_string().contains("--nodes"));
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn eval_writes_events_jsonl() {
+        let dir = std::env::temp_dir().join("chiron_cli_events");
+        std::fs::create_dir_all(&dir).expect("tmp");
+        let events = dir.join("events.jsonl");
+        let events_s = events.to_str().expect("utf8 path");
+
+        let args = parse(&["eval", "--budget", "40", "--events", events_s]).expect("parse");
+        eval(&args).expect("eval runs");
+        let log = std::fs::read_to_string(&events).expect("events written");
+        // A fault-free default run logs nothing, but every line present
+        // must be a standalone JSON object.
+        assert!(log.lines().all(|l| l.starts_with('{') && l.ends_with('}')));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fault_seed_env_var_installs_fault_process() {
+        std::env::set_var("CHIRON_FAULT_SEED", "77");
+        let env = build_env(DatasetKind::MnistLike, 3, 50.0, 0).expect("valid");
+        std::env::remove_var("CHIRON_FAULT_SEED");
+        let config = env.fault_process_config().expect("fault process installed");
+        assert_eq!(config.seed, 77);
+        assert!(config.availability.is_some());
+
+        // Malformed values are ignored rather than fatal.
+        std::env::set_var("CHIRON_FAULT_SEED", "not-a-number");
+        let env = build_env(DatasetKind::MnistLike, 3, 50.0, 0).expect("valid");
+        std::env::remove_var("CHIRON_FAULT_SEED");
+        assert!(env.fault_process_config().is_none());
     }
 
     #[test]

@@ -1,7 +1,9 @@
 //! Experience storage and advantage estimation.
 
+use serde::{Deserialize, Serialize};
+
 /// One stored interaction.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Transition {
     /// Observed state.
     pub state: Vec<f64>,
@@ -33,7 +35,7 @@ pub struct Transition {
 /// assert_eq!(returns.len(), 2);
 /// assert_eq!(advantages.len(), 2);
 /// ```
-#[derive(Debug, Default, Clone)]
+#[derive(Debug, Default, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RolloutBuffer {
     transitions: Vec<Transition>,
 }

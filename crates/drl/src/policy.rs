@@ -2,7 +2,7 @@
 
 use chiron_nn::models::mlp;
 use chiron_nn::Sequential;
-use chiron_tensor::{scratch, Tensor, TensorRng};
+use chiron_tensor::{scratch, RngState, Tensor, TensorRng};
 
 /// A stochastic policy `π(a|s) = N(μ_θ(s), σ²I)` with a tanh MLP producing
 /// the mean and a scheduled (decaying) exploration std.
@@ -125,6 +125,25 @@ impl GaussianPolicy {
     /// Mutable access to the underlying network for optimizer steps.
     pub(crate) fn net_mut(&mut self) -> &mut Sequential {
         &mut self.net
+    }
+
+    /// The exploration RNG's serializable state, for crash-safe resume.
+    pub fn rng_state(&self) -> RngState {
+        self.rng.state()
+    }
+
+    /// Restores the exploration RNG from a captured state.
+    ///
+    /// Returns `false` — leaving the RNG untouched — if the state words are
+    /// malformed (wrong lengths).
+    pub fn restore_rng_state(&mut self, state: &RngState) -> bool {
+        match TensorRng::from_state(state) {
+            Some(rng) => {
+                self.rng = rng;
+                true
+            }
+            None => false,
+        }
     }
 }
 

@@ -4,10 +4,10 @@ use crate::buffer::RolloutBuffer;
 use crate::policy::{state_tensor, states_tensor, GaussianPolicy};
 use chiron_nn::models::mlp;
 use chiron_nn::{
-    clip_grad_norm, forward_batched, Adam, Checkpoint, CheckpointError, MseLoss, Optimizer,
-    Sequential,
+    clip_grad_norm, forward_batched, Adam, AdamState, Checkpoint, CheckpointError, MseLoss,
+    Optimizer, Sequential,
 };
-use chiron_tensor::{pool, scratch, Tensor, TensorRng};
+use chiron_tensor::{pool, scratch, RngState, Tensor, TensorRng};
 use serde::{Deserialize, Serialize};
 
 /// Rows per block for the full-batch actor/critic passes in
@@ -108,6 +108,7 @@ pub struct PpoAgent {
     config: PpoConfig,
     state_dim: usize,
     updates: usize,
+    skipped_updates: usize,
 }
 
 impl PpoAgent {
@@ -136,6 +137,7 @@ impl PpoAgent {
             config,
             state_dim,
             updates: 0,
+            skipped_updates: 0,
         }
     }
 
@@ -147,6 +149,14 @@ impl PpoAgent {
     /// Number of completed updates.
     pub fn updates(&self) -> usize {
         self.updates
+    }
+
+    /// Number of updates skipped or rolled back because non-finite values
+    /// (NaN/inf rewards, exploded losses, poisoned parameters) were
+    /// detected. The parameters in effect after a skipped update are
+    /// exactly the parameters from before it.
+    pub fn skipped_updates(&self) -> usize {
+        self.skipped_updates
     }
 
     /// Current exploration std.
@@ -190,6 +200,18 @@ impl PpoAgent {
     ///
     /// Returns `(mean_actor_loss, mean_critic_loss)` across epochs.
     ///
+    /// ## Non-finite resilience
+    ///
+    /// A NaN/inf anywhere in the rollout (a diverged reward, an exploded
+    /// critic value) would poison every parameter through the surrogate
+    /// gradient *and* Adam's moment estimates, from which no later update
+    /// recovers. The update therefore validates its inputs up front and its
+    /// losses/parameters afterwards; on any non-finite detection it rolls
+    /// actor, critic, and both optimizers back to their pre-update state,
+    /// increments [`skipped_updates`](Self::skipped_updates), clears the
+    /// buffer, and returns `(0.0, 0.0)`. Training continues from the last
+    /// good parameters.
+    ///
     /// # Panics
     ///
     /// Panics if the buffer is empty.
@@ -197,6 +219,20 @@ impl PpoAgent {
         assert!(!buffer.is_empty(), "PPO update on an empty buffer");
         let (returns, mut advantages) =
             buffer.compute_returns_and_advantages(self.config.gamma, self.config.gae_lambda);
+
+        let inputs_finite = buffer.transitions().iter().all(|t| {
+            t.log_prob.is_finite()
+                && t.reward.is_finite()
+                && t.value.is_finite()
+                && t.state.iter().all(|v| v.is_finite())
+                && t.action.iter().all(|v| v.is_finite())
+        }) && returns.iter().all(|r| r.is_finite())
+            && advantages.iter().all(|a| a.is_finite());
+        if !inputs_finite {
+            buffer.clear();
+            self.skipped_updates += 1;
+            return (0.0, 0.0);
+        }
 
         if self.config.normalize_advantages && advantages.len() > 1 {
             let mean = advantages.iter().sum::<f64>() / advantages.len() as f64;
@@ -221,8 +257,17 @@ impl PpoAgent {
         returns_data.extend(returns.iter().map(|&r| r as f32));
         let returns_t = Tensor::from_vec(returns_data, &[n, 1]);
 
+        // Rollback anchor: flat parameters plus full optimizer clones
+        // (restoring parameters alone would leave NaN-poisoned Adam moments
+        // behind, which re-poison the very next step).
+        let actor_backup = self.actor.net_mut().parameters_flat();
+        let critic_backup = self.critic.parameters_flat();
+        let actor_opt_backup = self.actor_opt.clone();
+        let critic_opt_backup = self.critic_opt.clone();
+
         let mut actor_loss_acc = 0.0f64;
         let mut critic_loss_acc = 0.0f64;
+        let mut poisoned = false;
 
         let clip = self.config.clip;
         for _ in 0..self.config.epochs {
@@ -285,6 +330,10 @@ impl PpoAgent {
                     .map(|(block, rows)| surrogate_block(block, rows))
                     .sum()
             };
+            if !loss.is_finite() {
+                poisoned = true;
+                break;
+            }
             actor_loss_acc += loss / n as f64;
             let grad_t = Tensor::from_vec(grad, &[n, action_dim]);
             actor_pass.backward(self.actor.net_mut(), &grad_t);
@@ -294,10 +343,35 @@ impl PpoAgent {
             // --- Critic: regression onto bootstrapped returns ---
             let critic_pass = forward_batched(&mut self.critic, &state_batch, true, PPO_BLOCK_ROWS);
             let (closs, cgrad) = MseLoss.forward(critic_pass.output(), &returns_t);
+            if !closs.is_finite() {
+                poisoned = true;
+                break;
+            }
             critic_loss_acc += closs as f64;
             critic_pass.backward(&mut self.critic, &cgrad);
             clip_grad_norm(&mut self.critic, self.config.max_grad_norm);
             self.critic_opt.step(&mut self.critic);
+        }
+
+        // A loss can stay finite while a gradient overflowed into the
+        // parameters, so check the networks themselves last.
+        if !poisoned {
+            poisoned = !self
+                .actor
+                .net_mut()
+                .parameters_flat()
+                .iter()
+                .all(|p| p.is_finite())
+                || !self.critic.parameters_flat().iter().all(|p| p.is_finite());
+        }
+        if poisoned {
+            self.actor.net_mut().set_parameters_flat(&actor_backup);
+            self.critic.set_parameters_flat(&critic_backup);
+            self.actor_opt = actor_opt_backup;
+            self.critic_opt = critic_opt_backup;
+            buffer.clear();
+            self.skipped_updates += 1;
+            return (0.0, 0.0);
         }
 
         buffer.clear();
@@ -384,7 +458,109 @@ impl PpoAgent {
             updates: self.updates,
         }
     }
+
+    /// Captures the agent's *complete* training state: parameters, both
+    /// Adam optimizers' moments, the exploration RNG, and the counters.
+    /// Unlike [`snapshot`](Self::snapshot), restoring this resumes training
+    /// bitwise-identically to never having stopped.
+    pub fn full_state(&mut self, label: &str) -> AgentFullState {
+        AgentFullState {
+            snapshot: self.snapshot(label),
+            actor_opt: self.actor_opt.capture_state(),
+            critic_opt: self.critic_opt.capture_state(),
+            policy_rng: self.actor.rng_state(),
+            skipped_updates: self.skipped_updates,
+        }
+    }
+
+    /// Restores a [`full_state`](Self::full_state) capture into this agent.
+    ///
+    /// The agent must have been built with the same architecture (state and
+    /// action dims, hidden sizes) as the captured one.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`AgentStateError`] on any mismatch. Validation runs
+    /// before any mutation, so on error the agent is unchanged.
+    pub fn restore_full(&mut self, state: &AgentFullState) -> Result<(), AgentStateError> {
+        // Validate everything up front so a failure leaves no half-restore.
+        if self.actor.net_mut().summary() != state.snapshot.actor.architecture
+            || self.critic.summary() != state.snapshot.critic.architecture
+        {
+            return Err(AgentStateError::Network(
+                CheckpointError::ArchitectureMismatch {
+                    expected: format!(
+                        "{} / {}",
+                        state.snapshot.actor.architecture, state.snapshot.critic.architecture
+                    ),
+                    found: format!(
+                        "{} / {}",
+                        self.actor.net_mut().summary(),
+                        self.critic.summary()
+                    ),
+                },
+            ));
+        }
+        let rng_ok = TensorRng::from_state(&state.policy_rng).is_some();
+        if !rng_ok {
+            return Err(AgentStateError::MalformedRng);
+        }
+        state
+            .snapshot
+            .restore(self)
+            .map_err(AgentStateError::Network)?;
+        self.actor_opt
+            .restore_state(&state.actor_opt)
+            .map_err(|_| AgentStateError::Optimizer)?;
+        self.critic_opt
+            .restore_state(&state.critic_opt)
+            .map_err(|_| AgentStateError::Optimizer)?;
+        self.actor.restore_rng_state(&state.policy_rng);
+        self.skipped_updates = state.skipped_updates;
+        Ok(())
+    }
 }
+
+/// Everything needed to resume a [`PpoAgent`] mid-training with no drift:
+/// the parameter snapshot plus Adam moments, the exploration RNG, and the
+/// skip counter. Produced by [`PpoAgent::full_state`], consumed by
+/// [`PpoAgent::restore_full`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AgentFullState {
+    /// Network parameters, exploration std, update count.
+    pub snapshot: AgentSnapshot,
+    /// Actor optimizer moments.
+    pub actor_opt: AdamState,
+    /// Critic optimizer moments.
+    pub critic_opt: AdamState,
+    /// Exploration RNG state.
+    pub policy_rng: RngState,
+    /// Rolled-back update count at capture time.
+    pub skipped_updates: usize,
+}
+
+/// Why an [`AgentFullState`] could not be restored.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AgentStateError {
+    /// A network checkpoint did not match the target architecture.
+    Network(CheckpointError),
+    /// Optimizer moments were inconsistent with the networks.
+    Optimizer,
+    /// The stored RNG state words are malformed.
+    MalformedRng,
+}
+
+impl std::fmt::Display for AgentStateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AgentStateError::Network(e) => write!(f, "network state mismatch: {e}"),
+            AgentStateError::Optimizer => write!(f, "optimizer state inconsistent with networks"),
+            AgentStateError::MalformedRng => write!(f, "malformed exploration RNG state"),
+        }
+    }
+}
+
+impl std::error::Error for AgentStateError {}
 
 impl std::fmt::Debug for PpoAgent {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -520,5 +696,119 @@ mod tests {
         let mut agent = PpoAgent::new(2, 2, &[8], PpoConfig::default(), 11);
         let s = [0.3, -0.3];
         assert_eq!(agent.act_deterministic(&s), agent.act_deterministic(&s));
+    }
+
+    #[test]
+    fn nan_reward_skips_update_and_preserves_params() {
+        let mut agent = PpoAgent::new(1, 1, &[8], PpoConfig::default(), 21);
+        let before = agent.snapshot("before");
+        let mut buffer = RolloutBuffer::new();
+        let s = [0.5];
+        let (a, lp) = agent.act(&s);
+        let v = agent.value(&s);
+        buffer.push(&s, &a, lp, f64::NAN, v, true);
+        let (al, cl) = agent.update(&mut buffer);
+        assert_eq!((al, cl), (0.0, 0.0));
+        assert!(buffer.is_empty(), "poisoned buffer must still be consumed");
+        assert_eq!(agent.updates(), 0);
+        assert_eq!(agent.skipped_updates(), 1);
+        assert_eq!(agent.snapshot("before").actor, before.actor);
+        assert_eq!(agent.snapshot("before").critic, before.critic);
+    }
+
+    #[test]
+    fn exploded_loss_rolls_back_params_and_optimizer() {
+        let mut agent = PpoAgent::new(1, 1, &[8], PpoConfig::default(), 22);
+        // Warm the optimizers so the rollback has real moments to restore.
+        let mut buffer = RolloutBuffer::new();
+        let s = [0.5];
+        let (a, lp) = agent.act(&s);
+        let v = agent.value(&s);
+        buffer.push(&s, &a, lp, 1.0, v, true);
+        agent.update(&mut buffer);
+
+        let before = agent.full_state("before");
+        // Finite in f64 but the critic's f32 MSE overflows to inf:
+        // (1e30)² = 1e60 ≫ f32::MAX. The actor epoch runs first, so this
+        // exercises the mid-update rollback path, not the input gate.
+        let (a, lp) = agent.act(&s);
+        let v = agent.value(&s);
+        buffer.push(&s, &a, lp, 1e30, v, true);
+        let (al, cl) = agent.update(&mut buffer);
+        assert_eq!((al, cl), (0.0, 0.0));
+        assert_eq!(agent.updates(), 1);
+        assert_eq!(agent.skipped_updates(), 1);
+        let after = agent.full_state("before");
+        assert_eq!(after.snapshot.actor, before.snapshot.actor);
+        assert_eq!(after.snapshot.critic, before.snapshot.critic);
+        assert_eq!(after.actor_opt, before.actor_opt);
+        assert_eq!(after.critic_opt, before.critic_opt);
+
+        // And training continues: a clean buffer still updates.
+        let (a, lp) = agent.act(&s);
+        let v = agent.value(&s);
+        buffer.push(&s, &a, lp, 0.5, v, true);
+        agent.update(&mut buffer);
+        assert_eq!(agent.updates(), 2);
+    }
+
+    #[test]
+    fn full_state_resumes_training_bitwise() {
+        let make = |seed| PpoAgent::new(2, 1, &[8], PpoConfig::default(), seed);
+        let mut agent = make(33);
+        let fixed_states = [[0.1, -0.2], [0.3, 0.4], [-0.5, 0.6], [0.7, -0.8]];
+        let run_episode = |agent: &mut PpoAgent| {
+            let mut buffer = RolloutBuffer::new();
+            for s in &fixed_states {
+                let (a, lp) = agent.act(s);
+                let r = -(a[0] - 0.3).powi(2);
+                let v = agent.value(s);
+                buffer.push(s, &a, lp, r, v, true);
+            }
+            agent.update(&mut buffer);
+        };
+        for _ in 0..3 {
+            run_episode(&mut agent);
+        }
+        let state = agent.full_state("mid-run");
+
+        // Original continues; a differently-seeded twin restores and must
+        // produce an identical tail (params, optimizer moments, and RNG all
+        // travel in the state).
+        let mut twin = make(999);
+        twin.restore_full(&state).expect("same architecture");
+        for _ in 0..3 {
+            run_episode(&mut agent);
+            run_episode(&mut twin);
+        }
+        assert_eq!(
+            agent.full_state("end").snapshot,
+            twin.full_state("end").snapshot
+        );
+        assert_eq!(agent.act(&[0.0, 0.0]), twin.act(&[0.0, 0.0]));
+    }
+
+    #[test]
+    fn restore_full_rejects_mismatched_architecture() {
+        let mut agent = PpoAgent::new(2, 1, &[8], PpoConfig::default(), 1);
+        let state = agent.full_state("src");
+        let mut other = PpoAgent::new(2, 1, &[9], PpoConfig::default(), 1);
+        let before = other.full_state("pre");
+        let err = other.restore_full(&state).expect_err("must reject");
+        assert!(matches!(err, AgentStateError::Network(_)));
+        assert_eq!(
+            other.full_state("pre"),
+            before,
+            "failed restore must not mutate"
+        );
+    }
+
+    #[test]
+    fn restore_full_rejects_malformed_rng() {
+        let mut agent = PpoAgent::new(2, 1, &[8], PpoConfig::default(), 1);
+        let mut state = agent.full_state("src");
+        state.policy_rng.state.pop();
+        let err = agent.restore_full(&state).expect_err("must reject");
+        assert_eq!(err, AgentStateError::MalformedRng);
     }
 }

@@ -1,12 +1,15 @@
 //! The budget-bounded edge-learning environment that incentive mechanisms
 //! drive, one priced round at a time.
 
-use crate::faults::FaultSchedule;
+use crate::faults::{
+    FaultDraw, FaultProcess, FaultProcessConfig, FaultSchedule, FaultScheduleError,
+};
 use crate::fleet::{build_fleet, data_weights, FleetConfig};
-use crate::oracle::{AccuracyOracle, CurveOracle, RoundContext};
+use crate::metrics::ResilienceEvent;
+use crate::oracle::{AccuracyOracle, CurveOracle, OracleState, OracleStateError, RoundContext};
 use crate::{BudgetLedger, EdgeNode, NodeResponse};
 use chiron_data::{DatasetKind, DatasetSpec};
-use chiron_tensor::TensorRng;
+use chiron_tensor::{RngState, TensorRng};
 use serde::{Deserialize, Serialize};
 
 /// Round-to-round variation of each node's uplink.
@@ -76,6 +79,68 @@ impl EnvConfig {
     }
 }
 
+/// PS-side countermeasure configuration. The default disables every
+/// countermeasure, so an environment without an explicit
+/// [`EdgeLearningEnv::set_resilience`] call behaves exactly as before.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ResilienceConfig {
+    /// Per-round deadline as a multiple of the Lemma-1 equalized round
+    /// time for the posted total price: a responder finishing later than
+    /// `slack × T_eq` is evicted (excluded from aggregation, not paid).
+    /// `None` disables the deadline.
+    pub deadline_slack: Option<f64>,
+    /// Minimum participants required to aggregate; below it the round is
+    /// degraded gracefully (accuracy carried, payments refunded). `0`
+    /// disables the quorum rule.
+    pub quorum: usize,
+    /// How many times a zero-responder price profile is reposted with
+    /// scaled-up prices before the round proceeds empty. `0` disables
+    /// retries.
+    pub max_price_retries: usize,
+    /// Multiplier applied to the posted prices per retry attempt
+    /// (compounded), e.g. `1.5` ⇒ 1.5×, 2.25×, ….
+    pub retry_backoff: f64,
+    /// When the round's payments would overdraw the budget, scale them down
+    /// so the cumulative spend lands exactly on η and record the round as
+    /// [`StepStatus::FinalRoundClamped`] instead of discarding it.
+    pub clamp_final_payment: bool,
+}
+
+impl Default for ResilienceConfig {
+    fn default() -> Self {
+        Self {
+            deadline_slack: None,
+            quorum: 0,
+            max_price_retries: 0,
+            retry_backoff: 1.5,
+            clamp_final_payment: false,
+        }
+    }
+}
+
+impl ResilienceConfig {
+    /// Reads the countermeasure knobs from the environment:
+    /// `CHIRON_QUORUM` (minimum participants) and `CHIRON_DEADLINE_SLACK`
+    /// (deadline multiplier, must be ≥ 1 to take effect). Unset or
+    /// malformed variables leave the default (off).
+    pub fn from_env() -> Self {
+        let mut cfg = Self::default();
+        if let Ok(v) = std::env::var("CHIRON_QUORUM") {
+            if let Ok(q) = v.trim().parse::<usize>() {
+                cfg.quorum = q;
+            }
+        }
+        if let Ok(v) = std::env::var("CHIRON_DEADLINE_SLACK") {
+            if let Ok(s) = v.trim().parse::<f64>() {
+                if s >= 1.0 && s.is_finite() {
+                    cfg.deadline_slack = Some(s);
+                }
+            }
+        }
+        cfg
+    }
+}
+
 /// Why a `step` did or did not record a round.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum StepStatus {
@@ -87,6 +152,11 @@ pub enum StepStatus {
     /// round is **discarded** (no accuracy progress, nothing recorded) and
     /// the episode ends.
     BudgetExhausted,
+    /// The round's payments would have overdrawn the budget, but
+    /// [`ResilienceConfig::clamp_final_payment`] scaled them down to the
+    /// remaining budget: the round **was recorded**, `Σ p·ζ = η` exactly,
+    /// and the episode ends.
+    FinalRoundClamped,
 }
 
 /// Everything observable about one `step`.
@@ -112,6 +182,9 @@ pub struct RoundOutcome {
     pub payment_total: f64,
     /// Budget remaining after the round.
     pub remaining_budget: f64,
+    /// Resilience events that occurred during this step (empty unless a
+    /// fault process or countermeasure is active).
+    pub events: Vec<ResilienceEvent>,
 }
 
 impl RoundOutcome {
@@ -144,11 +217,14 @@ impl RoundOutcome {
         self.responses.iter().flatten().count()
     }
 
-    /// `true` if the episode is over (budget exhausted or round cap).
+    /// `true` if the episode is over (budget exhausted, clamped final
+    /// round, or round cap).
     pub fn done(&self) -> bool {
         matches!(
             self.status,
-            StepStatus::BudgetExhausted | StepStatus::RoundCapReached
+            StepStatus::BudgetExhausted
+                | StepStatus::RoundCapReached
+                | StepStatus::FinalRoundClamped
         )
     }
 }
@@ -182,6 +258,8 @@ pub struct EdgeLearningEnv {
     oracle: Box<dyn AccuracyOracle>,
     ledger: BudgetLedger,
     faults: FaultSchedule,
+    fault_process: Option<FaultProcess>,
+    resilience: ResilienceConfig,
     channel_rng: TensorRng,
     channel_seed: u64,
     round: usize,
@@ -218,6 +296,8 @@ impl EdgeLearningEnv {
             oracle,
             ledger,
             faults: FaultSchedule::none(),
+            fault_process: None,
+            resilience: ResilienceConfig::default(),
             channel_rng: TensorRng::seed_from(channel_seed),
             channel_seed,
             round: 0,
@@ -228,13 +308,44 @@ impl EdgeLearningEnv {
     /// Installs a failure-injection schedule (see [`crate::faults`]).
     /// Faults persist across [`EdgeLearningEnv::reset`] — each episode
     /// replays the same perturbations.
-    pub fn set_faults(&mut self, faults: FaultSchedule) {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaultScheduleError::NodeOutOfRange`] if any fault targets
+    /// a node index outside the fleet; the previous schedule is kept.
+    pub fn set_faults(&mut self, faults: FaultSchedule) -> Result<(), FaultScheduleError> {
+        faults.validate_nodes(self.nodes.len())?;
         self.faults = faults;
+        Ok(())
     }
 
     /// The installed failure-injection schedule.
     pub fn faults(&self) -> &FaultSchedule {
         &self.faults
+    }
+
+    /// Installs (or with `None`, removes) a stochastic fault process. Like
+    /// the schedule, the process is a pure function of `(seed, round)` and
+    /// persists across [`EdgeLearningEnv::reset`], so every episode replays
+    /// the same fault trajectory.
+    pub fn set_fault_process(&mut self, config: Option<FaultProcessConfig>) {
+        self.fault_process = config.map(|c| FaultProcess::new(c, self.nodes.len()));
+    }
+
+    /// The installed fault-process configuration, if any.
+    pub fn fault_process_config(&self) -> Option<&FaultProcessConfig> {
+        self.fault_process.as_ref().map(|p| p.config())
+    }
+
+    /// Configures the PS-side countermeasures (deadline, quorum, price
+    /// retry, final-round clamp).
+    pub fn set_resilience(&mut self, resilience: ResilienceConfig) {
+        self.resilience = resilience;
+    }
+
+    /// The active countermeasure configuration.
+    pub fn resilience(&self) -> &ResilienceConfig {
+        &self.resilience
     }
 
     /// Number of edge nodes.
@@ -321,7 +432,15 @@ impl EdgeLearningEnv {
     ///
     /// If the payments would overdraw the budget the round is discarded and
     /// the episode ends ([`StepStatus::BudgetExhausted`]), exactly as in
-    /// Algorithm 1.
+    /// Algorithm 1 — unless [`ResilienceConfig::clamp_final_payment`] is
+    /// set, in which case the payments are scaled down to the remaining
+    /// budget and the round is recorded as
+    /// [`StepStatus::FinalRoundClamped`].
+    ///
+    /// With a [`FaultProcess`] installed, node availability/jitter/drift
+    /// draws perturb the fleet before responses are computed; with
+    /// countermeasures enabled the PS then applies, in order: bounded price
+    /// retry on zero responders, the Lemma-1 deadline, and the quorum rule.
     ///
     /// # Panics
     ///
@@ -338,6 +457,7 @@ impl EdgeLearningEnv {
         );
 
         let executing_round = self.round + 1;
+        let mut events: Vec<ResilienceEvent> = Vec::new();
         // Per-round channel fading multipliers (drawn even for nodes that
         // end up declining, so the stream stays aligned across policies).
         let fading: Vec<f64> = match self.config.channel {
@@ -352,25 +472,110 @@ impl EdgeLearningEnv {
                     .collect()
             }
         };
-        let responses: Vec<Option<NodeResponse>> = self
-            .nodes
-            .iter()
-            .enumerate()
-            .zip(prices)
-            .map(|((i, node), &p)| {
-                self.faults
-                    .effective_node(i, executing_round, node)
-                    .and_then(|n| {
-                        if fading[i] == 1.0 {
-                            n.respond(p, self.config.sigma)
-                        } else {
-                            let mut params = *n.params();
-                            params.upload_time *= fading[i];
-                            EdgeNode::new(params).respond(p, self.config.sigma)
+
+        // Stochastic fault draws for this round, plus availability
+        // transition events relative to the previous round.
+        let draws: Vec<FaultDraw> = match self.fault_process.as_mut() {
+            Some(process) => {
+                let n = prices.len();
+                let current: Vec<FaultDraw> =
+                    (0..n).map(|i| process.draw(i, executing_round)).collect();
+                for (i, d) in current.iter().enumerate() {
+                    let was_up =
+                        executing_round == 1 || process.draw(i, executing_round - 1).available;
+                    if was_up && !d.available {
+                        events.push(ResilienceEvent::FaultFired { node: i });
+                    } else if !was_up && d.available {
+                        events.push(ResilienceEvent::FaultHealed { node: i });
+                    }
+                }
+                current
+            }
+            None => Vec::new(),
+        };
+        // Scheduled faults report their (statically known) boundaries too,
+        // so the event log shows every perturbation source.
+        for sf in self.faults.faults() {
+            if sf.fault.from_round() == executing_round {
+                events.push(ResilienceEvent::FaultFired {
+                    node: sf.fault.node(),
+                });
+            }
+            if sf.until_round == Some(executing_round) {
+                events.push(ResilienceEvent::FaultHealed {
+                    node: sf.fault.node(),
+                });
+            }
+        }
+
+        let sigma = self.config.sigma;
+        let respond_all = |scale: f64| -> Vec<Option<NodeResponse>> {
+            self.nodes
+                .iter()
+                .enumerate()
+                .zip(prices)
+                .map(|((i, node), &p)| {
+                    let draw = draws.get(i).copied().unwrap_or_else(FaultDraw::healthy);
+                    if !draw.available {
+                        return None;
+                    }
+                    self.faults
+                        .effective_node(i, executing_round, node)
+                        .and_then(|n| {
+                            let upload_scale = fading[i] * draw.upload_factor;
+                            if upload_scale == 1.0 && draw.reserve_factor == 1.0 {
+                                n.respond(p * scale, sigma)
+                            } else {
+                                let mut params = *n.params();
+                                params.upload_time *= upload_scale;
+                                params.reserve_utility *= draw.reserve_factor;
+                                EdgeNode::new(params).respond(p * scale, sigma)
+                            }
+                        })
+                })
+                .collect()
+        };
+
+        let mut responses = respond_all(1.0);
+
+        // Countermeasure 1: bounded price retry with backoff when the
+        // posted profile attracts zero responders.
+        if self.resilience.max_price_retries > 0 && prices.iter().any(|&p| p > 0.0) {
+            let mut attempt = 0usize;
+            while responses.iter().all(Option::is_none)
+                && attempt < self.resilience.max_price_retries
+            {
+                attempt += 1;
+                let backoff = self.resilience.retry_backoff.max(1.0).powi(attempt as i32);
+                events.push(ResilienceEvent::PriceRetry { attempt, backoff });
+                responses = respond_all(backoff);
+            }
+        }
+
+        // Countermeasure 2: Lemma-1 deadline. The time-consistent optimum
+        // for the posted total price is the reference; responders finishing
+        // later than `slack ×` that are stragglers and get evicted (their
+        // update is dropped and they are not paid).
+        if let Some(slack) = self.resilience.deadline_slack {
+            let total_posted: f64 = prices.iter().sum();
+            if total_posted > 0.0 && responses.iter().any(Option::is_some) {
+                let deadline =
+                    slack * crate::lemma::equalized_round_time(&self.nodes, sigma, total_posted);
+                if deadline.is_finite() {
+                    for (i, slot) in responses.iter_mut().enumerate() {
+                        let late = slot.as_ref().is_some_and(|r| r.total_time > deadline);
+                        if late {
+                            let r = slot.take().expect("checked above");
+                            events.push(ResilienceEvent::DeadlineEvicted {
+                                node: i,
+                                time: r.total_time,
+                                deadline,
+                            });
                         }
-                    })
-            })
-            .collect();
+                    }
+                }
+            }
+        }
 
         let times: Vec<f64> = responses.iter().flatten().map(|r| r.total_time).collect();
         let round_time = times.iter().copied().fold(0.0f64, f64::max);
@@ -379,12 +584,26 @@ impl EdgeLearningEnv {
         let payment_total: f64 = responses.iter().flatten().map(|r| r.payment).sum();
         let prev_accuracy = self.oracle.accuracy();
 
-        if self.ledger.charge(payment_total).is_err() {
-            self.done = true;
+        // Countermeasure 3: minimum quorum. Too few survivors ⇒ skip
+        // aggregation (accuracy carried), refund every payment, but the
+        // round's wall clock still passed and the round counter advances.
+        let participants_now = responses.iter().flatten().count();
+        if self.resilience.quorum > 0 && participants_now < self.resilience.quorum {
+            events.push(ResilienceEvent::QuorumMissed {
+                participants: participants_now,
+                quorum: self.resilience.quorum,
+            });
+            self.round += 1;
+            let status = if self.round >= self.config.max_rounds {
+                self.done = true;
+                StepStatus::RoundCapReached
+            } else {
+                StepStatus::Ok
+            };
             return RoundOutcome {
-                status: StepStatus::BudgetExhausted,
+                status,
                 round: self.round,
-                responses,
+                responses: vec![None; self.nodes.len()],
                 accuracy: prev_accuracy,
                 prev_accuracy,
                 round_time,
@@ -392,7 +611,48 @@ impl EdgeLearningEnv {
                 time_efficiency,
                 payment_total: 0.0,
                 remaining_budget: self.ledger.remaining(),
+                events,
             };
+        }
+
+        // Countermeasure 4: overdraft guard. Without it an overdraft
+        // discards the round (Algorithm 1); with it the final round's
+        // payments are scaled so cumulative spend lands exactly on η.
+        let mut clamped = false;
+        let mut payment_charged = payment_total;
+        if self.ledger.charge(payment_total).is_err() {
+            let available = self.ledger.remaining();
+            if self.resilience.clamp_final_payment && payment_total > 0.0 && available > 0.0 {
+                let scale = available / payment_total;
+                for r in responses.iter_mut().flatten() {
+                    r.payment *= scale;
+                    r.utility = r.payment - r.energy;
+                }
+                self.ledger
+                    .charge(available)
+                    .expect("charging exactly the remaining budget cannot fail");
+                events.push(ResilienceEvent::OverdraftClamped {
+                    requested: payment_total,
+                    available,
+                });
+                payment_charged = available;
+                clamped = true;
+            } else {
+                self.done = true;
+                return RoundOutcome {
+                    status: StepStatus::BudgetExhausted,
+                    round: self.round,
+                    responses,
+                    accuracy: prev_accuracy,
+                    prev_accuracy,
+                    round_time,
+                    idle_time,
+                    time_efficiency,
+                    payment_total: 0.0,
+                    remaining_budget: self.ledger.remaining(),
+                    events,
+                };
+            }
         }
 
         let participants: Vec<usize> = responses
@@ -408,7 +668,10 @@ impl EdgeLearningEnv {
             weights: &part_weights,
         });
 
-        let status = if self.round >= self.config.max_rounds {
+        let status = if clamped {
+            self.done = true;
+            StepStatus::FinalRoundClamped
+        } else if self.round >= self.config.max_rounds {
             self.done = true;
             StepStatus::RoundCapReached
         } else {
@@ -424,11 +687,165 @@ impl EdgeLearningEnv {
             round_time,
             idle_time,
             time_efficiency,
-            payment_total,
+            payment_total: payment_charged,
             remaining_budget: self.ledger.remaining(),
+            events,
+        }
+    }
+
+    /// Snapshots everything a crash-safe resume needs: round counter,
+    /// budget ledger, channel-RNG position, oracle progress, fault
+    /// schedule/process, and countermeasure config. The fleet itself is
+    /// rebuilt from the constructor seed by the caller, so it is not
+    /// duplicated here (only its size, for validation).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EnvStateError::OracleUnsupported`] if the installed oracle
+    /// does not implement state capture.
+    pub fn capture_state(&self) -> Result<EnvState, EnvStateError> {
+        let oracle = self.oracle.capture_state();
+        if oracle == OracleState::Unsupported {
+            return Err(EnvStateError::OracleUnsupported);
+        }
+        Ok(EnvState {
+            round: self.round,
+            done: self.done,
+            ledger: self.ledger,
+            channel_rng: self.channel_rng.state(),
+            oracle,
+            faults: self.faults.clone(),
+            fault_process: self.fault_process.as_ref().map(|p| *p.config()),
+            resilience: self.resilience,
+            num_nodes: self.nodes.len(),
+        })
+    }
+
+    /// Restores a snapshot taken by [`EdgeLearningEnv::capture_state`] on
+    /// an environment built with the **same config and seed**. After a
+    /// successful restore the remaining rounds replay bitwise-identically
+    /// to the uninterrupted run.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`EnvStateError`] — never panics — when the
+    /// snapshot does not fit this environment (wrong fleet size, wrong
+    /// budget, malformed RNG words, oracle mismatch, or an out-of-range
+    /// fault target).
+    pub fn restore_state(&mut self, state: &EnvState) -> Result<(), EnvStateError> {
+        if state.num_nodes != self.nodes.len() {
+            return Err(EnvStateError::FleetMismatch {
+                expected: self.nodes.len(),
+                found: state.num_nodes,
+            });
+        }
+        if state.ledger.total() != self.ledger.total() {
+            return Err(EnvStateError::BudgetMismatch {
+                expected: self.ledger.total(),
+                found: state.ledger.total(),
+            });
+        }
+        state
+            .faults
+            .validate_nodes(self.nodes.len())
+            .map_err(EnvStateError::Faults)?;
+        let channel_rng =
+            TensorRng::from_state(&state.channel_rng).ok_or(EnvStateError::MalformedRng)?;
+        self.oracle
+            .restore_state(&state.oracle)
+            .map_err(EnvStateError::Oracle)?;
+        self.faults = state.faults.clone();
+        self.fault_process = state
+            .fault_process
+            .map(|c| FaultProcess::new(c, self.nodes.len()));
+        self.resilience = state.resilience;
+        self.ledger = state.ledger;
+        self.channel_rng = channel_rng;
+        self.round = state.round;
+        self.done = state.done;
+        Ok(())
+    }
+}
+
+/// Serializable snapshot of an [`EdgeLearningEnv`]'s mutable state, for
+/// full-run checkpoints (see [`EdgeLearningEnv::capture_state`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EnvState {
+    /// Completed rounds this episode.
+    pub round: usize,
+    /// Whether the episode had ended.
+    pub done: bool,
+    /// The budget ledger (total + spent).
+    pub ledger: BudgetLedger,
+    /// Channel-fading RNG position.
+    pub channel_rng: RngState,
+    /// Oracle training progress.
+    pub oracle: OracleState,
+    /// Installed failure-injection schedule.
+    pub faults: FaultSchedule,
+    /// Installed stochastic fault process (config only; the runtime chains
+    /// rebuild deterministically).
+    pub fault_process: Option<FaultProcessConfig>,
+    /// Active countermeasure configuration.
+    pub resilience: ResilienceConfig,
+    /// Fleet size, for validation on restore.
+    pub num_nodes: usize,
+}
+
+/// Error from [`EdgeLearningEnv::restore_state`] /
+/// [`EdgeLearningEnv::capture_state`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum EnvStateError {
+    /// The installed oracle does not support state capture/restore.
+    OracleUnsupported,
+    /// The oracle rejected the snapshot.
+    Oracle(OracleStateError),
+    /// The snapshot was taken on a fleet of a different size.
+    FleetMismatch {
+        /// This environment's fleet size.
+        expected: usize,
+        /// The snapshot's fleet size.
+        found: usize,
+    },
+    /// The snapshot's budget η differs from this environment's.
+    BudgetMismatch {
+        /// This environment's budget.
+        expected: f64,
+        /// The snapshot's budget.
+        found: f64,
+    },
+    /// The RNG snapshot has the wrong number of state words.
+    MalformedRng,
+    /// The snapshot's fault schedule does not fit this fleet.
+    Faults(FaultScheduleError),
+}
+
+impl std::fmt::Display for EnvStateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EnvStateError::OracleUnsupported => {
+                write!(f, "the installed oracle does not support checkpointing")
+            }
+            EnvStateError::Oracle(e) => write!(f, "oracle state: {e}"),
+            EnvStateError::FleetMismatch { expected, found } => {
+                write!(
+                    f,
+                    "snapshot is for {found} nodes, environment has {expected}"
+                )
+            }
+            EnvStateError::BudgetMismatch { expected, found } => {
+                write!(
+                    f,
+                    "snapshot budget {found} differs from environment budget {expected}"
+                )
+            }
+            EnvStateError::MalformedRng => write!(f, "malformed RNG snapshot"),
+            EnvStateError::Faults(e) => write!(f, "fault schedule: {e}"),
         }
     }
 }
+
+impl std::error::Error for EnvStateError {}
 
 impl std::fmt::Debug for EdgeLearningEnv {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -606,6 +1023,284 @@ mod tests {
         let t1 = e.step(&prices).participant_times();
         let t2 = e.step(&prices).participant_times();
         assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn set_faults_rejects_out_of_range_nodes() {
+        use crate::faults::{Fault, FaultScheduleError};
+        let mut e = env(100.0);
+        let bad = FaultSchedule::new(vec![Fault::Dropout {
+            node: 99,
+            from_round: 1,
+        }]);
+        assert_eq!(
+            e.set_faults(bad),
+            Err(FaultScheduleError::NodeOutOfRange {
+                node: 99,
+                num_nodes: 5
+            })
+        );
+        assert!(e.faults().is_empty(), "previous schedule must be kept");
+        let good = FaultSchedule::new(vec![Fault::Dropout {
+            node: 4,
+            from_round: 1,
+        }]);
+        assert!(e.set_faults(good).is_ok());
+    }
+
+    #[test]
+    fn fault_process_replays_across_reset() {
+        use crate::faults::{FaultProcessConfig, GilbertElliott};
+        let mut e = env(1e9);
+        e.set_fault_process(Some(FaultProcessConfig {
+            seed: 11,
+            availability: Some(GilbertElliott {
+                p_fail: 0.3,
+                p_heal: 0.3,
+            }),
+            ..FaultProcessConfig::default()
+        }));
+        let prices = mid_prices(&e);
+        let first: Vec<usize> = (0..20)
+            .map(|_| e.step(&prices).num_participants())
+            .collect();
+        e.reset();
+        let replay: Vec<usize> = (0..20)
+            .map(|_| e.step(&prices).num_participants())
+            .collect();
+        assert_eq!(first, replay);
+        // The chain must actually drop nodes sometimes at these rates.
+        assert!(first.iter().any(|&p| p < 5), "no dropout in 20 rounds");
+    }
+
+    #[test]
+    fn quorum_miss_refunds_and_carries_accuracy() {
+        use crate::faults::{Fault, FaultSchedule};
+        let mut e = env(100.0);
+        e.set_resilience(ResilienceConfig {
+            quorum: 3,
+            ..ResilienceConfig::default()
+        });
+        // Drop 3 of 5 nodes: 2 survivors < quorum 3.
+        e.set_faults(FaultSchedule::new(vec![
+            Fault::Dropout {
+                node: 0,
+                from_round: 1,
+            },
+            Fault::Dropout {
+                node: 1,
+                from_round: 1,
+            },
+            Fault::Dropout {
+                node: 2,
+                from_round: 1,
+            },
+        ]))
+        .expect("valid schedule");
+        let budget_before = e.remaining_budget();
+        let a_before = e.accuracy();
+        let out = e.step(&mid_prices(&e));
+        assert_eq!(out.num_participants(), 0, "responses cleared on refund");
+        assert_eq!(out.payment_total, 0.0);
+        assert_eq!(e.remaining_budget(), budget_before, "payments refunded");
+        assert_eq!(out.accuracy, a_before, "accuracy carried");
+        assert_eq!(out.round, 1, "round counter still advances");
+        assert!(out.events.iter().any(|ev| matches!(
+            ev,
+            ResilienceEvent::QuorumMissed {
+                participants: 2,
+                quorum: 3
+            }
+        )));
+    }
+
+    #[test]
+    fn deadline_evicts_stragglers_unpaid() {
+        use crate::faults::{Fault, FaultSchedule};
+        let mut e = env(1e9);
+        e.set_resilience(ResilienceConfig {
+            deadline_slack: Some(1.5),
+            ..ResilienceConfig::default()
+        });
+        // Make node 0 a 20× straggler: it will blow the Lemma-1 deadline.
+        e.set_faults(FaultSchedule::new(vec![Fault::BandwidthCollapse {
+            node: 0,
+            factor: 20.0,
+            from_round: 1,
+        }]))
+        .expect("valid schedule");
+        let out = e.step(&mid_prices(&e));
+        assert!(out.responses[0].is_none(), "straggler evicted");
+        assert_eq!(out.num_participants(), 4);
+        let evicted: Vec<_> = out
+            .events
+            .iter()
+            .filter(|ev| matches!(ev, ResilienceEvent::DeadlineEvicted { node: 0, .. }))
+            .collect();
+        assert_eq!(evicted.len(), 1);
+        // The evicted node is not paid: payment_total only covers survivors.
+        let paid: f64 = out.responses.iter().flatten().map(|r| r.payment).sum();
+        assert!((paid - out.payment_total).abs() < 1e-9);
+    }
+
+    #[test]
+    fn price_retry_recovers_zero_responder_round() {
+        let mut e = env(1e9);
+        e.set_resilience(ResilienceConfig {
+            max_price_retries: 8,
+            retry_backoff: 2.0,
+            ..ResilienceConfig::default()
+        });
+        // Prices far below every reserve: nobody responds at 1×.
+        let tiny: Vec<f64> = (0..e.num_nodes())
+            .map(|i| e.node(i).price_floor(e.sigma()) * 0.2)
+            .collect();
+        let out = e.step(&tiny);
+        let retries = out
+            .events
+            .iter()
+            .filter(|ev| matches!(ev, ResilienceEvent::PriceRetry { .. }))
+            .count();
+        assert!(retries > 0, "retry must have fired");
+        assert!(
+            out.num_participants() > 0,
+            "backoff should eventually attract responders"
+        );
+    }
+
+    #[test]
+    fn overdraft_clamp_spends_budget_exactly() {
+        let mut e = env(10.0);
+        e.set_resilience(ResilienceConfig {
+            clamp_final_payment: true,
+            ..ResilienceConfig::default()
+        });
+        let prices = mid_prices(&e);
+        let mut last = None;
+        for _ in 0..1000 {
+            let out = e.step(&prices);
+            let done = out.done();
+            last = Some(out);
+            if done {
+                break;
+            }
+        }
+        let last = last.expect("episode ran");
+        assert_eq!(last.status, StepStatus::FinalRoundClamped);
+        assert!(last
+            .events
+            .iter()
+            .any(|ev| matches!(ev, ResilienceEvent::OverdraftClamped { .. })));
+        // Σ p·ζ = η exactly: the clamped charge lands on the full budget.
+        assert_eq!(e.remaining_budget(), 0.0);
+        assert!(last.accuracy >= last.prev_accuracy - 1e-9, "round recorded");
+        assert!(last.payment_total > 0.0);
+    }
+
+    #[test]
+    fn state_round_trip_resumes_bitwise() {
+        use crate::faults::{FaultProcessConfig, GilbertElliott, ReserveDrift, UploadJitter};
+        let build = || {
+            let mut e = EdgeLearningEnv::new(
+                EnvConfig {
+                    channel: ChannelVariation::LogNormal { sigma: 0.3 },
+                    ..EnvConfig::paper_small(DatasetKind::MnistLike, 200.0)
+                },
+                7,
+            );
+            e.set_fault_process(Some(FaultProcessConfig {
+                seed: 3,
+                availability: Some(GilbertElliott {
+                    p_fail: 0.1,
+                    p_heal: 0.5,
+                }),
+                jitter: Some(UploadJitter {
+                    prob: 0.2,
+                    alpha: 1.5,
+                    max_factor: 10.0,
+                }),
+                drift: Some(ReserveDrift {
+                    sigma: 0.05,
+                    max_factor: 2.0,
+                }),
+            }));
+            e
+        };
+        let mut a = build();
+        let prices = mid_prices(&a);
+        for _ in 0..5 {
+            let _ = a.step(&prices);
+        }
+        let snap = a.capture_state().expect("capture");
+        // Continue the original.
+        let tail: Vec<(u64, f64, usize)> = (0..10)
+            .map(|_| {
+                let o = a.step(&prices);
+                (o.accuracy.to_bits(), o.payment_total, o.num_participants())
+            })
+            .collect();
+        // Fresh env + restore must replay the tail bitwise.
+        let mut b = build();
+        b.restore_state(&snap).expect("restore");
+        let replay: Vec<(u64, f64, usize)> = (0..10)
+            .map(|_| {
+                let o = b.step(&prices);
+                (o.accuracy.to_bits(), o.payment_total, o.num_participants())
+            })
+            .collect();
+        assert_eq!(tail, replay);
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_snapshots() {
+        let mut small = env(100.0);
+        let snap = small.capture_state().expect("capture");
+
+        let mut other_budget = env(50.0);
+        assert!(matches!(
+            other_budget.restore_state(&snap),
+            Err(EnvStateError::BudgetMismatch { .. })
+        ));
+
+        let mut big = EdgeLearningEnv::new(
+            EnvConfig {
+                oracle_noise: 0.0,
+                ..EnvConfig::paper_large(DatasetKind::MnistLike, 100.0)
+            },
+            7,
+        );
+        assert!(matches!(
+            big.restore_state(&snap),
+            Err(EnvStateError::FleetMismatch { .. })
+        ));
+
+        let mut corrupt = snap.clone();
+        corrupt.channel_rng.state.pop();
+        assert!(matches!(
+            small.restore_state(&corrupt),
+            Err(EnvStateError::MalformedRng)
+        ));
+    }
+
+    #[test]
+    fn default_resilience_changes_nothing() {
+        // A resilience config of Default must leave the trajectory
+        // bit-identical to an env that never heard of resilience.
+        let mut plain = env(80.0);
+        let mut configured = env(80.0);
+        configured.set_resilience(ResilienceConfig::default());
+        let prices = mid_prices(&plain);
+        loop {
+            let a = plain.step(&prices);
+            let b = configured.step(&prices);
+            assert_eq!(a.status, b.status);
+            assert_eq!(a.accuracy.to_bits(), b.accuracy.to_bits());
+            assert_eq!(a.payment_total.to_bits(), b.payment_total.to_bits());
+            assert!(a.events.is_empty() && b.events.is_empty());
+            if a.done() {
+                break;
+            }
+        }
     }
 
     #[test]

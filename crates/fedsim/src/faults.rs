@@ -10,7 +10,50 @@
 //! every episode replays the same perturbations.
 
 use crate::{EdgeNode, NodeParams};
+use chiron_tensor::TensorRng;
 use serde::{Deserialize, Serialize};
+
+/// Error raised when a fault schedule is malformed or does not fit the
+/// fleet it is installed on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultScheduleError {
+    /// A fault targets a node index outside the fleet.
+    NodeOutOfRange {
+        /// The offending node index.
+        node: usize,
+        /// Number of nodes in the fleet.
+        num_nodes: usize,
+    },
+    /// A transient fault's healing round is not after its start round.
+    HealsBeforeStart {
+        /// First affected round.
+        from_round: usize,
+        /// Scheduled healing round.
+        until_round: usize,
+    },
+}
+
+impl std::fmt::Display for FaultScheduleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            FaultScheduleError::NodeOutOfRange { node, num_nodes } => {
+                write!(
+                    f,
+                    "fault targets node {node} but the fleet has {num_nodes} nodes"
+                )
+            }
+            FaultScheduleError::HealsBeforeStart {
+                from_round,
+                until_round,
+            } => write!(
+                f,
+                "transient fault heals at {until_round} before it starts at {from_round}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FaultScheduleError {}
 
 /// One fleet perturbation, active from `from_round` (1-based, compared
 /// against the round being executed) onwards. Register with
@@ -124,19 +167,54 @@ impl FaultSchedule {
 
     /// Adds a **transient** fault, healed from `until_round` onwards.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics unless `until_round > fault.from_round()`.
-    pub fn push_transient(&mut self, fault: Fault, until_round: usize) {
-        assert!(
-            until_round > fault.from_round(),
-            "transient fault heals at {until_round} before it starts at {}",
-            fault.from_round()
-        );
+    /// Returns [`FaultScheduleError::HealsBeforeStart`] unless
+    /// `until_round > fault.from_round()`.
+    pub fn try_push_transient(
+        &mut self,
+        fault: Fault,
+        until_round: usize,
+    ) -> Result<(), FaultScheduleError> {
+        if until_round <= fault.from_round() {
+            return Err(FaultScheduleError::HealsBeforeStart {
+                from_round: fault.from_round(),
+                until_round,
+            });
+        }
         self.faults.push(ScheduledFault {
             fault,
             until_round: Some(until_round),
         });
+        Ok(())
+    }
+
+    /// Panicking convenience wrapper around
+    /// [`FaultSchedule::try_push_transient`] for tests and examples.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `until_round > fault.from_round()`.
+    pub fn push_transient(&mut self, fault: Fault, until_round: usize) {
+        self.try_push_transient(fault, until_round)
+            .unwrap_or_else(|err| panic!("{err}"));
+    }
+
+    /// Checks that every scheduled fault targets a node inside a fleet of
+    /// `num_nodes` nodes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaultScheduleError::NodeOutOfRange`] for the first fault
+    /// whose node index is `>= num_nodes`.
+    pub fn validate_nodes(&self, num_nodes: usize) -> Result<(), FaultScheduleError> {
+        for sf in &self.faults {
+            let node = sf.fault.node();
+            if node >= num_nodes {
+                return Err(FaultScheduleError::NodeOutOfRange { node, num_nodes });
+            }
+        }
+        Ok(())
     }
 
     /// The scheduled faults.
@@ -195,6 +273,231 @@ impl FaultSchedule {
             base.params(),
         )))
     }
+}
+
+/// Gilbert–Elliott two-state availability chain: the node alternates
+/// between an *up* state (responds normally) and a *down* state (declines
+/// every price), with geometric sojourn times — the classic model for
+/// bursty loss on a flapping radio link.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GilbertElliott {
+    /// Per-round probability of an up → down transition.
+    pub p_fail: f64,
+    /// Per-round probability of a down → up transition.
+    pub p_heal: f64,
+}
+
+/// Heavy-tailed multiplicative jitter on the upload time: with probability
+/// `prob` per round the node's upload time is multiplied by a Pareto(α)
+/// draw (always ≥ 1), modelling occasional deep fades and contention
+/// spikes rather than Gaussian noise.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UploadJitter {
+    /// Per-round probability that a jitter burst fires.
+    pub prob: f64,
+    /// Pareto tail index α (> 0); smaller ⇒ heavier tail.
+    pub alpha: f64,
+    /// Cap on the multiplier so one draw cannot stall a round forever.
+    pub max_factor: f64,
+}
+
+/// Multiplicative random walk on the reserve utility: each round the
+/// node's price expectation drifts by `exp(σ·N(0,1))`, clamped to
+/// `[1/max_factor, max_factor]` around the base reserve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReserveDrift {
+    /// Per-round log-step standard deviation.
+    pub sigma: f64,
+    /// Clamp on the cumulative factor (≥ 1).
+    pub max_factor: f64,
+}
+
+/// Configuration of the seeded generative fault model. Every enabled
+/// component runs per node, and the whole process is a pure function of
+/// `(seed, node, round)` — replaying an episode (or resuming from a
+/// checkpoint that stores only this config) reproduces the exact same
+/// fault trajectory bit for bit.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct FaultProcessConfig {
+    /// Master seed; each node derives an independent stream from it.
+    pub seed: u64,
+    /// Bursty availability chain, if enabled.
+    pub availability: Option<GilbertElliott>,
+    /// Heavy-tailed upload-time jitter, if enabled.
+    pub jitter: Option<UploadJitter>,
+    /// Reserve-utility drift, if enabled.
+    pub drift: Option<ReserveDrift>,
+}
+
+impl FaultProcessConfig {
+    /// A moderately hostile all-components-on preset: ~5 % of node-rounds
+    /// start an outage (healing at 50 %/round), 10 % of uploads take a
+    /// heavy-tailed (Pareto α = 1.5, capped ×10) hit, and reserve
+    /// utilities random-walk with σ = 0.05 within ×2 of their base. Used
+    /// by the CLI's `CHIRON_FAULT_SEED` switch and the robustness benches.
+    pub fn standard(seed: u64) -> Self {
+        Self {
+            seed,
+            availability: Some(GilbertElliott {
+                p_fail: 0.05,
+                p_heal: 0.5,
+            }),
+            jitter: Some(UploadJitter {
+                prob: 0.1,
+                alpha: 1.5,
+                max_factor: 10.0,
+            }),
+            drift: Some(ReserveDrift {
+                sigma: 0.05,
+                max_factor: 2.0,
+            }),
+        }
+    }
+}
+
+/// The sampled fault state of one node at one round.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultDraw {
+    /// `false` when the availability chain holds the node down.
+    pub available: bool,
+    /// Multiplier on the upload time (≥ 1).
+    pub upload_factor: f64,
+    /// Multiplier on the reserve utility (> 0).
+    pub reserve_factor: f64,
+}
+
+impl FaultDraw {
+    /// The identity draw: node up, no perturbation.
+    pub fn healthy() -> Self {
+        Self {
+            available: true,
+            upload_factor: 1.0,
+            reserve_factor: 1.0,
+        }
+    }
+}
+
+/// Per-node chain state: a lazily extended cache of round draws plus the
+/// RNG and walk state needed to extend it. Rebuilt deterministically from
+/// the config, so it is never serialized.
+#[derive(Debug, Clone)]
+struct NodeChain {
+    rng: TensorRng,
+    /// `true` while the Gilbert–Elliott chain is in the down state.
+    down: bool,
+    /// Cumulative log of the reserve drift walk.
+    log_drift: f64,
+    /// Cached draws; index `r` holds the draw for executing round `r + 1`.
+    rounds: Vec<FaultDraw>,
+}
+
+/// Runtime for [`FaultProcessConfig`]: samples and caches per-node fault
+/// draws. Rounds are always generated in order from round 1, so a draw for
+/// `(node, round)` is identical no matter when it is first requested —
+/// the property the replay and resume tests rely on.
+#[derive(Debug, Clone)]
+pub struct FaultProcess {
+    config: FaultProcessConfig,
+    chains: Vec<NodeChain>,
+}
+
+impl FaultProcess {
+    /// Builds the runtime for a fleet of `num_nodes` nodes.
+    pub fn new(config: FaultProcessConfig, num_nodes: usize) -> Self {
+        let chains = (0..num_nodes as u64)
+            .map(|node| NodeChain {
+                // Golden-ratio stride keeps per-node streams disjoint.
+                rng: TensorRng::seed_from(
+                    config.seed ^ node.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1),
+                ),
+                down: false,
+                log_drift: 0.0,
+                rounds: Vec::new(),
+            })
+            .collect();
+        Self { config, chains }
+    }
+
+    /// The configuration this process was built from (all the state a
+    /// checkpoint needs).
+    pub fn config(&self) -> &FaultProcessConfig {
+        &self.config
+    }
+
+    /// The fault state of `node` when executing `round` (1-based).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range or `round` is 0.
+    pub fn draw(&mut self, node: usize, round: usize) -> FaultDraw {
+        assert!(round > 0, "rounds are 1-based");
+        let config = self.config;
+        let chain = &mut self.chains[node];
+        while chain.rounds.len() < round {
+            chain.advance(&config);
+        }
+        chain.rounds[round - 1]
+    }
+}
+
+impl NodeChain {
+    /// Samples the next round's draw. Exactly five uniforms are consumed
+    /// per round regardless of which components are enabled, so toggling
+    /// one component never shifts another's stream.
+    fn advance(&mut self, config: &FaultProcessConfig) {
+        let u_avail = self.rng.uniform(0.0, 1.0);
+        let u_fire = self.rng.uniform(0.0, 1.0);
+        let u_mag = self.rng.uniform(0.0, 1.0);
+        let z_drift = normal_from_uniforms(&mut self.rng);
+
+        let available = match config.availability {
+            Some(ge) => {
+                if self.down {
+                    if u_avail < ge.p_heal.clamp(0.0, 1.0) {
+                        self.down = false;
+                    }
+                } else if u_avail < ge.p_fail.clamp(0.0, 1.0) {
+                    self.down = true;
+                }
+                !self.down
+            }
+            None => true,
+        };
+
+        let upload_factor = match config.jitter {
+            Some(j) if u_fire < j.prob.clamp(0.0, 1.0) => {
+                // Pareto(α) via inverse CDF on (0, 1]; ≥ 1 by construction.
+                let alpha = j.alpha.max(0.05);
+                let tail = (1.0 - u_mag).max(f64::MIN_POSITIVE);
+                tail.powf(-1.0 / alpha).min(j.max_factor.max(1.0))
+            }
+            _ => 1.0,
+        };
+
+        let reserve_factor = match config.drift {
+            Some(d) => {
+                let bound = d.max_factor.max(1.0).ln();
+                self.log_drift = (self.log_drift + d.sigma.abs() * z_drift).clamp(-bound, bound);
+                self.log_drift.exp()
+            }
+            None => 1.0,
+        };
+
+        self.rounds.push(FaultDraw {
+            available,
+            upload_factor,
+            reserve_factor,
+        });
+    }
+}
+
+/// A standard-normal draw from exactly two uniforms (Box–Muller), so the
+/// per-round draw count stays fixed — `TensorRng::normal` may consume a
+/// variable number of words depending on the backing sampler.
+fn normal_from_uniforms(rng: &mut TensorRng) -> f64 {
+    let u1 = (1.0 - rng.uniform(0.0, 1.0)).max(f64::MIN_POSITIVE);
+    let u2 = rng.uniform(0.0, 1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
 }
 
 #[cfg(test)]
@@ -374,5 +677,135 @@ mod tests {
         assert!(schedule.is_empty());
         let node = schedule.effective_node(0, 1, &base()).expect("present");
         assert_eq!(node.params(), base().params());
+    }
+
+    #[test]
+    fn try_push_transient_rejects_bad_rounds() {
+        let mut schedule = FaultSchedule::none();
+        let err = schedule
+            .try_push_transient(
+                Fault::Dropout {
+                    node: 0,
+                    from_round: 5,
+                },
+                4,
+            )
+            .unwrap_err();
+        assert_eq!(
+            err,
+            FaultScheduleError::HealsBeforeStart {
+                from_round: 5,
+                until_round: 4
+            }
+        );
+        assert!(schedule.is_empty());
+    }
+
+    #[test]
+    fn validate_nodes_flags_out_of_range_targets() {
+        let schedule = FaultSchedule::new(vec![Fault::Dropout {
+            node: 7,
+            from_round: 1,
+        }]);
+        assert_eq!(schedule.validate_nodes(10), Ok(()));
+        assert_eq!(
+            schedule.validate_nodes(5),
+            Err(FaultScheduleError::NodeOutOfRange {
+                node: 7,
+                num_nodes: 5
+            })
+        );
+    }
+
+    fn process_config() -> FaultProcessConfig {
+        FaultProcessConfig {
+            seed: 42,
+            availability: Some(GilbertElliott {
+                p_fail: 0.2,
+                p_heal: 0.5,
+            }),
+            jitter: Some(UploadJitter {
+                prob: 0.3,
+                alpha: 1.5,
+                max_factor: 20.0,
+            }),
+            drift: Some(ReserveDrift {
+                sigma: 0.1,
+                max_factor: 3.0,
+            }),
+        }
+    }
+
+    #[test]
+    fn process_is_deterministic_per_seed_and_round() {
+        let mut a = FaultProcess::new(process_config(), 4);
+        let mut b = FaultProcess::new(process_config(), 4);
+        // Query in different orders: the draw must depend only on
+        // (seed, node, round).
+        let fwd: Vec<_> = (1..=50).map(|r| a.draw(2, r)).collect();
+        let jumped = b.draw(2, 50);
+        assert_eq!(fwd[49], jumped);
+        for (r, draw) in fwd.iter().enumerate() {
+            assert_eq!(*draw, b.draw(2, r + 1));
+        }
+    }
+
+    #[test]
+    fn process_nodes_have_independent_streams() {
+        let mut p = FaultProcess::new(process_config(), 3);
+        let a: Vec<_> = (1..=40).map(|r| p.draw(0, r)).collect();
+        let b: Vec<_> = (1..=40).map(|r| p.draw(1, r)).collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn process_draws_stay_in_bounds() {
+        let mut p = FaultProcess::new(process_config(), 2);
+        let mut saw_down = false;
+        let mut saw_jitter = false;
+        for r in 1..=500 {
+            for n in 0..2 {
+                let d = p.draw(n, r);
+                assert!(d.upload_factor >= 1.0 && d.upload_factor <= 20.0);
+                assert!(d.reserve_factor >= 1.0 / 3.0 - 1e-12);
+                assert!(d.reserve_factor <= 3.0 + 1e-12);
+                saw_down |= !d.available;
+                saw_jitter |= d.upload_factor > 1.0;
+            }
+        }
+        assert!(saw_down, "availability chain never failed in 1000 draws");
+        assert!(saw_jitter, "jitter never fired in 1000 draws");
+    }
+
+    #[test]
+    fn disabled_components_are_identity() {
+        let mut p = FaultProcess::new(
+            FaultProcessConfig {
+                seed: 9,
+                ..FaultProcessConfig::default()
+            },
+            2,
+        );
+        for r in 1..=20 {
+            assert_eq!(p.draw(0, r), FaultDraw::healthy());
+        }
+    }
+
+    #[test]
+    fn toggling_one_component_leaves_others_unchanged() {
+        let full = process_config();
+        let no_jitter = FaultProcessConfig {
+            jitter: None,
+            ..full
+        };
+        let mut a = FaultProcess::new(full, 1);
+        let mut b = FaultProcess::new(no_jitter, 1);
+        for r in 1..=100 {
+            let da = a.draw(0, r);
+            let db = b.draw(0, r);
+            assert_eq!(da.available, db.available);
+            assert_eq!(da.reserve_factor.to_bits(), db.reserve_factor.to_bits());
+            assert_eq!(db.upload_factor, 1.0);
+        }
     }
 }

@@ -111,6 +111,33 @@ pub fn equalizing_prices(nodes: &[EdgeNode], sigma: u32, total_price: f64) -> Ve
         .collect()
 }
 
+/// The round wall-clock time the Lemma 1 allocation of `total_price` would
+/// realize: every responding node's finish time under the equalizing
+/// prices, maximized over responders.
+///
+/// This is the time-consistency reference the resilience layer derives its
+/// per-round deadline from — a node finishing later than
+/// `slack × equalized_round_time` is a straggler by the paper's own
+/// optimality criterion, not merely unlucky.
+///
+/// Returns `f64::INFINITY` if no node responds at the equalizing prices
+/// (so an infinite deadline, i.e. no eviction).
+///
+/// # Panics
+///
+/// Panics if `nodes` is empty or `total_price` is not positive.
+pub fn equalized_round_time(nodes: &[EdgeNode], sigma: u32, total_price: f64) -> f64 {
+    let prices = equalizing_prices(nodes, sigma, total_price);
+    nodes
+        .iter()
+        .zip(&prices)
+        .filter_map(|(n, &p)| n.respond(p, sigma).map(|r| r.total_time))
+        .fold(None, |acc: Option<f64>, t| {
+            Some(acc.map_or(t, |a| a.max(t)))
+        })
+        .unwrap_or(f64::INFINITY)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -225,6 +252,20 @@ mod tests {
         for (n, &p) in nodes.iter().zip(&prices) {
             assert!(p <= n.price_cap(sigma) * 1.0001);
         }
+    }
+
+    #[test]
+    fn equalized_round_time_matches_realized_times() {
+        let nodes = fleet(5, 2);
+        let sigma = 5;
+        let total: f64 = nodes.iter().map(|n| n.price_cap(sigma)).sum::<f64>() * 0.4;
+        let t = equalized_round_time(&nodes, sigma, total);
+        let prices = equalizing_prices(&nodes, sigma, total);
+        let realized_max = times_under(&nodes, &prices, sigma)
+            .into_iter()
+            .fold(0.0f64, f64::max);
+        assert!(t.is_finite());
+        assert!((t - realized_max).abs() < 1e-12);
     }
 
     #[test]

@@ -63,7 +63,10 @@ mod node;
 pub mod oracle;
 
 pub use budget::BudgetLedger;
-pub use env::{ChannelVariation, EdgeLearningEnv, EnvConfig, RoundOutcome, StepStatus};
+pub use env::{
+    ChannelVariation, EdgeLearningEnv, EnvConfig, EnvState, EnvStateError, ResilienceConfig,
+    RoundOutcome, StepStatus,
+};
 pub use node::{EdgeNode, NodeParams, NodeResponse};
 
 #[cfg(test)]

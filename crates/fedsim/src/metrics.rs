@@ -233,6 +233,160 @@ impl EpisodeSummary {
     }
 }
 
+/// One structured resilience event: something the fault model or a PS-side
+/// countermeasure did that a plain [`RoundRecord`] cannot express. Events
+/// are attached to the round they occurred in (via
+/// [`crate::RoundOutcome::events`]) and collected across an episode with
+/// [`EventLog`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ResilienceEvent {
+    /// A stochastic availability chain took `node` down this round.
+    FaultFired {
+        /// The affected node.
+        node: usize,
+    },
+    /// The availability chain brought `node` back up this round.
+    FaultHealed {
+        /// The recovered node.
+        node: usize,
+    },
+    /// `node` finished after the per-round deadline: its update was
+    /// excluded from aggregation and it was not paid.
+    DeadlineEvicted {
+        /// The evicted node.
+        node: usize,
+        /// The node's completion time (seconds).
+        time: f64,
+        /// The deadline it missed (seconds).
+        deadline: f64,
+    },
+    /// Fewer than `quorum` nodes survived: aggregation was skipped,
+    /// accuracy carried, and all payments refunded.
+    QuorumMissed {
+        /// Participants that survived the deadline.
+        participants: usize,
+        /// The configured minimum quorum.
+        quorum: usize,
+    },
+    /// A posted price profile attracted zero responders and was retried
+    /// with scaled-up prices.
+    PriceRetry {
+        /// 1-based retry attempt.
+        attempt: usize,
+        /// Multiplier applied to the posted prices for this attempt.
+        backoff: f64,
+    },
+    /// The final round's payments were scaled down so the cumulative spend
+    /// lands exactly on the budget η.
+    OverdraftClamped {
+        /// Payment total the round asked for.
+        requested: f64,
+        /// Budget that was actually left (and charged).
+        available: f64,
+    },
+    /// A PPO update produced non-finite numbers and was rolled back to the
+    /// last good snapshot.
+    UpdateRolledBack {
+        /// Which agent rolled back.
+        agent: RolledBackAgent,
+    },
+    /// Training resumed from a checkpoint at this episode/round boundary.
+    Resumed {
+        /// Episode index the run resumed into.
+        episode: usize,
+    },
+}
+
+/// Which of the two hierarchical agents a rollback event refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RolledBackAgent {
+    /// The budget-pacing exterior-point agent.
+    Exterior,
+    /// The allocation inner-point agent.
+    Inner,
+}
+
+impl ResilienceEvent {
+    /// Short machine-readable kind tag (stable across versions; used for
+    /// counting and filtering in logs).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ResilienceEvent::FaultFired { .. } => "fault_fired",
+            ResilienceEvent::FaultHealed { .. } => "fault_healed",
+            ResilienceEvent::DeadlineEvicted { .. } => "deadline_evicted",
+            ResilienceEvent::QuorumMissed { .. } => "quorum_missed",
+            ResilienceEvent::PriceRetry { .. } => "price_retry",
+            ResilienceEvent::OverdraftClamped { .. } => "overdraft_clamped",
+            ResilienceEvent::UpdateRolledBack { .. } => "update_rolled_back",
+            ResilienceEvent::Resumed { .. } => "resumed",
+        }
+    }
+}
+
+/// A [`ResilienceEvent`] stamped with where it happened.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LoggedEvent {
+    /// Episode the event occurred in (0 for single-episode evaluation).
+    pub episode: usize,
+    /// 1-based round the event occurred in (0 for run-level events).
+    pub round: usize,
+    /// The event itself.
+    pub event: ResilienceEvent,
+}
+
+/// An append-only log of resilience events across a run, dumpable as JSON
+/// lines for offline analysis (`chiron eval --events`).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct EventLog {
+    entries: Vec<LoggedEvent>,
+}
+
+impl EventLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one event.
+    pub fn push(&mut self, episode: usize, round: usize, event: ResilienceEvent) {
+        self.entries.push(LoggedEvent {
+            episode,
+            round,
+            event,
+        });
+    }
+
+    /// Appends every event attached to a round outcome.
+    pub fn extend_from_outcome(&mut self, episode: usize, outcome: &crate::RoundOutcome) {
+        for &event in &outcome.events {
+            self.push(episode, outcome.round, event);
+        }
+    }
+
+    /// The logged entries, in order.
+    pub fn entries(&self) -> &[LoggedEvent] {
+        &self.entries
+    }
+
+    /// Number of entries whose kind tag matches `kind`.
+    pub fn count(&self, kind: &str) -> usize {
+        self.entries
+            .iter()
+            .filter(|e| e.event.kind() == kind)
+            .count()
+    }
+
+    /// Serializes the log as JSON lines (one entry per line).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for entry in &self.entries {
+            out.push_str(&serde_json::to_string(entry).expect("event serializes"));
+            out.push('\n');
+        }
+        out
+    }
+}
+
 /// Serializes round records as CSV (header + one line per round); used by
 /// the figure-reproduction binaries.
 pub fn rounds_to_csv(records: &[RoundRecord]) -> String {
@@ -362,6 +516,30 @@ mod tests {
         assert!(ledger.rounds_participated().iter().all(|&r| r == 2));
         assert!(ledger.payment_fairness() > 0.5);
         assert!(ledger.utility_fairness() > 0.0);
+    }
+
+    #[test]
+    fn event_log_counts_and_serializes() {
+        let mut log = EventLog::new();
+        log.push(0, 3, ResilienceEvent::FaultFired { node: 1 });
+        log.push(0, 5, ResilienceEvent::FaultHealed { node: 1 });
+        log.push(
+            1,
+            2,
+            ResilienceEvent::QuorumMissed {
+                participants: 1,
+                quorum: 3,
+            },
+        );
+        assert_eq!(log.count("fault_fired"), 1);
+        assert_eq!(log.count("quorum_missed"), 1);
+        assert_eq!(log.count("resumed"), 0);
+        let jsonl = log.to_jsonl();
+        assert_eq!(jsonl.lines().count(), 3);
+        // Round-trips through serde.
+        let back: LoggedEvent =
+            serde_json::from_str(jsonl.lines().next().expect("line")).expect("parses");
+        assert_eq!(back, log.entries()[0]);
     }
 
     #[test]

@@ -14,7 +14,8 @@
 
 use chiron_data::{partition, DatasetSpec, LearningCurve, SyntheticDataset};
 use chiron_nn::{Optimizer, Sequential, Sgd, SoftmaxCrossEntropy};
-use chiron_tensor::TensorRng;
+use chiron_tensor::{RngState, TensorRng};
+use serde::{Deserialize, Serialize};
 
 /// What the oracle gets to see about a completed round.
 #[derive(Debug, Clone)]
@@ -34,6 +35,59 @@ impl RoundContext<'_> {
     }
 }
 
+/// Serializable training-progress snapshot of an [`AccuracyOracle`], used
+/// by full-run checkpoints. Each built-in oracle has its own variant;
+/// third-party oracles that do not override the capture/restore hooks
+/// report [`OracleState::Unsupported`], which a checkpoint loader rejects
+/// with a typed error rather than resuming from a wrong state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum OracleState {
+    /// Snapshot of a [`CurveOracle`].
+    Curve {
+        /// Units of effective training accumulated.
+        effective_rounds: f64,
+        /// Noise-free accuracy.
+        clean: f64,
+        /// Last reported (noisy) accuracy.
+        accuracy: f64,
+        /// Evaluation-noise RNG position.
+        rng: RngState,
+    },
+    /// Snapshot of a [`TrainingOracle`].
+    Training {
+        /// Flattened global model parameters.
+        global_params: Vec<f32>,
+        /// Last reported accuracy.
+        accuracy: f64,
+    },
+    /// The oracle implementation does not support checkpointing.
+    Unsupported,
+}
+
+/// Error from [`AccuracyOracle::restore_state`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OracleStateError {
+    /// The oracle does not implement state capture/restore.
+    Unsupported,
+    /// The snapshot variant (or its payload) does not match this oracle.
+    Mismatch,
+}
+
+impl std::fmt::Display for OracleStateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OracleStateError::Unsupported => {
+                write!(f, "this oracle does not support state capture/restore")
+            }
+            OracleStateError::Mismatch => {
+                write!(f, "oracle state snapshot does not match this oracle")
+            }
+        }
+    }
+}
+
+impl std::error::Error for OracleStateError {}
+
 /// The interface the environment queries after each federated round.
 pub trait AccuracyOracle: Send {
     /// Forgets all training progress (start of a new episode).
@@ -44,6 +98,27 @@ pub trait AccuracyOracle: Send {
 
     /// The current global accuracy without advancing.
     fn accuracy(&self) -> f64;
+
+    /// Snapshots the oracle's training progress for a run checkpoint.
+    ///
+    /// The default returns [`OracleState::Unsupported`]; implementations
+    /// that want crash-safe resume override it together with
+    /// [`AccuracyOracle::restore_state`].
+    fn capture_state(&self) -> OracleState {
+        OracleState::Unsupported
+    }
+
+    /// Restores a snapshot taken by [`AccuracyOracle::capture_state`].
+    ///
+    /// # Errors
+    ///
+    /// The default returns [`OracleStateError::Unsupported`];
+    /// implementations return [`OracleStateError::Mismatch`] when handed a
+    /// snapshot of the wrong variant or shape.
+    fn restore_state(&mut self, state: &OracleState) -> Result<(), OracleStateError> {
+        let _ = state;
+        Err(OracleStateError::Unsupported)
+    }
 }
 
 /// Calibrated stochastic accuracy-progress model, plus small Gaussian
@@ -145,6 +220,33 @@ impl AccuracyOracle for CurveOracle {
 
     fn accuracy(&self) -> f64 {
         self.accuracy
+    }
+
+    fn capture_state(&self) -> OracleState {
+        OracleState::Curve {
+            effective_rounds: self.effective_rounds,
+            clean: self.clean,
+            accuracy: self.accuracy,
+            rng: self.rng.state(),
+        }
+    }
+
+    fn restore_state(&mut self, state: &OracleState) -> Result<(), OracleStateError> {
+        match state {
+            OracleState::Curve {
+                effective_rounds,
+                clean,
+                accuracy,
+                rng,
+            } => {
+                self.rng = TensorRng::from_state(rng).ok_or(OracleStateError::Mismatch)?;
+                self.effective_rounds = *effective_rounds;
+                self.clean = *clean;
+                self.accuracy = *accuracy;
+                Ok(())
+            }
+            _ => Err(OracleStateError::Mismatch),
+        }
     }
 }
 
@@ -272,6 +374,30 @@ impl AccuracyOracle for TrainingOracle {
     fn accuracy(&self) -> f64 {
         self.accuracy
     }
+
+    fn capture_state(&self) -> OracleState {
+        OracleState::Training {
+            global_params: self.global_params.clone(),
+            accuracy: self.accuracy,
+        }
+    }
+
+    fn restore_state(&mut self, state: &OracleState) -> Result<(), OracleStateError> {
+        match state {
+            OracleState::Training {
+                global_params,
+                accuracy,
+            } => {
+                if global_params.len() != self.global_params.len() {
+                    return Err(OracleStateError::Mismatch);
+                }
+                self.global_params = global_params.clone();
+                self.accuracy = *accuracy;
+                Ok(())
+            }
+            _ => Err(OracleStateError::Mismatch),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -361,6 +487,45 @@ mod tests {
         let a20 = o.accuracy();
         let a21 = o.execute_round(&ctx(21, &[0], &w));
         assert!((a2 - a1) > (a21 - a20) * 3.0, "early gains must dominate");
+    }
+
+    #[test]
+    fn curve_oracle_state_round_trips_mid_episode() {
+        let mut o = CurveOracle::for_dataset(&DatasetSpec::mnist_like(), 5);
+        let w = [1.0];
+        for k in 1..=4 {
+            o.execute_round(&ctx(k, &[0], &w));
+        }
+        let snap = o.capture_state();
+        let tail: Vec<f64> = (5..=10)
+            .map(|k| o.execute_round(&ctx(k, &[0], &w)))
+            .collect();
+        // A fresh oracle restored from the snapshot must continue bit-for-bit.
+        let mut r = CurveOracle::for_dataset(&DatasetSpec::mnist_like(), 5);
+        r.restore_state(&snap).expect("restore");
+        let replay: Vec<f64> = (5..=10)
+            .map(|k| r.execute_round(&ctx(k, &[0], &w)))
+            .collect();
+        assert_eq!(
+            tail.iter().map(|a| a.to_bits()).collect::<Vec<_>>(),
+            replay.iter().map(|a| a.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn oracle_state_mismatch_is_typed() {
+        let mut o = CurveOracle::new(DatasetSpec::mnist_like().curve, 0.0, 0);
+        assert_eq!(
+            o.restore_state(&OracleState::Unsupported),
+            Err(OracleStateError::Mismatch)
+        );
+        assert_eq!(
+            o.restore_state(&OracleState::Training {
+                global_params: vec![],
+                accuracy: 0.0
+            }),
+            Err(OracleStateError::Mismatch)
+        );
     }
 
     #[test]

@@ -159,7 +159,8 @@ impl Checkpoint {
         Ok(())
     }
 
-    /// Convenience: capture straight to a file.
+    /// Convenience: capture straight to a file (atomically; see
+    /// [`write_atomic`]).
     ///
     /// # Errors
     ///
@@ -169,7 +170,7 @@ impl Checkpoint {
         label: &str,
         path: impl AsRef<std::path::Path>,
     ) -> std::io::Result<()> {
-        std::fs::write(path, Self::capture(net, label).to_json())
+        write_atomic(path, Self::capture(net, label).to_json().as_bytes())
     }
 
     /// Convenience: load and restore from a file.
@@ -188,6 +189,39 @@ impl Checkpoint {
         ckpt.restore(net)
             .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
     }
+}
+
+/// Writes `contents` to `path` atomically: the bytes land in a sibling
+/// temporary file first and are renamed into place only once fully
+/// flushed, so a crash mid-write leaves either the old file or the new
+/// one — never a truncated hybrid.
+///
+/// The temporary file is `<path>.tmp` in the same directory (renames are
+/// only atomic within a filesystem). A stale `.tmp` from an earlier crash
+/// is silently overwritten.
+///
+/// # Errors
+///
+/// Propagates I/O errors; on failure the temporary file is removed on a
+/// best-effort basis and the destination is untouched.
+pub fn write_atomic(path: impl AsRef<std::path::Path>, contents: &[u8]) -> std::io::Result<()> {
+    use std::io::Write;
+
+    let path = path.as_ref();
+    let tmp = path.with_extension(match path.extension() {
+        Some(ext) => format!("{}.tmp", ext.to_string_lossy()),
+        None => "tmp".to_owned(),
+    });
+    let result = (|| {
+        let mut file = std::fs::File::create(&tmp)?;
+        file.write_all(contents)?;
+        file.sync_all()?;
+        std::fs::rename(&tmp, path)
+    })();
+    if result.is_err() {
+        std::fs::remove_file(&tmp).ok();
+    }
+    result
 }
 
 #[cfg(test)]
@@ -275,6 +309,24 @@ mod tests {
         let mut twin = mlp(&[3, 3], &mut TensorRng::seed_from(8));
         Checkpoint::load_file(&mut twin, &path).expect("load");
         assert_eq!(net.parameters_flat(), twin.parameters_flat());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn write_atomic_replaces_and_leaves_no_temp() {
+        let dir = std::env::temp_dir().join("chiron_nn_atomic_test");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join("state.json");
+        std::fs::write(&path, b"old").expect("seed old file");
+        write_atomic(&path, b"new contents").expect("atomic write");
+        assert_eq!(
+            std::fs::read_to_string(&path).expect("readable"),
+            "new contents"
+        );
+        assert!(
+            !path.with_extension("json.tmp").exists(),
+            "temp file must be renamed away"
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -62,13 +62,15 @@ mod sequential;
 pub use activation::{Relu, Sigmoid, Tanh};
 pub use avgpool::AvgPool2d;
 pub use batch::{forward_batched, BatchedPass};
-pub use checkpoint::{Checkpoint, CheckpointError, CHECKPOINT_VERSION};
+pub use checkpoint::{write_atomic, Checkpoint, CheckpointError, CHECKPOINT_VERSION};
 pub use conv2d::Conv2d;
 pub use dropout::Dropout;
 pub use layer::Layer;
 pub use linear::Linear;
 pub use loss::{MseLoss, SoftmaxCrossEntropy};
-pub use optim::{clip_grad_norm, Adam, Optimizer, Sgd};
+pub use optim::{
+    clip_grad_norm, Adam, AdamState, InvalidOptimizerState, MomentState, Optimizer, Sgd,
+};
 pub use pool::MaxPool2d;
 pub use sequential::Sequential;
 

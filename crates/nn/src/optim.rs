@@ -2,6 +2,7 @@
 
 use crate::Sequential;
 use chiron_tensor::Tensor;
+use serde::{Deserialize, Serialize};
 
 /// A first-order optimizer over a [`Sequential`] network.
 ///
@@ -104,6 +105,7 @@ impl Optimizer for Sgd {
 ///
 /// Used for the PPO actor/critic updates in the reproduction (the paper
 /// trains its agents with learning rate 3e-5).
+#[derive(Clone)]
 pub struct Adam {
     lr: f32,
     beta1: f32,
@@ -130,6 +132,97 @@ impl Adam {
             t: 0,
             m: Vec::new(),
             v: Vec::new(),
+        }
+    }
+}
+
+/// One Adam moment tensor in serializable form.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MomentState {
+    /// Tensor dimensions.
+    pub dims: Vec<usize>,
+    /// Flattened values.
+    pub data: Vec<f32>,
+}
+
+impl MomentState {
+    fn of(t: &Tensor) -> Self {
+        Self {
+            dims: t.shape().dims().to_vec(),
+            data: t.as_slice().to_vec(),
+        }
+    }
+
+    fn to_tensor(&self) -> Option<Tensor> {
+        if self.dims.iter().product::<usize>() != self.data.len() {
+            return None;
+        }
+        Some(Tensor::from_vec(self.data.clone(), &self.dims))
+    }
+}
+
+/// Serializable snapshot of an [`Adam`] optimizer's full state — step
+/// count and both moment vectors — so a resumed run takes bit-identical
+/// update steps. (The plain [`crate::Checkpoint`] deliberately stores only
+/// network parameters; this is the missing piece for crash-safe resume.)
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdamState {
+    /// Learning rate at capture time (after any decay).
+    pub lr: f32,
+    /// Update steps taken (drives bias correction).
+    pub t: u64,
+    /// First moments, in parameter visitation order.
+    pub m: Vec<MomentState>,
+    /// Second moments, in parameter visitation order.
+    pub v: Vec<MomentState>,
+}
+
+/// Error from [`Adam::restore_state`]: the snapshot is internally
+/// inconsistent (mismatched moment counts or dims/data length).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalidOptimizerState;
+
+impl std::fmt::Display for InvalidOptimizerState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "optimizer state snapshot is inconsistent")
+    }
+}
+
+impl std::error::Error for InvalidOptimizerState {}
+
+impl Adam {
+    /// Snapshots the optimizer for a training checkpoint.
+    pub fn capture_state(&self) -> AdamState {
+        AdamState {
+            lr: self.lr,
+            t: self.t,
+            m: self.m.iter().map(MomentState::of).collect(),
+            v: self.v.iter().map(MomentState::of).collect(),
+        }
+    }
+
+    /// Restores a snapshot taken by [`Adam::capture_state`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidOptimizerState`] (leaving the optimizer untouched)
+    /// if the snapshot's moment lists disagree in length or any moment's
+    /// dims do not match its data.
+    pub fn restore_state(&mut self, state: &AdamState) -> Result<(), InvalidOptimizerState> {
+        if state.m.len() != state.v.len() || state.lr <= 0.0 || !state.lr.is_finite() {
+            return Err(InvalidOptimizerState);
+        }
+        let m: Option<Vec<Tensor>> = state.m.iter().map(MomentState::to_tensor).collect();
+        let v: Option<Vec<Tensor>> = state.v.iter().map(MomentState::to_tensor).collect();
+        match (m, v) {
+            (Some(m), Some(v)) => {
+                self.lr = state.lr;
+                self.t = state.t;
+                self.m = m;
+                self.v = v;
+                Ok(())
+            }
+            _ => Err(InvalidOptimizerState),
         }
     }
 }
@@ -302,5 +395,50 @@ mod tests {
     #[should_panic(expected = "must be positive")]
     fn rejects_nonpositive_lr() {
         let _ = Sgd::new(0.0);
+    }
+
+    #[test]
+    fn adam_state_round_trips_bitwise() {
+        let mut net = one_param_net();
+        let mut opt = Adam::new(0.05);
+        for _ in 0..5 {
+            let _ = quadratic_loss_step(&mut net);
+            opt.step(&mut net);
+        }
+        let snap = opt.capture_state();
+        let params_at_snap = net.parameters_flat();
+
+        // Continue the original run.
+        let mut net_a = net.clone();
+        let mut opt_a = opt.clone();
+        for _ in 0..5 {
+            let _ = quadratic_loss_step(&mut net_a);
+            opt_a.step(&mut net_a);
+        }
+
+        // Fresh optimizer restored from the snapshot must match bitwise.
+        let mut net_b = net.clone();
+        net_b.set_parameters_flat(&params_at_snap);
+        let mut opt_b = Adam::new(0.123); // wrong lr, fixed by restore
+        opt_b.restore_state(&snap).expect("restore");
+        for _ in 0..5 {
+            let _ = quadratic_loss_step(&mut net_b);
+            opt_b.step(&mut net_b);
+        }
+        assert_eq!(net_a.parameters_flat(), net_b.parameters_flat());
+    }
+
+    #[test]
+    fn adam_restore_rejects_inconsistent_state() {
+        let mut net = one_param_net();
+        let mut opt = Adam::new(0.05);
+        let _ = quadratic_loss_step(&mut net);
+        opt.step(&mut net);
+        let mut snap = opt.capture_state();
+        snap.m[0].data.pop(); // dims no longer match data
+        assert_eq!(opt.restore_state(&snap), Err(InvalidOptimizerState));
+        let mut snap2 = opt.capture_state();
+        snap2.v.clear(); // m/v length mismatch
+        assert_eq!(opt.restore_state(&snap2), Err(InvalidOptimizerState));
     }
 }

@@ -4,6 +4,7 @@ use crate::Tensor;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha12Rng;
 use rand_distr::{Distribution, Normal, Uniform};
+use serde::{Deserialize, Serialize};
 
 /// A deterministic random number generator for tensor initialization and
 /// sampling.
@@ -24,6 +25,22 @@ use rand_distr::{Distribution, Normal, Uniform};
 #[derive(Clone)]
 pub struct TensorRng {
     rng: ChaCha12Rng,
+}
+
+/// Serializable snapshot of a [`TensorRng`]'s exact stream position.
+///
+/// Captured with [`TensorRng::state`] and rebuilt with
+/// [`TensorRng::from_state`], so a checkpointed run resumes the stream
+/// bit-for-bit. The word arrays are stored as `Vec<u32>` to keep the JSON
+/// encoding simple; [`TensorRng::from_state`] validates the lengths.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RngState {
+    /// ChaCha cipher state (16 words: constants, key, counter, nonce).
+    pub state: Vec<u32>,
+    /// Current keystream block (16 words).
+    pub block: Vec<u32>,
+    /// Next unserved word within the block; 16 means "exhausted".
+    pub index: u8,
 }
 
 /// Weight-initialization schemes.
@@ -123,6 +140,29 @@ impl TensorRng {
     pub fn inner(&mut self) -> &mut ChaCha12Rng {
         &mut self.rng
     }
+
+    /// Snapshots the exact stream position for checkpointing.
+    pub fn state(&self) -> RngState {
+        let (state, block, index) = self.rng.raw_state();
+        RngState {
+            state: state.to_vec(),
+            block: block.to_vec(),
+            index,
+        }
+    }
+
+    /// Rebuilds a generator from a snapshot taken by [`TensorRng::state`].
+    ///
+    /// Returns `None` if the snapshot's word arrays do not have exactly 16
+    /// entries (a corrupted or hand-edited checkpoint) — callers map this to
+    /// their own typed error instead of panicking.
+    pub fn from_state(snapshot: &RngState) -> Option<Self> {
+        let state: [u32; 16] = snapshot.state.as_slice().try_into().ok()?;
+        let block: [u32; 16] = snapshot.block.as_slice().try_into().ok()?;
+        Some(Self {
+            rng: ChaCha12Rng::from_raw_state(state, block, snapshot.index),
+        })
+    }
 }
 
 impl std::fmt::Debug for TensorRng {
@@ -185,6 +225,29 @@ mod tests {
         let a = c1.init(&[4], Init::Normal(1.0));
         let b = c2.init(&[4], Init::Normal(1.0));
         assert_ne!(a.as_slice(), b.as_slice());
+    }
+
+    #[test]
+    fn state_round_trips_through_serde() {
+        let mut a = TensorRng::seed_from(13);
+        // Advance so the snapshot captures a mid-stream position.
+        for _ in 0..7 {
+            let _ = a.normal();
+        }
+        let json = serde_json::to_string(&a.state()).expect("serialize");
+        let snapshot: RngState = serde_json::from_str(&json).expect("deserialize");
+        let mut b = TensorRng::from_state(&snapshot).expect("valid snapshot");
+        for _ in 0..32 {
+            assert_eq!(a.normal().to_bits(), b.normal().to_bits());
+            assert_eq!(a.uniform(0.0, 1.0).to_bits(), b.uniform(0.0, 1.0).to_bits());
+        }
+    }
+
+    #[test]
+    fn from_state_rejects_wrong_lengths() {
+        let mut snapshot = TensorRng::seed_from(1).state();
+        snapshot.block.pop();
+        assert!(TensorRng::from_state(&snapshot).is_none());
     }
 
     #[test]

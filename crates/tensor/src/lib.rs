@@ -38,7 +38,7 @@ mod shape;
 mod tensor;
 
 pub use conv::{col2im, im2col, Conv2dGeometry};
-pub use init::{Init, TensorRng};
+pub use init::{Init, RngState, TensorRng};
 pub use kernel::{matmul_views, MatView};
 pub use shape::Shape;
 pub use tensor::Tensor;

@@ -94,7 +94,7 @@ fn main() {
     });
 
     let mut env = make_env();
-    env.set_faults(schedule);
+    env.set_faults(schedule).expect("valid schedule");
     let (faulty, ledger) = run_audited(&mut mech, &mut env);
     println!(
         "faulty fleet  : accuracy {:.4}, {} rounds, time efficiency {:.1} %",

@@ -45,19 +45,25 @@ pub use chiron_tensor;
 pub mod prelude {
     pub use chiron::{
         ablation::FlatPpo, exterior_reward, inner_reward, Chiron, ChironConfig, ChironSnapshot,
-        Mechanism,
+        Mechanism, RecoveryOptions, ResumeError, RunCheckpoint,
     };
     pub use chiron_baselines::{DpPlanner, DrlSingleRound, Greedy, LemmaOracle, StaticPrice};
     pub use chiron_data::{DatasetKind, DatasetSpec, SyntheticDataset};
-    pub use chiron_drl::{AgentSnapshot, PpoAgent, PpoConfig, RolloutBuffer, RunningNorm};
-    pub use chiron_fedsim::{
-        faults::{Fault, FaultSchedule},
-        fleet::{DataVolumes, FleetConfig, UploadModel},
-        metrics::{EpisodeSummary, RoundRecord},
-        oracle::{AccuracyOracle, CurveOracle, TrainingOracle},
-        BudgetLedger, ChannelVariation, EdgeLearningEnv, EdgeNode, EnvConfig, NodeParams,
-        StepStatus,
+    pub use chiron_drl::{
+        AgentFullState, AgentSnapshot, AgentStateError, PpoAgent, PpoConfig, RolloutBuffer,
+        RunningNorm,
     };
-    pub use chiron_nn::{Checkpoint, Layer, Optimizer, Sequential};
+    pub use chiron_fedsim::{
+        faults::{
+            Fault, FaultProcessConfig, FaultSchedule, FaultScheduleError, GilbertElliott,
+            ReserveDrift, UploadJitter,
+        },
+        fleet::{DataVolumes, FleetConfig, UploadModel},
+        metrics::{EpisodeSummary, EventLog, ResilienceEvent, RoundRecord},
+        oracle::{AccuracyOracle, CurveOracle, TrainingOracle},
+        BudgetLedger, ChannelVariation, EdgeLearningEnv, EdgeNode, EnvConfig, EnvState, NodeParams,
+        ResilienceConfig, StepStatus,
+    };
+    pub use chiron_nn::{write_atomic, Checkpoint, Layer, Optimizer, Sequential};
     pub use chiron_tensor::{Tensor, TensorRng};
 }

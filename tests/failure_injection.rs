@@ -21,11 +21,13 @@ fn straggler_drags_down_time_efficiency() {
     let (h, _) = run_static(&mut healthy, 0.5);
 
     let mut faulty = env(80.0, seed);
-    faulty.set_faults(FaultSchedule::new(vec![Fault::BandwidthCollapse {
-        node: 0,
-        factor: 5.0,
-        from_round: 1,
-    }]));
+    faulty
+        .set_faults(FaultSchedule::new(vec![Fault::BandwidthCollapse {
+            node: 0,
+            factor: 5.0,
+            from_round: 1,
+        }]))
+        .expect("valid schedule");
     let (f, _) = run_static(&mut faulty, 0.5);
 
     assert!(
@@ -47,16 +49,18 @@ fn dropout_slows_learning_progress() {
     let (h, _) = run_static(&mut healthy, 0.5);
 
     let mut faulty = env(80.0, seed);
-    faulty.set_faults(FaultSchedule::new(vec![
-        Fault::Dropout {
-            node: 0,
-            from_round: 1,
-        },
-        Fault::Dropout {
-            node: 1,
-            from_round: 1,
-        },
-    ]));
+    faulty
+        .set_faults(FaultSchedule::new(vec![
+            Fault::Dropout {
+                node: 0,
+                from_round: 1,
+            },
+            Fault::Dropout {
+                node: 1,
+                from_round: 1,
+            },
+        ]))
+        .expect("valid schedule");
     let (f, f_records) = run_static(&mut faulty, 0.5);
 
     // Two of five nodes gone ⇒ only 60 % of the data trains each round.
@@ -80,7 +84,8 @@ fn mid_episode_fault_changes_behaviour_at_the_right_round() {
     e.set_faults(FaultSchedule::new(vec![Fault::Dropout {
         node: 2,
         from_round: 4,
-    }]));
+    }]))
+    .expect("valid schedule");
     let (_, records) = run_static(&mut e, 0.5);
     assert!(
         records.len() >= 5,
@@ -103,7 +108,8 @@ fn reserve_spike_prices_a_node_out() {
         node: 1,
         factor: 1000.0,
         from_round: 1,
-    }]));
+    }]))
+    .expect("valid schedule");
     let (_, records) = run_static(&mut e, 0.5);
     for r in &records {
         assert!(
@@ -133,7 +139,8 @@ fn budget_accounting_survives_faults() {
             factor: 50.0,
             from_round: 5,
         },
-    ]));
+    ]))
+    .expect("valid schedule");
     let (summary, records) = run_static(&mut e, 0.6);
     assert!(summary.spent <= budget + 1e-6);
     let paid: f64 = records.iter().map(|r| r.payment).sum();
@@ -147,7 +154,8 @@ fn faults_persist_across_reset() {
     e.set_faults(FaultSchedule::new(vec![Fault::Dropout {
         node: 0,
         from_round: 1,
-    }]));
+    }]))
+    .expect("valid schedule");
     let (_, r1) = run_static(&mut e, 0.5);
     let (_, r2) = run_static(&mut e, 0.5); // run_episode resets internally
     assert_eq!(r1.len(), r2.len());
@@ -170,7 +178,7 @@ fn transient_outage_heals_mid_episode() {
         },
         5,
     );
-    e.set_faults(schedule);
+    e.set_faults(schedule).expect("valid schedule");
     let (_, records) = run_static(&mut e, 0.5);
     assert!(records.len() >= 6, "need rounds past the healing point");
     for r in &records {
@@ -191,7 +199,8 @@ fn chiron_still_trains_on_a_faulty_fleet() {
         node: 1,
         factor: 2.0,
         from_round: 3,
-    }]));
+    }]))
+    .expect("valid schedule");
     let mut mech = Chiron::new(&e, ChironConfig::fast(), seed);
     let rewards = mech.train(&mut e, 30);
     assert_eq!(rewards.len(), 30);

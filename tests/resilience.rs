@@ -1,0 +1,308 @@
+//! Resilience layer end-to-end: stochastic fault processes, PS-side
+//! countermeasures, crash-safe recovery, and PPO NaN-rollback — exercised
+//! through the public prelude, the way a downstream user would.
+
+use chiron_repro::prelude::*;
+
+fn env_with(budget: f64, seed: u64, resilience: ResilienceConfig) -> EdgeLearningEnv {
+    let mut config = EnvConfig::paper_small(DatasetKind::MnistLike, budget);
+    config.oracle_noise = 0.0;
+    let mut env = EdgeLearningEnv::new(config, seed);
+    env.set_resilience(resilience);
+    env
+}
+
+fn mid_prices(env: &EdgeLearningEnv, fraction: f64) -> Vec<f64> {
+    (0..env.num_nodes())
+        .map(|i| env.node(i).price_cap(env.sigma()) * fraction)
+        .collect()
+}
+
+/// 120 episodes under randomized fault processes and countermeasure
+/// configurations: the simulator must never panic, never overspend η,
+/// keep every outcome field finite, and refund quorum-missed rounds.
+#[test]
+fn fault_fuzz_never_breaks_invariants() {
+    let budget = 50.0;
+    let mut any_fault_fired = false;
+    let mut any_quorum_missed = false;
+    for trial in 0..120u64 {
+        let resilience = ResilienceConfig {
+            deadline_slack: if trial % 2 == 0 {
+                Some(1.2 + (trial % 4) as f64 * 0.4)
+            } else {
+                None
+            },
+            // Every fourth trial demands all five nodes, so the standard
+            // fault process is guaranteed to produce quorum misses.
+            quorum: if trial % 4 == 3 {
+                5
+            } else {
+                (trial % 3) as usize
+            },
+            max_price_retries: (trial % 3) as usize,
+            retry_backoff: 1.5,
+            clamp_final_payment: trial % 2 == 1,
+        };
+        let mut env = env_with(budget, trial, resilience);
+        env.set_fault_process(Some(FaultProcessConfig::standard(
+            trial.wrapping_mul(7) + 1,
+        )));
+        let fraction = 0.3 + (trial % 5) as f64 * 0.15;
+        let prices = mid_prices(&env, fraction);
+        let mut rounds = 0usize;
+        while !env.is_done() && rounds < 200 {
+            let before = env.remaining_budget();
+            let out = env.step(&prices);
+            rounds += 1;
+            for v in [
+                out.accuracy,
+                out.prev_accuracy,
+                out.round_time,
+                out.idle_time,
+                out.time_efficiency,
+                out.payment_total,
+                out.remaining_budget,
+            ] {
+                assert!(v.is_finite(), "trial {trial}: non-finite outcome field {v}");
+            }
+            assert!(
+                out.payment_total <= before + 1e-6,
+                "trial {trial}: round charged {} with only {} left",
+                out.payment_total,
+                before
+            );
+            assert!(
+                out.remaining_budget >= -1e-9,
+                "trial {trial}: negative budget"
+            );
+            let quorum_missed = out.events.iter().any(|e| e.kind() == "quorum_missed");
+            if quorum_missed {
+                any_quorum_missed = true;
+                assert_eq!(
+                    out.payment_total, 0.0,
+                    "trial {trial}: quorum-missed round must refund all payments"
+                );
+                assert!(
+                    (out.remaining_budget - before).abs() < 1e-9,
+                    "trial {trial}: quorum-missed round must leave the budget untouched"
+                );
+                assert_eq!(
+                    out.accuracy, out.prev_accuracy,
+                    "trial {trial}: quorum-missed round must not progress accuracy"
+                );
+            }
+            if out.events.iter().any(|e| e.kind() == "fault_fired") {
+                any_fault_fired = true;
+            }
+            if out.status == StepStatus::FinalRoundClamped {
+                let spent = env.total_budget() - env.remaining_budget();
+                assert!(
+                    (spent - budget).abs() < 1e-6,
+                    "trial {trial}: clamped final round must land spend exactly on η, got {spent}"
+                );
+            }
+        }
+        let spent = env.total_budget() - env.remaining_budget();
+        assert!(
+            spent <= budget + 1e-6,
+            "trial {trial}: overspent η: {spent} > {budget}"
+        );
+    }
+    assert!(
+        any_fault_fired,
+        "the standard fault process never fired in 120 episodes"
+    );
+    assert!(any_quorum_missed, "quorum was never missed in 120 episodes");
+}
+
+/// The fault process is a pure function of (seed, round): identical seeds
+/// replay identical availability/jitter traces through the full env.
+#[test]
+fn fault_process_replays_deterministically() {
+    let run = |seed: u64| {
+        let mut env = env_with(40.0, 3, ResilienceConfig::default());
+        env.set_fault_process(Some(FaultProcessConfig::standard(seed)));
+        let prices = mid_prices(&env, 0.5);
+        let mut trace = Vec::new();
+        while !env.is_done() {
+            let out = env.step(&prices);
+            trace.push((
+                out.round,
+                out.payment_total.to_bits(),
+                out.accuracy.to_bits(),
+                out.events.len(),
+            ));
+        }
+        trace
+    };
+    assert_eq!(run(11), run(11));
+    assert_ne!(run(11), run(12), "different fault seeds must diverge");
+}
+
+fn small_env(seed: u64) -> EdgeLearningEnv {
+    let mut config = EnvConfig::paper_small(DatasetKind::MnistLike, 40.0);
+    config.oracle_noise = 0.0;
+    EdgeLearningEnv::new(config, seed)
+}
+
+/// Kill-and-resume equivalence through the public API: a run interrupted
+/// after 3 of 6 episodes and resumed from its checkpoint must produce
+/// bitwise-identical rewards and an identical evaluation episode to an
+/// uninterrupted 6-episode run.
+#[test]
+fn kill_and_resume_matches_uninterrupted_run() {
+    let dir = std::env::temp_dir().join("chiron_resilience_resume");
+    std::fs::create_dir_all(&dir).expect("tmp");
+    let ckpt = dir.join("run.ckpt.json");
+    std::fs::remove_file(&ckpt).ok();
+
+    // Uninterrupted reference run.
+    let mut env = small_env(21);
+    let mut reference = Chiron::new(&env, ChironConfig::fast(), 77);
+    let full = reference.train(&mut env, 6);
+
+    // Interrupted run: 3 episodes, "crash", then resume to 6.
+    let opts = RecoveryOptions::new(&ckpt, 1);
+    let mut env = small_env(21);
+    let mut first = Chiron::new(&env, ChironConfig::fast(), 77);
+    let mut log = EventLog::new();
+    let head = first
+        .train_recoverable(&mut env, 3, &opts, &mut log)
+        .expect("first leg trains");
+    assert_eq!(head.len(), 3);
+    drop(first); // the "crash": all in-memory state is lost
+
+    let mut env = small_env(21);
+    // Different mechanism seed: every weight, optimizer moment, and policy
+    // RNG must come from the checkpoint, not from this constructor.
+    let mut resumed = Chiron::new(&env, ChironConfig::fast(), 4242);
+    let mut log = EventLog::new();
+    let tail = resumed
+        .train_recoverable(&mut env, 6, &opts, &mut log)
+        .expect("resume trains");
+    assert_eq!(tail.len(), 6);
+    assert!(
+        log.count("resumed") >= 1,
+        "resume must be recorded in the event log"
+    );
+
+    for (i, (a, b)) in full.iter().zip(&tail).enumerate() {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "episode {i}: resumed reward {b} != uninterrupted reward {a}"
+        );
+    }
+
+    // Post-training behaviour must match too.
+    let mut env_a = small_env(21);
+    let mut env_b = small_env(21);
+    let (sa, _) = reference.run_episode(&mut env_a);
+    let (sb, _) = resumed.run_episode(&mut env_b);
+    assert_eq!(sa.final_accuracy.to_bits(), sb.final_accuracy.to_bits());
+    assert_eq!(sa.spent.to_bits(), sb.spent.to_bits());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Corrupted, truncated, or version-skewed checkpoints are rejected with a
+/// typed error — never a panic, never a silently wrong resume.
+#[test]
+fn damaged_checkpoints_are_rejected_with_typed_errors() {
+    let dir = std::env::temp_dir().join("chiron_resilience_damage");
+    std::fs::create_dir_all(&dir).expect("tmp");
+    let ckpt = dir.join("run.ckpt.json");
+    let opts = RecoveryOptions::new(&ckpt, 1);
+
+    // Write a valid checkpoint first.
+    let mut env = small_env(5);
+    let mut mech = Chiron::new(&env, ChironConfig::fast(), 5);
+    let mut log = EventLog::new();
+    mech.train_recoverable(&mut env, 1, &opts, &mut log)
+        .expect("trains");
+    let valid = std::fs::read_to_string(&ckpt).expect("checkpoint written");
+
+    let resume = |contents: &str| -> Result<Vec<f64>, ResumeError> {
+        std::fs::write(&ckpt, contents).expect("write");
+        let mut env = small_env(5);
+        let mut mech = Chiron::new(&env, ChironConfig::fast(), 5);
+        let mut log = EventLog::new();
+        mech.train_recoverable(&mut env, 2, &opts, &mut log)
+    };
+
+    assert!(matches!(
+        resume("{not json"),
+        Err(ResumeError::Malformed(_))
+    ));
+    let truncated = &valid[..valid.len() / 2];
+    assert!(matches!(resume(truncated), Err(ResumeError::Malformed(_))));
+    let skewed = valid.replacen("\"version\":", "\"version\": 99, \"_v\":", 1);
+    assert!(matches!(
+        resume(&skewed),
+        Err(ResumeError::VersionMismatch { .. })
+    ));
+    // The pristine checkpoint still resumes after all that abuse.
+    assert!(resume(&valid).is_ok());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A resumed run must also refuse a checkpoint taken on a *different*
+/// fleet (env seed changes the node economics): fingerprint mismatch.
+#[test]
+fn checkpoint_from_a_different_fleet_is_rejected() {
+    let dir = std::env::temp_dir().join("chiron_resilience_fleet");
+    std::fs::create_dir_all(&dir).expect("tmp");
+    let ckpt = dir.join("run.ckpt.json");
+    std::fs::remove_file(&ckpt).ok();
+    let opts = RecoveryOptions::new(&ckpt, 1);
+
+    let mut env = small_env(5);
+    let mut mech = Chiron::new(&env, ChironConfig::fast(), 5);
+    let mut log = EventLog::new();
+    mech.train_recoverable(&mut env, 1, &opts, &mut log)
+        .expect("trains");
+
+    let mut other_env = small_env(999); // same shape, different node params
+    let mut mech = Chiron::new(&other_env, ChironConfig::fast(), 5);
+    let mut log = EventLog::new();
+    let err = mech
+        .train_recoverable(&mut other_env, 2, &opts, &mut log)
+        .expect_err("wrong fleet must be rejected");
+    assert!(matches!(err, ResumeError::FingerprintMismatch { .. }));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Acceptance criterion: a poisoned batch (NaN reward) must not corrupt the
+/// PPO agent — the update is skipped and parameters stay bitwise intact.
+#[test]
+fn ppo_nan_batch_rolls_back_cleanly() {
+    let mut agent = PpoAgent::new(4, 2, &[8], PpoConfig::default(), 3);
+    let before = agent.snapshot("anchor");
+
+    let mut buffer = RolloutBuffer::new();
+    for i in 0..8 {
+        let state = vec![0.1 * i as f64; 4];
+        let (action, log_prob) = agent.act(&state);
+        let reward = if i == 5 { f64::NAN } else { 1.0 };
+        buffer.push(&state, &action, log_prob, reward, 0.0, i == 7);
+    }
+    let (actor_loss, critic_loss) = agent.update(&mut buffer);
+    assert_eq!((actor_loss, critic_loss), (0.0, 0.0));
+    assert_eq!(agent.skipped_updates(), 1, "poisoned batch must be skipped");
+    assert_eq!(
+        agent.snapshot("anchor"),
+        before,
+        "parameters must be bitwise intact after a poisoned batch"
+    );
+
+    // A healthy batch afterwards still trains.
+    let mut buffer = RolloutBuffer::new();
+    for i in 0..8 {
+        let state = vec![0.1 * i as f64; 4];
+        let (action, log_prob) = agent.act(&state);
+        buffer.push(&state, &action, log_prob, 1.0, 0.0, i == 7);
+    }
+    agent.update(&mut buffer);
+    assert_eq!(agent.updates(), 1);
+    assert_ne!(agent.snapshot("anchor"), before, "healthy batch must train");
+}
