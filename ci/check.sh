@@ -29,6 +29,16 @@ CHIRON_BENCH_SAMPLES=1 CHIRON_BENCH_OUT="$smoke_out" \
     cargo run -q --release --offline -p chiron-bench --bin bench_nn
 rm -rf "$smoke_out"
 
+echo "==> cargo doc --no-deps (warnings are errors; own crates only)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline --quiet \
+    -p chiron-telemetry -p chiron-tensor -p chiron-nn -p chiron-data \
+    -p chiron-fedsim -p chiron-drl -p chiron -p chiron-baselines \
+    -p chiron-bench -p chiron-cli -p chiron-repro
+
+echo "==> public API snapshot is current (ci/public_api.sh --update to refresh)"
+ci/public_api.sh | diff -u docs/public-api.txt - \
+    || { echo "public API surface changed; run ci/public_api.sh --update and review the diff"; exit 1; }
+
 echo "==> cargo clippy -D warnings"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 

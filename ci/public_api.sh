@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Generates a deterministic snapshot of the workspace's public API surface:
+# every `pub` item declaration line in the library crates, prefixed by its
+# file, sorted. The committed copy lives at docs/public-api.txt; check.sh
+# regenerates and diffs it so any surface change shows up in review.
+#
+# Usage:
+#   ci/public_api.sh              # print the snapshot to stdout
+#   ci/public_api.sh --update     # rewrite docs/public-api.txt in place
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+snapshot() {
+    find crates src -name '*.rs' ! -path '*/target/*' -print0 |
+        sort -z |
+        xargs -0 grep -Hn -E \
+            '^[[:space:]]*pub (fn|struct|enum|trait|type|const|static|mod|use|unsafe fn) ' |
+        # Drop items nested in test modules' indentation beyond one level
+        # is fine to keep: the goal is a stable, reviewable text diff.
+        sed -E 's/^([^:]+):[0-9]+:[[:space:]]*/\1: /' |
+        sed -E 's/[[:space:]]+$//' |
+        LC_ALL=C sort
+}
+
+if [[ "${1:-}" == "--update" ]]; then
+    snapshot > docs/public-api.txt
+    echo "docs/public-api.txt updated ($(wc -l < docs/public-api.txt) entries)"
+else
+    snapshot
+fi

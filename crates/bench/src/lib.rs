@@ -55,9 +55,8 @@ pub fn write_csv(name: &str, content: &str) {
 /// Number of training episodes, overridable with `CHIRON_EPISODES` (the
 /// paper uses 500; the default keeps `repro_all` under a few minutes).
 pub fn episodes_from_env(default: usize) -> usize {
-    std::env::var("CHIRON_EPISODES")
-        .ok()
-        .and_then(|v| v.parse().ok())
+    chiron_telemetry::RuntimeConfig::global()
+        .episodes
         .unwrap_or(default)
 }
 
@@ -159,9 +158,8 @@ pub fn mean_summary(summaries: &[EpisodeSummary]) -> EpisodeSummary {
 /// `CHIRON_SEEDS` (each replication re-trains and re-evaluates with a
 /// different seed; results are averaged).
 pub fn seeds_from_env(default: usize) -> usize {
-    std::env::var("CHIRON_SEEDS")
-        .ok()
-        .and_then(|v| v.parse().ok())
+    chiron_telemetry::RuntimeConfig::global()
+        .seeds
         .filter(|&n| n > 0)
         .unwrap_or(default)
 }

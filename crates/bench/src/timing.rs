@@ -50,16 +50,18 @@ pub struct BenchFile {
 /// Samples per case: `CHIRON_BENCH_SAMPLES` (default 20; `1` is the CI
 /// smoke setting — a single sample of a single iteration).
 pub fn samples_from_env() -> usize {
-    std::env::var("CHIRON_BENCH_SAMPLES")
-        .ok()
-        .and_then(|v| v.parse().ok())
+    chiron_telemetry::RuntimeConfig::global()
+        .bench_samples
         .filter(|&n| n > 0)
         .unwrap_or(20)
 }
 
 /// Run label for the JSON record: `CHIRON_BENCH_LABEL` (default `current`).
 pub fn label_from_env() -> String {
-    std::env::var("CHIRON_BENCH_LABEL").unwrap_or_else(|_| "current".to_owned())
+    chiron_telemetry::RuntimeConfig::global()
+        .bench_label
+        .clone()
+        .unwrap_or_else(|| "current".to_owned())
 }
 
 /// Nearest-rank percentile of an ascending-sorted sample.
@@ -123,7 +125,9 @@ pub fn repo_root() -> PathBuf {
 /// (the CI smoke run points it at a scratch dir so the committed history
 /// stays clean), otherwise the repo root.
 pub fn out_dir() -> PathBuf {
-    std::env::var_os("CHIRON_BENCH_OUT")
+    chiron_telemetry::RuntimeConfig::global()
+        .bench_out
+        .as_ref()
         .map(PathBuf::from)
         .unwrap_or_else(repo_root)
 }

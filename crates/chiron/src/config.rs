@@ -68,7 +68,55 @@ pub struct ChironConfig {
     pub inner_state: InnerStateMode,
 }
 
+/// A [`ChironConfig`] field failed validation.
+///
+/// `Display` always names the offending field first, so messages like
+/// `"lambda must be positive"` stay grep- and test-friendly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    /// Name of the field that failed validation.
+    pub field: &'static str,
+    /// Human-readable constraint that was violated.
+    pub reason: String,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} {}", self.field, self.reason)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl ConfigError {
+    fn new(field: &'static str, reason: &str) -> Self {
+        Self {
+            field,
+            reason: reason.to_string(),
+        }
+    }
+}
+
 impl ChironConfig {
+    /// Builder seeded with the paper's configuration; override any
+    /// subset of knobs and finish with a validated
+    /// [`ChironConfigBuilder::build`].
+    ///
+    /// ```
+    /// use chiron::ChironConfig;
+    /// let cfg = ChironConfig::builder()
+    ///     .lambda(1500.0)
+    ///     .episodes(50)
+    ///     .build()
+    ///     .unwrap();
+    /// assert_eq!(cfg.lambda, 1500.0);
+    /// ```
+    pub fn builder() -> ChironConfigBuilder {
+        ChironConfigBuilder {
+            inner: Self::paper(),
+        }
+    }
+
     /// The paper's configuration (Section VI-A).
     pub fn paper() -> Self {
         Self {
@@ -134,28 +182,138 @@ impl ChironConfig {
         }
     }
 
+    /// Checks internal consistency, returning the first violated
+    /// constraint as a typed [`ConfigError`].
+    pub fn check(&self) -> Result<(), ConfigError> {
+        if self.lambda <= 0.0 || self.lambda.is_nan() {
+            return Err(ConfigError::new("lambda", "must be positive"));
+        }
+        if self.time_weight < 0.0 || self.time_weight.is_nan() {
+            return Err(ConfigError::new("time_weight", "must be non-negative"));
+        }
+        if !(0.0..1.0).contains(&self.min_total_fraction) {
+            return Err(ConfigError::new("min_total_fraction", "must be in [0,1)"));
+        }
+        if !(self.lr_decay > 0.0 && self.lr_decay <= 1.0) {
+            return Err(ConfigError::new("lr_decay", "must be in (0,1]"));
+        }
+        if self.lr_decay_every == 0 {
+            return Err(ConfigError::new("lr_decay_every", "must be positive"));
+        }
+        if self.hidden.is_empty() {
+            return Err(ConfigError::new("hidden", "needs at least one layer"));
+        }
+        if self.exterior_reward_scale <= 0.0 || self.exterior_reward_scale.is_nan() {
+            return Err(ConfigError::new(
+                "exterior_reward_scale",
+                "must be positive",
+            ));
+        }
+        if self.inner_reward_scale <= 0.0 || self.inner_reward_scale.is_nan() {
+            return Err(ConfigError::new("inner_reward_scale", "must be positive"));
+        }
+        if self.history_window == 0 {
+            return Err(ConfigError::new("history_window", "must be positive"));
+        }
+        if self.episodes == 0 {
+            return Err(ConfigError::new("episodes", "must be positive"));
+        }
+        Ok(())
+    }
+
     /// Validates internal consistency.
     ///
     /// # Panics
     ///
-    /// Panics if any bound is out of range.
+    /// Panics if any bound is out of range; prefer [`ChironConfig::check`]
+    /// for a recoverable variant.
     pub fn validate(&self) {
-        assert!(self.lambda > 0.0, "lambda must be positive");
-        assert!(self.time_weight >= 0.0, "time_weight must be non-negative");
-        assert!(
-            (0.0..1.0).contains(&self.min_total_fraction),
-            "min_total_fraction must be in [0,1)"
-        );
-        assert!(
-            self.lr_decay > 0.0 && self.lr_decay <= 1.0,
-            "lr_decay in (0,1]"
-        );
-        assert!(self.lr_decay_every > 0, "lr_decay_every must be positive");
-        assert!(!self.hidden.is_empty(), "need at least one hidden layer");
-        assert!(
-            self.exterior_reward_scale > 0.0 && self.inner_reward_scale > 0.0,
-            "reward scales must be positive"
-        );
+        if let Err(e) = self.check() {
+            panic!("{e}");
+        }
+    }
+}
+
+/// Builder for [`ChironConfig`], seeded with [`ChironConfig::paper`].
+///
+/// Validation happens once, at [`ChironConfigBuilder::build`].
+#[derive(Debug, Clone)]
+pub struct ChironConfigBuilder {
+    inner: ChironConfig,
+}
+
+macro_rules! builder_setter {
+    ($(#[$doc:meta])* $name:ident: $ty:ty) => {
+        $(#[$doc])*
+        pub fn $name(mut self, value: $ty) -> Self {
+            self.inner.$name = value;
+            self
+        }
+    };
+}
+
+impl ChironConfigBuilder {
+    builder_setter!(
+        /// History window `L` of the exterior state.
+        history_window: usize
+    );
+    builder_setter!(
+        /// Preference coefficient `λ` (paper: 2000).
+        lambda: f64
+    );
+    builder_setter!(
+        /// Weight on round time in the exterior reward.
+        time_weight: f64
+    );
+    builder_setter!(
+        /// Multiplier applied to the exterior reward before PPO.
+        exterior_reward_scale: f64
+    );
+    builder_setter!(
+        /// Multiplier applied to the inner reward before PPO.
+        inner_reward_scale: f64
+    );
+    builder_setter!(
+        /// Training episodes (paper: 500).
+        episodes: usize
+    );
+    builder_setter!(
+        /// Hidden layer sizes of all actor/critic MLPs.
+        hidden: Vec<usize>
+    );
+    builder_setter!(
+        /// PPO hyperparameters of the exterior agent.
+        exterior_ppo: PpoConfig
+    );
+    builder_setter!(
+        /// PPO hyperparameters of the inner agent.
+        inner_ppo: PpoConfig
+    );
+    builder_setter!(
+        /// Learning-rate decay factor (paper: 0.95).
+        lr_decay: f32
+    );
+    builder_setter!(
+        /// Apply the decay every this many episodes (paper: 20).
+        lr_decay_every: usize
+    );
+    builder_setter!(
+        /// Lowest fraction of the total price cap the exterior can pick.
+        min_total_fraction: f64
+    );
+    builder_setter!(
+        /// Penalty for a round with zero participation.
+        no_participation_penalty: f64
+    );
+    builder_setter!(
+        /// What the inner agent observes.
+        inner_state: InnerStateMode
+    );
+
+    /// Validates the assembled configuration and returns it.
+    pub fn build(self) -> Result<ChironConfig, ConfigError> {
+        self.inner.check()?;
+        Ok(self.inner)
     }
 }
 
@@ -185,5 +343,31 @@ mod tests {
         let mut c = ChironConfig::paper();
         c.lambda = 0.0;
         c.validate();
+    }
+
+    #[test]
+    fn builder_defaults_to_paper() {
+        let built = ChironConfig::builder().build().unwrap();
+        assert_eq!(built, ChironConfig::paper());
+    }
+
+    #[test]
+    fn builder_overrides_and_validates() {
+        let cfg = ChironConfig::builder()
+            .lambda(1000.0)
+            .episodes(10)
+            .hidden(vec![16])
+            .build()
+            .unwrap();
+        assert_eq!(cfg.lambda, 1000.0);
+        assert_eq!(cfg.episodes, 10);
+        assert_eq!(cfg.hidden, vec![16]);
+
+        let err = ChironConfig::builder()
+            .min_total_fraction(1.5)
+            .build()
+            .unwrap_err();
+        assert_eq!(err.field, "min_total_fraction");
+        assert!(err.to_string().contains("min_total_fraction"));
     }
 }

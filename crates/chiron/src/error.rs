@@ -1,0 +1,130 @@
+//! Unified typed error hierarchy for the `chiron` crate.
+//!
+//! Every fallible public API in this crate (and the lower layers it
+//! re-surfaces) funnels into [`Error`], so downstream code can match on
+//! one enum and walk `std::error::Error::source()` chains instead of
+//! parsing strings.
+
+use crate::config::ConfigError;
+use crate::recovery::ResumeError;
+use chiron_drl::{AgentStateError, SnapshotError};
+use chiron_fedsim::EnvStateError;
+use chiron_nn::CheckpointError;
+
+/// Umbrella error for the `chiron` crate.
+///
+/// Each variant wraps the typed error of the layer it came from; the
+/// inner error is reachable through [`std::error::Error::source`].
+#[derive(Debug)]
+pub enum Error {
+    /// A mechanism snapshot failed to parse or restore
+    /// ([`crate::ChironSnapshot`]).
+    Snapshot(SnapshotError),
+    /// A network checkpoint did not fit the expected architecture.
+    Checkpoint(CheckpointError),
+    /// A crash-recovery checkpoint could not be restored.
+    Resume(ResumeError),
+    /// A configuration value was out of range.
+    Config(ConfigError),
+    /// Environment state capture/restore failed.
+    Env(EnvStateError),
+    /// Agent state capture/restore failed.
+    Agent(AgentStateError),
+    /// An underlying I/O operation failed.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::Snapshot(e) => write!(f, "snapshot error: {e}"),
+            Error::Checkpoint(e) => write!(f, "checkpoint error: {e}"),
+            Error::Resume(e) => write!(f, "resume error: {e}"),
+            Error::Config(e) => write!(f, "config error: {e}"),
+            Error::Env(e) => write!(f, "environment state error: {e}"),
+            Error::Agent(e) => write!(f, "agent state error: {e}"),
+            Error::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Snapshot(e) => Some(e),
+            Error::Checkpoint(e) => Some(e),
+            Error::Resume(e) => Some(e),
+            Error::Config(e) => Some(e),
+            Error::Env(e) => Some(e),
+            Error::Agent(e) => Some(e),
+            Error::Io(e) => Some(e),
+        }
+    }
+}
+
+impl From<SnapshotError> for Error {
+    fn from(e: SnapshotError) -> Self {
+        Error::Snapshot(e)
+    }
+}
+
+impl From<CheckpointError> for Error {
+    fn from(e: CheckpointError) -> Self {
+        Error::Checkpoint(e)
+    }
+}
+
+impl From<ResumeError> for Error {
+    fn from(e: ResumeError) -> Self {
+        Error::Resume(e)
+    }
+}
+
+impl From<ConfigError> for Error {
+    fn from(e: ConfigError) -> Self {
+        Error::Config(e)
+    }
+}
+
+impl From<EnvStateError> for Error {
+    fn from(e: EnvStateError) -> Self {
+        Error::Env(e)
+    }
+}
+
+impl From<AgentStateError> for Error {
+    fn from(e: AgentStateError) -> Self {
+        Error::Agent(e)
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn source_chain_reaches_inner_error() {
+        let inner = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let err = Error::from(inner);
+        let src = std::error::Error::source(&err).expect("Io carries a source");
+        assert!(src.to_string().contains("gone"));
+        assert!(err.to_string().contains("i/o error"));
+    }
+
+    #[test]
+    fn config_error_converts() {
+        let cfg = ConfigError {
+            field: "lambda",
+            reason: "must be positive".into(),
+        };
+        let err: Error = cfg.into();
+        assert!(err.to_string().contains("lambda"));
+        assert!(std::error::Error::source(&err).is_some());
+    }
+}

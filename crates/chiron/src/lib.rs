@@ -44,12 +44,17 @@
 
 pub mod ablation;
 mod config;
+mod error;
 mod mechanism;
 mod recovery;
 mod rewards;
 mod state;
 
-pub use config::{ChironConfig, InnerStateMode};
+pub use chiron_drl::{AgentStateError, SnapshotError};
+pub use chiron_fedsim::EnvStateError;
+pub use chiron_nn::CheckpointError;
+pub use config::{ChironConfig, ChironConfigBuilder, ConfigError, InnerStateMode};
+pub use error::Error;
 pub use mechanism::{Chiron, ChironSnapshot, Mechanism};
 pub use recovery::{RecoveryOptions, ResumeError, RunCheckpoint, RUN_CHECKPOINT_VERSION};
 pub use rewards::{exterior_reward, inner_reward};

@@ -59,19 +59,25 @@ pub trait Mechanism {
         episode: usize,
         log: &mut EventLog,
     ) -> (EpisodeSummary, Vec<RoundRecord>) {
+        let _episode_span = chiron_telemetry::span("episode");
         env.reset();
         self.begin_episode(env);
         let initial_accuracy = env.accuracy();
         let mut records = Vec::new();
         let mut spent = 0.0;
         loop {
-            let prices = self.decide_prices(env, false);
+            let _round_span = chiron_telemetry::span("round");
+            let prices = {
+                let _pricing_span = chiron_telemetry::span("pricing");
+                self.decide_prices(env, false)
+            };
             let outcome = env.step(&prices);
             log.extend_from_outcome(episode, &outcome);
             if outcome.status == StepStatus::BudgetExhausted {
                 break;
             }
             spent += outcome.payment_total;
+            emit_round_event(&outcome, spent);
             records.push(RoundRecord {
                 round: outcome.round,
                 accuracy: outcome.accuracy,
@@ -91,6 +97,30 @@ pub trait Mechanism {
             records,
         )
     }
+}
+
+/// Emits a per-round summary event into the telemetry stream (no-op while
+/// telemetry is disabled). `spent` is the episode's cumulative payment
+/// after this round.
+fn emit_round_event(outcome: &RoundOutcome, spent: f64) {
+    if !chiron_telemetry::enabled() {
+        return;
+    }
+    chiron_telemetry::event(
+        "round",
+        outcome.round,
+        &[
+            ("accuracy", outcome.accuracy),
+            ("payment", outcome.payment_total),
+            ("spent", spent),
+            ("participants", outcome.num_participants() as f64),
+            ("round_time", outcome.round_time),
+            ("idle_time", outcome.idle_time),
+            ("time_efficiency", outcome.time_efficiency),
+            ("remaining_budget", outcome.remaining_budget),
+        ],
+    );
+    chiron_telemetry::histogram_record("chiron.round.payment", outcome.payment_total);
 }
 
 /// The paper's hierarchical mechanism: an exterior PPO agent paces the
@@ -249,9 +279,11 @@ impl ChironSnapshot {
     ///
     /// # Errors
     ///
-    /// Returns the underlying parse error message.
-    pub fn from_json(json: &str) -> Result<Self, String> {
-        serde_json::from_str(json).map_err(|e| e.to_string())
+    /// Returns [`SnapshotError`](chiron_drl::SnapshotError) (with the
+    /// parse error as its [`source`](std::error::Error::source)) on
+    /// malformed input.
+    pub fn from_json(json: &str) -> Result<Self, chiron_drl::SnapshotError> {
+        serde_json::from_str(json).map_err(chiron_drl::SnapshotError::from)
     }
 
     /// Restores into `mechanism`.
@@ -330,13 +362,19 @@ impl Chiron {
     ) -> f64 {
         let n = env.num_nodes() as f64;
         let episode = self.episodes_trained;
+        let _episode_span = chiron_telemetry::span("episode");
         env.reset();
         self.state.reset(env);
         let mut episode_reward = 0.0;
+        let mut spent = 0.0;
 
         loop {
+            let _round_span = chiron_telemetry::span("round");
             let s_e = self.state.vector();
-            let (a_e, lp_e, s_i, a_i, lp_i, prices) = self.decide(true);
+            let (a_e, lp_e, s_i, a_i, lp_i, prices) = {
+                let _pricing_span = chiron_telemetry::span("pricing");
+                self.decide(true)
+            };
             let outcome = env.step(&prices);
             if let Some(log) = log.as_deref_mut() {
                 log.extend_from_outcome(episode, &outcome);
@@ -366,6 +404,8 @@ impl Chiron {
             buf_e.push(&s_e, &a_e, lp_e, r_e_scaled, v_e, done);
             buf_i.push(&s_i, &a_i, lp_i, r_i_scaled, v_i, done);
             episode_reward += r_e_scaled;
+            spent += outcome.payment_total;
+            emit_round_event(&outcome, spent);
 
             self.state.record_round(&outcome, &prices);
             if done {
@@ -378,27 +418,32 @@ impl Chiron {
             let skipped_i = self.inner.skipped_updates();
             self.exterior.update(buf_e);
             self.inner.update(buf_i);
-            if let Some(log) = log {
-                if self.exterior.skipped_updates() > skipped_e {
-                    log.push(
-                        episode,
-                        0,
-                        ResilienceEvent::UpdateRolledBack {
-                            agent: RolledBackAgent::Exterior,
-                        },
-                    );
+            // Rollbacks are telemetry events at their creation site; the
+            // EventLog, when attached, is the in-memory view of the same
+            // occurrences.
+            if self.exterior.skipped_updates() > skipped_e {
+                let ev = ResilienceEvent::UpdateRolledBack {
+                    agent: RolledBackAgent::Exterior,
+                };
+                ev.emit(0);
+                if let Some(log) = log.as_deref_mut() {
+                    log.push(episode, 0, ev);
                 }
-                if self.inner.skipped_updates() > skipped_i {
-                    log.push(
-                        episode,
-                        0,
-                        ResilienceEvent::UpdateRolledBack {
-                            agent: RolledBackAgent::Inner,
-                        },
-                    );
+            }
+            if self.inner.skipped_updates() > skipped_i {
+                let ev = ResilienceEvent::UpdateRolledBack {
+                    agent: RolledBackAgent::Inner,
+                };
+                ev.emit(0);
+                if let Some(log) = log {
+                    log.push(episode, 0, ev);
                 }
             }
         }
+        static EPISODES: chiron_telemetry::Counter =
+            chiron_telemetry::Counter::new("chiron.episodes");
+        EPISODES.add(1);
+        chiron_telemetry::histogram_record("chiron.episode.reward", episode_reward);
         self.episodes_trained += 1;
         if self
             .episodes_trained

@@ -99,7 +99,18 @@ impl std::fmt::Display for ResumeError {
     }
 }
 
-impl std::error::Error for ResumeError {}
+impl std::error::Error for ResumeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ResumeError::Io(e) => Some(e),
+            ResumeError::Env(e) => Some(e),
+            ResumeError::Agent(e) => Some(e),
+            ResumeError::Malformed(_)
+            | ResumeError::VersionMismatch { .. }
+            | ResumeError::FingerprintMismatch { .. } => None,
+        }
+    }
+}
 
 /// Where and how often [`Chiron::train_recoverable`] checkpoints.
 #[derive(Debug, Clone)]
@@ -318,16 +329,19 @@ impl Chiron {
             options.checkpoint_every > 0,
             "checkpoint interval must be positive"
         );
+        static CHECKPOINTS_SAVED: chiron_telemetry::Counter =
+            chiron_telemetry::Counter::new("chiron.checkpoints.saved");
+        static RESUMES: chiron_telemetry::Counter =
+            chiron_telemetry::Counter::new("chiron.resumes");
         let (mut rewards, mut buf_e, mut buf_i) = if options.checkpoint_path.exists() {
             let ckpt = RunCheckpoint::load(&options.checkpoint_path)?;
             let restored = ckpt.restore_into(self, env)?;
-            log.push(
-                self.episodes_trained,
-                0,
-                ResilienceEvent::Resumed {
-                    episode: self.episodes_trained,
-                },
-            );
+            let ev = ResilienceEvent::Resumed {
+                episode: self.episodes_trained,
+            };
+            ev.emit(0);
+            RESUMES.add(1);
+            log.push(self.episodes_trained, 0, ev);
             restored
         } else {
             (Vec::new(), RolloutBuffer::new(), RolloutBuffer::new())
@@ -339,10 +353,12 @@ impl Chiron {
             // A checkpoint also lands after the final episode, so a later
             // call with a larger episode count extends the run seamlessly.
             if rewards.len().is_multiple_of(options.checkpoint_every) || rewards.len() == episodes {
+                let _ckpt_span = chiron_telemetry::span("checkpoint_save");
                 let ckpt = RunCheckpoint::capture(self, env, &rewards, &buf_e, &buf_i)
                     .map_err(ResumeError::Env)?;
                 ckpt.save(&options.checkpoint_path)
                     .map_err(ResumeError::Io)?;
+                CHECKPOINTS_SAVED.add(1);
             }
         }
         Ok(rewards)

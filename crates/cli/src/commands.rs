@@ -3,10 +3,11 @@
 use crate::args::{ArgError, ParsedArgs};
 use chiron::{Chiron, ChironConfig, ChironSnapshot, Mechanism};
 use chiron_baselines::{DpPlanner, DrlSingleRound, Greedy, StaticPrice};
-use chiron_data::DatasetKind;
+use chiron_data::{DatasetKind, DatasetSpec};
 use chiron_fedsim::faults::FaultProcessConfig;
 use chiron_fedsim::metrics::{rounds_to_csv, EpisodeSummary, EventLog};
 use chiron_fedsim::{EdgeLearningEnv, EnvConfig, ResilienceConfig};
+use chiron_telemetry::{RuntimeConfig, TelemetrySession};
 use serde::{Deserialize, Serialize};
 
 /// A fully specified experiment, loadable from JSON (`run --config`).
@@ -38,29 +39,176 @@ impl ExperimentConfig {
             seed: 42,
         }
     }
-}
 
-/// A CLI failure with a user-facing message.
-#[derive(Debug)]
-pub struct CliError(pub String);
-
-impl std::fmt::Display for CliError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(&self.0)
+    /// Builder seeded with [`ExperimentConfig::template`]; override any
+    /// subset of knobs and finish with a validated
+    /// [`ExperimentConfigBuilder::build`].
+    ///
+    /// ```
+    /// use chiron_cli::commands::ExperimentConfig;
+    /// use chiron_data::DatasetKind;
+    /// let exp = ExperimentConfig::builder()
+    ///     .dataset(DatasetKind::MnistLike)
+    ///     .budget(100.0)
+    ///     .seed(42)
+    ///     .build()
+    ///     .unwrap();
+    /// assert_eq!(exp.seed, 42);
+    /// ```
+    pub fn builder() -> ExperimentConfigBuilder {
+        ExperimentConfigBuilder {
+            inner: Self::template(),
+        }
     }
 }
 
-impl std::error::Error for CliError {}
+/// Builder for [`ExperimentConfig`]. Validation happens once, at
+/// [`ExperimentConfigBuilder::build`].
+#[derive(Debug, Clone)]
+pub struct ExperimentConfigBuilder {
+    inner: ExperimentConfig,
+}
+
+impl ExperimentConfigBuilder {
+    /// Free-form description recorded in the experiment file.
+    pub fn description(mut self, description: impl Into<String>) -> Self {
+        self.inner.description = description.into();
+        self
+    }
+
+    /// Dataset profile by kind.
+    pub fn dataset(mut self, kind: DatasetKind) -> Self {
+        self.inner.env.dataset = DatasetSpec::for_kind(kind);
+        self
+    }
+
+    /// Fleet size, keeping the template's per-node parameter ranges.
+    pub fn nodes(mut self, nodes: usize) -> Self {
+        self.inner.env.fleet.nodes = nodes;
+        self
+    }
+
+    /// Total budget `η`.
+    pub fn budget(mut self, budget: f64) -> Self {
+        self.inner.env.budget = budget;
+        self
+    }
+
+    /// Full environment configuration (overrides dataset/nodes/budget).
+    pub fn env(mut self, env: EnvConfig) -> Self {
+        self.inner.env = env;
+        self
+    }
+
+    /// Chiron hyperparameters.
+    pub fn chiron(mut self, chiron: ChironConfig) -> Self {
+        self.inner.chiron = chiron;
+        self
+    }
+
+    /// Training episodes.
+    pub fn episodes(mut self, episodes: usize) -> Self {
+        self.inner.episodes = episodes;
+        self
+    }
+
+    /// Master seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.inner.seed = seed;
+        self
+    }
+
+    /// Validates the assembled experiment and returns it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError::Invalid`] naming the first violated constraint.
+    pub fn build(self) -> Result<ExperimentConfig, CliError> {
+        let c = &self.inner;
+        if c.env.fleet.nodes == 0 {
+            return Err(CliError::Invalid("nodes must be at least 1".into()));
+        }
+        if !(c.env.budget > 0.0 && c.env.budget.is_finite()) {
+            return Err(CliError::Invalid("budget must be positive".into()));
+        }
+        if c.episodes == 0 {
+            return Err(CliError::Invalid("episodes must be at least 1".into()));
+        }
+        c.chiron
+            .check()
+            .map_err(|e| CliError::Invalid(e.to_string()))?;
+        Ok(self.inner)
+    }
+}
+
+/// A CLI failure with a user-facing message and a typed source chain.
+#[derive(Debug)]
+pub enum CliError {
+    /// Command-line parsing or flag extraction failed.
+    Arg(ArgError),
+    /// An underlying I/O operation failed.
+    Io(std::io::Error),
+    /// A flag or configuration value was rejected (message is the full
+    /// user-facing explanation).
+    Invalid(String),
+    /// A mechanism snapshot failed to load or restore.
+    Snapshot {
+        /// Path of the offending snapshot file.
+        path: String,
+        /// The typed failure underneath.
+        source: chiron::Error,
+    },
+    /// An experiment file failed to parse.
+    Experiment {
+        /// Path of the offending experiment file.
+        path: String,
+        /// The parse failure underneath.
+        source: serde_json::Error,
+    },
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Arg(e) => write!(f, "{e}"),
+            CliError::Io(e) => write!(f, "I/O error: {e}"),
+            CliError::Invalid(msg) => f.write_str(msg),
+            CliError::Snapshot { path, source } => match source {
+                chiron::Error::Checkpoint(e) => write!(
+                    f,
+                    "snapshot {path} does not fit this task shape: {e} \
+                     (train and eval must use the same --nodes)"
+                ),
+                other => write!(f, "invalid snapshot {path}: {other}"),
+            },
+            CliError::Experiment { path, source } => {
+                write!(f, "invalid experiment file {path}: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CliError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CliError::Arg(e) => Some(e),
+            CliError::Io(e) => Some(e),
+            CliError::Invalid(_) => None,
+            CliError::Snapshot { source, .. } => Some(source),
+            CliError::Experiment { source, .. } => Some(source),
+        }
+    }
+}
 
 impl From<ArgError> for CliError {
     fn from(e: ArgError) -> Self {
-        CliError(e.to_string())
+        CliError::Arg(e)
     }
 }
 
 impl From<std::io::Error> for CliError {
     fn from(e: std::io::Error) -> Self {
-        CliError(format!("I/O error: {e}"))
+        CliError::Io(e)
     }
 }
 
@@ -70,7 +218,7 @@ fn dataset_from(name: &str) -> Result<DatasetKind, CliError> {
         "fashion" | "fashion-mnist" => Ok(DatasetKind::FashionLike),
         "cifar" | "cifar-10" | "cifar10" => Ok(DatasetKind::Cifar10Like),
         "tiny" => Ok(DatasetKind::Tiny),
-        other => Err(CliError(format!(
+        other => Err(CliError::Invalid(format!(
             "unknown dataset '{other}' (expected mnist | fashion | cifar | tiny)"
         ))),
     }
@@ -81,33 +229,59 @@ fn build_env(
     nodes: usize,
     budget: f64,
     seed: u64,
+    rt: &RuntimeConfig,
 ) -> Result<EdgeLearningEnv, CliError> {
     if nodes == 0 {
-        return Err(CliError("--nodes must be at least 1".into()));
+        return Err(CliError::Invalid("--nodes must be at least 1".into()));
     }
     if budget <= 0.0 {
-        return Err(CliError("--budget must be positive".into()));
+        return Err(CliError::Invalid("--budget must be positive".into()));
     }
     let mut config = EnvConfig::paper_small(kind, budget);
     config.fleet.nodes = nodes;
     let mut env = EdgeLearningEnv::new(config, seed);
-    apply_env_overrides(&mut env);
+    apply_env_overrides(&mut env, rt);
     Ok(env)
 }
 
-/// Applies the resilience environment variables (documented in README.md):
-/// `CHIRON_QUORUM` / `CHIRON_DEADLINE_SLACK` switch on the PS-side
-/// countermeasures, and `CHIRON_FAULT_SEED` installs the standard
-/// stochastic fault process seeded with its value. Unset or malformed
-/// variables leave the environment untouched.
-fn apply_env_overrides(env: &mut EdgeLearningEnv) {
-    env.set_resilience(ResilienceConfig::from_env());
-    if let Some(seed) = std::env::var("CHIRON_FAULT_SEED")
-        .ok()
-        .and_then(|v| v.trim().parse::<u64>().ok())
-    {
+/// Applies the resilience knobs of the ambient [`RuntimeConfig`]
+/// (documented in README.md): `CHIRON_QUORUM` / `CHIRON_DEADLINE_SLACK`
+/// switch on the PS-side countermeasures, and `CHIRON_FAULT_SEED`
+/// installs the standard stochastic fault process seeded with its value.
+/// Unset or malformed variables leave the environment untouched.
+fn apply_env_overrides(env: &mut EdgeLearningEnv, rt: &RuntimeConfig) {
+    env.set_resilience(ResilienceConfig::from_runtime(rt));
+    if let Some(seed) = rt.fault_seed {
         env.set_fault_process(Some(FaultProcessConfig::standard(seed)));
     }
+}
+
+/// Opens a telemetry session when `--telemetry <path>` (or the
+/// `CHIRON_TELEMETRY` variable) asks for one; `None` means disabled.
+fn telemetry_from(
+    args: &ParsedArgs,
+    rt: &RuntimeConfig,
+) -> Result<Option<TelemetrySession>, CliError> {
+    let path = args
+        .options
+        .get("telemetry")
+        .cloned()
+        .or_else(|| rt.telemetry.clone());
+    match path {
+        None => Ok(None),
+        Some(path) => {
+            let session = TelemetrySession::to_jsonl(&path)?;
+            println!("telemetry streaming to {path} (aggregates: {path}.prom)");
+            Ok(Some(session))
+        }
+    }
+}
+
+fn finish_telemetry(session: Option<TelemetrySession>) -> Result<(), CliError> {
+    if let Some(session) = session {
+        session.finish()?;
+    }
+    Ok(())
 }
 
 fn print_summary(name: &str, s: &EpisodeSummary) {
@@ -123,15 +297,24 @@ fn print_summary(name: &str, s: &EpisodeSummary) {
 }
 
 /// `chiron-cli train` — trains Chiron and optionally writes a snapshot.
-pub fn train(args: &ParsedArgs) -> Result<(), CliError> {
-    args.reject_unknown(&["dataset", "nodes", "budget", "episodes", "seed", "out"])?;
+pub fn train(args: &ParsedArgs, rt: &RuntimeConfig) -> Result<(), CliError> {
+    args.reject_unknown(&[
+        "dataset",
+        "nodes",
+        "budget",
+        "episodes",
+        "seed",
+        "out",
+        "telemetry",
+    ])?;
     let kind = dataset_from(args.str_or("dataset", "mnist"))?;
     let nodes: usize = args.parse_or("nodes", 5)?;
     let budget: f64 = args.parse_or("budget", 100.0)?;
     let episodes: usize = args.parse_or("episodes", 300)?;
     let seed: u64 = args.parse_or("seed", 42)?;
+    let telemetry = telemetry_from(args, rt)?;
 
-    let mut env = build_env(kind, nodes, budget, seed)?;
+    let mut env = build_env(kind, nodes, budget, seed, rt)?;
     println!(
         "training chiron: dataset {kind}, {nodes} nodes, η = {budget}, {episodes} episodes, seed {seed}"
     );
@@ -150,31 +333,41 @@ pub fn train(args: &ParsedArgs) -> Result<(), CliError> {
         std::fs::write(path, mech.snapshot().to_json())?;
         println!("snapshot written to {path}");
     }
-    Ok(())
+    finish_telemetry(telemetry)
 }
 
 /// `chiron-cli eval` — evaluates a snapshot (or a fresh policy) on a task.
-pub fn eval(args: &ParsedArgs) -> Result<(), CliError> {
+pub fn eval(args: &ParsedArgs, rt: &RuntimeConfig) -> Result<(), CliError> {
     args.reject_unknown(&[
-        "dataset", "nodes", "budget", "seed", "model", "trace", "events",
+        "dataset",
+        "nodes",
+        "budget",
+        "seed",
+        "model",
+        "trace",
+        "events",
+        "telemetry",
     ])?;
     let kind = dataset_from(args.str_or("dataset", "mnist"))?;
     let nodes: usize = args.parse_or("nodes", 5)?;
     let budget: f64 = args.parse_or("budget", 100.0)?;
     let seed: u64 = args.parse_or("seed", 42)?;
+    let telemetry = telemetry_from(args, rt)?;
 
-    let mut env = build_env(kind, nodes, budget, seed)?;
+    let mut env = build_env(kind, nodes, budget, seed, rt)?;
     let mut mech = Chiron::new(&env, ChironConfig::paper(), seed);
     if let Some(path) = args.options.get("model") {
         let json = std::fs::read_to_string(path)?;
-        let snapshot = ChironSnapshot::from_json(&json)
-            .map_err(|e| CliError(format!("invalid snapshot {path}: {e}")))?;
-        snapshot.restore(&mut mech).map_err(|e| {
-            CliError(format!(
-                "snapshot {path} does not fit this task shape: {e} \
-                 (train and eval must use the same --nodes)"
-            ))
+        let snapshot = ChironSnapshot::from_json(&json).map_err(|e| CliError::Snapshot {
+            path: path.clone(),
+            source: chiron::Error::from(e),
         })?;
+        snapshot
+            .restore(&mut mech)
+            .map_err(|e| CliError::Snapshot {
+                path: path.clone(),
+                source: chiron::Error::from(e),
+            })?;
         println!(
             "loaded snapshot {path} ({} episodes trained)",
             mech.episodes_trained()
@@ -198,22 +391,22 @@ pub fn eval(args: &ParsedArgs) -> Result<(), CliError> {
             events.entries().len()
         );
     }
-    Ok(())
+    finish_telemetry(telemetry)
 }
 
 /// Parses a comma-separated budget list like `60,80,100`.
 fn budgets_from(raw: &str) -> Result<Vec<f64>, CliError> {
     let budgets: Result<Vec<f64>, _> = raw.split(',').map(|t| t.trim().parse::<f64>()).collect();
-    let budgets = budgets.map_err(|_| CliError(format!("invalid budget list '{raw}'")))?;
+    let budgets = budgets.map_err(|_| CliError::Invalid(format!("invalid budget list '{raw}'")))?;
     if budgets.is_empty() || budgets.iter().any(|&b| b <= 0.0) {
-        return Err(CliError("budgets must be positive".into()));
+        return Err(CliError::Invalid("budgets must be positive".into()));
     }
     Ok(budgets)
 }
 
 /// `chiron-cli sweep` — trains once, evaluates across a budget list, and
 /// writes a CSV (the CLI twin of the Fig. 4 protocol).
-pub fn sweep(args: &ParsedArgs) -> Result<(), CliError> {
+pub fn sweep(args: &ParsedArgs, rt: &RuntimeConfig) -> Result<(), CliError> {
     args.reject_unknown(&["dataset", "nodes", "budgets", "episodes", "seed", "out"])?;
     let kind = dataset_from(args.str_or("dataset", "mnist"))?;
     let nodes: usize = args.parse_or("nodes", 5)?;
@@ -225,7 +418,7 @@ pub fn sweep(args: &ParsedArgs) -> Result<(), CliError> {
     println!(
         "sweep: dataset {kind}, {nodes} nodes, budgets {budgets:?}, training at η = {train_budget}"
     );
-    let mut env = build_env(kind, nodes, train_budget, seed)?;
+    let mut env = build_env(kind, nodes, train_budget, seed, rt)?;
     let mut mech = Chiron::new(&env, ChironConfig::paper(), seed);
     mech.train(&mut env, episodes);
 
@@ -235,7 +428,7 @@ pub fn sweep(args: &ParsedArgs) -> Result<(), CliError> {
         "budget", "accuracy", "rounds", "time (s)", "time-eff %"
     );
     for &budget in &budgets {
-        let mut env = build_env(kind, nodes, budget, seed)?;
+        let mut env = build_env(kind, nodes, budget, seed, rt)?;
         let (s, _) = mech.run_episode(&mut env);
         println!(
             "{budget:>9} {:>9.4} {:>7} {:>10.1} {:>10.1}",
@@ -258,8 +451,8 @@ pub fn sweep(args: &ParsedArgs) -> Result<(), CliError> {
 
 /// `chiron-cli run` — executes an experiment file (`--config exp.json`),
 /// or writes a starting template (`--init exp.json`).
-pub fn run(args: &ParsedArgs) -> Result<(), CliError> {
-    args.reject_unknown(&["config", "init", "out"])?;
+pub fn run(args: &ParsedArgs, rt: &RuntimeConfig) -> Result<(), CliError> {
+    args.reject_unknown(&["config", "init", "out", "telemetry"])?;
     if let Some(path) = args.options.get("init") {
         let json = serde_json::to_string_pretty(&ExperimentConfig::template())
             .expect("template serializes");
@@ -269,8 +462,11 @@ pub fn run(args: &ParsedArgs) -> Result<(), CliError> {
     }
     let path = args.str_required("config")?;
     let json = std::fs::read_to_string(path)?;
-    let exp: ExperimentConfig = serde_json::from_str(&json)
-        .map_err(|e| CliError(format!("invalid experiment file {path}: {e}")))?;
+    let exp: ExperimentConfig = serde_json::from_str(&json).map_err(|e| CliError::Experiment {
+        path: path.to_owned(),
+        source: e,
+    })?;
+    let telemetry = telemetry_from(args, rt)?;
 
     println!("experiment: {}", exp.description);
     println!(
@@ -290,11 +486,11 @@ pub fn run(args: &ParsedArgs) -> Result<(), CliError> {
         std::fs::write(out, mech.snapshot().to_json())?;
         println!("snapshot written to {out}");
     }
-    Ok(())
+    finish_telemetry(telemetry)
 }
 
 /// `chiron-cli compare` — trains every mechanism and prints the comparison.
-pub fn compare(args: &ParsedArgs) -> Result<(), CliError> {
+pub fn compare(args: &ParsedArgs, rt: &RuntimeConfig) -> Result<(), CliError> {
     args.reject_unknown(&["dataset", "nodes", "budget", "episodes", "seed"])?;
     let kind = dataset_from(args.str_or("dataset", "mnist"))?;
     let nodes: usize = args.parse_or("nodes", 5)?;
@@ -305,7 +501,7 @@ pub fn compare(args: &ParsedArgs) -> Result<(), CliError> {
     println!(
         "comparing mechanisms: dataset {kind}, {nodes} nodes, η = {budget}, {episodes} episodes\n"
     );
-    let env0 = build_env(kind, nodes, budget, seed)?;
+    let env0 = build_env(kind, nodes, budget, seed, rt)?;
     let mut rows: Vec<(&str, EpisodeSummary)> = Vec::new();
 
     let mut chiron = Chiron::new(&env0, ChironConfig::paper(), seed);
@@ -317,9 +513,9 @@ pub fn compare(args: &ParsedArgs) -> Result<(), CliError> {
     let mechanisms: Vec<&mut dyn Mechanism> =
         vec![&mut chiron, &mut drl, &mut greedy, &mut planner, &mut fixed];
     for mech in mechanisms {
-        let mut env = build_env(kind, nodes, budget, seed)?;
+        let mut env = build_env(kind, nodes, budget, seed, rt)?;
         mech.train(&mut env, episodes);
-        let mut env = build_env(kind, nodes, budget, seed)?;
+        let mut env = build_env(kind, nodes, budget, seed, rt)?;
         let (summary, _) = mech.run_episode(&mut env);
         rows.push((mech.name(), summary));
     }
@@ -364,24 +560,27 @@ commands:
             --dataset mnist|fashion|cifar|tiny (mnist)
             --nodes N (5)  --budget η (100)  --episodes E (300)
             --seed S (42)  --out snapshot.json
+            --telemetry run.jsonl  (structured telemetry stream)
   eval      evaluate a trained snapshot (or an untrained policy)
             --model snapshot.json  --trace rounds.csv
             --events events.jsonl  (resilience event log, one JSON per line)
-            --dataset …  --nodes N  --budget η  --seed S
+            --telemetry run.jsonl  --dataset …  --nodes N  --budget η  --seed S
   compare   train and compare chiron, drl-based, greedy, dp-planner, static
             --dataset …  --nodes N  --budget η  --episodes E  --seed S
   sweep     train once, evaluate across budgets, optionally write CSV
             --budgets 60,80,100,120,140  --out sweep.csv
             --dataset …  --nodes N  --episodes E  --seed S
   run       execute a fully specified experiment file
-            --config exp.json  [--out snapshot.json]
+            --config exp.json  [--out snapshot.json]  [--telemetry run.jsonl]
             --init exp.json    (write a starting template)
   info      version and paper reference
 
-environment variables (resilience; see README.md):
+environment variables (read once at startup; see README.md for the table):
+  CHIRON_TELEMETRY=PATH   stream telemetry JSONL to PATH (same as --telemetry)
   CHIRON_FAULT_SEED=U64   install the standard stochastic fault process
   CHIRON_QUORUM=N         require ≥ N responders per round (refund otherwise)
   CHIRON_DEADLINE_SLACK=F evict responders slower than F x the Lemma-1 deadline
+  CHIRON_THREADS=N        worker-pool size    CHIRON_SCRATCH_CAP=MiB scratch cap
 "
     .to_owned()
 }
@@ -390,6 +589,10 @@ environment variables (resilience; see README.md):
 mod tests {
     use super::*;
     use crate::args::parse;
+
+    fn rt() -> RuntimeConfig {
+        RuntimeConfig::from_env()
+    }
 
     #[test]
     fn dataset_names_resolve() {
@@ -401,9 +604,9 @@ mod tests {
 
     #[test]
     fn build_env_validates() {
-        assert!(build_env(DatasetKind::MnistLike, 0, 100.0, 0).is_err());
-        assert!(build_env(DatasetKind::MnistLike, 5, 0.0, 0).is_err());
-        let env = build_env(DatasetKind::MnistLike, 3, 50.0, 0).expect("valid");
+        assert!(build_env(DatasetKind::MnistLike, 0, 100.0, 0, &rt()).is_err());
+        assert!(build_env(DatasetKind::MnistLike, 5, 0.0, 0, &rt()).is_err());
+        let env = build_env(DatasetKind::MnistLike, 3, 50.0, 0, &rt()).expect("valid");
         assert_eq!(env.num_nodes(), 3);
     }
 
@@ -426,14 +629,14 @@ mod tests {
             model_s,
         ])
         .expect("parse");
-        train(&args).expect("train runs");
+        train(&args, &rt()).expect("train runs");
         assert!(model.exists());
 
         let args = parse(&[
             "eval", "--model", model_s, "--budget", "40", "--trace", trace_s,
         ])
         .expect("parse");
-        eval(&args).expect("eval runs");
+        eval(&args, &rt()).expect("eval runs");
         let csv = std::fs::read_to_string(&trace).expect("trace written");
         assert!(csv.starts_with("round,accuracy"));
         std::fs::remove_dir_all(&dir).ok();
@@ -463,7 +666,7 @@ mod tests {
             out_s,
         ])
         .expect("parse");
-        sweep(&args).expect("sweep runs");
+        sweep(&args, &rt()).expect("sweep runs");
         let csv = std::fs::read_to_string(&out).expect("csv written");
         assert_eq!(csv.lines().count(), 3); // header + 2 budgets
         std::fs::remove_dir_all(&dir).ok();
@@ -477,6 +680,40 @@ mod tests {
         assert_eq!(back.seed, t.seed);
         assert_eq!(back.env.budget, t.env.budget);
         assert_eq!(back.chiron, t.chiron);
+        // Reserialization is byte-stable, so the full config (env included)
+        // round-trips losslessly.
+        assert_eq!(serde_json::to_string(&back).expect("serializes"), json);
+    }
+
+    #[test]
+    fn experiment_builder_overrides_and_validates() {
+        let exp = ExperimentConfig::builder()
+            .dataset(DatasetKind::Cifar10Like)
+            .nodes(7)
+            .budget(80.0)
+            .episodes(10)
+            .seed(9)
+            .description("builder test")
+            .build()
+            .expect("valid");
+        assert_eq!(exp.env.dataset.kind, DatasetKind::Cifar10Like);
+        assert_eq!(exp.env.fleet.nodes, 7);
+        assert_eq!(exp.env.budget, 80.0);
+        assert_eq!(exp.episodes, 10);
+        assert_eq!(exp.seed, 9);
+
+        assert!(ExperimentConfig::builder().nodes(0).build().is_err());
+        assert!(ExperimentConfig::builder().budget(-1.0).build().is_err());
+        let bad_chiron = {
+            let mut c = ChironConfig::paper();
+            c.lambda = -1.0;
+            c
+        };
+        let err = ExperimentConfig::builder()
+            .chiron(bad_chiron)
+            .build()
+            .expect_err("invalid lambda");
+        assert!(err.to_string().contains("lambda"));
     }
 
     #[test]
@@ -487,7 +724,7 @@ mod tests {
         let cfg_s = cfg.to_str().expect("utf8");
 
         let args = parse(&["run", "--init", cfg_s]).expect("parse");
-        run(&args).expect("init writes template");
+        run(&args, &rt()).expect("init writes template");
 
         // Shrink the template so the test is fast.
         let mut exp: ExperimentConfig =
@@ -497,7 +734,7 @@ mod tests {
         std::fs::write(&cfg, serde_json::to_string(&exp).expect("ser")).expect("write");
 
         let args = parse(&["run", "--config", cfg_s]).expect("parse");
-        run(&args).expect("run executes");
+        run(&args, &rt()).expect("run executes");
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -508,7 +745,9 @@ mod tests {
         let cfg = dir.join("bad.json");
         std::fs::write(&cfg, "{not json").expect("write");
         let args = parse(&["run", "--config", cfg.to_str().expect("utf8")]).expect("parse");
-        assert!(run(&args).is_err());
+        let err = run(&args, &rt()).expect_err("malformed config");
+        assert!(matches!(err, CliError::Experiment { .. }));
+        assert!(std::error::Error::source(&err).is_some());
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -531,12 +770,20 @@ mod tests {
             model_s,
         ])
         .expect("parse");
-        train(&args).expect("train runs");
+        train(&args, &rt()).expect("train runs");
 
-        // Evaluating with a different node count must fail cleanly.
+        // Evaluating with a different node count must fail cleanly, with the
+        // typed checkpoint error reachable through the source chain.
         let args = parse(&["eval", "--model", model_s, "--nodes", "4"]).expect("parse");
-        let err = eval(&args).expect_err("shape mismatch");
+        let err = eval(&args, &rt()).expect_err("shape mismatch");
         assert!(err.to_string().contains("--nodes"));
+        assert!(matches!(
+            err,
+            CliError::Snapshot {
+                source: chiron::Error::Checkpoint(_),
+                ..
+            }
+        ));
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -548,7 +795,7 @@ mod tests {
         let events_s = events.to_str().expect("utf8 path");
 
         let args = parse(&["eval", "--budget", "40", "--events", events_s]).expect("parse");
-        eval(&args).expect("eval runs");
+        eval(&args, &rt()).expect("eval runs");
         let log = std::fs::read_to_string(&events).expect("events written");
         // A fault-free default run logs nothing, but every line present
         // must be a standalone JSON object.
@@ -559,22 +806,25 @@ mod tests {
     #[test]
     fn fault_seed_env_var_installs_fault_process() {
         std::env::set_var("CHIRON_FAULT_SEED", "77");
-        let env = build_env(DatasetKind::MnistLike, 3, 50.0, 0).expect("valid");
+        let rt_set = RuntimeConfig::from_env();
         std::env::remove_var("CHIRON_FAULT_SEED");
+        let env = build_env(DatasetKind::MnistLike, 3, 50.0, 0, &rt_set).expect("valid");
         let config = env.fault_process_config().expect("fault process installed");
         assert_eq!(config.seed, 77);
         assert!(config.availability.is_some());
 
         // Malformed values are ignored rather than fatal.
         std::env::set_var("CHIRON_FAULT_SEED", "not-a-number");
-        let env = build_env(DatasetKind::MnistLike, 3, 50.0, 0).expect("valid");
+        let rt_bad = RuntimeConfig::from_env();
         std::env::remove_var("CHIRON_FAULT_SEED");
+        let env = build_env(DatasetKind::MnistLike, 3, 50.0, 0, &rt_bad).expect("valid");
         assert!(env.fault_process_config().is_none());
     }
 
     #[test]
     fn unknown_flags_are_rejected() {
         let args = parse(&["train", "--bogus", "1"]).expect("parse");
-        assert!(train(&args).is_err());
+        let err = train(&args, &rt()).expect_err("unknown flag");
+        assert!(matches!(err, CliError::Arg(_)));
     }
 }

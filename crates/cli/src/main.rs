@@ -2,6 +2,7 @@
 
 use chiron_cli::args::parse;
 use chiron_cli::commands::{self, usage};
+use chiron_telemetry::RuntimeConfig;
 
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
@@ -12,12 +13,14 @@ fn main() {
             std::process::exit(2);
         }
     };
+    // Every CHIRON_* variable is read once, here, and passed down.
+    let rt = RuntimeConfig::from_env();
     let result = match parsed.command.as_deref() {
-        Some("train") => commands::train(&parsed),
-        Some("eval") => commands::eval(&parsed),
-        Some("compare") => commands::compare(&parsed),
-        Some("sweep") => commands::sweep(&parsed),
-        Some("run") => commands::run(&parsed),
+        Some("train") => commands::train(&parsed, &rt),
+        Some("eval") => commands::eval(&parsed, &rt),
+        Some("compare") => commands::compare(&parsed, &rt),
+        Some("sweep") => commands::sweep(&parsed, &rt),
+        Some("run") => commands::run(&parsed, &rt),
         Some("info") => {
             commands::info();
             Ok(())

@@ -39,7 +39,7 @@ mod ppo;
 pub use buffer::{RolloutBuffer, Transition};
 pub use norm::RunningNorm;
 pub use policy::GaussianPolicy;
-pub use ppo::{AgentFullState, AgentSnapshot, AgentStateError, PpoAgent, PpoConfig};
+pub use ppo::{AgentFullState, AgentSnapshot, AgentStateError, PpoAgent, PpoConfig, SnapshotError};
 
 #[cfg(test)]
 mod proptests;

@@ -217,6 +217,11 @@ impl PpoAgent {
     /// Panics if the buffer is empty.
     pub fn update(&mut self, buffer: &mut RolloutBuffer) -> (f64, f64) {
         assert!(!buffer.is_empty(), "PPO update on an empty buffer");
+        let _span = chiron_telemetry::span("ppo_update");
+        static PPO_UPDATES: chiron_telemetry::Counter =
+            chiron_telemetry::Counter::new("drl.ppo.updates");
+        static PPO_ROLLBACKS: chiron_telemetry::Counter =
+            chiron_telemetry::Counter::new("drl.ppo.rollbacks");
         let (returns, mut advantages) =
             buffer.compute_returns_and_advantages(self.config.gamma, self.config.gae_lambda);
 
@@ -231,6 +236,7 @@ impl PpoAgent {
         if !inputs_finite {
             buffer.clear();
             self.skipped_updates += 1;
+            PPO_ROLLBACKS.add(1);
             return (0.0, 0.0);
         }
 
@@ -371,16 +377,68 @@ impl PpoAgent {
             self.critic_opt = critic_opt_backup;
             buffer.clear();
             self.skipped_updates += 1;
+            PPO_ROLLBACKS.add(1);
             return (0.0, 0.0);
+        }
+
+        let e = self.config.epochs as f64;
+        let mean_actor_loss = actor_loss_acc / e;
+        let mean_critic_loss = critic_loss_acc / e;
+
+        // Telemetry: a strictly read-only diagnostic pass over the final
+        // policy (clip fraction, approximate KL, Gaussian entropy). Runs
+        // only while the layer is enabled; its forward pass reuses the
+        // deterministic batched path and feeds nothing back, so enabling it
+        // cannot perturb training.
+        if chiron_telemetry::enabled() {
+            let pass = self.actor.mean_batch_pass(&state_batch, PPO_BLOCK_ROWS);
+            let mu = pass.output().as_slice();
+            let var = self.actor.std() * self.actor.std();
+            let mut clipped = 0usize;
+            let mut kl_sum = 0.0f64;
+            for (i, tr) in buffer.transitions().iter().enumerate() {
+                let mut logp = -0.5 * (action_dim as f64) * (2.0 * std::f64::consts::PI * var).ln();
+                for j in 0..action_dim {
+                    let m = mu[i * action_dim + j] as f64;
+                    let a = tr.action[j];
+                    logp -= (a - m) * (a - m) / (2.0 * var);
+                }
+                let ratio = (logp - tr.log_prob).exp();
+                if (ratio - 1.0).abs() > clip {
+                    clipped += 1;
+                }
+                kl_sum += tr.log_prob - logp;
+            }
+            let clip_fraction = clipped as f64 / n as f64;
+            let approx_kl = kl_sum / n as f64;
+            let entropy =
+                0.5 * (action_dim as f64) * (1.0 + (2.0 * std::f64::consts::PI * var).ln());
+            chiron_telemetry::histogram_record("drl.ppo.clip_fraction", clip_fraction);
+            chiron_telemetry::histogram_record("drl.ppo.approx_kl", approx_kl);
+            chiron_telemetry::histogram_record("drl.ppo.entropy", entropy);
+            chiron_telemetry::histogram_record("drl.ppo.actor_loss", mean_actor_loss);
+            chiron_telemetry::histogram_record("drl.ppo.critic_loss", mean_critic_loss);
+            chiron_telemetry::event(
+                "ppo_update",
+                self.updates + 1, // sequence index of this update
+                &[
+                    ("transitions", n as f64),
+                    ("actor_loss", mean_actor_loss),
+                    ("critic_loss", mean_critic_loss),
+                    ("clip_fraction", clip_fraction),
+                    ("approx_kl", approx_kl),
+                    ("entropy", entropy),
+                ],
+            );
         }
 
         buffer.clear();
         self.updates += 1;
+        PPO_UPDATES.add(1);
         let new_std = (self.actor.std() * self.config.std_decay).max(self.config.std_min);
         self.actor.set_std(new_std);
 
-        let e = self.config.epochs as f64;
-        (actor_loss_acc / e, critic_loss_acc / e)
+        (mean_actor_loss, mean_critic_loss)
     }
 }
 
@@ -417,6 +475,33 @@ pub struct AgentSnapshot {
     pub updates: usize,
 }
 
+/// A snapshot JSON document that failed to parse.
+///
+/// Wraps the underlying [`serde_json::Error`], exposed through
+/// [`std::error::Error::source`] so callers can chain it.
+#[derive(Debug)]
+pub struct SnapshotError {
+    source: serde_json::Error,
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "malformed snapshot JSON: {}", self.source)
+    }
+}
+
+impl std::error::Error for SnapshotError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
+    }
+}
+
+impl From<serde_json::Error> for SnapshotError {
+    fn from(source: serde_json::Error) -> Self {
+        Self { source }
+    }
+}
+
 impl AgentSnapshot {
     /// Serializes to JSON.
     pub fn to_json(&self) -> String {
@@ -427,9 +512,10 @@ impl AgentSnapshot {
     ///
     /// # Errors
     ///
-    /// Returns the underlying parse error message.
-    pub fn from_json(json: &str) -> Result<Self, String> {
-        serde_json::from_str(json).map_err(|e| e.to_string())
+    /// Returns [`SnapshotError`] (with the parse error as its
+    /// [`source`](std::error::Error::source)) on malformed input.
+    pub fn from_json(json: &str) -> Result<Self, SnapshotError> {
+        serde_json::from_str(json).map_err(SnapshotError::from)
     }
 
     /// Restores the snapshot into `agent`.

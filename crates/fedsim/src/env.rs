@@ -51,7 +51,128 @@ pub struct EnvConfig {
     pub channel: ChannelVariation,
 }
 
+/// An [`EnvConfig`] field failed validation at
+/// [`EnvConfigBuilder::build`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EnvConfigError {
+    /// Name of the field that failed validation.
+    pub field: &'static str,
+    /// Human-readable constraint that was violated.
+    pub reason: String,
+}
+
+impl std::fmt::Display for EnvConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} {}", self.field, self.reason)
+    }
+}
+
+impl std::error::Error for EnvConfigError {}
+
+/// Builder for [`EnvConfig`], seeded with the paper's small-scale
+/// setting (5 nodes, MNIST-like, budget 100). Validation happens once,
+/// at [`EnvConfigBuilder::build`].
+///
+/// ```
+/// use chiron_fedsim::EnvConfig;
+/// use chiron_data::DatasetKind;
+/// let cfg = EnvConfig::builder()
+///     .dataset(DatasetKind::Cifar10Like)
+///     .nodes(10)
+///     .budget(60.0)
+///     .build()
+///     .unwrap();
+/// assert_eq!(cfg.fleet.nodes, 10);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EnvConfigBuilder {
+    inner: EnvConfig,
+}
+
+impl EnvConfigBuilder {
+    /// Dataset profile by kind (also resets the derived oracle spec).
+    pub fn dataset(mut self, kind: DatasetKind) -> Self {
+        self.inner.dataset = DatasetSpec::for_kind(kind);
+        self
+    }
+
+    /// Fleet size, keeping the paper's per-node parameter ranges.
+    pub fn nodes(mut self, nodes: usize) -> Self {
+        self.inner.fleet = FleetConfig::paper(nodes);
+        self
+    }
+
+    /// Full fleet generation parameters (overrides [`Self::nodes`]).
+    pub fn fleet(mut self, fleet: FleetConfig) -> Self {
+        self.inner.fleet = fleet;
+        self
+    }
+
+    /// Local epochs per round (`σ`; the paper uses 5).
+    pub fn sigma(mut self, sigma: u32) -> Self {
+        self.inner.sigma = sigma;
+        self
+    }
+
+    /// Total budget `η`.
+    pub fn budget(mut self, budget: f64) -> Self {
+        self.inner.budget = budget;
+        self
+    }
+
+    /// Evaluation-noise std of the accuracy oracle (0 ⇒ deterministic).
+    pub fn oracle_noise(mut self, noise: f64) -> Self {
+        self.inner.oracle_noise = noise;
+        self
+    }
+
+    /// Safety cap on recorded rounds per episode.
+    pub fn max_rounds(mut self, max_rounds: usize) -> Self {
+        self.inner.max_rounds = max_rounds;
+        self
+    }
+
+    /// Round-to-round uplink variation.
+    pub fn channel(mut self, channel: ChannelVariation) -> Self {
+        self.inner.channel = channel;
+        self
+    }
+
+    /// Validates the assembled configuration and returns it.
+    pub fn build(self) -> Result<EnvConfig, EnvConfigError> {
+        let err = |field, reason: &str| EnvConfigError {
+            field,
+            reason: reason.to_string(),
+        };
+        let c = &self.inner;
+        if c.fleet.nodes == 0 {
+            return Err(err("nodes", "must be positive"));
+        }
+        if !(c.budget > 0.0 && c.budget.is_finite()) {
+            return Err(err("budget", "must be positive and finite"));
+        }
+        if c.sigma == 0 {
+            return Err(err("sigma", "must be positive"));
+        }
+        if c.max_rounds == 0 {
+            return Err(err("max_rounds", "must be positive"));
+        }
+        if !(c.oracle_noise >= 0.0 && c.oracle_noise.is_finite()) {
+            return Err(err("oracle_noise", "must be non-negative and finite"));
+        }
+        Ok(self.inner)
+    }
+}
+
 impl EnvConfig {
+    /// Builder seeded with [`EnvConfig::paper_small`] defaults
+    /// (MNIST-like, budget 100).
+    pub fn builder() -> EnvConfigBuilder {
+        EnvConfigBuilder {
+            inner: Self::paper_small(DatasetKind::MnistLike, 100.0),
+        }
+    }
+
     /// The paper's small-scale setting: 5 nodes, σ = 5.
     pub fn paper_small(kind: DatasetKind, budget: f64) -> Self {
         Self {
@@ -123,21 +244,40 @@ impl ResilienceConfig {
     /// `CHIRON_QUORUM` (minimum participants) and `CHIRON_DEADLINE_SLACK`
     /// (deadline multiplier, must be ≥ 1 to take effect). Unset or
     /// malformed variables leave the default (off).
+    ///
+    /// This is a fresh [`RuntimeConfig::from_env`](chiron_telemetry::RuntimeConfig::from_env)
+    /// read, so tests that `set_var` mid-process observe their changes.
     pub fn from_env() -> Self {
+        Self::from_runtime(&chiron_telemetry::RuntimeConfig::from_env())
+    }
+
+    /// Builds the countermeasure knobs from an already-parsed
+    /// [`RuntimeConfig`](chiron_telemetry::RuntimeConfig) (the CLI reads
+    /// the environment once at startup and passes it down).
+    pub fn from_runtime(rt: &chiron_telemetry::RuntimeConfig) -> Self {
         let mut cfg = Self::default();
-        if let Ok(v) = std::env::var("CHIRON_QUORUM") {
-            if let Ok(q) = v.trim().parse::<usize>() {
-                cfg.quorum = q;
-            }
+        if let Some(q) = rt.quorum {
+            cfg.quorum = q;
         }
-        if let Ok(v) = std::env::var("CHIRON_DEADLINE_SLACK") {
-            if let Ok(s) = v.trim().parse::<f64>() {
-                if s >= 1.0 && s.is_finite() {
-                    cfg.deadline_slack = Some(s);
-                }
+        if let Some(s) = rt.deadline_slack {
+            if s >= 1.0 && s.is_finite() {
+                cfg.deadline_slack = Some(s);
             }
         }
         cfg
+    }
+}
+
+/// Emits every resilience event of a finished `step` into the telemetry
+/// stream, stamped with the outcome's round (no-op while disabled). Called
+/// once per `step` return path — the creation site of these events — so a
+/// caller-attached [`EventLog`](crate::EventLog) never double-emits.
+fn emit_round_events(events: &[ResilienceEvent], round: usize) {
+    if !chiron_telemetry::enabled() {
+        return;
+    }
+    for ev in events {
+        ev.emit(round);
     }
 }
 
@@ -458,6 +598,10 @@ impl EdgeLearningEnv {
 
         let executing_round = self.round + 1;
         let mut events: Vec<ResilienceEvent> = Vec::new();
+        // Telemetry: the local-training phase covers fault/channel draws,
+        // node responses, and the node-side countermeasures (price retry,
+        // deadline eviction); it closes before the PS-side bookkeeping.
+        let lt_span = chiron_telemetry::span("local_training");
         // Per-round channel fading multipliers (drawn even for nodes that
         // end up declining, so the stream stays aligned across policies).
         let fading: Vec<f64> = match self.config.channel {
@@ -583,6 +727,21 @@ impl EdgeLearningEnv {
         let time_efficiency = crate::metrics::time_efficiency(&times);
         let payment_total: f64 = responses.iter().flatten().map(|r| r.payment).sum();
         let prev_accuracy = self.oracle.accuracy();
+        drop(lt_span);
+
+        // Telemetry: per-round idle time and the Lemma-1 gap (measured
+        // round time minus the time-consistent optimum for the posted
+        // total). Read-only; `equalized_round_time` is a pure function.
+        if chiron_telemetry::enabled() {
+            chiron_telemetry::histogram_record("fedsim.round.idle_time", idle_time);
+            let total_posted: f64 = prices.iter().sum();
+            if total_posted > 0.0 && !times.is_empty() {
+                let eq = crate::lemma::equalized_round_time(&self.nodes, sigma, total_posted);
+                if eq.is_finite() {
+                    chiron_telemetry::histogram_record("fedsim.round.lemma_gap", round_time - eq);
+                }
+            }
+        }
 
         // Countermeasure 3: minimum quorum. Too few survivors ⇒ skip
         // aggregation (accuracy carried), refund every payment, but the
@@ -600,6 +759,7 @@ impl EdgeLearningEnv {
             } else {
                 StepStatus::Ok
             };
+            emit_round_events(&events, self.round);
             return RoundOutcome {
                 status,
                 round: self.round,
@@ -639,6 +799,7 @@ impl EdgeLearningEnv {
                 clamped = true;
             } else {
                 self.done = true;
+                emit_round_events(&events, self.round);
                 return RoundOutcome {
                     status: StepStatus::BudgetExhausted,
                     round: self.round,
@@ -662,11 +823,14 @@ impl EdgeLearningEnv {
             .collect();
         let part_weights: Vec<f64> = participants.iter().map(|&i| self.weights[i]).collect();
         self.round += 1;
-        let accuracy = self.oracle.execute_round(&RoundContext {
-            round: self.round,
-            participants: &participants,
-            weights: &part_weights,
-        });
+        let accuracy = {
+            let _agg_span = chiron_telemetry::span("aggregation");
+            self.oracle.execute_round(&RoundContext {
+                round: self.round,
+                participants: &participants,
+                weights: &part_weights,
+            })
+        };
 
         let status = if clamped {
             self.done = true;
@@ -677,6 +841,17 @@ impl EdgeLearningEnv {
         } else {
             StepStatus::Ok
         };
+
+        emit_round_events(&events, self.round);
+        if chiron_telemetry::enabled() {
+            chiron_telemetry::gauge_set("fedsim.budget.remaining", self.ledger.remaining());
+            if self.config.budget > 0.0 {
+                chiron_telemetry::histogram_record(
+                    "fedsim.budget.spend_rate",
+                    payment_charged / self.config.budget,
+                );
+            }
+        }
 
         RoundOutcome {
             status,

@@ -64,8 +64,8 @@ pub mod oracle;
 
 pub use budget::BudgetLedger;
 pub use env::{
-    ChannelVariation, EdgeLearningEnv, EnvConfig, EnvState, EnvStateError, ResilienceConfig,
-    RoundOutcome, StepStatus,
+    ChannelVariation, EdgeLearningEnv, EnvConfig, EnvConfigBuilder, EnvConfigError, EnvState,
+    EnvStateError, ResilienceConfig, RoundOutcome, StepStatus,
 };
 pub use node::{EdgeNode, NodeParams, NodeResponse};
 

@@ -321,6 +321,86 @@ impl ResilienceEvent {
             ResilienceEvent::Resumed { .. } => "resumed",
         }
     }
+
+    /// Emits this event into the telemetry stream (no-op while telemetry
+    /// is disabled).
+    ///
+    /// Resilience events are one family of the telemetry event stream:
+    /// they are emitted here, at their creation sites (`step`'s return
+    /// paths, the mechanism's rollback detector, the recovery loop) — an
+    /// [`EventLog`], when one is attached, is the typed in-memory view
+    /// over the same occurrences, so nothing is emitted twice.
+    ///
+    /// All payloads are numeric; the rolled-back agent encodes as
+    /// `exterior = 0`, `inner = 1`.
+    pub fn emit(&self, round: usize) {
+        if !chiron_telemetry::enabled() {
+            return;
+        }
+        match *self {
+            ResilienceEvent::FaultFired { node } => {
+                chiron_telemetry::event(self.kind(), round, &[("node", node as f64)]);
+            }
+            ResilienceEvent::FaultHealed { node } => {
+                chiron_telemetry::event(self.kind(), round, &[("node", node as f64)]);
+            }
+            ResilienceEvent::DeadlineEvicted {
+                node,
+                time,
+                deadline,
+            } => {
+                chiron_telemetry::event(
+                    self.kind(),
+                    round,
+                    &[
+                        ("node", node as f64),
+                        ("time", time),
+                        ("deadline", deadline),
+                    ],
+                );
+            }
+            ResilienceEvent::QuorumMissed {
+                participants,
+                quorum,
+            } => {
+                chiron_telemetry::event(
+                    self.kind(),
+                    round,
+                    &[
+                        ("participants", participants as f64),
+                        ("quorum", quorum as f64),
+                    ],
+                );
+            }
+            ResilienceEvent::PriceRetry { attempt, backoff } => {
+                chiron_telemetry::event(
+                    self.kind(),
+                    round,
+                    &[("attempt", attempt as f64), ("backoff", backoff)],
+                );
+            }
+            ResilienceEvent::OverdraftClamped {
+                requested,
+                available,
+            } => {
+                chiron_telemetry::event(
+                    self.kind(),
+                    round,
+                    &[("requested", requested), ("available", available)],
+                );
+            }
+            ResilienceEvent::UpdateRolledBack { agent } => {
+                let code = match agent {
+                    RolledBackAgent::Exterior => 0.0,
+                    RolledBackAgent::Inner => 1.0,
+                };
+                chiron_telemetry::event(self.kind(), round, &[("agent", code)]);
+            }
+            ResilienceEvent::Resumed { episode } => {
+                chiron_telemetry::event(self.kind(), round, &[("episode", episode as f64)]);
+            }
+        }
+    }
 }
 
 /// A [`ResilienceEvent`] stamped with where it happened.

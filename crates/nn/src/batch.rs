@@ -156,6 +156,13 @@ pub fn forward_batched(
     assert!(block_rows > 0, "block_rows must be positive");
     let n = input.dims()[0];
     assert!(n > 0, "forward_batched: empty batch");
+    // Telemetry (observational only): batch-pass traffic and batch sizes.
+    static BATCH_PASSES: chiron_telemetry::Counter =
+        chiron_telemetry::Counter::new("nn.batch.forward_passes");
+    static BATCH_ROWS: chiron_telemetry::Histogram =
+        chiron_telemetry::Histogram::new("nn.batch.rows");
+    BATCH_PASSES.add(1);
+    BATCH_ROWS.record(n as f64);
     if n <= block_rows {
         let output = net.forward(input, train);
         return BatchedPass {

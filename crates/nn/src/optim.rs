@@ -68,8 +68,13 @@ impl Sgd {
     }
 }
 
+/// Telemetry (observational only): optimizer steps across all instances.
+static OPTIMIZER_STEPS: chiron_telemetry::Counter =
+    chiron_telemetry::Counter::new("nn.optimizer.steps");
+
 impl Optimizer for Sgd {
     fn step(&mut self, net: &mut Sequential) {
+        OPTIMIZER_STEPS.add(1);
         let lr = self.lr;
         let momentum = self.momentum;
         let velocity = &mut self.velocity;
@@ -229,6 +234,7 @@ impl Adam {
 
 impl Optimizer for Adam {
     fn step(&mut self, net: &mut Sequential) {
+        OPTIMIZER_STEPS.add(1);
         self.t += 1;
         let (b1, b2, eps, lr) = (self.beta1, self.beta2, self.eps, self.lr);
         let bc1 = 1.0 - b1.powi(self.t as i32);

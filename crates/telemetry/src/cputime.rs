@@ -1,0 +1,80 @@
+//! Per-thread CPU time without libc.
+//!
+//! The workspace links no C code, so `clock_gettime(CLOCK_THREAD_CPUTIME_ID)`
+//! is issued as a raw syscall on Linux (x86_64 / aarch64). Other targets get
+//! `0`, which the span model documents as "unsupported" rather than failing.
+
+/// `CLOCK_THREAD_CPUTIME_ID` from the Linux uapi headers.
+#[cfg(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+))]
+const CLOCK_THREAD_CPUTIME_ID: i64 = 3;
+
+/// CPU time consumed by the calling thread, in nanoseconds.
+///
+/// Returns 0 on targets without a supported raw-syscall path or if the
+/// syscall fails; callers treat 0 as "no CPU-time data".
+#[must_use]
+pub fn thread_cpu_ns() -> u64 {
+    #[cfg(all(
+        target_os = "linux",
+        any(target_arch = "x86_64", target_arch = "aarch64")
+    ))]
+    {
+        // timespec { tv_sec: i64, tv_nsec: i64 } on 64-bit Linux.
+        let mut ts = [0i64; 2];
+        let ret: i64;
+        #[cfg(target_arch = "x86_64")]
+        unsafe {
+            core::arch::asm!(
+                "syscall",
+                inlateout("rax") 228i64 => ret, // __NR_clock_gettime
+                in("rdi") CLOCK_THREAD_CPUTIME_ID,
+                in("rsi") ts.as_mut_ptr(),
+                lateout("rcx") _,
+                lateout("r11") _,
+                options(nostack),
+            );
+        }
+        #[cfg(target_arch = "aarch64")]
+        unsafe {
+            core::arch::asm!(
+                "svc 0",
+                inlateout("x0") CLOCK_THREAD_CPUTIME_ID => ret,
+                in("x1") ts.as_mut_ptr(),
+                in("x8") 113i64, // __NR_clock_gettime
+                options(nostack),
+            );
+        }
+        if ret != 0 {
+            return 0;
+        }
+        (ts[0].max(0) as u64).saturating_mul(1_000_000_000) + ts[1].max(0) as u64
+    }
+    #[cfg(not(all(
+        target_os = "linux",
+        any(target_arch = "x86_64", target_arch = "aarch64")
+    )))]
+    {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::thread_cpu_ns;
+
+    #[test]
+    fn cpu_time_is_monotonic_nondecreasing() {
+        let a = thread_cpu_ns();
+        // Burn a little CPU so the clock has a chance to advance.
+        let mut acc = 0u64;
+        for i in 0..200_000u64 {
+            acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+        }
+        std::hint::black_box(acc);
+        let b = thread_cpu_ns();
+        assert!(b >= a, "thread CPU time went backwards: {a} -> {b}");
+    }
+}

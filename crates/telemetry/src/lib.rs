@@ -1,0 +1,244 @@
+//! Zero-cost-when-disabled structured telemetry for the chiron workspace.
+//!
+//! The crate provides three instrumentation primitives and a sink fan-out:
+//!
+//! - **Spans** ([`span()`]): hierarchical RAII regions
+//!   (`episode > round > {pricing, local_training, aggregation, ppo_update}`)
+//!   with monotonic wall-clock and per-thread CPU timings, streamed to
+//!   sinks as [`Record::SpanStart`]/[`Record::SpanEnd`] pairs.
+//! - **Metrics** ([`Counter`], [`Gauge`], [`Histogram`]): named aggregates
+//!   updated in place on hot paths and emitted once per [`flush`] as
+//!   [`Record::Metric`] lines plus a Prometheus-style dump
+//!   ([`prometheus_text`]).
+//! - **Events** ([`event`]): discrete domain occurrences (faults, quorum
+//!   misses, rollbacks, per-round summaries) with numeric payloads.
+//!
+//! # Determinism contract
+//!
+//! Instrumentation is strictly observational: no API here draws randomness,
+//! reorders floating-point work, or feeds anything back into the training
+//! path. When the global flag is off ([`enabled`] returns `false`, the
+//! default) every entry point returns after one relaxed atomic load — no
+//! allocation, no clock read, no lock. Enabling telemetry therefore cannot
+//! perturb any RNG stream or bitwise result; the workspace asserts this in
+//! `tests/telemetry.rs` at `CHIRON_THREADS=1` and `4`.
+//!
+//! # Sinks
+//!
+//! [`JsonlSink`] streams each record as one JSON line; [`RingBufferSink`]
+//! keeps the last N records in memory for tests; [`prometheus_text`]
+//! renders the aggregate registry in text-exposition format. Install any
+//! `Sink` implementation with [`add_sink`].
+//!
+//! The crate also hosts [`RuntimeConfig`], the single parser for every
+//! `CHIRON_*` environment variable (see its module table), because this is
+//! the one crate every other workspace crate can depend on.
+
+pub mod cputime;
+pub mod record;
+pub mod recorder;
+pub mod runtime;
+pub mod sinks;
+pub mod span;
+
+pub use record::{Field, MetricKind, Record};
+pub use recorder::{
+    add_sink, counter_add, emit, enabled, event, flush, gauge_set, histogram_record,
+    prometheus_text, remove_sink, reset_metrics, set_enabled, Counter, Gauge, Histogram, SinkId,
+};
+pub use runtime::RuntimeConfig;
+pub use sinks::{JsonlSink, RingBufferSink, Sink};
+pub use span::{span, SpanGuard};
+
+use std::io;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// A CLI-oriented session: JSONL sink + enable on open, flush + Prometheus
+/// dump + disable on [`TelemetrySession::finish`].
+///
+/// The Prometheus dump lands next to the JSONL file at `<path>.prom`.
+pub struct TelemetrySession {
+    sink: SinkId,
+    path: PathBuf,
+}
+
+impl TelemetrySession {
+    /// Starts recording to a fresh JSONL file at `path` and enables
+    /// telemetry globally.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if the file cannot be created.
+    pub fn to_jsonl<P: Into<PathBuf>>(path: P) -> io::Result<Self> {
+        let path = path.into();
+        let sink = add_sink(Arc::new(JsonlSink::create(&path)?));
+        set_enabled(true);
+        Ok(Self { sink, path })
+    }
+
+    /// Flushes aggregates into the stream, writes `<path>.prom`, disables
+    /// telemetry, uninstalls the sink, and resets the aggregate registry.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if the Prometheus dump cannot be written (the
+    /// JSONL stream is already flushed and closed by then).
+    pub fn finish(self) -> io::Result<()> {
+        flush();
+        let prom = prometheus_text();
+        set_enabled(false);
+        remove_sink(self.sink);
+        reset_metrics();
+        let mut prom_path = self.path.into_os_string();
+        prom_path.push(".prom");
+        std::fs::write(PathBuf::from(prom_path), prom)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// The recorder is process-global; serialize tests that toggle it.
+    static GATE: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn disabled_is_silent_and_allocation_free_on_the_ring() {
+        let _gate = GATE.lock().unwrap();
+        let ring = Arc::new(RingBufferSink::new(16));
+        let id = add_sink(ring.clone());
+        set_enabled(false);
+        {
+            let _s = span("quiet");
+            counter_add("quiet.counter", 1);
+            histogram_record("quiet.hist", 1.0);
+            gauge_set("quiet.gauge", 1.0);
+            event("quiet_event", 0, &[("x", 1.0)]);
+        }
+        assert!(ring.is_empty(), "disabled telemetry must emit nothing");
+        remove_sink(id);
+    }
+
+    #[test]
+    fn spans_nest_and_round_trip_through_json() {
+        let _gate = GATE.lock().unwrap();
+        let ring = Arc::new(RingBufferSink::new(64));
+        let id = add_sink(ring.clone());
+        set_enabled(true);
+        {
+            let _outer = span("outer");
+            let _inner = span("inner");
+        }
+        set_enabled(false);
+        remove_sink(id);
+
+        let records = ring.records();
+        assert_eq!(records.len(), 4, "2 starts + 2 ends");
+        let (outer_id, inner_parent) = match (&records[0], &records[1]) {
+            (
+                Record::SpanStart { id, name, .. },
+                Record::SpanStart {
+                    parent, name: n2, ..
+                },
+            ) => {
+                assert_eq!(name, "outer");
+                assert_eq!(n2, "inner");
+                (*id, *parent)
+            }
+            other => panic!("unexpected leading records: {other:?}"),
+        };
+        assert_eq!(inner_parent, outer_id, "inner span must nest under outer");
+        for r in &records {
+            let line = serde_json::to_string(r).expect("serialize");
+            let back: Record = serde_json::from_str(&line).expect("parse back");
+            assert_eq!(&back, r, "record must round-trip through JSON");
+        }
+    }
+
+    #[test]
+    fn aggregates_flush_sorted_and_render_prometheus() {
+        let _gate = GATE.lock().unwrap();
+        let ring = Arc::new(RingBufferSink::new(256));
+        let id = add_sink(ring.clone());
+        set_enabled(true);
+        reset_metrics();
+        counter_add("agg.b", 2);
+        counter_add("agg.a", 1);
+        gauge_set("agg.level", 0.5);
+        histogram_record("agg.h", 1.0);
+        histogram_record("agg.h", 3.0);
+        flush();
+        let prom = prometheus_text();
+        set_enabled(false);
+        remove_sink(id);
+        reset_metrics();
+
+        let metric_names: Vec<String> = ring
+            .records()
+            .iter()
+            .filter_map(|r| match r {
+                Record::Metric { name, .. } => Some(name.clone()),
+                _ => None,
+            })
+            .collect();
+        let pos_a = metric_names.iter().position(|n| n == "agg.a").unwrap();
+        let pos_b = metric_names.iter().position(|n| n == "agg.b").unwrap();
+        assert!(pos_a < pos_b, "counters must flush in sorted name order");
+        assert!(metric_names.iter().any(|n| n == "agg.h.count"));
+        assert!(metric_names.iter().any(|n| n == "agg.h.max"));
+        assert!(prom.contains("# TYPE chiron_agg_a counter"));
+        assert!(prom.contains("chiron_agg_h_sum 4"));
+        assert!(prom.contains("chiron_agg_level 0.5"));
+    }
+
+    #[test]
+    fn event_records_payload_and_bumps_counter() {
+        let _gate = GATE.lock().unwrap();
+        let ring = Arc::new(RingBufferSink::new(64));
+        let id = add_sink(ring.clone());
+        set_enabled(true);
+        reset_metrics();
+        event("fault_fired", 7, &[("node", 3.0)]);
+        flush();
+        set_enabled(false);
+        remove_sink(id);
+        reset_metrics();
+
+        let records = ring.records();
+        let ev = records
+            .iter()
+            .find_map(|r| match r {
+                Record::Event {
+                    kind,
+                    round,
+                    fields,
+                } if kind == "fault_fired" => Some((*round, fields.clone())),
+                _ => None,
+            })
+            .expect("event record present");
+        assert_eq!(ev.0, 7);
+        assert_eq!(ev.1[0].key, "node");
+        assert!((ev.1[0].value - 3.0).abs() < 1e-12);
+        assert!(records.iter().any(|r| matches!(
+            r,
+            Record::Metric { name, value, .. } if name == "event.fault_fired" && *value == 1.0
+        )));
+    }
+
+    #[test]
+    fn ring_buffer_drops_oldest_beyond_capacity() {
+        let ring = RingBufferSink::new(2);
+        for i in 0..4u64 {
+            ring.record(&Record::Metric {
+                name: format!("m{i}"),
+                kind: MetricKind::Counter,
+                value: i as f64,
+            });
+        }
+        let records = ring.records();
+        assert_eq!(records.len(), 2);
+        assert!(matches!(&records[0], Record::Metric { name, .. } if name == "m2"));
+    }
+}

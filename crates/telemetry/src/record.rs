@@ -1,0 +1,83 @@
+//! The wire format of the telemetry stream.
+//!
+//! Every sink receives a sequence of [`Record`]s. The model is deliberately
+//! flat and numeric-only so that each record serializes to one JSONL line,
+//! round-trips through the vendored `serde_json`, and can be diffed across
+//! runs without any floating-point formatting ambiguity (values are `f64`,
+//! timings are integer nanoseconds).
+
+use serde::{Deserialize, Serialize};
+
+/// One entry in the telemetry stream.
+///
+/// Span records carry the hierarchy explicitly (`id`/`parent`) so a JSONL
+/// file can be reassembled into a tree offline without relying on line
+/// ordering. Metric records are emitted once per [`crate::flush`] from the
+/// aggregate registry, not per observation, so hot paths never serialize.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Record {
+    /// A span opened. `parent` is `0` for root spans.
+    SpanStart {
+        /// Process-unique span id (monotonic, starts at 1).
+        id: u64,
+        /// Id of the enclosing span on the same thread, or `0`.
+        parent: u64,
+        /// Static span name, e.g. `"round"` or `"ppo_update"`.
+        name: String,
+    },
+    /// A span closed, with its measured durations.
+    SpanEnd {
+        /// Matches the [`Record::SpanStart`] with the same value.
+        id: u64,
+        /// Id of the enclosing span on the same thread, or `0`.
+        parent: u64,
+        /// Static span name (repeated so each line is self-describing).
+        name: String,
+        /// Monotonic wall-clock duration in nanoseconds.
+        wall_ns: u64,
+        /// Thread CPU time in nanoseconds (0 where unsupported).
+        cpu_ns: u64,
+    },
+    /// One aggregate metric value, flushed from the registry.
+    Metric {
+        /// Dotted metric name, e.g. `"tensor.kernel.gflops.max"`.
+        name: String,
+        /// Which aggregate family the value belongs to.
+        kind: MetricKind,
+        /// Counter count, gauge level, or histogram statistic.
+        value: f64,
+    },
+    /// A discrete domain event (fault fired, quorum missed, round summary…).
+    Event {
+        /// Stable event tag, e.g. `"fault_fired"` or `"round"`.
+        kind: String,
+        /// Round index the event belongs to (0 when not round-scoped).
+        round: u64,
+        /// Numeric payload, in emission order.
+        fields: Vec<Field>,
+    },
+}
+
+/// Aggregate family of a [`Record::Metric`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MetricKind {
+    /// Monotonic count of occurrences.
+    Counter,
+    /// Last-set level.
+    Gauge,
+    /// One statistic (`count`/`sum`/`min`/`max`) of a value distribution.
+    Histogram,
+}
+
+/// One `key = value` pair of an [`Record::Event`] payload.
+///
+/// All domain event payloads in this workspace are numeric (ids, times,
+/// amounts), so the value is always `f64`; enum-like payloads encode their
+/// discriminant (e.g. rolled-back agent: exterior = 0, inner = 1).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Field {
+    /// Payload key, e.g. `"node"` or `"accuracy"`.
+    pub key: String,
+    /// Numeric payload value.
+    pub value: f64,
+}

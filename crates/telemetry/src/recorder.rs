@@ -1,0 +1,463 @@
+//! The global recorder: sink registry plus aggregate metric registry.
+//!
+//! Hot-path instrumentation ([`Counter::add`], [`Histogram::record`],
+//! [`Gauge::set`]) only touches in-memory aggregates — a relaxed atomic for
+//! counters and gauges, a short mutex for histograms — and emits no records.
+//! The aggregates are turned into [`Record::Metric`] lines once, by
+//! [`flush`], and into a Prometheus-style dump by [`prometheus_text`].
+//! Span and event records go straight to the sinks as they happen.
+//!
+//! Every entry point loads the global enabled flag first and returns
+//! immediately when telemetry is off, so a disabled build does no
+//! allocation, no formatting, no clock reads, and takes no locks.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::record::{Field, MetricKind, Record};
+use crate::sinks::Sink;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Whether telemetry is currently enabled.
+///
+/// A single relaxed atomic load: instrumentation sites may call this (or an
+/// API that calls it) unconditionally in hot loops.
+#[inline]
+#[must_use]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turns the instrumentation layer on or off globally.
+///
+/// Toggling mid-span is safe: a span opened while disabled stays silent,
+/// one opened while enabled still emits its end record.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::SeqCst);
+}
+
+/// Handle identifying an installed sink, for [`remove_sink`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SinkId(u64);
+
+#[derive(Default)]
+struct HistData {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+#[derive(Default)]
+struct Registry {
+    sinks: Mutex<Vec<(u64, Arc<dyn Sink>)>>,
+    counters: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    /// Gauges store `f64::to_bits`; `f64::NAN` bits mean "never set".
+    gauges: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Mutex<HistData>>>>,
+}
+
+static NEXT_SINK: AtomicU64 = AtomicU64::new(1);
+static NEXT_SPAN: AtomicU64 = AtomicU64::new(1);
+
+fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(Registry::default)
+}
+
+/// Fresh process-unique span id (used by the span module).
+pub(crate) fn next_span_id() -> u64 {
+    NEXT_SPAN.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Installs a sink; it receives every record emitted while enabled.
+pub fn add_sink(sink: Arc<dyn Sink>) -> SinkId {
+    let id = NEXT_SINK.fetch_add(1, Ordering::Relaxed);
+    registry()
+        .sinks
+        .lock()
+        .expect("telemetry sink registry poisoned")
+        .push((id, sink));
+    SinkId(id)
+}
+
+/// Uninstalls a previously added sink. Unknown ids are ignored.
+pub fn remove_sink(id: SinkId) {
+    registry()
+        .sinks
+        .lock()
+        .expect("telemetry sink registry poisoned")
+        .retain(|(sid, _)| *sid != id.0);
+}
+
+/// Delivers one record to every installed sink (no-op while disabled).
+pub fn emit(record: &Record) {
+    if !enabled() {
+        return;
+    }
+    let sinks = registry()
+        .sinks
+        .lock()
+        .expect("telemetry sink registry poisoned");
+    for (_, sink) in sinks.iter() {
+        sink.record(record);
+    }
+}
+
+/// Emits a domain event with a numeric payload (no-op while disabled).
+///
+/// Also bumps the aggregate counter `event.<kind>` so event totals show up
+/// in the metric flush and the Prometheus dump.
+pub fn event(kind: &str, round: usize, fields: &[(&str, f64)]) {
+    if !enabled() {
+        return;
+    }
+    counter_add(&format!("event.{kind}"), 1);
+    let record = Record::Event {
+        kind: kind.to_string(),
+        round: round as u64,
+        fields: fields
+            .iter()
+            .map(|(key, value)| Field {
+                key: (*key).to_string(),
+                value: *value,
+            })
+            .collect(),
+    };
+    emit(&record);
+}
+
+fn counter_cell(name: &str) -> Arc<AtomicU64> {
+    let mut map = registry()
+        .counters
+        .lock()
+        .expect("telemetry counter registry poisoned");
+    if let Some(cell) = map.get(name) {
+        return Arc::clone(cell);
+    }
+    let cell = Arc::new(AtomicU64::new(0));
+    map.insert(name.to_string(), Arc::clone(&cell));
+    cell
+}
+
+fn gauge_cell(name: &str) -> Arc<AtomicU64> {
+    let mut map = registry()
+        .gauges
+        .lock()
+        .expect("telemetry gauge registry poisoned");
+    if let Some(cell) = map.get(name) {
+        return Arc::clone(cell);
+    }
+    let cell = Arc::new(AtomicU64::new(f64::NAN.to_bits()));
+    map.insert(name.to_string(), Arc::clone(&cell));
+    cell
+}
+
+fn histogram_cell(name: &str) -> Arc<Mutex<HistData>> {
+    let mut map = registry()
+        .histograms
+        .lock()
+        .expect("telemetry histogram registry poisoned");
+    if let Some(cell) = map.get(name) {
+        return Arc::clone(cell);
+    }
+    let cell = Arc::new(Mutex::new(HistData::default()));
+    map.insert(name.to_string(), Arc::clone(&cell));
+    cell
+}
+
+/// Adds to a counter by name (registry lookup per call — fine for event
+/// frequency; hot paths should hold a static [`Counter`] instead).
+pub fn counter_add(name: &str, n: u64) {
+    if !enabled() {
+        return;
+    }
+    counter_cell(name).fetch_add(n, Ordering::Relaxed);
+}
+
+/// Sets a gauge by name.
+pub fn gauge_set(name: &str, value: f64) {
+    if !enabled() {
+        return;
+    }
+    gauge_cell(name).store(value.to_bits(), Ordering::Relaxed);
+}
+
+/// Records one histogram observation by name.
+pub fn histogram_record(name: &str, value: f64) {
+    if !enabled() {
+        return;
+    }
+    record_into(&histogram_cell(name), value);
+}
+
+fn record_into(cell: &Mutex<HistData>, value: f64) {
+    let mut h = cell.lock().expect("telemetry histogram poisoned");
+    if h.count == 0 {
+        h.min = value;
+        h.max = value;
+    } else {
+        h.min = h.min.min(value);
+        h.max = h.max.max(value);
+    }
+    h.count += 1;
+    h.sum += value;
+}
+
+/// A named counter with a cached registry slot for hot paths.
+///
+/// Declare as a `static`; the first `add` while enabled registers it, every
+/// later `add` is one relaxed `fetch_add`.
+pub struct Counter {
+    name: &'static str,
+    cell: OnceLock<Arc<AtomicU64>>,
+}
+
+impl Counter {
+    /// A counter under the given dotted name.
+    #[must_use]
+    pub const fn new(name: &'static str) -> Self {
+        Self {
+            name,
+            cell: OnceLock::new(),
+        }
+    }
+
+    /// Adds `n` occurrences (no-op while disabled).
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if !enabled() {
+            return;
+        }
+        self.cell
+            .get_or_init(|| counter_cell(self.name))
+            .fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+/// A named gauge with a cached registry slot.
+pub struct Gauge {
+    name: &'static str,
+    cell: OnceLock<Arc<AtomicU64>>,
+}
+
+impl Gauge {
+    /// A gauge under the given dotted name.
+    #[must_use]
+    pub const fn new(name: &'static str) -> Self {
+        Self {
+            name,
+            cell: OnceLock::new(),
+        }
+    }
+
+    /// Sets the gauge level (no-op while disabled).
+    #[inline]
+    pub fn set(&self, value: f64) {
+        if !enabled() {
+            return;
+        }
+        self.cell
+            .get_or_init(|| gauge_cell(self.name))
+            .store(value.to_bits(), Ordering::Relaxed);
+    }
+}
+
+/// A named histogram (count/sum/min/max) with a cached registry slot.
+pub struct Histogram {
+    name: &'static str,
+    cell: OnceLock<Arc<Mutex<HistData>>>,
+}
+
+impl Histogram {
+    /// A histogram under the given dotted name.
+    #[must_use]
+    pub const fn new(name: &'static str) -> Self {
+        Self {
+            name,
+            cell: OnceLock::new(),
+        }
+    }
+
+    /// Records one observation (no-op while disabled).
+    #[inline]
+    pub fn record(&self, value: f64) {
+        if !enabled() {
+            return;
+        }
+        record_into(self.cell.get_or_init(|| histogram_cell(self.name)), value);
+    }
+}
+
+/// Emits every aggregate as [`Record::Metric`] lines, then flushes sinks.
+///
+/// Call while telemetry is still enabled (emission is gated like everything
+/// else). Metric lines come out in sorted name order, so two runs with the
+/// same aggregates produce byte-identical flush sections.
+pub fn flush() {
+    if enabled() {
+        let reg = registry();
+        let counters: Vec<(String, u64)> = {
+            let map = reg.counters.lock().expect("telemetry counters poisoned");
+            map.iter()
+                .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+                .collect()
+        };
+        for (name, value) in counters {
+            emit(&Record::Metric {
+                name,
+                kind: MetricKind::Counter,
+                value: value as f64,
+            });
+        }
+        let gauges: Vec<(String, f64)> = {
+            let map = reg.gauges.lock().expect("telemetry gauges poisoned");
+            map.iter()
+                .map(|(k, v)| (k.clone(), f64::from_bits(v.load(Ordering::Relaxed))))
+                .collect()
+        };
+        for (name, value) in gauges {
+            if value.is_nan() {
+                continue; // registered but never set
+            }
+            emit(&Record::Metric {
+                name,
+                kind: MetricKind::Gauge,
+                value,
+            });
+        }
+        let hists: Vec<(String, (u64, f64, f64, f64))> = {
+            let map = reg
+                .histograms
+                .lock()
+                .expect("telemetry histograms poisoned");
+            map.iter()
+                .map(|(k, v)| {
+                    let h = v.lock().expect("telemetry histogram poisoned");
+                    (k.clone(), (h.count, h.sum, h.min, h.max))
+                })
+                .collect()
+        };
+        for (name, (count, sum, min, max)) in hists {
+            if count == 0 {
+                continue;
+            }
+            for (suffix, value) in [
+                ("count", count as f64),
+                ("sum", sum),
+                ("min", min),
+                ("max", max),
+            ] {
+                emit(&Record::Metric {
+                    name: format!("{name}.{suffix}"),
+                    kind: MetricKind::Histogram,
+                    value,
+                });
+            }
+        }
+    }
+    let sinks = registry()
+        .sinks
+        .lock()
+        .expect("telemetry sink registry poisoned");
+    for (_, sink) in sinks.iter() {
+        sink.flush();
+    }
+}
+
+/// Zeroes every aggregate in place (handles stay valid). For tests and for
+/// reusing the process across multiple instrumented runs.
+pub fn reset_metrics() {
+    let reg = registry();
+    for cell in reg
+        .counters
+        .lock()
+        .expect("telemetry counters poisoned")
+        .values()
+    {
+        cell.store(0, Ordering::Relaxed);
+    }
+    for cell in reg
+        .gauges
+        .lock()
+        .expect("telemetry gauges poisoned")
+        .values()
+    {
+        cell.store(f64::NAN.to_bits(), Ordering::Relaxed);
+    }
+    for cell in reg
+        .histograms
+        .lock()
+        .expect("telemetry histograms poisoned")
+        .values()
+    {
+        *cell.lock().expect("telemetry histogram poisoned") = HistData::default();
+    }
+}
+
+fn prometheus_name(name: &str) -> String {
+    let sanitized: String = name
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect();
+    format!("chiron_{sanitized}")
+}
+
+fn format_value(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{v:.0}")
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Prometheus text-exposition dump of the aggregate registry.
+///
+/// Works whether or not telemetry is currently enabled (it reads, never
+/// emits), so it can be taken right after a run is disabled.
+#[must_use]
+pub fn prometheus_text() -> String {
+    let reg = registry();
+    let mut out = String::new();
+    {
+        let map = reg.counters.lock().expect("telemetry counters poisoned");
+        for (name, cell) in map.iter() {
+            let p = prometheus_name(name);
+            out.push_str(&format!("# TYPE {p} counter\n"));
+            out.push_str(&format!("{p} {}\n", cell.load(Ordering::Relaxed)));
+        }
+    }
+    {
+        let map = reg.gauges.lock().expect("telemetry gauges poisoned");
+        for (name, cell) in map.iter() {
+            let v = f64::from_bits(cell.load(Ordering::Relaxed));
+            if v.is_nan() {
+                continue;
+            }
+            let p = prometheus_name(name);
+            out.push_str(&format!("# TYPE {p} gauge\n"));
+            out.push_str(&format!("{p} {}\n", format_value(v)));
+        }
+    }
+    {
+        let map = reg
+            .histograms
+            .lock()
+            .expect("telemetry histograms poisoned");
+        for (name, cell) in map.iter() {
+            let h = cell.lock().expect("telemetry histogram poisoned");
+            if h.count == 0 {
+                continue;
+            }
+            let p = prometheus_name(name);
+            out.push_str(&format!("# TYPE {p} summary\n"));
+            out.push_str(&format!("{p}_count {}\n", h.count));
+            out.push_str(&format!("{p}_sum {}\n", format_value(h.sum)));
+            out.push_str(&format!("{p}_min {}\n", format_value(h.min)));
+            out.push_str(&format!("{p}_max {}\n", format_value(h.max)));
+        }
+    }
+    out
+}

@@ -1,0 +1,120 @@
+//! `RuntimeConfig`: the single place that reads `CHIRON_*` environment
+//! variables.
+//!
+//! Every knob the workspace honours is parsed here, once, into a plain
+//! struct that is passed down (CLI) or cached (`global()`, for process-wide
+//! singletons like the worker pool). Consumers keep their own defaulting
+//! and clamping so behaviour is identical to the historical per-site reads.
+//!
+//! | Variable | Type | Consumer | Meaning |
+//! |---|---|---|---|
+//! | `CHIRON_THREADS` | usize ≥ 1 | tensor pool | worker-pool thread count (default: available parallelism) |
+//! | `CHIRON_SCRATCH_CAP` | usize (MiB) | tensor scratch | per-thread arena retention cap (default 64) |
+//! | `CHIRON_QUORUM` | usize | fedsim | minimum participants per round (default 0 = off) |
+//! | `CHIRON_DEADLINE_SLACK` | f64 ≥ 1 | fedsim | Lemma-1 deadline multiplier (default off) |
+//! | `CHIRON_FAULT_SEED` | u64 | CLI | installs the standard fault process with this seed |
+//! | `CHIRON_TELEMETRY` | path | CLI | JSONL telemetry output (same as `--telemetry`) |
+//! | `CHIRON_EPISODES` | usize | bench | episode count override for bench binaries |
+//! | `CHIRON_SEEDS` | usize ≥ 1 | bench | replication count for bench panels |
+//! | `CHIRON_BENCH_SAMPLES` | usize ≥ 1 | bench | timing samples per case (default 20) |
+//! | `CHIRON_BENCH_LABEL` | string | bench | label stored in `BENCH_*.json` (default "current") |
+//! | `CHIRON_BENCH_OUT` | path | bench | output directory for bench artifacts |
+
+use std::sync::OnceLock;
+
+fn parse_var<T: std::str::FromStr>(name: &str) -> Option<T> {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.trim().parse::<T>().ok())
+}
+
+/// All `CHIRON_*` environment knobs, parsed once.
+///
+/// Fields are raw `Option`s (malformed values parse to `None`); each
+/// consumer applies its own default and validity rules, documented on the
+/// accessor it replaced. See the module table for the full list.
+#[derive(Debug, Clone, Default)]
+pub struct RuntimeConfig {
+    /// `CHIRON_THREADS`: requested worker-pool size (pool clamps to ≥ 1).
+    pub threads: Option<usize>,
+    /// `CHIRON_SCRATCH_CAP`: per-thread scratch retention cap in MiB.
+    pub scratch_cap_mib: Option<usize>,
+    /// `CHIRON_QUORUM`: minimum participants per round.
+    pub quorum: Option<usize>,
+    /// `CHIRON_DEADLINE_SLACK`: Lemma-1 deadline multiplier (must be ≥ 1
+    /// and finite to take effect).
+    pub deadline_slack: Option<f64>,
+    /// `CHIRON_FAULT_SEED`: seed for the standard stochastic fault process.
+    pub fault_seed: Option<u64>,
+    /// `CHIRON_TELEMETRY`: JSONL telemetry output path.
+    pub telemetry: Option<String>,
+    /// `CHIRON_EPISODES`: bench episode-count override.
+    pub episodes: Option<usize>,
+    /// `CHIRON_SEEDS`: bench replication count.
+    pub seeds: Option<usize>,
+    /// `CHIRON_BENCH_SAMPLES`: timing samples per bench case.
+    pub bench_samples: Option<usize>,
+    /// `CHIRON_BENCH_LABEL`: label recorded in bench output files.
+    pub bench_label: Option<String>,
+    /// `CHIRON_BENCH_OUT`: bench output directory.
+    pub bench_out: Option<String>,
+}
+
+impl RuntimeConfig {
+    /// Reads every `CHIRON_*` variable from the current environment.
+    ///
+    /// This is a fresh read each call; entry points (CLI `main`, bench
+    /// binaries) call it once and pass the result down. Tests that mutate
+    /// the environment re-read to observe their changes.
+    #[must_use]
+    pub fn from_env() -> Self {
+        Self {
+            threads: parse_var("CHIRON_THREADS"),
+            scratch_cap_mib: parse_var("CHIRON_SCRATCH_CAP"),
+            quorum: parse_var("CHIRON_QUORUM"),
+            deadline_slack: parse_var("CHIRON_DEADLINE_SLACK"),
+            fault_seed: parse_var("CHIRON_FAULT_SEED"),
+            telemetry: std::env::var("CHIRON_TELEMETRY")
+                .ok()
+                .filter(|s| !s.is_empty()),
+            episodes: parse_var("CHIRON_EPISODES"),
+            seeds: parse_var("CHIRON_SEEDS"),
+            bench_samples: parse_var("CHIRON_BENCH_SAMPLES"),
+            bench_label: std::env::var("CHIRON_BENCH_LABEL")
+                .ok()
+                .filter(|s| !s.is_empty()),
+            bench_out: std::env::var("CHIRON_BENCH_OUT")
+                .ok()
+                .filter(|s| !s.is_empty()),
+        }
+    }
+
+    /// Process-wide snapshot, read from the environment on first use.
+    ///
+    /// For singletons whose configuration is fixed for the process lifetime
+    /// (worker pool size, scratch cap). Code that must observe later
+    /// `set_var` calls (tests) should use [`RuntimeConfig::from_env`].
+    #[must_use]
+    pub fn global() -> &'static RuntimeConfig {
+        static GLOBAL: OnceLock<RuntimeConfig> = OnceLock::new();
+        GLOBAL.get_or_init(RuntimeConfig::from_env)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::RuntimeConfig;
+
+    #[test]
+    fn malformed_values_parse_to_none() {
+        // Use a throwaway variable namespace by setting and clearing within
+        // the test; RuntimeConfig::from_env reads live state.
+        std::env::set_var("CHIRON_SCRATCH_CAP", "not-a-number");
+        std::env::set_var("CHIRON_QUORUM", " 3 ");
+        let cfg = RuntimeConfig::from_env();
+        assert_eq!(cfg.scratch_cap_mib, None);
+        assert_eq!(cfg.quorum, Some(3));
+        std::env::remove_var("CHIRON_SCRATCH_CAP");
+        std::env::remove_var("CHIRON_QUORUM");
+    }
+}

@@ -1,0 +1,118 @@
+//! Pluggable telemetry sinks: JSONL stream and in-memory ring buffer.
+//!
+//! A sink receives every [`Record`] emitted while telemetry is enabled. The
+//! contract is deliberately small:
+//!
+//! - `record` must be cheap and must never panic; I/O errors are swallowed
+//!   (telemetry must not be able to fail a training run).
+//! - `record` may be called from any thread; sinks synchronize internally.
+//! - `flush` is called at the end of a run (after aggregate metrics have
+//!   been emitted as records) and should make buffered output durable.
+
+use std::collections::VecDeque;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::Mutex;
+
+use crate::record::Record;
+
+/// Receives every telemetry record while enabled. See the module docs for
+/// the exact contract.
+pub trait Sink: Send + Sync {
+    /// Consumes one record. Must not panic; errors are swallowed.
+    fn record(&self, record: &Record);
+    /// Makes buffered output durable. Default: no-op.
+    fn flush(&self) {}
+}
+
+/// Streams each record as one JSON line to a buffered file.
+pub struct JsonlSink {
+    writer: Mutex<BufWriter<File>>,
+}
+
+impl JsonlSink {
+    /// Creates (truncating) the file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error if the file cannot be created.
+    pub fn create<P: AsRef<Path>>(path: P) -> io::Result<Self> {
+        let file = File::create(path)?;
+        Ok(Self {
+            writer: Mutex::new(BufWriter::new(file)),
+        })
+    }
+}
+
+impl Sink for JsonlSink {
+    fn record(&self, record: &Record) {
+        if let Ok(line) = serde_json::to_string(record) {
+            if let Ok(mut w) = self.writer.lock() {
+                let _ = writeln!(w, "{line}");
+            }
+        }
+    }
+
+    fn flush(&self) {
+        if let Ok(mut w) = self.writer.lock() {
+            let _ = w.flush();
+        }
+    }
+}
+
+/// Keeps the last `capacity` records in memory; the sink used by tests.
+pub struct RingBufferSink {
+    capacity: usize,
+    buf: Mutex<VecDeque<Record>>,
+}
+
+impl RingBufferSink {
+    /// A ring holding at most `capacity` records (oldest dropped first).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            buf: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Snapshot of the buffered records, oldest first.
+    #[must_use]
+    pub fn records(&self) -> Vec<Record> {
+        self.buf
+            .lock()
+            .map(|b| b.iter().cloned().collect())
+            .unwrap_or_default()
+    }
+
+    /// Number of buffered records.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buf.lock().map(|b| b.len()).unwrap_or(0)
+    }
+
+    /// Whether the ring is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops all buffered records.
+    pub fn clear(&self) {
+        if let Ok(mut b) = self.buf.lock() {
+            b.clear();
+        }
+    }
+}
+
+impl Sink for RingBufferSink {
+    fn record(&self, record: &Record) {
+        if let Ok(mut b) = self.buf.lock() {
+            if b.len() == self.capacity {
+                b.pop_front();
+            }
+            b.push_back(record.clone());
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! Hierarchical RAII spans with wall-clock and thread-CPU timings.
+//!
+//! Nesting is tracked per thread: a span opened while another is live on
+//! the same thread records that span as its parent, which reproduces the
+//! `episode > round > {pricing, local_training, aggregation, ppo_update}`
+//! hierarchy without any plumbing through function signatures. Worker-pool
+//! threads never open spans, so the main-thread stack is the whole tree.
+
+use std::cell::RefCell;
+use std::time::Instant;
+
+use crate::cputime;
+use crate::record::Record;
+use crate::recorder::{emit, enabled, next_span_id};
+
+thread_local! {
+    static STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Live span handle; emits the end record (with durations) on drop.
+///
+/// When telemetry is disabled at open time the guard is inert: no id is
+/// allocated, no clock is read, and drop does nothing.
+pub struct SpanGuard {
+    id: u64,
+    parent: u64,
+    name: &'static str,
+    start: Option<Instant>,
+    cpu_start: u64,
+}
+
+/// Opens a span named `name` under the innermost live span of this thread.
+#[must_use = "the span closes when the guard drops; binding it to _ closes it immediately"]
+pub fn span(name: &'static str) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard {
+            id: 0,
+            parent: 0,
+            name,
+            start: None,
+            cpu_start: 0,
+        };
+    }
+    let id = next_span_id();
+    let parent = STACK.with(|s| {
+        let mut s = s.borrow_mut();
+        let parent = s.last().copied().unwrap_or(0);
+        s.push(id);
+        parent
+    });
+    emit(&Record::SpanStart {
+        id,
+        parent,
+        name: name.to_string(),
+    });
+    SpanGuard {
+        id,
+        parent,
+        name,
+        start: Some(Instant::now()),
+        cpu_start: cputime::thread_cpu_ns(),
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(start) = self.start else {
+            return; // opened while disabled
+        };
+        let cpu_ns = cputime::thread_cpu_ns().saturating_sub(self.cpu_start);
+        let wall_ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        STACK.with(|s| {
+            let mut s = s.borrow_mut();
+            // Normally a strict LIFO pop; the retain path only triggers if a
+            // guard outlives its scope unnaturally (e.g. moved across an
+            // early return that skipped an inner guard).
+            if s.last() == Some(&self.id) {
+                s.pop();
+            } else {
+                s.retain(|&id| id != self.id);
+            }
+        });
+        emit(&Record::SpanEnd {
+            id: self.id,
+            parent: self.parent,
+            name: self.name.to_string(),
+            wall_ns,
+            cpu_ns,
+        });
+    }
+}

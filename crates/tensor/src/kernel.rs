@@ -138,7 +138,7 @@ impl<'a> MatView<'a> {
     }
 
     /// `(batch·positions) × channels` view over `(batch, channels,
-    /// positions)` NCHW-flattened data (see [`Layout::BatchCol`]).
+    /// positions)` NCHW-flattened data (see the private `Layout::BatchCol`).
     ///
     /// # Panics
     ///
@@ -224,10 +224,29 @@ pub fn matmul_into(a: &MatView<'_>, b: &MatView<'_>, out: &mut [f32]) {
     let (k2, n) = (b.rows(), b.cols());
     assert_eq!(k, k2, "matmul: inner dims mismatch ({m}x{k}) · ({k2}x{n})");
     assert_eq!(out.len(), m * n, "matmul: output length mismatch");
+    // Telemetry (observational only; no effect on the computation): count
+    // FLOPs always-cheaply, and time the kernel for a GFLOP/s histogram
+    // only when the layer is enabled.
+    static KERNEL_CALLS: chiron_telemetry::Counter =
+        chiron_telemetry::Counter::new("tensor.kernel.calls");
+    static KERNEL_FLOPS: chiron_telemetry::Counter =
+        chiron_telemetry::Counter::new("tensor.kernel.flops");
+    static KERNEL_GFLOPS: chiron_telemetry::Histogram =
+        chiron_telemetry::Histogram::new("tensor.kernel.gflops");
+    let flops = 2 * m * k * n;
+    let start = chiron_telemetry::enabled().then(std::time::Instant::now);
     if m * k * n >= BLOCKED_FLOP_THRESHOLD {
         blocked(a, b, m, k, n, out);
     } else {
         direct(a, b, m, k, n, out);
+    }
+    if let Some(t0) = start {
+        KERNEL_CALLS.add(1);
+        KERNEL_FLOPS.add(flops as u64);
+        let secs = t0.elapsed().as_secs_f64();
+        if secs > 0.0 {
+            KERNEL_GFLOPS.record(flops as f64 / secs / 1e9);
+        }
     }
 }
 

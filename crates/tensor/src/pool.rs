@@ -127,12 +127,12 @@ fn default_threads() -> usize {
         .unwrap_or(1)
 }
 
-/// Initial thread count: `CHIRON_THREADS` if set to a positive integer,
-/// otherwise the machine's available parallelism.
+/// Initial thread count: `CHIRON_THREADS` (via
+/// [`RuntimeConfig`](chiron_telemetry::RuntimeConfig)) if set to a positive
+/// integer, otherwise the machine's available parallelism.
 fn env_threads() -> usize {
-    std::env::var("CHIRON_THREADS")
-        .ok()
-        .and_then(|s| s.trim().parse::<usize>().ok())
+    chiron_telemetry::RuntimeConfig::global()
+        .threads
         .filter(|&n| n > 0)
         .unwrap_or_else(default_threads)
         .clamp(1, MAX_THREADS)
@@ -212,6 +212,13 @@ pub fn parallel_for<F: Fn(usize) + Sync>(blocks: usize, task: F) {
     if blocks == 0 {
         return;
     }
+    // Fan-out traffic for the telemetry layer (observational only).
+    static POOL_REGIONS: chiron_telemetry::Counter =
+        chiron_telemetry::Counter::new("tensor.pool.regions");
+    static POOL_BLOCKS: chiron_telemetry::Counter =
+        chiron_telemetry::Counter::new("tensor.pool.blocks");
+    static POOL_INLINE: chiron_telemetry::Counter =
+        chiron_telemetry::Counter::new("tensor.pool.inline_regions");
     let pool = Pool::global();
     let helpers = pool
         .active
@@ -219,11 +226,14 @@ pub fn parallel_for<F: Fn(usize) + Sync>(blocks: usize, task: F) {
         .min(blocks)
         .saturating_sub(1);
     if helpers == 0 || ON_WORKER.with(|f| f.get()) {
+        POOL_INLINE.add(1);
         for b in 0..blocks {
             task(b);
         }
         return;
     }
+    POOL_REGIONS.add(1);
+    POOL_BLOCKS.add(blocks as u64);
     pool.ensure_workers(helpers);
 
     let task_ref: &(dyn Fn(usize) + Sync) = &task;

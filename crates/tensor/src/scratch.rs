@@ -63,13 +63,13 @@ const BUCKETS: usize = 28;
 static MISSES: AtomicU64 = AtomicU64::new(0);
 
 /// Per-thread retention cap in `f32` elements, from `CHIRON_SCRATCH_CAP`
-/// (MiB, default 64). Read once per process.
+/// (MiB, default 64) via [`RuntimeConfig`](chiron_telemetry::RuntimeConfig).
+/// Read once per process.
 fn cap_elems() -> usize {
     static CAP: OnceLock<usize> = OnceLock::new();
     *CAP.get_or_init(|| {
-        let mib = std::env::var("CHIRON_SCRATCH_CAP")
-            .ok()
-            .and_then(|v| v.trim().parse::<usize>().ok())
+        let mib = chiron_telemetry::RuntimeConfig::global()
+            .scratch_cap_mib
             .unwrap_or(64);
         mib.saturating_mul(1 << 20) / std::mem::size_of::<f32>()
     })
@@ -110,6 +110,14 @@ fn bucket_for_capacity(capacity: usize) -> usize {
 /// A cleared (`len == 0`) vector with capacity for at least `cap` elements,
 /// recycled when possible. Build content with `extend`/`push`/`resize`.
 pub fn take_vec_with_capacity(cap: usize) -> Vec<f32> {
+    // Arena traffic for the telemetry layer: one relaxed-atomic add per
+    // take/miss when enabled, nothing when disabled. Hits are derived as
+    // `takes - misses` at flush time.
+    static SCRATCH_TAKES: chiron_telemetry::Counter =
+        chiron_telemetry::Counter::new("tensor.scratch.takes");
+    static SCRATCH_MISSES: chiron_telemetry::Counter =
+        chiron_telemetry::Counter::new("tensor.scratch.misses");
+    SCRATCH_TAKES.add(1);
     let idx = bucket_for_request(cap);
     let recycled = POOLS
         .try_with(|p| {
@@ -136,6 +144,7 @@ pub fn take_vec_with_capacity(cap: usize) -> Vec<f32> {
         }
         None => {
             MISSES.fetch_add(1, Ordering::Relaxed);
+            SCRATCH_MISSES.add(1);
             let _ = POOLS.try_with(|p| p.borrow_mut().misses += 1);
             Vec::with_capacity(cap.max(MIN_BUCKET).next_power_of_two())
         }

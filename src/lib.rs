@@ -39,13 +39,15 @@ pub use chiron_data;
 pub use chiron_drl;
 pub use chiron_fedsim;
 pub use chiron_nn;
+pub use chiron_telemetry;
 pub use chiron_tensor;
 
 /// The most common imports for working with the reproduction.
 pub mod prelude {
     pub use chiron::{
-        ablation::FlatPpo, exterior_reward, inner_reward, Chiron, ChironConfig, ChironSnapshot,
-        Mechanism, RecoveryOptions, ResumeError, RunCheckpoint,
+        ablation::FlatPpo, exterior_reward, inner_reward, Chiron, ChironConfig,
+        ChironConfigBuilder, ChironSnapshot, ConfigError, Error, Mechanism, RecoveryOptions,
+        ResumeError, RunCheckpoint,
     };
     pub use chiron_baselines::{DpPlanner, DrlSingleRound, Greedy, LemmaOracle, StaticPrice};
     pub use chiron_data::{DatasetKind, DatasetSpec, SyntheticDataset};
@@ -65,5 +67,6 @@ pub mod prelude {
         ResilienceConfig, StepStatus,
     };
     pub use chiron_nn::{write_atomic, Checkpoint, Layer, Optimizer, Sequential};
+    pub use chiron_telemetry::{Record, RingBufferSink, RuntimeConfig, Sink, TelemetrySession};
     pub use chiron_tensor::{Tensor, TensorRng};
 }
