@@ -14,20 +14,25 @@ cargo build --workspace --release --offline
 echo "==> cargo test"
 cargo test -q --workspace --release --offline
 
-echo "==> resilience suites under the thread matrix"
-for t in 1 4; do
+echo "==> determinism + resilience suites under the thread matrix"
+for t in 1 4 8; do
     echo "    CHIRON_THREADS=$t"
     CHIRON_THREADS=$t cargo test -q --release --offline \
-        --test failure_injection --test resilience
+        --test failure_injection --test resilience --test parallel_determinism
 done
 
 echo "==> bench smoke (1 sample per case, scratch output dir)"
-smoke_out="$(mktemp -d)"
+smoke_out="${CHIRON_BENCH_SMOKE_OUT:-$(mktemp -d)}"
+mkdir -p "$smoke_out"
 CHIRON_BENCH_SAMPLES=1 CHIRON_BENCH_OUT="$smoke_out" \
     cargo run -q --release --offline -p chiron-bench --bin bench_kernels
 CHIRON_BENCH_SAMPLES=1 CHIRON_BENCH_OUT="$smoke_out" \
     cargo run -q --release --offline -p chiron-bench --bin bench_nn
-rm -rf "$smoke_out"
+CHIRON_BENCH_SAMPLES=1 CHIRON_BENCH_OUT="$smoke_out" \
+    cargo run -q --release --offline -p chiron-bench --bin bench_episodes
+# Keep the smoke output when the caller asked for it (CI publishes
+# BENCH_episodes.json as a workflow artifact); scratch dirs are removed.
+[ -n "${CHIRON_BENCH_SMOKE_OUT:-}" ] || rm -rf "$smoke_out"
 
 echo "==> cargo doc --no-deps (warnings are errors; own crates only)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline --quiet \

@@ -1,0 +1,84 @@
+//! Machine-readable episode-level bench: real-SGD `TrainingOracle` rounds
+//! on an 8-node fleet and full Chiron episode rollouts, written as
+//! per-case mean/p50/p95 to `BENCH_episodes.json` and keyed by
+//! `CHIRON_BENCH_LABEL` — the episode-level companion to the kernel-level
+//! `BENCH_kernels.json`/`BENCH_nn.json` series.
+//!
+//! The pre-scheduler baseline label is produced with coarse scheduling
+//! disabled (`CHIRON_COARSE=0` forces the serial fallback, i.e. the
+//! sequential per-node / per-cell code path this PR replaced):
+//!
+//! ```text
+//! CHIRON_BENCH_LABEL=pr4 CHIRON_COARSE=0 \
+//!     cargo run --release -p chiron-bench --bin bench_episodes
+//! CHIRON_BENCH_LABEL=pr5 cargo run --release -p chiron-bench --bin bench_episodes
+//! ```
+//!
+//! The `_t1` vs `_t4` cases measure the same code at 1 and 4 pool threads;
+//! coarse node-level parallelism is what separates them on multi-core
+//! hosts (the paper's 5–8-node fleets and small models are too fine for
+//! kernel-level parallelism alone to help).
+
+use chiron::{Chiron, ChironConfig, Mechanism};
+use chiron_bench::make_env;
+use chiron_bench::timing::{time_case, write_results, Run};
+use chiron_data::{DatasetKind, DatasetSpec};
+use chiron_fedsim::oracle::{AccuracyOracle, RoundContext, TrainingOracle};
+use chiron_nn::models::Flatten;
+use chiron_nn::{Linear, Relu, Sequential};
+use chiron_tensor::{pool, TensorRng};
+use std::hint::black_box;
+
+/// The oracle-bench fleet size: large enough that node-level parallelism
+/// has room at 4 threads, small enough for the CI smoke run.
+const NODES: usize = 8;
+
+fn mlp(spec: &DatasetSpec, hidden: usize, seed: u64) -> Sequential {
+    let mut rng = TensorRng::seed_from(seed);
+    let mut net = Sequential::new();
+    net.push(Flatten::new());
+    net.push(Linear::new(spec.pixels(), hidden, &mut rng));
+    net.push(Relu::new());
+    net.push(Linear::new(hidden, spec.classes, &mut rng));
+    net
+}
+
+fn main() {
+    let mut results: Vec<(String, Run)> = Vec::new();
+    let spec = DatasetSpec::for_kind(DatasetKind::MnistLike);
+    let participants: Vec<usize> = (0..NODES).collect();
+    let weights = vec![1.0 / NODES as f64; NODES];
+
+    for threads in [1usize, 4] {
+        pool::set_threads(threads);
+
+        // One federated round of real SGD: every node trains 2 local
+        // epochs on its shard, FedAvg, test-set evaluation.
+        let mut oracle = TrainingOracle::new(&spec, mlp(&spec, 32, 1), NODES, 1280, 2, 16, 0.05, 7);
+        let mut round = 0usize;
+        results.push(time_case(
+            &format!("training_oracle_round_n{NODES}_t{threads}"),
+            || {
+                round += 1;
+                black_box(oracle.execute_round(&RoundContext {
+                    round,
+                    participants: &participants,
+                    weights: &weights,
+                }));
+            },
+        ));
+
+        // One deterministic Chiron episode on the paper's small-scale
+        // MNIST environment (CurveOracle substrate).
+        let mut env = make_env(DatasetKind::MnistLike, 5, 100.0, 42);
+        let mut mech = Chiron::new(&env, ChironConfig::paper(), 42);
+        results.push(time_case(
+            &format!("episode_rollout_mnist5_t{threads}"),
+            || {
+                black_box(mech.run_episode(&mut env));
+            },
+        ));
+    }
+
+    write_results("BENCH_episodes.json", &results);
+}

@@ -4,6 +4,7 @@
 use chiron::{Chiron, ChironConfig, Mechanism};
 use chiron_bench::{episodes_from_env, make_env, write_csv};
 use chiron_data::DatasetKind;
+use chiron_tensor::scope;
 
 const PAPER: [(f64, f64, usize, f64); 4] = [
     (140.0, 0.916, 16, 71.3),
@@ -22,6 +23,20 @@ fn main() {
     chiron.train(&mut env, episodes);
     println!("trained in {:.1?}\n", t0.elapsed());
 
+    // Budget cells are independent deterministic evaluations: each task
+    // restores the trained snapshot into its own replica, so the four
+    // rows compute concurrently and join in table order.
+    let snap = chiron.snapshot();
+    let rows = scope::scope("bench.table1_cells", |s| {
+        s.map(&PAPER, |_, &(budget, ..)| {
+            let mut eval_env = make_env(DatasetKind::MnistLike, 100, budget, seed);
+            let mut replica = Chiron::new(&eval_env, ChironConfig::paper(), seed);
+            snap.restore(&mut replica).expect("same architecture");
+            let (summary, _) = replica.run_episode(&mut eval_env);
+            summary
+        })
+    });
+
     println!(
         "{:>7} | {:>9} {:>7} {:>10} | {:>9} {:>7} {:>10}",
         "η", "acc", "rounds", "time-eff %", "acc", "rounds", "time-eff %"
@@ -30,9 +45,7 @@ fn main() {
     let mut csv = String::from(
         "budget,accuracy,rounds,time_efficiency,paper_accuracy,paper_rounds,paper_time_efficiency\n",
     );
-    for (budget, p_acc, p_rounds, p_te) in PAPER {
-        let mut eval_env = make_env(DatasetKind::MnistLike, 100, budget, seed);
-        let (s, _) = chiron.run_episode(&mut eval_env);
+    for ((budget, p_acc, p_rounds, p_te), s) in PAPER.into_iter().zip(rows) {
         println!(
             "{budget:>7} | {:>9.3} {:>7} {:>10.1} | {p_acc:>9.3} {p_rounds:>7} {p_te:>10.1}",
             s.final_accuracy,

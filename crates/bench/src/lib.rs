@@ -36,6 +36,7 @@ use chiron_baselines::{DrlSingleRound, Greedy};
 use chiron_data::DatasetKind;
 use chiron_fedsim::metrics::EpisodeSummary;
 use chiron_fedsim::{EdgeLearningEnv, EnvConfig};
+use chiron_tensor::scope;
 use std::path::PathBuf;
 
 /// Where experiment CSVs land (`target/experiments/`).
@@ -84,6 +85,11 @@ pub struct Contenders {
 
 impl Contenders {
     /// Trains all three mechanisms on the same task at `train_budget`.
+    ///
+    /// The three trainings are independent (each builds its own
+    /// identically seeded env), so they run as one coarse scope — three
+    /// tasks joined in fixed mechanism order, bitwise-identical to the
+    /// historical sequential loop at any thread count.
     pub fn train(
         kind: DatasetKind,
         nodes: usize,
@@ -91,22 +97,36 @@ impl Contenders {
         episodes: usize,
         seed: u64,
     ) -> Self {
-        let mut env = make_env(kind, nodes, train_budget, seed);
-        let mut chiron = Chiron::new(&env, ChironConfig::paper(), seed);
-        chiron.train(&mut env, episodes);
-
-        let mut env = make_env(kind, nodes, train_budget, seed);
-        let mut drl = DrlSingleRound::new(&env, seed);
-        drl.train(&mut env, episodes);
-
-        let mut env = make_env(kind, nodes, train_budget, seed);
-        let mut greedy = Greedy::new(&env, seed);
-        greedy.train(&mut env, episodes);
-
+        let mut chiron: Option<Chiron> = None;
+        let mut drl: Option<DrlSingleRound> = None;
+        let mut greedy: Option<Greedy> = None;
+        scope::scope("bench.contenders_train", |s| {
+            let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = vec![
+                Box::new(|| {
+                    let mut env = make_env(kind, nodes, train_budget, seed);
+                    let mut m = Chiron::new(&env, ChironConfig::paper(), seed);
+                    m.train(&mut env, episodes);
+                    chiron = Some(m);
+                }),
+                Box::new(|| {
+                    let mut env = make_env(kind, nodes, train_budget, seed);
+                    let mut m = DrlSingleRound::new(&env, seed);
+                    m.train(&mut env, episodes);
+                    drl = Some(m);
+                }),
+                Box::new(|| {
+                    let mut env = make_env(kind, nodes, train_budget, seed);
+                    let mut m = Greedy::new(&env, seed);
+                    m.train(&mut env, episodes);
+                    greedy = Some(m);
+                }),
+            ];
+            s.run(tasks);
+        });
         Self {
-            chiron,
-            drl,
-            greedy,
+            chiron: chiron.expect("chiron training task ran"),
+            drl: drl.expect("drl training task ran"),
+            greedy: greedy.expect("greedy training task ran"),
         }
     }
 
@@ -165,7 +185,7 @@ pub fn seeds_from_env(default: usize) -> usize {
 }
 
 /// [`run_budget_panel`] replicated over several seeds **in parallel** (one
-/// thread per seed via crossbeam's scoped threads), with per-(mechanism,
+/// coarse task per seed on the shared worker pool), with per-(mechanism,
 /// budget) summaries averaged across replications.
 ///
 /// # Panics
@@ -183,19 +203,18 @@ pub fn run_budget_panel_replicated(
     if replications == 1 {
         return run_budget_panel(kind, nodes, budgets, episodes, base_seed);
     }
-    let mut runs: Vec<Vec<PanelPoint>> = Vec::with_capacity(replications);
-    crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = (0..replications)
+    // Seed cells are fully independent; results are collected in seed
+    // order, so the averages below see the same inputs as a serial sweep.
+    let runs: Vec<Vec<PanelPoint>> = scope::scope("bench.panel_replications", |s| {
+        let tasks: Vec<Box<dyn FnOnce() -> Vec<PanelPoint> + Send + '_>> = (0..replications)
             .map(|r| {
                 let seed = base_seed.wrapping_add(r as u64 * 1009);
-                scope.spawn(move |_| run_budget_panel(kind, nodes, budgets, episodes, seed))
+                Box::new(move || run_budget_panel(kind, nodes, budgets, episodes, seed))
+                    as Box<dyn FnOnce() -> Vec<PanelPoint> + Send + '_>
             })
             .collect();
-        for h in handles {
-            runs.push(h.join().expect("replication thread panicked"));
-        }
-    })
-    .expect("crossbeam scope");
+        s.run(tasks)
+    });
 
     // Dispersion digest: accuracy spread per mechanism at the largest budget.
     {
@@ -234,6 +253,11 @@ pub fn run_budget_panel_replicated(
 /// Runs the Fig. 4/5/6 protocol: train the three contenders once at the
 /// median budget, then evaluate each deterministically at every budget of
 /// the sweep. Returns one [`PanelPoint`] per (mechanism, budget).
+///
+/// Evaluation parallelizes per mechanism (each task owns one trained
+/// mechanism and walks the budgets in order with a fresh per-cell env);
+/// eval-mode decisions are RNG-free, so the grid is bitwise-identical to
+/// the historical nested loop.
 pub fn run_budget_panel(
     kind: DatasetKind,
     nodes: usize,
@@ -243,19 +267,44 @@ pub fn run_budget_panel(
 ) -> Vec<PanelPoint> {
     let train_budget = budgets[budgets.len() / 2];
     let mut contenders = Contenders::train(kind, nodes, train_budget, episodes, seed);
-    let mut points = Vec::new();
-    for (name, mechanism) in contenders.as_mechanisms() {
-        for &budget in budgets {
+    let Contenders {
+        chiron,
+        drl,
+        greedy,
+    } = &mut contenders;
+    let rows = scope::scope("bench.budget_panel_eval", |s| {
+        let tasks: Vec<Box<dyn FnOnce() -> Vec<PanelPoint> + Send + '_>> = vec![
+            Box::new(move || eval_budget_cells("chiron", chiron, kind, nodes, budgets, seed)),
+            Box::new(move || eval_budget_cells("drl-based", drl, kind, nodes, budgets, seed)),
+            Box::new(move || eval_budget_cells("greedy", greedy, kind, nodes, budgets, seed)),
+        ];
+        s.run(tasks)
+    });
+    rows.into_iter().flatten().collect()
+}
+
+/// One mechanism's deterministic evaluation row: every budget of the
+/// sweep, each in a fresh env.
+fn eval_budget_cells(
+    name: &'static str,
+    mechanism: &mut dyn Mechanism,
+    kind: DatasetKind,
+    nodes: usize,
+    budgets: &[f64],
+    seed: u64,
+) -> Vec<PanelPoint> {
+    budgets
+        .iter()
+        .map(|&budget| {
             let mut env = make_env(kind, nodes, budget, seed);
             let (summary, _) = mechanism.run_episode(&mut env);
-            points.push(PanelPoint {
+            PanelPoint {
                 mechanism: name,
                 budget,
                 summary,
-            });
-        }
-    }
-    points
+            }
+        })
+        .collect()
 }
 
 /// Prints the three panels of a Fig. 4/5/6-style sweep and returns the CSV

@@ -8,6 +8,7 @@ use chiron_fedsim::faults::FaultProcessConfig;
 use chiron_fedsim::metrics::{rounds_to_csv, EpisodeSummary, EventLog};
 use chiron_fedsim::{EdgeLearningEnv, EnvConfig, ResilienceConfig};
 use chiron_telemetry::{RuntimeConfig, TelemetrySession};
+use chiron_tensor::scope;
 use serde::{Deserialize, Serialize};
 
 /// A fully specified experiment, loadable from JSON (`run --config`).
@@ -256,6 +257,27 @@ fn apply_env_overrides(env: &mut EdgeLearningEnv, rt: &RuntimeConfig) {
     }
 }
 
+/// Applies `--jobs N` (falling back to `CHIRON_JOBS`): resizes the shared
+/// worker pool that both fine-grained tensor regions and coarse scopes
+/// (nodes, sweep cells, eval seeds) draw from. Absent both, the pool keeps
+/// its `CHIRON_THREADS`/available-parallelism sizing. Results are bitwise
+/// identical for every value — only wall-clock changes.
+fn apply_jobs(args: &ParsedArgs, rt: &RuntimeConfig) -> Result<(), CliError> {
+    let jobs = match args.options.get("jobs") {
+        Some(raw) => Some(raw.parse::<usize>().map_err(|_| {
+            CliError::Invalid(format!("invalid --jobs value '{raw}' (expected a count)"))
+        })?),
+        None => rt.jobs,
+    };
+    if let Some(jobs) = jobs {
+        if jobs == 0 {
+            return Err(CliError::Invalid("--jobs must be at least 1".into()));
+        }
+        chiron_tensor::pool::set_threads(jobs);
+    }
+    Ok(())
+}
+
 /// Opens a telemetry session when `--telemetry <path>` (or the
 /// `CHIRON_TELEMETRY` variable) asks for one; `None` means disabled.
 fn telemetry_from(
@@ -306,12 +328,14 @@ pub fn train(args: &ParsedArgs, rt: &RuntimeConfig) -> Result<(), CliError> {
         "seed",
         "out",
         "telemetry",
+        "jobs",
     ])?;
     let kind = dataset_from(args.str_or("dataset", "mnist"))?;
     let nodes: usize = args.parse_or("nodes", 5)?;
     let budget: f64 = args.parse_or("budget", 100.0)?;
     let episodes: usize = args.parse_or("episodes", 300)?;
     let seed: u64 = args.parse_or("seed", 42)?;
+    apply_jobs(args, rt)?;
     let telemetry = telemetry_from(args, rt)?;
 
     let mut env = build_env(kind, nodes, budget, seed, rt)?;
@@ -336,22 +360,36 @@ pub fn train(args: &ParsedArgs, rt: &RuntimeConfig) -> Result<(), CliError> {
     finish_telemetry(telemetry)
 }
 
-/// `chiron-cli eval` — evaluates a snapshot (or a fresh policy) on a task.
+/// `chiron-cli eval` — evaluates a snapshot (or a fresh policy) on a task,
+/// optionally replicated across environment seeds (`--seeds N`, parallel
+/// seed cells).
 pub fn eval(args: &ParsedArgs, rt: &RuntimeConfig) -> Result<(), CliError> {
     args.reject_unknown(&[
         "dataset",
         "nodes",
         "budget",
         "seed",
+        "seeds",
         "model",
         "trace",
         "events",
         "telemetry",
+        "jobs",
     ])?;
     let kind = dataset_from(args.str_or("dataset", "mnist"))?;
     let nodes: usize = args.parse_or("nodes", 5)?;
     let budget: f64 = args.parse_or("budget", 100.0)?;
     let seed: u64 = args.parse_or("seed", 42)?;
+    let seeds: usize = args.parse_or("seeds", 1)?;
+    if seeds == 0 {
+        return Err(CliError::Invalid("--seeds must be at least 1".into()));
+    }
+    if seeds > 1 && (args.options.contains_key("trace") || args.options.contains_key("events")) {
+        return Err(CliError::Invalid(
+            "--trace/--events record a single episode; drop them or use --seeds 1".into(),
+        ));
+    }
+    apply_jobs(args, rt)?;
     let telemetry = telemetry_from(args, rt)?;
 
     let mut env = build_env(kind, nodes, budget, seed, rt)?;
@@ -376,6 +414,11 @@ pub fn eval(args: &ParsedArgs, rt: &RuntimeConfig) -> Result<(), CliError> {
         println!("no --model given: evaluating an untrained policy");
     }
 
+    if seeds > 1 {
+        eval_seed_cells(&mut mech, kind, nodes, budget, seed, seeds, rt)?;
+        return finish_telemetry(telemetry);
+    }
+
     let mut events = EventLog::new();
     let (summary, records) = mech.run_episode_logged(&mut env, 0, &mut events);
     print_summary("evaluation", &summary);
@@ -394,6 +437,51 @@ pub fn eval(args: &ParsedArgs, rt: &RuntimeConfig) -> Result<(), CliError> {
     finish_telemetry(telemetry)
 }
 
+/// Multi-seed evaluation: one coarse task per environment seed, each on a
+/// snapshot-restored replica of `mech`, summaries printed in seed order
+/// plus a mean ± std digest. Bitwise-identical to evaluating the seeds
+/// one after another.
+fn eval_seed_cells(
+    mech: &mut Chiron,
+    kind: DatasetKind,
+    nodes: usize,
+    budget: f64,
+    base_seed: u64,
+    seeds: usize,
+    rt: &RuntimeConfig,
+) -> Result<(), CliError> {
+    let snap = mech.snapshot();
+    let cells: Vec<u64> = (0..seeds as u64)
+        .map(|r| base_seed.wrapping_add(r))
+        .collect();
+    let results: Vec<Result<EpisodeSummary, CliError>> = scope::scope("cli.eval_seeds", |s| {
+        s.map(&cells, |_, &cell_seed| {
+            let mut env = build_env(kind, nodes, budget, cell_seed, rt)?;
+            let mut replica = Chiron::new(&env, ChironConfig::paper(), cell_seed);
+            snap.restore(&mut replica).map_err(|e| CliError::Snapshot {
+                path: "<in-memory snapshot>".into(),
+                source: chiron::Error::from(e),
+            })?;
+            let (summary, _) = replica.run_episode(&mut env);
+            Ok(summary)
+        })
+    });
+    let mut summaries = Vec::with_capacity(seeds);
+    for (cell_seed, result) in cells.iter().zip(results) {
+        let summary = result?;
+        print_summary(&format!("evaluation (seed {cell_seed})"), &summary);
+        summaries.push(summary);
+    }
+    let accs: Vec<f64> = summaries.iter().map(|s| s.final_accuracy).collect();
+    let mean = accs.iter().sum::<f64>() / accs.len() as f64;
+    let var = accs.iter().map(|a| (a - mean).powi(2)).sum::<f64>() / accs.len() as f64;
+    println!(
+        "across {seeds} seeds: accuracy {mean:.4} ± {:.4}",
+        var.sqrt()
+    );
+    Ok(())
+}
+
 /// Parses a comma-separated budget list like `60,80,100`.
 fn budgets_from(raw: &str) -> Result<Vec<f64>, CliError> {
     let budgets: Result<Vec<f64>, _> = raw.split(',').map(|t| t.trim().parse::<f64>()).collect();
@@ -407,12 +495,15 @@ fn budgets_from(raw: &str) -> Result<Vec<f64>, CliError> {
 /// `chiron-cli sweep` — trains once, evaluates across a budget list, and
 /// writes a CSV (the CLI twin of the Fig. 4 protocol).
 pub fn sweep(args: &ParsedArgs, rt: &RuntimeConfig) -> Result<(), CliError> {
-    args.reject_unknown(&["dataset", "nodes", "budgets", "episodes", "seed", "out"])?;
+    args.reject_unknown(&[
+        "dataset", "nodes", "budgets", "episodes", "seed", "out", "jobs",
+    ])?;
     let kind = dataset_from(args.str_or("dataset", "mnist"))?;
     let nodes: usize = args.parse_or("nodes", 5)?;
     let budgets = budgets_from(args.str_or("budgets", "60,80,100,120,140"))?;
     let episodes: usize = args.parse_or("episodes", 300)?;
     let seed: u64 = args.parse_or("seed", 42)?;
+    apply_jobs(args, rt)?;
 
     let train_budget = budgets[budgets.len() / 2];
     println!(
@@ -452,7 +543,8 @@ pub fn sweep(args: &ParsedArgs, rt: &RuntimeConfig) -> Result<(), CliError> {
 /// `chiron-cli run` — executes an experiment file (`--config exp.json`),
 /// or writes a starting template (`--init exp.json`).
 pub fn run(args: &ParsedArgs, rt: &RuntimeConfig) -> Result<(), CliError> {
-    args.reject_unknown(&["config", "init", "out", "telemetry"])?;
+    args.reject_unknown(&["config", "init", "out", "telemetry", "jobs"])?;
+    apply_jobs(args, rt)?;
     if let Some(path) = args.options.get("init") {
         let json = serde_json::to_string_pretty(&ExperimentConfig::template())
             .expect("template serializes");
@@ -491,18 +583,18 @@ pub fn run(args: &ParsedArgs, rt: &RuntimeConfig) -> Result<(), CliError> {
 
 /// `chiron-cli compare` — trains every mechanism and prints the comparison.
 pub fn compare(args: &ParsedArgs, rt: &RuntimeConfig) -> Result<(), CliError> {
-    args.reject_unknown(&["dataset", "nodes", "budget", "episodes", "seed"])?;
+    args.reject_unknown(&["dataset", "nodes", "budget", "episodes", "seed", "jobs"])?;
     let kind = dataset_from(args.str_or("dataset", "mnist"))?;
     let nodes: usize = args.parse_or("nodes", 5)?;
     let budget: f64 = args.parse_or("budget", 100.0)?;
     let episodes: usize = args.parse_or("episodes", 300)?;
     let seed: u64 = args.parse_or("seed", 42)?;
+    apply_jobs(args, rt)?;
 
     println!(
         "comparing mechanisms: dataset {kind}, {nodes} nodes, η = {budget}, {episodes} episodes\n"
     );
     let env0 = build_env(kind, nodes, budget, seed, rt)?;
-    let mut rows: Vec<(&str, EpisodeSummary)> = Vec::new();
 
     let mut chiron = Chiron::new(&env0, ChironConfig::paper(), seed);
     let mut drl = DrlSingleRound::new(&env0, seed);
@@ -510,15 +602,35 @@ pub fn compare(args: &ParsedArgs, rt: &RuntimeConfig) -> Result<(), CliError> {
     let mut planner = DpPlanner::plan(&env0, 2000.0, 0.1, 24, 60);
     let mut fixed = StaticPrice::new(0.5);
 
-    let mechanisms: Vec<&mut dyn Mechanism> =
-        vec![&mut chiron, &mut drl, &mut greedy, &mut planner, &mut fixed];
-    for mech in mechanisms {
+    // Each mechanism trains and evaluates in its own envs, so the five
+    // cells run as one coarse scope; rows join in the fixed display order.
+    fn cell(
+        mech: &mut dyn Mechanism,
+        kind: DatasetKind,
+        nodes: usize,
+        budget: f64,
+        episodes: usize,
+        seed: u64,
+        rt: &RuntimeConfig,
+    ) -> Result<(&'static str, EpisodeSummary), CliError> {
         let mut env = build_env(kind, nodes, budget, seed, rt)?;
         mech.train(&mut env, episodes);
         let mut env = build_env(kind, nodes, budget, seed, rt)?;
         let (summary, _) = mech.run_episode(&mut env);
-        rows.push((mech.name(), summary));
+        Ok((mech.name(), summary))
     }
+    type CellResult = Result<(&'static str, EpisodeSummary), CliError>;
+    let results: Vec<CellResult> = scope::scope("cli.compare", |s| {
+        let tasks: Vec<Box<dyn FnOnce() -> CellResult + Send + '_>> = vec![
+            Box::new(|| cell(&mut chiron, kind, nodes, budget, episodes, seed, rt)),
+            Box::new(|| cell(&mut drl, kind, nodes, budget, episodes, seed, rt)),
+            Box::new(|| cell(&mut greedy, kind, nodes, budget, episodes, seed, rt)),
+            Box::new(|| cell(&mut planner, kind, nodes, budget, episodes, seed, rt)),
+            Box::new(|| cell(&mut fixed, kind, nodes, budget, episodes, seed, rt)),
+        ];
+        s.run(tasks)
+    });
+    let rows: Vec<(&str, EpisodeSummary)> = results.into_iter().collect::<Result<Vec<_>, _>>()?;
 
     println!(
         "{:<12} {:>9} {:>7} {:>10} {:>10} {:>9}",
@@ -559,20 +671,23 @@ commands:
   train     train the hierarchical mechanism
             --dataset mnist|fashion|cifar|tiny (mnist)
             --nodes N (5)  --budget η (100)  --episodes E (300)
-            --seed S (42)  --out snapshot.json
+            --seed S (42)  --out snapshot.json  --jobs J (pool size)
             --telemetry run.jsonl  (structured telemetry stream)
   eval      evaluate a trained snapshot (or an untrained policy)
             --model snapshot.json  --trace rounds.csv
             --events events.jsonl  (resilience event log, one JSON per line)
-            --telemetry run.jsonl  --dataset …  --nodes N  --budget η  --seed S
+            --seeds N  (replicate over N env seeds, parallel cells)
+            --telemetry run.jsonl  --dataset …  --nodes N  --budget η
+            --seed S  --jobs J
   compare   train and compare chiron, drl-based, greedy, dp-planner, static
-            --dataset …  --nodes N  --budget η  --episodes E  --seed S
+            (mechanisms train concurrently; output order is fixed)
+            --dataset …  --nodes N  --budget η  --episodes E  --seed S  --jobs J
   sweep     train once, evaluate across budgets, optionally write CSV
             --budgets 60,80,100,120,140  --out sweep.csv
-            --dataset …  --nodes N  --episodes E  --seed S
+            --dataset …  --nodes N  --episodes E  --seed S  --jobs J
   run       execute a fully specified experiment file
             --config exp.json  [--out snapshot.json]  [--telemetry run.jsonl]
-            --init exp.json    (write a starting template)
+            --init exp.json    (write a starting template)  --jobs J
   info      version and paper reference
 
 environment variables (read once at startup; see README.md for the table):
@@ -581,6 +696,8 @@ environment variables (read once at startup; see README.md for the table):
   CHIRON_QUORUM=N         require ≥ N responders per round (refund otherwise)
   CHIRON_DEADLINE_SLACK=F evict responders slower than F x the Lemma-1 deadline
   CHIRON_THREADS=N        worker-pool size    CHIRON_SCRATCH_CAP=MiB scratch cap
+  CHIRON_JOBS=N           coarse job count (same as --jobs)
+  CHIRON_COARSE=0|1       disable/enable coarse-grained scheduling (default 1)
 "
     .to_owned()
 }

@@ -653,30 +653,39 @@ impl EdgeLearningEnv {
         }
 
         let sigma = self.config.sigma;
+        // Fault/channel perturbations are per-round, not per-attempt: build
+        // each node's effective incarnation once so the price-retry loop
+        // below only recomputes responses instead of rebuilding perturbed
+        // `EdgeNode`s on every attempt.
+        let effective: Vec<Option<EdgeNode>> = self
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(i, node)| {
+                let draw = draws.get(i).copied().unwrap_or_else(FaultDraw::healthy);
+                if !draw.available {
+                    return None;
+                }
+                self.faults
+                    .effective_node(i, executing_round, node)
+                    .map(|n| {
+                        let upload_scale = fading[i] * draw.upload_factor;
+                        if upload_scale == 1.0 && draw.reserve_factor == 1.0 {
+                            n
+                        } else {
+                            let mut params = *n.params();
+                            params.upload_time *= upload_scale;
+                            params.reserve_utility *= draw.reserve_factor;
+                            EdgeNode::new(params)
+                        }
+                    })
+            })
+            .collect();
         let respond_all = |scale: f64| -> Vec<Option<NodeResponse>> {
-            self.nodes
+            effective
                 .iter()
-                .enumerate()
                 .zip(prices)
-                .map(|((i, node), &p)| {
-                    let draw = draws.get(i).copied().unwrap_or_else(FaultDraw::healthy);
-                    if !draw.available {
-                        return None;
-                    }
-                    self.faults
-                        .effective_node(i, executing_round, node)
-                        .and_then(|n| {
-                            let upload_scale = fading[i] * draw.upload_factor;
-                            if upload_scale == 1.0 && draw.reserve_factor == 1.0 {
-                                n.respond(p * scale, sigma)
-                            } else {
-                                let mut params = *n.params();
-                                params.upload_time *= upload_scale;
-                                params.reserve_utility *= draw.reserve_factor;
-                                EdgeNode::new(params).respond(p * scale, sigma)
-                            }
-                        })
-                })
+                .map(|(node, &p)| node.as_ref().and_then(|n| n.respond(p * scale, sigma)))
                 .collect()
         };
 

@@ -23,7 +23,25 @@
 /// ```
 pub fn aggregate(updates: &[(&[f32], f64)]) -> Vec<f32> {
     assert!(!updates.is_empty(), "aggregate needs at least one update");
-    let len = updates[0].0.len();
+    let mut out = vec![0.0f32; updates[0].0.len()];
+    aggregate_into(&mut out, updates);
+    out
+}
+
+/// In-place server-side model replacement: accumulates the weighted
+/// average in a reused per-thread f64 buffer and writes the result
+/// straight into `global` — no intermediate `Vec` per round, unlike the
+/// obvious `global.copy_from_slice(&aggregate(..))` formulation which
+/// allocates (and copies) twice. The accumulation loop order is identical
+/// to [`aggregate`]'s historical one, so results are bitwise-unchanged.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`aggregate`], or if `global`'s
+/// length differs from the updates'.
+pub fn aggregate_into(global: &mut [f32], updates: &[(&[f32], f64)]) {
+    assert!(!updates.is_empty(), "aggregate needs at least one update");
+    let len = global.len();
     let mut total_weight = 0.0f64;
     for (i, (params, w)) in updates.iter().enumerate() {
         assert_eq!(
@@ -35,27 +53,25 @@ pub fn aggregate(updates: &[(&[f32], f64)]) -> Vec<f32> {
         assert!(*w > 0.0, "update {i} has non-positive weight {w}");
         total_weight += w;
     }
-    let mut out = vec![0.0f64; len];
-    for (params, w) in updates {
-        let scale = w / total_weight;
-        for (acc, &p) in out.iter_mut().zip(*params) {
-            *acc += scale * p as f64;
-        }
+    thread_local! {
+        /// f64 accumulator, retained across rounds (the scratch arena is
+        /// f32-only, so the wide accumulator keeps its own slot).
+        static ACC: std::cell::RefCell<Vec<f64>> = const { std::cell::RefCell::new(Vec::new()) };
     }
-    out.into_iter().map(|x| x as f32).collect()
-}
-
-/// In-place server-side model replacement: convenience wrapper that
-/// aggregates and writes into `global`.
-///
-/// # Panics
-///
-/// Panics under the same conditions as [`aggregate`], or if `global`'s
-/// length differs from the updates'.
-pub fn aggregate_into(global: &mut [f32], updates: &[(&[f32], f64)]) {
-    let avg = aggregate(updates);
-    assert_eq!(global.len(), avg.len(), "global model length mismatch");
-    global.copy_from_slice(&avg);
+    ACC.with(|acc| {
+        let mut acc = acc.borrow_mut();
+        acc.clear();
+        acc.resize(len, 0.0f64);
+        for (params, w) in updates {
+            let scale = w / total_weight;
+            for (slot, &p) in acc.iter_mut().zip(*params) {
+                *slot += scale * f64::from(p);
+            }
+        }
+        for (dst, &x) in global.iter_mut().zip(acc.iter()) {
+            *dst = x as f32;
+        }
+    });
 }
 
 #[cfg(test)]

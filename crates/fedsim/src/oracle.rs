@@ -14,7 +14,7 @@
 
 use chiron_data::{partition, DatasetSpec, LearningCurve, SyntheticDataset};
 use chiron_nn::{Optimizer, Sequential, Sgd, SoftmaxCrossEntropy};
-use chiron_tensor::{RngState, TensorRng};
+use chiron_tensor::{scope, RngState, TensorRng};
 use serde::{Deserialize, Serialize};
 
 /// What the oracle gets to see about a completed round.
@@ -312,40 +312,94 @@ impl TrainingOracle {
         self.shards.iter().map(|s| s.len()).collect()
     }
 
+    /// Read-only view of the flattened global model parameters `ω_k` —
+    /// the aggregate state that cross-thread determinism tests pin down
+    /// bitwise.
+    pub fn global_parameters(&self) -> &[f32] {
+        &self.global_params
+    }
+
     /// Evaluates the current global model on the held-out test set.
+    ///
+    /// The 64-sample evaluation chunks run as one coarse scope: each task
+    /// scores its chunk on a clone of the model and the integer
+    /// (correct, total) pairs are reduced in chunk order, so the accuracy
+    /// is bitwise-identical to the serial loop at every thread count.
     pub fn evaluate(&mut self) -> f64 {
         self.model.set_parameters_flat(&self.global_params);
-        let mut correct = 0usize;
-        let mut total = 0usize;
-        for chunk in self.test.batch_indices(64) {
-            let (x, y) = self.test.batch(&chunk);
-            let logits = self.model.forward(&x, false);
-            let preds = logits.argmax_rows();
-            correct += preds.iter().zip(&y).filter(|(p, l)| p == l).count();
-            total += y.len();
+        let chunks = self.test.batch_indices(64);
+        let counts = scope::scope("oracle.evaluate", |s| {
+            if s.serial() || chunks.len() <= 1 {
+                // Serial fallback scores on the resident model directly —
+                // no clones, same integer counts.
+                return chunks
+                    .iter()
+                    .map(|chunk| Self::eval_chunk(&mut self.model, &self.test, chunk))
+                    .collect::<Vec<_>>();
+            }
+            let mut replicas: Vec<Sequential> =
+                (0..chunks.len()).map(|_| self.model.clone()).collect();
+            let test = &self.test;
+            s.map_mut(&mut replicas, |i, model| {
+                Self::eval_chunk(model, test, &chunks[i])
+            })
+        });
+        let (mut correct, mut total) = (0usize, 0usize);
+        for (c, t) in counts {
+            correct += c;
+            total += t;
         }
         correct as f64 / total as f64
     }
 
-    fn train_local(&mut self, node: usize, round: usize) -> Vec<f32> {
-        self.model.set_parameters_flat(&self.global_params);
-        let mut opt = Sgd::with_momentum(self.learning_rate, 0.5);
-        let shard = self.shards[node].clone();
-        for epoch in 0..self.sigma {
+    /// Scores one test chunk: (correct, seen) counts.
+    fn eval_chunk(
+        model: &mut Sequential,
+        test: &SyntheticDataset,
+        chunk: &[usize],
+    ) -> (usize, usize) {
+        let (x, y) = test.batch(chunk);
+        let logits = model.forward(&x, false);
+        let preds = logits.argmax_rows();
+        (
+            preds.iter().zip(&y).filter(|(p, l)| p == l).count(),
+            y.len(),
+        )
+    }
+
+    /// One participant's local training: `sigma` epochs of minibatch SGD
+    /// on `shard`, starting from the parameters already loaded in `model`.
+    ///
+    /// Free of `&self` so each coarse task can own a model clone while
+    /// borrowing its shard in place (the old method cloned the shard every
+    /// round to appease the borrow checker). The RNG stream is keyed by
+    /// `(node, round, epoch)` only, so the schedule is independent of
+    /// which thread runs the task.
+    fn train_shard(
+        model: &mut Sequential,
+        shard: &SyntheticDataset,
+        node: usize,
+        round: usize,
+        sigma: u32,
+        batch_size: usize,
+        learning_rate: f32,
+    ) -> Vec<f32> {
+        let mut opt = Sgd::with_momentum(learning_rate, 0.5);
+        for epoch in 0..sigma {
             // Reshuffle minibatch composition deterministically per epoch.
             let mut order: Vec<usize> = (0..shard.len()).collect();
             let mut rng =
                 TensorRng::seed_from((node as u64) << 32 | (round as u64) << 8 | epoch as u64);
             rng.shuffle(&mut order);
-            for chunk in order.chunks(self.batch_size) {
+            for chunk in order.chunks(batch_size) {
                 let (x, y) = shard.batch(chunk);
-                let logits = self.model.forward(&x, true);
+                let logits = model.forward(&x, true);
                 let (_, grad) = SoftmaxCrossEntropy.forward(&logits, &y);
-                self.model.backward(&grad);
-                opt.step(&mut self.model);
+                model.backward(&grad);
+                opt.step(model);
             }
         }
-        self.model.parameters_flat()
+        model.parameters_flat()
     }
 }
 
@@ -359,14 +413,40 @@ impl AccuracyOracle for TrainingOracle {
         if ctx.participants.is_empty() {
             return self.accuracy;
         }
-        let mut updated: Vec<(Vec<f32>, f64)> = Vec::with_capacity(ctx.participants.len());
-        for (&node, &w) in ctx.participants.iter().zip(ctx.weights) {
+        for &node in ctx.participants {
             assert!(node < self.shards.len(), "participant {node} out of range");
-            let params = self.train_local(node, ctx.round);
-            updated.push((params, w));
         }
-        let refs: Vec<(&[f32], f64)> = updated.iter().map(|(p, w)| (p.as_slice(), *w)).collect();
-        self.global_params = crate::fedavg::aggregate(&refs);
+        // Each participant trains a clone of the global model on its own
+        // (node, round, epoch)-keyed RNG stream; clones are prepared and
+        // results joined in ascending participant order, so the round is
+        // bitwise-identical to sequential local training.
+        self.model.set_parameters_flat(&self.global_params);
+        let mut locals: Vec<Sequential> = ctx
+            .participants
+            .iter()
+            .map(|_| self.model.clone())
+            .collect();
+        let (shards, participants, round) = (&self.shards, ctx.participants, ctx.round);
+        let (sigma, batch_size, learning_rate) = (self.sigma, self.batch_size, self.learning_rate);
+        let updated: Vec<Vec<f32>> = scope::scope("oracle.local_training", |s| {
+            s.map_mut(&mut locals, |i, model| {
+                Self::train_shard(
+                    model,
+                    &shards[participants[i]],
+                    participants[i],
+                    round,
+                    sigma,
+                    batch_size,
+                    learning_rate,
+                )
+            })
+        });
+        let refs: Vec<(&[f32], f64)> = updated
+            .iter()
+            .zip(ctx.weights)
+            .map(|(p, &w)| (p.as_slice(), w))
+            .collect();
+        crate::fedavg::aggregate_into(&mut self.global_params, &refs);
         self.accuracy = self.evaluate();
         self.accuracy
     }

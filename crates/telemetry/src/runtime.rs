@@ -9,6 +9,8 @@
 //! | Variable | Type | Consumer | Meaning |
 //! |---|---|---|---|
 //! | `CHIRON_THREADS` | usize ≥ 1 | tensor pool | worker-pool thread count (default: available parallelism) |
+//! | `CHIRON_JOBS` | usize ≥ 1 | CLI | coarse-grained job count; resizes the pool like `--jobs` |
+//! | `CHIRON_COARSE` | bool (`0`/`1`) | tensor scope | enable coarse-grained task scheduling (default 1) |
 //! | `CHIRON_SCRATCH_CAP` | usize (MiB) | tensor scratch | per-thread arena retention cap (default 64) |
 //! | `CHIRON_QUORUM` | usize | fedsim | minimum participants per round (default 0 = off) |
 //! | `CHIRON_DEADLINE_SLACK` | f64 ≥ 1 | fedsim | Lemma-1 deadline multiplier (default off) |
@@ -28,6 +30,17 @@ fn parse_var<T: std::str::FromStr>(name: &str) -> Option<T> {
         .and_then(|v| v.trim().parse::<T>().ok())
 }
 
+/// Accepts `0`/`1` alongside `true`/`false` (case-insensitive).
+fn parse_bool_var(name: &str) -> Option<bool> {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| match v.trim().to_ascii_lowercase().as_str() {
+            "0" | "false" => Some(false),
+            "1" | "true" => Some(true),
+            _ => None,
+        })
+}
+
 /// All `CHIRON_*` environment knobs, parsed once.
 ///
 /// Fields are raw `Option`s (malformed values parse to `None`); each
@@ -37,6 +50,11 @@ fn parse_var<T: std::str::FromStr>(name: &str) -> Option<T> {
 pub struct RuntimeConfig {
     /// `CHIRON_THREADS`: requested worker-pool size (pool clamps to ≥ 1).
     pub threads: Option<usize>,
+    /// `CHIRON_JOBS`: coarse-grained job count (CLI `--jobs` fallback).
+    pub jobs: Option<usize>,
+    /// `CHIRON_COARSE`: whether the nested-scope scheduler may fan out
+    /// coarse regions (`0`/`false` forces the serial fallback).
+    pub coarse: Option<bool>,
     /// `CHIRON_SCRATCH_CAP`: per-thread scratch retention cap in MiB.
     pub scratch_cap_mib: Option<usize>,
     /// `CHIRON_QUORUM`: minimum participants per round.
@@ -70,6 +88,8 @@ impl RuntimeConfig {
     pub fn from_env() -> Self {
         Self {
             threads: parse_var("CHIRON_THREADS"),
+            jobs: parse_var("CHIRON_JOBS"),
+            coarse: parse_bool_var("CHIRON_COARSE"),
             scratch_cap_mib: parse_var("CHIRON_SCRATCH_CAP"),
             quorum: parse_var("CHIRON_QUORUM"),
             deadline_slack: parse_var("CHIRON_DEADLINE_SLACK"),

@@ -322,7 +322,7 @@ where
 /// True when a region of `blocks` blocks would run inline (serial pool,
 /// trivial region, or nested call from a worker) — the cases where the
 /// fan-out bookkeeping, and its allocations, can be skipped entirely.
-fn runs_inline(blocks: usize) -> bool {
+pub(crate) fn runs_inline(blocks: usize) -> bool {
     threads().min(blocks) <= 1 || ON_WORKER.with(|f| f.get())
 }
 

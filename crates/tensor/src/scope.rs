@@ -1,0 +1,321 @@
+//! Deterministic nested-scope task scheduler built on [`crate::pool`].
+//!
+//! The worker pool (PR 1) parallelizes *fine-grained* tensor regions:
+//! matmul tiles, im2col rows, batch lanes. This module layers a
+//! *coarse-grained* scheduler on top of the same pool for outer regions —
+//! federated nodes training local models, sweep cells of a figure panel,
+//! replicated evaluation seeds. A coarse region is opened with [`scope`],
+//! which hands the body a [`TaskScope`] whose `map`/`map_mut`/`run`
+//! methods fan independent tasks out across the pool workers.
+//!
+//! # Scoping rules
+//!
+//! - **Outer regions claim the workers.** A `TaskScope` fan-out submits
+//!   one block per task to the shared pool; pool workers that pick the
+//!   tasks up run them with `ON_WORKER` set, so any tensor-level region a
+//!   task opens (a matmul inside local training) executes on the serial
+//!   path, inline, on that worker. Coarse regions therefore never compete
+//!   with their own inner regions for threads, and nesting cannot
+//!   deadlock: workers never block on a latch, only callers do.
+//! - **The caller participates.** As in every pool region the spawning
+//!   thread drains the block dispenser too; inner tensor regions it opens
+//!   while draining cooperate with the remaining idle workers.
+//! - **Serial fallback is bitwise-identical.** With one pool thread, a
+//!   single task, coarse scheduling disabled ([`set_coarse`] /
+//!   `CHIRON_COARSE=0`), or when already on a worker, the fan-out
+//!   degenerates to an in-order inline loop — the exact serial program.
+//!
+//! # Determinism argument
+//!
+//! Partitioning is derived from problem size only — one block per task,
+//! never a thread-count-dependent split — and results are joined in
+//! ascending task index order ([`crate::pool::parallel_chunks_map`]
+//! returns block-ordered results). Each task owns its slot exclusively,
+//! so execution order cannot leak into the values; reductions the caller
+//! performs over the returned `Vec` are sequential and fixed-order.
+//! Consequently every `TaskScope` fan-out is bitwise identical to its
+//! serial fallback at any `CHIRON_THREADS`, which
+//! `tests/parallel_determinism.rs` asserts at 1, 4, and 8 threads.
+//!
+//! # Telemetry
+//!
+//! Each scope opens a `chiron-telemetry` span named after the scope
+//! (wall + thread-CPU ns) and maintains:
+//! `tensor.scope.regions` / `tensor.scope.tasks` /
+//! `tensor.scope.inline_regions` (counters) and
+//! `tensor.scope.queue_depth` (histogram of tasks submitted per fan-out
+//! to the steal-free FIFO queue).
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU8, Ordering};
+
+use crate::pool;
+
+static SCOPE_REGIONS: chiron_telemetry::Counter =
+    chiron_telemetry::Counter::new("tensor.scope.regions");
+static SCOPE_TASKS: chiron_telemetry::Counter =
+    chiron_telemetry::Counter::new("tensor.scope.tasks");
+static SCOPE_INLINE: chiron_telemetry::Counter =
+    chiron_telemetry::Counter::new("tensor.scope.inline_regions");
+static SCOPE_QUEUE_DEPTH: chiron_telemetry::Histogram =
+    chiron_telemetry::Histogram::new("tensor.scope.queue_depth");
+
+/// 0 = unread, 1 = enabled, 2 = disabled.
+static COARSE: AtomicU8 = AtomicU8::new(0);
+
+thread_local! {
+    static SCOPE_DEPTH: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Whether coarse-grained scheduling is enabled (default: yes).
+///
+/// First read consults `CHIRON_COARSE` via
+/// [`chiron_telemetry::RuntimeConfig::global`]; `0`/`false` disables all
+/// `TaskScope` fan-outs, forcing the bitwise-identical serial fallback
+/// while leaving fine-grained tensor parallelism untouched. Benches use
+/// the disabled mode as the pre-scheduler baseline.
+#[must_use]
+pub fn coarse_enabled() -> bool {
+    match COARSE.load(Ordering::Relaxed) {
+        1 => true,
+        2 => false,
+        _ => {
+            let on = chiron_telemetry::RuntimeConfig::global()
+                .coarse
+                .unwrap_or(true);
+            COARSE.store(if on { 1 } else { 2 }, Ordering::Relaxed);
+            on
+        }
+    }
+}
+
+/// Overrides the coarse-scheduling flag at runtime (bench baselines,
+/// determinism tests). Fine-grained pool regions are unaffected.
+pub fn set_coarse(on: bool) {
+    COARSE.store(if on { 1 } else { 2 }, Ordering::Relaxed);
+}
+
+/// Restores the previous scope depth even if the body panics.
+struct DepthGuard(usize);
+
+impl Drop for DepthGuard {
+    fn drop(&mut self) {
+        SCOPE_DEPTH.with(|d| d.set(self.0));
+    }
+}
+
+/// A coarse-grained parallel region. Created by [`scope`]; fans tasks out
+/// across the shared worker pool with problem-size-derived partitioning
+/// (one block per task) and in-order result collection.
+pub struct TaskScope {
+    name: &'static str,
+    depth: usize,
+}
+
+impl TaskScope {
+    /// The name this scope was opened with (also the telemetry span name).
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Nesting depth of this scope: 0 for a top-level region, 1 for a
+    /// scope opened inside another scope's body on the same thread.
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// True when fan-outs from this scope run on the inline serial path
+    /// (coarse scheduling disabled, serial pool, or already on a worker).
+    #[must_use]
+    pub fn serial(&self) -> bool {
+        !coarse_enabled() || pool::runs_inline(usize::MAX)
+    }
+
+    /// Runs `f(i, &items[i])` for every item and returns the results in
+    /// ascending item order. Bitwise-identical to the serial loop at any
+    /// thread count.
+    ///
+    /// # Panics
+    ///
+    /// Propagates a panic from `f`.
+    pub fn map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        SCOPE_TASKS.add(items.len() as u64);
+        if !coarse_enabled() || pool::runs_inline(items.len()) {
+            SCOPE_INLINE.add(1);
+            return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        }
+        SCOPE_QUEUE_DEPTH.record(items.len() as f64);
+        // One unit block per task: partitioning depends on the item count
+        // only, and results come back in block (= item) order.
+        let mut unit: Vec<()> = vec![(); items.len()];
+        pool::parallel_chunks_map(&mut unit, 1, |i, _| f(i, &items[i]))
+    }
+
+    /// Runs `f(i, &mut items[i])` for every item and returns the results
+    /// in ascending item order. Each task owns its element exclusively —
+    /// this is the entry point for `Send`-but-not-`Sync` work items such
+    /// as cloned models.
+    ///
+    /// # Panics
+    ///
+    /// Propagates a panic from `f`.
+    pub fn map_mut<T, R, F>(&self, items: &mut [T], f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(usize, &mut T) -> R + Sync,
+    {
+        SCOPE_TASKS.add(items.len() as u64);
+        if !coarse_enabled() || pool::runs_inline(items.len()) {
+            SCOPE_INLINE.add(1);
+            return items.iter_mut().enumerate().map(|(i, t)| f(i, t)).collect();
+        }
+        SCOPE_QUEUE_DEPTH.record(items.len() as f64);
+        pool::parallel_chunks_map(items, 1, |i, chunk| f(i, &mut chunk[0]))
+    }
+
+    /// Runs a vector of heterogeneous one-shot tasks and returns their
+    /// results in task order. Used when the tasks are not a uniform map
+    /// over a slice (e.g. "train Chiron" / "train DRL" / "train Greedy").
+    ///
+    /// # Panics
+    ///
+    /// Propagates a panic from any task.
+    pub fn run<'env, R: Send>(&self, tasks: Vec<Box<dyn FnOnce() -> R + Send + 'env>>) -> Vec<R> {
+        SCOPE_TASKS.add(tasks.len() as u64);
+        if !coarse_enabled() || pool::runs_inline(tasks.len()) {
+            SCOPE_INLINE.add(1);
+            return tasks.into_iter().map(|t| t()).collect();
+        }
+        SCOPE_QUEUE_DEPTH.record(tasks.len() as f64);
+        let mut slots: Vec<Option<Box<dyn FnOnce() -> R + Send + 'env>>> =
+            tasks.into_iter().map(Some).collect();
+        pool::parallel_chunks_map(&mut slots, 1, |_, chunk| {
+            (chunk[0].take().expect("each task slot is consumed once"))()
+        })
+    }
+}
+
+/// Opens a named coarse-grained region and passes a [`TaskScope`] to
+/// `body`. The scope records a telemetry span (`name`, wall + thread-CPU
+/// ns) around the body and tracks nesting depth per thread.
+///
+/// ```
+/// let squares = chiron_tensor::scope::scope("example.squares", |s| {
+///     s.map(&[1usize, 2, 3, 4], |_, &x| x * x)
+/// });
+/// assert_eq!(squares, vec![1, 4, 9, 16]);
+/// ```
+pub fn scope<R>(name: &'static str, body: impl FnOnce(&TaskScope) -> R) -> R {
+    SCOPE_REGIONS.add(1);
+    let _span = chiron_telemetry::span(name);
+    let depth = SCOPE_DEPTH.with(|d| {
+        let prev = d.get();
+        d.set(prev + 1);
+        prev
+    });
+    let _guard = DepthGuard(depth);
+    let s = TaskScope { name, depth };
+    body(&s)
+}
+
+/// One-shot convenience: [`scope`] + [`TaskScope::map`] in a single call.
+///
+/// ```
+/// let doubled =
+///     chiron_tensor::scope::parallel_map_scoped("example.double", &[1.0f32, 2.0], |_, &x| x * 2.0);
+/// assert_eq!(doubled, vec![2.0, 4.0]);
+/// ```
+pub fn parallel_map_scoped<T, R, F>(name: &'static str, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    scope(name, |s| s.map(items, f))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_matches_serial_loop() {
+        let items: Vec<u64> = (0..37).collect();
+        let expect: Vec<u64> = items.iter().map(|&x| x * 3 + 1).collect();
+        let got = scope("test.map", |s| s.map(&items, |_, &x| x * 3 + 1));
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn map_mut_owns_each_element() {
+        let mut items: Vec<Vec<u64>> = (0..9).map(|i| vec![i]).collect();
+        let sums = scope("test.map_mut", |s| {
+            s.map_mut(&mut items, |i, v| {
+                v.push(i as u64 * 10);
+                v.iter().sum::<u64>()
+            })
+        });
+        assert_eq!(sums, vec![0, 11, 22, 33, 44, 55, 66, 77, 88]);
+    }
+
+    #[test]
+    fn run_preserves_task_order() {
+        let mut out = vec![0usize; 3];
+        let (a, rest) = out.split_at_mut(1);
+        let (b, c) = rest.split_at_mut(1);
+        let results = scope("test.run", |s| {
+            let tasks: Vec<Box<dyn FnOnce() -> usize + Send>> = vec![
+                Box::new(|| {
+                    a[0] = 10;
+                    1
+                }),
+                Box::new(|| {
+                    b[0] = 20;
+                    2
+                }),
+                Box::new(|| {
+                    c[0] = 30;
+                    3
+                }),
+            ];
+            s.run(tasks)
+        });
+        assert_eq!(results, vec![1, 2, 3]);
+        assert_eq!(out, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn depth_tracks_nesting_and_recovers() {
+        scope("test.outer", |outer| {
+            assert_eq!(outer.depth(), 0);
+            scope("test.inner", |inner| {
+                assert_eq!(inner.depth(), 1);
+            });
+            // Depth restored after the inner scope closes.
+            scope("test.inner2", |inner| assert_eq!(inner.depth(), 1));
+        });
+        scope("test.after", |s| assert_eq!(s.depth(), 0));
+    }
+
+    #[test]
+    fn disabled_coarse_scheduling_runs_inline_and_identical() {
+        let items: Vec<u64> = (0..16).collect();
+        let parallel = scope("test.coarse_on", |s| {
+            s.map(&items, |i, &x| x * 7 + i as u64)
+        });
+        set_coarse(false);
+        let serial = scope("test.coarse_off", |s| {
+            s.map(&items, |i, &x| x * 7 + i as u64)
+        });
+        set_coarse(true);
+        assert_eq!(parallel, serial);
+    }
+}

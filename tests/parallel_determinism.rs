@@ -8,9 +8,12 @@
 //! [`chiron_tensor::pool::set_threads`] (not the `CHIRON_THREADS` env var,
 //! which is read once per process and would race across tests).
 
+use chiron_bench::run_budget_panel;
+use chiron_data::{DatasetKind, DatasetSpec};
 use chiron_drl::{PpoAgent, PpoConfig, RolloutBuffer};
-use chiron_nn::{models, SoftmaxCrossEntropy};
-use chiron_tensor::{im2col, pool, Conv2dGeometry, Init, TensorRng};
+use chiron_fedsim::oracle::{AccuracyOracle, RoundContext, TrainingOracle};
+use chiron_nn::{models, Linear, Relu, Sequential, SoftmaxCrossEntropy};
+use chiron_tensor::{im2col, pool, scope, Conv2dGeometry, Init, TensorRng};
 
 /// Runs `f` at 1 and at 4 threads, restoring the serial default after.
 fn at_thread_counts<T>(f: impl Fn() -> T) -> (T, T) {
@@ -110,4 +113,84 @@ fn cnn_train_steps_are_bitwise_identical() {
     let (s, p) = at_thread_counts(cnn_train_steps);
     assert_eq!(s.0, p.0, "losses");
     assert_eq!(s.1, p.1, "parameters after two steps");
+}
+
+/// Three federated rounds of real SGD on an 8-node fleet, returning the
+/// global weights and accuracy as raw bits. The coarse scheduler fans the
+/// per-node local trainings and the 64-sample evaluation chunks out across
+/// the pool, so this exercises the nested-scope path end to end.
+fn federated_rounds() -> (Vec<u32>, u64) {
+    let spec = DatasetSpec::tiny();
+    let mut rng = TensorRng::seed_from(5);
+    let mut net = Sequential::new();
+    net.push(models::Flatten::new());
+    net.push(Linear::new(spec.pixels(), 24, &mut rng));
+    net.push(Relu::new());
+    net.push(Linear::new(24, spec.classes, &mut rng));
+    let mut oracle = TrainingOracle::new(&spec, net, 8, 640, 2, 16, 0.05, 9);
+    let participants: Vec<usize> = (0..8).collect();
+    let weights = vec![1.0 / 8.0; 8];
+    for round in 1..=3 {
+        oracle.execute_round(&RoundContext {
+            round,
+            participants: &participants,
+            weights: &weights,
+        });
+    }
+    let bits = oracle
+        .global_parameters()
+        .iter()
+        .map(|p| p.to_bits())
+        .collect();
+    (bits, oracle.accuracy().to_bits())
+}
+
+#[test]
+fn federated_training_is_bitwise_identical_across_thread_counts() {
+    pool::set_threads(1);
+    let (base_params, base_acc) = federated_rounds();
+    for threads in [4usize, 8] {
+        pool::set_threads(threads);
+        let (params, acc) = federated_rounds();
+        assert_eq!(base_params, params, "global weights at {threads} threads");
+        assert_eq!(base_acc, acc, "accuracy at {threads} threads");
+    }
+    pool::set_threads(1);
+}
+
+/// A figure-sweep grid (`run_budget_panel`) must produce bitwise-identical
+/// cells whether the coarse scheduler fans the mechanism trainings and
+/// budget cells out across the pool or everything runs on the caller
+/// thread (`CHIRON_COARSE=0` equivalent).
+#[test]
+fn budget_panel_cells_match_serial_sweep() {
+    let budgets = [60.0, 90.0];
+    let sweep = || run_budget_panel(DatasetKind::MnistLike, 5, &budgets, 2, 33);
+    scope::set_coarse(false);
+    pool::set_threads(1);
+    let serial = sweep();
+    scope::set_coarse(true);
+    pool::set_threads(4);
+    let parallel = sweep();
+    pool::set_threads(1);
+    assert_eq!(serial.len(), parallel.len(), "row count");
+    for (s, p) in serial.iter().zip(&parallel) {
+        assert_eq!(s.mechanism, p.mechanism, "row order");
+        assert_eq!(s.budget.to_bits(), p.budget.to_bits(), "budget");
+        assert_eq!(s.summary, p.summary, "{} @ η={}", s.mechanism, s.budget);
+        assert_eq!(
+            s.summary.final_accuracy.to_bits(),
+            p.summary.final_accuracy.to_bits(),
+            "{} @ η={} accuracy bits",
+            s.mechanism,
+            s.budget
+        );
+        assert_eq!(
+            s.summary.server_utility.to_bits(),
+            p.summary.server_utility.to_bits(),
+            "{} @ η={} utility bits",
+            s.mechanism,
+            s.budget
+        );
+    }
 }
