@@ -30,6 +30,9 @@ CHIRON_BENCH_SAMPLES=1 CHIRON_BENCH_OUT="$smoke_out" \
     cargo run -q --release --offline -p chiron-bench --bin bench_nn
 CHIRON_BENCH_SAMPLES=1 CHIRON_BENCH_OUT="$smoke_out" \
     cargo run -q --release --offline -p chiron-bench --bin bench_episodes
+# bench_fleet caps its size matrix at 10k nodes when CHIRON_BENCH_SAMPLES=1.
+CHIRON_BENCH_SAMPLES=1 CHIRON_BENCH_OUT="$smoke_out" \
+    cargo run -q --release --offline -p chiron-bench --bin bench_fleet
 # Keep the smoke output when the caller asked for it (CI publishes
 # BENCH_episodes.json as a workflow artifact); scratch dirs are removed.
 [ -n "${CHIRON_BENCH_SMOKE_OUT:-}" ] || rm -rf "$smoke_out"

@@ -1,0 +1,142 @@
+//! Fleet-scale environment bench: 20-round episodes at fleet sizes from
+//! the paper's 100 nodes up to 1M, written to `BENCH_fleet.json`.
+//!
+//! The point of the series is the per-round cost model. With
+//! `Participation::Full` every node is priced every round, so an episode
+//! costs O(rounds × fleet). With `Participation::Sampled { per_round: 64 }`
+//! each round touches only the 64 selected nodes (selection, channel
+//! fading, and fault draws are all stateless per-node streams), so the
+//! per-round cost tracks the selected-set size — the `sampled64_*` cases
+//! should stay near-flat from 10k to 1M nodes while `full_*` grows
+//! linearly. Each `Run` records the derived `rounds_per_sec` alongside the
+//! raw episode timings.
+//!
+//! Two fleet-only fault scenarios ride along at 100k nodes: the diurnal
+//! availability wave and a four-region blackout window, both stateless
+//! overlays on the standard per-node fault chains.
+//!
+//! CI runs the smoke subset (`CHIRON_BENCH_SAMPLES=1` caps the matrix at
+//! 10k nodes); the committed record comes from a full run:
+//!
+//! ```text
+//! cargo run --release -p chiron-bench --bin bench_fleet
+//! ```
+
+use chiron_bench::timing::{time_case, write_results, Run};
+use chiron_fedsim::faults::FaultProcessConfig;
+use chiron_fedsim::{EdgeLearningEnv, EnvConfig, Participation};
+use std::hint::black_box;
+
+/// Rounds per timed episode. Long enough that per-round cost dominates
+/// the reset, short enough that the 1M-node full construction stays the
+/// one-off cost outside the timed region.
+const ROUNDS: usize = 20;
+
+/// Selected-set size for the sampled cases (the "selection" a fleet-scale
+/// server would actually price per round).
+const PER_ROUND: usize = 64;
+
+fn fleet_env(nodes: usize, participation: Participation, seed: u64) -> EdgeLearningEnv {
+    let mut config = EnvConfig::builder()
+        .nodes(nodes)
+        .budget(1e15)
+        .oracle_noise(0.0)
+        .participation(participation)
+        .build()
+        .expect("bench config is valid");
+    // The dataset profiles top out at 60k training examples; fleet-scale
+    // runs need at least one example per node.
+    config.dataset.train_size = config.dataset.train_size.max(nodes);
+    EdgeLearningEnv::try_new(config, seed).expect("bench env construction")
+}
+
+/// One episode: reset, then `ROUNDS` steps posting half of each selected
+/// node's price cap. Prices are selection-aligned, so building them is
+/// O(selected) — the full-fleet price vector would itself be O(fleet) and
+/// mask the scaling this bench measures.
+fn run_episode(env: &mut EdgeLearningEnv) {
+    env.reset();
+    let sigma = env.sigma();
+    for round in 1..=ROUNDS {
+        let prices: Vec<f64> = env
+            .selection_for(round)
+            .iter()
+            .map(|&i| env.node(i).price_cap(sigma) * 0.5)
+            .collect();
+        black_box(env.step(&prices));
+        if env.is_done() {
+            break;
+        }
+    }
+}
+
+fn episode_case(name: &str, env: &mut EdgeLearningEnv) -> (String, Run) {
+    let (name, mut run) = time_case(name, || run_episode(env));
+    run.rounds_per_sec = Some(ROUNDS as f64 * 1e3 / run.mean_ms);
+    (name, run)
+}
+
+fn main() {
+    let smoke = chiron_bench::timing::samples_from_env() == 1;
+    let mut results: Vec<(String, Run)> = Vec::new();
+
+    // Full participation: the paper's regime. O(fleet) per round, so the
+    // series stops at 10k nodes.
+    for nodes in [100usize, 10_000] {
+        let mut env = fleet_env(nodes, Participation::Full, 42);
+        results.push(episode_case(
+            &format!("fleet_episode20_full_n{nodes}"),
+            &mut env,
+        ));
+    }
+
+    // Sampled participation: O(selected) per round; the series runs to 1M
+    // nodes (smoke stops at 10k to keep CI fast).
+    let sampled_sizes: &[usize] = if smoke {
+        &[100, 10_000]
+    } else {
+        &[100, 10_000, 100_000, 1_000_000]
+    };
+    for &nodes in sampled_sizes {
+        let mut env = fleet_env(
+            nodes,
+            Participation::Sampled {
+                per_round: PER_ROUND,
+            },
+            42,
+        );
+        results.push(episode_case(
+            &format!("fleet_episode20_sampled{PER_ROUND}_n{nodes}"),
+            &mut env,
+        ));
+    }
+
+    // Fleet-only fault scenarios at 100k nodes (10k in smoke).
+    let scenario_nodes = if smoke { 10_000 } else { 100_000 };
+    let mut env = fleet_env(
+        scenario_nodes,
+        Participation::Sampled {
+            per_round: PER_ROUND,
+        },
+        42,
+    );
+    env.set_fault_process(Some(FaultProcessConfig::diurnal(7)));
+    results.push(episode_case(
+        &format!("fleet_episode20_sampled{PER_ROUND}_diurnal_n{scenario_nodes}"),
+        &mut env,
+    ));
+    let mut env = fleet_env(
+        scenario_nodes,
+        Participation::Sampled {
+            per_round: PER_ROUND,
+        },
+        42,
+    );
+    env.set_fault_process(Some(FaultProcessConfig::regional_outage(7, 1, 5, 15)));
+    results.push(episode_case(
+        &format!("fleet_episode20_sampled{PER_ROUND}_outage_n{scenario_nodes}"),
+        &mut env,
+    ));
+
+    write_results("BENCH_fleet.json", &results);
+}

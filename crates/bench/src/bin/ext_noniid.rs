@@ -23,6 +23,7 @@ fn make_env(volumes: DataVolumes, budget: f64, seed: u64) -> EdgeLearningEnv {
         oracle_noise: 0.004,
         max_rounds: 500,
         channel: ChannelVariation::Static,
+        participation: chiron_fedsim::Participation::Full,
     };
     EdgeLearningEnv::new(config, seed)
 }

@@ -29,6 +29,10 @@ pub struct Run {
     pub samples: usize,
     /// Iterations averaged inside each sample.
     pub iters: usize,
+    /// Derived throughput for round-structured cases (federated rounds
+    /// per second); `None` for plain kernel timings. Absent in older
+    /// records — missing fields deserialize to `None`.
+    pub rounds_per_sec: Option<f64>,
 }
 
 /// One benchmark case with its per-label history.
@@ -108,6 +112,7 @@ pub fn time_case(name: &str, mut f: impl FnMut()) -> (String, Run) {
         min_ms: xs[0],
         samples,
         iters,
+        rounds_per_sec: None,
     };
     println!(
         "{name:<40} mean {:>10.4} ms  p50 {:>10.4}  p95 {:>10.4}  (n={samples}×{iters})",
@@ -191,6 +196,7 @@ mod tests {
                     min_ms: 1.2,
                     samples: 20,
                     iters: 3,
+                    rounds_per_sec: Some(13_333.3),
                 }],
             }],
         };

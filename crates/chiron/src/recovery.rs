@@ -143,8 +143,12 @@ impl RecoveryOptions {
 /// seed would silently change the dynamics — the digest catches that.
 fn fleet_digest(env: &EdgeLearningEnv) -> String {
     let mut acc = 0u64;
-    for node in env.nodes() {
-        let p = node.params();
+    let fleet = env.fleet();
+    for i in 0..fleet.len() {
+        // Read straight off the column store — digesting a 1M-node fleet
+        // must not materialize 1M `EdgeNode`s. Field order matches the
+        // historical per-node digest, so checkpoints stay compatible.
+        let p = fleet.params(i);
         for v in [
             p.freq_max,
             p.freq_min,

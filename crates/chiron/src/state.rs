@@ -89,21 +89,29 @@ impl ExteriorState {
     }
 
     /// Ingests a recorded round: pushes one history frame and refreshes the
-    /// budget/round scalars.
+    /// budget/round scalars. Sampled rounds (selection smaller than the
+    /// fleet) leave unselected nodes' features at zero, exactly like a
+    /// node that declined to participate.
     ///
     /// # Panics
     ///
-    /// Panics if `prices.len()` differs from the fleet size.
+    /// Panics if `prices.len()` matches neither the fleet size nor the
+    /// outcome's selection size.
     pub fn record_round(&mut self, outcome: &RoundOutcome, prices: &[f64]) {
-        assert_eq!(prices.len(), self.nodes, "price vector length mismatch");
+        assert!(
+            prices.len() == self.nodes || prices.len() == outcome.selection.len(),
+            "price vector length mismatch"
+        );
+        let full_prices = prices.len() == self.nodes;
         let mut frame = vec![0.0f64; 3 * self.nodes];
-        for i in 0..self.nodes {
-            let (freq, time) = match &outcome.responses[i] {
+        for (j, &i) in outcome.selection.iter().enumerate() {
+            let (freq, time) = match &outcome.responses[j] {
                 Some(r) => (r.frequency, r.total_time),
                 None => (0.0, 0.0),
             };
+            let price = if full_prices { prices[i] } else { prices[j] };
             frame[i] = freq / self.freq_scale;
-            frame[self.nodes + i] = prices[i] / self.price_scales[i];
+            frame[self.nodes + i] = price / self.price_scales[i];
             frame[2 * self.nodes + i] = time / self.time_scale;
         }
         self.frames.remove(0);

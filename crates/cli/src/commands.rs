@@ -240,7 +240,13 @@ fn build_env(
     }
     let mut config = EnvConfig::paper_small(kind, budget);
     config.fleet.nodes = nodes;
-    let mut env = EdgeLearningEnv::new(config, seed);
+    // CHIRON_FLEET_SAMPLE switches on O(selected) sampled participation;
+    // 0 or unset keeps the paper's full participation.
+    if let Some(per_round) = rt.fleet_sample.filter(|&k| k > 0) {
+        config.participation = chiron_fedsim::Participation::Sampled { per_round };
+    }
+    let mut env =
+        EdgeLearningEnv::try_new(config, seed).map_err(|e| CliError::Invalid(e.to_string()))?;
     apply_env_overrides(&mut env, rt);
     Ok(env)
 }
@@ -695,6 +701,8 @@ environment variables (read once at startup; see README.md for the table):
   CHIRON_FAULT_SEED=U64   install the standard stochastic fault process
   CHIRON_QUORUM=N         require ≥ N responders per round (refund otherwise)
   CHIRON_DEADLINE_SLACK=F evict responders slower than F x the Lemma-1 deadline
+  CHIRON_FLEET_SAMPLE=K   price a K-node sample per round (0/unset = full fleet)
+  CHIRON_FLEET_CLUSTERS=C two-level aggregation over C edge clusters (default 1)
   CHIRON_THREADS=N        worker-pool size    CHIRON_SCRATCH_CAP=MiB scratch cap
   CHIRON_JOBS=N           coarse job count (same as --jobs)
   CHIRON_COARSE=0|1       disable/enable coarse-grained scheduling (default 1)
@@ -936,6 +944,29 @@ mod tests {
         std::env::remove_var("CHIRON_FAULT_SEED");
         let env = build_env(DatasetKind::MnistLike, 3, 50.0, 0, &rt_bad).expect("valid");
         assert!(env.fault_process_config().is_none());
+    }
+
+    #[test]
+    fn fleet_sample_env_var_switches_on_sampling() {
+        std::env::set_var("CHIRON_FLEET_SAMPLE", "2");
+        let rt_set = RuntimeConfig::from_env();
+        std::env::remove_var("CHIRON_FLEET_SAMPLE");
+        let env = build_env(DatasetKind::MnistLike, 5, 50.0, 0, &rt_set).expect("valid");
+        assert_eq!(
+            env.config().participation,
+            chiron_fedsim::Participation::Sampled { per_round: 2 }
+        );
+        assert_eq!(env.selection_for(1).len(), 2);
+
+        // 0 (and unset) keep full participation.
+        std::env::set_var("CHIRON_FLEET_SAMPLE", "0");
+        let rt_zero = RuntimeConfig::from_env();
+        std::env::remove_var("CHIRON_FLEET_SAMPLE");
+        let env = build_env(DatasetKind::MnistLike, 5, 50.0, 0, &rt_zero).expect("valid");
+        assert_eq!(
+            env.config().participation,
+            chiron_fedsim::Participation::Full
+        );
     }
 
     #[test]

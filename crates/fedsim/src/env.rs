@@ -4,13 +4,14 @@
 use crate::faults::{
     FaultDraw, FaultProcess, FaultProcessConfig, FaultSchedule, FaultScheduleError,
 };
-use crate::fleet::{build_fleet, data_weights, FleetConfig};
+use crate::fleet::{Fleet, FleetConfig};
 use crate::metrics::ResilienceEvent;
 use crate::oracle::{AccuracyOracle, CurveOracle, OracleState, OracleStateError, RoundContext};
 use crate::{BudgetLedger, EdgeNode, NodeResponse};
 use chiron_data::{DatasetKind, DatasetSpec};
 use chiron_tensor::{RngState, TensorRng};
 use serde::{Deserialize, Serialize};
+use std::sync::{Arc, OnceLock};
 
 /// Round-to-round variation of each node's uplink.
 ///
@@ -32,6 +33,31 @@ pub enum ChannelVariation {
     },
 }
 
+/// Which nodes the server touches each round.
+///
+/// The paper evaluates fleets of at most 100 nodes, where pricing every
+/// node every round is fine. At fleet scale (100k–1M nodes) the server
+/// only ever selects a small subset per round — `Sampled` makes
+/// [`EdgeLearningEnv::step`] do O(selected) work instead of O(fleet).
+///
+/// The selection for round `k` is a pure function of the environment
+/// seed and `k` (see [`EdgeLearningEnv::selection_for`]), so sampled
+/// episodes replay bitwise-identically across resets, restores, and
+/// thread counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum Participation {
+    /// Every node is priced every round (the paper's setting).
+    #[default]
+    Full,
+    /// A uniform-without-replacement sample of `per_round` nodes is
+    /// priced each round (ascending node order). `per_round ≥ fleet`
+    /// degenerates to `Full`.
+    Sampled {
+        /// Nodes selected per round; must be positive.
+        per_round: usize,
+    },
+}
+
 /// Environment configuration: fleet, dataset, local epochs, budget.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct EnvConfig {
@@ -49,6 +75,8 @@ pub struct EnvConfig {
     pub max_rounds: usize,
     /// Round-to-round uplink variation.
     pub channel: ChannelVariation,
+    /// Per-round participant selection policy.
+    pub participation: Participation,
 }
 
 /// An [`EnvConfig`] field failed validation at
@@ -138,6 +166,19 @@ impl EnvConfigBuilder {
         self
     }
 
+    /// Per-round participant selection policy.
+    pub fn participation(mut self, participation: Participation) -> Self {
+        self.inner.participation = participation;
+        self
+    }
+
+    /// Convenience for [`Participation::Sampled`]: price a uniform sample
+    /// of `per_round` nodes each round.
+    pub fn sample_per_round(mut self, per_round: usize) -> Self {
+        self.inner.participation = Participation::Sampled { per_round };
+        self
+    }
+
     /// Validates the assembled configuration and returns it.
     pub fn build(self) -> Result<EnvConfig, EnvConfigError> {
         let err = |field, reason: &str| EnvConfigError {
@@ -159,6 +200,9 @@ impl EnvConfigBuilder {
         }
         if !(c.oracle_noise >= 0.0 && c.oracle_noise.is_finite()) {
             return Err(err("oracle_noise", "must be non-negative and finite"));
+        }
+        if c.participation == (Participation::Sampled { per_round: 0 }) {
+            return Err(err("participation", "sampled per_round must be positive"));
         }
         Ok(self.inner)
     }
@@ -183,6 +227,7 @@ impl EnvConfig {
             oracle_noise: 0.004,
             max_rounds: 500,
             channel: ChannelVariation::Static,
+            participation: Participation::Full,
         }
     }
 
@@ -196,6 +241,7 @@ impl EnvConfig {
             oracle_noise: 0.004,
             max_rounds: 500,
             channel: ChannelVariation::Static,
+            participation: Participation::Full,
         }
     }
 }
@@ -306,7 +352,12 @@ pub struct RoundOutcome {
     pub status: StepStatus,
     /// 1-based index of this round (unchanged if the round was discarded).
     pub round: usize,
-    /// Per-node responses; `None` for nodes that declined to participate.
+    /// Global node indices selected (and priced) this round, ascending.
+    /// Under [`Participation::Full`] this is `0..num_nodes`.
+    pub selection: Vec<usize>,
+    /// Per-**selected**-node responses, aligned with `selection`
+    /// (`responses[j]` belongs to node `selection[j]`); `None` for nodes
+    /// that declined to participate.
     pub responses: Vec<Option<NodeResponse>>,
     /// Global accuracy after the round (unchanged if discarded).
     pub accuracy: f64,
@@ -342,9 +393,9 @@ impl RoundOutcome {
             .collect()
     }
 
-    /// Total times of **all** nodes, with `0.0` for nodes that declined to
-    /// participate — the per-node `T_{i,k}` exactly as Eqn. 15 sums them,
-    /// where a starved node idles for the whole round.
+    /// Total times of **all selected** nodes, with `0.0` for nodes that
+    /// declined to participate — the per-node `T_{i,k}` exactly as Eqn. 15
+    /// sums them, where a starved node idles for the whole round.
     pub fn all_node_times(&self) -> Vec<f64> {
         self.responses
             .iter()
@@ -355,6 +406,14 @@ impl RoundOutcome {
     /// Number of participating nodes.
     pub fn num_participants(&self) -> usize {
         self.responses.iter().flatten().count()
+    }
+
+    /// `(global node index, response)` for every participating node.
+    pub fn participants(&self) -> impl Iterator<Item = (usize, &NodeResponse)> {
+        self.selection
+            .iter()
+            .zip(&self.responses)
+            .filter_map(|(&i, r)| r.as_ref().map(|resp| (i, resp)))
     }
 
     /// `true` if the episode is over (budget exhausted, clamped final
@@ -393,28 +452,48 @@ impl RoundOutcome {
 /// ```
 pub struct EdgeLearningEnv {
     config: EnvConfig,
-    nodes: Vec<EdgeNode>,
+    fleet: Fleet,
+    // Materialized per-node views, built lazily for the O(fleet) code
+    // paths that still want a `&[EdgeNode]` (Lemma 1, baselines). The
+    // O(selected) hot path never touches it.
+    nodes_cache: OnceLock<Vec<EdgeNode>>,
     weights: Vec<f64>,
     oracle: Box<dyn AccuracyOracle>,
     ledger: BudgetLedger,
-    faults: FaultSchedule,
+    // Immutable per episode, shared with snapshots instead of cloned.
+    faults: Arc<FaultSchedule>,
     fault_process: Option<FaultProcess>,
     resilience: ResilienceConfig,
     channel_rng: TensorRng,
     channel_seed: u64,
+    selection_seed: u64,
     round: usize,
     done: bool,
 }
 
 impl EdgeLearningEnv {
     /// Builds the environment with the default fast [`CurveOracle`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid; [`EdgeLearningEnv::try_new`]
+    /// is the non-panicking equivalent.
     pub fn new(config: EnvConfig, seed: u64) -> Self {
+        match Self::try_new(config, seed) {
+            Ok(env) => env,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Builds the environment with the default fast [`CurveOracle`],
+    /// returning a typed error instead of panicking on a bad config.
+    pub fn try_new(config: EnvConfig, seed: u64) -> Result<Self, EnvConfigError> {
         let oracle = Box::new(CurveOracle::new(
             config.dataset.curve,
             config.oracle_noise,
             seed ^ 0x0AC1E,
         ));
-        Self::with_oracle(config, oracle, seed)
+        Self::try_with_oracle(config, oracle, seed)
     }
 
     /// Builds the environment with a caller-provided oracle (e.g. the real
@@ -422,27 +501,56 @@ impl EdgeLearningEnv {
     ///
     /// # Panics
     ///
-    /// Panics if the configuration is invalid (zero nodes, non-positive
-    /// budget).
+    /// Panics if the configuration is invalid (zero nodes, bad upload
+    /// model, dataset smaller than the fleet);
+    /// [`EdgeLearningEnv::try_with_oracle`] is the non-panicking
+    /// equivalent.
     pub fn with_oracle(config: EnvConfig, oracle: Box<dyn AccuracyOracle>, seed: u64) -> Self {
-        let nodes = build_fleet(&config.fleet, &config.dataset, seed);
-        let weights = data_weights(&nodes);
+        match Self::try_with_oracle(config, oracle, seed) {
+            Ok(env) => env,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Builds the environment with a caller-provided oracle, returning a
+    /// typed error instead of panicking on a bad config.
+    pub fn try_with_oracle(
+        config: EnvConfig,
+        oracle: Box<dyn AccuracyOracle>,
+        seed: u64,
+    ) -> Result<Self, EnvConfigError> {
+        if config.participation == (Participation::Sampled { per_round: 0 }) {
+            return Err(EnvConfigError {
+                field: "participation",
+                reason: "sampled per_round must be positive".to_string(),
+            });
+        }
+        if !(config.budget > 0.0 && config.budget.is_finite()) {
+            return Err(EnvConfigError {
+                field: "budget",
+                reason: "must be positive and finite".to_string(),
+            });
+        }
+        let fleet = Fleet::generate(&config.fleet, &config.dataset, seed)?;
+        let weights = fleet.data_weights();
         let ledger = BudgetLedger::new(config.budget);
         let channel_seed = seed ^ 0xC4A7;
-        Self {
+        Ok(Self {
             config,
-            nodes,
+            fleet,
+            nodes_cache: OnceLock::new(),
             weights,
             oracle,
             ledger,
-            faults: FaultSchedule::none(),
+            faults: Arc::new(FaultSchedule::none()),
             fault_process: None,
             resilience: ResilienceConfig::default(),
             channel_rng: TensorRng::seed_from(channel_seed),
             channel_seed,
+            selection_seed: seed ^ 0x5E1EC7,
             round: 0,
             done: false,
-        }
+        })
     }
 
     /// Installs a failure-injection schedule (see [`crate::faults`]).
@@ -454,8 +562,8 @@ impl EdgeLearningEnv {
     /// Returns [`FaultScheduleError::NodeOutOfRange`] if any fault targets
     /// a node index outside the fleet; the previous schedule is kept.
     pub fn set_faults(&mut self, faults: FaultSchedule) -> Result<(), FaultScheduleError> {
-        faults.validate_nodes(self.nodes.len())?;
-        self.faults = faults;
+        faults.validate_nodes(self.fleet.len())?;
+        self.faults = Arc::new(faults);
         Ok(())
     }
 
@@ -469,7 +577,7 @@ impl EdgeLearningEnv {
     /// persists across [`EdgeLearningEnv::reset`], so every episode replays
     /// the same fault trajectory.
     pub fn set_fault_process(&mut self, config: Option<FaultProcessConfig>) {
-        self.fault_process = config.map(|c| FaultProcess::new(c, self.nodes.len()));
+        self.fault_process = config.map(|c| FaultProcess::new(c, self.fleet.len()));
     }
 
     /// The installed fault-process configuration, if any.
@@ -490,7 +598,7 @@ impl EdgeLearningEnv {
 
     /// Number of edge nodes.
     pub fn num_nodes(&self) -> usize {
-        self.nodes.len()
+        self.fleet.len()
     }
 
     /// Local epochs per round.
@@ -503,18 +611,56 @@ impl EdgeLearningEnv {
         &self.config
     }
 
-    /// Borrow node `i`.
+    /// The column-store fleet backing this environment.
+    pub fn fleet(&self) -> &Fleet {
+        &self.fleet
+    }
+
+    /// Node `i`, constructed on demand from the column store.
     ///
     /// # Panics
     ///
     /// Panics if `i` is out of range.
-    pub fn node(&self, i: usize) -> &EdgeNode {
-        &self.nodes[i]
+    pub fn node(&self, i: usize) -> EdgeNode {
+        self.fleet.node(i)
     }
 
-    /// All nodes.
+    /// All nodes as an array-of-structs view, materialized lazily on
+    /// first call and cached (the fleet itself is immutable). The
+    /// O(selected) step path never calls this; prefer
+    /// [`EdgeLearningEnv::fleet`] at fleet scale.
     pub fn nodes(&self) -> &[EdgeNode] {
-        &self.nodes
+        self.nodes_cache.get_or_init(|| self.fleet.to_nodes())
+    }
+
+    /// The deterministic participant set for the 1-based round `round`,
+    /// in ascending node order. A pure function of the constructor seed
+    /// and `round` — independent of episode history, thread count, and
+    /// call order — so sampled episodes replay bitwise-identically and
+    /// policies can preview future selections.
+    pub fn selection_for(&self, round: usize) -> Vec<usize> {
+        let n = self.fleet.len();
+        match self.config.participation {
+            Participation::Full => (0..n).collect(),
+            Participation::Sampled { per_round } => {
+                if per_round >= n {
+                    return (0..n).collect();
+                }
+                let mut rng = TensorRng::seed_from(
+                    self.selection_seed ^ (round as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                );
+                let mut chosen = std::collections::HashSet::with_capacity(per_round);
+                let mut picks = Vec::with_capacity(per_round);
+                while picks.len() < per_round {
+                    let i = rng.index(n);
+                    if chosen.insert(i) {
+                        picks.push(i);
+                    }
+                }
+                picks.sort_unstable();
+                picks
+            }
+        }
     }
 
     /// Per-node data weights `D_i/D`.
@@ -550,10 +696,25 @@ impl EdgeLearningEnv {
     /// Sum of per-node price caps — a natural upper bound for total-price
     /// actions.
     pub fn total_price_cap(&self) -> f64 {
-        self.nodes
-            .iter()
-            .map(|n| n.price_cap(self.config.sigma))
+        (0..self.fleet.len())
+            .map(|i| self.fleet.node(i).price_cap(self.config.sigma))
             .sum()
+    }
+
+    /// Lemma-1 reference time for the round's posted fleet: the
+    /// equalized round time over the **selected** nodes' unperturbed
+    /// incarnations. O(selected) under sampling.
+    fn equalized_reference(&self, selection: &[usize], total_posted: f64) -> f64 {
+        let sigma = self.config.sigma;
+        match self.config.participation {
+            Participation::Full => {
+                crate::lemma::equalized_round_time(self.nodes(), sigma, total_posted)
+            }
+            Participation::Sampled { .. } => {
+                let sel: Vec<EdgeNode> = selection.iter().map(|&i| self.fleet.node(i)).collect();
+                crate::lemma::equalized_round_time(&sel, sigma, total_posted)
+            }
+        }
     }
 
     /// Starts a new episode: fresh budget, reset oracle, same fleet, and
@@ -584,53 +745,90 @@ impl EdgeLearningEnv {
     ///
     /// # Panics
     ///
-    /// Panics if `prices.len() != num_nodes()`, any price is negative, or
-    /// the episode is already done.
+    /// Panics if `prices.len()` matches neither this round's selection
+    /// size nor the fleet size, any price is negative, or the episode is
+    /// already done. Full-length price vectors are accepted under
+    /// sampling for caller convenience — only the selected entries are
+    /// read.
     pub fn step(&mut self, prices: &[f64]) -> RoundOutcome {
         assert!(!self.done, "episode is done; call reset()");
-        assert_eq!(
-            prices.len(),
-            self.nodes.len(),
-            "got {} prices for {} nodes",
-            prices.len(),
-            self.nodes.len()
-        );
-
         let executing_round = self.round + 1;
+        let selection = self.selection_for(executing_round);
+        let m = selection.len();
+        let n = self.fleet.len();
+        assert!(
+            prices.len() == m || prices.len() == n,
+            "got {} prices for {} selected of {} nodes",
+            prices.len(),
+            m,
+            n
+        );
+        let full_prices = prices.len() == n;
+        // Price for selection slot `j` (identity mapping under `Full`).
+        let price_of = |j: usize| {
+            if full_prices {
+                prices[selection[j]]
+            } else {
+                prices[j]
+            }
+        };
+        let total_posted: f64 = (0..m).map(price_of).sum();
+
         let mut events: Vec<ResilienceEvent> = Vec::new();
         // Telemetry: the local-training phase covers fault/channel draws,
         // node responses, and the node-side countermeasures (price retry,
         // deadline eviction); it closes before the PS-side bookkeeping.
         let lt_span = chiron_telemetry::span("local_training");
-        // Per-round channel fading multipliers (drawn even for nodes that
-        // end up declining, so the stream stays aligned across policies).
+        // Per-round channel fading multipliers, aligned with `selection`
+        // (drawn even for nodes that end up declining, so the stream stays
+        // aligned across policies). Full participation keeps the
+        // historical sequential stream; sampling switches to stateless
+        // counter-based draws keyed by `(node, round)` so untouched nodes
+        // cost nothing and the stream is independent of selection order.
         let fading: Vec<f64> = match self.config.channel {
-            ChannelVariation::Static => vec![1.0; self.nodes.len()],
+            ChannelVariation::Static => vec![1.0; m],
             ChannelVariation::LogNormal { sigma } => {
                 assert!(sigma > 0.0, "fading sigma must be positive");
-                (0..self.nodes.len())
-                    .map(|_| {
-                        // exp(σz − σ²/2) has mean exactly 1.
-                        (sigma * self.channel_rng.normal() - 0.5 * sigma * sigma).exp()
-                    })
-                    .collect()
+                match self.config.participation {
+                    Participation::Full => (0..n)
+                        .map(|_| {
+                            // exp(σz − σ²/2) has mean exactly 1.
+                            (sigma * self.channel_rng.normal() - 0.5 * sigma * sigma).exp()
+                        })
+                        .collect(),
+                    Participation::Sampled { .. } => selection
+                        .iter()
+                        .map(|&i| {
+                            let z = crate::faults::counter_normal(
+                                self.channel_seed,
+                                i as u64,
+                                executing_round as u64,
+                            );
+                            (sigma * z - 0.5 * sigma * sigma).exp()
+                        })
+                        .collect(),
+                }
             }
         };
 
-        // Stochastic fault draws for this round, plus availability
-        // transition events relative to the previous round.
+        // Stochastic fault draws for this round's selection, plus
+        // availability transition events relative to the previous round.
+        // Each selected node advances its own lazy chain; unselected
+        // nodes are never instantiated.
         let draws: Vec<FaultDraw> = match self.fault_process.as_mut() {
             Some(process) => {
-                let n = prices.len();
-                let current: Vec<FaultDraw> =
-                    (0..n).map(|i| process.draw(i, executing_round)).collect();
-                for (i, d) in current.iter().enumerate() {
+                let current: Vec<FaultDraw> = selection
+                    .iter()
+                    .map(|&i| process.draw(i, executing_round))
+                    .collect();
+                for (j, d) in current.iter().enumerate() {
+                    let node = selection[j];
                     let was_up =
-                        executing_round == 1 || process.draw(i, executing_round - 1).available;
+                        executing_round == 1 || process.draw(node, executing_round - 1).available;
                     if was_up && !d.available {
-                        events.push(ResilienceEvent::FaultFired { node: i });
+                        events.push(ResilienceEvent::FaultFired { node });
                     } else if !was_up && d.available {
-                        events.push(ResilienceEvent::FaultHealed { node: i });
+                        events.push(ResilienceEvent::FaultHealed { node });
                     }
                 }
                 current
@@ -654,26 +852,26 @@ impl EdgeLearningEnv {
 
         let sigma = self.config.sigma;
         // Fault/channel perturbations are per-round, not per-attempt: build
-        // each node's effective incarnation once so the price-retry loop
-        // below only recomputes responses instead of rebuilding perturbed
-        // `EdgeNode`s on every attempt.
-        let effective: Vec<Option<EdgeNode>> = self
-            .nodes
+        // each selected node's effective incarnation once so the
+        // price-retry loop below only recomputes responses instead of
+        // rebuilding perturbed `EdgeNode`s on every attempt.
+        let effective: Vec<Option<EdgeNode>> = selection
             .iter()
             .enumerate()
-            .map(|(i, node)| {
-                let draw = draws.get(i).copied().unwrap_or_else(FaultDraw::healthy);
+            .map(|(j, &i)| {
+                let draw = draws.get(j).copied().unwrap_or_else(FaultDraw::healthy);
                 if !draw.available {
                     return None;
                 }
+                let base = self.fleet.node(i);
                 self.faults
-                    .effective_node(i, executing_round, node)
-                    .map(|n| {
-                        let upload_scale = fading[i] * draw.upload_factor;
+                    .effective_node(i, executing_round, &base)
+                    .map(|node| {
+                        let upload_scale = fading[j] * draw.upload_factor;
                         if upload_scale == 1.0 && draw.reserve_factor == 1.0 {
-                            n
+                            node
                         } else {
-                            let mut params = *n.params();
+                            let mut params = *node.params();
                             params.upload_time *= upload_scale;
                             params.reserve_utility *= draw.reserve_factor;
                             EdgeNode::new(params)
@@ -684,8 +882,11 @@ impl EdgeLearningEnv {
         let respond_all = |scale: f64| -> Vec<Option<NodeResponse>> {
             effective
                 .iter()
-                .zip(prices)
-                .map(|(node, &p)| node.as_ref().and_then(|n| n.respond(p * scale, sigma)))
+                .enumerate()
+                .map(|(j, node)| {
+                    node.as_ref()
+                        .and_then(|nd| nd.respond(price_of(j) * scale, sigma))
+                })
                 .collect()
         };
 
@@ -693,7 +894,7 @@ impl EdgeLearningEnv {
 
         // Countermeasure 1: bounded price retry with backoff when the
         // posted profile attracts zero responders.
-        if self.resilience.max_price_retries > 0 && prices.iter().any(|&p| p > 0.0) {
+        if self.resilience.max_price_retries > 0 && total_posted > 0.0 {
             let mut attempt = 0usize;
             while responses.iter().all(Option::is_none)
                 && attempt < self.resilience.max_price_retries
@@ -710,17 +911,15 @@ impl EdgeLearningEnv {
         // later than `slack ×` that are stragglers and get evicted (their
         // update is dropped and they are not paid).
         if let Some(slack) = self.resilience.deadline_slack {
-            let total_posted: f64 = prices.iter().sum();
             if total_posted > 0.0 && responses.iter().any(Option::is_some) {
-                let deadline =
-                    slack * crate::lemma::equalized_round_time(&self.nodes, sigma, total_posted);
+                let deadline = slack * self.equalized_reference(&selection, total_posted);
                 if deadline.is_finite() {
-                    for (i, slot) in responses.iter_mut().enumerate() {
+                    for (j, slot) in responses.iter_mut().enumerate() {
                         let late = slot.as_ref().is_some_and(|r| r.total_time > deadline);
                         if late {
                             let r = slot.take().expect("checked above");
                             events.push(ResilienceEvent::DeadlineEvicted {
-                                node: i,
+                                node: selection[j],
                                 time: r.total_time,
                                 deadline,
                             });
@@ -743,9 +942,8 @@ impl EdgeLearningEnv {
         // total). Read-only; `equalized_round_time` is a pure function.
         if chiron_telemetry::enabled() {
             chiron_telemetry::histogram_record("fedsim.round.idle_time", idle_time);
-            let total_posted: f64 = prices.iter().sum();
             if total_posted > 0.0 && !times.is_empty() {
-                let eq = crate::lemma::equalized_round_time(&self.nodes, sigma, total_posted);
+                let eq = self.equalized_reference(&selection, total_posted);
                 if eq.is_finite() {
                     chiron_telemetry::histogram_record("fedsim.round.lemma_gap", round_time - eq);
                 }
@@ -772,7 +970,8 @@ impl EdgeLearningEnv {
             return RoundOutcome {
                 status,
                 round: self.round,
-                responses: vec![None; self.nodes.len()],
+                selection,
+                responses: vec![None; m],
                 accuracy: prev_accuracy,
                 prev_accuracy,
                 round_time,
@@ -812,6 +1011,7 @@ impl EdgeLearningEnv {
                 return RoundOutcome {
                     status: StepStatus::BudgetExhausted,
                     round: self.round,
+                    selection,
                     responses,
                     accuracy: prev_accuracy,
                     prev_accuracy,
@@ -827,8 +1027,8 @@ impl EdgeLearningEnv {
 
         let participants: Vec<usize> = responses
             .iter()
-            .enumerate()
-            .filter_map(|(i, r)| r.as_ref().map(|_| i))
+            .zip(&selection)
+            .filter_map(|(r, &i)| r.as_ref().map(|_| i))
             .collect();
         let part_weights: Vec<f64> = participants.iter().map(|&i| self.weights[i]).collect();
         self.round += 1;
@@ -865,6 +1065,7 @@ impl EdgeLearningEnv {
         RoundOutcome {
             status,
             round: self.round,
+            selection,
             responses,
             accuracy,
             prev_accuracy,
@@ -898,10 +1099,12 @@ impl EdgeLearningEnv {
             ledger: self.ledger,
             channel_rng: self.channel_rng.state(),
             oracle,
-            faults: self.faults.clone(),
+            // Shares the immutable schedule with the live env — snapshots
+            // at fleet scale cost O(1) here, not O(#faults).
+            faults: Arc::clone(&self.faults),
             fault_process: self.fault_process.as_ref().map(|p| *p.config()),
             resilience: self.resilience,
-            num_nodes: self.nodes.len(),
+            num_nodes: self.fleet.len(),
         })
     }
 
@@ -917,9 +1120,9 @@ impl EdgeLearningEnv {
     /// budget, malformed RNG words, oracle mismatch, or an out-of-range
     /// fault target).
     pub fn restore_state(&mut self, state: &EnvState) -> Result<(), EnvStateError> {
-        if state.num_nodes != self.nodes.len() {
+        if state.num_nodes != self.fleet.len() {
             return Err(EnvStateError::FleetMismatch {
-                expected: self.nodes.len(),
+                expected: self.fleet.len(),
                 found: state.num_nodes,
             });
         }
@@ -931,17 +1134,18 @@ impl EdgeLearningEnv {
         }
         state
             .faults
-            .validate_nodes(self.nodes.len())
+            .validate_nodes(self.fleet.len())
             .map_err(EnvStateError::Faults)?;
         let channel_rng =
             TensorRng::from_state(&state.channel_rng).ok_or(EnvStateError::MalformedRng)?;
         self.oracle
             .restore_state(&state.oracle)
             .map_err(EnvStateError::Oracle)?;
-        self.faults = state.faults.clone();
+        // Bump the shared pointer instead of deep-cloning the schedule.
+        self.faults = Arc::clone(&state.faults);
         self.fault_process = state
             .fault_process
-            .map(|c| FaultProcess::new(c, self.nodes.len()));
+            .map(|c| FaultProcess::new(c, self.fleet.len()));
         self.resilience = state.resilience;
         self.ledger = state.ledger;
         self.channel_rng = channel_rng;
@@ -965,8 +1169,9 @@ pub struct EnvState {
     pub channel_rng: RngState,
     /// Oracle training progress.
     pub oracle: OracleState,
-    /// Installed failure-injection schedule.
-    pub faults: FaultSchedule,
+    /// Installed failure-injection schedule, shared (not cloned) with the
+    /// environment it was captured from; serializes as the plain schedule.
+    pub faults: Arc<FaultSchedule>,
     /// Installed stochastic fault process (config only; the runtime chains
     /// rebuild deterministically).
     pub fault_process: Option<FaultProcessConfig>,
@@ -1036,7 +1241,7 @@ impl std::fmt::Debug for EdgeLearningEnv {
         write!(
             f,
             "EdgeLearningEnv({} nodes, {} dataset, round {}, budget {:.2}/{:.2})",
-            self.nodes.len(),
+            self.fleet.len(),
             self.config.dataset.kind,
             self.round,
             self.ledger.remaining(),
@@ -1407,6 +1612,7 @@ mod tests {
                     sigma: 0.05,
                     max_factor: 2.0,
                 }),
+                ..FaultProcessConfig::default()
             }));
             e
         };
@@ -1485,6 +1691,161 @@ mod tests {
                 break;
             }
         }
+    }
+
+    fn sampled_env(nodes: usize, per_round: usize, seed: u64) -> EdgeLearningEnv {
+        let cfg = EnvConfig::builder()
+            .nodes(nodes)
+            .budget(1e9)
+            .oracle_noise(0.0)
+            .sample_per_round(per_round)
+            .build()
+            .expect("valid config");
+        EdgeLearningEnv::new(cfg, seed)
+    }
+
+    #[test]
+    fn selection_is_deterministic_sorted_and_distinct() {
+        let e = sampled_env(500, 16, 9);
+        let s1 = e.selection_for(3);
+        let s2 = e.selection_for(3);
+        assert_eq!(s1, s2, "selection must be a pure function of the round");
+        assert_eq!(s1.len(), 16);
+        assert!(s1.windows(2).all(|w| w[0] < w[1]), "ascending and distinct");
+        assert!(s1.iter().all(|&i| i < 500));
+        assert_ne!(s1, e.selection_for(4), "rounds draw different subsets");
+        // Oversampling degenerates to full participation.
+        let full = sampled_env(10, 64, 9);
+        assert_eq!(full.selection_for(1), (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sampled_step_touches_only_the_selection() {
+        let mut e = sampled_env(200, 8, 4);
+        let prices: Vec<f64> = (0..e.num_nodes())
+            .map(|i| e.node(i).price_cap(e.sigma()) * 0.5)
+            .collect();
+        let out = e.step(&prices);
+        assert_eq!(out.selection, e.selection_for(1));
+        assert_eq!(out.responses.len(), 8, "responses align with selection");
+        assert!(out.num_participants() > 0);
+        for (node, _) in out.participants() {
+            assert!(out.selection.contains(&node));
+        }
+    }
+
+    #[test]
+    fn full_and_selection_aligned_prices_agree_bitwise() {
+        let run = |aligned: bool| {
+            let mut e = sampled_env(100, 10, 12);
+            let full: Vec<f64> = (0..e.num_nodes())
+                .map(|i| e.node(i).price_cap(e.sigma()) * 0.5)
+                .collect();
+            let mut bits = Vec::new();
+            for round in 1..=5 {
+                let prices: Vec<f64> = if aligned {
+                    e.selection_for(round).iter().map(|&i| full[i]).collect()
+                } else {
+                    full.clone()
+                };
+                let o = e.step(&prices);
+                bits.push((o.accuracy.to_bits(), o.payment_total.to_bits()));
+            }
+            bits
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn sampled_episode_replays_after_reset() {
+        let mut e = sampled_env(300, 12, 21);
+        e.set_fault_process(Some(FaultProcessConfig::standard(5)));
+        let prices: Vec<f64> = (0..e.num_nodes())
+            .map(|i| e.node(i).price_cap(e.sigma()) * 0.5)
+            .collect();
+        let first: Vec<(u64, usize)> = (0..10)
+            .map(|_| {
+                let o = e.step(&prices);
+                (o.accuracy.to_bits(), o.num_participants())
+            })
+            .collect();
+        e.reset();
+        let replay: Vec<(u64, usize)> = (0..10)
+            .map(|_| {
+                let o = e.step(&prices);
+                (o.accuracy.to_bits(), o.num_participants())
+            })
+            .collect();
+        assert_eq!(first, replay);
+    }
+
+    #[test]
+    fn sampled_lognormal_fading_is_stateless_per_round() {
+        // Two envs stepping different numbers of rounds still agree on a
+        // given round's outcome: fading is keyed by (node, round), not by
+        // how many draws happened before.
+        let build = || {
+            let cfg = EnvConfig::builder()
+                .nodes(64)
+                .budget(1e9)
+                .oracle_noise(0.0)
+                .channel(ChannelVariation::LogNormal { sigma: 0.3 })
+                .sample_per_round(6)
+                .build()
+                .expect("valid config");
+            EdgeLearningEnv::new(cfg, 33)
+        };
+        let mut a = build();
+        let prices: Vec<f64> = (0..a.num_nodes())
+            .map(|i| a.node(i).price_cap(a.sigma()) * 0.5)
+            .collect();
+        let a_rounds: Vec<u64> = (0..4).map(|_| a.step(&prices).accuracy.to_bits()).collect();
+        let mut b = build();
+        let b_rounds: Vec<u64> = (0..4).map(|_| b.step(&prices).accuracy.to_bits()).collect();
+        assert_eq!(a_rounds, b_rounds);
+    }
+
+    #[test]
+    fn snapshot_shares_the_fault_schedule_without_cloning() {
+        use crate::faults::Fault;
+        let mut e = env(100.0);
+        e.set_faults(FaultSchedule::new(vec![Fault::Dropout {
+            node: 1,
+            from_round: 2,
+        }]))
+        .expect("valid schedule");
+        let snap = e.capture_state().expect("capture");
+        assert!(
+            Arc::ptr_eq(&snap.faults, &e.faults),
+            "capture must share, not clone, the schedule"
+        );
+        let mut other = env(100.0);
+        other.restore_state(&snap).expect("restore");
+        assert!(
+            Arc::ptr_eq(&snap.faults, &other.faults),
+            "restore must share, not clone, the schedule"
+        );
+    }
+
+    #[test]
+    fn builder_rejects_zero_sample() {
+        let err = EnvConfig::builder()
+            .sample_per_round(0)
+            .build()
+            .unwrap_err();
+        assert_eq!(err.field, "participation");
+        assert!(err.reason.contains("positive"), "{}", err.reason);
+    }
+
+    #[test]
+    fn try_new_reports_config_errors_without_panicking() {
+        let mut cfg = EnvConfig::paper_small(DatasetKind::MnistLike, 100.0);
+        cfg.budget = -3.0;
+        let err = EdgeLearningEnv::try_new(cfg, 1).unwrap_err();
+        assert_eq!(err.field, "budget");
+        let mut cfg = EnvConfig::paper_small(DatasetKind::MnistLike, 100.0);
+        cfg.fleet.nodes = 0;
+        assert!(EdgeLearningEnv::try_new(cfg, 1).is_err());
     }
 
     #[test]

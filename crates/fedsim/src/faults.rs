@@ -8,10 +8,26 @@
 //! given round and either persist for the rest of the episode or heal at a
 //! scheduled round (transient faults); the schedule itself is stateless, so
 //! every episode replays the same perturbations.
+//!
+//! # Fleet-scale evaluation
+//!
+//! Two properties keep fault evaluation O(selected) instead of O(fleet):
+//!
+//! * [`FaultSchedule`] pre-indexes its entries by node, so the per-round
+//!   lookup for one node walks only that node's faults (usually zero),
+//!   never the whole schedule.
+//! * [`FaultProcess`] samples its per-node streams lazily: a node's
+//!   Gilbert–Elliott chain, Pareto jitter, and reserve-drift walk are only
+//!   instantiated (and advanced) when that node is actually drawn.
+//!   Construction is O(1) regardless of fleet size, and memory is
+//!   O(touched nodes). The draw for `(seed, node, round)` is a pure
+//!   function — evaluation order cannot change it — because each node's
+//!   stream is seeded independently and always advanced from round 1.
 
 use crate::{EdgeNode, NodeParams};
 use chiron_tensor::TensorRng;
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 
 /// Error raised when a fault schedule is malformed or does not fit the
 /// fleet it is installed on.
@@ -133,9 +149,38 @@ impl ScheduledFault {
 }
 
 /// A set of faults applied to a fleet.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+///
+/// Entries are indexed by target node at insertion time, so the per-round
+/// queries ([`FaultSchedule::is_dropped`],
+/// [`FaultSchedule::effective_params`]) touch only the faults registered
+/// for that node — O(active at that node), not O(schedule). A 1M-node
+/// fleet with 10 faults therefore does per-node work proportional to 0,
+/// not 10.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct FaultSchedule {
     faults: Vec<ScheduledFault>,
+    /// Node index → positions in `faults`, in insertion order.
+    by_node: HashMap<usize, Vec<u32>>,
+}
+
+// The wire format is just the fault list ({"faults": [...]}), identical to
+// the pre-index derive output: the per-node index is derived state and is
+// rebuilt on deserialize, so old checkpoints load unchanged.
+impl Serialize for FaultSchedule {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![("faults".to_string(), self.faults.to_value())])
+    }
+}
+
+impl Deserialize for FaultSchedule {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::DeError> {
+        let faults = Vec::<ScheduledFault>::from_value(value.field("faults"))?;
+        let mut schedule = FaultSchedule::default();
+        for sf in faults {
+            schedule.push_scheduled(sf);
+        }
+        Ok(schedule)
+    }
 }
 
 impl FaultSchedule {
@@ -146,20 +191,22 @@ impl FaultSchedule {
 
     /// Builds a schedule of permanent faults.
     pub fn new(faults: Vec<Fault>) -> Self {
-        Self {
-            faults: faults
-                .into_iter()
-                .map(|fault| ScheduledFault {
-                    fault,
-                    until_round: None,
-                })
-                .collect(),
+        let mut schedule = Self::default();
+        for fault in faults {
+            schedule.push(fault);
         }
+        schedule
+    }
+
+    fn push_scheduled(&mut self, sf: ScheduledFault) {
+        let idx = self.faults.len() as u32;
+        self.by_node.entry(sf.fault.node()).or_default().push(idx);
+        self.faults.push(sf);
     }
 
     /// Adds a permanent fault.
     pub fn push(&mut self, fault: Fault) {
-        self.faults.push(ScheduledFault {
+        self.push_scheduled(ScheduledFault {
             fault,
             until_round: None,
         });
@@ -182,7 +229,7 @@ impl FaultSchedule {
                 until_round,
             });
         }
-        self.faults.push(ScheduledFault {
+        self.push_scheduled(ScheduledFault {
             fault,
             until_round: Some(until_round),
         });
@@ -222,18 +269,30 @@ impl FaultSchedule {
         &self.faults
     }
 
+    /// The faults registered for `node`, in insertion order (the index
+    /// lookup backing every per-node query).
+    pub fn faults_for(&self, node: usize) -> impl Iterator<Item = &ScheduledFault> + '_ {
+        self.by_node
+            .get(&node)
+            .into_iter()
+            .flat_map(|idxs| idxs.iter().map(|&i| &self.faults[i as usize]))
+    }
+
     /// `true` if no fault is scheduled.
     pub fn is_empty(&self) -> bool {
         self.faults.is_empty()
     }
 
+    /// `true` if `node` has at least one fault registered (active or not);
+    /// the O(1) pre-filter for per-node queries.
+    pub fn touches(&self, node: usize) -> bool {
+        self.by_node.contains_key(&node)
+    }
+
     /// Whether `node` has an active [`Fault::Dropout`] at `round`.
     pub fn is_dropped(&self, node: usize, round: usize) -> bool {
-        self.faults.iter().any(|sf| {
-            matches!(sf.fault, Fault::Dropout { .. })
-                && sf.fault.node() == node
-                && sf.active_at(round)
-        })
+        self.faults_for(node)
+            .any(|sf| matches!(sf.fault, Fault::Dropout { .. }) && sf.active_at(round))
     }
 
     /// The node's effective parameters at `round` with all active
@@ -241,8 +300,8 @@ impl FaultSchedule {
     /// suppresses the response entirely).
     pub fn effective_params(&self, node: usize, round: usize, base: &NodeParams) -> NodeParams {
         let mut params = *base;
-        for sf in &self.faults {
-            if sf.fault.node() != node || !sf.active_at(round) {
+        for sf in self.faults_for(node) {
+            if !sf.active_at(round) {
                 continue;
             }
             match sf.fault {
@@ -261,11 +320,11 @@ impl FaultSchedule {
     /// Builds the effective node for `round`, or `None` if it has dropped
     /// out.
     pub fn effective_node(&self, node: usize, round: usize, base: &EdgeNode) -> Option<EdgeNode> {
+        if !self.touches(node) {
+            return Some(*base);
+        }
         if self.is_dropped(node, round) {
             return None;
-        }
-        if self.is_empty() {
-            return Some(base.clone());
         }
         Some(EdgeNode::new(self.effective_params(
             node,
@@ -312,6 +371,78 @@ pub struct ReserveDrift {
     pub max_factor: f64,
 }
 
+/// Fleet-wide diurnal availability wave: each of `regions` contiguous
+/// node blocks ("time zones") cycles through a cosine day/night pattern
+/// of length `period` rounds, phase-shifted per region. At the trough of
+/// its night a region has up to `depth` of its nodes offline; the
+/// per-node offline coin is a stateless function of `(seed, node, round)`
+/// so the wave costs O(selected) per round and never perturbs the
+/// per-node chain streams.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DiurnalWave {
+    /// Rounds per simulated day (≥ 1).
+    pub period: usize,
+    /// Peak fraction of a region offline at its trough, clamped to [0, 1].
+    pub depth: f64,
+    /// Number of phase-shifted regions (≥ 1).
+    pub regions: usize,
+}
+
+impl DiurnalWave {
+    /// A standard wave: 24-round day, 60 % of a region offline at the
+    /// trough, 4 time zones.
+    pub fn standard() -> Self {
+        Self {
+            period: 24,
+            depth: 0.6,
+            regions: 4,
+        }
+    }
+
+    /// The offline probability for `region` (of `self.regions`) when
+    /// executing `round`: `depth · ½(1 − cos(2π(round/period +
+    /// region/regions)))`, so round 0 of region 0 sits at full
+    /// availability and the trough is half a period later.
+    pub fn offline_probability(&self, region: usize, round: usize) -> f64 {
+        let period = self.period.max(1) as f64;
+        let regions = self.regions.max(1) as f64;
+        let phase = round as f64 / period + region as f64 / regions;
+        self.depth.clamp(0.0, 1.0) * 0.5 * (1.0 - (2.0 * std::f64::consts::PI * phase).cos())
+    }
+}
+
+/// A hard regional blackout: every node in the target region is offline
+/// for rounds in `[from_round, until_round)` — a data-center or backbone
+/// outage preset for the fleet scenarios.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RegionalOutage {
+    /// Number of contiguous node regions the fleet divides into (≥ 1).
+    pub regions: usize,
+    /// Index of the blacked-out region (`< regions`).
+    pub region: usize,
+    /// First affected round (1-based, like scheduled faults).
+    pub from_round: usize,
+    /// First healed round (exclusive end); `usize::MAX` ⇒ permanent.
+    pub until_round: usize,
+}
+
+impl RegionalOutage {
+    /// Whether the outage is live when executing `round`.
+    pub fn active_at(&self, round: usize) -> bool {
+        round >= self.from_round && round < self.until_round
+    }
+}
+
+/// The contiguous region (`0..regions`) a node belongs to when a fleet of
+/// `num_nodes` is split into `regions` equal blocks.
+pub fn region_of(node: usize, num_nodes: usize, regions: usize) -> usize {
+    let regions = regions.max(1);
+    if num_nodes == 0 {
+        return 0;
+    }
+    (((node as u128) * regions as u128) / num_nodes as u128).min(regions as u128 - 1) as usize
+}
+
 /// Configuration of the seeded generative fault model. Every enabled
 /// component runs per node, and the whole process is a pure function of
 /// `(seed, node, round)` — replaying an episode (or resuming from a
@@ -327,6 +458,14 @@ pub struct FaultProcessConfig {
     pub jitter: Option<UploadJitter>,
     /// Reserve-utility drift, if enabled.
     pub drift: Option<ReserveDrift>,
+    /// Fleet-wide diurnal availability wave, if enabled. Stateless
+    /// overlay: it never consumes from (or shifts) the per-node chain
+    /// streams, so enabling it leaves jitter/drift trajectories intact.
+    /// (Absent in old checkpoints; missing fields deserialize to `None`.)
+    pub diurnal: Option<DiurnalWave>,
+    /// Hard regional blackout window, if enabled. Deterministic overlay
+    /// (no randomness at all).
+    pub outage: Option<RegionalOutage>,
 }
 
 impl FaultProcessConfig {
@@ -351,6 +490,38 @@ impl FaultProcessConfig {
                 sigma: 0.05,
                 max_factor: 2.0,
             }),
+            diurnal: None,
+            outage: None,
+        }
+    }
+
+    /// The fleet-scenario preset "diurnal": the
+    /// [`standard`](FaultProcessConfig::standard) chains plus a
+    /// [`DiurnalWave::standard`] availability wave.
+    pub fn diurnal(seed: u64) -> Self {
+        Self {
+            diurnal: Some(DiurnalWave::standard()),
+            ..Self::standard(seed)
+        }
+    }
+
+    /// The fleet-scenario preset "regional outage": the
+    /// [`standard`](FaultProcessConfig::standard) chains plus a blackout
+    /// of one of four regions over `[from_round, until_round)`.
+    pub fn regional_outage(
+        seed: u64,
+        region: usize,
+        from_round: usize,
+        until_round: usize,
+    ) -> Self {
+        Self {
+            outage: Some(RegionalOutage {
+                regions: 4,
+                region,
+                from_round,
+                until_round,
+            }),
+            ..Self::standard(seed)
         }
     }
 }
@@ -377,70 +548,43 @@ impl FaultDraw {
     }
 }
 
-/// Per-node chain state: a lazily extended cache of round draws plus the
-/// RNG and walk state needed to extend it. Rebuilt deterministically from
-/// the config, so it is never serialized.
+/// Lazily instantiated per-node stream state: the RNG and walk state plus
+/// the two most recent draws (the env queries `round` and `round − 1` for
+/// transition events). Rebuilt deterministically from the config when a
+/// query jumps backwards, so it is never serialized.
 #[derive(Debug, Clone)]
-struct NodeChain {
+struct NodeCursor {
     rng: TensorRng,
     /// `true` while the Gilbert–Elliott chain is in the down state.
     down: bool,
     /// Cumulative log of the reserve drift walk.
     log_drift: f64,
-    /// Cached draws; index `r` holds the draw for executing round `r + 1`.
-    rounds: Vec<FaultDraw>,
+    /// Rounds sampled so far; `current` holds the draw for this round.
+    round: usize,
+    /// Draw for `round` (undefined until the first advance).
+    current: FaultDraw,
+    /// Draw for `round − 1` (undefined until the second advance).
+    prev: FaultDraw,
 }
 
-/// Runtime for [`FaultProcessConfig`]: samples and caches per-node fault
-/// draws. Rounds are always generated in order from round 1, so a draw for
-/// `(node, round)` is identical no matter when it is first requested —
-/// the property the replay and resume tests rely on.
-#[derive(Debug, Clone)]
-pub struct FaultProcess {
-    config: FaultProcessConfig,
-    chains: Vec<NodeChain>,
-}
-
-impl FaultProcess {
-    /// Builds the runtime for a fleet of `num_nodes` nodes.
-    pub fn new(config: FaultProcessConfig, num_nodes: usize) -> Self {
-        let chains = (0..num_nodes as u64)
-            .map(|node| NodeChain {
-                // Golden-ratio stride keeps per-node streams disjoint.
-                rng: TensorRng::seed_from(
-                    config.seed ^ node.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1),
-                ),
-                down: false,
-                log_drift: 0.0,
-                rounds: Vec::new(),
-            })
-            .collect();
-        Self { config, chains }
-    }
-
-    /// The configuration this process was built from (all the state a
-    /// checkpoint needs).
-    pub fn config(&self) -> &FaultProcessConfig {
-        &self.config
-    }
-
-    /// The fault state of `node` when executing `round` (1-based).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `node` is out of range or `round` is 0.
-    pub fn draw(&mut self, node: usize, round: usize) -> FaultDraw {
-        assert!(round > 0, "rounds are 1-based");
-        let config = self.config;
-        let chain = &mut self.chains[node];
-        while chain.rounds.len() < round {
-            chain.advance(&config);
+impl NodeCursor {
+    fn fresh(config: &FaultProcessConfig, node: usize) -> Self {
+        Self {
+            // Golden-ratio stride keeps per-node streams disjoint.
+            rng: TensorRng::seed_from(
+                config.seed
+                    ^ (node as u64)
+                        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                        .wrapping_add(1),
+            ),
+            down: false,
+            log_drift: 0.0,
+            round: 0,
+            current: FaultDraw::healthy(),
+            prev: FaultDraw::healthy(),
         }
-        chain.rounds[round - 1]
     }
-}
 
-impl NodeChain {
     /// Samples the next round's draw. Exactly five uniforms are consumed
     /// per round regardless of which components are enabled, so toggling
     /// one component never shifts another's stream.
@@ -483,12 +627,144 @@ impl NodeChain {
             None => 1.0,
         };
 
-        self.rounds.push(FaultDraw {
+        self.prev = self.current;
+        self.current = FaultDraw {
             available,
             upload_factor,
             reserve_factor,
-        });
+        };
+        self.round += 1;
     }
+}
+
+/// Runtime for [`FaultProcessConfig`]: samples per-node fault draws.
+///
+/// Streams are instantiated lazily — only nodes that are actually drawn
+/// get a cursor — so building a process for a 1M-node fleet is O(1) and
+/// a sampled episode pays only for its selected nodes. A draw for
+/// `(node, round)` is identical no matter when (or in what order) it is
+/// first requested: each node's stream is independently seeded and always
+/// advanced from round 1, and a backwards query rebuilds the cursor from
+/// scratch.
+#[derive(Debug, Clone)]
+pub struct FaultProcess {
+    config: FaultProcessConfig,
+    num_nodes: usize,
+    cursors: HashMap<usize, NodeCursor>,
+}
+
+impl FaultProcess {
+    /// Builds the runtime for a fleet of `num_nodes` nodes. O(1): no
+    /// per-node state is allocated until a node is first drawn.
+    pub fn new(config: FaultProcessConfig, num_nodes: usize) -> Self {
+        Self {
+            config,
+            num_nodes,
+            cursors: HashMap::new(),
+        }
+    }
+
+    /// The configuration this process was built from (all the state a
+    /// checkpoint needs).
+    pub fn config(&self) -> &FaultProcessConfig {
+        &self.config
+    }
+
+    /// Number of per-node streams currently instantiated — O(touched
+    /// nodes), the laziness invariant the fleet-scale tests pin.
+    pub fn active_streams(&self) -> usize {
+        self.cursors.len()
+    }
+
+    /// The fault state of `node` when executing `round` (1-based).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range or `round` is 0.
+    pub fn draw(&mut self, node: usize, round: usize) -> FaultDraw {
+        assert!(round > 0, "rounds are 1-based");
+        assert!(
+            node < self.num_nodes,
+            "node {node} out of range for {} nodes",
+            self.num_nodes
+        );
+        let config = self.config;
+        let cursor = self
+            .cursors
+            .entry(node)
+            .or_insert_with(|| NodeCursor::fresh(&config, node));
+        if round + 1 < cursor.round.max(1) {
+            // Backwards jump past the retained window: replay the stream
+            // from its seed. Determinism is unaffected — the stream is a
+            // pure function of (seed, node, round).
+            *cursor = NodeCursor::fresh(&config, node);
+        }
+        while cursor.round < round {
+            cursor.advance(&config);
+        }
+        let chain = if round == cursor.round {
+            cursor.current
+        } else {
+            // round == cursor.round - 1, retained for transition events.
+            cursor.prev
+        };
+        let available = chain.available && overlay_available(&config, self.num_nodes, node, round);
+        FaultDraw { available, ..chain }
+    }
+}
+
+/// The stateless availability overlay (diurnal wave + regional outage)
+/// for `(node, round)`; `true` when neither holds the node offline.
+fn overlay_available(
+    config: &FaultProcessConfig,
+    num_nodes: usize,
+    node: usize,
+    round: usize,
+) -> bool {
+    if let Some(wave) = config.diurnal {
+        let region = region_of(node, num_nodes, wave.regions);
+        let p_off = wave.offline_probability(region, round);
+        if p_off > 0.0
+            && counter_uniform(config.seed ^ DIURNAL_TAG, node as u64, round as u64) < p_off
+        {
+            return false;
+        }
+    }
+    if let Some(outage) = config.outage {
+        if outage.active_at(round) && region_of(node, num_nodes, outage.regions) == outage.region {
+            return false;
+        }
+    }
+    true
+}
+
+/// Domain-separation tag for the diurnal wave's stateless coin flips.
+const DIURNAL_TAG: u64 = 0xD1u64 << 56;
+
+/// splitmix64 finalizer: a high-quality 64-bit mix.
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A stateless uniform on `[0, 1)` keyed by `(seed, node, round)` — the
+/// counter-based generator behind every *new* per-selected-node draw
+/// (diurnal coins, sampled-mode channel fading). Being stateless it is
+/// trivially order-independent and thread-safe, which is what keeps the
+/// sampled participation path bitwise-deterministic at any thread count.
+pub(crate) fn counter_uniform(seed: u64, node: u64, round: u64) -> f64 {
+    let h = splitmix(seed ^ splitmix(node.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(round)));
+    (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// A stateless standard-normal keyed by `(seed, node, round)` via
+/// Box–Muller over two domain-separated [`counter_uniform`] draws.
+pub(crate) fn counter_normal(seed: u64, node: u64, round: u64) -> f64 {
+    let u1 = (1.0 - counter_uniform(seed, node, round)).max(f64::MIN_POSITIVE);
+    let u2 = counter_uniform(seed ^ (0xB0u64 << 56), node, round);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
 }
 
 /// A standard-normal draw from exactly two uniforms (Box–Muller), so the
@@ -680,6 +956,80 @@ mod tests {
     }
 
     #[test]
+    fn node_index_matches_linear_scan() {
+        let mut schedule = FaultSchedule::new(vec![
+            Fault::BandwidthCollapse {
+                node: 3,
+                factor: 2.0,
+                from_round: 1,
+            },
+            Fault::Dropout {
+                node: 1,
+                from_round: 4,
+            },
+            Fault::ReserveSpike {
+                node: 3,
+                factor: 1.5,
+                from_round: 2,
+            },
+        ]);
+        schedule.push_transient(
+            Fault::Dropout {
+                node: 3,
+                from_round: 6,
+            },
+            8,
+        );
+        for node in 0..5 {
+            let via_index: Vec<_> = schedule.faults_for(node).copied().collect();
+            let via_scan: Vec<_> = schedule
+                .faults()
+                .iter()
+                .filter(|sf| sf.fault.node() == node)
+                .copied()
+                .collect();
+            assert_eq!(via_index, via_scan, "node {node}");
+            for round in 1..10 {
+                assert_eq!(
+                    schedule.is_dropped(node, round),
+                    via_scan
+                        .iter()
+                        .any(|sf| matches!(sf.fault, Fault::Dropout { .. }) && sf.active_at(round)),
+                    "node {node} round {round}"
+                );
+            }
+        }
+        assert!(schedule.touches(3));
+        assert!(!schedule.touches(0));
+    }
+
+    #[test]
+    fn schedule_serde_preserves_shape_and_rebuilds_index() {
+        let mut schedule = FaultSchedule::new(vec![Fault::BandwidthCollapse {
+            node: 2,
+            factor: 3.0,
+            from_round: 1,
+        }]);
+        schedule.push_transient(
+            Fault::Dropout {
+                node: 0,
+                from_round: 2,
+            },
+            4,
+        );
+        let json = serde_json::to_string(&schedule).expect("serialize");
+        // The wire format stays the plain fault list (no index leak).
+        assert!(json.starts_with("{\"faults\":["), "wire shape: {json}");
+        assert!(!json.contains("by_node"), "index leaked into JSON: {json}");
+        let back: FaultSchedule = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, schedule);
+        // Index is functional after the round trip.
+        assert!(back.is_dropped(0, 2));
+        assert!(!back.is_dropped(0, 4));
+        assert_eq!(back.faults_for(2).count(), 1);
+    }
+
+    #[test]
     fn try_push_transient_rejects_bad_rounds() {
         let mut schedule = FaultSchedule::none();
         let err = schedule
@@ -733,6 +1083,7 @@ mod tests {
                 sigma: 0.1,
                 max_factor: 3.0,
             }),
+            ..Default::default()
         }
     }
 
@@ -807,5 +1158,119 @@ mod tests {
             assert_eq!(da.reserve_factor.to_bits(), db.reserve_factor.to_bits());
             assert_eq!(db.upload_factor, 1.0);
         }
+    }
+
+    #[test]
+    fn streams_are_lazy_and_o_of_touched_nodes() {
+        // A 1M-node process allocates nothing up front and only one
+        // stream after drawing one node — the O(selected) invariant.
+        let mut p = FaultProcess::new(process_config(), 1_000_000);
+        assert_eq!(p.active_streams(), 0);
+        let _ = p.draw(999_999, 5);
+        assert_eq!(p.active_streams(), 1);
+        for node in [0usize, 17, 123_456] {
+            let _ = p.draw(node, 5);
+        }
+        assert_eq!(p.active_streams(), 4);
+    }
+
+    #[test]
+    fn diurnal_overlay_does_not_shift_chain_streams() {
+        let plain = process_config();
+        let waved = FaultProcessConfig {
+            diurnal: Some(DiurnalWave::standard()),
+            ..plain
+        };
+        let mut a = FaultProcess::new(plain, 8);
+        let mut b = FaultProcess::new(waved, 8);
+        for r in 1..=60 {
+            for n in 0..8 {
+                let da = a.draw(n, r);
+                let db = b.draw(n, r);
+                assert_eq!(da.upload_factor.to_bits(), db.upload_factor.to_bits());
+                assert_eq!(da.reserve_factor.to_bits(), db.reserve_factor.to_bits());
+                // The wave can only take nodes down, never bring them up.
+                assert!(da.available || !db.available);
+            }
+        }
+    }
+
+    #[test]
+    fn diurnal_wave_cycles_availability() {
+        let config = FaultProcessConfig {
+            seed: 7,
+            diurnal: Some(DiurnalWave {
+                period: 10,
+                depth: 1.0,
+                regions: 1,
+            }),
+            ..Default::default()
+        };
+        let wave = config.diurnal.unwrap();
+        // Peak availability at round 0 mod period, trough half a period in.
+        assert!(wave.offline_probability(0, 10) < 1e-9);
+        assert!((wave.offline_probability(0, 5) - 1.0).abs() < 1e-9);
+        let mut p = FaultProcess::new(config, 1000);
+        let up_at = |p: &mut FaultProcess, r: usize| -> usize {
+            (0..1000).filter(|&n| p.draw(n, r).available).count()
+        };
+        let at_peak = up_at(&mut p, 10);
+        let at_trough = up_at(&mut p, 5);
+        assert!(at_peak > 990, "peak availability {at_peak}/1000");
+        assert!(at_trough < 10, "trough availability {at_trough}/1000");
+    }
+
+    #[test]
+    fn regional_outage_blacks_out_one_region() {
+        let config = FaultProcessConfig {
+            seed: 1,
+            outage: Some(RegionalOutage {
+                regions: 4,
+                region: 2,
+                from_round: 3,
+                until_round: 6,
+            }),
+            ..Default::default()
+        };
+        let mut p = FaultProcess::new(config, 100);
+        for node in 0..100 {
+            let region = region_of(node, 100, 4);
+            assert!(p.draw(node, 2).available, "node {node} before outage");
+            assert_eq!(
+                p.draw(node, 3).available,
+                region != 2,
+                "node {node} during outage"
+            );
+            assert_eq!(p.draw(node, 5).available, region != 2);
+            assert!(p.draw(node, 6).available, "node {node} after heal");
+        }
+    }
+
+    #[test]
+    fn region_of_partitions_contiguously() {
+        assert_eq!(region_of(0, 100, 4), 0);
+        assert_eq!(region_of(24, 100, 4), 0);
+        assert_eq!(region_of(25, 100, 4), 1);
+        assert_eq!(region_of(99, 100, 4), 3);
+        // Degenerate inputs stay in range.
+        assert_eq!(region_of(5, 3, 4), 3);
+        assert_eq!(region_of(0, 0, 4), 0);
+        assert_eq!(region_of(7, 10, 0), 0);
+    }
+
+    #[test]
+    fn counter_streams_are_stateless_and_seed_sensitive() {
+        let a = counter_uniform(1, 2, 3);
+        assert_eq!(a.to_bits(), counter_uniform(1, 2, 3).to_bits());
+        assert!((0.0..1.0).contains(&a));
+        assert_ne!(a.to_bits(), counter_uniform(2, 2, 3).to_bits());
+        assert_ne!(a.to_bits(), counter_uniform(1, 3, 3).to_bits());
+        assert_ne!(a.to_bits(), counter_uniform(1, 2, 4).to_bits());
+        // Normal variant: finite, deterministic, roughly standard.
+        let n = 10_000;
+        let mean = (0..n).map(|i| counter_normal(9, i, 1)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "counter_normal mean {mean}");
+        let var = (0..n).map(|i| counter_normal(9, i, 1).powi(2)).sum::<f64>() / n as f64;
+        assert!((var - 1.0).abs() < 0.1, "counter_normal variance {var}");
     }
 }

@@ -5,8 +5,19 @@
 //! uniformly in `1.0–2.0 GHz`, per-node communication time uniformly in
 //! `10–20 s`, effective capacitance `2×10⁻²⁸`, `σ = 5` local epochs,
 //! training data split evenly across nodes.
+//!
+//! # Struct-of-arrays storage
+//!
+//! The paper evaluates at most 100 nodes, but fleet-scale episodes
+//! (100k–1M nodes) make a `Vec<EdgeNode>` wasteful: four of the eight
+//! [`NodeParams`] fields are identical across the fleet. [`Fleet`] stores
+//! the shared scalars once and only the four genuinely per-node columns
+//! (`data_bits`, `freq_max`, `upload_time`, `reserve_utility`), halving
+//! memory and keeping the per-node draw cache-friendly. [`Fleet::node`]
+//! reassembles a full [`EdgeNode`] by value on demand, so the economics
+//! code is unchanged and bitwise-identical to the array-of-structs layout.
 
-use crate::{EdgeNode, NodeParams};
+use crate::{EdgeNode, EnvConfigError, NodeParams};
 use chiron_data::DatasetSpec;
 use chiron_tensor::TensorRng;
 use rand_distr::{Dirichlet, Distribution};
@@ -54,16 +65,57 @@ pub enum UploadModel {
     },
 }
 
+/// Draws from `[lo, hi)`, or returns `lo` for a degenerate (point) range.
+fn sample_range(rng: &mut TensorRng, (lo, hi): (f64, f64)) -> f64 {
+    if hi > lo {
+        rng.uniform(lo, hi)
+    } else {
+        lo
+    }
+}
+
 impl UploadModel {
     /// Draws one node's upload time in seconds.
+    ///
+    /// Never panics on configuration values: nonsensical models (e.g. a
+    /// non-positive `model_bits`) are rejected at build time by
+    /// [`FleetConfig::validate`], not here in the sampling hot path.
     pub fn sample(&self, rng: &mut TensorRng) -> f64 {
         match *self {
-            UploadModel::FixedTime { range } => rng.uniform(range.0, range.1),
+            UploadModel::FixedTime { range } => sample_range(rng, range),
+            UploadModel::Bandwidth { model_bits, range } => model_bits / sample_range(rng, range),
+        }
+    }
+
+    fn validate(&self) -> Result<(), EnvConfigError> {
+        let err = |field: &'static str, reason: String| EnvConfigError { field, reason };
+        match *self {
+            UploadModel::FixedTime { range } => {
+                if !(range.0 >= 0.0 && range.1 >= range.0) {
+                    return Err(err(
+                        "fleet.upload",
+                        format!("FixedTime range must satisfy 0 <= lo <= hi, got {range:?}"),
+                    ));
+                }
+            }
             UploadModel::Bandwidth { model_bits, range } => {
-                assert!(model_bits > 0.0, "model size must be positive");
-                model_bits / rng.uniform(range.0, range.1)
+                if !(model_bits > 0.0 && model_bits.is_finite()) {
+                    return Err(err(
+                        "fleet.upload",
+                        format!(
+                            "Bandwidth model_bits must be positive and finite, got {model_bits}"
+                        ),
+                    ));
+                }
+                if !(range.0 > 0.0 && range.1 >= range.0) {
+                    return Err(err(
+                        "fleet.upload",
+                        format!("Bandwidth range must satisfy 0 < lo <= hi, got {range:?}"),
+                    ));
+                }
             }
         }
+        Ok(())
     }
 }
 
@@ -115,10 +167,69 @@ impl FleetConfig {
             ..Self::paper(nodes)
         }
     }
+
+    /// Checks every range and distribution parameter, returning the first
+    /// violated constraint as a typed error. All panics that used to fire
+    /// deep inside sampling code (`UploadModel::sample`, the Dirichlet
+    /// constructor) are caught here at build time instead.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`EnvConfigError`] naming the offending field.
+    pub fn validate(&self) -> Result<(), EnvConfigError> {
+        let err = |field: &'static str, reason: String| EnvConfigError { field, reason };
+        if self.nodes == 0 {
+            return Err(err("fleet.nodes", "fleet needs at least one node".into()));
+        }
+        if self.cycles_per_bit <= 0.0 || self.cycles_per_bit.is_nan() {
+            return Err(err("fleet.cycles_per_bit", "must be positive".into()));
+        }
+        if self.freq_min <= 0.0 || self.freq_min.is_nan() {
+            return Err(err("fleet.freq_min", "must be positive".into()));
+        }
+        if !(self.freq_max_range.0 > 0.0 && self.freq_max_range.1 >= self.freq_max_range.0) {
+            return Err(err(
+                "fleet.freq_max_range",
+                format!("must satisfy 0 < lo <= hi, got {:?}", self.freq_max_range),
+            ));
+        }
+        if self.freq_min > self.freq_max_range.0 {
+            return Err(err(
+                "fleet.freq_min",
+                format!(
+                    "{} exceeds the smallest possible freq_max {}",
+                    self.freq_min, self.freq_max_range.0
+                ),
+            ));
+        }
+        self.upload.validate()?;
+        if self.capacitance <= 0.0 || self.capacitance.is_nan() {
+            return Err(err("fleet.capacitance", "must be positive".into()));
+        }
+        if self.upload_power < 0.0 || self.upload_power.is_nan() {
+            return Err(err("fleet.upload_power", "must be non-negative".into()));
+        }
+        if !(self.reserve_range.0 >= 0.0 && self.reserve_range.1 >= self.reserve_range.0) {
+            return Err(err(
+                "fleet.reserve_range",
+                format!("must satisfy 0 <= lo <= hi, got {:?}", self.reserve_range),
+            ));
+        }
+        if let DataVolumes::Dirichlet { alpha } = self.data_volumes {
+            if !(alpha > 0.0 && alpha.is_finite()) {
+                return Err(err(
+                    "fleet.data_volumes",
+                    format!("Dirichlet alpha must be positive and finite, got {alpha}"),
+                ));
+            }
+        }
+        Ok(())
+    }
 }
 
 /// Per-node sample shares under a [`DataVolumes`] policy; always positive
-/// and summing to 1.
+/// and summing to 1. Callers validate `volumes` first (see
+/// [`FleetConfig::validate`]).
 fn volume_shares(volumes: DataVolumes, nodes: usize, rng: &mut TensorRng) -> Vec<f64> {
     match volumes {
         DataVolumes::Even => vec![1.0 / nodes as f64; nodes],
@@ -127,7 +238,6 @@ fn volume_shares(volumes: DataVolumes, nodes: usize, rng: &mut TensorRng) -> Vec
             (1..=nodes).map(|i| i as f64 / total).collect()
         }
         DataVolumes::Dirichlet { alpha } => {
-            assert!(alpha > 0.0, "Dirichlet alpha must be positive, got {alpha}");
             if nodes == 1 {
                 return vec![1.0];
             }
@@ -147,14 +257,226 @@ fn volume_shares(volumes: DataVolumes, nodes: usize, rng: &mut TensorRng) -> Vec
     }
 }
 
-/// Draws a heterogeneous fleet for `dataset` split evenly across nodes.
+/// Apportions `train_size` whole samples across `nodes` under a
+/// [`DataVolumes`] policy using largest-remainder rounding, so the counts
+/// sum to `train_size` *exactly* (no drift from continuous shares).
 ///
-/// Each node's `d_i` is `samples_per_node × bits_per_sample` of the dataset
-/// profile, matching how the paper derives per-epoch training bits.
+/// When `train_size >= nodes`, every node receives at least one sample:
+/// the continuous policies never assign a share of exactly zero, so a
+/// zero count would be a rounding artifact, not a property of the
+/// distribution. Deficits are covered by taking samples from the largest
+/// allocations.
+///
+/// # Errors
+///
+/// Returns an [`EnvConfigError`] if the policy parameters are invalid
+/// (e.g. non-positive Dirichlet alpha) or `nodes == 0`.
+pub fn volume_sample_counts(
+    volumes: DataVolumes,
+    nodes: usize,
+    train_size: usize,
+    seed: u64,
+) -> Result<Vec<usize>, EnvConfigError> {
+    if nodes == 0 {
+        return Err(EnvConfigError {
+            field: "fleet.nodes",
+            reason: "fleet needs at least one node".into(),
+        });
+    }
+    if let DataVolumes::Dirichlet { alpha } = volumes {
+        if !(alpha > 0.0 && alpha.is_finite()) {
+            return Err(EnvConfigError {
+                field: "fleet.data_volumes",
+                reason: format!("Dirichlet alpha must be positive and finite, got {alpha}"),
+            });
+        }
+    }
+    let mut rng = TensorRng::seed_from(seed);
+    let shares = volume_shares(volumes, nodes, &mut rng);
+    let mut counts: Vec<usize> = Vec::with_capacity(nodes);
+    let mut fractions: Vec<(usize, f64)> = Vec::with_capacity(nodes);
+    let mut assigned = 0usize;
+    for (i, &share) in shares.iter().enumerate() {
+        let target = share * train_size as f64;
+        let base = target.floor() as usize;
+        counts.push(base);
+        assigned += base;
+        fractions.push((i, target - base as f64));
+    }
+    // Hand the leftover samples to the largest fractional remainders
+    // (ties broken by node index, so the result is fully deterministic).
+    let mut leftover = train_size.saturating_sub(assigned);
+    fractions.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+    for &(i, _) in fractions.iter().cycle().take(leftover.min(nodes * 2)) {
+        if leftover == 0 {
+            break;
+        }
+        counts[i] += 1;
+        leftover -= 1;
+    }
+    // Guarantee one sample per node when the dataset is large enough.
+    if train_size >= nodes {
+        for i in 0..nodes {
+            if counts[i] == 0 {
+                let donor = counts
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))
+                    .map(|(j, _)| j)
+                    .expect("non-empty fleet");
+                counts[donor] -= 1;
+                counts[i] += 1;
+            }
+        }
+    }
+    Ok(counts)
+}
+
+/// A struct-of-arrays edge fleet: shared hardware scalars plus the four
+/// genuinely heterogeneous per-node columns.
+///
+/// Numerically equivalent to the `Vec<EdgeNode>` produced by
+/// [`build_fleet`] — [`Fleet::generate`] consumes the seeded RNG in
+/// exactly the same order, and [`Fleet::node`] reassembles bit-identical
+/// [`NodeParams`] — but holds 100k–1M nodes in half the memory and
+/// without a heap object per node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fleet {
+    cycles_per_bit: f64,
+    capacitance: f64,
+    freq_min: f64,
+    upload_power: f64,
+    data_bits: Vec<f64>,
+    freq_max: Vec<f64>,
+    upload_time: Vec<f64>,
+    reserve_utility: Vec<f64>,
+}
+
+impl Fleet {
+    /// Draws a heterogeneous fleet for `dataset`, validating the
+    /// configuration first.
+    ///
+    /// Each node's `d_i` is `samples_per_node × bits_per_sample` of the
+    /// dataset profile, matching how the paper derives per-epoch training
+    /// bits. The RNG consumption order (volume shares, then per node:
+    /// `freq_max`, upload, reserve) is identical to the historical
+    /// [`build_fleet`], so a given seed yields the same fleet under
+    /// either API.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`EnvConfigError`] if [`FleetConfig::validate`] fails or
+    /// the dataset holds fewer samples than the fleet has nodes.
+    pub fn generate(
+        config: &FleetConfig,
+        dataset: &DatasetSpec,
+        seed: u64,
+    ) -> Result<Self, EnvConfigError> {
+        config.validate()?;
+        if dataset.train_size < config.nodes {
+            return Err(EnvConfigError {
+                field: "fleet.nodes",
+                reason: format!(
+                    "dataset smaller than fleet ({} samples for {} nodes)",
+                    dataset.train_size, config.nodes
+                ),
+            });
+        }
+        let mut rng = TensorRng::seed_from(seed);
+        let total_bits = dataset.train_size as f64 * dataset.bits_per_sample() as f64;
+        let shares = volume_shares(config.data_volumes, config.nodes, &mut rng);
+        let n = config.nodes;
+        let mut fleet = Self {
+            cycles_per_bit: config.cycles_per_bit,
+            capacitance: config.capacitance,
+            freq_min: config.freq_min,
+            upload_power: config.upload_power,
+            data_bits: Vec::with_capacity(n),
+            freq_max: Vec::with_capacity(n),
+            upload_time: Vec::with_capacity(n),
+            reserve_utility: Vec::with_capacity(n),
+        };
+        for &share in &shares {
+            fleet
+                .freq_max
+                .push(sample_range(&mut rng, config.freq_max_range));
+            fleet.upload_time.push(config.upload.sample(&mut rng));
+            fleet
+                .reserve_utility
+                .push(sample_range(&mut rng, config.reserve_range));
+            fleet.data_bits.push(share * total_bits);
+        }
+        Ok(fleet)
+    }
+
+    /// Number of nodes in the fleet.
+    pub fn len(&self) -> usize {
+        self.data_bits.len()
+    }
+
+    /// Whether the fleet holds no nodes (never true for a generated fleet).
+    pub fn is_empty(&self) -> bool {
+        self.data_bits.is_empty()
+    }
+
+    /// Reassembles node `i`'s full parameter set by value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    pub fn params(&self, i: usize) -> NodeParams {
+        NodeParams {
+            cycles_per_bit: self.cycles_per_bit,
+            data_bits: self.data_bits[i],
+            capacitance: self.capacitance,
+            freq_min: self.freq_min,
+            freq_max: self.freq_max[i],
+            upload_time: self.upload_time[i],
+            upload_power: self.upload_power,
+            reserve_utility: self.reserve_utility[i],
+        }
+    }
+
+    /// Reassembles node `i` as a value [`EdgeNode`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    pub fn node(&self, i: usize) -> EdgeNode {
+        EdgeNode::new(self.params(i))
+    }
+
+    /// Materializes the whole fleet as an array-of-structs `Vec` for
+    /// callers that want slice-based APIs (Lemma 1, the baselines). At
+    /// 1M nodes this allocates ~64 MB — fleet-scale paths should index
+    /// [`Fleet::node`] instead.
+    pub fn to_nodes(&self) -> Vec<EdgeNode> {
+        (0..self.len()).map(|i| self.node(i)).collect()
+    }
+
+    /// Per-node data weights `D_i / D` for federated averaging.
+    pub fn data_weights(&self) -> Vec<f64> {
+        let total: f64 = self.data_bits.iter().sum();
+        self.data_bits.iter().map(|d| d / total).collect()
+    }
+
+    /// Total training-data bits across the fleet.
+    pub fn total_data_bits(&self) -> f64 {
+        self.data_bits.iter().sum()
+    }
+}
+
+/// Draws a heterogeneous fleet for `dataset` split across nodes.
+///
+/// Compatibility wrapper over [`Fleet::generate`] + [`Fleet::to_nodes`]
+/// for slice-based callers; bit-identical to the historical
+/// array-of-structs generator.
 ///
 /// # Panics
 ///
-/// Panics if `config.nodes == 0` or the dataset is smaller than the fleet.
+/// Panics if the configuration is invalid (see [`FleetConfig::validate`])
+/// or the dataset is smaller than the fleet; use [`Fleet::generate`] for
+/// the fallible path.
 ///
 /// # Examples
 ///
@@ -168,32 +490,10 @@ fn volume_shares(volumes: DataVolumes, nodes: usize, rng: &mut TensorRng) -> Vec
 /// assert_eq!(nodes[0].params().data_bits, 12_000.0 * 6_272.0);
 /// ```
 pub fn build_fleet(config: &FleetConfig, dataset: &DatasetSpec, seed: u64) -> Vec<EdgeNode> {
-    assert!(config.nodes > 0, "fleet needs at least one node");
-    assert!(
-        dataset.train_size >= config.nodes,
-        "dataset smaller than fleet"
-    );
-    let mut rng = TensorRng::seed_from(seed);
-    let total_bits = dataset.train_size as f64 * dataset.bits_per_sample() as f64;
-    let shares = volume_shares(config.data_volumes, config.nodes, &mut rng);
-    shares
-        .iter()
-        .map(|&share| {
-            let freq_max = rng.uniform(config.freq_max_range.0, config.freq_max_range.1);
-            let upload_time = config.upload.sample(&mut rng);
-            let reserve = rng.uniform(config.reserve_range.0, config.reserve_range.1);
-            EdgeNode::new(NodeParams {
-                cycles_per_bit: config.cycles_per_bit,
-                data_bits: share * total_bits,
-                capacitance: config.capacitance,
-                freq_min: config.freq_min,
-                freq_max,
-                upload_time,
-                upload_power: config.upload_power,
-                reserve_utility: reserve,
-            })
-        })
-        .collect()
+    match Fleet::generate(config, dataset, seed) {
+        Ok(fleet) => fleet.to_nodes(),
+        Err(e) => panic!("{e}"),
+    }
 }
 
 /// Per-node data weights `D_i / D` for federated averaging; even split ⇒
@@ -217,6 +517,20 @@ mod tests {
         }
         let c = build_fleet(&FleetConfig::paper(5), &spec, 4);
         assert!(a.iter().zip(&c).any(|(x, y)| x.params() != y.params()));
+    }
+
+    #[test]
+    fn soa_fleet_matches_aos_build() {
+        let spec = DatasetSpec::mnist_like();
+        let config = FleetConfig::paper(32);
+        let soa = Fleet::generate(&config, &spec, 11).expect("valid config");
+        let aos = build_fleet(&config, &spec, 11);
+        assert_eq!(soa.len(), aos.len());
+        for (i, node) in aos.iter().enumerate() {
+            assert_eq!(&soa.params(i), node.params(), "node {i}");
+            assert_eq!(soa.node(i).params(), node.params(), "node {i}");
+        }
+        assert_eq!(soa.data_weights(), data_weights(&aos));
     }
 
     #[test]
@@ -292,6 +606,79 @@ mod tests {
     }
 
     #[test]
+    fn invalid_bandwidth_model_is_a_typed_error_not_a_panic() {
+        // Regression: `UploadModel::sample` used to `assert!` on
+        // `model_bits` inside the sampling hot path; the bad config must
+        // now surface as an `EnvConfigError` from `Fleet::generate`.
+        let spec = DatasetSpec::mnist_like();
+        let config = FleetConfig {
+            upload: UploadModel::Bandwidth {
+                model_bits: -1.0,
+                range: (35_000.0, 70_000.0),
+            },
+            ..FleetConfig::paper(4)
+        };
+        let err = Fleet::generate(&config, &spec, 0).expect_err("invalid model_bits");
+        assert_eq!(err.field, "fleet.upload");
+        assert!(err.reason.contains("model_bits"), "reason: {}", err.reason);
+        // The sampler itself no longer panics even on the bad value.
+        let mut rng = TensorRng::seed_from(0);
+        let t = config.upload.sample(&mut rng);
+        assert!(t < 0.0, "garbage in, garbage out — but no panic: {t}");
+    }
+
+    #[test]
+    fn invalid_configs_are_typed_errors() {
+        let spec = DatasetSpec::mnist_like();
+        let cases: Vec<(FleetConfig, &str)> = vec![
+            (FleetConfig::paper(0), "fleet.nodes"),
+            (
+                FleetConfig {
+                    freq_max_range: (2.0e9, 1.0e9),
+                    ..FleetConfig::paper(4)
+                },
+                "fleet.freq_max_range",
+            ),
+            (
+                FleetConfig {
+                    freq_min: 3.0e9,
+                    ..FleetConfig::paper(4)
+                },
+                "fleet.freq_min",
+            ),
+            (
+                FleetConfig {
+                    reserve_range: (0.2, 0.1),
+                    ..FleetConfig::paper(4)
+                },
+                "fleet.reserve_range",
+            ),
+            (
+                FleetConfig::paper_with_volumes(4, DataVolumes::Dirichlet { alpha: 0.0 }),
+                "fleet.data_volumes",
+            ),
+            (
+                FleetConfig {
+                    upload: UploadModel::Bandwidth {
+                        model_bits: 1e6,
+                        range: (0.0, 1e4),
+                    },
+                    ..FleetConfig::paper(4)
+                },
+                "fleet.upload",
+            ),
+        ];
+        for (config, field) in cases {
+            let err = Fleet::generate(&config, &spec, 0).expect_err(field);
+            assert_eq!(err.field, field, "reason: {}", err.reason);
+        }
+        // Dataset-vs-fleet sizing is checked by generate, not validate.
+        let err = Fleet::generate(&FleetConfig::paper(spec.train_size + 1), &spec, 0)
+            .expect_err("fleet larger than dataset");
+        assert!(err.reason.contains("dataset smaller than fleet"));
+    }
+
+    #[test]
     fn size_skewed_volumes_are_linear() {
         let spec = DatasetSpec::mnist_like();
         let config = FleetConfig::paper_with_volumes(4, DataVolumes::SizeSkewed);
@@ -335,6 +722,111 @@ mod tests {
             );
         }
     }
+
+    #[test]
+    fn sample_counts_sum_exactly_for_all_policies() {
+        for volumes in [
+            DataVolumes::Even,
+            DataVolumes::SizeSkewed,
+            DataVolumes::Dirichlet { alpha: 1.0 },
+            DataVolumes::Dirichlet { alpha: 0.01 },
+        ] {
+            for (nodes, train) in [(1usize, 60_000usize), (7, 60_000), (100, 101)] {
+                let counts = volume_sample_counts(volumes, nodes, train, 9).expect("valid");
+                assert_eq!(counts.len(), nodes);
+                assert_eq!(
+                    counts.iter().sum::<usize>(),
+                    train,
+                    "{volumes:?} nodes={nodes}"
+                );
+                assert!(
+                    counts.iter().all(|&c| c >= 1),
+                    "{volumes:?} starved a node: {counts:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn extreme_dirichlet_at_fleet_scale_sums_exactly() {
+        // alpha = 0.01 at 100k nodes: nearly all Gamma draws underflow to
+        // ~0, so this leans entirely on the share floor + largest-remainder
+        // apportionment. The counts must still cover the train set exactly
+        // with no node at zero.
+        let counts = volume_sample_counts(
+            DataVolumes::Dirichlet { alpha: 0.01 },
+            100_000,
+            1_000_000,
+            3,
+        )
+        .expect("valid");
+        assert_eq!(counts.len(), 100_000);
+        assert_eq!(counts.iter().sum::<usize>(), 1_000_000);
+        assert!(counts.iter().all(|&c| c >= 1));
+        // The skew should survive rounding: some node far above the mean.
+        let max = counts.iter().copied().max().unwrap();
+        assert!(max > 100, "expected extreme skew, max count {max}");
+    }
+
+    #[test]
+    fn single_node_takes_the_whole_train_set() {
+        for volumes in [
+            DataVolumes::Even,
+            DataVolumes::SizeSkewed,
+            DataVolumes::Dirichlet { alpha: 0.01 },
+        ] {
+            let counts = volume_sample_counts(volumes, 1, 60_000, 0).expect("valid");
+            assert_eq!(counts, vec![60_000], "{volumes:?}");
+        }
+    }
+
+    #[test]
+    fn undersized_train_set_is_not_padded() {
+        // 3 samples across 5 nodes: the min-1 guarantee cannot hold, so
+        // the apportionment just hands out the 3 samples deterministically.
+        let counts = volume_sample_counts(DataVolumes::Even, 5, 3, 1).expect("valid");
+        assert_eq!(counts.iter().sum::<usize>(), 3);
+        assert_eq!(counts.len(), 5);
+    }
+
+    #[test]
+    fn sample_counts_reject_bad_alpha() {
+        let err = volume_sample_counts(DataVolumes::Dirichlet { alpha: -0.5 }, 4, 100, 0)
+            .expect_err("negative alpha");
+        assert_eq!(err.field, "fleet.data_volumes");
+    }
+
+    #[test]
+    fn pinned_dirichlet_shares_regression() {
+        // Extends the pinned PR 1 Dirichlet regression (chiron_data
+        // partition tests) to the volume path: exact bit patterns for a
+        // fixed (seed, alpha, n). If the RNG consumption order or the
+        // share floor ever changes, this fails loudly instead of silently
+        // shifting every downstream fleet.
+        let spec = DatasetSpec::mnist_like();
+        let config = FleetConfig::paper_with_volumes(4, DataVolumes::Dirichlet { alpha: 0.5 });
+        let a = Fleet::generate(&config, &spec, 7).expect("valid");
+        let b = Fleet::generate(&config, &spec, 7).expect("valid");
+        let bits_a: Vec<u64> = (0..a.len())
+            .map(|i| a.params(i).data_bits.to_bits())
+            .collect();
+        let bits_b: Vec<u64> = (0..b.len())
+            .map(|i| b.params(i).data_bits.to_bits())
+            .collect();
+        assert_eq!(bits_a, bits_b, "same seed must be bit-identical");
+        let pinned: Vec<u64> = PINNED_DIRICHLET_BITS.to_vec();
+        assert_eq!(bits_a, pinned, "Dirichlet volume stream drifted");
+    }
+
+    /// `data_bits` bit patterns for `Fleet::generate(paper_with_volumes(4,
+    /// Dirichlet{alpha: 0.5}), mnist_like, seed 7)`, captured when the SoA
+    /// fleet landed.
+    const PINNED_DIRICHLET_BITS: [u64; 4] = [
+        0x4159_8B95_9D03_5901,
+        0x41B2_2499_32D9_3238,
+        0x4181_5CC3_A68D_87C8,
+        0x417B_7D00_1E10_F6A7,
+    ];
 
     #[test]
     fn weights_sum_to_one() {

@@ -65,8 +65,9 @@ pub mod oracle;
 pub use budget::BudgetLedger;
 pub use env::{
     ChannelVariation, EdgeLearningEnv, EnvConfig, EnvConfigBuilder, EnvConfigError, EnvState,
-    EnvStateError, ResilienceConfig, RoundOutcome, StepStatus,
+    EnvStateError, Participation, ResilienceConfig, RoundOutcome, StepStatus,
 };
+pub use fleet::Fleet;
 pub use node::{EdgeNode, NodeParams, NodeResponse};
 
 #[cfg(test)]

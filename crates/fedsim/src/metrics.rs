@@ -117,18 +117,21 @@ impl NodeLedger {
         }
     }
 
-    /// Accumulates one recorded round.
+    /// Accumulates one recorded round. Responses are attributed to the
+    /// global node indices in the outcome's selection, so sampled rounds
+    /// (which only carry the selected subset) accumulate correctly.
     ///
     /// # Panics
     ///
-    /// Panics if the outcome's node count differs from the ledger's.
+    /// Panics if the outcome's selection is larger than the ledger or
+    /// targets a node outside it.
     pub fn record(&mut self, outcome: &crate::RoundOutcome) {
-        assert_eq!(
-            outcome.responses.len(),
-            self.payments.len(),
+        assert!(
+            outcome.selection.len() <= self.payments.len(),
             "node count mismatch"
         );
-        for (i, response) in outcome.responses.iter().enumerate() {
+        for (&i, response) in outcome.selection.iter().zip(&outcome.responses) {
+            assert!(i < self.payments.len(), "node count mismatch");
             if let Some(r) = response {
                 self.payments[i] += r.payment;
                 self.energies[i] += r.energy;

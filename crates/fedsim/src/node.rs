@@ -35,32 +35,57 @@ pub struct NodeParams {
 }
 
 impl NodeParams {
+    /// Checks physical sanity, returning the first violated constraint as
+    /// a typed error (the same [`crate::EnvConfigError`] the config
+    /// builder produces, so callers have one error path for all
+    /// user-supplied configuration).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error naming the offending field if any parameter is
+    /// non-positive where positivity is required or `freq_min > freq_max`.
+    pub fn try_validate(&self) -> Result<(), crate::EnvConfigError> {
+        let err = |field: &'static str, reason: String| crate::EnvConfigError { field, reason };
+        if self.cycles_per_bit <= 0.0 || self.cycles_per_bit.is_nan() {
+            return Err(err("cycles_per_bit", "must be positive".into()));
+        }
+        if self.data_bits <= 0.0 || self.data_bits.is_nan() {
+            return Err(err("data_bits", "must be positive".into()));
+        }
+        if self.capacitance <= 0.0 || self.capacitance.is_nan() {
+            return Err(err("capacitance", "must be positive".into()));
+        }
+        if self.freq_min <= 0.0 || self.freq_min.is_nan() {
+            return Err(err("freq_min", "must be positive".into()));
+        }
+        if self.freq_min > self.freq_max {
+            return Err(err(
+                "freq_min",
+                format!("{} exceeds freq_max {}", self.freq_min, self.freq_max),
+            ));
+        }
+        if self.upload_time < 0.0 || self.upload_time.is_nan() {
+            return Err(err("upload_time", "must be non-negative".into()));
+        }
+        if self.upload_power < 0.0 || self.upload_power.is_nan() {
+            return Err(err("upload_power", "must be non-negative".into()));
+        }
+        if self.reserve_utility < 0.0 || self.reserve_utility.is_nan() {
+            return Err(err("reserve_utility", "must be non-negative".into()));
+        }
+        Ok(())
+    }
+
     /// Validates physical sanity.
     ///
     /// # Panics
     ///
-    /// Panics if any parameter is non-positive where positivity is required
-    /// or `freq_min > freq_max`.
+    /// Panics if [`NodeParams::try_validate`] fails; prefer the fallible
+    /// variant when the parameters come from user input.
     pub fn validate(&self) {
-        assert!(self.cycles_per_bit > 0.0, "cycles_per_bit must be positive");
-        assert!(self.data_bits > 0.0, "data_bits must be positive");
-        assert!(self.capacitance > 0.0, "capacitance must be positive");
-        assert!(self.freq_min > 0.0, "freq_min must be positive");
-        assert!(
-            self.freq_min <= self.freq_max,
-            "freq_min {} exceeds freq_max {}",
-            self.freq_min,
-            self.freq_max
-        );
-        assert!(self.upload_time >= 0.0, "upload_time must be non-negative");
-        assert!(
-            self.upload_power >= 0.0,
-            "upload_power must be non-negative"
-        );
-        assert!(
-            self.reserve_utility >= 0.0,
-            "reserve_utility must be non-negative"
-        );
+        if let Err(e) = self.try_validate() {
+            panic!("{e}");
+        }
     }
 }
 
@@ -107,7 +132,7 @@ pub struct NodeResponse {
 /// let resp = node.respond(p, sigma).expect("participates");
 /// assert!((resp.frequency - 2e9).abs() / 2e9 < 1e-9);
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EdgeNode {
     params: NodeParams,
 }
@@ -121,6 +146,17 @@ impl EdgeNode {
     pub fn new(params: NodeParams) -> Self {
         params.validate();
         Self { params }
+    }
+
+    /// Creates a node, returning the first violated parameter constraint
+    /// instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the error from [`NodeParams::try_validate`].
+    pub fn try_new(params: NodeParams) -> Result<Self, crate::EnvConfigError> {
+        params.try_validate()?;
+        Ok(Self { params })
     }
 
     /// The node's (private) parameters.

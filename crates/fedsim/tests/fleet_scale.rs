@@ -1,0 +1,115 @@
+//! Fleet-scale regression tests: million-node environments must do
+//! O(selected) work per round, and fleet-scale episodes must survive a
+//! kill-and-resume cycle bitwise.
+
+use chiron_fedsim::faults::{Fault, FaultProcessConfig, FaultSchedule};
+use chiron_fedsim::{ChannelVariation, EdgeLearningEnv, EnvConfig};
+use std::time::Instant;
+
+fn fleet_env(nodes: usize, per_round: usize, seed: u64) -> EdgeLearningEnv {
+    let mut config = EnvConfig::builder()
+        .nodes(nodes)
+        .budget(1e12)
+        .oracle_noise(0.0)
+        .sample_per_round(per_round)
+        .build()
+        .expect("valid fleet config");
+    // Dataset profiles top out at 60k examples; give every node one.
+    config.dataset.train_size = config.dataset.train_size.max(nodes);
+    config.channel = ChannelVariation::LogNormal { sigma: 0.3 };
+    EdgeLearningEnv::try_new(config, seed).expect("fleet env")
+}
+
+/// Selection-aligned prices at half of each selected node's cap.
+fn prices_for(env: &EdgeLearningEnv, round: usize) -> Vec<f64> {
+    let sigma = env.sigma();
+    env.selection_for(round)
+        .iter()
+        .map(|&i| env.node(i).price_cap(sigma) * 0.5)
+        .collect()
+}
+
+/// Regression for the fault-by-node index: a schedule with a handful of
+/// faults on a million-node fleet must be consulted in O(active per
+/// selected node), not by scanning the fleet (or the schedule) each
+/// round. Before the index, per-round fault lookup was O(fleet ×
+/// schedule) and this test did not finish in minutes; with it, the
+/// stepped rounds are microseconds.
+#[test]
+fn million_node_sampled_step_is_o_selected() {
+    const NODES: usize = 1_000_000;
+    let mut env = fleet_env(NODES, 64, 11);
+    let faults: Vec<Fault> = (0..10)
+        .map(|i| Fault::Dropout {
+            node: i * (NODES / 10),
+            from_round: 1,
+        })
+        .collect();
+    env.set_faults(FaultSchedule::new(faults))
+        .expect("valid schedule");
+
+    let t0 = Instant::now();
+    for round in 1..=5 {
+        let prices = prices_for(&env, round);
+        let out = env.step(&prices);
+        assert_eq!(out.selection.len(), 64);
+        assert_eq!(out.responses.len(), 64);
+        assert!(out.selection.iter().all(|&i| i < NODES));
+    }
+    // Generous even for CI machines: 5 sampled rounds are sub-millisecond
+    // when per-round work is O(selected); an O(fleet) regression costs
+    // seconds per round here and trips the bound.
+    assert!(
+        t0.elapsed().as_secs_f64() < 5.0,
+        "5 sampled rounds on a 1M-node fleet took {:?} — per-round work is \
+         scaling with the fleet, not the selection",
+        t0.elapsed()
+    );
+}
+
+/// Kill-and-resume at fleet scale (the crash-safety contract of the
+/// sampled path): capture after 5 rounds of a 100k-node sampled episode
+/// with the full stochastic fault process and log-normal fading, rebuild
+/// the environment from scratch, restore, and the 10-round tail must
+/// replay bitwise.
+#[test]
+fn fleet_scale_kill_and_resume_replays_bitwise() {
+    const NODES: usize = 100_000;
+    let build = || {
+        let mut e = fleet_env(NODES, 64, 23);
+        e.set_fault_process(Some(FaultProcessConfig::standard(5)));
+        e
+    };
+
+    let mut original = build();
+    for round in 1..=5 {
+        let prices = prices_for(&original, round);
+        let _ = original.step(&prices);
+    }
+    let snap = original.capture_state().expect("capture");
+
+    let digest = |env: &mut EdgeLearningEnv| -> Vec<(u64, u64, Vec<usize>, usize)> {
+        (0..10)
+            .map(|_| {
+                let round = env.round() + 1;
+                let prices = prices_for(env, round);
+                let o = env.step(&prices);
+                (
+                    o.accuracy.to_bits(),
+                    o.payment_total.to_bits(),
+                    o.selection.clone(),
+                    o.num_participants(),
+                )
+            })
+            .collect()
+    };
+    let tail = digest(&mut original);
+
+    // Simulated crash: a brand-new process would rebuild the env from its
+    // config and seed, then restore the checkpoint.
+    let mut resumed = build();
+    resumed.restore_state(&snap).expect("restore");
+    let replay = digest(&mut resumed);
+
+    assert_eq!(tail, replay, "resumed tail diverged from the original");
+}

@@ -15,6 +15,8 @@
 //! | `CHIRON_QUORUM` | usize | fedsim | minimum participants per round (default 0 = off) |
 //! | `CHIRON_DEADLINE_SLACK` | f64 ≥ 1 | fedsim | Lemma-1 deadline multiplier (default off) |
 //! | `CHIRON_FAULT_SEED` | u64 | CLI | installs the standard fault process with this seed |
+//! | `CHIRON_FLEET_SAMPLE` | usize | CLI/fedsim | nodes priced per round (0/unset = full participation) |
+//! | `CHIRON_FLEET_CLUSTERS` | usize ≥ 1 | CLI/fedsim | edge clusters for two-level aggregation (default 1) |
 //! | `CHIRON_TELEMETRY` | path | CLI | JSONL telemetry output (same as `--telemetry`) |
 //! | `CHIRON_EPISODES` | usize | bench | episode count override for bench binaries |
 //! | `CHIRON_SEEDS` | usize ≥ 1 | bench | replication count for bench panels |
@@ -64,6 +66,12 @@ pub struct RuntimeConfig {
     pub deadline_slack: Option<f64>,
     /// `CHIRON_FAULT_SEED`: seed for the standard stochastic fault process.
     pub fault_seed: Option<u64>,
+    /// `CHIRON_FLEET_SAMPLE`: nodes priced per round (sampled
+    /// participation; 0/unset = full participation).
+    pub fleet_sample: Option<usize>,
+    /// `CHIRON_FLEET_CLUSTERS`: edge-cluster count for two-level
+    /// aggregation in the training oracle (default 1 = flat).
+    pub fleet_clusters: Option<usize>,
     /// `CHIRON_TELEMETRY`: JSONL telemetry output path.
     pub telemetry: Option<String>,
     /// `CHIRON_EPISODES`: bench episode-count override.
@@ -94,6 +102,8 @@ impl RuntimeConfig {
             quorum: parse_var("CHIRON_QUORUM"),
             deadline_slack: parse_var("CHIRON_DEADLINE_SLACK"),
             fault_seed: parse_var("CHIRON_FAULT_SEED"),
+            fleet_sample: parse_var("CHIRON_FLEET_SAMPLE"),
+            fleet_clusters: parse_var("CHIRON_FLEET_CLUSTERS"),
             telemetry: std::env::var("CHIRON_TELEMETRY")
                 .ok()
                 .filter(|s| !s.is_empty()),

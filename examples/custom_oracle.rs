@@ -72,6 +72,7 @@ fn main() {
         oracle_noise: 0.0,
         max_rounds: 100,
         channel: ChannelVariation::Static,
+        participation: chiron_fedsim::Participation::Full,
     };
     let mut env = EdgeLearningEnv::with_oracle(config, Box::new(oracle), seed);
 

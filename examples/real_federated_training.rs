@@ -48,6 +48,7 @@ fn main() {
         oracle_noise: 0.0, // unused with a custom oracle
         max_rounds: 30,
         channel: ChannelVariation::Static,
+        participation: chiron_fedsim::Participation::Full,
     };
     let mut env = EdgeLearningEnv::with_oracle(config, Box::new(oracle), seed);
     println!("initial (untrained) accuracy: {:.3}", env.accuracy());

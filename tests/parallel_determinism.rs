@@ -11,7 +11,9 @@
 use chiron_bench::run_budget_panel;
 use chiron_data::{DatasetKind, DatasetSpec};
 use chiron_drl::{PpoAgent, PpoConfig, RolloutBuffer};
+use chiron_fedsim::faults::FaultProcessConfig;
 use chiron_fedsim::oracle::{AccuracyOracle, RoundContext, TrainingOracle};
+use chiron_fedsim::{ChannelVariation, EdgeLearningEnv, EnvConfig};
 use chiron_nn::{models, Linear, Relu, Sequential, SoftmaxCrossEntropy};
 use chiron_tensor::{im2col, pool, scope, Conv2dGeometry, Init, TensorRng};
 
@@ -154,6 +156,100 @@ fn federated_training_is_bitwise_identical_across_thread_counts() {
         let (params, acc) = federated_rounds();
         assert_eq!(base_params, params, "global weights at {threads} threads");
         assert_eq!(base_acc, acc, "accuracy at {threads} threads");
+    }
+    pool::set_threads(1);
+}
+
+/// A 10-round sampled-participation episode on a 10k-node fleet —
+/// log-normal fading and the full stochastic fault process on — returning
+/// every round's accuracy/payment bits, selection, and participant count.
+/// Selection, fading, and fault draws are all stateless per-node counter
+/// streams in the sampled path, so nothing here may depend on the pool.
+fn sampled_fleet_episode() -> Vec<(u64, u64, Vec<usize>, usize)> {
+    let mut config = EnvConfig::builder()
+        .nodes(10_000)
+        .budget(1e12)
+        .oracle_noise(0.0)
+        .sample_per_round(32)
+        .build()
+        .expect("valid sampled config");
+    config.channel = ChannelVariation::LogNormal { sigma: 0.3 };
+    let mut env = EdgeLearningEnv::try_new(config, 19).expect("sampled env");
+    env.set_fault_process(Some(FaultProcessConfig::standard(3)));
+    let sigma = env.sigma();
+    (1..=10)
+        .map(|round| {
+            let prices: Vec<f64> = env
+                .selection_for(round)
+                .iter()
+                .map(|&i| env.node(i).price_cap(sigma) * 0.5)
+                .collect();
+            let o = env.step(&prices);
+            (
+                o.accuracy.to_bits(),
+                o.payment_total.to_bits(),
+                o.selection.clone(),
+                o.num_participants(),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn sampled_fleet_episode_is_bitwise_identical_across_thread_counts() {
+    pool::set_threads(1);
+    let base = sampled_fleet_episode();
+    for threads in [4usize, 8] {
+        pool::set_threads(threads);
+        let run = sampled_fleet_episode();
+        assert_eq!(base, run, "sampled episode at {threads} threads");
+    }
+    pool::set_threads(1);
+}
+
+/// Three federated rounds through the two-level (clustered) aggregation
+/// path: per-cluster partial sums fan out across the pool, and the
+/// cluster-order join must make the global weights independent of the
+/// thread count.
+fn clustered_federated_rounds() -> (Vec<u32>, u64) {
+    let spec = DatasetSpec::tiny();
+    let mut rng = TensorRng::seed_from(6);
+    let mut net = Sequential::new();
+    net.push(models::Flatten::new());
+    net.push(Linear::new(spec.pixels(), 24, &mut rng));
+    net.push(Relu::new());
+    net.push(Linear::new(24, spec.classes, &mut rng));
+    let mut oracle = TrainingOracle::new(&spec, net, 8, 640, 2, 16, 0.05, 9);
+    oracle.set_clusters(3);
+    let participants: Vec<usize> = (0..8).collect();
+    let weights = vec![1.0 / 8.0; 8];
+    for round in 1..=3 {
+        oracle.execute_round(&RoundContext {
+            round,
+            participants: &participants,
+            weights: &weights,
+        });
+    }
+    let bits = oracle
+        .global_parameters()
+        .iter()
+        .map(|p| p.to_bits())
+        .collect();
+    (bits, oracle.accuracy().to_bits())
+}
+
+#[test]
+fn clustered_aggregation_is_bitwise_identical_across_thread_counts() {
+    pool::set_threads(1);
+    let (base_params, base_acc) = clustered_federated_rounds();
+    for threads in [4usize, 8] {
+        pool::set_threads(threads);
+        let (params, acc) = clustered_federated_rounds();
+        assert_eq!(
+            base_params, params,
+            "clustered weights at {threads} threads"
+        );
+        assert_eq!(base_acc, acc, "clustered accuracy at {threads} threads");
     }
     pool::set_threads(1);
 }

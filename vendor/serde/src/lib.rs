@@ -299,6 +299,21 @@ impl<T: Deserialize> Deserialize for Vec<T> {
     }
 }
 
+// Mirrors upstream's `rc` feature: a shared pointer serializes as its
+// contents (sharing is a runtime optimization, not a data-model property)
+// and deserializes into a freshly allocated, unshared value.
+impl<T: Serialize + ?Sized> Serialize for std::sync::Arc<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for std::sync::Arc<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        T::from_value(value).map(std::sync::Arc::new)
+    }
+}
+
 impl<T: Serialize> Serialize for Option<T> {
     fn to_value(&self) -> Value {
         match self {
