@@ -21,6 +21,19 @@ for t in 1 4 8; do
         --test failure_injection --test resilience --test parallel_determinism
 done
 
+echo "==> kernel + determinism suites under the SIMD × thread matrix"
+# CHIRON_SIMD=0 pins the scalar dispatch tier; 1 uses the best detected
+# (AVX2/NEON). Both must be bitwise-identical at every thread count —
+# tests/simd.rs compares against the pinned scalar reference explicitly.
+for s in 0 1; do
+    for t in 1 4 8; do
+        echo "    CHIRON_SIMD=$s CHIRON_THREADS=$t"
+        CHIRON_SIMD=$s CHIRON_THREADS=$t cargo test -q --release --offline \
+            --test simd --test parallel_determinism
+    done
+    CHIRON_SIMD=$s cargo test -q --release --offline -p chiron-tensor kernel
+done
+
 echo "==> bench smoke (1 sample per case, scratch output dir)"
 smoke_out="${CHIRON_BENCH_SMOKE_OUT:-$(mktemp -d)}"
 mkdir -p "$smoke_out"

@@ -7,8 +7,11 @@
 //! CHIRON_BENCH_LABEL=pr2 cargo run --release -p chiron-bench --bin bench_kernels
 //! ```
 
-use chiron_bench::timing::{time_case, write_results, Run};
-use chiron_tensor::{col2im, im2col, pool, Conv2dGeometry, Init, Tensor, TensorRng};
+use chiron_bench::timing::{time_case, time_case_flops, write_results, Run};
+use chiron_tensor::{
+    active_tier, col2im, im2col, matmul_into_with, params_for, pool, Conv2dGeometry, DispatchTier,
+    Init, KernelParams, MatView, ShapeKey, Tensor, TensorRng,
+};
 use std::hint::black_box;
 
 /// `(name, m, k, n)` of the matmul shapes that dominate CNN training: the
@@ -32,21 +35,95 @@ fn main() {
         let b = rng.init(&[k, n], Init::Normal(1.0));
         let at = a.transpose();
         let bt = b.transpose();
+        let flops = 2 * m * k * n;
         for threads in [1usize, 4] {
             pool::set_threads(threads);
-            results.push(time_case(&format!("{name}_t{threads}"), || {
-                black_box(black_box(&a).matmul(black_box(&b)));
-            }));
+            results.push(time_case_flops(
+                &format!("{name}_t{threads}"),
+                flops,
+                || {
+                    black_box(black_box(&a).matmul(black_box(&b)));
+                },
+            ));
             if threads == 1 {
-                results.push(time_case(&format!("{name}_tn_t1"), || {
+                results.push(time_case_flops(&format!("{name}_tn_t1"), flops, || {
                     black_box(black_box(&at).matmul_tn(black_box(&b)));
                 }));
-                results.push(time_case(&format!("{name}_nt_t1"), || {
+                results.push(time_case_flops(&format!("{name}_nt_t1"), flops, || {
                     black_box(black_box(&a).matmul_nt(black_box(&bt)));
                 }));
             }
         }
         pool::set_threads(1);
+    }
+
+    // Dispatch-tier comparison at the MNIST conv shapes: the pinned scalar
+    // reference configuration vs the active SIMD tier with its autotuned
+    // blocking, same buffers, serial. The `_tier_simd_` case equals
+    // `_t1` minus dispatch/telemetry overhead; the spread between the two
+    // tiers is the SIMD speedup on this host.
+    for &(name, m, k, n) in &MATMUL_SHAPES[..2] {
+        let a = rng.init(&[m, k], Init::Normal(1.0));
+        let b = rng.init(&[k, n], Init::Normal(1.0));
+        let av = MatView::row_major(a.as_slice(), m, k);
+        let bv = MatView::row_major(b.as_slice(), k, n);
+        let flops = 2 * m * k * n;
+        let mut out = vec![0.0f32; m * n];
+        results.push(time_case_flops(
+            &format!("{name}_tier_scalar_t1"),
+            flops,
+            || {
+                out.fill(0.0);
+                matmul_into_with(
+                    &av,
+                    &bv,
+                    black_box(&mut out),
+                    DispatchTier::Scalar,
+                    KernelParams::pinned_scalar(),
+                );
+            },
+        ));
+        let tier = active_tier();
+        let key = ShapeKey {
+            m,
+            k,
+            n,
+            layout_a: 0,
+            layout_b: 0,
+        };
+        let tuned = params_for(tier, key, &av, &bv);
+        results.push(time_case_flops(
+            &format!("{name}_tier_simd_t1"),
+            flops,
+            || {
+                out.fill(0.0);
+                matmul_into_with(&av, &bv, black_box(&mut out), tier, tuned);
+            },
+        ));
+    }
+
+    // Warm-cache autotune lookup: the per-call overhead the blocked path
+    // pays once a shape is profiled (hash + mutex, no measurement).
+    {
+        let (m, k, n) = (640usize, 250, 20);
+        let a = rng.init(&[m, k], Init::Normal(1.0));
+        let b = rng.init(&[k, n], Init::Normal(1.0));
+        let av = MatView::row_major(a.as_slice(), m, k);
+        let bv = MatView::row_major(b.as_slice(), k, n);
+        let tier = active_tier();
+        let key = ShapeKey {
+            m,
+            k,
+            n,
+            layout_a: 0,
+            layout_b: 0,
+        };
+        params_for(tier, key, &av, &bv); // ensure profiled
+        results.push(time_case("autotune_lookup_warm_x100", || {
+            for _ in 0..100 {
+                black_box(params_for(tier, key, &av, &bv));
+            }
+        }));
     }
 
     // The layout transforms around those products.

@@ -225,6 +225,17 @@ impl Counter {
         }
     }
 
+    /// Whether an `add` would currently record (the layer-wide switch).
+    ///
+    /// Hot paths that must do extra work *around* an observation (clock
+    /// reads, derived values) can gate that work here instead of paying it
+    /// unconditionally.
+    #[inline]
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        enabled()
+    }
+
     /// Adds `n` occurrences (no-op while disabled).
     #[inline]
     pub fn add(&self, n: u64) {
@@ -279,6 +290,17 @@ impl Histogram {
             name,
             cell: OnceLock::new(),
         }
+    }
+
+    /// Whether a `record` would currently observe (the layer-wide switch).
+    ///
+    /// Callers that must compute an observation's inputs (e.g. the kernel's
+    /// two clock reads around a timed region) check this first so the
+    /// disabled hot path skips that work entirely.
+    #[inline]
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        enabled()
     }
 
     /// Records one observation (no-op while disabled).

@@ -12,6 +12,9 @@
 //! | `CHIRON_JOBS` | usize ≥ 1 | CLI | coarse-grained job count; resizes the pool like `--jobs` |
 //! | `CHIRON_COARSE` | bool (`0`/`1`) | tensor scope | enable coarse-grained task scheduling (default 1) |
 //! | `CHIRON_SCRATCH_CAP` | usize (MiB) | tensor scratch | per-thread arena retention cap (default 64) |
+//! | `CHIRON_SIMD` | bool (`0`/`1`) | tensor kernel | SIMD dispatch tier (default 1 = best detected; `0` forces the pinned scalar tier) |
+//! | `CHIRON_AUTOTUNE` | bool (`0`/`1`) | tensor kernel | per-shape measured blocking autotuner (default 1; `0` = static heuristic only) |
+//! | `CHIRON_AUTOTUNE_CACHE` | path | tensor kernel | persistent autotune profile cache file (default: in-memory only) |
 //! | `CHIRON_QUORUM` | usize | fedsim | minimum participants per round (default 0 = off) |
 //! | `CHIRON_DEADLINE_SLACK` | f64 ≥ 1 | fedsim | Lemma-1 deadline multiplier (default off) |
 //! | `CHIRON_FAULT_SEED` | u64 | CLI | installs the standard fault process with this seed |
@@ -59,6 +62,16 @@ pub struct RuntimeConfig {
     pub coarse: Option<bool>,
     /// `CHIRON_SCRATCH_CAP`: per-thread scratch retention cap in MiB.
     pub scratch_cap_mib: Option<usize>,
+    /// `CHIRON_SIMD`: whether the matmul kernel may use the detected SIMD
+    /// dispatch tier (`0`/`false` forces the pinned scalar tier; every tier
+    /// is bitwise-identical, so this is a verification/benchmark knob).
+    pub simd: Option<bool>,
+    /// `CHIRON_AUTOTUNE`: whether the kernel may measure blocking
+    /// candidates per shape (`0`/`false` = deterministic static heuristic).
+    pub autotune: Option<bool>,
+    /// `CHIRON_AUTOTUNE_CACHE`: path of the persistent autotune profile
+    /// cache (loaded on first kernel use, rewritten after each tune).
+    pub autotune_cache: Option<String>,
     /// `CHIRON_QUORUM`: minimum participants per round.
     pub quorum: Option<usize>,
     /// `CHIRON_DEADLINE_SLACK`: Lemma-1 deadline multiplier (must be ≥ 1
@@ -99,6 +112,11 @@ impl RuntimeConfig {
             jobs: parse_var("CHIRON_JOBS"),
             coarse: parse_bool_var("CHIRON_COARSE"),
             scratch_cap_mib: parse_var("CHIRON_SCRATCH_CAP"),
+            simd: parse_bool_var("CHIRON_SIMD"),
+            autotune: parse_bool_var("CHIRON_AUTOTUNE"),
+            autotune_cache: std::env::var("CHIRON_AUTOTUNE_CACHE")
+                .ok()
+                .filter(|s| !s.is_empty()),
             quorum: parse_var("CHIRON_QUORUM"),
             deadline_slack: parse_var("CHIRON_DEADLINE_SLACK"),
             fault_seed: parse_var("CHIRON_FAULT_SEED"),

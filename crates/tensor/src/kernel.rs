@@ -1,66 +1,92 @@
-//! Cache-blocked, packed, register-tiled matmul kernel.
+//! Cache-blocked, packed, register-tiled matmul kernel with runtime SIMD
+//! dispatch and per-shape autotuned blocking.
 //!
 //! All three matmul variants ([`Tensor::matmul`](crate::Tensor::matmul),
 //! `matmul_tn`, `matmul_nt`) and the conv-backward products route through
 //! [`matmul_views`], which dispatches on problem size:
 //!
 //! * **Direct path** (small products, e.g. the PPO MLP's `30×64·64×64`):
-//!   the original unblocked row loops — no packing overhead.
+//!   the original unblocked row loops — no packing overhead, always scalar.
 //! * **Blocked path** (the conv-dominated im2col products): BLIS-style
-//!   `jc → pc → ic` panel blocking with [`NC`]×[`KC`]×[`MC`] tiles, both
-//!   operands packed into contiguous panels from the scratch arena, and an
-//!   [`MR`]×[`NR`] register-tiled micro-kernel.
+//!   `jc → pc → ic` panel blocking, both operands packed into contiguous
+//!   panels from the scratch arena, and a register-tiled micro-kernel.
+//!
+//! On the blocked path two further decisions are made per call, neither of
+//! which affects a single output bit (see below):
+//!
+//! * **Dispatch tier** ([`simd::active_tier`]): AVX2 on capable x86-64,
+//!   NEON on aarch64, scalar elsewhere — or pinned to scalar with
+//!   `CHIRON_SIMD=0`. The vector micro-kernels lay lanes along `n` and use
+//!   unfused multiply-then-add, so every tier executes each element's
+//!   canonical fold exactly.
+//! * **Blocking parameters** ([`tune::params_for`]): the `mc`/`kc`/`nc`
+//!   panel sizes and the register micro-tile, resolved from the per-shape
+//!   autotune profile cache (measured once per shape when `CHIRON_AUTOTUNE`
+//!   is on, deterministic heuristic otherwise). The scalar tier always uses
+//!   the pinned [`MC`]/[`KC`]/[`NC`] + [`MR`]×[`NR`] configuration — the
+//!   byte-stable reference.
 //!
 //! # Canonical accumulation order
 //!
-//! Every path — direct, blocked, serial, pool-parallel, any operand layout
-//! — computes each output element as **one** `f32` accumulator over `k`
-//! **ascending**:
+//! Every path — direct, blocked, serial, pool-parallel, any operand layout,
+//! any dispatch tier, any blocking parameters — computes each output
+//! element as **one** `f32` accumulator over `k` **ascending**, with an
+//! unfused multiply then add per term:
 //!
 //! ```text
 //! c[i][j] = fold(k = 0..K) { acc = acc + a[i][k] * b[k][j] }
 //! ```
 //!
 //! The micro-kernel keeps this exact order across cache blocking by
-//! *loading the C tile into its accumulator registers* at the start of each
-//! `KC` panel and storing it back after: partial sums materialize through C
+//! *loading the C tile into its accumulators* at the start of each
+//! `kc` panel and storing it back after: partial sums materialize through C
 //! memory between panels, and an `f32` store/load round-trip is
 //! value-preserving, so splitting `k` into panels never reassociates the
-//! fold. The direct path's zero-skip (`a[i][k] == 0.0` contributes
-//! `acc + ±0.0·b`, which never changes a finite accumulator that started at
-//! `+0.0`) and the packed path's zero padding are both identities on finite
-//! data, so:
+//! fold — for **any** `kc`. Micro-tile and `mc`/`nc` choices only regroup
+//! which elements advance together, never an element's own op sequence; the
+//! SIMD tiers advance several elements per instruction with one lane per
+//! element and no horizontal reduction (see [`simd`]). The direct path's
+//! zero-skip (`a[i][k] == 0.0` contributes `acc + ±0.0·b`, which never
+//! changes a finite accumulator that started at `+0.0`) and the packed
+//! path's zero padding are both identities on finite data, so:
 //!
-//! * the blocked kernel equals the naive reference **bitwise** (the
-//!   property tests assert exact equality on random shapes), and
+//! * the blocked kernel equals the naive reference **bitwise** on every
+//!   tier and parameter choice (the property tests assert exact equality
+//!   on random shapes, and `tests/simd.rs` crosses tiers), and
 //! * size-based dispatch between the two paths is numerically invisible.
 //!
 //! # Thread-count invariance
 //!
-//! The blocked path parallelizes over `MC`-row blocks of C inside each
-//! `(jc, pc)` panel. The partition is derived from `m` alone (never the
-//! thread count), each block writes a disjoint row range, and each element's
-//! operation sequence is fixed by the loop structure — so output is bitwise
-//! identical to serial at any `CHIRON_THREADS` (`tests/parallel_determinism`
-//! proves it end to end). The B panel is packed once per `(jc, pc)` by the
-//! calling thread; each row block packs its A panel into its own
-//! thread-local scratch buffer.
+//! The blocked path parallelizes over `mc`-row blocks of C inside each
+//! `(jc, pc)` panel. The partition is derived from `m` and the per-shape
+//! blocking parameters (never the thread count), each block writes a
+//! disjoint row range, and each element's operation sequence is fixed by
+//! the loop structure — so output is bitwise identical to serial at any
+//! `CHIRON_THREADS` (`tests/parallel_determinism` proves it end to end).
+//! The B panel is packed once per `(jc, pc)` by the calling thread; each
+//! row block packs its A panel into its own thread-local scratch buffer.
+
+pub mod simd;
+pub mod tune;
 
 use crate::scratch::ScratchBuf;
 use crate::{pool, Tensor};
+use simd::{DispatchTier, MicroTile};
+use tune::KernelParams;
 
-/// Rows of C per cache block (the `ic` loop step and the parallel grain).
+/// Rows of C per cache block on the pinned scalar tier (the `ic` loop step
+/// and the parallel grain); vector tiers may autotune a different value.
 pub const MC: usize = 64;
 /// Depth of one packed panel (the `pc` loop step): A and B panels of this
 /// depth stay L1/L2-resident under the micro-kernel.
 pub const KC: usize = 256;
 /// Columns of C per outer panel (the `jc` loop step).
 pub const NC: usize = 512;
-/// Micro-tile rows: 8 independent accumulator rows give the FPU enough
-/// parallelism despite each element's strictly serial `k` chain.
+/// Pinned scalar micro-tile rows: 8 independent accumulator rows give the
+/// FPU enough parallelism despite each element's strictly serial `k` chain.
 pub const MR: usize = 8;
-/// Micro-tile columns: one 4-wide f32 SIMD lane per accumulator row on the
-/// baseline x86-64 target.
+/// Pinned scalar micro-tile columns. Vector tiers widen this to one or two
+/// hardware lanes (see [`simd::MicroTile`]).
 pub const NR: usize = 4;
 
 /// Multiply-add count below which the packed path's setup (panel packing,
@@ -182,6 +208,16 @@ impl<'a> MatView<'a> {
         }
     }
 
+    /// Stable layout tag for autotune-profile keying (see
+    /// [`tune::ShapeKey`]).
+    fn layout_tag(&self) -> u8 {
+        match self.layout {
+            Layout::RowMajor { .. } => 0,
+            Layout::ColMajor { .. } => 1,
+            Layout::BatchCol { .. } => 2,
+        }
+    }
+
     /// Element at logical `(r, c)`.
     #[inline]
     fn get(&self, r: usize, c: usize) -> f32 {
@@ -225,18 +261,41 @@ pub fn matmul_into(a: &MatView<'_>, b: &MatView<'_>, out: &mut [f32]) {
     assert_eq!(k, k2, "matmul: inner dims mismatch ({m}x{k}) · ({k2}x{n})");
     assert_eq!(out.len(), m * n, "matmul: output length mismatch");
     // Telemetry (observational only; no effect on the computation): count
-    // FLOPs always-cheaply, and time the kernel for a GFLOP/s histogram
-    // only when the layer is enabled.
+    // calls/FLOPs and the dispatch tier always-cheaply, and time the kernel
+    // for a GFLOP/s histogram only when the layer is enabled — the
+    // `Histogram::enabled` gate skips both clock reads on the disabled hot
+    // path.
     static KERNEL_CALLS: chiron_telemetry::Counter =
         chiron_telemetry::Counter::new("tensor.kernel.calls");
     static KERNEL_FLOPS: chiron_telemetry::Counter =
         chiron_telemetry::Counter::new("tensor.kernel.flops");
     static KERNEL_GFLOPS: chiron_telemetry::Histogram =
         chiron_telemetry::Histogram::new("tensor.kernel.gflops");
+    static DISPATCH_SCALAR: chiron_telemetry::Counter =
+        chiron_telemetry::Counter::new("tensor.kernel.dispatch.scalar");
+    static DISPATCH_AVX2: chiron_telemetry::Counter =
+        chiron_telemetry::Counter::new("tensor.kernel.dispatch.avx2");
+    static DISPATCH_NEON: chiron_telemetry::Counter =
+        chiron_telemetry::Counter::new("tensor.kernel.dispatch.neon");
     let flops = 2 * m * k * n;
-    let start = chiron_telemetry::enabled().then(std::time::Instant::now);
+    let start = KERNEL_GFLOPS.enabled().then(std::time::Instant::now);
     if m * k * n >= BLOCKED_FLOP_THRESHOLD {
-        blocked(a, b, m, k, n, out);
+        let tier = simd::active_tier();
+        match tier {
+            DispatchTier::Scalar => &DISPATCH_SCALAR,
+            DispatchTier::Avx2 => &DISPATCH_AVX2,
+            DispatchTier::Neon => &DISPATCH_NEON,
+        }
+        .add(1);
+        let key = tune::ShapeKey {
+            m,
+            k,
+            n,
+            layout_a: a.layout_tag(),
+            layout_b: b.layout_tag(),
+        };
+        let params = tune::params_for(tier, key, a, b);
+        blocked(a, b, m, k, n, out, tier, params);
     } else {
         direct(a, b, m, k, n, out);
     }
@@ -247,6 +306,33 @@ pub fn matmul_into(a: &MatView<'_>, b: &MatView<'_>, out: &mut [f32]) {
         if secs > 0.0 {
             KERNEL_GFLOPS.record(flops as f64 / secs / 1e9);
         }
+    }
+}
+
+/// Explicit-tier, explicit-parameters variant of [`matmul_into`]:
+/// verification and benchmark hook. Same size-based path dispatch, but no
+/// telemetry and no autotuner — the given tier and blocking are used as-is
+/// on the blocked path (the direct path is always scalar). Bitwise-equal to
+/// [`matmul_into`] for every tier/parameter choice (module docs).
+///
+/// # Panics
+///
+/// Panics if the inner dimensions disagree or `out` has the wrong length.
+pub fn matmul_into_with(
+    a: &MatView<'_>,
+    b: &MatView<'_>,
+    out: &mut [f32],
+    tier: DispatchTier,
+    params: KernelParams,
+) {
+    let (m, k) = (a.rows(), a.cols());
+    let (k2, n) = (b.rows(), b.cols());
+    assert_eq!(k, k2, "matmul: inner dims mismatch ({m}x{k}) · ({k2}x{n})");
+    assert_eq!(out.len(), m * n, "matmul: output length mismatch");
+    if m * k * n >= BLOCKED_FLOP_THRESHOLD {
+        blocked(a, b, m, k, n, out, tier, params);
+    } else {
+        direct(a, b, m, k, n, out);
     }
 }
 
@@ -343,63 +429,77 @@ fn direct(a: &MatView<'_>, b: &MatView<'_>, m: usize, k: usize, n: usize, out: &
 }
 
 // ---------------------------------------------------------------------------
-// Blocked path: pack + register-tiled micro-kernel.
+// Blocked path: pack + register-tiled micro-kernel (scalar or SIMD).
 // ---------------------------------------------------------------------------
 
-/// The register tile: MR×NR accumulators, each following its element's
-/// canonical ascending-`k` chain. `ap` is an MR-interleaved A strip
-/// (`ap[kk·MR + r]`), `bp` an NR-interleaved B strip (`bp[kk·NR + j]`).
-/// The accumulators enter holding the current C tile and leave holding the
-/// tile advanced by `kc` terms — the C round-trip that keeps panel blocking
-/// bitwise-transparent.
-#[inline]
-fn micro_kernel(kc: usize, ap: &[f32], bp: &[f32], acc: &mut [[f32; NR]; MR]) {
-    for kk in 0..kc {
-        let b_strip = &bp[kk * NR..kk * NR + NR];
-        let bj: [f32; NR] = [b_strip[0], b_strip[1], b_strip[2], b_strip[3]];
-        let a_strip = &ap[kk * MR..kk * MR + MR];
-        for r in 0..MR {
-            let ar = a_strip[r];
-            for (aj, &bv) in acc[r].iter_mut().zip(&bj) {
-                *aj += ar * bv;
-            }
-        }
-    }
-}
-
-/// Packs rows `i0..i0+mc`, depth `pc..pc+kc` of `a` into MR-row strips,
-/// `kk`-major within each strip: `dst[strip·kc·MR + kk·MR + r]`. `dst` is
-/// pre-zeroed, so rows past `mc` stay zero-padded.
-fn pack_a(a: &MatView<'_>, i0: usize, mc: usize, pc: usize, kc: usize, dst: &mut [f32]) {
+/// Packs rows `i0..i0+mc`, depth `pc..pc+kc` of `a` into `mr`-row strips,
+/// `kk`-major within each strip: `dst[strip·kc·mr + kk·mr + r]`. `dst` is
+/// pre-zeroed, so rows past `mc` stay zero-padded. On the AVX2 tier,
+/// complete 8-row strips of a row-major `a` go through the in-register
+/// 8×8 transpose (pure data movement — packing is numerically invisible
+/// on every tier).
+#[allow(clippy::too_many_arguments)]
+fn pack_a(
+    a: &MatView<'_>,
+    i0: usize,
+    mc: usize,
+    pc: usize,
+    kc: usize,
+    mr: usize,
+    dst: &mut [f32],
+    tier: DispatchTier,
+) {
     match a.layout {
         Layout::RowMajor { cols, .. } => {
-            for t in 0..mc.div_ceil(MR) {
-                let strip = &mut dst[t * kc * MR..(t + 1) * kc * MR];
-                for r in 0..MR.min(mc - t * MR) {
-                    let row = &a.data[(i0 + t * MR + r) * cols + pc..][..kc];
-                    for (kk, &v) in row.iter().enumerate() {
-                        strip[kk * MR + r] = v;
+            for t in 0..mc.div_ceil(mr) {
+                let strip = &mut dst[t * kc * mr..(t + 1) * kc * mr];
+                let rows = mr.min(mc - t * mr);
+                let mut kk0 = 0;
+                #[cfg(target_arch = "x86_64")]
+                if tier == DispatchTier::Avx2 && mr == 8 && rows == 8 {
+                    // Safety: tier Avx2 implies the feature was detected;
+                    // the strip's 8 source rows each hold `kc` in-bounds
+                    // floats starting at this offset, and `strip` holds
+                    // `kc·8` packed floats.
+                    kk0 = unsafe {
+                        simd::pack_a_strip_avx2(
+                            a.data.as_ptr().add((i0 + t * 8) * cols + pc),
+                            cols,
+                            kc,
+                            strip,
+                        )
+                    };
+                }
+                #[cfg(not(target_arch = "x86_64"))]
+                let _ = tier;
+                for r in 0..rows {
+                    let row = &a.data[(i0 + t * mr + r) * cols + pc..][..kc];
+                    for kk in kk0..kc {
+                        strip[kk * mr + r] = row[kk];
                     }
                 }
             }
         }
         Layout::ColMajor { rows, .. } => {
             // Columns of the stored matrix are contiguous runs of logical
-            // rows: copy each depth's `mc`-long segment, scattering by MR.
-            for kk in 0..kc {
-                let col = &a.data[(pc + kk) * rows + i0..][..mc];
-                for (ri, &v) in col.iter().enumerate() {
-                    dst[(ri / MR) * kc * MR + kk * MR + (ri % MR)] = v;
+            // rows, and a packed strip's `kk`-th group is exactly `mr` of
+            // them — so each (strip, kk) cell is one contiguous copy.
+            for t in 0..mc.div_ceil(mr) {
+                let strip_rows = mr.min(mc - t * mr);
+                let strip = &mut dst[t * kc * mr..(t + 1) * kc * mr];
+                for kk in 0..kc {
+                    let col = &a.data[(pc + kk) * rows + i0 + t * mr..][..strip_rows];
+                    strip[kk * mr..kk * mr + strip_rows].copy_from_slice(col);
                 }
             }
         }
         Layout::BatchCol { .. } => {
-            for t in 0..mc.div_ceil(MR) {
-                let strip = &mut dst[t * kc * MR..(t + 1) * kc * MR];
-                for r in 0..MR.min(mc - t * MR) {
-                    let row = i0 + t * MR + r;
+            for t in 0..mc.div_ceil(mr) {
+                let strip = &mut dst[t * kc * mr..(t + 1) * kc * mr];
+                for r in 0..mr.min(mc - t * mr) {
+                    let row = i0 + t * mr + r;
                     for kk in 0..kc {
-                        strip[kk * MR + r] = a.get(row, pc + kk);
+                        strip[kk * mr + r] = a.get(row, pc + kk);
                     }
                 }
             }
@@ -407,37 +507,46 @@ fn pack_a(a: &MatView<'_>, i0: usize, mc: usize, pc: usize, kc: usize, dst: &mut
     }
 }
 
-/// Packs depth `pc..pc+kc`, columns `jc..jc+nc` of `b` into NR-column
-/// strips, `kk`-major within each strip: `dst[strip·kc·NR + kk·NR + j]`.
-/// `dst` is pre-zeroed, so columns past `nc` stay zero-padded.
-fn pack_b(b: &MatView<'_>, pc: usize, kc: usize, jc: usize, nc: usize, dst: &mut [f32]) {
+/// Packs depth `pc..pc+kc`, columns `jc..jc+nc` of `b` into `nr`-column
+/// strips, `kk`-major within each strip: `dst[strip·kc·nr + kk·nr + j]`.
+/// `dst` is pre-zeroed, so columns past `nc` stay zero-padded. Row-major
+/// rows pack as contiguous `nr`-wide `copy_from_slice` runs, which the
+/// compiler lowers to vector moves.
+fn pack_b(b: &MatView<'_>, pc: usize, kc: usize, jc: usize, nc: usize, nr: usize, dst: &mut [f32]) {
     match b.layout {
         Layout::RowMajor { cols, .. } => {
+            let full = nc / nr;
             for kk in 0..kc {
                 let row = &b.data[(pc + kk) * cols + jc..][..nc];
-                for (ji, &v) in row.iter().enumerate() {
-                    dst[(ji / NR) * kc * NR + kk * NR + (ji % NR)] = v;
+                for s in 0..full {
+                    dst[s * kc * nr + kk * nr..s * kc * nr + kk * nr + nr]
+                        .copy_from_slice(&row[s * nr..(s + 1) * nr]);
+                }
+                let rem = nc - full * nr;
+                if rem > 0 {
+                    dst[full * kc * nr + kk * nr..full * kc * nr + kk * nr + rem]
+                        .copy_from_slice(&row[full * nr..]);
                 }
             }
         }
         Layout::ColMajor { rows, .. } => {
-            for s in 0..nc.div_ceil(NR) {
-                let strip = &mut dst[s * kc * NR..(s + 1) * kc * NR];
-                for j in 0..NR.min(nc - s * NR) {
-                    let col = &b.data[(jc + s * NR + j) * rows + pc..][..kc];
+            for s in 0..nc.div_ceil(nr) {
+                let strip = &mut dst[s * kc * nr..(s + 1) * kc * nr];
+                for j in 0..nr.min(nc - s * nr) {
+                    let col = &b.data[(jc + s * nr + j) * rows + pc..][..kc];
                     for (kk, &v) in col.iter().enumerate() {
-                        strip[kk * NR + j] = v;
+                        strip[kk * nr + j] = v;
                     }
                 }
             }
         }
         Layout::BatchCol { .. } => {
-            for s in 0..nc.div_ceil(NR) {
-                let strip = &mut dst[s * kc * NR..(s + 1) * kc * NR];
-                for j in 0..NR.min(nc - s * NR) {
-                    let col = jc + s * NR + j;
+            for s in 0..nc.div_ceil(nr) {
+                let strip = &mut dst[s * kc * nr..(s + 1) * kc * nr];
+                for j in 0..nr.min(nc - s * nr) {
+                    let col = jc + s * nr + j;
                     for kk in 0..kc {
-                        strip[kk * NR + j] = b.get(pc + kk, col);
+                        strip[kk * nr + j] = b.get(pc + kk, col);
                     }
                 }
             }
@@ -445,9 +554,18 @@ fn pack_b(b: &MatView<'_>, pc: usize, kc: usize, jc: usize, nc: usize, dst: &mut
     }
 }
 
-/// Runs the packed panel loops for one MC-row block of C. `out_rows` is the
-/// block's row range of the full output (row-major, all `n` columns); `bp`
-/// is the packed B panel for `(jc, pc)`.
+/// Runs the packed panel loops for one `mc`-row block of C. `out_rows` is
+/// the block's row range of the full output (row-major, all `n` columns);
+/// `bp` is the packed B panel for `(jc, pc)`. Full `mr×nr` tiles run the
+/// micro-kernel **directly on the output** (row stride `n`) — no staging
+/// copies on the hot interior. Column-edge tiles (full rows, `jn < nr`)
+/// also run in place where the tier has masked C access (AVX2 `vmaskmov`).
+/// Remaining ragged tiles are staged through a stack buffer (stride `nr`,
+/// zeros in the padding lanes) and the valid `rm×jn` region stored back.
+/// The tile homes are numerically identical: the kernel
+/// loads the C tile, runs the same fold, and stores it back either way, and
+/// an `f32` copy round-trip is value-preserving. Padding lanes accumulate
+/// only zero terms from the zero-padded packs and are never stored.
 #[allow(clippy::too_many_arguments)]
 fn row_block(
     a: &MatView<'_>,
@@ -460,52 +578,124 @@ fn row_block(
     nc: usize,
     n: usize,
     out_rows: &mut [f32],
+    tier: DispatchTier,
+    tile: MicroTile,
 ) {
-    let mut ap = ScratchBuf::zeroed(mc.div_ceil(MR) * kc * MR);
-    pack_a(a, i0, mc, pc, kc, &mut ap);
-    for s in 0..nc.div_ceil(NR) {
-        let j0 = jc + s * NR;
-        let jn = NR.min(nc - s * NR);
-        let b_strip = &bp[s * kc * NR..(s + 1) * kc * NR];
-        for t in 0..mc.div_ceil(MR) {
-            let r0 = t * MR;
-            let rm = MR.min(mc - r0);
-            let a_strip = &ap[t * kc * MR..(t + 1) * kc * MR];
-            let mut acc = [[0.0f32; NR]; MR];
-            for (r, row) in acc.iter_mut().enumerate().take(rm) {
-                for (j, v) in row.iter_mut().enumerate().take(jn) {
-                    *v = out_rows[(r0 + r) * n + j0 + j];
+    let (mr, nr) = (tile.mr(), tile.nr());
+    let mut ap = ScratchBuf::zeroed(mc.div_ceil(mr) * kc * mr);
+    pack_a(a, i0, mc, pc, kc, mr, &mut ap, tier);
+    let mut stage = [0.0f32; simd::MR_MAX * simd::NR_MAX];
+    for s in 0..nc.div_ceil(nr) {
+        let j0 = jc + s * nr;
+        let jn = nr.min(nc - s * nr);
+        let b_strip = &bp[s * kc * nr..(s + 1) * kc * nr];
+        for t in 0..mc.div_ceil(mr) {
+            let r0 = t * mr;
+            let rm = mr.min(mc - r0);
+            let a_strip = &ap[t * kc * mr..(t + 1) * kc * mr];
+            if rm == mr && jn == nr {
+                // Full interior tile: advance it in place.
+                simd::micro(
+                    tier,
+                    tile,
+                    kc,
+                    a_strip,
+                    b_strip,
+                    &mut out_rows[r0 * n + j0..],
+                    n,
+                );
+            } else if rm == mr
+                && simd::micro_col_edge(
+                    tier,
+                    tile,
+                    kc,
+                    a_strip,
+                    b_strip,
+                    &mut out_rows[r0 * n + j0..],
+                    n,
+                    jn,
+                )
+            {
+                // Column edge advanced in place through masked C access.
+            } else {
+                let c_tile = &mut stage[..mr * nr];
+                for (r, row) in c_tile.chunks_mut(nr).enumerate() {
+                    if r < rm {
+                        row[..jn]
+                            .copy_from_slice(&out_rows[(r0 + r) * n + j0..(r0 + r) * n + j0 + jn]);
+                        row[jn..].fill(0.0);
+                    } else {
+                        row.fill(0.0);
+                    }
                 }
-            }
-            micro_kernel(kc, a_strip, b_strip, &mut acc);
-            for (r, row) in acc.iter().enumerate().take(rm) {
-                for (j, &v) in row.iter().enumerate().take(jn) {
-                    out_rows[(r0 + r) * n + j0 + j] = v;
+                simd::micro(tier, tile, kc, a_strip, b_strip, c_tile, nr);
+                for (r, row) in c_tile.chunks(nr).enumerate().take(rm) {
+                    out_rows[(r0 + r) * n + j0..(r0 + r) * n + j0 + jn].copy_from_slice(&row[..jn]);
                 }
             }
         }
     }
 }
 
-fn blocked(a: &MatView<'_>, b: &MatView<'_>, m: usize, k: usize, n: usize, out: &mut [f32]) {
-    for jc in (0..n).step_by(NC) {
-        let nc = NC.min(n - jc);
-        for pc in (0..k).step_by(KC) {
-            let kc = KC.min(k - pc);
+/// The packed panel loops with explicit tier and blocking parameters
+/// (callers resolve them via [`tune::params_for`] or pass pinned values).
+#[allow(clippy::too_many_arguments)]
+fn blocked(
+    a: &MatView<'_>,
+    b: &MatView<'_>,
+    m: usize,
+    k: usize,
+    n: usize,
+    out: &mut [f32],
+    tier: DispatchTier,
+    params: KernelParams,
+) {
+    let (mc_p, kc_p, nc_p) = (params.mc, params.kc, params.nc);
+    let nr = params.tile.nr();
+    for jc in (0..n).step_by(nc_p) {
+        let nc = nc_p.min(n - jc);
+        for pc in (0..k).step_by(kc_p) {
+            let kc = kc_p.min(k - pc);
             // One packed B panel per (jc, pc), shared read-only by every
             // row block; padding stays zero from the arena's zero-fill.
-            let mut bp = ScratchBuf::zeroed(nc.div_ceil(NR) * kc * NR);
-            pack_b(b, pc, kc, jc, nc, &mut bp);
-            let blocks = m.div_ceil(MC);
+            let mut bp = ScratchBuf::zeroed(nc.div_ceil(nr) * kc * nr);
+            pack_b(b, pc, kc, jc, nc, nr, &mut bp);
+            let blocks = m.div_ceil(mc_p);
             if blocks > 1 && pool::threads() > 1 {
-                pool::parallel_chunks_mut(out, MC * n, |blk, rows| {
-                    let i0 = blk * MC;
-                    row_block(a, &bp, i0, rows.len() / n, pc, kc, jc, nc, n, rows);
+                pool::parallel_chunks_mut(out, mc_p * n, |blk, rows| {
+                    let i0 = blk * mc_p;
+                    row_block(
+                        a,
+                        &bp,
+                        i0,
+                        rows.len() / n,
+                        pc,
+                        kc,
+                        jc,
+                        nc,
+                        n,
+                        rows,
+                        tier,
+                        params.tile,
+                    );
                 });
             } else {
-                for (blk, rows) in out.chunks_mut(MC * n).enumerate() {
-                    let i0 = blk * MC;
-                    row_block(a, &bp, i0, rows.len() / n, pc, kc, jc, nc, n, rows);
+                for (blk, rows) in out.chunks_mut(mc_p * n).enumerate() {
+                    let i0 = blk * mc_p;
+                    row_block(
+                        a,
+                        &bp,
+                        i0,
+                        rows.len() / n,
+                        pc,
+                        kc,
+                        jc,
+                        nc,
+                        n,
+                        rows,
+                        tier,
+                        params.tile,
+                    );
                 }
             }
         }
@@ -544,8 +734,39 @@ mod tests {
         let av = MatView::row_major(a.as_slice(), m, k);
         let bv = MatView::row_major(b.as_slice(), k, n);
         let mut out = vec![0.0f32; m * n];
-        blocked(&av, &bv, m, k, n, &mut out);
+        blocked(
+            &av,
+            &bv,
+            m,
+            k,
+            n,
+            &mut out,
+            DispatchTier::Scalar,
+            KernelParams::pinned_scalar(),
+        );
         assert_eq!(out, reference(&av, &bv));
+    }
+
+    #[test]
+    fn every_tile_and_blocking_matches_reference_exactly() {
+        let mut rng = TensorRng::seed_from(3);
+        // Not a multiple of any mr/nr in the tile set; k crosses one
+        // kc=64 boundary below so the C round-trip is exercised too.
+        let (m, k, n) = (77, 101, 37);
+        let a = rng.init(&[m, k], Init::Normal(1.0));
+        let b = rng.init(&[k, n], Init::Normal(1.0));
+        let av = MatView::row_major(a.as_slice(), m, k);
+        let bv = MatView::row_major(b.as_slice(), k, n);
+        let want = reference(&av, &bv);
+        let tier = simd::detect();
+        for &tile in MicroTile::candidates(tier) {
+            for (mc, kc, nc) in [(64, 256, 512), (32, 64, 16), (17, 23, 9)] {
+                let params = KernelParams { mc, kc, nc, tile };
+                let mut out = vec![0.0f32; m * n];
+                blocked(&av, &bv, m, k, n, &mut out, tier, params);
+                assert_eq!(out, want, "tile {tile:?} blocking ({mc},{kc},{nc})");
+            }
+        }
     }
 
     #[test]
@@ -562,15 +783,22 @@ mod tests {
 
     #[test]
     fn micro_kernel_resumes_from_c_tile() {
-        // Two KC half-panels must equal one full pass bitwise.
-        let kc = 10;
-        let ap: Vec<f32> = (0..kc * MR).map(|x| (x as f32 * 0.37).sin()).collect();
-        let bp: Vec<f32> = (0..kc * NR).map(|x| (x as f32 * 0.61).cos()).collect();
-        let mut full = [[0.0f32; NR]; MR];
-        micro_kernel(kc, &ap, &bp, &mut full);
-        let mut halves = [[0.0f32; NR]; MR];
-        micro_kernel(5, &ap[..5 * MR], &bp[..5 * NR], &mut halves);
-        micro_kernel(5, &ap[5 * MR..], &bp[5 * NR..], &mut halves);
-        assert_eq!(full, halves);
+        // Two kc half-panels must equal one full pass bitwise, for the
+        // pinned scalar tile and every tile the host's tier offers.
+        let tier = simd::detect();
+        let mut tiles = vec![MicroTile::M8N4];
+        tiles.extend_from_slice(MicroTile::candidates(tier));
+        for tile in tiles {
+            let (mr, nr) = (tile.mr(), tile.nr());
+            let kc = 10;
+            let ap: Vec<f32> = (0..kc * mr).map(|x| (x as f32 * 0.37).sin()).collect();
+            let bp: Vec<f32> = (0..kc * nr).map(|x| (x as f32 * 0.61).cos()).collect();
+            let mut full = vec![0.0f32; mr * nr];
+            simd::micro(tier, tile, kc, &ap, &bp, &mut full, nr);
+            let mut halves = vec![0.0f32; mr * nr];
+            simd::micro(tier, tile, 5, &ap[..5 * mr], &bp[..5 * nr], &mut halves, nr);
+            simd::micro(tier, tile, 5, &ap[5 * mr..], &bp[5 * nr..], &mut halves, nr);
+            assert_eq!(full, halves, "tile {tile:?}");
+        }
     }
 }

@@ -40,7 +40,9 @@ mod tensor;
 
 pub use conv::{col2im, im2col, Conv2dGeometry};
 pub use init::{Init, RngState, TensorRng};
-pub use kernel::{matmul_views, MatView};
+pub use kernel::simd::{active_tier, detect, DispatchTier, MicroTile};
+pub use kernel::tune::{cached_params, params_for, reset_profile_cache, KernelParams, ShapeKey};
+pub use kernel::{matmul_into, matmul_into_with, matmul_views, MatView};
 pub use shape::Shape;
 pub use tensor::Tensor;
 

@@ -3,8 +3,9 @@
 //! The three matmul variants are thin layout adapters over
 //! [`crate::kernel`]: each wraps its operands in the [`MatView`] describing
 //! how the data is stored and lets the kernel pick the direct or blocked
-//! path. Dispatch is numerically invisible — see the kernel module docs for
-//! the canonical-accumulation-order argument.
+//! path — and, on the blocked path, the SIMD dispatch tier and autotuned
+//! blocking. All of that dispatch is numerically invisible — see the kernel
+//! module docs for the canonical-accumulation-order argument.
 
 use crate::kernel::{matmul_views, MatView};
 use crate::{scratch, Tensor};

@@ -1,6 +1,9 @@
 //! Property-based tests for tensor algebra invariants.
 
-use crate::{col2im, im2col, Conv2dGeometry, Init, Tensor, TensorRng};
+use crate::{
+    col2im, detect, im2col, matmul_into_with, Conv2dGeometry, DispatchTier, Init, KernelParams,
+    MatView, MicroTile, Tensor, TensorRng,
+};
 use proptest::prelude::*;
 
 fn small_matrix() -> impl Strategy<Value = (usize, usize, Vec<f32>)> {
@@ -162,6 +165,80 @@ proptest! {
         let a = a_t.transpose();
         let naive = naive_matmul(a.as_slice(), b.as_slice(), m, k, n);
         prop_assert_eq!(fast.as_slice(), &naive[..]);
+    }
+
+    /// Every vector micro-tile must reproduce the pinned scalar kernel
+    /// bitwise on the blocked path — including on signed zeros, subnormals,
+    /// and NaNs sprinkled through both operands (the packed path has no
+    /// zero-skip, so NaN terms flow through every tier identically).
+    #[test]
+    fn vector_tiers_match_pinned_scalar_bitwise(
+        m in 64usize..100, k in 240usize..280, n in 33usize..70, seed in 0u64..1000,
+        picks in proptest::collection::vec((0usize..1 << 16, 0usize..16), 0..12),
+    ) {
+        const EDGE: [f32; 8] = [
+            0.0,
+            -0.0,
+            f32::NAN,
+            f32::MIN_POSITIVE,      // smallest normal
+            1.0e-40,                // subnormal
+            -1.0e-44,               // subnormal, negative
+            3.0e38,                 // near f32::MAX — products overflow to inf
+            -7.25,
+        ];
+        let tier = detect();
+        prop_assume!(tier != DispatchTier::Scalar);
+        let mut rng = TensorRng::seed_from(seed);
+        let mut a = rng.init(&[m, k], Init::Normal(1.0)).as_slice().to_vec();
+        let mut b = rng.init(&[k, n], Init::Normal(1.0)).as_slice().to_vec();
+        let (alen, blen) = (a.len(), b.len());
+        for &(pos, val) in &picks {
+            a[pos % alen] = EDGE[val % EDGE.len()];
+            b[(pos / 7) % blen] = EDGE[(val + 3) % EDGE.len()];
+        }
+        let av = MatView::row_major(&a, m, k);
+        let bv = MatView::row_major(&b, k, n);
+        let mut scalar = vec![0.0f32; m * n];
+        matmul_into_with(
+            &av, &bv, &mut scalar, DispatchTier::Scalar, KernelParams::pinned_scalar(),
+        );
+        let sb: Vec<u32> = scalar.iter().map(|v| v.to_bits()).collect();
+        for &tile in MicroTile::candidates(tier) {
+            let params = KernelParams { mc: 64, kc: 256, nc: 512, tile };
+            let mut out = vec![0.0f32; m * n];
+            matmul_into_with(&av, &bv, &mut out, tier, params);
+            let ob: Vec<u32> = out.iter().map(|v| v.to_bits()).collect();
+            prop_assert_eq!(&sb, &ob, "tile {:?} diverged from pinned scalar", tile);
+        }
+    }
+
+    /// Tier equality on the non-row-major operand layouts: a transposed
+    /// (ColMajor) A against a conv-gradient-style BatchCol B, both packed
+    /// through their specialized paths.
+    #[test]
+    fn vector_tiers_match_scalar_on_all_layouts(
+        m in 100usize..130, half in 32usize..45, n in 45usize..60, seed in 0u64..1000,
+    ) {
+        let tier = detect();
+        prop_assume!(tier != DispatchTier::Scalar);
+        let k = 2 * half; // batch=2, positions=half → k rows
+        let mut rng = TensorRng::seed_from(seed);
+        let a_t = rng.init(&[k, m], Init::Normal(1.0));
+        let b_nchw = rng.init(&[2, n, half], Init::Normal(1.0));
+        let av = MatView::transposed(a_t.as_slice(), m, k);
+        let bv = MatView::batch_transposed(b_nchw.as_slice(), 2, n, half);
+        let mut scalar = vec![0.0f32; m * n];
+        matmul_into_with(
+            &av, &bv, &mut scalar, DispatchTier::Scalar, KernelParams::pinned_scalar(),
+        );
+        let sb: Vec<u32> = scalar.iter().map(|v| v.to_bits()).collect();
+        for &tile in MicroTile::candidates(tier) {
+            let params = KernelParams { mc: 64, kc: 256, nc: 512, tile };
+            let mut out = vec![0.0f32; m * n];
+            matmul_into_with(&av, &bv, &mut out, tier, params);
+            let ob: Vec<u32> = out.iter().map(|v| v.to_bits()).collect();
+            prop_assert_eq!(&sb, &ob, "tile {:?} diverged on ColMajor×BatchCol", tile);
+        }
     }
 
     #[test]
