@@ -14,11 +14,12 @@ cargo build --workspace --release --offline
 echo "==> cargo test"
 cargo test -q --workspace --release --offline
 
-echo "==> determinism + resilience suites under the thread matrix"
+echo "==> determinism + resilience + serve chaos suites under the thread matrix"
 for t in 1 4 8; do
     echo "    CHIRON_THREADS=$t"
     CHIRON_THREADS=$t cargo test -q --release --offline \
-        --test failure_injection --test resilience --test parallel_determinism
+        --test failure_injection --test resilience --test parallel_determinism \
+        --test serve
 done
 
 echo "==> kernel + determinism suites under the SIMD × thread matrix"
@@ -50,11 +51,52 @@ CHIRON_BENCH_SAMPLES=1 CHIRON_BENCH_OUT="$smoke_out" \
 # BENCH_episodes.json as a workflow artifact); scratch dirs are removed.
 [ -n "${CHIRON_BENCH_SMOKE_OUT:-}" ] || rm -rf "$smoke_out"
 
+echo "==> serve daemon smoke (submit, poll, drain-shutdown) under the thread matrix"
+for t in 1 4; do
+    echo "    CHIRON_THREADS=$t"
+    serve_log="$(mktemp)"
+    serve_state="$(mktemp -d)"
+    CHIRON_THREADS=$t cargo run -q --release --offline -p chiron-cli -- serve \
+        --addr 127.0.0.1:0 --workers 1 --state-dir "$serve_state" >"$serve_log" &
+    serve_pid=$!
+    serve_addr=""
+    for _ in $(seq 1 100); do
+        serve_addr="$(sed -n 's/^serve: listening on //p' "$serve_log")"
+        [ -n "$serve_addr" ] && break
+        sleep 0.1
+    done
+    if [ -z "$serve_addr" ]; then
+        echo "serve daemon did not report a listening address"; cat "$serve_log"
+        kill "$serve_pid" 2>/dev/null || true; exit 1
+    fi
+    curl -sf -X POST "http://$serve_addr/jobs" \
+        -d '{"kind":"Eval","dataset":"tiny","nodes":3,"budget":20.0}' | grep -q '"id":1'
+    job_state=""
+    for _ in $(seq 1 600); do
+        job_state="$(curl -sf "http://$serve_addr/jobs/1")"
+        case "$job_state" in
+            *Completed*) break ;;
+            *Failed* | *Cancelled*) echo "serve smoke job failed: $job_state"; exit 1 ;;
+        esac
+        sleep 0.1
+    done
+    case "$job_state" in
+        *Completed*) ;;
+        *) echo "serve smoke job did not complete: $job_state"
+           kill "$serve_pid" 2>/dev/null || true; exit 1 ;;
+    esac
+    curl -sf "http://$serve_addr/healthz" | grep -q '"status":"ok"'
+    curl -sf "http://$serve_addr/metrics" | grep -q '^serve_admitted_total 1$'
+    curl -sf -X POST "http://$serve_addr/shutdown" >/dev/null
+    wait "$serve_pid"
+    rm -rf "$serve_log" "$serve_state"
+done
+
 echo "==> cargo doc --no-deps (warnings are errors; own crates only)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline --quiet \
     -p chiron-telemetry -p chiron-tensor -p chiron-nn -p chiron-data \
     -p chiron-fedsim -p chiron-drl -p chiron -p chiron-baselines \
-    -p chiron-bench -p chiron-cli -p chiron-repro
+    -p chiron-bench -p chiron-cli -p chiron-repro -p chiron-serve
 
 echo "==> public API snapshot is current (ci/public_api.sh --update to refresh)"
 ci/public_api.sh | diff -u docs/public-api.txt - \

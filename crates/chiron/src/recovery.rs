@@ -10,11 +10,15 @@
 //! travels inside the checkpoint, so there is nothing left to drift.
 //!
 //! Checkpoints are written atomically (temp file + rename, see
-//! [`chiron_nn::write_atomic`]) with a versioned header and an
-//! architecture/environment fingerprint, so a crash mid-write leaves the
-//! previous checkpoint intact and a checkpoint can never be restored into
-//! a mismatched run. All failure modes are typed ([`ResumeError`]); a
-//! corrupted or truncated file is rejected, never a panic.
+//! [`chiron_nn::write_atomic`]) with a versioned header, an
+//! architecture/environment fingerprint, and an FNV-1a integrity trailer,
+//! so a crash mid-write leaves the previous checkpoint intact and a
+//! checkpoint can never be restored into a mismatched run. Rotating saves
+//! ([`RunCheckpoint::save_rotating`]) keep the previous generation in a
+//! `.prev` sibling, and [`RunCheckpoint::load_with_fallback`] falls back to
+//! it when the latest file is truncated or bit-flipped. All failure modes
+//! are typed ([`ResumeError`]); a corrupted or truncated file is rejected,
+//! never a panic.
 
 use crate::Chiron;
 use crate::ExteriorState;
@@ -61,6 +65,17 @@ pub enum ResumeError {
     /// The file is not a parseable checkpoint (truncated, corrupted, or
     /// not JSON).
     Malformed(String),
+    /// The integrity trailer does not match the payload: the file was
+    /// bit-flipped or truncated after it was written.
+    Corrupted {
+        /// Digest recorded in the trailer.
+        expected: String,
+        /// Digest of the payload as read.
+        found: String,
+    },
+    /// The recovery options themselves are invalid (for example a zero
+    /// checkpoint interval).
+    InvalidOptions(String),
     /// The checkpoint was written by an incompatible format version.
     VersionMismatch {
         /// Version found in the file.
@@ -85,6 +100,12 @@ impl std::fmt::Display for ResumeError {
         match self {
             ResumeError::Io(e) => write!(f, "checkpoint I/O failed: {e}"),
             ResumeError::Malformed(e) => write!(f, "malformed run checkpoint: {e}"),
+            ResumeError::Corrupted { expected, found } => write!(
+                f,
+                "run checkpoint failed its integrity check \
+                 (trailer {expected}, payload {found}): file is corrupted"
+            ),
+            ResumeError::InvalidOptions(msg) => write!(f, "invalid recovery options: {msg}"),
             ResumeError::VersionMismatch { found } => write!(
                 f,
                 "run checkpoint version {found} != supported {RUN_CHECKPOINT_VERSION}"
@@ -106,6 +127,8 @@ impl std::error::Error for ResumeError {
             ResumeError::Env(e) => Some(e),
             ResumeError::Agent(e) => Some(e),
             ResumeError::Malformed(_)
+            | ResumeError::Corrupted { .. }
+            | ResumeError::InvalidOptions(_)
             | ResumeError::VersionMismatch { .. }
             | ResumeError::FingerprintMismatch { .. } => None,
         }
@@ -135,6 +158,61 @@ impl RecoveryOptions {
             checkpoint_every: every,
         }
     }
+
+    /// Non-panicking [`RecoveryOptions::new`] for user-supplied intervals.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ResumeError::InvalidOptions`] if `every` is zero.
+    pub fn try_new(path: impl Into<PathBuf>, every: usize) -> Result<Self, ResumeError> {
+        if every == 0 {
+            return Err(ResumeError::InvalidOptions(
+                "checkpoint interval must be positive".into(),
+            ));
+        }
+        Ok(Self {
+            checkpoint_path: path.into(),
+            checkpoint_every: every,
+        })
+    }
+}
+
+/// FNV-1a 64-bit digest of `bytes` — the checkpoint integrity hash. Not
+/// cryptographic; it exists to catch truncation and bit flips, and a
+/// single-byte change always changes the digest (each step multiplies by
+/// an odd prime, which is invertible mod 2^64).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Integrity trailer marker; the on-disk format is
+/// `<json>\n#fnv1a=<16 hex digits>\n`. Files without a trailer (written
+/// before the trailer existed) still load — JSON parsing and the
+/// fingerprint check remain the backstop for those.
+const INTEGRITY_MARKER: &str = "\n#fnv1a=";
+
+/// Splits `contents` into the JSON payload and the recorded digest, if a
+/// trailer is present.
+fn split_integrity_trailer(contents: &str) -> (&str, Option<&str>) {
+    match contents.rfind(INTEGRITY_MARKER) {
+        Some(pos) => {
+            let digest = contents[pos + INTEGRITY_MARKER.len()..].trim_end();
+            (&contents[..pos], Some(digest))
+        }
+        None => (contents, None),
+    }
+}
+
+/// The `.prev` sibling holding the previous checkpoint generation.
+fn previous_path(path: &Path) -> PathBuf {
+    let mut os = path.as_os_str().to_owned();
+    os.push(".prev");
+    PathBuf::from(os)
 }
 
 /// A cheap deterministic digest of the fleet's node parameters. The fleet
@@ -236,25 +314,102 @@ impl RunCheckpoint {
         Ok(ckpt)
     }
 
-    /// Writes the checkpoint atomically (temp file + rename).
+    /// Writes the checkpoint atomically (temp file + rename), appending
+    /// the FNV-1a integrity trailer.
     ///
     /// # Errors
     ///
     /// Propagates I/O errors; on failure the previous checkpoint file, if
     /// any, is untouched.
     pub fn save(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
-        write_atomic(path, self.to_json().as_bytes())
+        let json = self.to_json();
+        let payload = format!("{json}{INTEGRITY_MARKER}{:016x}\n", fnv1a(json.as_bytes()));
+        write_atomic(path, payload.as_bytes())
     }
 
-    /// Loads and validates a checkpoint file.
+    /// [`RunCheckpoint::save`], first rotating an existing file at `path`
+    /// to its `.prev` sibling so the previous generation survives a save
+    /// that later turns out corrupted on disk.
     ///
     /// # Errors
     ///
-    /// Returns [`ResumeError::Io`] for file errors, `Malformed` /
-    /// `VersionMismatch` for invalid contents.
+    /// Propagates I/O errors from the rotation or the write.
+    pub fn save_rotating(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        let path = path.as_ref();
+        if path.exists() {
+            std::fs::rename(path, previous_path(path))?;
+        }
+        self.save(path)
+    }
+
+    /// Loads and validates a checkpoint file, verifying the integrity
+    /// trailer when one is present.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ResumeError::Io`] for file errors, `Corrupted` for a
+    /// digest mismatch, and `Malformed` / `VersionMismatch` for invalid
+    /// contents.
     pub fn load(path: impl AsRef<Path>) -> Result<Self, ResumeError> {
-        let json = std::fs::read_to_string(path).map_err(ResumeError::Io)?;
-        Self::from_json(&json)
+        let raw = std::fs::read(path).map_err(ResumeError::Io)?;
+        let contents = String::from_utf8(raw)
+            .map_err(|e| ResumeError::Malformed(format!("checkpoint is not UTF-8: {e}")))?;
+        let (json, trailer) = split_integrity_trailer(&contents);
+        if let Some(expected) = trailer {
+            let found = format!("{:016x}", fnv1a(json.as_bytes()));
+            if expected != found {
+                return Err(ResumeError::Corrupted {
+                    expected: expected.to_owned(),
+                    found,
+                });
+            }
+        }
+        Self::from_json(json)
+    }
+
+    /// [`RunCheckpoint::load`] with fallback: if `path` is unreadable,
+    /// corrupted, or malformed, the `.prev` sibling written by
+    /// [`RunCheckpoint::save_rotating`] is tried. Returns the checkpoint
+    /// and whether the fallback was taken.
+    ///
+    /// # Errors
+    ///
+    /// Returns the *primary* file's error when neither generation loads,
+    /// so the root cause is what surfaces.
+    pub fn load_with_fallback(path: impl AsRef<Path>) -> Result<(Self, bool), ResumeError> {
+        let path = path.as_ref();
+        match Self::load(path) {
+            Ok(ckpt) => Ok((ckpt, false)),
+            Err(primary) => match Self::load(previous_path(path)) {
+                Ok(ckpt) => Ok((ckpt, true)),
+                Err(_) => Err(primary),
+            },
+        }
+    }
+
+    /// Whether `path` or its `.prev` sibling exists — i.e. whether a
+    /// resume attempt is worthwhile.
+    pub fn any_exists(path: impl AsRef<Path>) -> bool {
+        let path = path.as_ref();
+        path.exists() || previous_path(path).exists()
+    }
+
+    /// Removes the checkpoint file and its `.prev` sibling, ignoring
+    /// files that are already gone.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors other than `NotFound`.
+    pub fn remove(path: impl AsRef<Path>) -> std::io::Result<()> {
+        let path = path.as_ref();
+        for p in [path.to_path_buf(), previous_path(path)] {
+            match std::fs::remove_file(&p) {
+                Ok(()) => {}
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
     }
 
     /// Restores the frozen run into `mechanism` + `env`, returning the
@@ -329,27 +484,35 @@ impl Chiron {
         options: &RecoveryOptions,
         log: &mut EventLog,
     ) -> Result<Vec<f64>, ResumeError> {
-        assert!(
-            options.checkpoint_every > 0,
-            "checkpoint interval must be positive"
-        );
+        if options.checkpoint_every == 0 {
+            return Err(ResumeError::InvalidOptions(
+                "checkpoint interval must be positive".into(),
+            ));
+        }
         static CHECKPOINTS_SAVED: chiron_telemetry::Counter =
             chiron_telemetry::Counter::new("chiron.checkpoints.saved");
         static RESUMES: chiron_telemetry::Counter =
             chiron_telemetry::Counter::new("chiron.resumes");
-        let (mut rewards, mut buf_e, mut buf_i) = if options.checkpoint_path.exists() {
-            let ckpt = RunCheckpoint::load(&options.checkpoint_path)?;
-            let restored = ckpt.restore_into(self, env)?;
-            let ev = ResilienceEvent::Resumed {
-                episode: self.episodes_trained,
+        static FALLBACKS: chiron_telemetry::Counter =
+            chiron_telemetry::Counter::new("chiron.checkpoint.fallbacks");
+        let (mut rewards, mut buf_e, mut buf_i) =
+            if RunCheckpoint::any_exists(&options.checkpoint_path) {
+                let (ckpt, fell_back) =
+                    RunCheckpoint::load_with_fallback(&options.checkpoint_path)?;
+                if fell_back {
+                    FALLBACKS.add(1);
+                }
+                let restored = ckpt.restore_into(self, env)?;
+                let ev = ResilienceEvent::Resumed {
+                    episode: self.episodes_trained,
+                };
+                ev.emit(0);
+                RESUMES.add(1);
+                log.push(self.episodes_trained, 0, ev);
+                restored
+            } else {
+                (Vec::new(), RolloutBuffer::new(), RolloutBuffer::new())
             };
-            ev.emit(0);
-            RESUMES.add(1);
-            log.push(self.episodes_trained, 0, ev);
-            restored
-        } else {
-            (Vec::new(), RolloutBuffer::new(), RolloutBuffer::new())
-        };
 
         while rewards.len() < episodes {
             let r = self.train_one_episode(env, &mut buf_e, &mut buf_i, Some(log));
@@ -360,7 +523,7 @@ impl Chiron {
                 let _ckpt_span = chiron_telemetry::span("checkpoint_save");
                 let ckpt = RunCheckpoint::capture(self, env, &rewards, &buf_e, &buf_i)
                     .map_err(ResumeError::Env)?;
-                ckpt.save(&options.checkpoint_path)
+                ckpt.save_rotating(&options.checkpoint_path)
                     .map_err(ResumeError::Io)?;
                 CHECKPOINTS_SAVED.add(1);
             }
@@ -474,6 +637,73 @@ mod tests {
         assert!(matches!(err, ResumeError::Malformed(_)));
 
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn integrity_trailer_catches_bit_flips() {
+        let path = tmp_ckpt("trailer.json");
+        let e = env(40.0, 6);
+        let mut m = Chiron::new(&e, ChironConfig::fast(), 6);
+        let buf = RolloutBuffer::new();
+        let ckpt = RunCheckpoint::capture(&mut m, &e, &[1.0], &buf, &buf).expect("capture");
+        ckpt.save(&path).expect("save");
+
+        // Clean file round-trips.
+        let loaded = RunCheckpoint::load(&path).expect("clean load");
+        assert_eq!(loaded, ckpt);
+
+        // Flip one byte inside the JSON payload: the digest must catch it
+        // even if the result is still valid JSON.
+        let mut bytes = std::fs::read(&path).expect("read");
+        let mid = bytes.len() / 3;
+        bytes[mid] ^= 0x01;
+        std::fs::write(&path, &bytes).expect("write");
+        let err = RunCheckpoint::load(&path).expect_err("flip rejected");
+        assert!(
+            matches!(
+                err,
+                ResumeError::Corrupted { .. } | ResumeError::Malformed(_)
+            ),
+            "got {err:?}"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rotating_save_falls_back_to_previous_generation() {
+        let path = tmp_ckpt("rotate.json");
+        let e = env(40.0, 8);
+        let mut m = Chiron::new(&e, ChironConfig::fast(), 8);
+        let buf = RolloutBuffer::new();
+        let gen1 = RunCheckpoint::capture(&mut m, &e, &[1.0], &buf, &buf).expect("capture");
+        gen1.save_rotating(&path).expect("save gen1");
+        let gen2 = RunCheckpoint::capture(&mut m, &e, &[1.0, 2.0], &buf, &buf).expect("capture");
+        gen2.save_rotating(&path).expect("save gen2");
+
+        // Both generations intact: primary wins, no fallback.
+        let (loaded, fell_back) = RunCheckpoint::load_with_fallback(&path).expect("load");
+        assert!(!fell_back);
+        assert_eq!(loaded.completed_rewards, vec![1.0, 2.0]);
+
+        // Corrupt the primary: the previous generation is served instead.
+        std::fs::write(&path, "{\"version\":1,\"trunc").expect("corrupt");
+        let (loaded, fell_back) = RunCheckpoint::load_with_fallback(&path).expect("fallback");
+        assert!(fell_back);
+        assert_eq!(loaded.completed_rewards, vec![1.0]);
+
+        // Both gone: typed error, and the primary's error is the one
+        // reported.
+        RunCheckpoint::remove(&path).expect("cleanup");
+        assert!(!RunCheckpoint::any_exists(&path));
+        let err = RunCheckpoint::load_with_fallback(&path).expect_err("both missing");
+        assert!(matches!(err, ResumeError::Io(_)));
+    }
+
+    #[test]
+    fn try_new_rejects_zero_interval() {
+        let err = RecoveryOptions::try_new("x.json", 0).expect_err("zero interval");
+        assert!(matches!(err, ResumeError::InvalidOptions(_)));
+        assert!(RecoveryOptions::try_new("x.json", 3).is_ok());
     }
 
     #[test]

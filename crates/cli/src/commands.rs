@@ -1,12 +1,13 @@
-//! The CLI subcommands: `train`, `eval`, `compare`, `info`.
+//! The CLI subcommands: `train`, `eval`, `compare`, `serve`, `info`.
 
 use crate::args::{ArgError, ParsedArgs};
-use chiron::{Chiron, ChironConfig, ChironSnapshot, Mechanism};
+use chiron::{Chiron, ChironConfig, ChironSnapshot, Mechanism, RecoveryOptions, ResumeError};
 use chiron_baselines::{DpPlanner, DrlSingleRound, Greedy, StaticPrice};
 use chiron_data::{DatasetKind, DatasetSpec};
 use chiron_fedsim::faults::FaultProcessConfig;
 use chiron_fedsim::metrics::{rounds_to_csv, EpisodeSummary, EventLog};
 use chiron_fedsim::{EdgeLearningEnv, EnvConfig, ResilienceConfig};
+use chiron_serve::{shutdown, Daemon, ServeConfig, ServeError};
 use chiron_telemetry::{RuntimeConfig, TelemetrySession};
 use chiron_tensor::scope;
 use serde::{Deserialize, Serialize};
@@ -166,6 +167,18 @@ pub enum CliError {
         /// The parse failure underneath.
         source: serde_json::Error,
     },
+    /// A run checkpoint failed to load, restore, or save.
+    Recovery {
+        /// Path of the offending checkpoint file.
+        path: String,
+        /// The typed failure underneath.
+        source: ResumeError,
+    },
+    /// The serve daemon failed to start or operate.
+    Serve(ServeError),
+    /// The run was stopped by SIGINT/SIGTERM after flushing its state;
+    /// `main` maps this to exit code [`shutdown::EXIT_INTERRUPTED`].
+    Interrupted,
 }
 
 impl std::fmt::Display for CliError {
@@ -185,6 +198,11 @@ impl std::fmt::Display for CliError {
             CliError::Experiment { path, source } => {
                 write!(f, "invalid experiment file {path}: {source}")
             }
+            CliError::Recovery { path, source } => {
+                write!(f, "checkpoint {path}: {source}")
+            }
+            CliError::Serve(e) => write!(f, "{e}"),
+            CliError::Interrupted => f.write_str("interrupted by signal; state flushed"),
         }
     }
 }
@@ -197,7 +215,16 @@ impl std::error::Error for CliError {
             CliError::Invalid(_) => None,
             CliError::Snapshot { source, .. } => Some(source),
             CliError::Experiment { source, .. } => Some(source),
+            CliError::Recovery { source, .. } => Some(source),
+            CliError::Serve(e) => Some(e),
+            CliError::Interrupted => None,
         }
+    }
+}
+
+impl From<ServeError> for CliError {
+    fn from(e: ServeError) -> Self {
+        CliError::Serve(e)
     }
 }
 
@@ -325,6 +352,12 @@ fn print_summary(name: &str, s: &EpisodeSummary) {
 }
 
 /// `chiron-cli train` — trains Chiron and optionally writes a snapshot.
+///
+/// Training is interruptible: SIGINT/SIGTERM stops at the next episode
+/// boundary, flushes the checkpoint (`--checkpoint`) or the snapshot
+/// (`--out`) plus telemetry, and exits with
+/// [`shutdown::EXIT_INTERRUPTED`]. With `--checkpoint`, re-running the
+/// same command resumes bitwise-identically to an uninterrupted run.
 pub fn train(args: &ParsedArgs, rt: &RuntimeConfig) -> Result<(), CliError> {
     args.reject_unknown(&[
         "dataset",
@@ -333,6 +366,8 @@ pub fn train(args: &ParsedArgs, rt: &RuntimeConfig) -> Result<(), CliError> {
         "episodes",
         "seed",
         "out",
+        "checkpoint",
+        "checkpoint-every",
         "telemetry",
         "jobs",
     ])?;
@@ -341,8 +376,15 @@ pub fn train(args: &ParsedArgs, rt: &RuntimeConfig) -> Result<(), CliError> {
     let budget: f64 = args.parse_or("budget", 100.0)?;
     let episodes: usize = args.parse_or("episodes", 300)?;
     let seed: u64 = args.parse_or("seed", 42)?;
+    let chunk: usize = args.parse_or("checkpoint-every", 25)?;
+    if chunk == 0 {
+        return Err(CliError::Invalid(
+            "--checkpoint-every must be at least 1".into(),
+        ));
+    }
     apply_jobs(args, rt)?;
     let telemetry = telemetry_from(args, rt)?;
+    shutdown::install();
 
     let mut env = build_env(kind, nodes, budget, seed, rt)?;
     println!(
@@ -350,7 +392,60 @@ pub fn train(args: &ParsedArgs, rt: &RuntimeConfig) -> Result<(), CliError> {
     );
     let mut mech = Chiron::new(&env, ChironConfig::paper(), seed);
     let t0 = std::time::Instant::now();
-    let rewards = mech.train(&mut env, episodes);
+    let rewards = match args.options.get("checkpoint") {
+        Some(path) => match train_checkpointed(&mut mech, &mut env, episodes, chunk, path) {
+            Ok(rewards) => rewards,
+            Err(TrainStop::Recovery(source)) => {
+                return Err(CliError::Recovery {
+                    path: path.clone(),
+                    source,
+                });
+            }
+            Err(TrainStop::Interrupted(done)) => {
+                println!(
+                    "interrupt received: checkpoint flushed at episode {done} ({path}); \
+                     re-run the same command to resume"
+                );
+                finish_telemetry(telemetry)?;
+                return Err(CliError::Interrupted);
+            }
+        },
+        None => {
+            // Episode boundaries are exact PPO-update boundaries (buffers
+            // are empty there), so training in chunks is bitwise-identical
+            // to a single `train` call — which makes the run interruptible
+            // without any checkpoint machinery.
+            let mut rewards = Vec::with_capacity(episodes);
+            let mut interrupted = false;
+            while rewards.len() < episodes {
+                if shutdown::requested() {
+                    interrupted = true;
+                    break;
+                }
+                let n = chunk.min(episodes - rewards.len());
+                rewards.extend(mech.train(&mut env, n));
+            }
+            if interrupted {
+                match args.options.get("out") {
+                    Some(path) => {
+                        std::fs::write(path, mech.snapshot().to_json())?;
+                        println!(
+                            "interrupt received: snapshot flushed to {path} after episode {}",
+                            rewards.len()
+                        );
+                    }
+                    None => println!(
+                        "interrupt received: stopping after episode {} \
+                         (no --out/--checkpoint, progress discarded)",
+                        rewards.len()
+                    ),
+                }
+                finish_telemetry(telemetry)?;
+                return Err(CliError::Interrupted);
+            }
+            rewards
+        }
+    };
     println!("trained in {:.1?}", t0.elapsed());
     if let (Some(first), Some(last)) = (rewards.first(), rewards.last()) {
         println!("episode reward: {first:.2} (first) → {last:.2} (last)");
@@ -364,6 +459,121 @@ pub fn train(args: &ParsedArgs, rt: &RuntimeConfig) -> Result<(), CliError> {
         println!("snapshot written to {path}");
     }
     finish_telemetry(telemetry)
+}
+
+/// Why checkpointed training stopped before completing its episodes.
+enum TrainStop {
+    /// The recovery layer failed (load, restore, or save).
+    Recovery(ResumeError),
+    /// A shutdown signal arrived; the checkpoint at this episode count is
+    /// flushed.
+    Interrupted(usize),
+}
+
+/// Drives `train_recoverable` in chunks of `chunk` episodes so shutdown
+/// signals are honoured at checkpoint boundaries. Resumes automatically
+/// if `path` already holds a checkpoint.
+fn train_checkpointed(
+    mech: &mut Chiron,
+    env: &mut EdgeLearningEnv,
+    episodes: usize,
+    chunk: usize,
+    path: &str,
+) -> Result<Vec<f64>, TrainStop> {
+    let options = RecoveryOptions::try_new(path, chunk).map_err(TrainStop::Recovery)?;
+    let mut log = EventLog::new();
+    let mut rewards = Vec::new();
+    let mut done = 0usize;
+    while done < episodes {
+        if shutdown::requested() {
+            return Err(TrainStop::Interrupted(done));
+        }
+        let target = (done + chunk).min(episodes);
+        rewards = mech
+            .train_recoverable(env, target, &options, &mut log)
+            .map_err(TrainStop::Recovery)?;
+        done = rewards.len();
+    }
+    Ok(rewards)
+}
+
+/// `chiron-cli serve` — runs the fault-tolerant mechanism-as-a-service
+/// daemon until `POST /shutdown` or a SIGINT/SIGTERM, then drains:
+/// running jobs park at their next checkpoint and the process exits
+/// (with [`shutdown::EXIT_INTERRUPTED`] when signalled).
+pub fn serve(args: &ParsedArgs, rt: &RuntimeConfig) -> Result<(), CliError> {
+    args.reject_unknown(&[
+        "addr",
+        "workers",
+        "queue-cap",
+        "inflight",
+        "retry-max",
+        "backoff-ms",
+        "checkpoint-every",
+        "deadline-ms",
+        "state-dir",
+        "telemetry",
+        "jobs",
+    ])?;
+    apply_jobs(args, rt)?;
+    let telemetry = telemetry_from(args, rt)?;
+
+    let mut cfg = ServeConfig::from_runtime(rt);
+    if let Some(addr) = args.options.get("addr") {
+        cfg.addr = addr.clone();
+    }
+    cfg.workers = args.parse_or("workers", cfg.workers)?;
+    cfg.max_inflight = args.parse_or("inflight", cfg.workers)?;
+    cfg.queue_cap = args.parse_or("queue-cap", cfg.queue_cap)?;
+    cfg.retry_max = args.parse_or("retry-max", cfg.retry_max)?;
+    cfg.backoff_base_ms = args.parse_or("backoff-ms", cfg.backoff_base_ms)?;
+    cfg.checkpoint_every = args.parse_or("checkpoint-every", cfg.checkpoint_every)?;
+    if let Some(raw) = args.options.get("deadline-ms") {
+        let ms: u64 = raw.parse().map_err(|_| {
+            CliError::Invalid(format!("invalid --deadline-ms value '{raw}' (expected ms)"))
+        })?;
+        cfg.default_deadline_ms = Some(ms);
+    }
+    if let Some(dir) = args.options.get("state-dir") {
+        cfg.state_dir = dir.into();
+    }
+    for (name, value) in [
+        ("--workers", cfg.workers),
+        ("--queue-cap", cfg.queue_cap),
+        ("--inflight", cfg.max_inflight),
+        ("--checkpoint-every", cfg.checkpoint_every),
+    ] {
+        if value == 0 {
+            return Err(CliError::Invalid(format!("{name} must be at least 1")));
+        }
+    }
+
+    shutdown::install();
+    shutdown::reset();
+    let daemon = Daemon::start(cfg).map_err(CliError::Serve)?;
+    println!("serve: listening on {}", daemon.addr());
+    println!(
+        "serve: POST /jobs | GET /jobs/:id | DELETE /jobs/:id | \
+         GET /healthz | GET /metrics | POST /shutdown"
+    );
+    let signalled = loop {
+        if shutdown::requested() {
+            break true;
+        }
+        if daemon.is_stopping() {
+            break false;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    };
+    println!("serve: draining (running jobs park at their next checkpoint)");
+    daemon.join(std::time::Duration::from_secs(30));
+    println!("serve: stopped");
+    finish_telemetry(telemetry)?;
+    if signalled {
+        Err(CliError::Interrupted)
+    } else {
+        Ok(())
+    }
 }
 
 /// `chiron-cli eval` — evaluates a snapshot (or a fresh policy) on a task,
@@ -552,8 +762,9 @@ pub fn run(args: &ParsedArgs, rt: &RuntimeConfig) -> Result<(), CliError> {
     args.reject_unknown(&["config", "init", "out", "telemetry", "jobs"])?;
     apply_jobs(args, rt)?;
     if let Some(path) = args.options.get("init") {
-        let json = serde_json::to_string_pretty(&ExperimentConfig::template())
-            .expect("template serializes");
+        let json = serde_json::to_string_pretty(&ExperimentConfig::template()).map_err(|e| {
+            CliError::Invalid(format!("experiment template failed to serialize: {e}"))
+        })?;
         std::fs::write(path, json)?;
         println!("experiment template written to {path} — edit and run with --config");
         return Ok(());
@@ -678,7 +889,11 @@ commands:
             --dataset mnist|fashion|cifar|tiny (mnist)
             --nodes N (5)  --budget η (100)  --episodes E (300)
             --seed S (42)  --out snapshot.json  --jobs J (pool size)
+            --checkpoint run.json  (crash-resumable run checkpoint)
+            --checkpoint-every E (25)  (episodes between checkpoints)
             --telemetry run.jsonl  (structured telemetry stream)
+            SIGINT/SIGTERM stop at an episode boundary, flush the
+            checkpoint/snapshot, and exit with code 130
   eval      evaluate a trained snapshot (or an untrained policy)
             --model snapshot.json  --trace rounds.csv
             --events events.jsonl  (resilience event log, one JSON per line)
@@ -694,6 +909,15 @@ commands:
   run       execute a fully specified experiment file
             --config exp.json  [--out snapshot.json]  [--telemetry run.jsonl]
             --init exp.json    (write a starting template)  --jobs J
+  serve     run the mechanism-as-a-service daemon (std-only HTTP/1.1)
+            --addr HOST:PORT (127.0.0.1:0)  --workers N (2)
+            --queue-cap N (64)  --inflight N (workers)
+            --retry-max N (3)  --backoff-ms MS (100)
+            --checkpoint-every E (5)  --deadline-ms MS (none)
+            --state-dir DIR (temp)  --telemetry run.jsonl  --jobs J
+            endpoints: POST /jobs  GET /jobs/:id  DELETE /jobs/:id
+                       GET /healthz  GET /metrics  POST /shutdown
+            SIGINT/SIGTERM (or POST /shutdown) drain then stop
   info      version and paper reference
 
 environment variables (read once at startup; see README.md for the table):
@@ -706,6 +930,9 @@ environment variables (read once at startup; see README.md for the table):
   CHIRON_THREADS=N        worker-pool size    CHIRON_SCRATCH_CAP=MiB scratch cap
   CHIRON_JOBS=N           coarse job count (same as --jobs)
   CHIRON_COARSE=0|1       disable/enable coarse-grained scheduling (default 1)
+  CHIRON_SERVE_ADDR / _WORKERS / _QUEUE_CAP / _INFLIGHT / _RETRY_MAX /
+  CHIRON_SERVE_BACKOFF_MS / _CKPT_EVERY / _DEADLINE_MS / _STATE_DIR
+                          serve daemon defaults (flags override)
 "
     .to_owned()
 }

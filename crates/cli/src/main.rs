@@ -21,6 +21,7 @@ fn main() {
         Some("compare") => commands::compare(&parsed, &rt),
         Some("sweep") => commands::sweep(&parsed, &rt),
         Some("run") => commands::run(&parsed, &rt),
+        Some("serve") => commands::serve(&parsed, &rt),
         Some("info") => {
             commands::info();
             Ok(())
@@ -35,6 +36,12 @@ fn main() {
         }
     };
     if let Err(e) = result {
+        // An interrupted run flushed its state cleanly; the distinct exit
+        // code lets scripts tell it apart from a failure.
+        if matches!(e, commands::CliError::Interrupted) {
+            eprintln!("{e}");
+            std::process::exit(chiron_serve::shutdown::EXIT_INTERRUPTED);
+        }
         eprintln!("error: {e}");
         std::process::exit(1);
     }

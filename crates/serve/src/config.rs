@@ -1,0 +1,156 @@
+//! Daemon configuration, with `CHIRON_SERVE_*` environment defaults.
+
+use chiron_telemetry::RuntimeConfig;
+use std::path::PathBuf;
+
+/// Everything the daemon and supervisor need to know, with conservative
+/// defaults. Build one with [`ServeConfig::default`] or
+/// [`ServeConfig::from_runtime`] and override fields directly.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; port 0 picks an ephemeral port (the bound address is
+    /// reported by the daemon).
+    pub addr: String,
+    /// Supervised worker threads executing jobs.
+    pub workers: usize,
+    /// Admission bound: submissions beyond this many queued jobs are shed
+    /// with a typed `Overloaded` error instead of growing the queue.
+    pub queue_cap: usize,
+    /// At most this many jobs run concurrently (≤ `workers` is typical).
+    pub max_inflight: usize,
+    /// Retries per job after a transient failure (panic, checkpoint I/O).
+    pub retry_max: usize,
+    /// Base retry backoff in milliseconds; attempt `k` waits
+    /// `base * 2^(k-1)` plus deterministic jitter, capped.
+    pub backoff_base_ms: u64,
+    /// Backoff cap in milliseconds.
+    pub backoff_cap_ms: u64,
+    /// Episodes between job checkpoints — also the supervision granularity
+    /// for deadlines, cancellation, and drain.
+    pub checkpoint_every: usize,
+    /// Default per-job wall-clock deadline (`None` = no deadline unless
+    /// the spec sets one).
+    pub default_deadline_ms: Option<u64>,
+    /// Directory holding per-job `RunCheckpoint` files.
+    pub state_dir: PathBuf,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".into(),
+            workers: 2,
+            queue_cap: 64,
+            max_inflight: 2,
+            retry_max: 3,
+            backoff_base_ms: 100,
+            backoff_cap_ms: 5_000,
+            checkpoint_every: 5,
+            default_deadline_ms: None,
+            state_dir: std::env::temp_dir().join(format!("chiron-serve-{}", std::process::id())),
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Defaults overridden by whatever `CHIRON_SERVE_*` variables the
+    /// ambient [`RuntimeConfig`] carries. Zero values for counts are
+    /// clamped to 1 (a daemon with no workers or no queue is useless).
+    #[must_use]
+    pub fn from_runtime(rt: &RuntimeConfig) -> Self {
+        let mut cfg = Self::default();
+        if let Some(addr) = &rt.serve_addr {
+            cfg.addr = addr.clone();
+        }
+        if let Some(workers) = rt.serve_workers {
+            cfg.workers = workers.max(1);
+        }
+        cfg.max_inflight = cfg.workers;
+        if let Some(cap) = rt.serve_queue_cap {
+            cfg.queue_cap = cap.max(1);
+        }
+        if let Some(inflight) = rt.serve_inflight {
+            cfg.max_inflight = inflight.max(1);
+        }
+        if let Some(retries) = rt.serve_retry_max {
+            cfg.retry_max = retries;
+        }
+        if let Some(ms) = rt.serve_backoff_ms {
+            cfg.backoff_base_ms = ms.max(1);
+        }
+        if let Some(every) = rt.serve_ckpt_every {
+            cfg.checkpoint_every = every.max(1);
+        }
+        if let Some(ms) = rt.serve_deadline_ms {
+            cfg.default_deadline_ms = Some(ms);
+        }
+        if let Some(dir) = &rt.serve_state_dir {
+            cfg.state_dir = PathBuf::from(dir);
+        }
+        cfg
+    }
+
+    /// Backoff before retry attempt `attempt` (1-based) of job `id`:
+    /// exponential in the attempt with a deterministic jitter derived from
+    /// `(seed, id, attempt)` — reproducible, yet decorrelated across jobs
+    /// so a burst of failures does not retry in lockstep.
+    #[must_use]
+    pub fn backoff_ms(&self, seed: u64, id: u64, attempt: usize) -> u64 {
+        let shift = attempt.saturating_sub(1).min(16) as u32;
+        let base = self
+            .backoff_base_ms
+            .saturating_mul(1u64 << shift)
+            .min(self.backoff_cap_ms);
+        let jitter = splitmix64(seed ^ id.rotate_left(17) ^ attempt as u64) % self.backoff_base_ms;
+        base.saturating_add(jitter).min(self.backoff_cap_ms)
+    }
+}
+
+/// SplitMix64 — the workspace's standard cheap stateless mixer.
+#[must_use]
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_deterministic_and_bounded() {
+        let cfg = ServeConfig {
+            backoff_base_ms: 100,
+            backoff_cap_ms: 1_000,
+            ..ServeConfig::default()
+        };
+        let a = cfg.backoff_ms(7, 1, 1);
+        assert_eq!(a, cfg.backoff_ms(7, 1, 1), "same inputs, same delay");
+        assert_ne!(a, cfg.backoff_ms(7, 2, 1), "jitter decorrelates jobs");
+        for attempt in 1..12 {
+            let d = cfg.backoff_ms(7, 1, attempt);
+            assert!(d <= 1_000, "attempt {attempt} exceeded cap: {d}");
+            assert!(d >= 100, "attempt {attempt} below base: {d}");
+        }
+        // Exponential growth until the cap dominates.
+        assert!(cfg.backoff_ms(7, 1, 2) >= 200);
+    }
+
+    #[test]
+    fn runtime_overrides_apply_and_clamp() {
+        std::env::set_var("CHIRON_SERVE_WORKERS", "0");
+        std::env::set_var("CHIRON_SERVE_QUEUE_CAP", "7");
+        std::env::set_var("CHIRON_SERVE_BACKOFF_MS", "250");
+        let rt = RuntimeConfig::from_env();
+        std::env::remove_var("CHIRON_SERVE_WORKERS");
+        std::env::remove_var("CHIRON_SERVE_QUEUE_CAP");
+        std::env::remove_var("CHIRON_SERVE_BACKOFF_MS");
+        let cfg = ServeConfig::from_runtime(&rt);
+        assert_eq!(cfg.workers, 1, "zero workers clamps to 1");
+        assert_eq!(cfg.queue_cap, 7);
+        assert_eq!(cfg.backoff_base_ms, 250);
+        assert_eq!(cfg.max_inflight, cfg.workers);
+    }
+}

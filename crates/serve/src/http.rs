@@ -1,0 +1,206 @@
+//! A deliberately small HTTP/1.1 subset over `std::net` — just enough for
+//! the daemon's JSON API. No keep-alive, no chunked encoding, no TLS:
+//! one request per connection, `Content-Length` bodies only, bounded
+//! header and body sizes so a misbehaving client cannot exhaust memory.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+/// Reject request heads larger than this.
+pub const MAX_HEAD_BYTES: usize = 8 * 1024;
+/// Reject request bodies larger than this.
+pub const MAX_BODY_BYTES: usize = 256 * 1024;
+
+/// A parsed request: method, path (query string stripped), body bytes.
+#[derive(Debug)]
+pub struct Request {
+    /// Uppercase HTTP method.
+    pub method: String,
+    /// Request path without any query string.
+    pub path: String,
+    /// Raw body (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+/// Why a request could not be parsed; each maps to a 4xx response.
+#[derive(Debug)]
+pub enum ParseError {
+    /// Socket-level failure (including read timeout).
+    Io(std::io::Error),
+    /// The request line or headers were malformed.
+    Malformed(&'static str),
+    /// The head or the declared body exceeded its size bound.
+    TooLarge(&'static str),
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::Io(e) => write!(f, "request I/O error: {e}"),
+            ParseError::Malformed(what) => write!(f, "malformed request: {what}"),
+            ParseError::TooLarge(what) => write!(f, "request too large: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ParseError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// Reads and parses one request from the stream.
+///
+/// # Errors
+///
+/// [`ParseError::Io`] on socket failure or timeout, `Malformed` on a
+/// broken request line, `TooLarge` when a bound is exceeded.
+pub fn read_request(stream: &mut TcpStream) -> Result<Request, ParseError> {
+    let mut head = Vec::with_capacity(512);
+    let mut byte = [0u8; 1];
+    // Byte-at-a-time until CRLFCRLF: request heads are tiny and this keeps
+    // the body boundary exact without buffering past it.
+    while !head.ends_with(b"\r\n\r\n") {
+        if head.len() >= MAX_HEAD_BYTES {
+            return Err(ParseError::TooLarge("request head"));
+        }
+        match stream.read(&mut byte).map_err(ParseError::Io)? {
+            0 => return Err(ParseError::Malformed("connection closed mid-head")),
+            _ => head.push(byte[0]),
+        }
+    }
+    let head_text = String::from_utf8_lossy(&head);
+    let mut lines = head_text.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or(ParseError::Malformed("empty request line"))?
+        .to_ascii_uppercase();
+    let target = parts
+        .next()
+        .ok_or(ParseError::Malformed("missing request target"))?;
+    let path = target.split('?').next().unwrap_or(target).to_owned();
+
+    let mut content_length = 0usize;
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| ParseError::Malformed("bad content-length"))?;
+            }
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(ParseError::TooLarge("request body"));
+    }
+    let mut body = vec![0u8; content_length];
+    stream.read_exact(&mut body).map_err(ParseError::Io)?;
+    Ok(Request { method, path, body })
+}
+
+/// Writes a complete response (status line, minimal headers, body) and
+/// flushes the stream.
+///
+/// # Errors
+///
+/// Propagates socket write failures.
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+) -> std::io::Result<()> {
+    let reason = reason_phrase(status);
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+/// Writes a JSON response.
+///
+/// # Errors
+///
+/// Propagates socket write failures.
+pub fn write_json(stream: &mut TcpStream, status: u16, body: &str) -> std::io::Result<()> {
+    write_response(stream, status, "application/json", body.as_bytes())
+}
+
+fn reason_phrase(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+
+    fn round_trip(raw: &[u8]) -> Result<Request, ParseError> {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let raw = raw.to_vec();
+        let writer = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).expect("connect");
+            s.write_all(&raw).expect("send");
+        });
+        let (mut conn, _) = listener.accept().expect("accept");
+        let parsed = read_request(&mut conn);
+        writer.join().expect("writer thread");
+        parsed
+    }
+
+    #[test]
+    fn parses_request_with_body_and_query() {
+        let req = round_trip(
+            b"POST /jobs?priority=high HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nabcd",
+        )
+        .expect("parse");
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/jobs", "query string is stripped");
+        assert_eq!(req.body, b"abcd");
+    }
+
+    #[test]
+    fn parses_bodyless_get() {
+        let req = round_trip(b"GET /healthz HTTP/1.1\r\n\r\n").expect("parse");
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/healthz");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn rejects_malformed_and_oversized() {
+        assert!(matches!(
+            round_trip(b"\r\n\r\n"),
+            Err(ParseError::Malformed(_))
+        ));
+        let huge = format!(
+            "POST /jobs HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        assert!(matches!(
+            round_trip(huge.as_bytes()),
+            Err(ParseError::TooLarge(_))
+        ));
+    }
+}

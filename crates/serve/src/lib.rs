@@ -1,0 +1,55 @@
+//! Chiron as a long-running service: a fault-tolerant daemon that accepts
+//! training and evaluation jobs over a std-only HTTP/1.1 API and runs
+//! them under supervision.
+//!
+//! The crate is organised around one invariant: **every failure mode is
+//! typed, bounded, and recoverable**.
+//!
+//! - [`queue`] — bounded FIFO + priority admission queue; beyond the
+//!   configured depth, submissions are shed with a typed
+//!   [`ServeError::Overloaded`] (HTTP 429) instead of growing memory.
+//! - [`supervisor`] — worker pool with a crash barrier per attempt:
+//!   panics become [`JobError::Panicked`], transient failures retry with
+//!   deterministic exponential backoff, training resumes
+//!   bitwise-identically from `chiron::recovery` checkpoints, deadlines
+//!   are enforced at checkpoint boundaries.
+//! - [`daemon`] — the HTTP surface over `std::net::TcpListener`: submit,
+//!   poll, cancel, `/healthz`, `/metrics`, drain-then-stop shutdown. No
+//!   external dependencies.
+//! - [`chaos`] — a seeded, fire-once fault plan (worker kills, checkpoint
+//!   I/O sabotage, stragglers) consulted at supervision boundaries, so
+//!   crash-recovery paths are exercised deterministically in tests.
+//! - [`shutdown`] — process-wide SIGINT/SIGTERM flag shared with the CLI
+//!   so both `chiron train` and `chiron serve` flush state before exit.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use chiron_serve::{Daemon, JobSpec, ServeConfig};
+//! use std::time::Duration;
+//!
+//! let daemon = Daemon::start(ServeConfig::default()).unwrap();
+//! println!("listening on {}", daemon.addr());
+//! let id = daemon.supervisor().submit(JobSpec::eval("tiny", 3, 20.0, 7)).unwrap();
+//! let state = daemon.supervisor().wait(id, Duration::from_secs(60));
+//! println!("job {id}: {state:?}");
+//! daemon.join(Duration::from_secs(10));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod chaos;
+pub mod config;
+pub mod daemon;
+pub mod http;
+pub mod job;
+pub mod queue;
+pub mod shutdown;
+pub mod supervisor;
+
+pub use chaos::{Fault, FaultPlan};
+pub use config::ServeConfig;
+pub use daemon::Daemon;
+pub use job::{JobError, JobKind, JobResult, JobSpec, JobState, Priority, ServeError};
+pub use queue::BoundedQueue;
+pub use supervisor::{JobView, ServeStats, Supervisor};

@@ -1,0 +1,181 @@
+//! Bounded FIFO + priority admission queue.
+//!
+//! The queue is small (at most `queue_cap` entries) so a sorted-scan `Vec`
+//! beats a heap in both simplicity and cache behaviour. Ordering is
+//! `(priority rank, submission sequence)` — strict FIFO within a priority
+//! class — and retry entries may carry a `ready_at` instant that hides
+//! them from `pop_ready` until their backoff elapses.
+
+use crate::job::ServeError;
+use std::time::Instant;
+
+#[derive(Debug, Clone)]
+struct Entry {
+    id: u64,
+    rank: u8,
+    seq: u64,
+    ready_at: Option<Instant>,
+}
+
+/// Admission-controlled scheduling queue of job ids.
+#[derive(Debug)]
+pub struct BoundedQueue {
+    entries: Vec<Entry>,
+    cap: usize,
+    next_seq: u64,
+}
+
+impl BoundedQueue {
+    /// A queue that admits at most `cap` entries (clamped to ≥ 1).
+    #[must_use]
+    pub fn new(cap: usize) -> Self {
+        Self {
+            entries: Vec::new(),
+            cap: cap.max(1),
+            next_seq: 0,
+        }
+    }
+
+    /// Admits a new job.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Overloaded`] when the queue is at its bound;
+    /// the entry is not admitted.
+    pub fn push(&mut self, id: u64, rank: u8) -> Result<(), ServeError> {
+        if self.entries.len() >= self.cap {
+            return Err(ServeError::Overloaded {
+                queued: self.entries.len(),
+                cap: self.cap,
+            });
+        }
+        self.push_unbounded(id, rank, None);
+        Ok(())
+    }
+
+    /// Re-queues a job the supervisor already owns (retry after backoff,
+    /// or a drain parking a running job). Bypasses the admission bound:
+    /// shedding work we already accepted would break the retry contract.
+    pub fn push_retry(&mut self, id: u64, rank: u8, ready_at: Option<Instant>) {
+        self.push_unbounded(id, rank, ready_at);
+    }
+
+    fn push_unbounded(&mut self, id: u64, rank: u8, ready_at: Option<Instant>) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.entries.push(Entry {
+            id,
+            rank,
+            seq,
+            ready_at,
+        });
+    }
+
+    /// Removes and returns the runnable job with the best
+    /// `(rank, sequence)` order, skipping entries still in backoff.
+    pub fn pop_ready(&mut self, now: Instant) -> Option<u64> {
+        let best = self
+            .entries
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.ready_at.is_none_or(|t| t <= now))
+            .min_by_key(|(_, e)| (e.rank, e.seq))
+            .map(|(i, _)| i)?;
+        Some(self.entries.swap_remove(best).id)
+    }
+
+    /// The earliest instant at which a currently-backing-off entry becomes
+    /// runnable, if every queued entry is waiting on a backoff.
+    #[must_use]
+    pub fn next_ready_at(&self) -> Option<Instant> {
+        self.entries.iter().filter_map(|e| e.ready_at).min()
+    }
+
+    /// Whether any entry is immediately runnable at `now`.
+    #[must_use]
+    pub fn has_ready(&self, now: Instant) -> bool {
+        self.entries
+            .iter()
+            .any(|e| e.ready_at.is_none_or(|t| t <= now))
+    }
+
+    /// Queued entries (runnable or backing off).
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Drops the entry for `id`, returning whether it was present.
+    pub fn remove(&mut self, id: u64) -> bool {
+        match self.entries.iter().position(|e| e.id == id) {
+            Some(i) => {
+                self.entries.swap_remove(i);
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn fifo_within_class_priority_across() {
+        let mut q = BoundedQueue::new(8);
+        q.push(1, 1).expect("admit");
+        q.push(2, 1).expect("admit");
+        q.push(3, 0).expect("admit");
+        q.push(4, 2).expect("admit");
+        let now = Instant::now();
+        assert_eq!(q.pop_ready(now), Some(3), "high priority first");
+        assert_eq!(q.pop_ready(now), Some(1), "then FIFO within normal");
+        assert_eq!(q.pop_ready(now), Some(2));
+        assert_eq!(q.pop_ready(now), Some(4), "low priority last");
+        assert_eq!(q.pop_ready(now), None);
+    }
+
+    #[test]
+    fn overload_is_typed_and_non_destructive() {
+        let mut q = BoundedQueue::new(2);
+        q.push(1, 1).expect("admit");
+        q.push(2, 1).expect("admit");
+        match q.push(3, 0) {
+            Err(ServeError::Overloaded { queued: 2, cap: 2 }) => {}
+            other => panic!("expected Overloaded, got {other:?}"),
+        }
+        assert_eq!(q.depth(), 2, "rejected push must not grow the queue");
+        // Retries bypass the bound — the job was already admitted once.
+        q.push_retry(9, 1, None);
+        assert_eq!(q.depth(), 3);
+    }
+
+    #[test]
+    fn backoff_entries_hide_until_ready() {
+        let mut q = BoundedQueue::new(4);
+        let now = Instant::now();
+        let later = now + Duration::from_millis(50);
+        q.push_retry(1, 0, Some(later));
+        q.push(2, 2).expect("admit");
+        assert_eq!(
+            q.pop_ready(now),
+            Some(2),
+            "backing-off high-priority entry is skipped"
+        );
+        assert_eq!(q.pop_ready(now), None);
+        assert!(!q.has_ready(now));
+        assert_eq!(q.next_ready_at(), Some(later));
+        assert_eq!(q.pop_ready(later), Some(1));
+    }
+
+    #[test]
+    fn remove_reports_presence() {
+        let mut q = BoundedQueue::new(4);
+        q.push(1, 1).expect("admit");
+        assert!(q.remove(1));
+        assert!(!q.remove(1));
+        assert_eq!(q.depth(), 0);
+    }
+}

@@ -21,6 +21,15 @@
 //! | `CHIRON_FLEET_SAMPLE` | usize | CLI/fedsim | nodes priced per round (0/unset = full participation) |
 //! | `CHIRON_FLEET_CLUSTERS` | usize ≥ 1 | CLI/fedsim | edge clusters for two-level aggregation (default 1) |
 //! | `CHIRON_TELEMETRY` | path | CLI | JSONL telemetry output (same as `--telemetry`) |
+//! | `CHIRON_SERVE_ADDR` | addr | serve | daemon bind address (default `127.0.0.1:0` = ephemeral port) |
+//! | `CHIRON_SERVE_WORKERS` | usize ≥ 1 | serve | supervised job-runner threads (default 2) |
+//! | `CHIRON_SERVE_QUEUE_CAP` | usize ≥ 1 | serve | admission bound on queued jobs; beyond it submissions are shed with a typed `Overloaded` (default 64) |
+//! | `CHIRON_SERVE_INFLIGHT` | usize ≥ 1 | serve | concurrently running job bound (default = workers) |
+//! | `CHIRON_SERVE_RETRY_MAX` | usize | serve | retries per job after transient failures (default 3) |
+//! | `CHIRON_SERVE_BACKOFF_MS` | u64 ≥ 1 | serve | base retry backoff; doubles per attempt with deterministic jitter (default 100) |
+//! | `CHIRON_SERVE_CKPT_EVERY` | usize ≥ 1 | serve | episodes between job checkpoints / supervision boundaries (default 5) |
+//! | `CHIRON_SERVE_DEADLINE_MS` | u64 | serve | default per-job deadline (unset = none) |
+//! | `CHIRON_SERVE_STATE_DIR` | path | serve | job checkpoint directory (default: under the OS temp dir) |
 //! | `CHIRON_EPISODES` | usize | bench | episode count override for bench binaries |
 //! | `CHIRON_SEEDS` | usize ≥ 1 | bench | replication count for bench panels |
 //! | `CHIRON_BENCH_SAMPLES` | usize ≥ 1 | bench | timing samples per case (default 20) |
@@ -87,6 +96,24 @@ pub struct RuntimeConfig {
     pub fleet_clusters: Option<usize>,
     /// `CHIRON_TELEMETRY`: JSONL telemetry output path.
     pub telemetry: Option<String>,
+    /// `CHIRON_SERVE_ADDR`: serve daemon bind address.
+    pub serve_addr: Option<String>,
+    /// `CHIRON_SERVE_WORKERS`: supervised job-runner thread count.
+    pub serve_workers: Option<usize>,
+    /// `CHIRON_SERVE_QUEUE_CAP`: admission bound on queued jobs.
+    pub serve_queue_cap: Option<usize>,
+    /// `CHIRON_SERVE_INFLIGHT`: concurrently running job bound.
+    pub serve_inflight: Option<usize>,
+    /// `CHIRON_SERVE_RETRY_MAX`: retry budget for transiently failed jobs.
+    pub serve_retry_max: Option<usize>,
+    /// `CHIRON_SERVE_BACKOFF_MS`: base retry backoff in milliseconds.
+    pub serve_backoff_ms: Option<u64>,
+    /// `CHIRON_SERVE_CKPT_EVERY`: episodes between job checkpoints.
+    pub serve_ckpt_every: Option<usize>,
+    /// `CHIRON_SERVE_DEADLINE_MS`: default per-job deadline.
+    pub serve_deadline_ms: Option<u64>,
+    /// `CHIRON_SERVE_STATE_DIR`: job checkpoint directory.
+    pub serve_state_dir: Option<String>,
     /// `CHIRON_EPISODES`: bench episode-count override.
     pub episodes: Option<usize>,
     /// `CHIRON_SEEDS`: bench replication count.
@@ -123,6 +150,19 @@ impl RuntimeConfig {
             fleet_sample: parse_var("CHIRON_FLEET_SAMPLE"),
             fleet_clusters: parse_var("CHIRON_FLEET_CLUSTERS"),
             telemetry: std::env::var("CHIRON_TELEMETRY")
+                .ok()
+                .filter(|s| !s.is_empty()),
+            serve_addr: std::env::var("CHIRON_SERVE_ADDR")
+                .ok()
+                .filter(|s| !s.is_empty()),
+            serve_workers: parse_var("CHIRON_SERVE_WORKERS"),
+            serve_queue_cap: parse_var("CHIRON_SERVE_QUEUE_CAP"),
+            serve_inflight: parse_var("CHIRON_SERVE_INFLIGHT"),
+            serve_retry_max: parse_var("CHIRON_SERVE_RETRY_MAX"),
+            serve_backoff_ms: parse_var("CHIRON_SERVE_BACKOFF_MS"),
+            serve_ckpt_every: parse_var("CHIRON_SERVE_CKPT_EVERY"),
+            serve_deadline_ms: parse_var("CHIRON_SERVE_DEADLINE_MS"),
+            serve_state_dir: std::env::var("CHIRON_SERVE_STATE_DIR")
                 .ok()
                 .filter(|s| !s.is_empty()),
             episodes: parse_var("CHIRON_EPISODES"),
