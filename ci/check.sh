@@ -14,12 +14,12 @@ cargo build --workspace --release --offline
 echo "==> cargo test"
 cargo test -q --workspace --release --offline
 
-echo "==> determinism + resilience + serve chaos suites under the thread matrix"
+echo "==> determinism + resilience + conformance + serve chaos suites under the thread matrix"
 for t in 1 4 8; do
     echo "    CHIRON_THREADS=$t"
     CHIRON_THREADS=$t cargo test -q --release --offline \
         --test failure_injection --test resilience --test parallel_determinism \
-        --test serve
+        --test mechanism_conformance --test serve
 done
 
 echo "==> kernel + determinism suites under the SIMD × thread matrix"
@@ -47,6 +47,23 @@ CHIRON_BENCH_SAMPLES=1 CHIRON_BENCH_OUT="$smoke_out" \
 # bench_fleet caps its size matrix at 10k nodes when CHIRON_BENCH_SAMPLES=1.
 CHIRON_BENCH_SAMPLES=1 CHIRON_BENCH_OUT="$smoke_out" \
     cargo run -q --release --offline -p chiron-bench --bin bench_fleet
+
+echo "==> tournament smoke: bitwise-identical leaderboard at 1/4/8 threads"
+# The smoke grid (CHIRON_BENCH_SAMPLES=1) runs the closed-form zoo corner
+# over three scenarios; the emitted JSON must not depend on thread count.
+tourn_ref="$(mktemp -d)"
+CHIRON_BENCH_SAMPLES=1 CHIRON_BENCH_OUT="$tourn_ref" CHIRON_THREADS=1 \
+    cargo run -q --release --offline -p chiron-bench --bin bench_tournament >/dev/null
+for t in 4 8; do
+    tourn_alt="$(mktemp -d)"
+    CHIRON_BENCH_SAMPLES=1 CHIRON_BENCH_OUT="$tourn_alt" CHIRON_THREADS=$t \
+        cargo run -q --release --offline -p chiron-bench --bin bench_tournament >/dev/null
+    diff "$tourn_ref/BENCH_tournament.json" "$tourn_alt/BENCH_tournament.json" \
+        || { echo "tournament leaderboard differs at CHIRON_THREADS=$t"; exit 1; }
+    rm -rf "$tourn_alt"
+done
+cp "$tourn_ref"/BENCH_tournament.json "$tourn_ref"/BENCH_tournament.md "$smoke_out"/
+rm -rf "$tourn_ref"
 # Keep the smoke output when the caller asked for it (CI publishes
 # BENCH_episodes.json as a workflow artifact); scratch dirs are removed.
 [ -n "${CHIRON_BENCH_SMOKE_OUT:-}" ] || rm -rf "$smoke_out"

@@ -1,6 +1,6 @@
 //! The "DRL-based" state-of-the-art baseline (Zhan & Zhang, INFOCOM 2020).
 
-use chiron::Mechanism;
+use chiron::{Mechanism, MechanismParams};
 use chiron_drl::{PpoAgent, PpoConfig, RolloutBuffer};
 use chiron_fedsim::{EdgeLearningEnv, RoundOutcome, StepStatus};
 
@@ -56,6 +56,7 @@ impl Default for DrlSingleRoundConfig {
 /// time), i.e. a history window of one.
 pub struct DrlSingleRound {
     config: DrlSingleRoundConfig,
+    params: MechanismParams,
     agent: PpoAgent,
     price_caps: Vec<f64>,
     last_frame: Vec<f64>,
@@ -74,6 +75,17 @@ impl DrlSingleRound {
 
     /// Builds with explicit hyperparameters.
     pub fn with_config(env: &EdgeLearningEnv, config: DrlSingleRoundConfig, seed: u64) -> Self {
+        Self::with_params(env, config, chiron::MechanismParams::new(seed))
+    }
+
+    /// Builds with explicit hyperparameters and shared
+    /// [`MechanismParams`] (seed and reporting λ).
+    pub fn with_params(
+        env: &EdgeLearningEnv,
+        config: DrlSingleRoundConfig,
+        params: MechanismParams,
+    ) -> Self {
+        let seed = params.seed;
         let n = env.num_nodes();
         let agent = PpoAgent::new(
             3 * n,
@@ -94,6 +106,7 @@ impl DrlSingleRound {
             .fold(0.0f64, f64::max);
         Self {
             config,
+            params,
             agent,
             price_caps,
             last_frame: vec![0.0; 3 * n],
@@ -126,8 +139,11 @@ impl DrlSingleRound {
     fn frame(&self, outcome: &RoundOutcome, prices: &[f64]) -> Vec<f64> {
         let n = self.price_caps.len();
         let mut frame = vec![0.0f64; 3 * n];
-        for i in 0..n {
-            let (freq, time) = match &outcome.responses[i] {
+        // `responses[j]` belongs to global node `selection[j]`; unselected
+        // nodes keep the zero profile (under sampled participation the
+        // selection is a strict subset of the fleet).
+        for (j, &i) in outcome.selection.iter().enumerate() {
+            let (freq, time) = match &outcome.responses[j] {
                 Some(r) => (r.frequency, r.total_time),
                 None => (0.0, 0.0),
             };
@@ -140,8 +156,12 @@ impl DrlSingleRound {
 }
 
 impl Mechanism for DrlSingleRound {
-    fn name(&self) -> &'static str {
-        "drl-based"
+    fn name(&self) -> String {
+        "drl-based".to_string()
+    }
+
+    fn params(&self) -> MechanismParams {
+        self.params
     }
 
     fn begin_episode(&mut self, _env: &EdgeLearningEnv) {
@@ -218,6 +238,7 @@ impl std::fmt::Debug for DrlSingleRound {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use chiron::EpisodeRun;
     use chiron_data::DatasetKind;
     use chiron_fedsim::EnvConfig;
 

@@ -1,0 +1,48 @@
+//! Typed errors for mechanism construction and registry lookup.
+
+/// Why a mechanism could not be built.
+///
+/// Mirrors the `EnvConfigError { field, reason }` idiom used by the
+/// simulator's validating builders, with the owning mechanism named so
+/// registry-driven call sites (CLI `--mechanisms`, the tournament) can
+/// report which zoo entry rejected its configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MechanismError {
+    /// The requested registry id does not exist.
+    UnknownId {
+        /// The id that failed to resolve.
+        id: String,
+        /// Every id the registry knows, in registration order.
+        known: Vec<&'static str>,
+    },
+    /// A mechanism config field failed validation.
+    Invalid {
+        /// Registry id (or type name) of the rejecting mechanism.
+        mechanism: &'static str,
+        /// The offending config field.
+        field: &'static str,
+        /// Human-readable constraint violated.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for MechanismError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::UnknownId { id, known } => {
+                write!(
+                    f,
+                    "unknown mechanism id `{id}` (known: {})",
+                    known.join(", ")
+                )
+            }
+            Self::Invalid {
+                mechanism,
+                field,
+                reason,
+            } => write!(f, "invalid `{mechanism}` config: {field}: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for MechanismError {}

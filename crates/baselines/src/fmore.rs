@@ -1,0 +1,361 @@
+//! The FMore-style multi-dimensional procurement auction
+//! (Zeng et al., "FMore: An Incentive Scheme of Multi-dimensional Auction
+//! for Federated Learning in MEC", ICDCS 2020).
+//!
+//! Each round is a sealed-bid reverse auction: every edge node submits a
+//! multi-dimensional bid — the resources it promises (its peak frequency
+//! and local data share) together with an ask price — and the parameter
+//! server scores the bids, selects the top-`K` winners, and settles
+//! **pay-as-bid**: each winner is posted exactly its asked per-unit price,
+//! losers are posted zero and sit the round out.
+//!
+//! Bids are derived from the node's observable economics: the ask is a
+//! per-`(seed, node, round)` pseudo-random fraction of the node's price
+//! cap (nodes shade their asks differently round to round), and the
+//! promised quality is the normalized peak frequency blended with the
+//! node's data share. The stream is *stateless* — keyed off the
+//! environment's round counter — so repeated evaluation episodes are
+//! bitwise-identical, and the mechanism needs no learning:
+//! [`Mechanism::train`] is a no-op.
+
+use crate::MechanismError;
+use chiron::{Mechanism, MechanismParams};
+use chiron_fedsim::{EdgeLearningEnv, RoundOutcome};
+
+/// Configuration of the [`FMoreAuction`], validated by
+/// [`try_validate`](FMoreConfig::try_validate) (`EnvConfigError`-style:
+/// every constructor that accepts a config returns a typed
+/// [`MechanismError::Invalid`] naming the offending field).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FMoreConfig {
+    /// Number of auction winners `K` per round (clamped to the fleet size
+    /// at decision time).
+    pub winners: usize,
+    /// Score weight of the promised quality (resources + data share).
+    pub quality_weight: f64,
+    /// Score weight of the normalized ask price.
+    pub price_weight: f64,
+    /// Minimum ask as a fraction of the node's price cap.
+    pub ask_floor: f64,
+    /// Span of the per-round pseudo-random ask shading above the floor;
+    /// `ask_floor + ask_jitter` must stay within the price cap (≤ 1).
+    pub ask_jitter: f64,
+}
+
+impl Default for FMoreConfig {
+    fn default() -> Self {
+        Self {
+            winners: 3,
+            quality_weight: 1.0,
+            price_weight: 1.0,
+            ask_floor: 0.35,
+            ask_jitter: 0.30,
+        }
+    }
+}
+
+impl FMoreConfig {
+    /// Validates every field, naming the first offender.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MechanismError::Invalid`] if a field is out of range.
+    pub fn try_validate(&self) -> Result<(), MechanismError> {
+        let invalid = |field: &'static str, reason: String| MechanismError::Invalid {
+            mechanism: "fmore",
+            field,
+            reason,
+        };
+        if self.winners == 0 {
+            return Err(invalid("winners", "must be at least 1".into()));
+        }
+        if !(self.quality_weight >= 0.0 && self.quality_weight.is_finite()) {
+            return Err(invalid(
+                "quality_weight",
+                format!("must be finite and >= 0, got {}", self.quality_weight),
+            ));
+        }
+        if !(self.price_weight >= 0.0 && self.price_weight.is_finite()) {
+            return Err(invalid(
+                "price_weight",
+                format!("must be finite and >= 0, got {}", self.price_weight),
+            ));
+        }
+        if self.quality_weight == 0.0 && self.price_weight == 0.0 {
+            return Err(invalid(
+                "quality_weight",
+                "quality_weight and price_weight cannot both be zero".into(),
+            ));
+        }
+        if !(self.ask_floor > 0.0 && self.ask_floor <= 1.0) {
+            return Err(invalid(
+                "ask_floor",
+                format!("must be in (0, 1], got {}", self.ask_floor),
+            ));
+        }
+        if !(self.ask_jitter >= 0.0 && self.ask_floor + self.ask_jitter <= 1.0) {
+            return Err(invalid(
+                "ask_jitter",
+                format!(
+                    "must be >= 0 with ask_floor + ask_jitter <= 1, got {}",
+                    self.ask_jitter
+                ),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// The FMore-style auction mechanism (see module docs).
+///
+/// # Examples
+///
+/// ```
+/// use chiron::{EpisodeRun, MechanismParams};
+/// use chiron_baselines::{FMoreAuction, FMoreConfig};
+/// use chiron_fedsim::{EdgeLearningEnv, EnvConfig};
+/// use chiron_data::DatasetKind;
+///
+/// let mut env = EdgeLearningEnv::new(
+///     EnvConfig::paper_small(DatasetKind::MnistLike, 40.0), 0);
+/// let mut auction = FMoreAuction::new(
+///     FMoreConfig::default(), MechanismParams::new(7)).expect("valid");
+/// let (summary, _) = auction.run_episode(&mut env);
+/// assert!(summary.spent <= 40.0 + 1e-6);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FMoreAuction {
+    config: FMoreConfig,
+    params: MechanismParams,
+}
+
+impl FMoreAuction {
+    /// Builds the auction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MechanismError::Invalid`] if the config fails
+    /// [`FMoreConfig::try_validate`].
+    pub fn new(config: FMoreConfig, params: MechanismParams) -> Result<Self, MechanismError> {
+        config.try_validate()?;
+        Ok(Self { config, params })
+    }
+
+    /// The validated configuration.
+    pub fn config(&self) -> &FMoreConfig {
+        &self.config
+    }
+
+    /// The ask fraction node `node` shades its bid with in round `round`:
+    /// `ask_floor + ask_jitter · u` with `u` drawn from a stateless
+    /// per-`(seed, node, round)` stream, so evaluation never drifts.
+    fn ask_fraction(&self, node: usize, round: usize) -> f64 {
+        let h = splitmix(
+            self.params.seed
+                ^ splitmix((node as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (round as u64)),
+        );
+        let u = (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        self.config.ask_floor + self.config.ask_jitter * u
+    }
+
+    /// Scores every node's bid for the current round and returns the
+    /// posted price vector: winners get their ask, losers get zero.
+    fn settle(&self, env: &EdgeLearningEnv) -> Vec<f64> {
+        let sigma = env.sigma();
+        let round = env.round();
+        let weights = env.data_weights();
+        let n = env.num_nodes();
+        let max_freq = env
+            .nodes()
+            .iter()
+            .map(|node| node.params().freq_max)
+            .fold(f64::MIN_POSITIVE, f64::max);
+        let max_weight = weights.iter().copied().fold(f64::MIN_POSITIVE, f64::max);
+        let max_cap = env
+            .nodes()
+            .iter()
+            .map(|node| node.price_cap(sigma))
+            .fold(f64::MIN_POSITIVE, f64::max);
+
+        // (score, node index, ask price) per bid.
+        let mut bids: Vec<(f64, usize, f64)> = env
+            .nodes()
+            .iter()
+            .enumerate()
+            .map(|(i, node)| {
+                let ask = self.ask_fraction(i, round) * node.price_cap(sigma);
+                let quality =
+                    0.5 * node.params().freq_max / max_freq + 0.5 * weights[i] / max_weight;
+                let score =
+                    self.config.quality_weight * quality - self.config.price_weight * ask / max_cap;
+                (score, i, ask)
+            })
+            .collect();
+        // Highest score first; ties broken by lower node index so winner
+        // selection is a total, deterministic order.
+        bids.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+
+        let mut prices = vec![0.0; n];
+        for &(_, i, ask) in bids.iter().take(self.config.winners.min(n)) {
+            prices[i] = ask;
+        }
+        prices
+    }
+}
+
+impl Mechanism for FMoreAuction {
+    fn name(&self) -> String {
+        format!("fmore_k{}", self.config.winners)
+    }
+
+    fn params(&self) -> MechanismParams {
+        self.params
+    }
+
+    fn begin_episode(&mut self, _env: &EdgeLearningEnv) {}
+
+    fn decide_prices(&mut self, env: &EdgeLearningEnv, _explore: bool) -> Vec<f64> {
+        self.settle(env)
+    }
+
+    fn observe(&mut self, _outcome: &RoundOutcome, _prices: &[f64]) {}
+
+    fn train(&mut self, _env: &mut EdgeLearningEnv, episodes: usize) -> Vec<f64> {
+        vec![0.0; episodes] // the auction carries no learned state
+    }
+}
+
+/// splitmix64 finalizer (same mix the simulator's stateless fault streams
+/// use) — keyed bid shading without any mutable RNG state.
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chiron::EpisodeRun;
+    use chiron_data::DatasetKind;
+    use chiron_fedsim::EnvConfig;
+
+    fn env(seed: u64) -> EdgeLearningEnv {
+        EdgeLearningEnv::new(
+            EnvConfig {
+                oracle_noise: 0.0,
+                ..EnvConfig::paper_small(DatasetKind::MnistLike, 60.0)
+            },
+            seed,
+        )
+    }
+
+    fn auction(seed: u64) -> FMoreAuction {
+        FMoreAuction::new(FMoreConfig::default(), MechanismParams::new(seed)).expect("valid")
+    }
+
+    #[test]
+    fn config_validation_names_the_field() {
+        let err = FMoreAuction::new(
+            FMoreConfig {
+                winners: 0,
+                ..FMoreConfig::default()
+            },
+            MechanismParams::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            MechanismError::Invalid {
+                mechanism: "fmore",
+                field: "winners",
+                ..
+            }
+        ));
+        let err = FMoreConfig {
+            ask_floor: 0.8,
+            ask_jitter: 0.5,
+            ..FMoreConfig::default()
+        }
+        .try_validate()
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            MechanismError::Invalid {
+                field: "ask_jitter",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn name_is_parameterized_by_k() {
+        assert_eq!(auction(0).name(), "fmore_k3");
+        let a = FMoreAuction::new(
+            FMoreConfig {
+                winners: 8,
+                ..FMoreConfig::default()
+            },
+            MechanismParams::default(),
+        )
+        .expect("valid");
+        assert_eq!(a.name(), "fmore_k8");
+    }
+
+    #[test]
+    fn at_most_k_winners_are_posted_nonzero_prices() {
+        let mut e = env(0);
+        let mut a = auction(1);
+        for _ in 0..5 {
+            let prices = a.decide_prices(&e, false);
+            let winners = prices.iter().filter(|&&p| p > 0.0).count();
+            assert!(winners <= 3, "got {winners} winners");
+            assert!(winners >= 1);
+            for (p, node) in prices.iter().zip(e.nodes()) {
+                assert!(*p <= node.price_cap(e.sigma()) + 1e-12);
+            }
+            e.step(&prices);
+        }
+    }
+
+    #[test]
+    fn episode_bits_are_pinned_across_instances_and_calls() {
+        let mut e = env(3);
+        let mut a = auction(9);
+        let (s1, r1) = a.run_episode(&mut e);
+        let (s2, r2) = a.run_episode(&mut e);
+        let mut twin = auction(9);
+        let (s3, _) = twin.run_episode(&mut e);
+        assert_eq!(s1.rounds, s2.rounds);
+        assert_eq!(s1.rounds, s3.rounds);
+        assert_eq!(s1.final_accuracy.to_bits(), s2.final_accuracy.to_bits());
+        assert_eq!(s1.final_accuracy.to_bits(), s3.final_accuracy.to_bits());
+        assert_eq!(s1.spent.to_bits(), s2.spent.to_bits());
+        assert_eq!(s1.spent.to_bits(), s3.spent.to_bits());
+        assert_eq!(s1.total_time.to_bits(), s3.total_time.to_bits());
+        for (a, b) in r1.iter().zip(&r2) {
+            assert_eq!(a.payment.to_bits(), b.payment.to_bits());
+        }
+    }
+
+    #[test]
+    fn different_seeds_shade_asks_differently() {
+        let a = auction(1);
+        let b = auction(2);
+        let differs = (0..16).any(|r| a.ask_fraction(0, r) != b.ask_fraction(0, r));
+        assert!(differs, "seed must reach the bid stream");
+        // And the stream varies over rounds for a fixed node.
+        let varies = (1..16).any(|r| a.ask_fraction(0, r) != a.ask_fraction(0, 0));
+        assert!(varies, "asks must be shaded per round");
+    }
+
+    #[test]
+    fn budget_is_respected() {
+        let mut e = env(4);
+        let mut a = auction(4);
+        let (summary, _) = a.run_episode(&mut e);
+        assert!(summary.spent <= 60.0 + 1e-6);
+        assert!(summary.rounds > 0);
+    }
+}

@@ -1,6 +1,6 @@
 //! The Greedy baseline: ε-greedy replay of the best observed pricing.
 
-use chiron::Mechanism;
+use chiron::{Mechanism, MechanismParams};
 use chiron_fedsim::{EdgeLearningEnv, RoundOutcome, StepStatus};
 use chiron_tensor::TensorRng;
 
@@ -37,6 +37,7 @@ impl Default for GreedyConfig {
 /// rewards observed under it.
 pub struct Greedy {
     config: GreedyConfig,
+    params: MechanismParams,
     price_caps: Vec<f64>,
     /// `(price fractions, mean reward, observations)` per buffered action.
     memory: Vec<(Vec<f64>, f64, usize)>,
@@ -78,6 +79,10 @@ impl Greedy {
             .map(|node| node.price_cap(env.sigma()))
             .collect();
         Self {
+            params: MechanismParams {
+                seed,
+                lambda: config.lambda,
+            },
             config,
             price_caps,
             memory,
@@ -134,12 +139,12 @@ impl Greedy {
 }
 
 impl Mechanism for Greedy {
-    fn name(&self) -> &'static str {
-        "greedy"
+    fn name(&self) -> String {
+        "greedy".to_string()
     }
 
-    fn lambda(&self) -> f64 {
-        self.config.lambda
+    fn params(&self) -> MechanismParams {
+        self.params
     }
 
     fn begin_episode(&mut self, _env: &EdgeLearningEnv) {
@@ -213,6 +218,7 @@ impl std::fmt::Debug for Greedy {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use chiron::EpisodeRun;
     use chiron_data::DatasetKind;
     use chiron_fedsim::EnvConfig;
 

@@ -20,11 +20,21 @@
 //!   given the node private parameters and the accuracy curve it solves
 //!   the budget-pacing problem by backward induction, upper-bounding what
 //!   any incomplete-information mechanism can achieve.
+//! * [`FMoreAuction`] — FMore-style multi-dimensional reverse auction
+//!   (Zeng et al., ICDCS 2020): per-round sealed bids scored on promised
+//!   resources vs. ask price, top-`K` winners, pay-as-bid settlement.
+//! * [`StackelbergPricing`] — closed-form Stackelberg leader/follower
+//!   equilibrium (after Sarikaya & Ercetin): budget pacing over a planned
+//!   horizon with the Lemma-1 equalizing split, no learning.
+//!
+//! The whole zoo — including Chiron itself and the flat-PPO ablation — is
+//! constructible by id through the typed [`registry`]; see
+//! [`MechanismSpec`] for the contract.
 //!
 //! ## Example
 //!
 //! ```
-//! use chiron::Mechanism;
+//! use chiron::{EpisodeRun, Mechanism};
 //! use chiron_baselines::Greedy;
 //! use chiron_fedsim::{EdgeLearningEnv, EnvConfig};
 //! use chiron_data::DatasetKind;
@@ -38,13 +48,21 @@
 //! ```
 
 mod drl_single;
+mod error;
+mod fmore;
 mod greedy;
 mod planner;
+mod registry;
+mod stackelberg;
 mod statics;
 
 pub use drl_single::{DrlSingleRound, DrlSingleRoundConfig};
+pub use error::MechanismError;
+pub use fmore::{FMoreAuction, FMoreConfig};
 pub use greedy::{Greedy, GreedyConfig};
 pub use planner::DpPlanner;
+pub use registry::{build_by_id, find, parse_ids, registry, BuildFn, MechanismSpec};
+pub use stackelberg::{StackelbergConfig, StackelbergPricing};
 pub use statics::{LemmaOracle, StaticPrice};
 
 #[cfg(test)]

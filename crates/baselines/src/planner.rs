@@ -19,7 +19,7 @@
 //! this simulator, which makes it the natural yardstick in benchmarks:
 //! Chiron should land close to it, the myopic baselines far below.
 
-use chiron::Mechanism;
+use chiron::{Mechanism, MechanismParams};
 use chiron_data::LearningCurve;
 use chiron_fedsim::lemma::equalizing_prices;
 use chiron_fedsim::{EdgeLearningEnv, RoundOutcome};
@@ -42,7 +42,7 @@ struct GridPoint {
 /// # Examples
 ///
 /// ```
-/// use chiron::Mechanism;
+/// use chiron::EpisodeRun;
 /// use chiron_baselines::DpPlanner;
 /// use chiron_fedsim::{EdgeLearningEnv, EnvConfig};
 /// use chiron_data::DatasetKind;
@@ -60,7 +60,7 @@ pub struct DpPlanner {
     budget_step: f64,
     max_rounds: usize,
     curve: LearningCurve,
-    lambda: f64,
+    params: MechanismParams,
     // Execution state during an episode.
     remaining: f64,
     effective_rounds: usize,
@@ -160,7 +160,7 @@ impl DpPlanner {
             budget_step,
             max_rounds,
             curve,
-            lambda,
+            params: MechanismParams::default().with_lambda(lambda),
             remaining: budget,
             effective_rounds: 0,
         }
@@ -180,7 +180,7 @@ impl DpPlanner {
             let g = &self.grid[gi];
             let a_now = self.curve.accuracy(e as f64);
             let a_next = self.curve.accuracy(e as f64 + g.participation);
-            total += self.lambda * (a_next - a_now) - 0.1 * g.round_time;
+            total += self.params.lambda * (a_next - a_now) - 0.1 * g.round_time;
             b = b.saturating_sub((g.cost / self.budget_step).ceil() as usize);
         }
         total
@@ -188,12 +188,12 @@ impl DpPlanner {
 }
 
 impl Mechanism for DpPlanner {
-    fn name(&self) -> &'static str {
-        "dp-planner"
+    fn name(&self) -> String {
+        "dp-planner".to_string()
     }
 
-    fn lambda(&self) -> f64 {
-        self.lambda
+    fn params(&self) -> MechanismParams {
+        self.params
     }
 
     fn begin_episode(&mut self, env: &EdgeLearningEnv) {
@@ -251,6 +251,7 @@ impl std::fmt::Debug for DpPlanner {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use chiron::EpisodeRun;
     use chiron_data::DatasetKind;
     use chiron_fedsim::EnvConfig;
 

@@ -1,7 +1,7 @@
 //! Property-based tests for the baseline mechanisms.
 
-use crate::{DpPlanner, DrlSingleRound, Greedy, GreedyConfig, LemmaOracle, StaticPrice};
-use chiron::Mechanism;
+use crate::{registry, DpPlanner, Greedy, GreedyConfig, LemmaOracle, StaticPrice};
+use chiron::{EpisodeRun, Mechanism, MechanismParams};
 use chiron_data::DatasetKind;
 use chiron_fedsim::{EdgeLearningEnv, EnvConfig};
 use proptest::prelude::*;
@@ -19,19 +19,17 @@ fn env(budget: f64, seed: u64) -> EdgeLearningEnv {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
-    /// Every baseline's evaluation episode respects the budget and produces
-    /// consistent records, for arbitrary seeds and budgets.
+    /// Every registered mechanism's evaluation episode respects the budget
+    /// and produces consistent records, for arbitrary seeds and budgets.
+    /// (The learned mechanisms run untrained here — the protocol invariants
+    /// must hold regardless of training state.)
     #[test]
     fn all_baselines_respect_budget(seed in 0u64..40, budget in 20.0f64..150.0) {
         let e0 = env(budget, seed);
-        let mut mechanisms: Vec<Box<dyn Mechanism>> = vec![
-            Box::new(DrlSingleRound::new(&e0, seed)),
-            Box::new(Greedy::new(&e0, seed)),
-            Box::new(StaticPrice::new(0.6)),
-            Box::new(LemmaOracle::new(0.4)),
-            Box::new(DpPlanner::plan(&e0, 2000.0, 0.1, 8, 20)),
-        ];
-        for mech in &mut mechanisms {
+        let params = MechanismParams::new(seed);
+        for spec in registry() {
+            let mut mech = (spec.build)(&e0, &params)
+                .unwrap_or_else(|err| panic!("{} failed to build: {err}", spec.id));
             let mut e = env(budget, seed);
             let (s, records) = mech.run_episode(&mut e);
             prop_assert!(s.spent <= budget + 1e-6, "{} overspent", mech.name());

@@ -1,0 +1,327 @@
+//! The mechanism registry: the single typed construction point for the
+//! whole zoo.
+//!
+//! Every mechanism the workspace knows — Chiron, its flat ablation, and
+//! all baselines — is registered here as a [`MechanismSpec`] with a stable
+//! string id and a build function from a shared environment +
+//! [`MechanismParams`]. Call sites that used to hand-assemble
+//! `Vec<Box<dyn Mechanism>>` (the CLI `compare` command, bench panels,
+//! property tests, the tournament harness) select entries by id instead,
+//! and unknown ids surface as a typed [`MechanismError::UnknownId`]
+//! listing every known id — never a silent omission.
+//!
+//! The registry contract:
+//!
+//! * ids are unique, lowercase, stable across releases;
+//! * `build` is deterministic: the same `(env, params)` always produces a
+//!   mechanism whose trained/evaluated behaviour is bitwise-reproducible;
+//! * `params.lambda` flows into the built mechanism's utility reporting
+//!   (all zoo entries score on the same λ scale);
+//! * `params.seed` drives every bit of mechanism-internal randomness.
+
+use crate::{
+    DpPlanner, DrlSingleRound, DrlSingleRoundConfig, FMoreAuction, FMoreConfig, Greedy,
+    GreedyConfig, LemmaOracle, MechanismError, StackelbergConfig, StackelbergPricing, StaticPrice,
+};
+use chiron::ablation::FlatPpo;
+use chiron::{Chiron, ChironConfig, Mechanism, MechanismParams};
+use chiron_fedsim::EdgeLearningEnv;
+
+/// A mechanism build function: shared environment + shared params in, a
+/// boxed trait object (or a typed config error) out.
+pub type BuildFn =
+    fn(&EdgeLearningEnv, &MechanismParams) -> Result<Box<dyn Mechanism>, MechanismError>;
+
+/// One registry entry.
+#[derive(Clone, Copy)]
+pub struct MechanismSpec {
+    /// Stable id used by `--mechanisms`, the tournament grid, and tests.
+    pub id: &'static str,
+    /// One-line description for help output and docs.
+    pub summary: &'static str,
+    /// Builds the mechanism for `env` under the shared params.
+    pub build: BuildFn,
+}
+
+impl std::fmt::Debug for MechanismSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MechanismSpec")
+            .field("id", &self.id)
+            .field("summary", &self.summary)
+            .finish_non_exhaustive()
+    }
+}
+
+fn build_chiron(
+    env: &EdgeLearningEnv,
+    params: &MechanismParams,
+) -> Result<Box<dyn Mechanism>, MechanismError> {
+    let config = ChironConfig {
+        lambda: params.lambda,
+        ..ChironConfig::paper()
+    };
+    Ok(Box::new(Chiron::new(env, config, params.seed)))
+}
+
+fn build_flat_ppo(
+    env: &EdgeLearningEnv,
+    params: &MechanismParams,
+) -> Result<Box<dyn Mechanism>, MechanismError> {
+    let config = ChironConfig {
+        lambda: params.lambda,
+        ..ChironConfig::paper()
+    };
+    Ok(Box::new(FlatPpo::new(env, config, params.seed)))
+}
+
+fn build_drl(
+    env: &EdgeLearningEnv,
+    params: &MechanismParams,
+) -> Result<Box<dyn Mechanism>, MechanismError> {
+    Ok(Box::new(DrlSingleRound::with_params(
+        env,
+        DrlSingleRoundConfig::default(),
+        *params,
+    )))
+}
+
+fn build_greedy(
+    env: &EdgeLearningEnv,
+    params: &MechanismParams,
+) -> Result<Box<dyn Mechanism>, MechanismError> {
+    let config = GreedyConfig {
+        lambda: params.lambda,
+        ..GreedyConfig::default()
+    };
+    Ok(Box::new(Greedy::with_config(env, config, params.seed)))
+}
+
+fn build_static(
+    _env: &EdgeLearningEnv,
+    params: &MechanismParams,
+) -> Result<Box<dyn Mechanism>, MechanismError> {
+    Ok(Box::new(StaticPrice::with_params(0.5, *params)))
+}
+
+fn build_lemma_oracle(
+    _env: &EdgeLearningEnv,
+    params: &MechanismParams,
+) -> Result<Box<dyn Mechanism>, MechanismError> {
+    Ok(Box::new(LemmaOracle::with_params(0.4, *params)))
+}
+
+fn build_dp_planner(
+    env: &EdgeLearningEnv,
+    params: &MechanismParams,
+) -> Result<Box<dyn Mechanism>, MechanismError> {
+    Ok(Box::new(DpPlanner::plan(env, params.lambda, 0.1, 24, 60)))
+}
+
+fn build_fmore(
+    _env: &EdgeLearningEnv,
+    params: &MechanismParams,
+) -> Result<Box<dyn Mechanism>, MechanismError> {
+    Ok(Box::new(FMoreAuction::new(
+        FMoreConfig::default(),
+        *params,
+    )?))
+}
+
+fn build_stackelberg(
+    _env: &EdgeLearningEnv,
+    params: &MechanismParams,
+) -> Result<Box<dyn Mechanism>, MechanismError> {
+    Ok(Box::new(StackelbergPricing::new(
+        StackelbergConfig::default(),
+        *params,
+    )?))
+}
+
+static REGISTRY: [MechanismSpec; 9] = [
+    MechanismSpec {
+        id: "chiron",
+        summary: "hierarchical two-agent PPO (the paper's mechanism)",
+        build: build_chiron,
+    },
+    MechanismSpec {
+        id: "flat-ppo",
+        summary: "single flat PPO over the joint action (no-hierarchy ablation)",
+        build: build_flat_ppo,
+    },
+    MechanismSpec {
+        id: "drl-based",
+        summary: "myopic single-round DRL baseline (Zhan & Zhang)",
+        build: build_drl,
+    },
+    MechanismSpec {
+        id: "greedy",
+        summary: "ε-greedy replay of the best observed pricing",
+        build: build_greedy,
+    },
+    MechanismSpec {
+        id: "static",
+        summary: "fixed fraction of every node's price cap",
+        build: build_static,
+    },
+    MechanismSpec {
+        id: "lemma-oracle",
+        summary: "fixed total price with the Lemma-1 equalizing split",
+        build: build_lemma_oracle,
+    },
+    MechanismSpec {
+        id: "dp-planner",
+        summary: "full-information dynamic-programming upper bound",
+        build: build_dp_planner,
+    },
+    MechanismSpec {
+        id: "fmore",
+        summary: "FMore multi-dimensional auction: score bids, top-K, pay-as-bid",
+        build: build_fmore,
+    },
+    MechanismSpec {
+        id: "stackelberg",
+        summary: "closed-form Stackelberg leader/follower pricing",
+        build: build_stackelberg,
+    },
+];
+
+/// Every registered mechanism, in registration order.
+///
+/// # Examples
+///
+/// ```
+/// use chiron::MechanismParams;
+/// use chiron_fedsim::{EdgeLearningEnv, EnvConfig};
+/// use chiron_data::DatasetKind;
+///
+/// let env = EdgeLearningEnv::new(
+///     EnvConfig::paper_small(DatasetKind::MnistLike, 40.0), 0);
+/// for spec in chiron_baselines::registry() {
+///     let mech = (spec.build)(&env, &MechanismParams::new(1)).expect("buildable");
+///     assert!(!mech.name().is_empty());
+/// }
+/// ```
+pub fn registry() -> &'static [MechanismSpec] {
+    &REGISTRY
+}
+
+/// Looks up a registry entry by id.
+///
+/// # Errors
+///
+/// Returns [`MechanismError::UnknownId`] (listing every known id) if `id`
+/// is not registered.
+pub fn find(id: &str) -> Result<&'static MechanismSpec, MechanismError> {
+    REGISTRY
+        .iter()
+        .find(|spec| spec.id == id)
+        .ok_or_else(|| MechanismError::UnknownId {
+            id: id.to_string(),
+            known: REGISTRY.iter().map(|spec| spec.id).collect(),
+        })
+}
+
+/// Builds the mechanism registered under `id` for `env`.
+///
+/// # Errors
+///
+/// Returns [`MechanismError::UnknownId`] for unregistered ids and
+/// propagates the entry's own [`MechanismError::Invalid`] on config
+/// rejection.
+pub fn build_by_id(
+    id: &str,
+    env: &EdgeLearningEnv,
+    params: &MechanismParams,
+) -> Result<Box<dyn Mechanism>, MechanismError> {
+    (find(id)?.build)(env, params)
+}
+
+/// Parses a comma-separated id list (`"chiron,greedy,fmore"`) into
+/// registry entries, preserving order.
+///
+/// # Errors
+///
+/// Returns [`MechanismError::UnknownId`] on the first id that does not
+/// resolve (empty segments included, so a trailing comma is an error, not
+/// a silent no-op).
+pub fn parse_ids(csv: &str) -> Result<Vec<&'static MechanismSpec>, MechanismError> {
+    csv.split(',').map(|id| find(id.trim())).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chiron_data::DatasetKind;
+    use chiron_fedsim::EnvConfig;
+
+    fn env() -> EdgeLearningEnv {
+        EdgeLearningEnv::new(
+            EnvConfig {
+                oracle_noise: 0.0,
+                ..EnvConfig::paper_small(DatasetKind::MnistLike, 40.0)
+            },
+            0,
+        )
+    }
+
+    #[test]
+    fn ids_are_unique_and_lowercase() {
+        let mut seen = std::collections::BTreeSet::new();
+        for spec in registry() {
+            assert!(seen.insert(spec.id), "duplicate id {}", spec.id);
+            assert_eq!(spec.id, spec.id.to_lowercase());
+            assert!(!spec.summary.is_empty());
+        }
+    }
+
+    #[test]
+    fn every_entry_builds() {
+        let e = env();
+        let params = MechanismParams::new(3);
+        for spec in registry() {
+            let mech = (spec.build)(&e, &params)
+                .unwrap_or_else(|err| panic!("{} must build with default params: {err}", spec.id));
+            assert!(!mech.name().is_empty());
+            assert_eq!(mech.lambda(), params.lambda, "{} reports λ", spec.id);
+        }
+    }
+
+    #[test]
+    fn unknown_id_is_a_typed_error_listing_known_ids() {
+        let err = find("no-such-mechanism").unwrap_err();
+        match &err {
+            MechanismError::UnknownId { id, known } => {
+                assert_eq!(id, "no-such-mechanism");
+                assert!(known.contains(&"chiron"));
+                assert!(known.contains(&"fmore"));
+            }
+            other => panic!("expected UnknownId, got {other:?}"),
+        }
+        let msg = err.to_string();
+        assert!(msg.contains("no-such-mechanism") && msg.contains("chiron"));
+    }
+
+    #[test]
+    fn parse_ids_preserves_order_and_rejects_unknowns() {
+        let specs = parse_ids("greedy, chiron,fmore").expect("all known");
+        let ids: Vec<_> = specs.iter().map(|s| s.id).collect();
+        assert_eq!(ids, ["greedy", "chiron", "fmore"]);
+        assert!(parse_ids("greedy,").is_err());
+        assert!(parse_ids("greedy,typo").is_err());
+    }
+
+    #[test]
+    fn lambda_flows_into_built_mechanisms() {
+        let e = env();
+        let params = MechanismParams::new(0).with_lambda(1234.5);
+        for spec in registry() {
+            let mech = (spec.build)(&e, &params).expect("buildable");
+            assert_eq!(
+                mech.lambda(),
+                1234.5,
+                "{} must report the shared λ",
+                spec.id
+            );
+        }
+    }
+}

@@ -1,6 +1,6 @@
 //! Non-learning reference mechanisms.
 
-use chiron::Mechanism;
+use chiron::{Mechanism, MechanismParams};
 use chiron_fedsim::lemma::equalizing_prices;
 use chiron_fedsim::{EdgeLearningEnv, RoundOutcome};
 
@@ -11,7 +11,7 @@ use chiron_fedsim::{EdgeLearningEnv, RoundOutcome};
 /// # Examples
 ///
 /// ```
-/// use chiron::Mechanism;
+/// use chiron::EpisodeRun;
 /// use chiron_baselines::StaticPrice;
 /// use chiron_fedsim::{EdgeLearningEnv, EnvConfig};
 /// use chiron_data::DatasetKind;
@@ -25,20 +25,32 @@ use chiron_fedsim::{EdgeLearningEnv, RoundOutcome};
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct StaticPrice {
     fraction: f64,
+    params: MechanismParams,
 }
 
 impl StaticPrice {
-    /// Creates the mechanism paying `fraction · price_cap` to each node.
+    /// Creates the mechanism paying `fraction · price_cap` to each node,
+    /// with default [`MechanismParams`].
     ///
     /// # Panics
     ///
     /// Panics unless `0 < fraction <= 1`.
     pub fn new(fraction: f64) -> Self {
+        Self::with_params(fraction, MechanismParams::default())
+    }
+
+    /// [`new`](StaticPrice::new) with explicit [`MechanismParams`] (the
+    /// seed is unused — the policy is deterministic).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < fraction <= 1`.
+    pub fn with_params(fraction: f64, params: MechanismParams) -> Self {
         assert!(
             fraction > 0.0 && fraction <= 1.0,
             "fraction must be in (0,1], got {fraction}"
         );
-        Self { fraction }
+        Self { fraction, params }
     }
 
     /// The configured fraction.
@@ -48,8 +60,12 @@ impl StaticPrice {
 }
 
 impl Mechanism for StaticPrice {
-    fn name(&self) -> &'static str {
-        "static"
+    fn name(&self) -> String {
+        "static".to_string()
+    }
+
+    fn params(&self) -> MechanismParams {
+        self.params
     }
 
     fn begin_episode(&mut self, _env: &EdgeLearningEnv) {}
@@ -76,26 +92,45 @@ impl Mechanism for StaticPrice {
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LemmaOracle {
     total_fraction: f64,
+    params: MechanismParams,
 }
 
 impl LemmaOracle {
-    /// Creates the oracle spending `total_fraction · Σ price_cap` per round.
+    /// Creates the oracle spending `total_fraction · Σ price_cap` per
+    /// round, with default [`MechanismParams`].
     ///
     /// # Panics
     ///
     /// Panics unless `0 < total_fraction <= 1`.
     pub fn new(total_fraction: f64) -> Self {
+        Self::with_params(total_fraction, MechanismParams::default())
+    }
+
+    /// [`new`](LemmaOracle::new) with explicit [`MechanismParams`] (the
+    /// seed is unused — the policy is deterministic).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < total_fraction <= 1`.
+    pub fn with_params(total_fraction: f64, params: MechanismParams) -> Self {
         assert!(
             total_fraction > 0.0 && total_fraction <= 1.0,
             "total_fraction must be in (0,1], got {total_fraction}"
         );
-        Self { total_fraction }
+        Self {
+            total_fraction,
+            params,
+        }
     }
 }
 
 impl Mechanism for LemmaOracle {
-    fn name(&self) -> &'static str {
-        "lemma-oracle"
+    fn name(&self) -> String {
+        "lemma-oracle".to_string()
+    }
+
+    fn params(&self) -> MechanismParams {
+        self.params
     }
 
     fn begin_episode(&mut self, _env: &EdgeLearningEnv) {}
@@ -115,6 +150,7 @@ impl Mechanism for LemmaOracle {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use chiron::EpisodeRun;
     use chiron_data::DatasetKind;
     use chiron_fedsim::EnvConfig;
 

@@ -2,7 +2,7 @@
 //! agent with the joint (total, proportions) action, same state, same
 //! combined objective. Quantifies what the hierarchical decomposition buys.
 
-use chiron::{ablation::FlatPpo, Chiron, ChironConfig, Mechanism};
+use chiron::{ablation::FlatPpo, Chiron, ChironConfig, EpisodeRun, Mechanism};
 use chiron_bench::{episodes_from_env, make_env, write_csv};
 use chiron_data::DatasetKind;
 

@@ -2,7 +2,7 @@
 //! The paper motivates including L rounds of history so the agent can see
 //! how its strategy changes affect the system; this sweep quantifies it.
 
-use chiron::{Chiron, ChironConfig, Mechanism};
+use chiron::{Chiron, ChironConfig, EpisodeRun, Mechanism};
 use chiron_bench::{episodes_from_env, make_env, write_csv};
 use chiron_data::DatasetKind;
 

@@ -6,7 +6,7 @@
 //! state is enough by also training a variant whose inner agent sees each
 //! node's previous round time directly.
 
-use chiron::{Chiron, ChironConfig, InnerStateMode, Mechanism};
+use chiron::{Chiron, ChironConfig, EpisodeRun, InnerStateMode, Mechanism};
 use chiron_bench::{episodes_from_env, make_env, write_csv};
 use chiron_data::DatasetKind;
 

@@ -3,7 +3,7 @@
 //! the paper's central claim that folding the learning metric into the
 //! incentive objective is what protects final model quality.
 
-use chiron::{Chiron, ChironConfig, Mechanism};
+use chiron::{Chiron, ChironConfig, EpisodeRun, Mechanism};
 use chiron_bench::{episodes_from_env, make_env, write_csv};
 use chiron_data::DatasetKind;
 

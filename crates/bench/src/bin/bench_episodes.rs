@@ -19,7 +19,7 @@
 //! hosts (the paper's 5–8-node fleets and small models are too fine for
 //! kernel-level parallelism alone to help).
 
-use chiron::{Chiron, ChironConfig, Mechanism};
+use chiron::{Chiron, ChironConfig, EpisodeRun};
 use chiron_bench::make_env;
 use chiron_bench::timing::{time_case, write_results, Run};
 use chiron_data::{DatasetKind, DatasetSpec};

@@ -1,0 +1,73 @@
+//! Mechanism-zoo tournament: every registry mechanism × the scenario
+//! panel (IID, non-IID, faulty, tight budget, sampled fleet), replicated
+//! over seeds, aggregated to `BENCH_tournament.json` plus a markdown
+//! leaderboard (`BENCH_tournament.md`).
+//!
+//! Knobs (all parsed by `RuntimeConfig`):
+//!
+//! ```text
+//! CHIRON_TOURNAMENT_EPISODES=40   training episodes per cell
+//! CHIRON_TOURNAMENT_SEEDS=3       replications per cell
+//! CHIRON_TOURNAMENT_MECHS=a,b,c   registry ids (default: every entry)
+//! CHIRON_BENCH_LABEL=current      leaderboard label (merged by label)
+//! CHIRON_BENCH_OUT=<dir>          output directory (default: repo root)
+//! CHIRON_BENCH_SAMPLES=1          CI smoke: tiny grid, closed-form zoo
+//! ```
+//!
+//! Bitwise-deterministic at any thread count: cells own their seeded
+//! envs/mechanisms and join in index order, so re-running under
+//! `CHIRON_THREADS=1|4|8` must produce identical JSON bytes.
+
+use chiron_baselines::{parse_ids, registry, MechanismSpec};
+use chiron_bench::timing::{label_from_env, samples_from_env};
+use chiron_bench::tournament::{
+    aggregate, episodes_from_env, markdown_leaderboard, run_grid, scenario, scenarios,
+    seeds_from_env, write_tournament, Scenario, TournamentRun,
+};
+
+fn main() {
+    let smoke = samples_from_env() == 1;
+
+    let config = chiron_telemetry::RuntimeConfig::global();
+    let mechanisms: Vec<&'static MechanismSpec> = match (smoke, &config.tournament_mechs) {
+        // CI smoke: the closed-form / non-learning corner of the zoo —
+        // enough to exercise the grid, aggregation, and determinism
+        // contract without training anything.
+        (true, _) => ["static", "lemma-oracle", "fmore", "stackelberg"]
+            .iter()
+            .map(|id| chiron_baselines::find(id).expect("smoke ids are registered"))
+            .collect(),
+        (false, Some(csv)) => parse_ids(csv).unwrap_or_else(|err| panic!("{err}")),
+        (false, None) => registry().iter().collect(),
+    };
+    let scenario_set: Vec<&'static Scenario> = if smoke {
+        vec![
+            scenario("iid"),
+            scenario("tight_budget"),
+            scenario("faulty"),
+        ]
+    } else {
+        scenarios().iter().collect()
+    };
+    let episodes = if smoke { 1 } else { episodes_from_env(40) };
+    let seeds = if smoke { 1 } else { seeds_from_env(3) };
+
+    println!(
+        "tournament: {} mechanisms × {} scenarios × {} seeds, {} episodes/cell{}",
+        mechanisms.len(),
+        scenario_set.len(),
+        seeds,
+        episodes,
+        if smoke { " (smoke)" } else { "" }
+    );
+
+    let outcomes = run_grid(&mechanisms, &scenario_set, episodes, seeds);
+    let run = TournamentRun {
+        label: label_from_env(),
+        episodes,
+        seeds,
+        cells: aggregate(&outcomes),
+    };
+    print!("{}", markdown_leaderboard(&run));
+    write_tournament(&run);
+}

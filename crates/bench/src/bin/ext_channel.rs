@@ -7,7 +7,7 @@
 //! is unattainable and the mechanisms are tested on how gracefully their
 //! pricing degrades.
 
-use chiron::{Chiron, ChironConfig, Mechanism};
+use chiron::{Chiron, ChironConfig, EpisodeRun, Mechanism};
 use chiron_baselines::DrlSingleRound;
 use chiron_bench::{episodes_from_env, write_csv};
 use chiron_data::DatasetKind;

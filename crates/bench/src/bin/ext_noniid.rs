@@ -7,7 +7,7 @@
 //! and (c) stresses the inner agent, because equal finish times now demand
 //! very unequal prices.
 
-use chiron::{Chiron, ChironConfig, Mechanism};
+use chiron::{Chiron, ChironConfig, EpisodeRun, Mechanism};
 use chiron_baselines::DrlSingleRound;
 use chiron_bench::{episodes_from_env, write_csv};
 use chiron_data::{DatasetKind, DatasetSpec};

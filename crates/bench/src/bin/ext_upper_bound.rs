@@ -8,7 +8,7 @@
 //! planner and the myopic baseline quantifies the total value of long-term
 //! planning.
 
-use chiron::{Chiron, ChironConfig, Mechanism};
+use chiron::{Chiron, ChironConfig, EpisodeRun, Mechanism};
 use chiron_baselines::{DpPlanner, DrlSingleRound};
 use chiron_bench::{episodes_from_env, make_env, write_csv};
 use chiron_data::DatasetKind;

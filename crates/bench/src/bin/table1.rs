@@ -1,7 +1,7 @@
 //! Table I — performance of Chiron under MNIST with 100 edge nodes across
 //! budgets η ∈ {140, 220, 300, 380}: accuracy, rounds, time efficiency.
 
-use chiron::{Chiron, ChironConfig, Mechanism};
+use chiron::{Chiron, ChironConfig, EpisodeRun, Mechanism};
 use chiron_bench::{episodes_from_env, make_env, write_csv};
 use chiron_data::DatasetKind;
 use chiron_tensor::scope;

@@ -30,8 +30,9 @@
 pub mod plot;
 pub mod stats;
 pub mod timing;
+pub mod tournament;
 
-use chiron::{Chiron, ChironConfig, Mechanism};
+use chiron::{Chiron, ChironConfig, EpisodeRun, Mechanism};
 use chiron_baselines::{DrlSingleRound, Greedy};
 use chiron_data::DatasetKind;
 use chiron_fedsim::metrics::EpisodeSummary;
@@ -130,12 +131,13 @@ impl Contenders {
         }
     }
 
-    /// The mechanisms as a uniform list for sweep loops.
-    pub fn as_mechanisms(&mut self) -> Vec<(&'static str, &mut dyn Mechanism)> {
+    /// The mechanisms as a uniform list for sweep loops, labelled by
+    /// [`Mechanism::name`].
+    pub fn as_mechanisms(&mut self) -> Vec<(String, &mut dyn Mechanism)> {
         vec![
-            ("chiron", &mut self.chiron),
-            ("drl-based", &mut self.drl),
-            ("greedy", &mut self.greedy),
+            (self.chiron.name(), &mut self.chiron as &mut dyn Mechanism),
+            (self.drl.name(), &mut self.drl as &mut dyn Mechanism),
+            (self.greedy.name(), &mut self.greedy as &mut dyn Mechanism),
         ]
     }
 }
@@ -144,7 +146,7 @@ impl Contenders {
 #[derive(Debug, Clone)]
 pub struct PanelPoint {
     /// Mechanism name.
-    pub mechanism: &'static str,
+    pub mechanism: String,
     /// Budget η.
     pub budget: f64,
     /// Episode summary of the deterministic evaluation run.
@@ -219,7 +221,7 @@ pub fn run_budget_panel_replicated(
     // Dispersion digest: accuracy spread per mechanism at the largest budget.
     {
         let largest = budgets[budgets.len() - 1];
-        let mut names: Vec<&str> = runs[0].iter().map(|p| p.mechanism).collect();
+        let mut names: Vec<&str> = runs[0].iter().map(|p| p.mechanism.as_str()).collect();
         names.dedup();
         println!("replication dispersion at η = {largest} ({replications} seeds):");
         for name in names {
@@ -242,7 +244,7 @@ pub fn run_budget_panel_replicated(
             let summaries: Vec<EpisodeSummary> =
                 runs.iter().map(|run| run[i].summary.clone()).collect();
             PanelPoint {
-                mechanism: runs[0][i].mechanism,
+                mechanism: runs[0][i].mechanism.clone(),
                 budget: runs[0][i].budget,
                 summary: mean_summary(&summaries),
             }
@@ -274,9 +276,9 @@ pub fn run_budget_panel(
     } = &mut contenders;
     let rows = scope::scope("bench.budget_panel_eval", |s| {
         let tasks: Vec<Box<dyn FnOnce() -> Vec<PanelPoint> + Send + '_>> = vec![
-            Box::new(move || eval_budget_cells("chiron", chiron, kind, nodes, budgets, seed)),
-            Box::new(move || eval_budget_cells("drl-based", drl, kind, nodes, budgets, seed)),
-            Box::new(move || eval_budget_cells("greedy", greedy, kind, nodes, budgets, seed)),
+            Box::new(move || eval_budget_cells(chiron, kind, nodes, budgets, seed)),
+            Box::new(move || eval_budget_cells(drl, kind, nodes, budgets, seed)),
+            Box::new(move || eval_budget_cells(greedy, kind, nodes, budgets, seed)),
         ];
         s.run(tasks)
     });
@@ -284,22 +286,22 @@ pub fn run_budget_panel(
 }
 
 /// One mechanism's deterministic evaluation row: every budget of the
-/// sweep, each in a fresh env.
+/// sweep, each in a fresh env. Rows are labelled by [`Mechanism::name`].
 fn eval_budget_cells(
-    name: &'static str,
     mechanism: &mut dyn Mechanism,
     kind: DatasetKind,
     nodes: usize,
     budgets: &[f64],
     seed: u64,
 ) -> Vec<PanelPoint> {
+    let name = mechanism.name();
     budgets
         .iter()
         .map(|&budget| {
             let mut env = make_env(kind, nodes, budget, seed);
             let (summary, _) = mechanism.run_episode(&mut env);
             PanelPoint {
-                mechanism: name,
+                mechanism: name.clone(),
                 budget,
                 summary,
             }
@@ -310,7 +312,7 @@ fn eval_budget_cells(
 /// Prints the three panels of a Fig. 4/5/6-style sweep and returns the CSV
 /// body for `write_csv`.
 pub fn print_panel(title: &str, points: &[PanelPoint]) -> String {
-    let mut mechanisms: Vec<&str> = points.iter().map(|p| p.mechanism).collect();
+    let mut mechanisms: Vec<&str> = points.iter().map(|p| p.mechanism.as_str()).collect();
     mechanisms.dedup();
     let budgets: Vec<f64> = {
         let mut b: Vec<f64> = points.iter().map(|p| p.budget).collect();
@@ -370,7 +372,7 @@ pub fn print_panel(title: &str, points: &[PanelPoint]) -> String {
 /// Writes the three standard panels of a Fig. 4/5/6 sweep as SVG charts
 /// (`<stem>_accuracy.svg`, `<stem>_rounds.svg`, `<stem>_efficiency.svg`).
 pub fn write_panel_charts(stem: &str, title: &str, points: &[PanelPoint]) {
-    let mut mechanisms: Vec<&str> = points.iter().map(|p| p.mechanism).collect();
+    let mut mechanisms: Vec<&str> = points.iter().map(|p| p.mechanism.as_str()).collect();
     mechanisms.dedup();
     let metric = |f: &dyn Fn(&PanelPoint) -> f64| -> Vec<plot::Series> {
         mechanisms

@@ -8,7 +8,7 @@
 //!   type: set `lambda = 0` or `time_weight = 0` in [`crate::ChironConfig`].
 
 use crate::rewards::rewards_from_outcome;
-use crate::{ChironConfig, ExteriorState, Mechanism};
+use crate::{ChironConfig, ExteriorState, Mechanism, MechanismParams};
 use chiron_drl::{PpoAgent, RolloutBuffer};
 use chiron_fedsim::{EdgeLearningEnv, RoundOutcome, StepStatus};
 
@@ -20,6 +20,7 @@ use chiron_fedsim::{EdgeLearningEnv, RoundOutcome, StepStatus};
 /// information or objective differences.
 pub struct FlatPpo {
     config: ChironConfig,
+    params: MechanismParams,
     agent: PpoAgent,
     state: ExteriorState,
     total_price_cap: f64,
@@ -43,8 +44,13 @@ impl FlatPpo {
             config.exterior_ppo,
             seed,
         );
+        let params = MechanismParams {
+            seed,
+            lambda: config.lambda,
+        };
         Self {
             config,
+            params,
             agent,
             state,
             total_price_cap: env.total_price_cap(),
@@ -70,12 +76,12 @@ impl FlatPpo {
 }
 
 impl Mechanism for FlatPpo {
-    fn name(&self) -> &'static str {
-        "flat-ppo"
+    fn name(&self) -> String {
+        "flat-ppo".to_string()
     }
 
-    fn lambda(&self) -> f64 {
-        self.config.lambda
+    fn params(&self) -> MechanismParams {
+        self.params
     }
 
     fn begin_episode(&mut self, env: &EdgeLearningEnv) {
@@ -161,6 +167,7 @@ impl std::fmt::Debug for FlatPpo {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::EpisodeRun;
     use chiron_data::DatasetKind;
     use chiron_fedsim::EnvConfig;
 

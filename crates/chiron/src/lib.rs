@@ -29,7 +29,7 @@
 //! ## Example
 //!
 //! ```
-//! use chiron::{Chiron, ChironConfig, Mechanism};
+//! use chiron::{Chiron, ChironConfig, EpisodeRun, Mechanism};
 //! use chiron_fedsim::{EdgeLearningEnv, EnvConfig};
 //! use chiron_data::DatasetKind;
 //!
@@ -55,7 +55,9 @@ pub use chiron_fedsim::EnvStateError;
 pub use chiron_nn::CheckpointError;
 pub use config::{ChironConfig, ChironConfigBuilder, ConfigError, InnerStateMode};
 pub use error::Error;
-pub use mechanism::{Chiron, ChironSnapshot, Mechanism};
+pub use mechanism::{
+    Chiron, ChironSnapshot, EpisodeRun, Mechanism, MechanismParams, DEFAULT_LAMBDA,
+};
 pub use recovery::{RecoveryOptions, ResumeError, RunCheckpoint, RUN_CHECKPOINT_VERSION};
 pub use rewards::{exterior_reward, inner_reward};
 pub use state::ExteriorState;

@@ -12,19 +12,89 @@ use chiron_fedsim::{EdgeLearningEnv, RoundOutcome, StepStatus};
 use chiron_nn::CheckpointError;
 use serde::{Deserialize, Serialize};
 
-/// A pricing mechanism for budget-bounded edge learning.
+/// The default accuracy-preference coefficient λ (the paper's Section VI
+/// setting), used by [`MechanismParams::default`].
+pub const DEFAULT_LAMBDA: f64 = 2000.0;
+
+/// Parameters shared by every mechanism in the zoo, independent of any
+/// mechanism-specific hyperparameters.
 ///
-/// Implementations (Chiron, the flat ablation, and the baselines in
-/// `chiron-baselines`) share the evaluation protocol through the provided
-/// [`Mechanism::run_episode`]: reset the environment, post prices round by
-/// round until the budget runs out, and summarize.
-pub trait Mechanism {
-    /// Human-readable mechanism name (used by the bench harness).
-    fn name(&self) -> &'static str;
+/// * `seed` drives all mechanism-internal randomness (network init,
+///   exploration, bid jitter). Mechanisms without randomness ignore it.
+/// * `lambda` is the accuracy-preference coefficient λ used for utility
+///   reporting (`server_utility = λ·accuracy − total_time`). Keeping it
+///   here — rather than in per-mechanism configs — guarantees every zoo
+///   entry reports utility on the same scale, so tournament cells are
+///   comparable.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MechanismParams {
+    /// Seed for all mechanism-internal randomness.
+    pub seed: u64,
+    /// Accuracy-preference coefficient λ for utility reporting.
+    pub lambda: f64,
+}
+
+impl Default for MechanismParams {
+    fn default() -> Self {
+        Self {
+            seed: 0,
+            lambda: DEFAULT_LAMBDA,
+        }
+    }
+}
+
+impl MechanismParams {
+    /// Params with the given seed and the default λ.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            lambda: DEFAULT_LAMBDA,
+        }
+    }
+
+    /// Returns a copy with λ replaced.
+    pub fn with_lambda(mut self, lambda: f64) -> Self {
+        self.lambda = lambda;
+        self
+    }
+}
+
+/// A pricing mechanism for budget-bounded edge learning: the **decision
+/// surface** every zoo entry implements.
+///
+/// The minimal impl contract is the decision surface:
+/// [`begin_episode`](Mechanism::begin_episode) /
+/// [`decide_prices`](Mechanism::decide_prices) /
+/// [`observe`](Mechanism::observe), plus [`name`](Mechanism::name),
+/// [`params`](Mechanism::params), and [`train`](Mechanism::train).
+/// The episode *protocol* — how decisions are driven against an
+/// environment and summarized — lives on the [`EpisodeRun`] extension
+/// trait, which is blanket-implemented for every `Mechanism` and cannot
+/// be overridden: all mechanisms are evaluated under the identical
+/// protocol, so summaries are comparable across the zoo.
+///
+/// `lambda()` is a provided accessor over [`params`](Mechanism::params)
+/// and must **not** be overridden; store your λ in the
+/// [`MechanismParams`] field instead so utility reporting stays uniform.
+///
+/// `Send` is a supertrait so boxed zoo entries can move across the worker
+/// pool (the registry hands out `Box<dyn Mechanism>` that sweep and
+/// tournament cells run on scope tasks).
+pub trait Mechanism: Send {
+    /// Human-readable mechanism name (used by the bench harness). May be
+    /// parameterized (e.g. `fmore_k8`), hence an owned `String`.
+    fn name(&self) -> String;
+
+    /// The shared [`MechanismParams`] this mechanism was built with.
+    fn params(&self) -> MechanismParams;
 
     /// The accuracy-preference coefficient λ used for utility reporting.
+    ///
+    /// Provided as `self.params().lambda`; do not override. (Earlier
+    /// revisions let implementations override this directly, which allowed
+    /// zoo entries to silently report utility on different scales.)
     fn lambda(&self) -> f64 {
-        2000.0
+        self.params().lambda
     }
 
     /// Prepares internal state for a fresh episode of `env`.
@@ -35,21 +105,36 @@ pub trait Mechanism {
     fn decide_prices(&mut self, env: &EdgeLearningEnv, explore: bool) -> Vec<f64>;
 
     /// Ingests the outcome of a recorded round so internal state (history
-    /// windows, replay memories) stays in sync.
+    /// windows, replay memories) stays in sync. The [`EpisodeRun`] driver
+    /// calls this exactly once per recorded round.
     fn observe(&mut self, outcome: &RoundOutcome, prices: &[f64]);
 
     /// Trains the mechanism for `episodes` episodes on `env`, returning the
     /// per-episode cumulative (mechanism-specific) reward — the curve shown
-    /// in the paper's Figs. 3 and 7.
+    /// in the paper's Figs. 3 and 7. Non-learning mechanisms return
+    /// `vec![0.0; episodes]`.
     fn train(&mut self, env: &mut EdgeLearningEnv, episodes: usize) -> Vec<f64>;
+}
 
+/// The shared episode-evaluation protocol, split off the [`Mechanism`]
+/// decision surface.
+///
+/// Blanket-implemented for every `Mechanism` (sized or `dyn`); a manual
+/// implementation would conflict with the blanket impl, so the protocol is
+/// effectively sealed — no zoo entry can ship its own episode driver. The
+/// protocol: reset the environment, `begin_episode`, then loop
+/// `decide_prices(env, false)` → `env.step` → record → `observe` until the
+/// budget runs out (the overdrawing round is discarded) or the environment
+/// reports done, and summarize with
+/// [`EpisodeSummary::from_rounds`] under the mechanism's λ.
+pub trait EpisodeRun: Mechanism {
     /// Runs one deterministic, budget-bounded episode and summarizes it.
     fn run_episode(&mut self, env: &mut EdgeLearningEnv) -> (EpisodeSummary, Vec<RoundRecord>) {
         let mut log = EventLog::new();
         self.run_episode_logged(env, 0, &mut log)
     }
 
-    /// [`run_episode`](Mechanism::run_episode), additionally appending
+    /// [`run_episode`](EpisodeRun::run_episode), additionally appending
     /// every [`ResilienceEvent`] the environment emits to `log` under the
     /// given episode index. Pricing decisions are identical to
     /// `run_episode` — logging never touches any RNG.
@@ -99,6 +184,8 @@ pub trait Mechanism {
     }
 }
 
+impl<M: Mechanism + ?Sized> EpisodeRun for M {}
+
 /// Emits a per-round summary event into the telemetry stream (no-op while
 /// telemetry is disabled). `spent` is the episode's cumulative payment
 /// after this round.
@@ -142,6 +229,7 @@ fn emit_round_event(outcome: &RoundOutcome, spent: f64) {
 /// ```
 pub struct Chiron {
     pub(crate) config: ChironConfig,
+    params: MechanismParams,
     pub(crate) exterior: PpoAgent,
     pub(crate) inner: PpoAgent,
     pub(crate) state: ExteriorState,
@@ -172,8 +260,13 @@ impl Chiron {
             seed ^ 0x1AA1,
         );
         let total_price_cap = env.total_price_cap();
+        let params = MechanismParams {
+            seed,
+            lambda: config.lambda,
+        };
         Self {
             config,
+            params,
             exterior,
             inner,
             state,
@@ -242,7 +335,7 @@ impl Chiron {
 /// # Examples
 ///
 /// ```
-/// use chiron::{Chiron, ChironConfig, Mechanism};
+/// use chiron::{Chiron, ChironConfig, EpisodeRun, Mechanism};
 /// use chiron_fedsim::{EdgeLearningEnv, EnvConfig};
 /// use chiron_data::DatasetKind;
 ///
@@ -312,12 +405,12 @@ impl Chiron {
 }
 
 impl Mechanism for Chiron {
-    fn name(&self) -> &'static str {
-        "chiron"
+    fn name(&self) -> String {
+        "chiron".to_string()
     }
 
-    fn lambda(&self) -> f64 {
-        self.config.lambda
+    fn params(&self) -> MechanismParams {
+        self.params
     }
 
     fn begin_episode(&mut self, env: &EdgeLearningEnv) {

@@ -1,6 +1,6 @@
 //! Property-based tests for the mechanism layer.
 
-use crate::{exterior_reward, inner_reward, Chiron, ChironConfig, Mechanism};
+use crate::{exterior_reward, inner_reward, Chiron, ChironConfig, EpisodeRun, Mechanism};
 use chiron_data::DatasetKind;
 use chiron_fedsim::{EdgeLearningEnv, EnvConfig};
 use proptest::prelude::*;

@@ -535,7 +535,7 @@ impl Chiron {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{ChironConfig, Mechanism};
+    use crate::{ChironConfig, EpisodeRun, Mechanism};
     use chiron_data::DatasetKind;
     use chiron_fedsim::EnvConfig;
 
@@ -553,7 +553,9 @@ mod tests {
         let dir = std::env::temp_dir().join("chiron_recovery_test");
         std::fs::create_dir_all(&dir).expect("tmp dir");
         let path = dir.join(name);
-        std::fs::remove_file(&path).ok();
+        // Clear *both* generations: a stale `.prev` sibling from an earlier
+        // process would otherwise be picked up by the resume fallback.
+        RunCheckpoint::remove(&path).expect("clear stale checkpoints");
         path
     }
 
@@ -571,7 +573,7 @@ mod tests {
             .train_recoverable(&mut e2, 4, &RecoveryOptions::new(&path, 2), &mut log)
             .expect("recoverable run");
         assert_eq!(plain, recoverable, "checkpointing must not change training");
-        std::fs::remove_file(&path).ok();
+        RunCheckpoint::remove(&path).ok();
     }
 
     #[test]
@@ -614,7 +616,7 @@ mod tests {
             s_ref.final_accuracy.to_bits(),
             s_res.final_accuracy.to_bits()
         );
-        std::fs::remove_file(&path).ok();
+        RunCheckpoint::remove(&path).ok();
     }
 
     #[test]
@@ -636,7 +638,7 @@ mod tests {
         let err = RunCheckpoint::load(&path).expect_err("garbage rejected");
         assert!(matches!(err, ResumeError::Malformed(_)));
 
-        std::fs::remove_file(&path).ok();
+        RunCheckpoint::remove(&path).ok();
     }
 
     #[test]
@@ -666,7 +668,7 @@ mod tests {
             ),
             "got {err:?}"
         );
-        std::fs::remove_file(&path).ok();
+        RunCheckpoint::remove(&path).ok();
     }
 
     #[test]
@@ -723,7 +725,7 @@ mod tests {
         ckpt.fingerprint = "someone-else's-run".to_owned();
         let err = ckpt.restore_into(&mut m, &mut e).expect_err("must reject");
         assert!(matches!(err, ResumeError::FingerprintMismatch { .. }));
-        std::fs::remove_file(&path).ok();
+        RunCheckpoint::remove(&path).ok();
     }
 
     #[test]

@@ -1,8 +1,11 @@
 //! The CLI subcommands: `train`, `eval`, `compare`, `serve`, `info`.
 
 use crate::args::{ArgError, ParsedArgs};
-use chiron::{Chiron, ChironConfig, ChironSnapshot, Mechanism, RecoveryOptions, ResumeError};
-use chiron_baselines::{DpPlanner, DrlSingleRound, Greedy, StaticPrice};
+use chiron::{
+    Chiron, ChironConfig, ChironSnapshot, EpisodeRun, Mechanism, MechanismParams, RecoveryOptions,
+    ResumeError,
+};
+use chiron_baselines::{parse_ids, MechanismError};
 use chiron_data::{DatasetKind, DatasetSpec};
 use chiron_fedsim::faults::FaultProcessConfig;
 use chiron_fedsim::metrics::{rounds_to_csv, EpisodeSummary, EventLog};
@@ -174,6 +177,9 @@ pub enum CliError {
         /// The typed failure underneath.
         source: ResumeError,
     },
+    /// A mechanism id failed to resolve or a mechanism config was rejected
+    /// (see [`chiron_baselines::MechanismError`]).
+    Mechanism(MechanismError),
     /// The serve daemon failed to start or operate.
     Serve(ServeError),
     /// The run was stopped by SIGINT/SIGTERM after flushing its state;
@@ -201,6 +207,7 @@ impl std::fmt::Display for CliError {
             CliError::Recovery { path, source } => {
                 write!(f, "checkpoint {path}: {source}")
             }
+            CliError::Mechanism(e) => write!(f, "{e}"),
             CliError::Serve(e) => write!(f, "{e}"),
             CliError::Interrupted => f.write_str("interrupted by signal; state flushed"),
         }
@@ -216,6 +223,7 @@ impl std::error::Error for CliError {
             CliError::Snapshot { source, .. } => Some(source),
             CliError::Experiment { source, .. } => Some(source),
             CliError::Recovery { source, .. } => Some(source),
+            CliError::Mechanism(e) => Some(e),
             CliError::Serve(e) => Some(e),
             CliError::Interrupted => None,
         }
@@ -231,6 +239,12 @@ impl From<ServeError> for CliError {
 impl From<ArgError> for CliError {
     fn from(e: ArgError) -> Self {
         CliError::Arg(e)
+    }
+}
+
+impl From<MechanismError> for CliError {
+    fn from(e: MechanismError) -> Self {
+        CliError::Mechanism(e)
     }
 }
 
@@ -798,29 +812,44 @@ pub fn run(args: &ParsedArgs, rt: &RuntimeConfig) -> Result<(), CliError> {
     finish_telemetry(telemetry)
 }
 
-/// `chiron-cli compare` — trains every mechanism and prints the comparison.
+/// The mechanisms `compare` trains when `--mechanisms` is not given (the
+/// paper's contenders plus the two reference policies).
+pub const COMPARE_DEFAULT_MECHANISMS: &str = "chiron,drl-based,greedy,dp-planner,static";
+
+/// `chiron-cli compare` — trains every selected mechanism and prints the
+/// comparison. `--mechanisms a,b,c` picks registry entries by id (default
+/// [`COMPARE_DEFAULT_MECHANISMS`]); an unknown id is a typed error listing
+/// every known id.
 pub fn compare(args: &ParsedArgs, rt: &RuntimeConfig) -> Result<(), CliError> {
-    args.reject_unknown(&["dataset", "nodes", "budget", "episodes", "seed", "jobs"])?;
+    args.reject_unknown(&[
+        "dataset",
+        "nodes",
+        "budget",
+        "episodes",
+        "seed",
+        "jobs",
+        "mechanisms",
+    ])?;
     let kind = dataset_from(args.str_or("dataset", "mnist"))?;
     let nodes: usize = args.parse_or("nodes", 5)?;
     let budget: f64 = args.parse_or("budget", 100.0)?;
     let episodes: usize = args.parse_or("episodes", 300)?;
     let seed: u64 = args.parse_or("seed", 42)?;
+    let specs = parse_ids(args.str_or("mechanisms", COMPARE_DEFAULT_MECHANISMS))?;
     apply_jobs(args, rt)?;
 
     println!(
         "comparing mechanisms: dataset {kind}, {nodes} nodes, η = {budget}, {episodes} episodes\n"
     );
     let env0 = build_env(kind, nodes, budget, seed, rt)?;
+    let params = MechanismParams::new(seed);
+    let mut mechanisms: Vec<Box<dyn Mechanism>> = specs
+        .iter()
+        .map(|spec| (spec.build)(&env0, &params).map_err(CliError::Mechanism))
+        .collect::<Result<_, _>>()?;
 
-    let mut chiron = Chiron::new(&env0, ChironConfig::paper(), seed);
-    let mut drl = DrlSingleRound::new(&env0, seed);
-    let mut greedy = Greedy::new(&env0, seed);
-    let mut planner = DpPlanner::plan(&env0, 2000.0, 0.1, 24, 60);
-    let mut fixed = StaticPrice::new(0.5);
-
-    // Each mechanism trains and evaluates in its own envs, so the five
-    // cells run as one coarse scope; rows join in the fixed display order.
+    // Each mechanism trains and evaluates in its own envs, so the cells
+    // run as one coarse scope; rows join in the requested id order.
     fn cell(
         mech: &mut dyn Mechanism,
         kind: DatasetKind,
@@ -829,25 +858,25 @@ pub fn compare(args: &ParsedArgs, rt: &RuntimeConfig) -> Result<(), CliError> {
         episodes: usize,
         seed: u64,
         rt: &RuntimeConfig,
-    ) -> Result<(&'static str, EpisodeSummary), CliError> {
+    ) -> Result<(String, EpisodeSummary), CliError> {
         let mut env = build_env(kind, nodes, budget, seed, rt)?;
         mech.train(&mut env, episodes);
         let mut env = build_env(kind, nodes, budget, seed, rt)?;
         let (summary, _) = mech.run_episode(&mut env);
         Ok((mech.name(), summary))
     }
-    type CellResult = Result<(&'static str, EpisodeSummary), CliError>;
+    type CellResult = Result<(String, EpisodeSummary), CliError>;
     let results: Vec<CellResult> = scope::scope("cli.compare", |s| {
-        let tasks: Vec<Box<dyn FnOnce() -> CellResult + Send + '_>> = vec![
-            Box::new(|| cell(&mut chiron, kind, nodes, budget, episodes, seed, rt)),
-            Box::new(|| cell(&mut drl, kind, nodes, budget, episodes, seed, rt)),
-            Box::new(|| cell(&mut greedy, kind, nodes, budget, episodes, seed, rt)),
-            Box::new(|| cell(&mut planner, kind, nodes, budget, episodes, seed, rt)),
-            Box::new(|| cell(&mut fixed, kind, nodes, budget, episodes, seed, rt)),
-        ];
+        let tasks: Vec<Box<dyn FnOnce() -> CellResult + Send + '_>> = mechanisms
+            .iter_mut()
+            .map(|mech| {
+                Box::new(move || cell(mech.as_mut(), kind, nodes, budget, episodes, seed, rt))
+                    as Box<dyn FnOnce() -> CellResult + Send + '_>
+            })
+            .collect();
         s.run(tasks)
     });
-    let rows: Vec<(&str, EpisodeSummary)> = results.into_iter().collect::<Result<Vec<_>, _>>()?;
+    let rows: Vec<(String, EpisodeSummary)> = results.into_iter().collect::<Result<Vec<_>, _>>()?;
 
     println!(
         "{:<12} {:>9} {:>7} {:>10} {:>10} {:>9}",
@@ -900,8 +929,10 @@ commands:
             --seeds N  (replicate over N env seeds, parallel cells)
             --telemetry run.jsonl  --dataset …  --nodes N  --budget η
             --seed S  --jobs J
-  compare   train and compare chiron, drl-based, greedy, dp-planner, static
-            (mechanisms train concurrently; output order is fixed)
+  compare   train and compare mechanisms from the registry
+            --mechanisms a,b,c  (default chiron,drl-based,greedy,dp-planner,static;
+            also: flat-ppo, lemma-oracle, fmore, stackelberg)
+            (mechanisms train concurrently; output order follows the id list)
             --dataset …  --nodes N  --budget η  --episodes E  --seed S  --jobs J
   sweep     train once, evaluate across budgets, optionally write CSV
             --budgets 60,80,100,120,140  --out sweep.csv
@@ -930,6 +961,9 @@ environment variables (read once at startup; see README.md for the table):
   CHIRON_THREADS=N        worker-pool size    CHIRON_SCRATCH_CAP=MiB scratch cap
   CHIRON_JOBS=N           coarse job count (same as --jobs)
   CHIRON_COARSE=0|1       disable/enable coarse-grained scheduling (default 1)
+  CHIRON_TOURNAMENT_EPISODES / _SEEDS / _MECHS
+                          bench_tournament grid: training episodes per cell
+                          (40), replications (3), registry ids (all entries)
   CHIRON_SERVE_ADDR / _WORKERS / _QUEUE_CAP / _INFLIGHT / _RETRY_MAX /
   CHIRON_SERVE_BACKOFF_MS / _CKPT_EVERY / _DEADLINE_MS / _STATE_DIR
                           serve daemon defaults (flags override)

@@ -23,7 +23,7 @@ use crate::chaos::FaultPlan;
 use crate::config::ServeConfig;
 use crate::job::{JobError, JobResult, JobSpec, JobState, Priority, ServeError};
 use crate::queue::BoundedQueue;
-use chiron::{Chiron, ChironConfig, Mechanism, RecoveryOptions, RunCheckpoint};
+use chiron::{Chiron, ChironConfig, EpisodeRun, RecoveryOptions, RunCheckpoint};
 use chiron_data::DatasetKind;
 use chiron_fedsim::metrics::EventLog;
 use chiron_fedsim::{EdgeLearningEnv, EnvConfig};

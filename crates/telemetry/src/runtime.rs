@@ -35,6 +35,9 @@
 //! | `CHIRON_BENCH_SAMPLES` | usize ≥ 1 | bench | timing samples per case (default 20) |
 //! | `CHIRON_BENCH_LABEL` | string | bench | label stored in `BENCH_*.json` (default "current") |
 //! | `CHIRON_BENCH_OUT` | path | bench | output directory for bench artifacts |
+//! | `CHIRON_TOURNAMENT_EPISODES` | usize ≥ 1 | bench | training episodes per tournament cell (default 40) |
+//! | `CHIRON_TOURNAMENT_SEEDS` | usize ≥ 1 | bench | replications per tournament cell (default 3) |
+//! | `CHIRON_TOURNAMENT_MECHS` | id list | bench | comma-separated mechanism ids for the tournament grid (default: every registry entry) |
 
 use std::sync::OnceLock;
 
@@ -124,6 +127,13 @@ pub struct RuntimeConfig {
     pub bench_label: Option<String>,
     /// `CHIRON_BENCH_OUT`: bench output directory.
     pub bench_out: Option<String>,
+    /// `CHIRON_TOURNAMENT_EPISODES`: training episodes per tournament cell.
+    pub tournament_episodes: Option<usize>,
+    /// `CHIRON_TOURNAMENT_SEEDS`: replications per tournament cell.
+    pub tournament_seeds: Option<usize>,
+    /// `CHIRON_TOURNAMENT_MECHS`: comma-separated mechanism ids for the
+    /// tournament grid (unset = every registry entry).
+    pub tournament_mechs: Option<String>,
 }
 
 impl RuntimeConfig {
@@ -172,6 +182,11 @@ impl RuntimeConfig {
                 .ok()
                 .filter(|s| !s.is_empty()),
             bench_out: std::env::var("CHIRON_BENCH_OUT")
+                .ok()
+                .filter(|s| !s.is_empty()),
+            tournament_episodes: parse_var("CHIRON_TOURNAMENT_EPISODES"),
+            tournament_seeds: parse_var("CHIRON_TOURNAMENT_SEEDS"),
+            tournament_mechs: std::env::var("CHIRON_TOURNAMENT_MECHS")
                 .ok()
                 .filter(|s| !s.is_empty()),
         }

@@ -46,10 +46,14 @@ pub use chiron_tensor;
 pub mod prelude {
     pub use chiron::{
         ablation::FlatPpo, exterior_reward, inner_reward, Chiron, ChironConfig,
-        ChironConfigBuilder, ChironSnapshot, ConfigError, Error, Mechanism, RecoveryOptions,
-        ResumeError, RunCheckpoint,
+        ChironConfigBuilder, ChironSnapshot, ConfigError, EpisodeRun, Error, Mechanism,
+        MechanismParams, RecoveryOptions, ResumeError, RunCheckpoint, DEFAULT_LAMBDA,
     };
-    pub use chiron_baselines::{DpPlanner, DrlSingleRound, Greedy, LemmaOracle, StaticPrice};
+    pub use chiron_baselines::{
+        build_by_id, find, parse_ids, registry, DpPlanner, DrlSingleRound, FMoreAuction,
+        FMoreConfig, Greedy, LemmaOracle, MechanismError, MechanismSpec, StackelbergConfig,
+        StackelbergPricing, StaticPrice,
+    };
     pub use chiron_data::{DatasetKind, DatasetSpec, SyntheticDataset};
     pub use chiron_drl::{
         AgentFullState, AgentSnapshot, AgentStateError, PpoAgent, PpoConfig, RolloutBuffer,

@@ -75,14 +75,16 @@ fn every_mechanism_respects_the_budget() {
     let budget = 60.0;
     let e0 = env(DatasetKind::FashionLike, budget, seed);
 
-    let mut mechanisms: Vec<Box<dyn Mechanism>> = vec![
-        Box::new(Chiron::new(&e0, ChironConfig::fast(), seed)),
-        Box::new(FlatPpo::new(&e0, ChironConfig::fast(), seed)),
-        Box::new(DrlSingleRound::new(&e0, seed)),
-        Box::new(Greedy::new(&e0, seed)),
-        Box::new(StaticPrice::new(0.7)),
-        Box::new(LemmaOracle::new(0.5)),
-    ];
+    // Every registry entry, not a hand-maintained list: a new zoo member
+    // is covered here the moment it is registered.
+    let params = MechanismParams::new(seed);
+    let mut mechanisms: Vec<Box<dyn Mechanism>> = registry()
+        .iter()
+        .map(|spec| {
+            (spec.build)(&e0, &params)
+                .unwrap_or_else(|err| panic!("{} failed to build: {err}", spec.id))
+        })
+        .collect();
 
     for mech in &mut mechanisms {
         let mut e = env(DatasetKind::FashionLike, budget, seed);
