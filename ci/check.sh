@@ -35,6 +35,20 @@ for s in 0 1; do
     CHIRON_SIMD=$s cargo test -q --release --offline -p chiron-tensor kernel
 done
 
+echo "==> determinism + zero-alloc suites under the pack-cache × thread matrix"
+# CHIRON_PACK_CACHE=0 pins the packed-operand cache off; 1 pins it on
+# (unset leaves the runtime default). The cache serves packed panels, never
+# results, so every output must be bitwise identical either way at every
+# thread count — and steady-state train/eval rounds must stay
+# allocation-free with the cache in both states.
+for p in 0 1; do
+    for t in 1 4 8; do
+        echo "    CHIRON_PACK_CACHE=$p CHIRON_THREADS=$t"
+        CHIRON_PACK_CACHE=$p CHIRON_THREADS=$t cargo test -q --release --offline \
+            --test parallel_determinism --test zero_alloc
+    done
+done
+
 echo "==> bench smoke (1 sample per case, scratch output dir)"
 smoke_out="${CHIRON_BENCH_SMOKE_OUT:-$(mktemp -d)}"
 mkdir -p "$smoke_out"

@@ -10,9 +10,10 @@
 
 use chiron_bench::timing::{time_case, write_results, Run};
 use chiron_drl::{PpoAgent, PpoConfig, RolloutBuffer};
-use chiron_nn::models::{cifar_lenet, mnist_cnn};
-use chiron_nn::SoftmaxCrossEntropy;
-use chiron_tensor::{pool, Init, TensorRng};
+use chiron_fedsim::oracle::{AccuracyOracle, RoundContext, TrainingOracle};
+use chiron_nn::models::{cifar_lenet, mnist_cnn, Flatten};
+use chiron_nn::{Linear, Sequential, SoftmaxCrossEntropy, Tanh};
+use chiron_tensor::{pool, Init, Tensor, TensorRng};
 use std::hint::black_box;
 
 fn filled_buffer(agent: &mut PpoAgent, state_dim: usize, steps: usize) -> RolloutBuffer {
@@ -26,7 +27,30 @@ fn filled_buffer(agent: &mut PpoAgent, state_dim: usize, steps: usize) -> Rollou
     buffer
 }
 
+/// A participant-round oracle matching the tiny-spec integration tests:
+/// an MLP federated across 4 nodes with one local epoch per round.
+fn round_oracle() -> TrainingOracle {
+    let spec = chiron_data::DatasetSpec::tiny();
+    let mut rng = TensorRng::seed_from(17);
+    let mut net = Sequential::new();
+    net.push(Flatten::new());
+    net.push(Linear::new(spec.pixels(), 64, &mut rng));
+    net.push(Tanh::new());
+    net.push(Linear::new(64, spec.classes, &mut rng));
+    TrainingOracle::new(&spec, net, 4, 800, 1, 16, 0.05, 23)
+}
+
 fn main() {
+    // `CHIRON_BENCH_EVAL_LEGACY=1` re-times the evaluation/round cases the
+    // way the pre-pack-cache stack ran them (operand cache pinned off,
+    // clone-per-chunk evaluation) so a baseline label can be recorded for
+    // cases that did not exist then. Only those cases run in legacy mode,
+    // leaving every historical row of the other cases untouched.
+    let legacy = std::env::var("CHIRON_BENCH_EVAL_LEGACY").as_deref() == Ok("1");
+    if legacy {
+        chiron_tensor::set_pack_cache_enabled(Some(false));
+    }
+
     let mut results: Vec<(String, Run)> = Vec::new();
     let mut rng = TensorRng::seed_from(0);
     let batch = 10; // the paper's batch size
@@ -41,8 +65,41 @@ fn main() {
     let mut inner = PpoAgent::new(1, 5, &[64, 64], PpoConfig::default(), 1);
     let mut inner100 = PpoAgent::new(1, 100, &[64, 64], PpoConfig::default(), 2);
 
+    // Evaluation-throughput fixture: the oracle's 64-sample test chunks
+    // pushed through the MNIST CNN, batched (`forward_chunks`) on the
+    // current stack vs. clone-per-chunk plain forwards on the legacy path.
+    let mut eval_net = mnist_cnn(&mut rng);
+    let eval_chunks: Vec<Tensor> = (0..4)
+        .map(|_| rng.init(&[64, 1, 28, 28], Init::Normal(1.0)))
+        .collect();
+    let mut oracle = round_oracle();
+    let mut round = 0usize;
+
     for threads in [1usize, 4] {
         pool::set_threads(threads);
+
+        results.push(time_case(&format!("eval_throughput_t{threads}"), || {
+            if legacy {
+                for chunk in &eval_chunks {
+                    let mut replica = eval_net.clone();
+                    black_box(replica.forward(black_box(chunk), false));
+                }
+            } else {
+                black_box(eval_net.forward_chunks(black_box(&eval_chunks)));
+            }
+        }));
+        results.push(time_case(&format!("participant_round_t{threads}"), || {
+            round += 1;
+            black_box(oracle.execute_round(&RoundContext {
+                round,
+                participants: &[0, 1, 2],
+                weights: &[0.25; 3],
+            }));
+        }));
+
+        if legacy {
+            continue;
+        }
 
         results.push(time_case(
             &format!("mnist_cnn_forward_b10_t{threads}"),
@@ -55,7 +112,7 @@ fn main() {
             || {
                 let logits = mnist.forward(black_box(&x_mnist), true);
                 let (_, grad) = SoftmaxCrossEntropy.forward(&logits, &labels);
-                black_box(mnist.backward(&grad));
+                mnist.backward_train(black_box(&grad));
                 mnist.zero_grad();
             },
         ));
@@ -70,7 +127,7 @@ fn main() {
             || {
                 let logits = lenet.forward(black_box(&x_cifar), true);
                 let (_, grad) = SoftmaxCrossEntropy.forward(&logits, &labels);
-                black_box(lenet.backward(&grad));
+                lenet.backward_train(black_box(&grad));
                 lenet.zero_grad();
             },
         ));

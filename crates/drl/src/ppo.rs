@@ -342,7 +342,7 @@ impl PpoAgent {
             }
             actor_loss_acc += loss / n as f64;
             let grad_t = Tensor::from_vec(grad, &[n, action_dim]);
-            actor_pass.backward(self.actor.net_mut(), &grad_t);
+            actor_pass.backward_train(self.actor.net_mut(), &grad_t);
             clip_grad_norm(self.actor.net_mut(), self.config.max_grad_norm);
             self.actor_opt.step(self.actor.net_mut());
 
@@ -354,7 +354,7 @@ impl PpoAgent {
                 break;
             }
             critic_loss_acc += closs as f64;
-            critic_pass.backward(&mut self.critic, &cgrad);
+            critic_pass.backward_train(&mut self.critic, &cgrad);
             clip_grad_norm(&mut self.critic, self.config.max_grad_norm);
             self.critic_opt.step(&mut self.critic);
         }

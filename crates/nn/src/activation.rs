@@ -37,6 +37,20 @@ macro_rules! activation {
                 grad_output.hadamard(&d)
             }
 
+            fn forward_chunks(
+                &mut self,
+                inputs: &[Tensor],
+                fused: crate::FusedActivation,
+            ) -> Option<Vec<Tensor>> {
+                // Activations never fold a further activation into
+                // themselves; refuse so the caller falls back safely.
+                if fused != crate::FusedActivation::None {
+                    return None;
+                }
+                // Inference chunks skip the input/output backward caches.
+                Some(inputs.iter().map(|x| x.map($fwd)).collect())
+            }
+
             fn name(&self) -> &'static str {
                 stringify!($name)
             }

@@ -73,6 +73,9 @@ pub struct BatchedPass {
     /// Row ranges of the blocks, in order.
     blocks: Vec<(usize, usize)>,
     output: Tensor,
+    /// `true` when the pass ran the inference-only chunked path, which
+    /// caches no backward state anywhere.
+    inference: bool,
 }
 
 impl BatchedPass {
@@ -97,9 +100,47 @@ impl BatchedPass {
     ///
     /// Panics if `grad`'s first axis disagrees with the forward batch.
     pub fn backward(mut self, net: &mut Sequential, grad: &Tensor) -> Tensor {
+        assert!(
+            !self.inference,
+            "BatchedPass::backward after an inference (train = false) \
+             multi-block forward, which caches no backward state"
+        );
         if self.replicas.is_empty() {
             return net.backward(grad);
         }
+        self.backward_replicated(net, grad, false)
+            .expect("full backward always yields an input gradient")
+    }
+
+    /// [`BatchedPass::backward`] for training loops, which never consume
+    /// `∂loss/∂input`: every replica runs [`Sequential::backward_train`],
+    /// skipping the first layer's input-gradient product. Parameter
+    /// gradients accumulate into `net` bitwise identically to `backward`.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`BatchedPass::backward`].
+    pub fn backward_train(mut self, net: &mut Sequential, grad: &Tensor) {
+        assert!(
+            !self.inference,
+            "BatchedPass::backward after an inference (train = false) \
+             multi-block forward, which caches no backward state"
+        );
+        if self.replicas.is_empty() {
+            net.backward_train(grad);
+            return;
+        }
+        self.backward_replicated(net, grad, true);
+    }
+
+    /// Returns `Some(∂loss/∂input)`, or `None` when `params_only` skipped
+    /// computing the input gradients.
+    fn backward_replicated(
+        &mut self,
+        net: &mut Sequential,
+        grad: &Tensor,
+        params_only: bool,
+    ) -> Option<Tensor> {
         let total: usize = self.blocks.last().map(|&(_, e)| e).unwrap_or(0);
         assert_eq!(
             grad.dims()[0],
@@ -110,7 +151,13 @@ impl BatchedPass {
         let blocks = std::mem::take(&mut self.blocks);
         let dxs = pool::parallel_chunks_map(&mut self.replicas, 1, |b, replica| {
             let (start, end) = blocks[b];
-            replica[0].backward(&slice_rows(grad, start, end))
+            let block_grad = slice_rows(grad, start, end);
+            if params_only {
+                replica[0].backward_train(&block_grad);
+                None
+            } else {
+                Some(replica[0].backward(&block_grad))
+            }
         });
         // Merge replica parameter gradients in replica-index order: first
         // sum the flat gradient vectors sequentially, then add the total
@@ -133,7 +180,11 @@ impl BatchedPass {
             off += n;
         });
         scratch::recycle(acc);
-        concat_rows(&dxs)
+        if params_only {
+            return None;
+        }
+        let dxs: Vec<Tensor> = dxs.into_iter().flatten().collect();
+        Some(concat_rows(&dxs))
     }
 }
 
@@ -169,11 +220,28 @@ pub fn forward_batched(
             replicas: Vec::new(),
             blocks: Vec::new(),
             output,
+            inference: false,
         };
     }
     let blocks: Vec<(usize, usize)> = (0..n.div_ceil(block_rows))
         .map(|b| (b * block_rows, ((b + 1) * block_rows).min(n)))
         .collect();
+    if !train {
+        // Inference needs no backward state, so skip the per-block deep
+        // copies entirely: run the resident network's batched chunk path,
+        // which shares one packed weight panel across all blocks.
+        let chunks: Vec<Tensor> = blocks
+            .iter()
+            .map(|&(start, end)| slice_rows(input, start, end))
+            .collect();
+        let outputs = net.forward_chunks(&chunks);
+        return BatchedPass {
+            replicas: Vec::new(),
+            blocks: Vec::new(),
+            output: concat_rows(&outputs),
+            inference: true,
+        };
+    }
     let mut replicas: Vec<Sequential> = blocks.iter().map(|_| net.clone()).collect();
     let outputs = pool::parallel_chunks_map(&mut replicas, 1, |b, replica| {
         let (start, end) = blocks[b];
@@ -183,6 +251,7 @@ pub fn forward_batched(
         replicas,
         blocks,
         output: concat_rows(&outputs),
+        inference: false,
     }
 }
 
@@ -253,6 +322,29 @@ mod tests {
         let _ = plain.forward(&x, true);
         let dx_plain = plain.backward(&g);
         assert_eq!(dx_plain.as_slice(), dx1.as_slice());
+    }
+
+    #[test]
+    fn multi_block_backward_train_matches_backward_param_grads() {
+        let x = batch(23);
+        let g = Tensor::ones(&[23, 3]);
+        let mut a = net(8);
+        let pass = forward_batched(&mut a, &x, true, 8);
+        let _ = pass.backward(&mut a, &g);
+        let mut b = net(8);
+        let pass = forward_batched(&mut b, &x, true, 8);
+        pass.backward_train(&mut b, &g);
+        assert_eq!(grads_flat(&a), grads_flat(&b));
+    }
+
+    #[test]
+    #[should_panic(expected = "inference (train = false)")]
+    fn backward_after_inference_multi_block_panics() {
+        let x = batch(23);
+        let mut m = net(7);
+        let pass = forward_batched(&mut m, &x, false, 8);
+        let g = Tensor::ones(&[23, 3]);
+        let _ = pass.backward(&mut m, &g);
     }
 
     #[test]

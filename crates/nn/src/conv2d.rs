@@ -1,8 +1,9 @@
 //! 2-D convolution via `im2col`.
 
-use crate::Layer;
+use crate::{FusedActivation, Layer};
 use chiron_tensor::{
-    col2im, im2col, matmul_views, scratch, Conv2dGeometry, Init, MatView, Tensor, TensorRng,
+    col2im, im2col, matmul_batched_into, matmul_views, scratch, Conv2dGeometry, Epilogue, Init,
+    MatView, Tensor, TensorRng,
 };
 
 /// A 2-D convolution layer over `(N, C_in, H, W)` batches.
@@ -77,37 +78,40 @@ impl Conv2d {
     pub fn out_channels(&self) -> usize {
         self.out_channels
     }
-}
 
-impl Layer for Conv2d {
-    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
-        let dims = input.dims();
-        assert_eq!(dims.len(), 4, "Conv2d expects (N, C, H, W), got {dims:?}");
-        assert_eq!(dims[1], self.in_channels, "Conv2d: channel mismatch");
-        self.batch = dims[0];
-
-        let cols = im2col(input, self.in_channels, &self.geo);
-        // (N·P, fan) · (fan, C_out) → (N·P, C_out), P = out_h·out_w
-        let out_cols = cols.matmul(&self.weight).add_row_broadcast(&self.bias);
-        self.cols = Some(cols);
-
-        // Transpose the (N·P, C_out) layout into (N, C_out, out_h, out_w).
+    /// Transposes a `(N·P, C_out)` column-matrix result into an NCHW
+    /// output tensor.
+    fn cols_to_nchw(&self, src: &[f32], batch: usize) -> Tensor {
         let p = self.geo.out_positions();
         let c_out = self.out_channels;
-        let src = out_cols.as_slice();
-        let mut out = scratch::take_vec(self.batch * c_out * p);
-        for img in 0..self.batch {
-            for pos in 0..p {
-                let row = (img * p + pos) * c_out;
-                for ch in 0..c_out {
-                    out[img * c_out * p + ch * p + pos] = src[row + ch];
+        let mut out = scratch::take_vec(batch * c_out * p);
+        // Per-image (P, C_out) → (C_out, P) transpose as zipped iterators:
+        // a pure permutation copy (bitwise identical to element-indexed
+        // assignment) with the bounds checks hoisted out of the inner loop.
+        for (src_img, out_img) in src
+            .chunks_exact(p * c_out)
+            .zip(out.chunks_exact_mut(c_out * p))
+        {
+            for (ch, dst) in out_img.chunks_exact_mut(p).enumerate() {
+                for (d, s) in dst.iter_mut().zip(src_img[ch..].iter().step_by(c_out)) {
+                    *d = *s;
                 }
             }
         }
-        Tensor::from_vec(out, &[self.batch, c_out, self.geo.out_h, self.geo.out_w])
+        Tensor::from_vec(out, &[batch, c_out, self.geo.out_h, self.geo.out_w])
     }
 
-    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+    /// Shared head of both backward variants: accumulates `dW` and `db`
+    /// from the NCHW gradient and returns the materialized `(N·P, C_out)`
+    /// gradient transpose (a scratch buffer the caller recycles, or feeds
+    /// to the `dcols` product first).
+    ///
+    /// The `BatchCol` view the products used to consume avoids this copy
+    /// but makes the blocked kernel pack through a per-element div/mod
+    /// address computation; materializing the transpose once is a pure
+    /// permutation copy (numerically invisible) after which both products
+    /// run on plain row-major views and the fast packing paths.
+    fn accumulate_param_grads(&mut self, grad_output: &Tensor) -> Vec<f32> {
         let cols = self
             .cols
             .as_ref()
@@ -120,17 +124,24 @@ impl Layer for Conv2d {
             "Conv2d: grad shape mismatch"
         );
 
-        // Both backward products consume the NCHW gradient through a
-        // `BatchCol` view presenting it as the (N·P, C_out) matrix the math
-        // wants — no transposed copy of `grad_output` is ever materialized.
         let g = grad_output.as_slice();
-        let dy = MatView::batch_transposed(g, self.batch, c_out, p);
+        let mut dyt = scratch::take_vec(self.batch * p * c_out);
+        for (g_img, dyt_img) in g
+            .chunks_exact(c_out * p)
+            .zip(dyt.chunks_exact_mut(p * c_out))
+        {
+            for (ch, src) in g_img.chunks_exact(p).enumerate() {
+                for (s, d) in src.iter().zip(dyt_img[ch..].iter_mut().step_by(c_out)) {
+                    *d = *s;
+                }
+            }
+        }
         let fan = self.in_channels * self.geo.k_h * self.geo.k_w;
 
         // dW = colsᵀ (fan, N·P) · dy (N·P, C_out).
         let dw = matmul_views(
             &MatView::transposed(cols.as_slice(), fan, self.batch * p),
-            &dy,
+            &MatView::row_major(&dyt, self.batch * p, c_out),
         );
         self.grad_weight.axpy(1.0, &dw);
 
@@ -148,13 +159,45 @@ impl Layer for Conv2d {
             }
             *gbc += acc;
         }
+        dyt
+    }
+}
 
+impl Layer for Conv2d {
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        let dims = input.dims();
+        assert_eq!(dims.len(), 4, "Conv2d expects (N, C, H, W), got {dims:?}");
+        assert_eq!(dims[1], self.in_channels, "Conv2d: channel mismatch");
+        self.batch = dims[0];
+
+        let cols = im2col(input, self.in_channels, &self.geo);
+        // (N·P, fan) · (fan, C_out) → (N·P, C_out), P = out_h·out_w, with
+        // the bias folded into the kernel epilogue (bitwise identical to a
+        // separate broadcast add).
+        let out_cols = cols.matmul_bias(&self.weight, &self.bias);
+        self.cols = Some(cols);
+        self.cols_to_nchw(out_cols.as_slice(), self.batch)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let dyt = self.accumulate_param_grads(grad_output);
+        let p = self.geo.out_positions();
+        let c_out = self.out_channels;
+        let fan = self.in_channels * self.geo.k_h * self.geo.k_w;
         // dcols = dy (N·P, C_out) · Wᵀ (C_out, fan).
         let dcols = matmul_views(
-            &dy,
+            &MatView::row_major(&dyt, self.batch * p, c_out),
             &MatView::transposed(self.weight.as_slice(), c_out, fan),
         );
+        scratch::recycle(dyt);
         col2im(&dcols, self.batch, self.in_channels, &self.geo)
+    }
+
+    fn backward_params_only(&mut self, grad_output: &Tensor) {
+        // First-layer case: the input gradient is discarded, so the
+        // `dcols` product and the `col2im` scatter never run.
+        let dyt = self.accumulate_param_grads(grad_output);
+        scratch::recycle(dyt);
     }
 
     fn visit_params_mut(&mut self, f: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {
@@ -165,6 +208,65 @@ impl Layer for Conv2d {
     fn visit_params(&self, f: &mut dyn FnMut(&Tensor, &Tensor)) {
         f(&self.weight, &self.grad_weight);
         f(&self.bias, &self.grad_bias);
+    }
+
+    fn supports_fused_relu(&self) -> bool {
+        true
+    }
+
+    fn forward_chunks(&mut self, inputs: &[Tensor], fused: FusedActivation) -> Option<Vec<Tensor>> {
+        let ep = match fused {
+            FusedActivation::None => Epilogue::Bias(self.bias.as_slice()),
+            FusedActivation::Relu => Epilogue::BiasRelu(self.bias.as_slice()),
+        };
+        let fan = self.in_channels * self.geo.k_h * self.geo.k_w;
+        let p = self.geo.out_positions();
+        let c_out = self.out_channels;
+        let bview =
+            MatView::row_major(self.weight.as_slice(), fan, c_out).keyed(self.weight.pack_key());
+        // Unroll every chunk up front; the geometry is fixed, so chunks
+        // differ only in batch size (typically just the last one).
+        let cols: Vec<(Tensor, usize)> = inputs
+            .iter()
+            .map(|x| {
+                let dims = x.dims();
+                assert_eq!(dims.len(), 4, "Conv2d expects (N, C, H, W), got {dims:?}");
+                assert_eq!(dims[1], self.in_channels, "Conv2d: channel mismatch");
+                (im2col(x, self.in_channels, &self.geo), dims[0])
+            })
+            .collect();
+        let mut outs: Vec<Tensor> = Vec::with_capacity(inputs.len());
+        // Batch maximal runs of equal-batch chunks through one blocked
+        // pass sharing the packed filter panel. The fused ReLU (applied on
+        // the (N·P, C_out) layout) commutes with the NCHW transpose below
+        // because both are elementwise/permutation-only.
+        let mut start = 0usize;
+        while start < cols.len() {
+            let batch = cols[start].1;
+            let mut end = start + 1;
+            while end < cols.len() && cols[end].1 == batch {
+                end += 1;
+            }
+            let group = &cols[start..end];
+            let a_views: Vec<MatView<'_>> = group
+                .iter()
+                .map(|(c, _)| MatView::row_major(c.as_slice(), batch * p, fan))
+                .collect();
+            let mut group_cols: Vec<Tensor> = group
+                .iter()
+                .map(|_| Tensor::zeros(&[batch * p, c_out]))
+                .collect();
+            {
+                let mut out_slices: Vec<&mut [f32]> =
+                    group_cols.iter_mut().map(|t| t.as_mut_slice()).collect();
+                matmul_batched_into(&a_views, &bview, &mut out_slices, ep);
+            }
+            for oc in &group_cols {
+                outs.push(self.cols_to_nchw(oc.as_slice(), batch));
+            }
+            start = end;
+        }
+        Some(outs)
     }
 
     fn name(&self) -> &'static str {

@@ -2,6 +2,20 @@
 
 use chiron_tensor::Tensor;
 
+/// Which activation a fused-capable layer folds into its own output
+/// epilogue during [`Layer::forward_chunks`].
+///
+/// Fusing is a pure scheduling change: the fused path applies the exact
+/// same per-element operation the standalone activation layer would, so
+/// outputs are bitwise identical either way.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FusedActivation {
+    /// No fused activation; the layer produces its plain output.
+    None,
+    /// Fold `max(0, x)` into the output epilogue.
+    Relu,
+}
+
 /// A differentiable network component with manual backpropagation.
 ///
 /// A layer owns its parameters and their gradient accumulators. `forward`
@@ -25,6 +39,17 @@ pub trait Layer: Send {
     /// Implementations panic if called before `forward`.
     fn backward(&mut self, grad_output: &Tensor) -> Tensor;
 
+    /// [`Layer::backward`] without producing `∂loss/∂input` — for the first
+    /// layer of a network, whose input gradient every training loop
+    /// discards. Parameter gradients must accumulate **bitwise identically**
+    /// to `backward`; the only permitted difference is skipping the
+    /// input-gradient product. The default delegates to `backward` and drops
+    /// the result, which is always correct; layers with an expensive input
+    /// gradient (convolutions, linear) override it.
+    fn backward_params_only(&mut self, grad_output: &Tensor) {
+        let _ = self.backward(grad_output);
+    }
+
     /// Visits every `(parameter, gradient)` pair mutably, in a stable order.
     ///
     /// Parameterless layers use the default empty implementation.
@@ -44,6 +69,34 @@ pub trait Layer: Send {
         let mut n = 0;
         self.visit_params(&mut |p, _| n += p.numel());
         n
+    }
+
+    /// `true` if [`Layer::forward_chunks`] can fold a following ReLU into
+    /// its own output epilogue ([`FusedActivation::Relu`]).
+    fn supports_fused_relu(&self) -> bool {
+        false
+    }
+
+    /// Inference-only forward over many input chunks at once.
+    ///
+    /// Layers backed by matrix products override this to run all chunks
+    /// through one batched kernel pass that packs the weight operand once
+    /// (see `chiron_tensor::matmul_batched_into`). Returns `None` when the
+    /// layer has no batched implementation; the caller then falls back to
+    /// per-chunk [`Layer::forward`] with `train = false`.
+    ///
+    /// Contract: implementations must be bitwise identical to calling
+    /// `forward(chunk, false)` per chunk (plus the standalone activation
+    /// when `fused` is not [`FusedActivation::None`]), and must **not**
+    /// cache backward state — a `backward` after `forward_chunks` is a
+    /// caller bug. `fused` other than `None` may only be passed to layers
+    /// whose [`Layer::supports_fused_relu`] returns `true`.
+    fn forward_chunks(
+        &mut self,
+        _inputs: &[Tensor],
+        _fused: FusedActivation,
+    ) -> Option<Vec<Tensor>> {
+        None
     }
 
     /// A short human-readable layer name for summaries.

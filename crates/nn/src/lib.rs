@@ -65,7 +65,7 @@ pub use batch::{forward_batched, BatchedPass};
 pub use checkpoint::{write_atomic, Checkpoint, CheckpointError, CHECKPOINT_VERSION};
 pub use conv2d::Conv2d;
 pub use dropout::Dropout;
-pub use layer::Layer;
+pub use layer::{FusedActivation, Layer};
 pub use linear::Linear;
 pub use loss::{MseLoss, SoftmaxCrossEntropy};
 pub use optim::{

@@ -1,7 +1,7 @@
 //! Fully connected layer.
 
-use crate::Layer;
-use chiron_tensor::{Init, Tensor, TensorRng};
+use crate::{FusedActivation, Layer};
+use chiron_tensor::{matmul_batched_into, Epilogue, Init, MatView, Tensor, TensorRng};
 
 /// A fully connected (affine) layer: `y = x·W + b` with `W: (in, out)`.
 ///
@@ -85,18 +85,25 @@ impl Layer for Linear {
             self.in_features
         );
         self.input = Some(input.clone());
-        input.matmul(&self.weight).add_row_broadcast(&self.bias)
+        // Fused bias epilogue: one pass over the output instead of a
+        // matmul followed by a separate broadcast add. Bitwise identical.
+        input.matmul_bias(&self.weight, &self.bias)
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        self.backward_params_only(grad_output);
+        // dx = dy · Wᵀ
+        grad_output.matmul_nt(&self.weight)
+    }
+
+    fn backward_params_only(&mut self, grad_output: &Tensor) {
         let input = self
             .input
             .as_ref()
             .expect("Linear::backward called before forward");
-        // dW = xᵀ · dy, db = column-sums of dy, dx = dy · Wᵀ
+        // dW = xᵀ · dy, db = column-sums of dy.
         self.grad_weight.axpy(1.0, &input.matmul_tn(grad_output));
         self.grad_bias.axpy(1.0, &grad_output.sum_rows());
-        grad_output.matmul_nt(&self.weight)
     }
 
     fn visit_params_mut(&mut self, f: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {
@@ -107,6 +114,50 @@ impl Layer for Linear {
     fn visit_params(&self, f: &mut dyn FnMut(&Tensor, &Tensor)) {
         f(&self.weight, &self.grad_weight);
         f(&self.bias, &self.grad_bias);
+    }
+
+    fn supports_fused_relu(&self) -> bool {
+        true
+    }
+
+    fn forward_chunks(&mut self, inputs: &[Tensor], fused: FusedActivation) -> Option<Vec<Tensor>> {
+        let (kin, nout) = (self.in_features, self.out_features);
+        for x in inputs {
+            let (_, cols) = x.shape().as_matrix();
+            assert_eq!(cols, kin, "Linear: input features {cols} != expected {kin}");
+        }
+        let ep = match fused {
+            FusedActivation::None => Epilogue::Bias(self.bias.as_slice()),
+            FusedActivation::Relu => Epilogue::BiasRelu(self.bias.as_slice()),
+        };
+        let bview =
+            MatView::row_major(self.weight.as_slice(), kin, nout).keyed(self.weight.pack_key());
+        let mut outs: Vec<Tensor> = Vec::with_capacity(inputs.len());
+        // Batch maximal runs of equal-row chunks through one blocked pass
+        // that packs the weight panel once per run.
+        let mut start = 0usize;
+        while start < inputs.len() {
+            let rows = inputs[start].shape().as_matrix().0;
+            let mut end = start + 1;
+            while end < inputs.len() && inputs[end].shape().as_matrix().0 == rows {
+                end += 1;
+            }
+            let group = &inputs[start..end];
+            let a_views: Vec<MatView<'_>> = group
+                .iter()
+                .map(|x| MatView::row_major(x.as_slice(), rows, kin))
+                .collect();
+            let mut group_outs: Vec<Tensor> =
+                group.iter().map(|_| Tensor::zeros(&[rows, nout])).collect();
+            {
+                let mut out_slices: Vec<&mut [f32]> =
+                    group_outs.iter_mut().map(|t| t.as_mut_slice()).collect();
+                matmul_batched_into(&a_views, &bview, &mut out_slices, ep);
+            }
+            outs.append(&mut group_outs);
+            start = end;
+        }
+        Some(outs)
     }
 
     fn name(&self) -> &'static str {

@@ -70,29 +70,49 @@ impl Layer for MaxPool2d {
         let mut out = scratch::take_vec_with_capacity(len);
         out.resize(len, f32::NEG_INFINITY);
         // Reuse the argmax buffer across steps; same-shape forwards are
-        // allocation-free once it has grown to size.
-        self.argmax.clear();
-        self.argmax.resize(len, 0);
-        let argmax = &mut self.argmax;
+        // allocation-free once it has grown to size. Every slot is written
+        // unconditionally below, so the old contents never need clearing.
+        if self.argmax.len() != len {
+            self.argmax.clear();
+            self.argmax.resize(len, 0);
+        }
+        let win = self.window;
 
-        for img in 0..n {
-            for ch in 0..c {
-                let plane = (img * c + ch) * h * w;
-                for oy in 0..oh {
-                    for ox in 0..ow {
-                        let oidx = ((img * c + ch) * oh + oy) * ow + ox;
-                        for ky in 0..self.window {
-                            for kx in 0..self.window {
-                                let iy = oy * self.window + ky;
-                                let ix = ox * self.window + kx;
-                                let iidx = plane + iy * w + ix;
-                                if x[iidx] > out[oidx] {
-                                    out[oidx] = x[iidx];
-                                    argmax[oidx] = iidx;
-                                }
-                            }
+        // Window reduction into a local `(best, best_idx)` pair in the same
+        // `ky`-then-`kx` ascending order (strict `>`, first-max wins) as a
+        // naive element-indexed scan, so results and routed argmax indices
+        // are bitwise/index identical; the locals and per-plane slices just
+        // drop the per-element bounds checks and `out[oidx]` re-reads.
+        for ((plane_idx, plane), (out_plane, arg_plane)) in x.chunks_exact(h * w).enumerate().zip(
+            out.chunks_exact_mut(oh * ow)
+                .zip(self.argmax.chunks_exact_mut(oh * ow)),
+        ) {
+            let plane_base = plane_idx * h * w;
+            for oy in 0..oh {
+                let out_row = &mut out_plane[oy * ow..(oy + 1) * ow];
+                let arg_row = &mut arg_plane[oy * ow..(oy + 1) * ow];
+                for (ox, (o, a)) in out_row.iter_mut().zip(arg_row.iter_mut()).enumerate() {
+                    let mut best = f32::NEG_INFINITY;
+                    let mut best_idx = 0usize;
+                    for ky in 0..win {
+                        let row0 = (oy * win + ky) * w + ox * win;
+                        let xs = &plane[row0..row0 + win];
+                        for (kx, &v) in xs.iter().enumerate() {
+                            // Select form of `if v > best { .. }` so the
+                            // data-dependent max update compiles to branchless
+                            // conditional moves; the strict `>` keeps the
+                            // first-max / NaN-skipping semantics unchanged.
+                            let take = v > best;
+                            best = if take { v } else { best };
+                            best_idx = if take {
+                                plane_base + row0 + kx
+                            } else {
+                                best_idx
+                            };
                         }
                     }
+                    *o = best;
+                    *a = best_idx;
                 }
             }
         }

@@ -1,6 +1,6 @@
 //! Layer composition and parameter (de)serialization.
 
-use crate::Layer;
+use crate::{FusedActivation, Layer};
 use chiron_tensor::Tensor;
 
 /// An ordered stack of layers trained end-to-end.
@@ -66,6 +66,47 @@ impl Sequential {
         x
     }
 
+    /// Inference-only forward over many input chunks at once.
+    ///
+    /// Drives each layer's [`Layer::forward_chunks`] so matrix-product
+    /// layers run all chunks through one batched kernel pass (packing
+    /// their weight operand once), with a peephole that folds a `Linear→
+    /// Relu` or `Conv2d→Relu` pair into a single fused-epilogue pass.
+    /// Layers without a batched path fall back to per-chunk
+    /// `forward(chunk, false)`.
+    ///
+    /// Outputs are bitwise identical to calling [`Sequential::forward`]
+    /// per chunk with `train = false`, but no backward state is cached:
+    /// do not call [`Sequential::backward`] after this.
+    pub fn forward_chunks(&mut self, chunks: &[Tensor]) -> Vec<Tensor> {
+        let mut xs: Vec<Tensor> = chunks.to_vec();
+        let mut i = 0usize;
+        while i < self.layers.len() {
+            // Peek (immutably) whether the next layer is a ReLU this layer
+            // can fold into its epilogue before the mutable call below.
+            let fuse_relu = self.layers[i].supports_fused_relu()
+                && self.layers.get(i + 1).is_some_and(|l| l.name() == "Relu");
+            let fused = if fuse_relu {
+                FusedActivation::Relu
+            } else {
+                FusedActivation::None
+            };
+            match self.layers[i].forward_chunks(&xs, fused) {
+                Some(ys) => {
+                    xs = ys;
+                    // A fused pass consumed the following ReLU layer too.
+                    i += if fuse_relu { 2 } else { 1 };
+                }
+                None => {
+                    let layer = &mut self.layers[i];
+                    xs = xs.iter().map(|x| layer.forward(x, false)).collect();
+                    i += 1;
+                }
+            }
+        }
+        xs
+    }
+
     /// Backpropagates `∂loss/∂output` through all layers, accumulating
     /// parameter gradients, and returns `∂loss/∂input`.
     pub fn backward(&mut self, grad_output: &Tensor) -> Tensor {
@@ -74,6 +115,24 @@ impl Sequential {
             g = layer.backward(&g);
         }
         g
+    }
+
+    /// [`Sequential::backward`] for training loops, which never consume
+    /// `∂loss/∂input`: the first layer runs
+    /// [`Layer::backward_params_only`], skipping its input-gradient product
+    /// (for a leading convolution, the `dcols` GEMM and `col2im` scatter).
+    /// Parameter gradients accumulate bitwise identically to `backward`.
+    pub fn backward_train(&mut self, grad_output: &Tensor) {
+        let mut layers = self.layers.iter_mut().rev();
+        let Some(mut prev) = layers.next() else {
+            return;
+        };
+        let mut g = grad_output.clone();
+        for layer in layers {
+            g = prev.backward(&g);
+            prev = layer;
+        }
+        prev.backward_params_only(&g);
     }
 
     /// Visits every `(parameter, gradient)` pair mutably in layer order.
@@ -217,6 +276,86 @@ mod tests {
     fn set_parameters_validates_length() {
         let mut a = net();
         a.set_parameters_flat(&[0.0]);
+    }
+
+    #[test]
+    fn forward_chunks_matches_per_chunk_forward_bitwise() {
+        use crate::{Conv2d, MaxPool2d};
+        use chiron_tensor::Init;
+
+        let mut rng = TensorRng::seed_from(11);
+        // Conv2d→Relu exercises the fused conv epilogue, Linear→Relu the
+        // fused linear epilogue, MaxPool2d the per-chunk fallback, and the
+        // final Linear the unfused bias epilogue.
+        let mut net = Sequential::new();
+        net.push(Conv2d::new(1, 4, 3, 1, 0, 8, 8, &mut rng));
+        net.push(Relu::new());
+        net.push(MaxPool2d::new(2, 6, 6));
+        net.push(crate::models::Flatten::new());
+        net.push(Linear::new(4 * 3 * 3, 10, &mut rng));
+        net.push(Relu::new());
+        net.push(Linear::new(10, 5, &mut rng));
+
+        // Uneven chunk sizes force both the equal-rows grouping and the
+        // odd trailing group.
+        let chunks: Vec<Tensor> = [3usize, 3, 2]
+            .iter()
+            .map(|&b| rng.init(&[b, 1, 8, 8], Init::Normal(1.0)))
+            .collect();
+        let batched = net.clone().forward_chunks(&chunks);
+        let mut reference = net.clone();
+        for (got, chunk) in batched.iter().zip(&chunks) {
+            let want = reference.forward(chunk, false);
+            assert_eq!(got.dims(), want.dims());
+            let gb: Vec<u32> = got.as_slice().iter().map(|v| v.to_bits()).collect();
+            let wb: Vec<u32> = want.as_slice().iter().map(|v| v.to_bits()).collect();
+            assert_eq!(gb, wb, "chunked forward diverged from plain forward");
+        }
+    }
+
+    #[test]
+    fn backward_train_matches_backward_param_grads_bitwise() {
+        use crate::{Conv2d, MaxPool2d};
+        use chiron_tensor::Init;
+
+        let mut rng = TensorRng::seed_from(21);
+        // A leading Conv2d (the override that skips dcols/col2im) followed
+        // by Linear layers (the override that skips dx = dy·Wᵀ for the
+        // first layer — only reached here via the conv, so the Linear
+        // override is exercised by the MLP below).
+        let mut cnn = Sequential::new();
+        cnn.push(Conv2d::new(1, 3, 3, 1, 0, 6, 6, &mut rng));
+        cnn.push(Relu::new());
+        cnn.push(MaxPool2d::new(2, 4, 4));
+        cnn.push(crate::models::Flatten::new());
+        cnn.push(Linear::new(3 * 2 * 2, 4, &mut rng));
+
+        let mut mlp = Sequential::new();
+        mlp.push(Linear::new(5, 8, &mut rng));
+        mlp.push(Relu::new());
+        mlp.push(Linear::new(8, 4, &mut rng));
+
+        for (net, dims) in [(&mut cnn, vec![3usize, 1, 6, 6]), (&mut mlp, vec![3, 5])] {
+            let x = rng.init(&dims, Init::Normal(1.0));
+            let mut a = net.clone();
+            let mut b = net.clone();
+            let ga = a.forward(&x, true).map(|v| v * 0.1);
+            let gb = b.forward(&x, true).map(|v| v * 0.1);
+            let _ = a.backward(&ga);
+            b.backward_train(&gb);
+            let grads = |net: &Sequential| {
+                let mut out: Vec<u32> = Vec::new();
+                net.visit_params(&mut |_, g| {
+                    out.extend(g.as_slice().iter().map(|v| v.to_bits()));
+                });
+                out
+            };
+            assert_eq!(
+                grads(&a),
+                grads(&b),
+                "backward_train diverged from backward"
+            );
+        }
     }
 
     #[test]

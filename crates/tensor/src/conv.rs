@@ -40,17 +40,35 @@ fn im2col_row(
     let img_off = img * c * h * w;
     let iy0 = (oy * geo.stride) as isize - geo.pad as isize;
     let ix0 = (ox * geo.stride) as isize - geo.pad as isize;
+    let k_w = geo.k_w;
+    // Bounds depend only on (oy, ox, ky), so hoist them out of the
+    // per-element loop: an interior window (the only kind when pad = 0)
+    // copies each kernel row as one contiguous k_w-length slice. Padded
+    // positions stay at the buffer's zero fill, exactly as the
+    // element-at-a-time path left them.
+    let full_x = ix0 >= 0 && ix0 as usize + k_w <= w;
     let mut idx = 0usize;
     for ch in 0..c {
         let ch_off = img_off + ch * h * w;
         for ky in 0..geo.k_h {
             let iy = iy0 + ky as isize;
-            for kx in 0..geo.k_w {
-                let ix = ix0 + kx as isize;
-                if iy >= 0 && (iy as usize) < h && ix >= 0 && (ix as usize) < w {
-                    dst[idx] = x[ch_off + iy as usize * w + ix as usize];
+            if iy < 0 || (iy as usize) >= h {
+                idx += k_w;
+                continue;
+            }
+            let src_row = ch_off + iy as usize * w;
+            if full_x {
+                let s = src_row + ix0 as usize;
+                dst[idx..idx + k_w].copy_from_slice(&x[s..s + k_w]);
+                idx += k_w;
+            } else {
+                for kx in 0..k_w {
+                    let ix = ix0 + kx as isize;
+                    if ix >= 0 && (ix as usize) < w {
+                        dst[idx] = x[src_row + ix as usize];
+                    }
+                    idx += 1;
                 }
-                idx += 1;
             }
         }
     }
@@ -63,23 +81,42 @@ fn col2im_image(src: &[f32], img: usize, channels: usize, geo: &Conv2dGeometry, 
     let (h, w) = (geo.in_h, geo.in_w);
     let row_len = channels * geo.k_h * geo.k_w;
     let positions = geo.out_positions();
+    let k_w = geo.k_w;
     for p in 0..positions {
         let row = img * positions + p;
         let oy = p / geo.out_w;
         let ox = p % geo.out_w;
         let iy0 = (oy * geo.stride) as isize - geo.pad as isize;
         let ix0 = (ox * geo.stride) as isize - geo.pad as isize;
+        // Same bounds hoisting as `im2col_row`: interior windows add each
+        // kernel row as one contiguous run, in the identical ascending
+        // (p, ch, ky, kx) order, so every slab element accumulates its
+        // terms in the same sequence as the element-at-a-time loop.
+        let full_x = ix0 >= 0 && ix0 as usize + k_w <= w;
         let mut idx = row * row_len;
         for ch in 0..channels {
             let ch_off = ch * h * w;
             for ky in 0..geo.k_h {
                 let iy = iy0 + ky as isize;
-                for kx in 0..geo.k_w {
-                    let ix = ix0 + kx as isize;
-                    if iy >= 0 && (iy as usize) < h && ix >= 0 && (ix as usize) < w {
-                        slab[ch_off + iy as usize * w + ix as usize] += src[idx];
+                if iy < 0 || (iy as usize) >= h {
+                    idx += k_w;
+                    continue;
+                }
+                let dst_row = ch_off + iy as usize * w;
+                if full_x {
+                    let d = dst_row + ix0 as usize;
+                    for (o, s) in slab[d..d + k_w].iter_mut().zip(&src[idx..idx + k_w]) {
+                        *o += s;
                     }
-                    idx += 1;
+                    idx += k_w;
+                } else {
+                    for kx in 0..k_w {
+                        let ix = ix0 + kx as isize;
+                        if ix >= 0 && (ix as usize) < w {
+                            slab[dst_row + ix as usize] += src[idx];
+                        }
+                        idx += 1;
+                    }
                 }
             }
         }

@@ -66,12 +66,14 @@
 //! The B panel is packed once per `(jc, pc)` by the calling thread; each
 //! row block packs its A panel into its own thread-local scratch buffer.
 
+pub mod pack_cache;
 pub mod simd;
 pub mod tune;
 
 use crate::scratch::ScratchBuf;
 use crate::{pool, Tensor};
 use simd::{DispatchTier, MicroTile};
+use std::rc::Rc;
 use tune::KernelParams;
 
 /// Rows of C per cache block on the pinned scalar tier (the `ic` loop step
@@ -115,6 +117,9 @@ const PARALLEL_FLOP_THRESHOLD: usize = 1 << 16;
 pub struct MatView<'a> {
     data: &'a [f32],
     layout: Layout,
+    /// Content identity for the packed-operand cache (see
+    /// [`MatView::keyed`]); `None` means "never cache this operand".
+    key: Option<(u64, u64)>,
 }
 
 #[derive(Clone, Copy)]
@@ -146,6 +151,7 @@ impl<'a> MatView<'a> {
         Self {
             data,
             layout: Layout::RowMajor { rows, cols },
+            key: None,
         }
     }
 
@@ -160,6 +166,7 @@ impl<'a> MatView<'a> {
         Self {
             data,
             layout: Layout::ColMajor { rows, cols },
+            key: None,
         }
     }
 
@@ -187,7 +194,26 @@ impl<'a> MatView<'a> {
                 channels,
                 positions,
             },
+            key: None,
         }
+    }
+
+    /// Attaches a [`Tensor::pack_key`](crate::Tensor::pack_key) content
+    /// identity, allowing the blocked kernel to reuse this operand's packed
+    /// panels across calls (see [`pack_cache`]). The caller asserts that
+    /// `key` identifies exactly these bytes — the `Tensor` version counter
+    /// upholds that for any live tensor. Unkeyed views are never cached.
+    #[must_use]
+    pub fn keyed(mut self, key: (u64, u64)) -> Self {
+        self.key = Some(key);
+        self
+    }
+
+    /// Strips the cache identity (autotune trial runs pack with throwaway
+    /// geometries that must not be admitted).
+    pub(crate) fn without_key(mut self) -> Self {
+        self.key = None;
+        self
     }
 
     /// Logical row count.
@@ -237,15 +263,88 @@ impl<'a> MatView<'a> {
     }
 }
 
+/// An elementwise finisher fused into the GEMM's output pass, applied to
+/// each output element exactly once, after its full-`k` accumulation.
+///
+/// # Bitwise equivalence to the unfused pipeline
+///
+/// The unfused pipeline computes `matmul` → `add_row_broadcast` (per
+/// element: `out += bias[j]`) → ReLU (per element: `out = out.max(0.0)`).
+/// The fused epilogue runs the **same operations in the same per-element
+/// order** — the only change is *when*: per output tile right after the
+/// last `kc` panel stored the finished accumulator, instead of in separate
+/// whole-matrix passes. Elementwise ops don't interact across elements, so
+/// the result is bitwise identical, including NaN payloads (`f32::max`
+/// returns `0.0` for `NaN.max(0.0)` on both paths) and subnormals.
+#[derive(Clone, Copy)]
+pub enum Epilogue<'a> {
+    /// Plain GEMM, no finisher.
+    None,
+    /// `out[i][j] += bias[j]` (length-`n` bias).
+    Bias(&'a [f32]),
+    /// `out[i][j] = (out[i][j] + bias[j]).max(0.0)`.
+    BiasRelu(&'a [f32]),
+    /// `out[i][j] = out[i][j].max(0.0)`.
+    Relu,
+}
+
+impl Epilogue<'_> {
+    /// Applies the finisher to one contiguous row segment whose first
+    /// element is output column `j0`.
+    #[inline]
+    fn apply(&self, seg: &mut [f32], j0: usize) {
+        match self {
+            Epilogue::None => {}
+            Epilogue::Bias(bias) => {
+                let bias = &bias[j0..j0 + seg.len()];
+                for (o, &b) in seg.iter_mut().zip(bias) {
+                    *o += b;
+                }
+            }
+            Epilogue::BiasRelu(bias) => {
+                let bias = &bias[j0..j0 + seg.len()];
+                for (o, &b) in seg.iter_mut().zip(bias) {
+                    *o = (*o + b).max(0.0);
+                }
+            }
+            Epilogue::Relu => {
+                for o in seg.iter_mut() {
+                    *o = o.max(0.0);
+                }
+            }
+        }
+    }
+
+    fn is_none(&self) -> bool {
+        matches!(self, Epilogue::None)
+    }
+
+    fn assert_bias_len(&self, n: usize) {
+        if let Epilogue::Bias(bias) | Epilogue::BiasRelu(bias) = self {
+            assert_eq!(bias.len(), n, "epilogue bias length must equal n");
+        }
+    }
+}
+
 /// `a (m×k) · b (k×n)` into a fresh arena-backed tensor.
 ///
 /// # Panics
 ///
 /// Panics if the inner dimensions disagree.
 pub fn matmul_views(a: &MatView<'_>, b: &MatView<'_>) -> Tensor {
+    matmul_views_ep(a, b, Epilogue::None)
+}
+
+/// [`matmul_views`] with a fused [`Epilogue`] finisher.
+///
+/// # Panics
+///
+/// Panics if the inner dimensions disagree or an epilogue bias length
+/// differs from `n`.
+pub fn matmul_views_ep(a: &MatView<'_>, b: &MatView<'_>, ep: Epilogue<'_>) -> Tensor {
     let (m, n) = (a.rows(), b.cols());
     let mut out = crate::scratch::take_vec(m * n);
-    matmul_into(a, b, &mut out);
+    matmul_into_ep(a, b, &mut out, ep);
     Tensor::from_vec(out, &[m, n])
 }
 
@@ -256,10 +355,22 @@ pub fn matmul_views(a: &MatView<'_>, b: &MatView<'_>) -> Tensor {
 ///
 /// Panics if the inner dimensions disagree or `out` has the wrong length.
 pub fn matmul_into(a: &MatView<'_>, b: &MatView<'_>, out: &mut [f32]) {
+    matmul_into_ep(a, b, out, Epilogue::None);
+}
+
+/// [`matmul_into`] with a fused [`Epilogue`] finisher applied to each
+/// output element once, after its full-`k` accumulation.
+///
+/// # Panics
+///
+/// Panics if the inner dimensions disagree, `out` has the wrong length, or
+/// an epilogue bias length differs from `n`.
+pub fn matmul_into_ep(a: &MatView<'_>, b: &MatView<'_>, out: &mut [f32], ep: Epilogue<'_>) {
     let (m, k) = (a.rows(), a.cols());
     let (k2, n) = (b.rows(), b.cols());
     assert_eq!(k, k2, "matmul: inner dims mismatch ({m}x{k}) · ({k2}x{n})");
     assert_eq!(out.len(), m * n, "matmul: output length mismatch");
+    ep.assert_bias_len(n);
     // Telemetry (observational only; no effect on the computation): count
     // calls/FLOPs and the dispatch tier always-cheaply, and time the kernel
     // for a GFLOP/s histogram only when the layer is enabled — the
@@ -295,9 +406,9 @@ pub fn matmul_into(a: &MatView<'_>, b: &MatView<'_>, out: &mut [f32]) {
             layout_b: b.layout_tag(),
         };
         let params = tune::params_for(tier, key, a, b);
-        blocked(a, b, m, k, n, out, tier, params);
+        blocked(a, b, m, k, n, out, tier, params, ep);
     } else {
-        direct(a, b, m, k, n, out);
+        direct(a, b, m, k, n, out, ep);
     }
     if let Some(t0) = start {
         KERNEL_CALLS.add(1);
@@ -330,9 +441,127 @@ pub fn matmul_into_with(
     assert_eq!(k, k2, "matmul: inner dims mismatch ({m}x{k}) · ({k2}x{n})");
     assert_eq!(out.len(), m * n, "matmul: output length mismatch");
     if m * k * n >= BLOCKED_FLOP_THRESHOLD {
-        blocked(a, b, m, k, n, out, tier, params);
+        blocked(a, b, m, k, n, out, tier, params, Epilogue::None);
     } else {
-        direct(a, b, m, k, n, out);
+        direct(a, b, m, k, n, out, Epilogue::None);
+    }
+}
+
+/// Runs `a[i] (m×k) · b (k×n)` for every instance `i` through **one**
+/// blocked pass: the packed B panels (and the packed-operand cache entry,
+/// when `b` is [`keyed`](MatView::keyed)) are shared across all instances,
+/// and the pool parallelizes over instances instead of row blocks.
+///
+/// Every instance must have the same logical shape and layout as `a[0]`.
+/// The per-element arithmetic is exactly what `matmul_into_ep(a[i], b,
+/// outs[i], ep)` performs — dispatch (direct vs blocked) is decided by the
+/// shared per-instance `m·k·n`, the blocking parameters come from the same
+/// per-shape autotune profile, and `row_block` fixes each element's
+/// operation sequence independent of scheduling — so the batched entry
+/// point is bitwise identical to the per-call loop at every thread count.
+///
+/// # Panics
+///
+/// Panics if `a` and `outs` lengths differ, any instance's shape or layout
+/// disagrees with the first, the inner dimensions disagree, an output
+/// slice has the wrong length, or an epilogue bias length differs from
+/// `n`.
+pub fn matmul_batched_into(
+    a: &[MatView<'_>],
+    b: &MatView<'_>,
+    outs: &mut [&mut [f32]],
+    ep: Epilogue<'_>,
+) {
+    assert_eq!(
+        a.len(),
+        outs.len(),
+        "matmul_batched: instance count mismatch"
+    );
+    if a.is_empty() {
+        return;
+    }
+    let (m, k) = (a[0].rows(), a[0].cols());
+    let (k2, n) = (b.rows(), b.cols());
+    assert_eq!(k, k2, "matmul: inner dims mismatch ({m}x{k}) · ({k2}x{n})");
+    ep.assert_bias_len(n);
+    for (i, av) in a.iter().enumerate() {
+        assert_eq!(
+            (av.rows(), av.cols(), av.layout_tag()),
+            (m, k, a[0].layout_tag()),
+            "matmul_batched: instance {i} shape/layout mismatch"
+        );
+    }
+    for (i, o) in outs.iter().enumerate() {
+        assert_eq!(o.len(), m * n, "matmul_batched: output {i} length mismatch");
+    }
+    static BATCHED_CALLS: chiron_telemetry::Counter =
+        chiron_telemetry::Counter::new("tensor.kernel.batched.calls");
+    static BATCHED_INSTANCES: chiron_telemetry::Counter =
+        chiron_telemetry::Counter::new("tensor.kernel.batched.instances");
+    BATCHED_CALLS.add(1);
+    BATCHED_INSTANCES.add(a.len() as u64);
+    if m * k * n < BLOCKED_FLOP_THRESHOLD {
+        // Small instances: each runs the scalar direct path; the pool
+        // fans out whole instances (nested row-parallelism runs inline).
+        pool::parallel_chunks_mut(outs, 1, |i, chunk| {
+            direct(&a[i], b, m, k, n, &mut *chunk[0], ep);
+        });
+        return;
+    }
+    let tier = simd::active_tier();
+    let key = tune::ShapeKey {
+        m,
+        k,
+        n,
+        layout_a: a[0].layout_tag(),
+        layout_b: b.layout_tag(),
+    };
+    let params = tune::params_for(tier, key, &a[0], b);
+    let (mc_p, kc_p, nc_p) = (params.mc, params.kc, params.nc);
+    let nr = params.tile.nr();
+    let cached_b = fetch_packed_b(b, k, n, kc_p, nc_p, nr);
+    let mut boff = 0usize;
+    for jc in (0..n).step_by(nc_p) {
+        let nc = nc_p.min(n - jc);
+        for pc in (0..k).step_by(kc_p) {
+            let kc = kc_p.min(k - pc);
+            let len = nc.div_ceil(nr) * kc * nr;
+            let panel_scratch;
+            let bp: &[f32] = match &cached_b {
+                Some(img) => {
+                    let s = &img[boff..boff + len];
+                    boff += len;
+                    s
+                }
+                None => {
+                    let mut buf = ScratchBuf::zeroed(len);
+                    pack_b(b, pc, kc, jc, nc, nr, &mut buf);
+                    panel_scratch = buf;
+                    &panel_scratch
+                }
+            };
+            let panel_ep = if pc + kc == k { ep } else { Epilogue::None };
+            pool::parallel_chunks_mut(outs, 1, |i, chunk| {
+                let out_i = &mut *chunk[0];
+                for (blk, rows) in out_i.chunks_mut(mc_p * n).enumerate() {
+                    row_block(
+                        &a[i],
+                        bp,
+                        blk * mc_p,
+                        rows.len() / n,
+                        pc,
+                        kc,
+                        jc,
+                        nc,
+                        n,
+                        rows,
+                        tier,
+                        params.tile,
+                        panel_ep,
+                    );
+                }
+            });
+        }
     }
 }
 
@@ -365,14 +594,37 @@ fn direct_row_b_rowmajor(
 }
 
 /// One output row with a column-major `b` (the `nt` case): independent dot
-/// products over `b`'s contiguous columns. A row-major `a` row is sliced
-/// once so the dot is a plain two-slice zip the compiler can vectorize;
-/// both branches fold in ascending `k`, so they are bitwise identical.
+/// products over `b`'s contiguous columns. Each dot is a strict ascending-`k`
+/// fold into its own accumulator — a serial dependency chain the compiler
+/// cannot reorder — so for a row-major `a` the row is jammed across four
+/// columns at a time: four *independent* chains run in one `k` loop, hiding
+/// FMA latency without changing any chain's fold order. Every branch folds
+/// in ascending `k`, so all are bitwise identical.
 #[inline]
 fn direct_row_b_colmajor(a: &MatView<'_>, i: usize, b: &[f32], k: usize, o_row: &mut [f32]) {
     if let Layout::RowMajor { cols, .. } = a.layout {
         let a_row = &a.data[i * cols..i * cols + k];
-        for (j, o) in o_row.iter_mut().enumerate() {
+        let mut j = 0;
+        while j + 4 <= o_row.len() {
+            let c0 = &b[j * k..j * k + k];
+            let c1 = &b[(j + 1) * k..(j + 1) * k + k];
+            let c2 = &b[(j + 2) * k..(j + 2) * k + k];
+            let c3 = &b[(j + 3) * k..(j + 3) * k + k];
+            let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+            for kk in 0..k {
+                let aik = a_row[kk];
+                s0 += aik * c0[kk];
+                s1 += aik * c1[kk];
+                s2 += aik * c2[kk];
+                s3 += aik * c3[kk];
+            }
+            o_row[j] = s0;
+            o_row[j + 1] = s1;
+            o_row[j + 2] = s2;
+            o_row[j + 3] = s3;
+            j += 4;
+        }
+        for (j, o) in o_row.iter_mut().enumerate().skip(j) {
             let b_col = &b[j * k..(j + 1) * k];
             let mut acc = 0.0;
             for (&aik, &bkj) in a_row.iter().zip(b_col) {
@@ -408,11 +660,25 @@ fn direct_row_generic(a: &MatView<'_>, b: &MatView<'_>, i: usize, k: usize, o_ro
     }
 }
 
-fn direct(a: &MatView<'_>, b: &MatView<'_>, m: usize, k: usize, n: usize, out: &mut [f32]) {
-    let per_row = |i: usize, o_row: &mut [f32]| match b.layout {
-        Layout::RowMajor { .. } => direct_row_b_rowmajor(a, i, b.data, k, n, o_row),
-        Layout::ColMajor { .. } => direct_row_b_colmajor(a, i, b.data, k, o_row),
-        Layout::BatchCol { .. } => direct_row_generic(a, b, i, k, o_row),
+fn direct(
+    a: &MatView<'_>,
+    b: &MatView<'_>,
+    m: usize,
+    k: usize,
+    n: usize,
+    out: &mut [f32],
+    ep: Epilogue<'_>,
+) {
+    // Each row's full-k accumulation completes within one `per_row` call,
+    // so the epilogue runs right after it — same per-element op order as
+    // the separate bias/activation passes (see `Epilogue`).
+    let per_row = |i: usize, o_row: &mut [f32]| {
+        match b.layout {
+            Layout::RowMajor { .. } => direct_row_b_rowmajor(a, i, b.data, k, n, o_row),
+            Layout::ColMajor { .. } => direct_row_b_colmajor(a, i, b.data, k, o_row),
+            Layout::BatchCol { .. } => direct_row_generic(a, b, i, k, o_row),
+        }
+        ep.apply(o_row, 0);
     };
     if m * k * n >= PARALLEL_FLOP_THRESHOLD && m > ROWS_PER_BLOCK && pool::threads() > 1 {
         pool::parallel_chunks_mut(out, ROWS_PER_BLOCK * n, |block, o_chunk| {
@@ -580,6 +846,7 @@ fn row_block(
     out_rows: &mut [f32],
     tier: DispatchTier,
     tile: MicroTile,
+    ep: Epilogue<'_>,
 ) {
     let (mr, nr) = (tile.mr(), tile.nr());
     let mut ap = ScratchBuf::zeroed(mc.div_ceil(mr) * kc * mr);
@@ -635,6 +902,65 @@ fn row_block(
             }
         }
     }
+    // The caller passes a real epilogue only on the final `pc` panel, when
+    // every element of this block's `jc..jc+nc` column range holds its
+    // finished full-k accumulation.
+    if !ep.is_none() {
+        for r in 0..mc {
+            ep.apply(&mut out_rows[r * n + jc..r * n + jc + nc], jc);
+        }
+    }
+}
+
+/// Total float count of a B operand's fully packed image — every `(jc,
+/// pc)` panel, concatenated in the blocked loop's iteration order.
+fn packed_b_len(k: usize, n: usize, kc_p: usize, nc_p: usize, nr: usize) -> usize {
+    let mut total = 0;
+    for jc in (0..n).step_by(nc_p) {
+        let nc = nc_p.min(n - jc);
+        for pc in (0..k).step_by(kc_p) {
+            let kc = kc_p.min(k - pc);
+            total += nc.div_ceil(nr) * kc * nr;
+        }
+    }
+    total
+}
+
+/// Resolves `b`'s fully packed image through the [`pack_cache`]: `None`
+/// when the view is unkeyed, the cache is disabled, or this is the key's
+/// first sighting (the caller then packs per panel into scratch as
+/// before). The image layout matches [`packed_b_len`]'s iteration order.
+fn fetch_packed_b(
+    b: &MatView<'_>,
+    k: usize,
+    n: usize,
+    kc_p: usize,
+    nc_p: usize,
+    nr: usize,
+) -> Option<Rc<pack_cache::PackBuf>> {
+    let (id, version) = b.key?;
+    let key = pack_cache::PackKey {
+        id,
+        version,
+        layout: b.layout_tag(),
+        k,
+        n,
+        kc: kc_p,
+        nc: nc_p,
+        nr,
+    };
+    pack_cache::get_or_pack(key, packed_b_len(k, n, kc_p, nc_p, nr), |dst| {
+        let mut off = 0;
+        for jc in (0..n).step_by(nc_p) {
+            let nc = nc_p.min(n - jc);
+            for pc in (0..k).step_by(kc_p) {
+                let kc = kc_p.min(k - pc);
+                let len = nc.div_ceil(nr) * kc * nr;
+                pack_b(b, pc, kc, jc, nc, nr, &mut dst[off..off + len]);
+                off += len;
+            }
+        }
+    })
 }
 
 /// The packed panel loops with explicit tier and blocking parameters
@@ -649,24 +975,46 @@ fn blocked(
     out: &mut [f32],
     tier: DispatchTier,
     params: KernelParams,
+    ep: Epilogue<'_>,
 ) {
     let (mc_p, kc_p, nc_p) = (params.mc, params.kc, params.nc);
     let nr = params.tile.nr();
+    // A cached image holds the identical bytes `pack_b` would produce for
+    // each (jc, pc) panel, concatenated in this loop's order — a hit just
+    // skips the copy (see `pack_cache` for the bitwise argument).
+    let cached_b = fetch_packed_b(b, k, n, kc_p, nc_p, nr);
+    let mut boff = 0usize;
     for jc in (0..n).step_by(nc_p) {
         let nc = nc_p.min(n - jc);
         for pc in (0..k).step_by(kc_p) {
             let kc = kc_p.min(k - pc);
+            let len = nc.div_ceil(nr) * kc * nr;
             // One packed B panel per (jc, pc), shared read-only by every
             // row block; padding stays zero from the arena's zero-fill.
-            let mut bp = ScratchBuf::zeroed(nc.div_ceil(nr) * kc * nr);
-            pack_b(b, pc, kc, jc, nc, nr, &mut bp);
+            let panel_scratch;
+            let bp: &[f32] = match &cached_b {
+                Some(img) => {
+                    let s = &img[boff..boff + len];
+                    boff += len;
+                    s
+                }
+                None => {
+                    let mut buf = ScratchBuf::zeroed(len);
+                    pack_b(b, pc, kc, jc, nc, nr, &mut buf);
+                    panel_scratch = buf;
+                    &panel_scratch
+                }
+            };
+            // Fuse the epilogue only into the final depth panel: that is
+            // when each element's full-k accumulation is complete.
+            let panel_ep = if pc + kc == k { ep } else { Epilogue::None };
             let blocks = m.div_ceil(mc_p);
             if blocks > 1 && pool::threads() > 1 {
                 pool::parallel_chunks_mut(out, mc_p * n, |blk, rows| {
                     let i0 = blk * mc_p;
                     row_block(
                         a,
-                        &bp,
+                        bp,
                         i0,
                         rows.len() / n,
                         pc,
@@ -677,6 +1025,7 @@ fn blocked(
                         rows,
                         tier,
                         params.tile,
+                        panel_ep,
                     );
                 });
             } else {
@@ -684,7 +1033,7 @@ fn blocked(
                     let i0 = blk * mc_p;
                     row_block(
                         a,
-                        &bp,
+                        bp,
                         i0,
                         rows.len() / n,
                         pc,
@@ -695,6 +1044,7 @@ fn blocked(
                         rows,
                         tier,
                         params.tile,
+                        panel_ep,
                     );
                 }
             }
@@ -743,6 +1093,7 @@ mod tests {
             &mut out,
             DispatchTier::Scalar,
             KernelParams::pinned_scalar(),
+            Epilogue::None,
         );
         assert_eq!(out, reference(&av, &bv));
     }
@@ -763,7 +1114,7 @@ mod tests {
             for (mc, kc, nc) in [(64, 256, 512), (32, 64, 16), (17, 23, 9)] {
                 let params = KernelParams { mc, kc, nc, tile };
                 let mut out = vec![0.0f32; m * n];
-                blocked(&av, &bv, m, k, n, &mut out, tier, params);
+                blocked(&av, &bv, m, k, n, &mut out, tier, params, Epilogue::None);
                 assert_eq!(out, want, "tile {tile:?} blocking ({mc},{kc},{nc})");
             }
         }

@@ -1,0 +1,402 @@
+//! Thread-local cache of packed B operand panels.
+//!
+//! The blocked kernel spends a significant share of small-GEMM runtime
+//! re-packing the *same* operand: model weights are packed once per forward
+//! call, then thrown away — although the next eval chunk, minibatch, or
+//! participant replica multiplies by byte-identical weights again. This
+//! module caches the fully packed B image (every `(jc, pc)` panel,
+//! concatenated in loop order) keyed by the operand tensor's
+//! [`pack_key`](crate::Tensor::pack_key) identity plus the view layout and
+//! the blocking geometry that shaped the pack.
+//!
+//! # Why B-side only
+//!
+//! In this codebase weights always enter a product as the **B** operand:
+//! `x·W` in forward (row-major B), `dy·Wᵀ` in Linear/conv backward
+//! (col-major B). The A operands are activations and gradients — fresh
+//! tensors that never recur — and A panels are packed per row block on the
+//! worker threads anyway. Caching B captures all the reuse there is.
+//!
+//! # Bitwise invisibility
+//!
+//! A cache hit replays bytes produced by the very same `pack_b`
+//! (`super::pack_b`) call the miss path would make: equal keys imply
+//! byte-identical source data (see `Tensor::pack_key`) and identical pack
+//! geometry, so the micro-kernel consumes identical panels either way.
+//! `CHIRON_PACK_CACHE=0` (or [`set_pack_cache_enabled`]`(Some(false))`)
+//! disables reuse entirely as the verification pin.
+//!
+//! # Admission and eviction
+//!
+//! Keys are only *admitted* on their second sighting: the first miss
+//! records the key in a small fixed ring and packs into ordinary scratch.
+//! One-shot operands (activation transposes, per-step gradients, autotune
+//! trials) therefore never allocate a cache entry — which also keeps the
+//! steady-state training step allocation-free (`tests/zero_alloc.rs`).
+//! Entries are evicted least-recently-used past the byte cap
+//! (`CHIRON_PACK_CACHE_CAP` MiB, default 64), and inserting a new version
+//! of a tensor sweeps that tensor's stale versions immediately.
+//!
+//! The cache is thread-local: the packing thread (the caller of the
+//! blocked kernel) owns its entries, and pool workers only ever see plain
+//! `&[f32]` borrows of a packed image for the duration of a parallel
+//! region.
+
+use crate::scratch;
+use chiron_telemetry::Counter;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
+
+/// Identity of one packed-B image: tensor content identity, view layout,
+/// logical shape, and the blocking geometry that shaped the pack. The
+/// dispatch tier is deliberately absent — `pack_b` is tier-independent, so
+/// one image serves every tier that shares `nr`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub(crate) struct PackKey {
+    pub id: u64,
+    pub version: u64,
+    pub layout: u8,
+    pub k: usize,
+    pub n: usize,
+    pub kc: usize,
+    pub nc: usize,
+    pub nr: usize,
+}
+
+/// An immutable packed image whose storage returns to the scratch arena on
+/// drop, keeping cache turnover off the heap in steady state.
+pub(crate) struct PackBuf(Vec<f32>);
+
+impl std::ops::Deref for PackBuf {
+    type Target = [f32];
+    fn deref(&self) -> &[f32] {
+        &self.0
+    }
+}
+
+impl Drop for PackBuf {
+    fn drop(&mut self) {
+        scratch::recycle(std::mem::take(&mut self.0));
+    }
+}
+
+/// Per-thread cache hit/miss/eviction counts, in the style of
+/// [`scratch::thread_misses`] — cheap enough to read in assertions even
+/// when the telemetry layer is disabled.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PackStats {
+    /// Packs served from the cache instead of re-packing.
+    pub hits: u64,
+    /// Lookups that had to pack (first or once-only sightings included).
+    pub misses: u64,
+    /// Entries dropped by the LRU cap or the stale-version sweep.
+    pub evictions: u64,
+}
+
+/// Admission-ring length: how many distinct once-seen keys are remembered
+/// before the oldest recollection is overwritten. A handful of weight
+/// tensors plus transient per-step keys fit comfortably.
+const RING: usize = 64;
+
+struct Cache {
+    map: HashMap<PackKey, Entry>,
+    bytes: usize,
+    clock: u64,
+    ring: [Option<PackKey>; RING],
+    ring_pos: usize,
+    stats: PackStats,
+}
+
+struct Entry {
+    buf: Rc<PackBuf>,
+    stamp: u64,
+}
+
+thread_local! {
+    static CACHE: RefCell<Cache> = RefCell::new(Cache {
+        map: HashMap::new(),
+        bytes: 0,
+        clock: 0,
+        ring: [None; RING],
+        ring_pos: 0,
+        stats: PackStats::default(),
+    });
+}
+
+static PACK_HITS: Counter = Counter::new("tensor.kernel.pack.hits");
+static PACK_MISSES: Counter = Counter::new("tensor.kernel.pack.misses");
+static PACK_EVICTIONS: Counter = Counter::new("tensor.kernel.pack.evictions");
+
+/// Process-wide override for the enable switch: 0 = follow the
+/// environment, 1 = forced off, 2 = forced on. In-process tests need this
+/// because `RuntimeConfig::global()` latches the environment once.
+static FORCE_ENABLED: AtomicU8 = AtomicU8::new(0);
+
+/// Process-wide cap override in bytes (0 = follow the environment).
+static FORCE_CAP: AtomicUsize = AtomicUsize::new(0);
+
+/// Overrides the `CHIRON_PACK_CACHE` switch for this process (test and
+/// benchmark hook, like `pool::set_threads`). `None` restores the
+/// environment default. The cache is bitwise-invisible either way.
+pub fn set_pack_cache_enabled(v: Option<bool>) {
+    let code = match v {
+        None => 0,
+        Some(false) => 1,
+        Some(true) => 2,
+    };
+    FORCE_ENABLED.store(code, Ordering::Relaxed);
+}
+
+/// Overrides the `CHIRON_PACK_CACHE_CAP` byte budget for this thread's
+/// cache (test hook). `None` restores the environment default.
+pub fn set_pack_cache_cap_bytes(v: Option<usize>) {
+    // 0 means "follow the environment"; a caller asking for a literal zero
+    // cap gets 1 byte, which rejects every insert just the same.
+    FORCE_CAP.store(v.map(|c| c.max(1)).unwrap_or(0), Ordering::Relaxed);
+}
+
+/// Whether packed-operand reuse is currently enabled.
+pub fn pack_cache_enabled() -> bool {
+    match FORCE_ENABLED.load(Ordering::Relaxed) {
+        1 => false,
+        2 => true,
+        _ => chiron_telemetry::RuntimeConfig::global()
+            .pack_cache
+            .unwrap_or(true),
+    }
+}
+
+fn cap_bytes() -> usize {
+    let forced = FORCE_CAP.load(Ordering::Relaxed);
+    if forced != 0 {
+        return forced;
+    }
+    let mib = chiron_telemetry::RuntimeConfig::global()
+        .pack_cache_cap_mib
+        .unwrap_or(64);
+    mib.saturating_mul(1024 * 1024).max(1)
+}
+
+/// This thread's cumulative cache statistics.
+pub fn pack_stats() -> PackStats {
+    CACHE.with(|c| c.borrow().stats)
+}
+
+/// Drops every entry and admission record held by this thread (test hook).
+pub fn clear_pack_cache() {
+    CACHE.with(|c| {
+        let mut c = c.borrow_mut();
+        c.map.clear();
+        c.bytes = 0;
+        c.ring = [None; RING];
+        c.ring_pos = 0;
+    });
+}
+
+/// Looks up `key`, packing and (maybe) admitting on miss.
+///
+/// Returns `None` when the caller should pack into its own scratch (cache
+/// disabled, or the key's first sighting). Otherwise returns the shared
+/// packed image — freshly filled by `fill` on an admitted miss. `fill`
+/// receives a zeroed buffer of `len` floats and must write the complete
+/// concatenated panel image.
+pub(crate) fn get_or_pack(
+    key: PackKey,
+    len: usize,
+    fill: impl FnOnce(&mut [f32]),
+) -> Option<Rc<PackBuf>> {
+    if !pack_cache_enabled() {
+        return None;
+    }
+    CACHE.with(|cell| {
+        let mut c = cell.borrow_mut();
+        c.clock += 1;
+        let now = c.clock;
+        if let Some(e) = c.map.get_mut(&key) {
+            e.stamp = now;
+            let buf = Rc::clone(&e.buf);
+            c.stats.hits += 1;
+            PACK_HITS.add(1);
+            return Some(buf);
+        }
+        c.stats.misses += 1;
+        PACK_MISSES.add(1);
+        if !c.ring.contains(&Some(key)) {
+            // First sighting: remember it, let the caller pack one-shot.
+            let pos = c.ring_pos;
+            c.ring[pos] = Some(key);
+            c.ring_pos = (pos + 1) % RING;
+            return None;
+        }
+        // Second sighting: this operand recurs — admit it. Sweep stale
+        // versions of the same tensor first so their buffers recycle into
+        // the arena before we take a (same-sized) replacement.
+        let stale: Vec<PackKey> = c
+            .map
+            .keys()
+            .filter(|k| k.id == key.id && k.version != key.version)
+            .copied()
+            .collect();
+        for s in stale {
+            if let Some(e) = c.map.remove(&s) {
+                c.bytes -= e.buf.len() * 4;
+                c.stats.evictions += 1;
+                PACK_EVICTIONS.add(1);
+            }
+        }
+        let mut buf = scratch::take_vec(len);
+        fill(&mut buf);
+        let rc = Rc::new(PackBuf(buf));
+        let cap = cap_bytes();
+        if len * 4 > cap {
+            // Larger than the whole budget: hand it out once, uncached.
+            return Some(rc);
+        }
+        while c.bytes + len * 4 > cap {
+            let Some(oldest) = c.map.iter().min_by_key(|(_, e)| e.stamp).map(|(k, _)| *k) else {
+                break;
+            };
+            if let Some(e) = c.map.remove(&oldest) {
+                c.bytes -= e.buf.len() * 4;
+                c.stats.evictions += 1;
+                PACK_EVICTIONS.add(1);
+            }
+        }
+        c.bytes += len * 4;
+        c.map.insert(
+            key,
+            Entry {
+                buf: Rc::clone(&rc),
+                stamp: now,
+            },
+        );
+        Some(rc)
+    })
+}
+
+/// Serializes tests (here and in `crate::proptests`) that flip the
+/// process-wide cache override, so a concurrently running test never
+/// observes a foreign forced state.
+#[cfg(test)]
+pub(crate) fn test_override_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(id: u64, version: u64, n: usize) -> PackKey {
+        PackKey {
+            id,
+            version,
+            layout: 0,
+            k: 8,
+            n,
+            kc: 8,
+            nc: n,
+            nr: 4,
+        }
+    }
+
+    /// Serializes tests that flip the process-wide override.
+    fn with_cache_on(f: impl FnOnce()) {
+        let _g = super::test_override_lock();
+        set_pack_cache_enabled(Some(true));
+        clear_pack_cache();
+        f();
+        set_pack_cache_enabled(None);
+        clear_pack_cache();
+    }
+
+    #[test]
+    fn admits_on_second_sighting_then_hits() {
+        with_cache_on(|| {
+            let k = key(1, 0, 16);
+            let s0 = pack_stats();
+            assert!(get_or_pack(k, 64, |_| {}).is_none(), "first sighting");
+            let p = get_or_pack(k, 64, |d| d.fill(2.0)).expect("admitted");
+            assert_eq!(p[0], 2.0);
+            let q = get_or_pack(k, 64, |_| panic!("must not repack")).expect("hit");
+            assert_eq!(q[0], 2.0);
+            let s = pack_stats();
+            assert_eq!(s.hits - s0.hits, 1);
+            assert_eq!(s.misses - s0.misses, 2);
+        });
+    }
+
+    #[test]
+    fn new_version_sweeps_stale_entries() {
+        with_cache_on(|| {
+            let old = key(7, 1, 16);
+            let new = key(7, 2, 16);
+            get_or_pack(old, 64, |_| {});
+            get_or_pack(old, 64, |d| d.fill(1.0)).unwrap();
+            let s0 = pack_stats();
+            get_or_pack(new, 64, |_| {});
+            get_or_pack(new, 64, |d| d.fill(9.0)).unwrap();
+            assert_eq!(pack_stats().evictions - s0.evictions, 1, "stale swept");
+            // The old version is gone: looking it up misses (and its ring
+            // record was long overwritten by map admission, so it repacks).
+            let r = get_or_pack(old, 64, |d| d.fill(5.0));
+            assert!(r.is_none() || r.unwrap()[0] == 5.0);
+        });
+    }
+
+    #[test]
+    fn lru_evicts_past_the_cap() {
+        with_cache_on(|| {
+            set_pack_cache_cap_bytes(Some(2 * 64 * 4));
+            let a = key(21, 0, 16);
+            let b = key(22, 0, 16);
+            let c = key(23, 0, 16);
+            for k in [a, b, c] {
+                get_or_pack(k, 64, |_| {});
+            }
+            get_or_pack(a, 64, |d| d.fill(1.0)).unwrap();
+            get_or_pack(b, 64, |d| d.fill(2.0)).unwrap();
+            // Touch `a` so `b` is the LRU victim when `c` is admitted.
+            get_or_pack(a, 64, |_| panic!("hit expected")).unwrap();
+            let s0 = pack_stats();
+            get_or_pack(c, 64, |d| d.fill(3.0)).unwrap();
+            assert_eq!(pack_stats().evictions - s0.evictions, 1);
+            assert_eq!(get_or_pack(a, 64, |_| panic!("a stays")).unwrap()[0], 1.0);
+            let s1 = pack_stats();
+            // `b` was evicted → miss (its ring slot still remembers it, so
+            // it re-admits with the fill value).
+            let r = get_or_pack(b, 64, |d| d.fill(8.0)).unwrap();
+            assert_eq!(r[0], 8.0);
+            assert_eq!(pack_stats().misses - s1.misses, 1);
+            set_pack_cache_cap_bytes(None);
+        });
+    }
+
+    #[test]
+    fn oversized_entries_are_served_but_not_stored() {
+        with_cache_on(|| {
+            set_pack_cache_cap_bytes(Some(16));
+            let k = key(31, 0, 16);
+            get_or_pack(k, 64, |_| {});
+            let p = get_or_pack(k, 64, |d| d.fill(4.0)).unwrap();
+            assert_eq!(p[0], 4.0);
+            // Not stored: next lookup packs again.
+            let q = get_or_pack(k, 64, |d| d.fill(6.0)).unwrap();
+            assert_eq!(q[0], 6.0);
+            set_pack_cache_cap_bytes(None);
+        });
+    }
+
+    #[test]
+    fn disabled_cache_returns_none() {
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        let _g = LOCK.lock().unwrap();
+        set_pack_cache_enabled(Some(false));
+        let k = key(41, 0, 16);
+        assert!(get_or_pack(k, 64, |_| {}).is_none());
+        assert!(get_or_pack(k, 64, |_| {}).is_none());
+        set_pack_cache_enabled(None);
+    }
+}

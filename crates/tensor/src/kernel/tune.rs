@@ -215,12 +215,26 @@ pub fn reset_profile_cache() {
 fn tune(tier: DispatchTier, key: ShapeKey, a: &MatView<'_>, b: &MatView<'_>) -> KernelParams {
     let mut out = scratch::take_vec(key.m * key.n);
     let mut best: Option<(f64, KernelParams)> = None;
+    // Trial runs pack with candidate geometries that mostly lose; strip the
+    // cache identity so they are never admitted (and every rep measures an
+    // honest pack + compute).
+    let b = b.without_key();
     for params in KernelParams::candidates(tier) {
         let mut best_ns = f64::INFINITY;
         for rep in 0..3 {
             out.fill(0.0);
             let t0 = Instant::now();
-            super::blocked(a, b, key.m, key.k, key.n, &mut out, tier, params);
+            super::blocked(
+                a,
+                &b,
+                key.m,
+                key.k,
+                key.n,
+                &mut out,
+                tier,
+                params,
+                super::Epilogue::None,
+            );
             let ns = t0.elapsed().as_nanos() as f64;
             if rep > 0 {
                 best_ns = best_ns.min(ns); // rep 0 is the warmup

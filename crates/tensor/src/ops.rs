@@ -7,7 +7,7 @@
 //! blocking. All of that dispatch is numerically invisible — see the kernel
 //! module docs for the canonical-accumulation-order argument.
 
-use crate::kernel::{matmul_views, MatView};
+use crate::kernel::{matmul_views, matmul_views_ep, Epilogue, MatView};
 use crate::{scratch, Tensor};
 
 impl Tensor {
@@ -15,6 +15,11 @@ impl Tensor {
     ///
     /// Both operands are interpreted as matrices via
     /// [`crate::Shape::as_matrix`], so a rank-1 tensor acts as a row vector.
+    ///
+    /// The B operand carries its [`pack_key`](Tensor::pack_key) so the
+    /// blocked kernel may reuse its packed panels across calls: in every
+    /// hot product of this codebase the recurring operand (a weight
+    /// matrix) sits on the B side.
     ///
     /// # Panics
     ///
@@ -24,7 +29,50 @@ impl Tensor {
         let (k2, n) = rhs.shape().as_matrix();
         matmul_views(
             &MatView::row_major(self.as_slice(), m, k),
-            &MatView::row_major(rhs.as_slice(), k2, n),
+            &MatView::row_major(rhs.as_slice(), k2, n).keyed(rhs.pack_key()),
+        )
+    }
+
+    /// [`matmul`](Tensor::matmul) with the bias row added in the kernel's
+    /// output pass: `out[i][j] = (self · rhs)[i][j] + bias[j]`, bitwise
+    /// identical to `self.matmul(rhs).add_row_broadcast(bias)` (see
+    /// [`Epilogue`]) without the extra whole-matrix traversal and clone.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inner dimensions disagree or `bias` is not a rank-1
+    /// tensor of length `n`.
+    pub fn matmul_bias(&self, rhs: &Tensor, bias: &Tensor) -> Tensor {
+        let (m, k) = self.shape().as_matrix();
+        let (k2, n) = rhs.shape().as_matrix();
+        assert_eq!(bias.shape().rank(), 1, "matmul_bias: bias must be rank-1");
+        matmul_views_ep(
+            &MatView::row_major(self.as_slice(), m, k),
+            &MatView::row_major(rhs.as_slice(), k2, n).keyed(rhs.pack_key()),
+            Epilogue::Bias(bias.as_slice()),
+        )
+    }
+
+    /// [`matmul_bias`](Tensor::matmul_bias) followed by ReLU, fused:
+    /// `out[i][j] = ((self · rhs)[i][j] + bias[j]).max(0.0)` — bitwise
+    /// identical to the unfused bias-add then `map(|x| x.max(0.0))`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inner dimensions disagree or `bias` is not a rank-1
+    /// tensor of length `n`.
+    pub fn matmul_bias_relu(&self, rhs: &Tensor, bias: &Tensor) -> Tensor {
+        let (m, k) = self.shape().as_matrix();
+        let (k2, n) = rhs.shape().as_matrix();
+        assert_eq!(
+            bias.shape().rank(),
+            1,
+            "matmul_bias_relu: bias must be rank-1"
+        );
+        matmul_views_ep(
+            &MatView::row_major(self.as_slice(), m, k),
+            &MatView::row_major(rhs.as_slice(), k2, n).keyed(rhs.pack_key()),
+            Epilogue::BiasRelu(bias.as_slice()),
         )
     }
 
@@ -41,7 +89,7 @@ impl Tensor {
         let (k2, n) = rhs.shape().as_matrix();
         matmul_views(
             &MatView::transposed(self.as_slice(), m, k),
-            &MatView::row_major(rhs.as_slice(), k2, n),
+            &MatView::row_major(rhs.as_slice(), k2, n).keyed(rhs.pack_key()),
         )
     }
 
@@ -57,7 +105,7 @@ impl Tensor {
         let (n, k2) = rhs.shape().as_matrix();
         matmul_views(
             &MatView::row_major(self.as_slice(), m, k),
-            &MatView::transposed(rhs.as_slice(), k2, n),
+            &MatView::transposed(rhs.as_slice(), k2, n).keyed(rhs.pack_key()),
         )
     }
 
@@ -330,6 +378,43 @@ mod tests {
         let a = Tensor::zeros(&[2, 3]);
         let b = Tensor::zeros(&[2, 3]);
         let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn fused_bias_and_relu_match_unfused_bitwise() {
+        use crate::{Init, TensorRng};
+        let mut rng = TensorRng::seed_from(11);
+        // Small (direct path) and large (blocked path) shapes.
+        for (m, k, n) in [(3, 4, 5), (70, 90, 110)] {
+            let x = rng.init(&[m, k], Init::Normal(1.0));
+            let w = rng.init(&[k, n], Init::Normal(1.0));
+            let b = rng.init(&[n], Init::Normal(1.0));
+            let unfused_bias = x.matmul(&w).add_row_broadcast(&b);
+            let fused_bias = x.matmul_bias(&w, &b);
+            let bits = |t: &Tensor| t.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&unfused_bias), bits(&fused_bias), "{m}x{k}x{n}");
+            let unfused_relu = unfused_bias.map(|v| v.max(0.0));
+            let fused_relu = x.matmul_bias_relu(&w, &b);
+            assert_eq!(bits(&unfused_relu), bits(&fused_relu), "{m}x{k}x{n}");
+        }
+        // NaN payloads flow identically: NaN.max(0.0) is 0.0 either way.
+        let x = t(&[f32::NAN, 1.0], &[1, 2]);
+        let w = t(&[1.0, 0.0, 0.0, 1.0], &[2, 2]);
+        let b = t(&[0.5, 0.5], &[2]);
+        let unfused = x.matmul(&w).add_row_broadcast(&b).map(|v| v.max(0.0));
+        let fused = x.matmul_bias_relu(&w, &b);
+        assert_eq!(
+            unfused
+                .as_slice()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect::<Vec<_>>(),
+            fused
+                .as_slice()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect::<Vec<_>>()
+        );
     }
 
     #[test]

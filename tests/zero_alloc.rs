@@ -10,7 +10,8 @@
 //! arena traffic under the parallel test harness.)
 
 use chiron_drl::{PpoAgent, PpoConfig, RolloutBuffer};
-use chiron_nn::{models, Sequential, SoftmaxCrossEntropy};
+use chiron_fedsim::oracle::{AccuracyOracle, RoundContext, TrainingOracle};
+use chiron_nn::{models, Linear, Sequential, SoftmaxCrossEntropy, Tanh};
 use chiron_tensor::{pool, scratch, Init, Tensor, TensorRng};
 
 /// One forward/backward/SGD step on a classifier network.
@@ -18,7 +19,7 @@ fn cnn_step(net: &mut Sequential, x: &Tensor, labels: &[usize]) {
     let logits = net.forward(x, true);
     let (_, grad) = SoftmaxCrossEntropy.forward(&logits, labels);
     net.zero_grad();
-    net.backward(&grad);
+    net.backward_train(&grad);
     net.visit_params_mut(&mut |p, g| p.axpy(-0.01, g));
 }
 
@@ -72,5 +73,41 @@ fn ppo_update_is_allocation_free_after_warmup() {
         scratch::thread_misses(),
         before,
         "steady-state PPO rollout+update rounds must not allocate through the arena"
+    );
+}
+
+#[test]
+fn federated_round_is_allocation_free_after_warmup() {
+    pool::set_threads(1);
+    let spec = chiron_data::DatasetSpec::tiny();
+    let mut rng = TensorRng::seed_from(9);
+    let mut net = Sequential::new();
+    net.push(models::Flatten::new());
+    net.push(Linear::new(spec.pixels(), 16, &mut rng));
+    net.push(Tanh::new());
+    net.push(Linear::new(16, spec.classes, &mut rng));
+    let mut oracle = TrainingOracle::new(&spec, net, 3, 240, 1, 16, 0.05, 7);
+    let participants = [0usize, 1, 2];
+    let weights = [1.0 / 3.0; 3];
+    let round = |oracle: &mut TrainingOracle, k: usize| {
+        oracle.execute_round(&RoundContext {
+            round: k,
+            participants: &participants,
+            weights: &weights,
+        });
+    };
+    // Warmup grows the replica pool and seeds every arena bucket (and, when
+    // the pack cache is enabled, admits the eval-time weight panels).
+    for k in 1..=2 {
+        round(&mut oracle, k);
+    }
+    let before = scratch::thread_misses();
+    for k in 3..=5 {
+        round(&mut oracle, k);
+    }
+    assert_eq!(
+        scratch::thread_misses(),
+        before,
+        "steady-state federated rounds must not allocate through the arena"
     );
 }
